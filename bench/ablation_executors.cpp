@@ -1,0 +1,49 @@
+// Ablation — workitem executor strategy (DESIGN.md decision #2): the same
+// kernels run under the Loop (plain per-item dispatch), Simd (implicit
+// vectorization) and Fiber (one ucontext per workitem) executors.
+// Quantifies (a) what the implicit vectorizer buys and (b) what true
+// barrier support costs when it is not needed.
+#include "apps_setup.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv, "Ablation: CPU workitem executor strategies"))
+    return 0;
+
+  const std::size_t sq_n = env.size<std::size_t>(100'000, 1'000'000, 10'000'000);
+  const std::size_t bs = env.size<std::size_t>(256, 512, 1280);
+
+  core::Table t("Ablation - workitem executors",
+                {"benchmark", "executor", "ms/iter", "speedup vs loop"});
+
+  const std::pair<const char*, ocl::ExecutorKind> executors[] = {
+      {"loop", ocl::ExecutorKind::Loop},
+      {"simd", ocl::ExecutorKind::Simd},
+      {"fiber", ocl::ExecutorKind::Fiber},
+  };
+
+  for (int app_idx = 0; app_idx < 2; ++app_idx) {
+    double loop_time = 0.0;
+    for (const auto& [label, kind] : executors) {
+      ocl::CpuDeviceConfig cfg;
+      cfg.executor = kind;
+      ocl::CpuDevice device(cfg);
+      ocl::Context ctx(device);
+      ocl::CommandQueue q(ctx);
+
+      std::unique_ptr<bench::AppDriver> app;
+      if (app_idx == 0) {
+        app = std::make_unique<bench::SquareDriver>(sq_n, env.seed());
+      } else {
+        app = std::make_unique<bench::BlackScholesDriver>(bs, bs, env.seed());
+      }
+      const double time = app->time(q, ocl::NDRange{}, env.opts());
+      if (kind == ocl::ExecutorKind::Loop) loop_time = time;
+      t.add_row({std::string(app->name()), std::string(label), time * 1e3,
+                 loop_time / time});
+    }
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation — GPU timing-model parameter sensitivity (DESIGN.md decision #4:
+// the GPU series come from an analytical model, so how robust are the
+// paper-level conclusions to its parameters?). Re-derives two headline GPU
+// results (ILP flatness, small-workgroup penalty) under perturbed memory
+// latency, FP latency and warp-slot counts.
+#include <cmath>
+
+#include "common.hpp"
+#include "gpusim/detailed.hpp"
+
+namespace {
+
+using namespace mcl;
+
+/// Headline metric 1: GPU ILP-4/ILP-1 throughput ratio (paper: ~1, flat).
+double ilp_flatness(const gpusim::GpuSpec& spec) {
+  gpusim::KernelCost k1{.fp_insts = 64, .mem_insts = 2, .other_insts = 8,
+                        .flops_per_fp = 2.0, .ilp = 1.0};
+  gpusim::KernelCost k4 = k1;
+  k4.ilp = 4.0;
+  const gpusim::LaunchGeometry geom{.global_items = 1 << 20,
+                                    .local_items = 256};
+  return gpusim::simulate(spec, k1, geom).seconds /
+         gpusim::simulate(spec, k4, geom).seconds;
+}
+
+/// Headline metric 2: slowdown of 1-item workgroups vs 256 (paper: large).
+double small_group_penalty(const gpusim::GpuSpec& spec) {
+  gpusim::KernelCost k{.fp_insts = 4, .mem_insts = 8, .other_insts = 2};
+  const double t1 =
+      gpusim::simulate(spec, k, {.global_items = 1 << 18, .local_items = 1})
+          .seconds;
+  const double t256 =
+      gpusim::simulate(spec, k, {.global_items = 1 << 18, .local_items = 256})
+          .seconds;
+  return t1 / t256;
+}
+
+}  // namespace
+
+/// Same headline metrics from the discrete-event simulator.
+double ilp_flatness_detailed(const gpusim::GpuSpec& spec) {
+  gpusim::KernelCost k1{.fp_insts = 64, .mem_insts = 2, .other_insts = 8,
+                        .flops_per_fp = 2.0, .ilp = 1.0};
+  gpusim::KernelCost k4 = k1;
+  k4.ilp = 4.0;
+  const gpusim::LaunchGeometry geom{.global_items = 1 << 17,
+                                    .local_items = 256};
+  return gpusim::simulate_detailed(spec, k1, geom).seconds /
+         gpusim::simulate_detailed(spec, k4, geom).seconds;
+}
+
+double small_group_penalty_detailed(const gpusim::GpuSpec& spec) {
+  gpusim::KernelCost k{.fp_insts = 4, .mem_insts = 8, .other_insts = 2};
+  const double t1 = gpusim::simulate_detailed(
+                        spec, k, {.global_items = 1 << 14, .local_items = 1})
+                        .seconds;
+  const double t256 = gpusim::simulate_detailed(
+                          spec, k, {.global_items = 1 << 14, .local_items = 256})
+                          .seconds;
+  return t1 / t256;
+}
+
+int main(int argc, char** argv) {
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Ablation: GPU analytical-model parameter sensitivity"))
+    return 0;
+
+  core::Table t("Ablation - GPU model sensitivity",
+                {"configuration", "ILP1/ILP4 ratio (analytical)",
+                 "ILP1/ILP4 (discrete-event)",
+                 "1-item-group slowdown (analytical)",
+                 "slowdown (discrete-event)"});
+
+  auto add = [&](const std::string& label, const gpusim::GpuSpec& spec) {
+    t.add_row({label, ilp_flatness(spec), ilp_flatness_detailed(spec),
+               small_group_penalty(spec), small_group_penalty_detailed(spec)});
+  };
+
+  const gpusim::GpuSpec base = gpusim::GpuSpec::gtx580();
+  add("GTX 580 baseline", base);
+
+  for (double scale : {0.5, 2.0}) {
+    gpusim::GpuSpec s = base;
+    s.mem_latency *= scale;
+    add("mem latency x" + core::Table::format_cell(core::Cell{scale}, 2), s);
+  }
+  for (double scale : {0.5, 2.0}) {
+    gpusim::GpuSpec s = base;
+    s.fp_latency *= scale;
+    add("fp latency x" + core::Table::format_cell(core::Cell{scale}, 2), s);
+  }
+  for (int warps : {24, 96}) {
+    gpusim::GpuSpec s = base;
+    s.max_warps_per_sm = warps;
+    add("max warps/SM = " + std::to_string(warps), s);
+  }
+  for (double bw : {96.2, 384.8}) {
+    gpusim::GpuSpec s = base;
+    s.mem_bandwidth_gbs = bw;
+    add("mem bandwidth " + std::to_string(static_cast<int>(bw)) + " GB/s", s);
+  }
+  t.emit(env.csv(), env.json(), env.md());
+
+  std::printf(
+      "\nreading: the paper-level conclusions hold as long as column 2 stays\n"
+      "near 1 and column 3 stays far above 1 across the parameter range —\n"
+      "i.e. they follow from latency-hiding structure, not tuned constants.\n");
+  return 0;
+}

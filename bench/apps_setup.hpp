@@ -1,0 +1,190 @@
+// Shared simple-application setup for fig03 / fig04 / fig07 and the
+// ablation benches: builds Table II workloads (scaled by Env unless --full)
+// and times launches under a chosen local size.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/blackscholes.hpp"
+#include "apps/hostdata.hpp"
+#include "apps/matrixmul.hpp"
+#include "apps/simple.hpp"
+#include "common.hpp"
+
+namespace mcl::bench {
+
+/// Buffer-flag policy for the Fig 7 combination sweep: access flags
+/// (read-only/write-only vs read-write) x allocation location (device vs
+/// CL_MEM_ALLOC_HOST_PTR).
+struct BufferPolicy {
+  bool read_write = false;  ///< use ReadWrite instead of ReadOnly/WriteOnly
+  bool host_alloc = false;  ///< add AllocHostPtr
+
+  [[nodiscard]] const char* access_str() const {
+    return read_write ? "ReadWrite" : "ReadOnly|WriteOnly";
+  }
+  [[nodiscard]] const char* alloc_str() const {
+    return host_alloc ? "host" : "device";
+  }
+};
+
+/// Base: owns buffers, tracks host<->device traffic for Eq. 1 benches.
+class AppDriver {
+ public:
+  virtual ~AppDriver() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual ocl::NDRange global() const = 0;
+
+  /// Times one launch with the given local size (adjusts local-mem args for
+  /// tile-dependent kernels first).
+  [[nodiscard]] double time(ocl::CommandQueue& queue, const ocl::NDRange& local,
+                            const core::MeasureOptions& opts) {
+    prepare_local(local);
+    return time_launch(queue, *kernel_, global(), local, opts);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<ocl::Buffer*, bool>>& traffic()
+      const {
+    return traffic_;
+  }
+  [[nodiscard]] ocl::Kernel& kernel() { return *kernel_; }
+
+ protected:
+  virtual void prepare_local(const ocl::NDRange& local) { (void)local; }
+
+  ocl::Buffer& add_input(std::size_t floats, std::uint64_t seed, float lo,
+                         float hi) {
+    apps::FloatVec data = apps::random_floats(floats, seed, lo, hi);
+    ocl::MemFlags flags = policy_.read_write ? ocl::MemFlags::ReadWrite
+                                             : ocl::MemFlags::ReadOnly;
+    flags = flags | ocl::MemFlags::CopyHostPtr;
+    if (policy_.host_alloc) flags = flags | ocl::MemFlags::AllocHostPtr;
+    return add_buffer(flags, floats * 4, data.data(), true);
+  }
+  ocl::Buffer& add_output(std::size_t floats) {
+    ocl::MemFlags flags = policy_.read_write ? ocl::MemFlags::ReadWrite
+                                             : ocl::MemFlags::WriteOnly;
+    if (policy_.host_alloc) flags = flags | ocl::MemFlags::AllocHostPtr;
+    return add_buffer(flags, floats * 4, nullptr, false);
+  }
+  ocl::Buffer& add_buffer(ocl::MemFlags flags, std::size_t bytes, void* host,
+                          bool is_input) {
+    buffers_.push_back(std::make_unique<ocl::Buffer>(flags, bytes, host));
+    traffic_.emplace_back(buffers_.back().get(), is_input);
+    return *buffers_.back();
+  }
+  void make_kernel(const char* kernel_name) {
+    kernel_ = std::make_unique<ocl::Kernel>(
+        ocl::Program::builtin().lookup(kernel_name));
+  }
+
+  std::vector<std::unique_ptr<ocl::Buffer>> buffers_;
+  std::vector<std::pair<ocl::Buffer*, bool>> traffic_;
+  std::unique_ptr<ocl::Kernel> kernel_;
+  BufferPolicy policy_;
+};
+
+class SquareDriver final : public AppDriver {
+ public:
+  SquareDriver(std::size_t n, std::uint64_t seed, BufferPolicy policy = {})
+      : n_(n) {
+    policy_ = policy;
+    make_kernel(apps::kSquareKernel);
+    kernel_->set_arg(0, add_input(n, seed, -2.0f, 2.0f));
+    kernel_->set_arg(1, add_output(n));
+  }
+  [[nodiscard]] const char* name() const override { return "Square"; }
+  [[nodiscard]] ocl::NDRange global() const override {
+    return ocl::NDRange{n_};
+  }
+
+ private:
+  std::size_t n_;
+};
+
+class VectorAddDriver final : public AppDriver {
+ public:
+  VectorAddDriver(std::size_t n, std::uint64_t seed, BufferPolicy policy = {})
+      : n_(n) {
+    policy_ = policy;
+    make_kernel(apps::kVectorAddKernel);
+    kernel_->set_arg(0, add_input(n, seed, -2.0f, 2.0f));
+    kernel_->set_arg(1, add_input(n, seed + 1, -2.0f, 2.0f));
+    kernel_->set_arg(2, add_output(n));
+  }
+  [[nodiscard]] const char* name() const override { return "VectorAdd"; }
+  [[nodiscard]] ocl::NDRange global() const override {
+    return ocl::NDRange{n_};
+  }
+
+ private:
+  std::size_t n_;
+};
+
+/// Naive or tiled matrix multiply; tiled variants re-size local memory when
+/// the tile (= local size) changes.
+class MatMulDriver final : public AppDriver {
+ public:
+  MatMulDriver(bool tiled, std::size_t m, std::size_t n, std::size_t k,
+               std::uint64_t seed, BufferPolicy policy = {})
+      : tiled_(tiled), m_(m), n_(n), k_(k) {
+    policy_ = policy;
+    make_kernel(tiled ? apps::kMatrixMulKernel : apps::kMatrixMulNaiveKernel);
+    kernel_->set_arg(0, add_input(m * k, seed, -1.0f, 1.0f));
+    kernel_->set_arg(1, add_input(k * n, seed + 1, -1.0f, 1.0f));
+    kernel_->set_arg(2, add_output(m * n));
+    kernel_->set_arg(3, static_cast<unsigned>(m));
+    kernel_->set_arg(4, static_cast<unsigned>(n));
+    kernel_->set_arg(5, static_cast<unsigned>(k));
+  }
+  [[nodiscard]] const char* name() const override {
+    return tiled_ ? "Matrixmul" : "MatrixmulNaive";
+  }
+  [[nodiscard]] ocl::NDRange global() const override {
+    return ocl::NDRange(n_, m_);
+  }
+
+ protected:
+  void prepare_local(const ocl::NDRange& local) override {
+    if (!tiled_) return;
+    const std::size_t t = local.is_null() ? 16 : local[0];
+    kernel_->set_arg_local(6, t * t * 4);
+    kernel_->set_arg_local(7, t * t * 4);
+    kernel_->set_arg_local(8, t * t * 4);
+  }
+
+ private:
+  bool tiled_;
+  std::size_t m_, n_, k_;
+};
+
+class BlackScholesDriver final : public AppDriver {
+ public:
+  BlackScholesDriver(std::size_t w, std::size_t h, std::uint64_t seed,
+                     BufferPolicy policy = {})
+      : w_(w), h_(h) {
+    policy_ = policy;
+    const std::size_t n = w * h;
+    make_kernel(apps::kBlackScholesKernel);
+    kernel_->set_arg(0, add_input(n, seed, 5.0f, 30.0f));
+    kernel_->set_arg(1, add_input(n, seed + 1, 1.0f, 100.0f));
+    kernel_->set_arg(2, add_input(n, seed + 2, 0.25f, 10.0f));
+    kernel_->set_arg(3, add_output(n));
+    kernel_->set_arg(4, add_output(n));
+    kernel_->set_arg(5, 0.02f);
+    kernel_->set_arg(6, 0.30f);
+  }
+  [[nodiscard]] const char* name() const override { return "Blackscholes"; }
+  [[nodiscard]] ocl::NDRange global() const override {
+    return ocl::NDRange(w_, h_);
+  }
+
+ private:
+  std::size_t w_, h_;
+};
+
+}  // namespace mcl::bench

@@ -1,0 +1,51 @@
+#include "common.hpp"
+
+#include <iostream>
+
+namespace mcl::bench {
+
+bool Env::init(int argc, const char* const* argv, const std::string& description) {
+  cli_.add_flag("full", "use the paper's exact workload sizes (slow)");
+  cli_.add_flag("threads", "CPU-device worker threads (0 = all logical CPUs)",
+                "0");
+  if (!cli_.parse(argc, argv)) return false;
+  std::cout << description << "\n";
+
+  quick_ = cli_.has("quick");
+  full_ = cli_.has("full");
+  opts_ = core::measure_options_from(cli_);
+  csv_ = cli_.get("csv");
+  json_ = cli_.get("json");
+  md_ = cli_.get("md");
+  seed_ = static_cast<std::uint64_t>(cli_.get_int("seed", 1337));
+
+  ocl::CpuDeviceConfig cpu;
+  cpu.threads = static_cast<std::size_t>(cli_.get_int("threads", 0));
+  platform_ = std::make_unique<ocl::Platform>(cpu);
+  return true;
+}
+
+double time_launch(ocl::CommandQueue& queue, const ocl::Kernel& kernel,
+                   const ocl::NDRange& global, const ocl::NDRange& local,
+                   const core::MeasureOptions& opts) {
+  core::MeasureOptions launch_opts = opts;
+  if (queue.device().type() == ocl::DeviceType::SimulatedGpu) {
+    // Simulated time is deterministic; one invocation suffices.
+    launch_opts.min_time = 0.0;
+    launch_opts.min_iters = 1;
+    launch_opts.warmup_iters = 0;
+  }
+  const core::Measurement m = core::measure_reported(
+      [&] { return queue.enqueue_ndrange(kernel, global, local).seconds; },
+      launch_opts);
+  return m.per_iter_s;
+}
+
+std::string range_str(const ocl::NDRange& r) {
+  if (r.is_null()) return "NULL";
+  std::string s = std::to_string(r.size[0]);
+  for (std::size_t d = 1; d < r.dims; ++d) s += "x" + std::to_string(r.size[d]);
+  return s;
+}
+
+}  // namespace mcl::bench

@@ -1,0 +1,67 @@
+// Shared scaffolding for the figure/table bench binaries.
+//
+// Every bench binary follows the same pattern: parse the standard flags
+// (--quick, --full, --min-time, --csv, --seed), build a Platform, measure
+// each configuration with the paper's repeat-until-min-time methodology,
+// and emit a Table whose rows mirror the corresponding figure series.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/cli.hpp"
+#include "core/harness.hpp"
+#include "core/table.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+
+namespace mcl::bench {
+
+class Env {
+ public:
+  /// Parses flags; returns false when --help was requested.
+  [[nodiscard]] bool init(int argc, const char* const* argv,
+                          const std::string& description);
+
+  [[nodiscard]] ocl::Platform& platform() { return *platform_; }
+  [[nodiscard]] const core::MeasureOptions& opts() const { return opts_; }
+  [[nodiscard]] const std::string& csv() const { return csv_; }
+  [[nodiscard]] const std::string& json() const { return json_; }
+  [[nodiscard]] const std::string& md() const { return md_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] bool quick() const { return quick_; }
+  /// --full selects the paper's exact workload sizes; the default is scaled
+  /// down to keep a laptop run in seconds.
+  [[nodiscard]] bool full() const { return full_; }
+
+  /// Picks a size: quick -> small, default -> medium, --full -> paper size.
+  template <typename T>
+  [[nodiscard]] T size(T small, T medium, T paper) const {
+    return quick_ ? small : (full_ ? paper : medium);
+  }
+
+ private:
+  core::Cli cli_ = core::make_bench_cli();
+  std::unique_ptr<ocl::Platform> platform_;
+  core::MeasureOptions opts_;
+  std::string csv_;
+  std::string json_;
+  std::string md_;
+  std::uint64_t seed_ = 1337;
+  bool quick_ = false;
+  bool full_ = false;
+};
+
+/// Times kernel launches using event-reported seconds (wall time on the CPU
+/// device, simulated time on the GPU device) with the min-time methodology.
+[[nodiscard]] double time_launch(ocl::CommandQueue& queue,
+                                 const ocl::Kernel& kernel,
+                                 const ocl::NDRange& global,
+                                 const ocl::NDRange& local,
+                                 const core::MeasureOptions& opts);
+
+/// Formats an NDRange as "800x1600" / "NULL".
+[[nodiscard]] std::string range_str(const ocl::NDRange& r);
+
+}  // namespace mcl::bench

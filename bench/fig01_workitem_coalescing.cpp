@@ -1,0 +1,120 @@
+// Figure 1 + Table IV — performance of Square and Vectoraddition with
+// different workload per workitem (coalescing 10/100/1000 workitems into
+// one), on the CPU device (measured) and the simulated GPU (modeled).
+// Normalized throughput is base_time / time, per device, as in the paper.
+//
+// Expected shape: CPU throughput rises with coalescing (scheduling overhead
+// amortized), GPU throughput collapses at 1000x (TLP starved).
+#include <vector>
+
+#include "apps/hostdata.hpp"
+#include "apps/simple.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace mcl;
+
+struct AppSpec {
+  const char* name;
+  const char* plain_kernel;
+  const char* coalesced_kernel;
+  std::vector<std::size_t> sizes;
+};
+
+/// Table IV rule: never fewer than 100 workitems.
+std::size_t workitems_for(std::size_t n, std::size_t factor) {
+  const std::size_t w = n / factor;
+  return w < 100 ? 100 : w;
+}
+
+double run_config(ocl::Device& device, const AppSpec& app, std::size_t n,
+                  std::size_t factor, const core::MeasureOptions& opts,
+                  std::uint64_t seed) {
+  ocl::Context ctx(device);
+  ocl::CommandQueue queue(ctx);
+  const bool is_square = std::string(app.name) == "Square";
+  const apps::FloatVec a = apps::random_floats(n, seed);
+  const apps::FloatVec b = apps::random_floats(n, seed + 1);
+
+  ocl::Buffer ba = ctx.create_buffer(
+      ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, n * 4,
+      const_cast<float*>(a.data()));
+  ocl::Buffer bb = ctx.create_buffer(
+      ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, n * 4,
+      const_cast<float*>(b.data()));
+  ocl::Buffer bout = ctx.create_buffer(ocl::MemFlags::WriteOnly, n * 4);
+
+  const std::size_t items = workitems_for(n, factor);
+  const auto per_item = static_cast<unsigned>(n / items);
+
+  ocl::Kernel k = ctx.create_kernel(
+      ocl::Program::builtin(),
+      factor == 1 ? app.plain_kernel : app.coalesced_kernel);
+  std::size_t arg = 0;
+  k.set_arg(arg++, ba);
+  if (!is_square) k.set_arg(arg++, bb);
+  k.set_arg(arg++, bout);
+  if (factor != 1) k.set_arg(arg++, per_item);
+  return bench::time_launch(queue, k, ocl::NDRange{items}, ocl::NDRange{},
+                            opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 1 / Table IV: workload per workitem (coalescing), "
+                "CPU measured vs GPU simulated"))
+    return 0;
+
+  std::vector<AppSpec> specs = {
+      {"Square", apps::kSquareKernel, apps::kSquareCoalescedKernel,
+       {10'000, 100'000, 1'000'000, 10'000'000}},
+      {"VectorAdd", apps::kVectorAddKernel, apps::kVectorAddCoalescedKernel,
+       {110'000, 1'100'000, 5'500'000, 11'445'000}},
+  };
+  if (!env.full()) {
+    specs[0].sizes = env.quick() ? std::vector<std::size_t>{10'000}
+                                 : std::vector<std::size_t>{10'000, 100'000,
+                                                            1'000'000};
+    specs[1].sizes = env.quick() ? std::vector<std::size_t>{110'000}
+                                 : std::vector<std::size_t>{110'000, 1'100'000};
+  }
+
+  core::Table t("Figure 1 - normalized throughput vs workitems coalesced",
+                {"benchmark", "global size", "factor", "workitems",
+                 "norm CPU", "norm GPU (sim)"});
+  core::Table t4("Table IV - number of workitems per configuration",
+                 {"benchmark", "base", "10x", "100x", "1000x"});
+
+  for (const AppSpec& app : specs) {
+    int idx = 1;
+    for (std::size_t n : app.sizes) {
+      double cpu_base = 0.0, gpu_base = 0.0;
+      std::vector<core::Cell> t4row{app.name + std::string("_") +
+                                    std::to_string(idx++)};
+      for (std::size_t factor : {1ul, 10ul, 100ul, 1000ul}) {
+        const double cpu_t = run_config(env.platform().cpu(), app, n, factor,
+                                        env.opts(), env.seed());
+        const double gpu_t = run_config(env.platform().gpu(), app, n, factor,
+                                        env.opts(), env.seed());
+        if (factor == 1) {
+          cpu_base = cpu_t;
+          gpu_base = gpu_t;
+        }
+        t.add_row({std::string(app.name), static_cast<double>(n),
+                   static_cast<double>(factor),
+                   static_cast<double>(workitems_for(n, factor)),
+                   core::normalized_throughput(cpu_base, cpu_t),
+                   core::normalized_throughput(gpu_base, gpu_t)});
+        t4row.emplace_back(static_cast<double>(workitems_for(n, factor)));
+      }
+      t4.add_row(std::move(t4row));
+    }
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  t4.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 2 — Parboil benchmarks with different workload per workitem
+// (base / 2x / 4x coalescing) on the CPU device. Normalized throughput is
+// base_time / time. The paper finds gains for every kernel except
+// MRI-FHD:RhoPhi, which stays flat.
+#include "parboil_setup.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 2: Parboil workload-per-workitem (CPU device)"))
+    return 0;
+
+  const bench::ParboilSizes sizes = bench::parboil_sizes(env);
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue queue(ctx);
+
+  core::Table t("Figure 2 - Parboil normalized throughput vs coalescing",
+                {"kernel", "base", "2x", "4x"});
+
+  const char* kernels[] = {
+      apps::kCpCenergyKernel, apps::kMriqPhiMagKernel, apps::kMriqComputeQKernel,
+      apps::kMrifhdRhoPhiKernel, apps::kMrifhdFhKernel};
+  for (const char* name : kernels) {
+    bench::ParboilDriver driver(name, sizes, env.seed());
+    std::vector<core::Cell> row{std::string(name)};
+    double base = 0.0;
+    for (unsigned per : {1u, 2u, 4u}) {
+      const double time = driver.time(queue, ocl::NDRange{}, per, env.opts());
+      if (per == 1) base = time;
+      row.emplace_back(core::normalized_throughput(base, time));
+    }
+    t.add_row(std::move(row));
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 3 + Table V — performance with different workgroup sizes on the
+// CPU device (measured) and simulated GPU (modeled), normalized to the
+// "base" configuration of Table V per device.
+//
+// Expected shape: Square/VectorAdd/MatrixmulNaive climb with workgroup size
+// and saturate; Matrixmul (tiled) peaks at a platform-dependent tile;
+// Blackscholes is flat on the CPU but sensitive on the GPU (see fig04).
+#include <optional>
+
+#include "apps_setup.hpp"
+
+namespace {
+
+using namespace mcl;
+
+struct CaseSet {
+  std::unique_ptr<bench::AppDriver> driver;
+  std::vector<ocl::NDRange> cases;  ///< [0] is "base"
+  std::vector<std::string> labels;
+  // Blackscholes pins the Loop executor: the paper's Intel compiler did not
+  // vectorize this transcendental-heavy kernel, and letting tiny workgroups
+  // also disable SPMD vectorization would conflate two effects — Fig 3/4
+  // isolate per-workgroup scheduling overhead.
+  ocl::ExecutorKind executor = ocl::ExecutorKind::Auto;
+};
+
+void run_caseset(bench::Env& env, CaseSet& cs, core::Table& t) {
+  ocl::CpuDevice cpu_override(ocl::CpuDeviceConfig{.executor = cs.executor});
+  ocl::Context cpu_ctx(cs.executor == ocl::ExecutorKind::Auto
+                           ? static_cast<ocl::Device&>(env.platform().cpu())
+                           : static_cast<ocl::Device&>(cpu_override));
+  ocl::Context gpu_ctx(env.platform().gpu());
+  ocl::CommandQueue cpu_q(cpu_ctx);
+  ocl::CommandQueue gpu_q(gpu_ctx);
+
+  double cpu_base = 0.0, gpu_base = 0.0;
+  for (std::size_t i = 0; i < cs.cases.size(); ++i) {
+    const ocl::NDRange& local = cs.cases[i];
+    const double cpu_t = cs.driver->time(cpu_q, local, env.opts());
+    const double gpu_t = cs.driver->time(gpu_q, local, env.opts());
+    if (i == 0) {
+      cpu_base = cpu_t;
+      gpu_base = gpu_t;
+    }
+    t.add_row({std::string(cs.driver->name()),
+               bench::range_str(cs.driver->global()), cs.labels[i],
+               bench::range_str(local),
+               core::normalized_throughput(cpu_base, cpu_t),
+               core::normalized_throughput(gpu_base, gpu_t)});
+  }
+}
+
+std::vector<ocl::NDRange> locals_1d(std::initializer_list<std::size_t> sizes) {
+  std::vector<ocl::NDRange> v{ocl::NDRange{}};  // base = NULL
+  for (std::size_t s : sizes) v.push_back(ocl::NDRange{s});
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 3 / Table V: workgroup-size sweep, CPU vs simulated "
+                "GPU"))
+    return 0;
+
+  const std::size_t square_n = env.size<std::size_t>(10'000, 100'000, 100'000);
+  const std::size_t vadd_n = env.size<std::size_t>(110'000, 1'100'000, 1'100'000);
+  const std::size_t mm_n = env.size<std::size_t>(128, 256, 800);
+  const std::size_t mm_m = env.size<std::size_t>(256, 512, 1600);
+  const std::size_t mm_k = env.size<std::size_t>(64, 256, 800);
+  const std::size_t bs_wh = env.size<std::size_t>(256, 512, 1280);
+
+  std::vector<CaseSet> sets;
+  sets.push_back(
+      {std::make_unique<bench::SquareDriver>(square_n, env.seed()),
+       locals_1d({1, 10, 100, 1000}),
+       {"base(NULL)", "case_1(1)", "case_2(10)", "case_3(100)", "case_4(1000)"}});
+  sets.push_back(
+      {std::make_unique<bench::VectorAddDriver>(vadd_n, env.seed()),
+       locals_1d({1, 10, 100, 1000}),
+       {"base(NULL)", "case_1(1)", "case_2(10)", "case_3(100)", "case_4(1000)"}});
+  sets.push_back({std::make_unique<bench::MatMulDriver>(true, mm_m, mm_n, mm_k,
+                                                        env.seed()),
+                  {ocl::NDRange(16, 16), ocl::NDRange(1, 1), ocl::NDRange(2, 2),
+                   ocl::NDRange(4, 4), ocl::NDRange(8, 8)},
+                  {"base(16x16)", "case_1(1x1)", "case_2(2x2)", "case_3(4x4)",
+                   "case_4(8x8)"}});
+  sets.push_back({std::make_unique<bench::BlackScholesDriver>(bs_wh, bs_wh,
+                                                              env.seed()),
+                  {ocl::NDRange(16, 16), ocl::NDRange(1, 1), ocl::NDRange(1, 2),
+                   ocl::NDRange(2, 2), ocl::NDRange(2, 4)},
+                  {"base(16x16)", "case_1(1x1)", "case_2(1x2)", "case_3(2x2)",
+                   "case_4(2x4)"},
+                  ocl::ExecutorKind::Loop});
+  sets.push_back({std::make_unique<bench::MatMulDriver>(false, mm_m, mm_n,
+                                                        mm_k, env.seed()),
+                  {ocl::NDRange(16, 16), ocl::NDRange(1, 1), ocl::NDRange(2, 2),
+                   ocl::NDRange(4, 4), ocl::NDRange(8, 8)},
+                  {"base(16x16)", "case_1(1x1)", "case_2(2x2)", "case_3(4x4)",
+                   "case_4(8x8)"}});
+
+  core::Table t("Figure 3 - normalized throughput vs workgroup size",
+                {"benchmark", "global", "case", "local", "norm CPU",
+                 "norm GPU (sim)"});
+  for (CaseSet& cs : sets) run_caseset(env, cs, t);
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 4 — Blackscholes with different workgroup sizes, two input sizes,
+// CPU vs simulated GPU (the paper's example of inverted sensitivity: CPU
+// flat because per-workitem work is large; GPU throttled by small groups).
+#include "apps_setup.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 4: Blackscholes workgroup-size sweep, CPU vs GPU"))
+    return 0;
+
+  const std::size_t size1 = env.size<std::size_t>(256, 512, 1280);
+  const std::size_t size2 = env.size<std::size_t>(512, 1024, 2560);
+
+  const std::vector<ocl::NDRange> cases = {
+      ocl::NDRange(16, 16), ocl::NDRange(1, 1), ocl::NDRange(1, 2),
+      ocl::NDRange(2, 2), ocl::NDRange(2, 4)};
+  const char* labels[] = {"base(16x16)", "case_1(1x1)", "case_2(1x2)",
+                          "case_3(2x2)", "case_4(2x4)"};
+
+  core::Table t("Figure 4 - Blackscholes normalized throughput vs workgroup "
+                "size",
+                {"input", "case", "norm CPU", "norm GPU (sim)"});
+
+  // Loop executor: see fig03 — isolates scheduling overhead from the
+  // SPMD-vectorization loss tiny workgroups would add.
+  ocl::CpuDevice cpu_device(ocl::CpuDeviceConfig{.executor = ocl::ExecutorKind::Loop});
+  ocl::Context cpu_ctx(cpu_device);
+  ocl::Context gpu_ctx(env.platform().gpu());
+  ocl::CommandQueue cpu_q(cpu_ctx);
+  ocl::CommandQueue gpu_q(gpu_ctx);
+
+  int input_idx = 1;
+  for (std::size_t wh : {size1, size2}) {
+    bench::BlackScholesDriver driver(wh, wh, env.seed());
+    double cpu_base = 0.0, gpu_base = 0.0;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const double cpu_t = driver.time(cpu_q, cases[i], env.opts());
+      const double gpu_t = driver.time(gpu_q, cases[i], env.opts());
+      if (i == 0) {
+        cpu_base = cpu_t;
+        gpu_base = gpu_t;
+      }
+      t.add_row({std::string("blackscholes_") + std::to_string(input_idx),
+                 std::string(labels[i]),
+                 core::normalized_throughput(cpu_base, cpu_t),
+                 core::normalized_throughput(gpu_base, gpu_t)});
+    }
+    ++input_idx;
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5 — Parboil benchmarks with different workgroup sizes on the CPU
+// device. CP:cenergy sweeps the 2D local size along X (1x8..16x8) and along
+// Y (16x1..16x16); the 1D MRI kernels multiply the base size 1..16x.
+// Normalized to the smallest workgroup per series, as in the paper's x-axis
+// (1, 2, 4, 8, 16).
+#include "parboil_setup.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 5: Parboil workgroup-size sweep (CPU device)"))
+    return 0;
+
+  const bench::ParboilSizes sizes = bench::parboil_sizes(env);
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue queue(ctx);
+
+  core::Table t("Figure 5 - Parboil normalized throughput vs workgroup scale",
+                {"series", "1", "2", "4", "8", "16"});
+
+  struct Series {
+    std::string label;
+    const char* kernel;
+    std::vector<ocl::NDRange> locals;
+  };
+  std::vector<Series> series;
+  series.push_back({"CP: cenergy(X)",
+                    apps::kCpCenergyKernel,
+                    {ocl::NDRange(1, 8), ocl::NDRange(2, 8), ocl::NDRange(4, 8),
+                     ocl::NDRange(8, 8), ocl::NDRange(16, 8)}});
+  series.push_back({"CP: cenergy(Y)",
+                    apps::kCpCenergyKernel,
+                    {ocl::NDRange(16, 1), ocl::NDRange(16, 2),
+                     ocl::NDRange(16, 4), ocl::NDRange(16, 8),
+                     ocl::NDRange(16, 16)}});
+  // 1D kernels: base/16 .. base local size, x1..x16.
+  const auto scale_1d = [](std::size_t base) {
+    return std::vector<ocl::NDRange>{
+        ocl::NDRange{base / 16}, ocl::NDRange{base / 8}, ocl::NDRange{base / 4},
+        ocl::NDRange{base / 2}, ocl::NDRange{base}};
+  };
+  series.push_back(
+      {"MRI-Q: computePhiMag", apps::kMriqPhiMagKernel, scale_1d(512)});
+  series.push_back(
+      {"MRI-Q: computeQ", apps::kMriqComputeQKernel, scale_1d(256)});
+  series.push_back(
+      {"MRI-FHD: RhoPhi", apps::kMrifhdRhoPhiKernel, scale_1d(512)});
+  series.push_back({"MRI-FHD: FH", apps::kMrifhdFhKernel, scale_1d(256)});
+
+  for (const Series& s : series) {
+    bench::ParboilDriver driver(s.kernel, sizes, env.seed());
+    std::vector<core::Cell> row{s.label};
+    double base = 0.0;
+    for (std::size_t i = 0; i < s.locals.size(); ++i) {
+      const double time = driver.time(queue, s.locals[i], 1, env.opts());
+      if (i == 0) base = time;
+      row.emplace_back(core::normalized_throughput(base, time));
+    }
+    t.add_row(std::move(row));
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

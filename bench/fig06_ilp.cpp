@@ -1,0 +1,67 @@
+// Figure 6 — ILP micro-benchmark: throughput (Gflop/s) of kernels that
+// differ only in the number of independent FMA chains, on the CPU (left
+// axis, measured) and the simulated GPU (right axis, modeled).
+//
+// Expected shape: CPU throughput climbs with ILP (the OoO core fills its
+// pipelines); the GPU line stays flat (warps already hide latency).
+#include "apps/hostdata.hpp"
+#include "apps/ilp.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 6: ILP micro-benchmark, CPU measured vs GPU simulated"))
+    return 0;
+
+  const std::size_t cpu_items = env.size<std::size_t>(4096, 16384, 65536);
+  const std::size_t gpu_items = 1 << 20;
+  const unsigned iters = 64;
+  const double flops = apps::ilp_flops_per_item(iters);
+
+  ocl::Context cpu_ctx(env.platform().cpu());
+  ocl::Context gpu_ctx(env.platform().gpu());
+  ocl::CommandQueue cpu_q(cpu_ctx);
+  ocl::CommandQueue gpu_q(gpu_ctx);
+
+  core::Table t("Figure 6 - ILP microbenchmark throughput",
+                {"ILP", "CPU Gflop/s (measured)", "GPU Gflop/s (simulated)"});
+
+  const apps::FloatVec cpu_in = apps::random_floats(cpu_items, env.seed());
+  ocl::Buffer cpu_bin = cpu_ctx.create_buffer(
+      ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, cpu_items * 4,
+      const_cast<float*>(cpu_in.data()));
+  ocl::Buffer cpu_bout = cpu_ctx.create_buffer(ocl::MemFlags::WriteOnly,
+                                               cpu_items * 4);
+  ocl::Buffer gpu_bin = gpu_ctx.create_buffer(ocl::MemFlags::ReadWrite,
+                                              gpu_items * 4);
+  ocl::Buffer gpu_bout = gpu_ctx.create_buffer(ocl::MemFlags::ReadWrite,
+                                               gpu_items * 4);
+
+  for (int level : apps::kIlpLevels) {
+    ocl::Kernel ck = cpu_ctx.create_kernel(ocl::Program::builtin(),
+                                           apps::ilp_kernel_name(level));
+    ck.set_arg(0, cpu_bin);
+    ck.set_arg(1, cpu_bout);
+    ck.set_arg(2, iters);
+    const double cpu_t = bench::time_launch(
+        cpu_q, ck, ocl::NDRange{cpu_items}, ocl::NDRange{256}, env.opts());
+    const double cpu_gflops =
+        static_cast<double>(cpu_items) * flops / cpu_t / 1e9;
+
+    ocl::Kernel gk = gpu_ctx.create_kernel(ocl::Program::builtin(),
+                                           apps::ilp_kernel_name(level));
+    gk.set_arg(0, gpu_bin);
+    gk.set_arg(1, gpu_bout);
+    gk.set_arg(2, iters);
+    const ocl::Event ev =
+        gpu_q.enqueue_ndrange(gk, ocl::NDRange{gpu_items}, ocl::NDRange{256});
+    const double gpu_gflops =
+        static_cast<double>(gpu_items) * flops / ev.seconds / 1e9;
+
+    t.add_row({static_cast<double>(level), cpu_gflops, gpu_gflops});
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 7 — normalized application throughput (Eq. 1) of mapping over
+// copying, for every combination of access flags (ReadOnly/WriteOnly vs
+// ReadWrite) and allocation location (device vs host/ALLOC_HOST_PTR), on
+// the CPU device.
+//
+// Per invocation the copy path pays clEnqueueWriteBuffer for every input
+// and clEnqueueReadBuffer for every output; the map path pays
+// clEnqueueMapBuffer/Unmap, which on a CPU device only returns a pointer.
+// Expected shape: mapping wins everywhere; allocation location is
+// irrelevant (same DRAM).
+#include "apps_setup.hpp"
+
+namespace {
+
+using namespace mcl;
+
+/// Seconds of transfer per invocation using explicit copies.
+double copy_transfer_seconds(ocl::CommandQueue& q, bench::AppDriver& app,
+                             std::vector<std::byte>& scratch) {
+  double total = 0.0;
+  for (const auto& [buf, is_input] : app.traffic()) {
+    if (scratch.size() < buf->size()) scratch.resize(buf->size());
+    if (is_input) {
+      total += q.enqueue_write_buffer(*buf, 0, buf->size(), scratch.data())
+                   .seconds;
+    } else {
+      total += q.enqueue_read_buffer(*buf, 0, buf->size(), scratch.data())
+                   .seconds;
+    }
+  }
+  return total;
+}
+
+/// Seconds of transfer per invocation using map/unmap.
+double map_transfer_seconds(ocl::CommandQueue& q, bench::AppDriver& app) {
+  double total = 0.0;
+  for (const auto& [buf, is_input] : app.traffic()) {
+    ocl::Event ev;
+    void* p = q.enqueue_map_buffer(
+        *buf, is_input ? ocl::MapFlags::Write : ocl::MapFlags::Read, 0,
+        buf->size(), &ev);
+    total += ev.seconds;
+    total += q.enqueue_unmap(*buf, p).seconds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 7: mapping vs copying across allocation-flag "
+                "combinations (CPU device)"))
+    return 0;
+
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue q(ctx);
+
+  const std::size_t sq_n = env.size<std::size_t>(100'000, 1'000'000, 10'000'000);
+  const std::size_t va_n = env.size<std::size_t>(110'000, 1'100'000, 11'445'000);
+  const std::size_t mm = env.size<std::size_t>(128, 256, 800);
+  const std::size_t bs = env.size<std::size_t>(256, 512, 1280);
+
+  core::Table t("Figure 7 - normalized throughput of mapping over copying",
+                {"benchmark", "access flags", "allocation",
+                 "map/copy throughput", "copy ms/iter", "map ms/iter"});
+
+  for (bool read_write : {false, true}) {
+    for (bool host_alloc : {false, true}) {
+      const bench::BufferPolicy policy{read_write, host_alloc};
+      std::vector<std::unique_ptr<bench::AppDriver>> drivers;
+      drivers.push_back(
+          std::make_unique<bench::SquareDriver>(sq_n, env.seed(), policy));
+      drivers.push_back(
+          std::make_unique<bench::VectorAddDriver>(va_n, env.seed(), policy));
+      drivers.push_back(std::make_unique<bench::MatMulDriver>(
+          false, mm * 2, mm, mm / 2, env.seed(), policy));
+      drivers.push_back(std::make_unique<bench::BlackScholesDriver>(
+          bs, bs, env.seed(), policy));
+
+      std::vector<std::byte> scratch;
+      for (auto& app : drivers) {
+        const double kernel_s = app->time(q, ocl::NDRange{}, env.opts());
+        const core::Measurement copy_m = core::measure_reported(
+            [&] { return copy_transfer_seconds(q, *app, scratch); },
+            env.opts());
+        const core::Measurement map_m = core::measure_reported(
+            [&] { return map_transfer_seconds(q, *app); }, env.opts());
+
+        const double work = static_cast<double>(app->global().total());
+        const double tp_copy =
+            core::app_throughput(work, kernel_s, copy_m.per_iter_s);
+        const double tp_map =
+            core::app_throughput(work, kernel_s, map_m.per_iter_s);
+        t.add_row({std::string(app->name()), std::string(policy.access_str()),
+                   std::string(policy.alloc_str()), tp_map / tp_copy,
+                   (kernel_s + copy_m.per_iter_s) * 1e3,
+                   (kernel_s + map_m.per_iter_s) * 1e3});
+      }
+    }
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

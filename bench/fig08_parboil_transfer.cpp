@@ -1,0 +1,110 @@
+// Figure 8 — Parboil data-transfer time with different APIs: host-to-device
+// (upper) and device-to-host (lower), copy vs map, in milliseconds. Kernel
+// execution time is unaffected by the API choice; only transfers differ.
+#include "parboil_setup.hpp"
+
+namespace {
+
+using namespace mcl;
+
+struct TransferTimes {
+  double h2d_copy, h2d_map, d2h_copy, d2h_map;
+};
+
+TransferTimes measure(ocl::CommandQueue& q, bench::ParboilDriver& driver,
+                      const core::MeasureOptions& opts) {
+  std::vector<std::byte> scratch;
+  auto copy_dir = [&](bool inputs) {
+    return core::measure_reported(
+               [&] {
+                 double total = 0.0;
+                 for (const auto& [buf, is_input] : driver.traffic()) {
+                   if (is_input != inputs) continue;
+                   if (scratch.size() < buf->size()) scratch.resize(buf->size());
+                   total += inputs
+                                ? q.enqueue_write_buffer(*buf, 0, buf->size(),
+                                                         scratch.data())
+                                      .seconds
+                                : q.enqueue_read_buffer(*buf, 0, buf->size(),
+                                                        scratch.data())
+                                      .seconds;
+                 }
+                 return total;
+               },
+               opts)
+        .per_iter_s;
+  };
+  auto map_dir = [&](bool inputs) {
+    return core::measure_reported(
+               [&] {
+                 double total = 0.0;
+                 for (const auto& [buf, is_input] : driver.traffic()) {
+                   if (is_input != inputs) continue;
+                   ocl::Event ev;
+                   void* p = q.enqueue_map_buffer(
+                       *buf,
+                       inputs ? ocl::MapFlags::Write : ocl::MapFlags::Read, 0,
+                       buf->size(), &ev);
+                   total += ev.seconds;
+                   total += q.enqueue_unmap(*buf, p).seconds;
+                 }
+                 return total;
+               },
+               opts)
+        .per_iter_s;
+  };
+  return TransferTimes{copy_dir(true), map_dir(true), copy_dir(false),
+                       map_dir(false)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 8: Parboil transfer time, copy vs map (CPU device)"))
+    return 0;
+
+  const bench::ParboilSizes sizes = bench::parboil_sizes(env);
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue q(ctx);
+
+  // One driver per benchmark suite; traffic covers every kernel's buffers.
+  struct Suite {
+    const char* label;
+    std::vector<const char*> kernels;
+  };
+  const Suite suites[] = {
+      {"CP", {apps::kCpCenergyKernel}},
+      {"MRI-Q", {apps::kMriqPhiMagKernel, apps::kMriqComputeQKernel}},
+      {"MRI-FHD", {apps::kMrifhdRhoPhiKernel, apps::kMrifhdFhKernel}},
+  };
+
+  core::Table up("Figure 8 (upper) - host-to-device transfer time",
+                 {"benchmark", "bytes", "Copying ms", "Mapping ms"});
+  core::Table down("Figure 8 (lower) - device-to-host transfer time",
+                   {"benchmark", "bytes", "Copying ms", "Mapping ms"});
+
+  for (const Suite& suite : suites) {
+    double h2d_copy = 0, h2d_map = 0, d2h_copy = 0, d2h_map = 0;
+    std::size_t in_bytes = 0, out_bytes = 0;
+    for (const char* kname : suite.kernels) {
+      bench::ParboilDriver driver(kname, sizes, env.seed());
+      const TransferTimes tt = measure(q, driver, env.opts());
+      h2d_copy += tt.h2d_copy;
+      h2d_map += tt.h2d_map;
+      d2h_copy += tt.d2h_copy;
+      d2h_map += tt.d2h_map;
+      const auto [in_b, out_b] = driver.transfer_bytes();
+      in_bytes += in_b;
+      out_bytes += out_b;
+    }
+    up.add_row({std::string(suite.label), static_cast<double>(in_bytes),
+                h2d_copy * 1e3, h2d_map * 1e3});
+    down.add_row({std::string(suite.label), static_cast<double>(out_bytes),
+                  d2h_copy * 1e3, d2h_map * 1e3});
+  }
+  up.emit(env.csv(), env.json(), env.md());
+  down.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 10 — performance impact of vectorization policy: MBench1-8 as
+// OpenMP loops (auto-vectorized only when veclegal proves legality) vs
+// OpenCL kernels (SPMD-vectorized across workitems). Reported in Gflop/s,
+// as in the paper's log-scale figure.
+//
+// Expected shape: OpenCL >= OpenMP everywhere; large gaps exactly where the
+// loop vectorizer refuses (MBench2/3/5/6/7).
+#include "apps/hostdata.hpp"
+#include "apps/mbench.hpp"
+#include "common.hpp"
+#include "ompx/ompx.hpp"
+#include "simd/vec.hpp"
+#include "veclegal/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv,
+                "Figure 10: OpenMP (loop vectorizer) vs OpenCL (SPMD "
+                "vectorizer), MBench1-8"))
+    return 0;
+
+  const std::size_t n = env.size<std::size_t>(1 << 16, 1 << 20, 1 << 22);
+
+  ompx::Team team;
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue q(ctx);
+
+  core::Table t("Figure 10 - vectorization: Gflop/s by programming model",
+                {"benchmark", "loop-vectorizable?", "OpenMP Gflop/s",
+                 "OpenCL Gflop/s", "OpenCL/OpenMP"});
+
+  for (const apps::MBenchInfo& mb : apps::all_mbenches()) {
+    const veclegal::Verdict loop_v =
+        veclegal::analyze(mb.ir, veclegal::Model::Loop, simd::kNativeFloatWidth);
+    const veclegal::Verdict spmd_v =
+        veclegal::analyze(mb.ir, veclegal::Model::Spmd);
+
+    // Fresh data per benchmark (MBench2/5 mutate a).
+    apps::FloatVec a_omp = apps::random_floats(3 * n + 1, env.seed(), 0.9f, 1.1f);
+    apps::FloatVec a_ocl = a_omp;
+    const apps::FloatVec b = apps::random_floats(n, env.seed() + 1, 0.9f, 1.1f);
+    apps::FloatVec c_omp(2 * n, 0.0f), c_ocl(2 * n, 0.0f);
+
+    // OpenMP path: the compiler emits the vector body only when legal.
+    apps::MBenchData d{a_omp.data(), b.data(), c_omp.data(), 1.5f, n};
+    const apps::LoopFn body =
+        loop_v.vectorizable ? mb.loop_simd : mb.loop_scalar;
+    const double omp_t =
+        core::measure(
+            [&] {
+              team.parallel_for_ranges(
+                  0, n,
+                  [&](std::size_t lo, std::size_t hi) { body(d, lo, hi); });
+            },
+            env.opts())
+            .per_iter_s;
+
+    // OpenCL path: SPMD vectorization across workitems (always legal here).
+    ocl::Buffer ba(ocl::MemFlags::ReadWrite | ocl::MemFlags::UseHostPtr,
+                   a_ocl.size() * 4, a_ocl.data());
+    ocl::Buffer bb(ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, n * 4,
+                   const_cast<float*>(b.data()));
+    ocl::Buffer bc(ocl::MemFlags::ReadWrite | ocl::MemFlags::UseHostPtr,
+                   c_ocl.size() * 4, c_ocl.data());
+    ocl::Kernel k = ctx.create_kernel(ocl::Program::builtin(), mb.kernel);
+    k.set_arg(0, ba);
+    k.set_arg(1, bb);
+    k.set_arg(2, bc);
+    k.set_arg(3, 1.5f);
+    const double ocl_t =
+        bench::time_launch(q, k, ocl::NDRange{n}, ocl::NDRange{1024}, env.opts());
+
+    const double flops = static_cast<double>(n) * mb.flops_per_elem;
+    t.add_row({std::string(mb.name),
+               std::string(loop_v.vectorizable ? "yes" : "no"),
+               flops / omp_t / 1e9, flops / ocl_t / 1e9, omp_t / ocl_t});
+    (void)spmd_v;
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

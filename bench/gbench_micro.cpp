@@ -1,0 +1,153 @@
+// Micro-benchmark regression guards (google-benchmark): the primitive costs
+// the figure-level results are built from — SIMD math throughput, thread-
+// pool dispatch, NDRange launch overhead, fiber barrier switches, and the
+// map-vs-copy primitive gap.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/hostdata.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+#include "simd/math.hpp"
+#include "threading/fiber.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace {
+
+using namespace mcl;
+
+// --- SIMD math vs libm -------------------------------------------------------
+
+void BM_ExpScalarLibm(benchmark::State& state) {
+  const apps::FloatVec in = apps::random_floats(4096, 1, -10.0f, 10.0f);
+  apps::FloatVec out(4096);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::exp(in[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ExpScalarLibm);
+
+void BM_ExpSimd(benchmark::State& state) {
+  const apps::FloatVec in = apps::random_floats(4096, 1, -10.0f, 10.0f);
+  apps::FloatVec out(4096);
+  constexpr int w = simd::kNativeFloatWidth;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < in.size(); i += w) {
+      simd::vexp(simd::vfloatn::load_aligned(in.data() + i))
+          .store_aligned(out.data() + i);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ExpSimd);
+
+void BM_NormalCdfSimd(benchmark::State& state) {
+  const apps::FloatVec in = apps::random_floats(4096, 2, -5.0f, 5.0f);
+  apps::FloatVec out(4096);
+  constexpr int w = simd::kNativeFloatWidth;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < in.size(); i += w) {
+      simd::normal_cdf(simd::vfloatn::load_aligned(in.data() + i))
+          .store_aligned(out.data() + i);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_NormalCdfSimd);
+
+// --- thread pool dispatch -----------------------------------------------------
+
+void BM_PoolParallelRun(benchmark::State& state) {
+  threading::ThreadPool pool(2);
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_run(tasks, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tasks));
+}
+BENCHMARK(BM_PoolParallelRun)->Arg(1)->Arg(64)->Arg(4096);
+
+// --- NDRange launch overhead ---------------------------------------------------
+
+void BM_NDRangeLaunch(benchmark::State& state) {
+  // Tiny kernel: the launch cost (validation + partition + dispatch)
+  // dominates; this is the per-launch constant the Fig 1/3 effects sit on.
+  ocl::CpuDevice device(ocl::CpuDeviceConfig{.threads = 2});
+  ocl::Context ctx(device);
+  ocl::CommandQueue q(ctx);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ocl::Buffer bin(ocl::MemFlags::ReadWrite, n * 4);
+  ocl::Buffer bout(ocl::MemFlags::ReadWrite, n * 4);
+  ocl::Kernel k = ctx.create_kernel(ocl::Program::builtin(), "square");
+  k.set_arg(0, bin);
+  k.set_arg(1, bout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue_ndrange(k, ocl::NDRange{n}).seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NDRangeLaunch)->Arg(64)->Arg(4096)->Arg(262144);
+
+// --- fiber switches --------------------------------------------------------------
+
+void BM_FiberBarrierRound(benchmark::State& state) {
+  const auto fibers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    threading::run_fiber_group(fibers,
+                               [](std::size_t, threading::FiberYield& y) {
+                                 y.barrier();
+                                 y.barrier();
+                               });
+  }
+  // two barriers + start/finish per fiber per iteration
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fibers) * 4);
+}
+BENCHMARK(BM_FiberBarrierRound)->Arg(16)->Arg(256);
+
+// --- map vs copy primitive --------------------------------------------------------
+
+void BM_TransferCopy(benchmark::State& state) {
+  ocl::CpuDevice device;
+  ocl::Context ctx(device);
+  ocl::CommandQueue q(ctx);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  ocl::Buffer buf(ocl::MemFlags::ReadWrite, bytes);
+  std::vector<std::byte> host(bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        q.enqueue_write_buffer(buf, 0, bytes, host.data()).seconds);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TransferCopy)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_TransferMap(benchmark::State& state) {
+  ocl::CpuDevice device;
+  ocl::Context ctx(device);
+  ocl::CommandQueue q(ctx);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  ocl::Buffer buf(ocl::MemFlags::ReadWrite, bytes);
+  for (auto _ : state) {
+    void* p = q.enqueue_map_buffer(buf, ocl::MapFlags::Write, 0, bytes);
+    benchmark::DoNotOptimize(p);
+    (void)q.enqueue_unmap(buf, p);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TransferMap)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

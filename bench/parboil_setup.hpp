@@ -1,0 +1,155 @@
+// Shared Parboil workload setup for fig02 / fig05 / fig08: builds the input
+// sets of Table III (scaled by Env unless --full) and offers one-call timing
+// of each kernel under a given local size and coalescing factor.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/hostdata.hpp"
+#include "apps/parboil.hpp"
+#include "common.hpp"
+
+namespace mcl::bench {
+
+struct ParboilSizes {
+  std::size_t cp_gx, cp_gy, natoms;
+  std::size_t mri_small;   ///< computePhiMag / RhoPhi sample count
+  std::size_t mri_big;     ///< computeQ / FH sample count
+  std::size_t num_k;       ///< k-space samples in the inner loop
+};
+
+[[nodiscard]] inline ParboilSizes parboil_sizes(const Env& env) {
+  ParboilSizes s;
+  s.cp_gx = env.size<std::size_t>(128, 512, 512);
+  s.cp_gy = env.size<std::size_t>(16, 64, 64);
+  s.natoms = env.size<std::size_t>(64, 400, 4000);
+  s.mri_small = 3072;  // paper size already tiny
+  s.mri_big = env.size<std::size_t>(2048, 4096, 32768);
+  s.num_k = env.size<std::size_t>(64, 512, 3072);
+  return s;
+}
+
+/// Owns buffers + kernel for one Parboil kernel; time() measures a launch.
+class ParboilDriver {
+ public:
+  ParboilDriver(const std::string& kernel_name, const ParboilSizes& s,
+                std::uint64_t seed)
+      : name_(kernel_name), sizes_(s), seed_(seed) {
+    build();
+  }
+
+  /// Global size for coalescing factor `per_item` (shrinks dim 0).
+  [[nodiscard]] ocl::NDRange global(unsigned per_item = 1) const {
+    if (name_ == apps::kCpCenergyKernel) {
+      return ocl::NDRange(sizes_.cp_gx / per_item, sizes_.cp_gy);
+    }
+    if (name_ == apps::kMriqPhiMagKernel || name_ == apps::kMrifhdRhoPhiKernel) {
+      return ocl::NDRange{sizes_.mri_small / per_item};
+    }
+    return ocl::NDRange{sizes_.mri_big / per_item};
+  }
+
+  [[nodiscard]] double time(ocl::CommandQueue& queue, const ocl::NDRange& local,
+                            unsigned per_item,
+                            const core::MeasureOptions& opts) {
+    set_per_item(per_item);
+    return time_launch(queue, *kernel_, global(per_item), local, opts);
+  }
+
+  /// (bytes in, bytes out) moved per invocation — used by the Fig 8 bench.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> transfer_bytes() const {
+    std::size_t in = 0, out = 0;
+    for (const auto& [buf, is_input] : traffic_) {
+      (is_input ? in : out) += buf->size();
+    }
+    return {in, out};
+  }
+  [[nodiscard]] const std::vector<std::pair<ocl::Buffer*, bool>>& traffic()
+      const {
+    return traffic_;
+  }
+
+ private:
+  void set_per_item(unsigned per_item) {
+    kernel_->set_arg(per_item_index_, per_item);
+  }
+
+  ocl::Buffer& add(std::size_t floats, bool is_input, std::uint64_t salt,
+                   float lo = -1.0f, float hi = 1.0f) {
+    if (is_input) {
+      apps::FloatVec data = apps::random_floats(floats, seed_ + salt, lo, hi);
+      buffers_.push_back(std::make_unique<ocl::Buffer>(
+          ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, floats * 4,
+          data.data()));
+    } else {
+      buffers_.push_back(std::make_unique<ocl::Buffer>(
+          ocl::MemFlags::ReadWrite, floats * 4));
+    }
+    traffic_.emplace_back(buffers_.back().get(), is_input);
+    return *buffers_.back();
+  }
+
+  void build() {
+    kernel_ = std::make_unique<ocl::Kernel>(
+        ocl::Program::builtin().lookup(name_));
+    const ParboilSizes& s = sizes_;
+    if (name_ == apps::kCpCenergyKernel) {
+      kernel_->set_arg(0, add(s.natoms * 4, true, 1, 0.5f, 10.0f));
+      kernel_->set_arg(1, add(s.cp_gx * s.cp_gy, false, 2));
+      kernel_->set_arg(2, static_cast<unsigned>(s.natoms));
+      kernel_->set_arg(3, 0.1f);
+      kernel_->set_arg(4, 1.5f);
+      per_item_index_ = 5;
+    } else if (name_ == apps::kMriqPhiMagKernel) {
+      kernel_->set_arg(0, add(s.mri_small, true, 1));
+      kernel_->set_arg(1, add(s.mri_small, true, 2));
+      kernel_->set_arg(2, add(s.mri_small, false, 3));
+      per_item_index_ = 3;
+    } else if (name_ == apps::kMriqComputeQKernel) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        kernel_->set_arg(i, add(s.mri_big, true, i + 1, -0.5f, 0.5f));
+      }
+      for (std::size_t i = 3; i < 7; ++i) {
+        kernel_->set_arg(i, add(s.num_k, true, i + 1));
+      }
+      kernel_->set_arg(7, add(s.mri_big, false, 11));
+      kernel_->set_arg(8, add(s.mri_big, false, 12));
+      kernel_->set_arg(9, static_cast<unsigned>(s.num_k));
+      per_item_index_ = 10;
+    } else if (name_ == apps::kMrifhdRhoPhiKernel) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        kernel_->set_arg(i, add(s.mri_small, true, i + 1));
+      }
+      kernel_->set_arg(4, add(s.mri_small, false, 11));
+      kernel_->set_arg(5, add(s.mri_small, false, 12));
+      per_item_index_ = 6;
+    } else if (name_ == apps::kMrifhdFhKernel) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        kernel_->set_arg(i, add(s.mri_big, true, i + 1, -0.5f, 0.5f));
+      }
+      for (std::size_t i = 3; i < 8; ++i) {
+        kernel_->set_arg(i, add(s.num_k, true, i + 1));
+      }
+      kernel_->set_arg(8, add(s.mri_big, false, 11));
+      kernel_->set_arg(9, add(s.mri_big, false, 12));
+      kernel_->set_arg(10, static_cast<unsigned>(s.num_k));
+      per_item_index_ = 11;
+    } else {
+      throw core::Error(core::Status::InvalidKernelName,
+                        "unknown Parboil kernel " + name_);
+    }
+  }
+
+  std::string name_;
+  ParboilSizes sizes_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<ocl::Buffer>> buffers_;
+  std::vector<std::pair<ocl::Buffer*, bool>> traffic_;  ///< (buffer, is_input)
+  std::unique_ptr<ocl::Kernel> kernel_;
+  std::size_t per_item_index_ = 0;
+};
+
+}  // namespace mcl::bench

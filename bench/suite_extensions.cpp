@@ -1,0 +1,91 @@
+// Extension suite — SpMV (CSR), the gather-heavy workload beyond the
+// paper's set. Sweeps matrix density on the CPU device and both GPU timing
+// models, showing (a) the SIMD executor's limited leverage on ragged
+// gather loops and (b) the uncoalesced-access penalty the GPU models charge
+// (cf. the paper's coalescing discussion and MBench6).
+#include "apps/spmv.hpp"
+#include "common.hpp"
+#include "gpusim/detailed.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv, "Extension suite: SpMV (CSR) density sweep"))
+    return 0;
+
+  const std::size_t rows = env.size<std::size_t>(4'096, 65'536, 262'144);
+
+  core::Table t("Extension - SpMV CSR",
+                {"rows", "avg nnz/row", "CPU ms (loop)", "CPU ms (simd)",
+                 "GPU ms (analytical)", "GPU ms (discrete-event)", "valid"});
+
+  for (std::size_t nnz_per_row : {2u, 8u, 32u}) {
+    const apps::CsrMatrix m =
+        apps::make_random_csr(rows, rows, nnz_per_row, env.seed());
+    const apps::FloatVec x = apps::random_floats(rows, env.seed() + 1);
+    apps::FloatVec expect(rows);
+    apps::spmv_reference(m, x, expect);
+
+    double cpu_loop = 0, cpu_simd = 0, gpu_analytic = 0, gpu_detailed = 0;
+    bool valid = true;
+    for (int pass = 0; pass < 3; ++pass) {
+      ocl::CpuDevice cpu_loop_dev(
+          ocl::CpuDeviceConfig{.executor = ocl::ExecutorKind::Loop});
+      ocl::CpuDevice cpu_simd_dev(
+          ocl::CpuDeviceConfig{.executor = ocl::ExecutorKind::Simd});
+      ocl::Device& dev =
+          pass == 0 ? static_cast<ocl::Device&>(cpu_loop_dev)
+          : pass == 1 ? static_cast<ocl::Device&>(cpu_simd_dev)
+                      : static_cast<ocl::Device&>(env.platform().gpu());
+      ocl::Context ctx(dev);
+      ocl::CommandQueue q(ctx);
+
+      ocl::Buffer bval(ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr,
+                       m.values.size() * 4,
+                       const_cast<float*>(m.values.data()));
+      ocl::Buffer bcol(ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr,
+                       m.col_idx.size() * 4,
+                       const_cast<unsigned*>(m.col_idx.data()));
+      ocl::Buffer brow(ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr,
+                       m.row_ptr.size() * 4,
+                       const_cast<unsigned*>(m.row_ptr.data()));
+      ocl::Buffer bx(ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr,
+                     rows * 4, const_cast<float*>(x.data()));
+      ocl::Buffer by(ocl::MemFlags::WriteOnly, rows * 4);
+      ocl::Kernel k = ctx.create_kernel(ocl::Program::builtin(),
+                                        apps::kSpmvKernel);
+      k.set_arg(0, bval);
+      k.set_arg(1, bcol);
+      k.set_arg(2, brow);
+      k.set_arg(3, bx);
+      k.set_arg(4, by);
+
+      const double time = bench::time_launch(q, k, ocl::NDRange{rows},
+                                             ocl::NDRange{64}, env.opts());
+      if (pass == 0) cpu_loop = time * 1e3;
+      if (pass == 1) cpu_simd = time * 1e3;
+      if (pass == 2) {
+        gpu_analytic = time * 1e3;
+        // The discrete-event model on the same cost descriptor.
+        const gpusim::KernelCost cost = ocl::Program::builtin()
+                                            .lookup(apps::kSpmvKernel)
+                                            .gpu_cost(k.args(),
+                                                      ocl::NDRange{rows},
+                                                      ocl::NDRange{64});
+        gpu_detailed = gpusim::simulate_detailed(
+                           env.platform().gpu().spec(), cost,
+                           {.global_items = rows, .local_items = 64})
+                           .seconds *
+                       1e3;
+      }
+      valid = valid &&
+              apps::max_rel_diff({by.as<float>(), rows}, expect, 1e-3) < 1e-5;
+    }
+    t.add_row({static_cast<double>(rows),
+               static_cast<double>(m.nnz()) / static_cast<double>(rows),
+               cpu_loop, cpu_simd, gpu_analytic, gpu_detailed,
+               std::string(valid ? "yes" : "NO")});
+  }
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table I — experimental environment. Prints the probed host CPU (the
+// paper's Xeon E5645 slot) and the simulated GTX 580 (Hong-Kim model
+// parameters), in the layout of the paper's Table I.
+#include "common.hpp"
+#include "core/sysinfo.hpp"
+#include "simd/vec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv, "Table I: experimental environment")) return 0;
+
+  const core::HostInfo host = core::probe_host();
+  const gpusim::GpuSpec gpu = env.platform().gpu().spec();
+
+  core::Table t("Table I - Experimental environment",
+                {"field", "this run", "paper"});
+  t.add_row({std::string("CPU"), host.cpu_model,
+             std::string("Intel(R) Xeon(R) CPU E5645")});
+  t.add_row({std::string("Vector width"),
+             host.simd_isa + ", " + std::to_string(host.simd_float_lanes) +
+                 " single precision FP",
+             std::string("SSE 4.2, 4 single precision FP")});
+  t.add_row({std::string("Caches L1D/L2/L3"),
+             core::format_bytes(host.l1d_bytes) + "/" +
+                 core::format_bytes(host.l2_bytes) + "/" +
+                 core::format_bytes(host.l3_bytes),
+             std::string("64K/256K/12M")});
+  t.add_row({std::string("Logical CPUs"),
+             static_cast<double>(host.logical_cpus), std::string("12 (2x6)")});
+  t.add_row({std::string("GPU"), env.platform().gpu().name(),
+             std::string("NVidia GeForce GTX 580")});
+  t.add_row({std::string("GPU # SMs"), static_cast<double>(gpu.num_sm),
+             std::string("16")});
+  t.add_row({std::string("GPU FP peak (Gflop/s)"), gpu.peak_gflops(),
+             std::string("1560")});
+  t.add_row({std::string("GPU shader clock (MHz)"), gpu.clock_ghz * 1000.0,
+             std::string("1544")});
+  t.add_row({std::string("O/S"), host.os, std::string("Ubuntu 12.04.1 LTS")});
+  t.add_row({std::string("Platform (CPU)"), std::string(ocl::Platform::version()),
+             std::string("Intel OpenCL Platform")});
+  t.add_row({std::string("Platform (GPU)"),
+             std::string("MiniCL SimGpuDevice (Hong-Kim analytical timing)"),
+             std::string("NVidia OpenCL Platform")});
+  t.add_row({std::string("Compiler"), host.compiler,
+             std::string("Intel C/C++ compiler")});
+  t.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

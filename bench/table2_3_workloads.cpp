@@ -1,0 +1,54 @@
+// Tables II and III — characteristics of the simple applications and the
+// Parboil benchmarks: kernel names, global and local work sizes exactly as
+// the paper lists them, plus the MiniCL kernel each maps to.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  bench::Env env;
+  if (!env.init(argc, argv, "Tables II & III: workload characteristics"))
+    return 0;
+
+  core::Table t2("Table II - Characteristics of the simple applications",
+                 {"benchmark", "kernel (MiniCL)", "global work size",
+                  "local work size"});
+  t2.add_row({std::string("Square"), std::string("square"),
+              std::string("10000, 100000, 1000000, 10000000"),
+              std::string("NULL")});
+  t2.add_row({std::string("Vectoraddition"), std::string("vectoradd"),
+              std::string("110000, 1100000, 5500000, 11445000"),
+              std::string("NULL")});
+  t2.add_row({std::string("Matrixmul"), std::string("matrixmul"),
+              std::string("800x1600, 1600x3200, 4000x8000"),
+              std::string("16x16")});
+  t2.add_row({std::string("Reduction"), std::string("reduce"),
+              std::string("640000, 2560000, 10240000"), std::string("256")});
+  t2.add_row({std::string("Histogram"), std::string("histogram256"),
+              std::string("409600"), std::string("128")});
+  t2.add_row({std::string("Prefixsum"), std::string("prefixsum"),
+              std::string("1024"), std::string("1024")});
+  t2.add_row({std::string("Blackscholes"), std::string("blackscholes"),
+              std::string("1280x1280, 2560x2560"), std::string("16x16")});
+  t2.add_row({std::string("Binomialoption"), std::string("binomialoption"),
+              std::string("255000, 2550000"), std::string("255")});
+  t2.add_row({std::string("MatrixmulNaive"), std::string("matrixmul_naive"),
+              std::string("800x1600, 1600x3200, 4000x8000"),
+              std::string("16x16")});
+  t2.emit(env.csv(), env.json(), env.md());
+
+  core::Table t3("Table III - Characteristics of the Parboil benchmarks",
+                 {"benchmark", "kernel (MiniCL)", "global work size",
+                  "local work size"});
+  t3.add_row({std::string("CP"), std::string("cp_cenergy"),
+              std::string("64x512"), std::string("16x8")});
+  t3.add_row({std::string("MRI-Q"), std::string("mriq_computephimag"),
+              std::string("3072"), std::string("512")});
+  t3.add_row({std::string("MRI-Q"), std::string("mriq_computeq"),
+              std::string("32768"), std::string("256")});
+  t3.add_row({std::string("MRI-FHD"), std::string("mrifhd_rhophi"),
+              std::string("3072"), std::string("512")});
+  t3.add_row({std::string("MRI-FHD"), std::string("mrifhd_fh"),
+              std::string("32768"), std::string("256")});
+  t3.emit(env.csv(), env.json(), env.md());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Workitem-coalescing autotuner: the paper's finding 1 (work per workitem)
+// operationalized. For an elementwise workload of a given size, sweeps the
+// coalescing factor (elements per workitem), reports the throughput curve,
+// and shows where the advisor's static rule of thumb lands relative to the
+// measured optimum.
+//
+// Usage: autotune_coalesce [n]   (default 1000000)
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "apps/hostdata.hpp"
+#include "apps/simple.hpp"
+#include "core/advisor.hpp"
+#include "core/harness.hpp"
+#include "core/table.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 1'000'000;
+
+  ocl::Platform platform;
+  ocl::Context ctx(platform.cpu());
+  ocl::CommandQueue queue(ctx);
+
+  const apps::FloatVec in = apps::random_floats(n, 1, -2.0f, 2.0f);
+  ocl::Buffer bin = ctx.create_buffer(
+      ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, n * 4,
+      const_cast<float*>(in.data()));
+  ocl::Buffer bout = ctx.create_buffer(ocl::MemFlags::WriteOnly, n * 4);
+
+  const core::MeasureOptions opts{.min_time = 0.05, .warmup_iters = 1,
+                                  .min_iters = 3};
+  core::Table t("Coalescing sweep: square, n=" + std::to_string(n),
+                {"elems/workitem", "workitems", "ms/iter", "Melem/s",
+                 "advisor verdict"});
+
+  double best = 1e30;
+  unsigned best_factor = 1;
+  for (unsigned factor = 1; factor <= 4096 && n / factor >= 64; factor *= 4) {
+    if (n % factor != 0) continue;
+    const std::size_t items = n / factor;
+
+    ocl::Kernel k = ctx.create_kernel(
+        ocl::Program::builtin(),
+        factor == 1 ? apps::kSquareKernel : apps::kSquareCoalescedKernel);
+    k.set_arg(0, bin);
+    k.set_arg(1, bout);
+    if (factor != 1) k.set_arg(2, factor);
+
+    const double time =
+        core::measure_reported(
+            [&] {
+              return queue.enqueue_ndrange(k, ocl::NDRange{items}).seconds;
+            },
+            opts)
+            .per_iter_s;
+
+    // What would the advisor say about this configuration?
+    advisor::LaunchProfile profile;
+    profile.global_items = items;
+    profile.local_items = 64;
+    profile.flops_per_item = factor;          // 1 mul per element
+    profile.bytes_per_item = 8ull * factor;   // load + store per element
+    profile.ilp_chains = factor > 1 ? 2 : 1;
+    profile.cpu_logical_cores = platform.cpu().compute_units();
+    const auto advice = advisor::analyze(profile);
+    const bool flagged = std::any_of(
+        advice.begin(), advice.end(), [](const advisor::Advice& a) {
+          return a.finding == advisor::Finding::WorkPerItem;
+        });
+
+    t.add_row({static_cast<double>(factor), static_cast<double>(items),
+               time * 1e3, static_cast<double>(n) / time / 1e6,
+               std::string(flagged ? "coalesce more" : "ok")});
+    if (time < best) {
+      best = time;
+      best_factor = factor;
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nbest factor: %u elements/workitem (%.1f Melem/s)\n",
+              best_factor, static_cast<double>(n) / best / 1e6);
+  return 0;
+}

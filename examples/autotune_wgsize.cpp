@@ -1,0 +1,95 @@
+// Workgroup-size autotuner: the paper's finding 1 operationalized. Given a
+// registered kernel and a 1D problem size, sweeps candidate local sizes on
+// the CPU device, reports the measured curve, and contrasts the winner with
+// the runtime's NULL-local-size default.
+//
+// Usage: autotune_wgsize [kernel] [n]   (default: square 1000000)
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "apps/hostdata.hpp"
+#include "apps/simple.hpp"
+#include "core/harness.hpp"
+#include "core/table.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  const std::string kernel_name = argc > 1 ? argv[1] : "square";
+  const std::size_t n = argc > 2 ? std::stoul(argv[2]) : 1'000'000;
+
+  ocl::Platform platform;
+  ocl::Context ctx(platform.cpu());
+  ocl::CommandQueue queue(ctx);
+
+  // The tuner handles the two-buffer elementwise kernels (square) and the
+  // three-buffer ones (vectoradd); both ship with the apps library.
+  const bool three_buffers = kernel_name == "vectoradd";
+  const apps::FloatVec a = apps::random_floats(n, 1);
+  ocl::Buffer in1 = ctx.create_buffer(
+      ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, n * 4,
+      const_cast<float*>(a.data()));
+  ocl::Buffer in2 = ctx.create_buffer(
+      ocl::MemFlags::ReadOnly | ocl::MemFlags::CopyHostPtr, n * 4,
+      const_cast<float*>(a.data()));
+  ocl::Buffer out = ctx.create_buffer(ocl::MemFlags::WriteOnly, n * 4);
+
+  ocl::Kernel kernel = ctx.create_kernel(ocl::Program::builtin(), kernel_name);
+  kernel.set_arg(0, in1);
+  if (three_buffers) {
+    kernel.set_arg(1, in2);
+    kernel.set_arg(2, out);
+  } else {
+    kernel.set_arg(1, out);
+  }
+
+  const core::MeasureOptions opts{.min_time = 0.05, .warmup_iters = 1,
+                                  .min_iters = 3};
+  auto time_local = [&](const ocl::NDRange& local) {
+    return core::measure_reported(
+               [&] {
+                 return queue.enqueue_ndrange(kernel, ocl::NDRange{n}, local)
+                     .seconds;
+               },
+               opts)
+        .per_iter_s;
+  };
+
+  core::Table t("Autotune '" + kernel_name + "' (n=" + std::to_string(n) + ")",
+                {"local size", "ms/iter", "Melem/s"});
+  double best = 1e30;
+  std::size_t best_local = 0;
+  std::size_t prev = 0;
+  for (std::size_t target = 1; target <= 8192 && target <= n; target *= 4) {
+    // Candidate = largest divisor of n at or below the target, so sizes like
+    // n = 100000 still get a useful sweep (50, 200, 800, ...).
+    std::size_t local = 1;
+    for (std::size_t d = std::min(n, target); d >= 1; --d) {
+      if (n % d == 0) {
+        local = d;
+        break;
+      }
+    }
+    if (local == prev) continue;
+    prev = local;
+    const double time = time_local(ocl::NDRange{local});
+    t.add_row({static_cast<double>(local), time * 1e3,
+               static_cast<double>(n) / time / 1e6});
+    if (time < best) {
+      best = time;
+      best_local = local;
+    }
+  }
+  const double null_time = time_local(ocl::NDRange{});
+  t.add_row({std::string("NULL (runtime default)"), null_time * 1e3,
+             static_cast<double>(n) / null_time / 1e6});
+  t.print(std::cout);
+
+  std::printf("\nbest local size: %zu (%.2fx over the NULL default)\n",
+              best_local, null_time / best);
+  std::printf("the paper's finding 1: set local size explicitly on CPUs.\n");
+  return 0;
+}

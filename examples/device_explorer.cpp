@@ -1,0 +1,62 @@
+// clinfo-style device explorer plus a what-if occupancy table from the GPU
+// timing model: for a kernel of your shape (flops / memory ops per item),
+// how does workgroup size drive occupancy and predicted time on the
+// simulated GTX 580? Useful for understanding the Fig 3/4 GPU curves.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/sysinfo.hpp"
+#include "core/table.hpp"
+#include "gpusim/gpusim.hpp"
+#include "ocl/platform.hpp"
+#include "simd/vec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcl;
+  const double fp = argc > 1 ? std::stod(argv[1]) : 64.0;
+  const double mem = argc > 2 ? std::stod(argv[2]) : 8.0;
+
+  ocl::Platform platform;
+  core::Table devices("Devices", {"property", "CPU device", "GPU device"});
+  const core::HostInfo host = core::probe_host();
+  const gpusim::GpuSpec spec = platform.gpu().spec();
+  devices.add_row({std::string("name"), platform.cpu().name(),
+                   platform.gpu().name()});
+  devices.add_row({std::string("compute units"),
+                   static_cast<double>(platform.cpu().compute_units()),
+                   static_cast<double>(platform.gpu().compute_units())});
+  devices.add_row({std::string("SIMD"),
+                   std::string(simd::native_isa_name()) + " x" +
+                       std::to_string(simd::kNativeFloatWidth),
+                   std::string("32-wide warps")});
+  devices.add_row({std::string("kernel timing"), std::string("measured"),
+                   std::string("Hong-Kim analytical model")});
+  devices.add_row({std::string("peak SP Gflop/s"),
+                   std::string("(not modeled)"),
+                   std::to_string(spec.peak_gflops())});
+  devices.add_row({std::string("host caches L1D/L2/L3"),
+                   core::format_bytes(host.l1d_bytes) + "/" +
+                       core::format_bytes(host.l2_bytes) + "/" +
+                       core::format_bytes(host.l3_bytes),
+                   std::string("16K/768K (modeled)")});
+  devices.print(std::cout);
+
+  core::Table occ("GPU what-if: kernel with " + std::to_string(fp) +
+                      " FP / " + std::to_string(mem) + " mem insts per item, "
+                      "1M items",
+                  {"local size", "resident blocks/SM", "resident warps/SM",
+                   "MWP", "CWP", "predicted ms", "achieved Gflop/s"});
+  gpusim::KernelCost cost{.fp_insts = fp, .mem_insts = mem,
+                          .other_insts = fp / 4, .flops_per_fp = 2.0};
+  for (std::size_t local : {1u, 8u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const gpusim::SimResult r = gpusim::simulate(
+        spec, cost, {.global_items = 1 << 20, .local_items = local});
+    occ.add_row({static_cast<double>(local),
+                 static_cast<double>(r.resident_blocks),
+                 static_cast<double>(r.resident_warps), r.mwp, r.cwp,
+                 r.seconds * 1e3, r.achieved_gflops});
+  }
+  occ.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Black-Scholes European option pricing and the binomial-lattice pricer
+// (Table II: Blackscholes, Binomialoption).
+//
+// Kernel argument conventions:
+//   "blackscholes": 0=S(float*), 1=X(float*), 2=T(float*),
+//                   3=call(float*), 4=put(float*), 5=R(float), 6=V(float)
+//                   2D NDRange; option index = gid1 * gsize0 + gid0.
+//   "binomialoption": one option per workgroup, local = #steps workitems:
+//                   0=S, 1=X, 2=T, 3=out(float*, one per option),
+//                   4=R(float), 5=V(float), 6=steps(uint),
+//                   7=local lattice ((steps+1) floats)
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcl::apps {
+
+inline constexpr const char* kBlackScholesKernel = "blackscholes";
+inline constexpr const char* kBinomialKernel = "binomialoption";
+
+/// Serial Black-Scholes (call & put) with the same CND polynomial.
+void blackscholes_reference(std::span<const float> s, std::span<const float> x,
+                            std::span<const float> t, std::span<float> call,
+                            std::span<float> put, float r, float v);
+
+/// Serial CRR binomial European call price for one option.
+[[nodiscard]] float binomial_reference(float s, float x, float t, float r,
+                                       float v, unsigned steps);
+
+}  // namespace mcl::apps

@@ -1,0 +1,81 @@
+#include "apps/convolution.hpp"
+
+#include <vector>
+
+#include "ocl/kernel.hpp"
+
+namespace mcl::apps {
+
+namespace {
+
+using ocl::ImageView;
+using ocl::KernelArgs;
+using ocl::KernelDef;
+using ocl::KernelRegistrar;
+using ocl::NDRange;
+using ocl::WorkItemCtx;
+
+float convolve_at(const ImageView& in, std::span<const float> filter,
+                  std::size_t k, long long x, long long y) {
+  const long long r = static_cast<long long>(k) / 2;
+  float acc = 0.0f;
+  for (long long fy = 0; fy < static_cast<long long>(k); ++fy) {
+    for (long long fx = 0; fx < static_cast<long long>(k); ++fx) {
+      acc += filter[static_cast<std::size_t>(fy * static_cast<long long>(k) + fx)] *
+             in.read_clamped(x + fx - r, y + fy - r);
+    }
+  }
+  return acc;
+}
+
+void convolve_scalar(const KernelArgs& args, const WorkItemCtx& c) {
+  const ImageView& in = args.image(0);
+  const ImageView& out = args.image(1);
+  const float* filter = args.buffer<const float>(2);
+  const auto k = args.scalar<unsigned>(3);
+  const std::size_t x = c.global_id(0);
+  const std::size_t y = c.global_id(1);
+  out.write(x, y,
+            convolve_at(in, {filter, static_cast<std::size_t>(k) * k}, k,
+                        static_cast<long long>(x), static_cast<long long>(y)));
+}
+
+gpusim::KernelCost convolve_cost(const KernelArgs& args, const NDRange&,
+                                 const NDRange&) {
+  const auto k = static_cast<double>(args.scalar<unsigned>(3));
+  // k^2 taps: one FMA + one (mostly cached, but windowed) load each.
+  return {.fp_insts = k * k,
+          .mem_insts = k * k / 4 + 1,
+          .other_insts = 2 * k * k,
+          .flops_per_fp = 2.0,
+          .ilp = 2.0};
+}
+
+const KernelRegistrar reg_convolve{KernelDef{.name = kConvolveKernel,
+                                             .scalar = &convolve_scalar,
+                                             .gpu_cost = &convolve_cost}};
+
+}  // namespace
+
+void convolve_reference(const ocl::ImageView& in, const ocl::ImageView& out,
+                        std::span<const float> filter, std::size_t k) {
+  for (std::size_t y = 0; y < in.height; ++y) {
+    for (std::size_t x = 0; x < in.width; ++x) {
+      out.write(x, y,
+                convolve_at(in, filter, k, static_cast<long long>(x),
+                            static_cast<long long>(y)));
+    }
+  }
+}
+
+std::vector<float> box_filter(std::size_t k) {
+  return std::vector<float>(k * k, 1.0f / static_cast<float>(k * k));
+}
+
+std::vector<float> gaussian3() {
+  std::vector<float> f = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  for (float& v : f) v /= 16.0f;
+  return f;
+}
+
+}  // namespace mcl::apps

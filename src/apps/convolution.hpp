@@ -1,0 +1,33 @@
+// 2D convolution over image objects — the stencil workload this repo adds
+// beyond the paper's suite. Exercises the Image2D API and a neighborhood
+// access pattern (each workitem reads a KxK window with clamp-to-edge
+// sampling).
+//
+// Kernel argument conventions:
+//   "convolve2d": 0=input(Image2D, 1 channel), 1=output(Image2D, 1 channel),
+//                 2=filter(float* buffer, k*k coefficients, row-major),
+//                 3=k(uint, odd filter extent)
+//                 NDRange: global = (width, height).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ocl/image.hpp"
+
+namespace mcl::apps {
+
+inline constexpr const char* kConvolveKernel = "convolve2d";
+
+/// Serial reference with the same clamp-to-edge semantics.
+void convolve_reference(const ocl::ImageView& in, const ocl::ImageView& out,
+                        std::span<const float> filter, std::size_t k);
+
+/// Normalized kxk box filter (all coefficients 1/k^2).
+[[nodiscard]] std::vector<float> box_filter(std::size_t k);
+
+/// 3x3 Gaussian (1 2 1 / 2 4 2 / 1 2 1, normalized).
+[[nodiscard]] std::vector<float> gaussian3();
+
+}  // namespace mcl::apps

@@ -1,0 +1,75 @@
+// Host-side data helpers shared by all benchmark applications: aligned
+// vectors, deterministic input generation, and result validation.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace mcl::apps {
+
+/// 64-byte aligned allocator so SIMD kernels can use aligned loads and
+/// buffers behave like OpenCL allocations.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new[](n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete[](p, kAlign);
+  }
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+using FloatVec = std::vector<float, AlignedAllocator<float>>;
+using UintVec = std::vector<unsigned, AlignedAllocator<unsigned>>;
+
+/// Deterministic uniform floats in [lo, hi).
+[[nodiscard]] inline FloatVec random_floats(std::size_t n, std::uint64_t seed,
+                                            float lo = 0.0f, float hi = 1.0f) {
+  FloatVec v(n);
+  core::Rng rng(seed);
+  for (auto& x : v) x = rng.next_float(lo, hi);
+  return v;
+}
+
+/// Max absolute difference.
+[[nodiscard]] inline double max_abs_diff(std::span<const float> a,
+                                         std::span<const float> b) {
+  double m = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::fabs(static_cast<double>(a[i]) - b[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+/// Max relative difference with absolute floor `atol` (mixed tolerance).
+[[nodiscard]] inline double max_rel_diff(std::span<const float> a,
+                                         std::span<const float> b,
+                                         double atol = 1e-6) {
+  double m = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double denom = std::fmax(std::fabs(static_cast<double>(b[i])), atol);
+    const double d = std::fabs(static_cast<double>(a[i]) - b[i]) / denom;
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace mcl::apps

@@ -1,0 +1,31 @@
+// ILP micro-benchmark family (Sec. III-C / Fig 6).
+//
+// Every kernel executes the identical number of memory accesses, FMA
+// operations and loop iterations; the only difference is how many
+// independent dependence chains the FMAs form (the paper's "ILP value").
+// kUnroll FMAs run per loop iteration, split round-robin over K chains.
+//
+// Kernel argument conventions ("ilp1","ilp2","ilp3","ilp4","ilp6","ilp8"):
+//   0=in(float*), 1=out(float*), 2=iters(uint)
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace mcl::apps {
+
+inline constexpr int kIlpUnroll = 24;  ///< FMAs per loop iteration
+inline constexpr std::array<int, 6> kIlpLevels{1, 2, 3, 4, 6, 8};
+
+/// Kernel name for chain count k (must be one of kIlpLevels).
+[[nodiscard]] const char* ilp_kernel_name(int k);
+
+/// Flops one workitem performs with `iters` loop iterations.
+[[nodiscard]] constexpr double ilp_flops_per_item(unsigned iters) {
+  return 2.0 * kIlpUnroll * iters;  // FMA = 2 flops
+}
+
+/// Serial reference of the ILP-k kernel for one element.
+[[nodiscard]] float ilp_reference(float x, unsigned iters, int k);
+
+}  // namespace mcl::apps

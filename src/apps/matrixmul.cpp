@@ -1,0 +1,160 @@
+#include "apps/matrixmul.hpp"
+
+#include "ocl/kernel.hpp"
+#include "simd/vec.hpp"
+
+namespace mcl::apps {
+
+void matmul_reference(std::span<const float> a, std::span<const float> b,
+                      std::span<float> c, std::size_t m, std::size_t n,
+                      std::size_t k) {
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t col = 0; col < n; ++col) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < k; ++i) acc += a[r * k + i] * b[i * n + col];
+      c[r * n + col] = acc;
+    }
+  }
+}
+
+namespace {
+
+using ocl::KernelArgs;
+using ocl::KernelDef;
+using ocl::KernelRegistrar;
+using ocl::NDRange;
+using ocl::SimdItemCtx;
+using ocl::WorkGroupCtx;
+using ocl::WorkItemCtx;
+
+constexpr int kW = simd::kNativeFloatWidth;
+
+// --- naive ---------------------------------------------------------------
+
+template <int W>
+void naive_at(const KernelArgs& args, std::size_t col, std::size_t row) {
+  using V = simd::vfloat<W>;
+  const float* a = args.buffer<const float>(0);
+  const float* b = args.buffer<const float>(1);
+  float* c = args.buffer<float>(2);
+  const auto n = args.scalar<unsigned>(4);
+  const auto k = args.scalar<unsigned>(5);
+
+  V acc{0.0f};
+  const float* arow = a + row * k;
+  for (unsigned i = 0; i < k; ++i) {
+    // A element broadcasts across lanes; B row is unit-stride across lanes.
+    acc = simd::fmadd(V{arow[i]}, V::load(b + i * n + col), acc);
+  }
+  acc.store(c + row * n + col);
+}
+
+void naive_scalar(const KernelArgs& a, const WorkItemCtx& c) {
+  naive_at<1>(a, c.global_id(0), c.global_id(1));
+}
+void naive_simd(const KernelArgs& a, const SimdItemCtx& c) {
+  for (std::size_t g = 0; g < c.lane_groups(); ++g) {
+    naive_at<kW>(a, c.global_base() + g * kW, c.global_id(1));
+  }
+}
+gpusim::KernelCost naive_cost(const KernelArgs& a, const NDRange&,
+                              const NDRange&) {
+  const auto k = static_cast<double>(a.scalar<unsigned>(5));
+  return {.fp_insts = k,
+          .mem_insts = 2 * k,
+          .other_insts = k,
+          .flops_per_fp = 2.0};
+}
+
+// --- tiled, workgroup (phase) form ----------------------------------------
+
+void tiled_workgroup(const KernelArgs& args, const WorkGroupCtx& wg) {
+  const float* a = args.buffer<const float>(0);
+  const float* b = args.buffer<const float>(1);
+  float* c = args.buffer<float>(2);
+  const auto n = args.scalar<unsigned>(4);
+  const auto k = args.scalar<unsigned>(5);
+  float* as = wg.local_mem<float>(6);
+  float* bs = wg.local_mem<float>(7);
+  float* cacc = wg.local_mem<float>(8);
+
+  const std::size_t t = wg.local_size(0);  // square tile: local = (T, T)
+  const std::size_t tiles = k / t;
+
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    cacc[it.local_id(1) * t + it.local_id(0)] = 0.0f;
+  });
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    // Load phase (implicit barrier follows).
+    wg.for_each_item([&](const WorkItemCtx& it) {
+      const std::size_t lx = it.local_id(0);
+      const std::size_t ly = it.local_id(1);
+      as[ly * t + lx] = a[it.global_id(1) * k + tile * t + lx];
+      bs[ly * t + lx] = b[(tile * t + ly) * n + it.global_id(0)];
+    });
+    // Accumulate phase.
+    wg.for_each_item([&](const WorkItemCtx& it) {
+      const std::size_t lx = it.local_id(0);
+      const std::size_t ly = it.local_id(1);
+      float sum = cacc[ly * t + lx];
+      for (std::size_t i = 0; i < t; ++i) sum += as[ly * t + i] * bs[i * t + lx];
+      cacc[ly * t + lx] = sum;
+    });
+  }
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    c[it.global_id(1) * n + it.global_id(0)] =
+        cacc[it.local_id(1) * t + it.local_id(0)];
+  });
+}
+
+gpusim::KernelCost tiled_cost(const KernelArgs& a, const NDRange&,
+                              const NDRange& local) {
+  const auto k = static_cast<double>(a.scalar<unsigned>(5));
+  const double t = static_cast<double>(local.is_null() ? 16 : local[0]);
+  // Global loads drop by the tile factor; shared-memory traffic issues as
+  // cheap "other" instructions.
+  return {.fp_insts = k,
+          .mem_insts = 2 * k / t,
+          .other_insts = 3 * k,
+          .flops_per_fp = 2.0};
+}
+
+// --- tiled, true-barrier (fiber) form --------------------------------------
+
+void tiled_fiber_scalar(const KernelArgs& args, const WorkItemCtx& it) {
+  const float* a = args.buffer<const float>(0);
+  const float* b = args.buffer<const float>(1);
+  float* c = args.buffer<float>(2);
+  const auto n = args.scalar<unsigned>(4);
+  const auto k = args.scalar<unsigned>(5);
+  float* as = it.local_mem<float>(6);
+  float* bs = it.local_mem<float>(7);
+
+  const std::size_t t = it.local_size(0);
+  const std::size_t lx = it.local_id(0);
+  const std::size_t ly = it.local_id(1);
+  float acc = 0.0f;
+  for (std::size_t tile = 0; tile * t < k; ++tile) {
+    as[ly * t + lx] = a[it.global_id(1) * k + tile * t + lx];
+    bs[ly * t + lx] = b[(tile * t + ly) * n + it.global_id(0)];
+    it.barrier();
+    for (std::size_t i = 0; i < t; ++i) acc += as[ly * t + i] * bs[i * t + lx];
+    it.barrier();
+  }
+  c[it.global_id(1) * n + it.global_id(0)] = acc;
+}
+
+const KernelRegistrar reg_naive{KernelDef{.name = kMatrixMulNaiveKernel,
+                                          .scalar = &naive_scalar,
+                                          .simd = &naive_simd,
+                                          .gpu_cost = &naive_cost}};
+const KernelRegistrar reg_tiled{KernelDef{.name = kMatrixMulKernel,
+                                          .workgroup = &tiled_workgroup,
+                                          .gpu_cost = &tiled_cost}};
+const KernelRegistrar reg_fiber{KernelDef{.name = kMatrixMulFiberKernel,
+                                          .scalar = &tiled_fiber_scalar,
+                                          .gpu_cost = &tiled_cost,
+                                          .needs_barrier = true}};
+
+}  // namespace
+}  // namespace mcl::apps

@@ -1,0 +1,31 @@
+// Matrix multiplication kernels (Table II: Matrixmul and MatrixmulNaive).
+//
+// C (M rows x N cols, row-major) = A (M x K) * B (K x N).
+// NDRange convention: global = (N, M), i.e. dim 0 walks columns.
+//
+// Kernel argument conventions:
+//   "matrixmul_naive": 0=A, 1=B, 2=C, 3=M(uint), 4=N(uint), 5=K(uint)
+//   "matrixmul"      : the local-memory tiled version (workgroup form;
+//                      square tiles, local size (T, T), K % T == 0):
+//                      0=A, 1=B, 2=C, 3=M, 4=N, 5=K,
+//                      6=local As (T*T floats), 7=local Bs (T*T floats),
+//                      8=local Cacc (T*T floats)
+//   "matrixmul_fiber": same args 0..7 as the tiled version minus Cacc; the
+//                      scalar body calls barrier() (fiber-executor kernel;
+//                      exists to validate fibers against the phase form)
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcl::apps {
+
+inline constexpr const char* kMatrixMulNaiveKernel = "matrixmul_naive";
+inline constexpr const char* kMatrixMulKernel = "matrixmul";
+inline constexpr const char* kMatrixMulFiberKernel = "matrixmul_fiber";
+
+void matmul_reference(std::span<const float> a, std::span<const float> b,
+                      std::span<float> c, std::size_t m, std::size_t n,
+                      std::size_t k);
+
+}  // namespace mcl::apps

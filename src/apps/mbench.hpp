@@ -1,0 +1,50 @@
+// MBench1-8: the vectorization study workloads (Sec. III-F / Fig 10).
+//
+// Each benchmark is declared three ways, all computing the same thing:
+//   1. a veclegal::LoopBody IR — the analyzable form the "compilers" see;
+//   2. host loop implementations (scalar and SIMD) — what the OpenMP-model
+//      compiler emits, with the SIMD one only usable when veclegal proves
+//      the loop vectorizable;
+//   3. a MiniCL kernel (scalar + SIMD forms) — what the SPMD compiler emits.
+//
+// Buffer sizing contract (see MBenchData): a needs 3n+1 floats (MBench5
+// writes a[i+1], MBench6 reads a[3i]), b needs n, c needs 2n (MBench3
+// stores c[2i]).
+//
+// Kernel argument convention for "mbench1".."mbench8":
+//   0=a(float*), 1=b(float*), 2=c(float*), 3=alpha(float)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "veclegal/ir.hpp"
+
+namespace mcl::apps {
+
+struct MBenchData {
+  float* a = nullptr;        ///< 3n+1 floats
+  const float* b = nullptr;  ///< n floats
+  float* c = nullptr;        ///< 2n floats
+  float alpha = 1.5f;
+  std::size_t n = 0;
+};
+
+/// Host-side loop body over [begin, end) — the OpenMP-model codegen units.
+using LoopFn = void (*)(const MBenchData&, std::size_t begin, std::size_t end);
+
+struct MBenchInfo {
+  const char* name;         ///< "MBench1"...
+  const char* kernel;       ///< MiniCL kernel name
+  veclegal::LoopBody ir;    ///< analyzable form
+  LoopFn loop_scalar;       ///< scalar loop body
+  LoopFn loop_simd;         ///< vectorized loop body
+  double flops_per_elem;    ///< for GFlops reporting
+  bool deterministic;       ///< false when cross-item races make the result
+                            ///< schedule-dependent (MBench5)
+};
+
+/// All eight benchmarks, in paper order.
+[[nodiscard]] const std::vector<MBenchInfo>& all_mbenches();
+
+}  // namespace mcl::apps

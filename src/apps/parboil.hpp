@@ -1,0 +1,61 @@
+// Parboil benchmark kernels (Table III), as used by Grewe & O'Boyle's
+// OpenCL port: CP (cenergy), MRI-Q (computePhiMag, computeQ) and MRI-FHD
+// (RhoPhi, FH).
+//
+// Every kernel takes a trailing `per_item` (uint) argument — the workitem-
+// coalescing factor of Sec. III-B1/Fig 2: each workitem processes per_item
+// consecutive elements (grid columns for cenergy), and the launch shrinks
+// the corresponding global dimension by the same factor. per_item = 1
+// reproduces the plain kernels.
+//
+// Kernel argument conventions:
+//   "cp_cenergy": Coulombic potential over a 2D grid slice.
+//     0=atoms(float4 interleaved: x,y,z,q), 1=energy(float*, gx*gy),
+//     2=natoms(uint), 3=gridspacing(float), 4=plane z(float),
+//     5=per_item(uint)                  NDRange: global = (gx/per_item, gy).
+//   "mriq_computephimag": 0=phiR, 1=phiI, 2=phiMag, 3=per_item(uint).
+//   "mriq_computeq": 0=x, 1=y, 2=z, 3=kx, 4=ky, 5=kz, 6=phiMag,
+//     7=Qr(out), 8=Qi(out), 9=numK(uint), 10=per_item(uint).
+//   "mrifhd_rhophi": 0=phiR, 1=phiI, 2=dR, 3=dI, 4=rRho(out), 5=iRho(out),
+//     6=per_item(uint).
+//   "mrifhd_fh": 0=x, 1=y, 2=z, 3=kx, 4=ky, 5=kz, 6=rRho, 7=iRho,
+//     8=rFH(out), 9=iFH(out), 10=numK(uint), 11=per_item(uint).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcl::apps {
+
+inline constexpr const char* kCpCenergyKernel = "cp_cenergy";
+inline constexpr const char* kMriqPhiMagKernel = "mriq_computephimag";
+inline constexpr const char* kMriqComputeQKernel = "mriq_computeq";
+inline constexpr const char* kMrifhdRhoPhiKernel = "mrifhd_rhophi";
+inline constexpr const char* kMrifhdFhKernel = "mrifhd_fh";
+
+void cp_cenergy_reference(std::span<const float> atoms, std::span<float> energy,
+                          std::size_t gx, std::size_t gy, float gridspacing,
+                          float z);
+void mriq_phimag_reference(std::span<const float> phi_r,
+                           std::span<const float> phi_i,
+                           std::span<float> phi_mag);
+void mriq_computeq_reference(std::span<const float> x, std::span<const float> y,
+                             std::span<const float> z,
+                             std::span<const float> kx,
+                             std::span<const float> ky,
+                             std::span<const float> kz,
+                             std::span<const float> phi_mag,
+                             std::span<float> qr, std::span<float> qi);
+void mrifhd_rhophi_reference(std::span<const float> phi_r,
+                             std::span<const float> phi_i,
+                             std::span<const float> d_r,
+                             std::span<const float> d_i,
+                             std::span<float> r_rho, std::span<float> i_rho);
+void mrifhd_fh_reference(std::span<const float> x, std::span<const float> y,
+                         std::span<const float> z, std::span<const float> kx,
+                         std::span<const float> ky, std::span<const float> kz,
+                         std::span<const float> r_rho,
+                         std::span<const float> i_rho, std::span<float> r_fh,
+                         std::span<float> i_fh);
+
+}  // namespace mcl::apps

@@ -1,0 +1,154 @@
+#include "apps/reduction.hpp"
+
+#include <atomic>
+
+#include "ocl/kernel.hpp"
+
+namespace mcl::apps {
+
+double reduce_reference(std::span<const float> in) {
+  double acc = 0.0;
+  for (float v : in) acc += v;
+  return acc;
+}
+
+void histogram_reference(std::span<const unsigned> in,
+                         std::span<unsigned> bins) {
+  for (auto& b : bins) b = 0;
+  for (unsigned v : in) ++bins[v & 0xff];
+}
+
+void prefixsum_reference(std::span<const float> in, std::span<float> out) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+namespace {
+
+using ocl::KernelArgs;
+using ocl::KernelDef;
+using ocl::KernelRegistrar;
+using ocl::NDRange;
+using ocl::WorkGroupCtx;
+using ocl::WorkItemCtx;
+
+// --- reduce -----------------------------------------------------------------
+
+void reduce_workgroup(const KernelArgs& args, const WorkGroupCtx& wg) {
+  const float* in = args.buffer<const float>(0);
+  float* partials = args.buffer<float>(1);
+  float* scratch = wg.local_mem<float>(2);
+  const std::size_t l = wg.local_size(0);
+
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    scratch[it.local_id(0)] = in[it.global_id(0)];
+  });
+  // Fold the tail into the largest power of two, then run a clean tree.
+  std::size_t p = 1;
+  while (p * 2 <= l) p *= 2;
+  if (p < l) {
+    wg.for_each_item([&](const WorkItemCtx& it) {
+      const std::size_t lid = it.local_id(0);
+      if (lid + p < l) scratch[lid] += scratch[lid + p];
+    });
+  }
+  for (std::size_t stride = p / 2; stride > 0; stride /= 2) {
+    wg.for_each_item([&](const WorkItemCtx& it) {
+      const std::size_t lid = it.local_id(0);
+      if (lid < stride) scratch[lid] += scratch[lid + stride];
+    });
+  }
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    if (it.local_id(0) == 0) partials[it.group_id(0)] = scratch[0];
+  });
+}
+
+gpusim::KernelCost reduce_cost(const KernelArgs&, const NDRange&,
+                               const NDRange& local) {
+  const double l = static_cast<double>(local.is_null() ? 256 : local[0]);
+  // log2(l) tree steps; one global load per item; local traffic as "other".
+  double steps = 0;
+  for (double x = l; x > 1; x /= 2) ++steps;
+  return {.fp_insts = steps / l + 1,
+          .mem_insts = 1,
+          .other_insts = 2 * steps / l + 2};
+}
+
+// --- histogram256 -------------------------------------------------------------
+
+void histogram_workgroup(const KernelArgs& args, const WorkGroupCtx& wg) {
+  const unsigned* in = args.buffer<const unsigned>(0);
+  unsigned* bins = args.buffer<unsigned>(1);
+  unsigned* local_bins = wg.local_mem<unsigned>(2);
+
+  for (std::size_t i = 0; i < 256; ++i) local_bins[i] = 0;
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    ++local_bins[in[it.global_id(0)] & 0xff];
+  });
+  // Merge: global bins are shared across concurrently executing groups.
+  for (std::size_t i = 0; i < 256; ++i) {
+    if (local_bins[i] != 0) {
+      std::atomic_ref<unsigned>(bins[i]).fetch_add(local_bins[i],
+                                                   std::memory_order_relaxed);
+    }
+  }
+}
+
+gpusim::KernelCost histogram_cost(const KernelArgs&, const NDRange&,
+                                  const NDRange& local) {
+  const double l = static_cast<double>(local.is_null() ? 256 : local[0]);
+  return {.fp_insts = 0,
+          .mem_insts = 1 + 512 / l,  // input + amortized merge
+          .other_insts = 4,
+          .coalesced = false};  // data-dependent bin addresses
+}
+
+// --- prefixsum -----------------------------------------------------------------
+
+void prefixsum_workgroup(const KernelArgs& args, const WorkGroupCtx& wg) {
+  const float* in = args.buffer<const float>(0);
+  float* out = args.buffer<float>(1);
+  float* ping = wg.local_mem<float>(2);
+  float* pong = wg.local_mem<float>(3);
+  const std::size_t n = wg.local_size(0);
+
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    ping[it.local_id(0)] = in[it.global_id(0)];
+  });
+  float* src = ping;
+  float* dst = pong;
+  for (std::size_t d = 1; d < n; d *= 2) {
+    wg.for_each_item([&](const WorkItemCtx& it) {
+      const std::size_t i = it.local_id(0);
+      dst[i] = i >= d ? src[i] + src[i - d] : src[i];
+    });
+    std::swap(src, dst);
+  }
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    out[it.global_id(0)] = src[it.local_id(0)];
+  });
+}
+
+gpusim::KernelCost prefixsum_cost(const KernelArgs&, const NDRange&,
+                                  const NDRange& local) {
+  const double l = static_cast<double>(local.is_null() ? 1024 : local[0]);
+  double steps = 0;
+  for (double x = 1; x < l; x *= 2) ++steps;
+  return {.fp_insts = steps, .mem_insts = 2, .other_insts = 3 * steps};
+}
+
+const KernelRegistrar reg_reduce{KernelDef{.name = kReduceKernel,
+                                           .workgroup = &reduce_workgroup,
+                                           .gpu_cost = &reduce_cost}};
+const KernelRegistrar reg_histogram{KernelDef{.name = kHistogramKernel,
+                                              .workgroup = &histogram_workgroup,
+                                              .gpu_cost = &histogram_cost}};
+const KernelRegistrar reg_prefixsum{KernelDef{.name = kPrefixSumKernel,
+                                              .workgroup = &prefixsum_workgroup,
+                                              .gpu_cost = &prefixsum_cost}};
+
+}  // namespace
+}  // namespace mcl::apps

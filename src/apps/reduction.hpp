@@ -1,0 +1,29 @@
+// Reduction, Histogram256 and Prefixsum (Table II group-local kernels).
+//
+// Kernel argument conventions:
+//   "reduce":       0=in(float*), 1=partials(float*, one per workgroup),
+//                   2=local scratch (local_size floats)
+//                   Tree reduction in local memory; the host (or a second
+//                   launch) folds the per-group partials.
+//   "histogram256": 0=in(uint*, values < 256), 1=bins(uint*, 256),
+//                   2=local bins (256 uints). Per-group local histogram,
+//                   then an atomic merge into the global bins.
+//   "prefixsum":    0=in(float*), 1=out(float*), 2=local ping (n floats),
+//                   3=local pong (n floats). Single-workgroup inclusive
+//                   Hillis-Steele scan (global size == local size).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcl::apps {
+
+inline constexpr const char* kReduceKernel = "reduce";
+inline constexpr const char* kHistogramKernel = "histogram256";
+inline constexpr const char* kPrefixSumKernel = "prefixsum";
+
+[[nodiscard]] double reduce_reference(std::span<const float> in);
+void histogram_reference(std::span<const unsigned> in, std::span<unsigned> bins);
+void prefixsum_reference(std::span<const float> in, std::span<float> out);
+
+}  // namespace mcl::apps

@@ -1,0 +1,27 @@
+// Simple applications of Table II: Square and VectorAddition, in plain and
+// workitem-coalesced forms (Sec. III-B1 / Fig 1 / Table IV).
+//
+// Kernel argument conventions (documented per kernel):
+//   "square":            0=in(float*), 1=out(float*)
+//   "square_coalesced":  0=in, 1=out, 2=per_item(uint) — each workitem
+//                        squares the contiguous chunk
+//                        [gid*per_item, (gid+1)*per_item)
+//   "vectoradd":           0=a, 1=b, 2=c
+//   "vectoradd_coalesced": 0=a, 1=b, 2=c, 3=per_item(uint)
+#pragma once
+
+#include <span>
+
+namespace mcl::apps {
+
+inline constexpr const char* kSquareKernel = "square";
+inline constexpr const char* kSquareCoalescedKernel = "square_coalesced";
+inline constexpr const char* kVectorAddKernel = "vectoradd";
+inline constexpr const char* kVectorAddCoalescedKernel = "vectoradd_coalesced";
+
+/// Serial references for validation.
+void square_reference(std::span<const float> in, std::span<float> out);
+void vectoradd_reference(std::span<const float> a, std::span<const float> b,
+                         std::span<float> c);
+
+}  // namespace mcl::apps

@@ -1,0 +1,42 @@
+// Sparse matrix-vector multiply (CSR), an extension workload beyond the
+// paper's suite: its gather accesses (x[col[j]]) exercise the uncoalesced
+// memory path of the GPU model and the per-lane gather path of the SIMD
+// executor — the access pattern Fig 10's MBench6 isolates, in a real kernel.
+//
+// Kernel argument conventions ("spmv_csr"):
+//   0=values(float*), 1=col_idx(uint*), 2=row_ptr(uint*, rows+1),
+//   3=x(float*), 4=y(float* out)
+//   NDRange: global = rows (one row per workitem).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "apps/hostdata.hpp"
+
+namespace mcl::apps {
+
+inline constexpr const char* kSpmvKernel = "spmv_csr";
+
+/// CSR matrix with deterministic random sparsity.
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  FloatVec values;
+  UintVec col_idx;
+  UintVec row_ptr;  ///< rows + 1 entries
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+};
+
+/// Builds a random CSR matrix with ~nnz_per_row entries per row (banded
+/// around the diagonal, deterministic for a given seed).
+[[nodiscard]] CsrMatrix make_random_csr(std::size_t rows, std::size_t cols,
+                                        std::size_t nnz_per_row,
+                                        std::uint64_t seed);
+
+/// y = A * x, serial reference.
+void spmv_reference(const CsrMatrix& a, std::span<const float> x,
+                    std::span<float> y);
+
+}  // namespace mcl::apps

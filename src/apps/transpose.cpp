@@ -1,0 +1,88 @@
+#include "apps/transpose.hpp"
+
+#include "ocl/kernel.hpp"
+#include "simd/vec.hpp"
+
+namespace mcl::apps {
+
+void transpose_reference(std::span<const float> in, std::span<float> out,
+                         std::size_t w, std::size_t h) {
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      out[x * h + y] = in[y * w + x];
+    }
+  }
+}
+
+namespace {
+
+using ocl::KernelArgs;
+using ocl::KernelDef;
+using ocl::KernelRegistrar;
+using ocl::NDRange;
+using ocl::WorkGroupCtx;
+using ocl::WorkItemCtx;
+
+// --- naive: out[x][y] = in[y][x] (strided store) -----------------------------
+
+void naive_scalar(const KernelArgs& a, const WorkItemCtx& c) {
+  const float* in = a.buffer<const float>(0);
+  float* out = a.buffer<float>(1);
+  const auto w = a.scalar<unsigned>(2);
+  const auto h = a.scalar<unsigned>(3);
+  const std::size_t x = c.global_id(0);
+  const std::size_t y = c.global_id(1);
+  (void)w;
+  out[x * h + y] = in[y * w + x];
+}
+
+gpusim::KernelCost naive_cost(const KernelArgs&, const NDRange&,
+                              const NDRange&) {
+  // One coalesced load + one uncoalesced (column) store per item.
+  return {.fp_insts = 0,
+          .mem_insts = 2,
+          .other_insts = 3,
+          .coalesced = false};
+}
+
+// --- tiled: stage a TxT block through local memory ---------------------------
+
+void tiled_workgroup(const KernelArgs& a, const WorkGroupCtx& wg) {
+  const float* in = a.buffer<const float>(0);
+  float* out = a.buffer<float>(1);
+  const auto w = a.scalar<unsigned>(2);
+  const auto h = a.scalar<unsigned>(3);
+  float* tile = wg.local_mem<float>(4);
+  const std::size_t t = wg.local_size(0);
+
+  // Phase 1: contiguous read of the block at (bx, by) into the tile,
+  // transposed in local memory.
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    const std::size_t gx = it.global_id(0);
+    const std::size_t gy = it.global_id(1);
+    tile[it.local_id(0) * t + it.local_id(1)] = in[gy * w + gx];
+  });
+  // Phase 2 (after the implicit barrier): contiguous write of the
+  // transposed block at (by, bx).
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    const std::size_t ox = it.group_id(1) * t + it.local_id(0);  // along h
+    const std::size_t oy = it.group_id(0) * t + it.local_id(1);  // along w
+    out[oy * h + ox] = tile[it.local_id(1) * t + it.local_id(0)];
+  });
+}
+
+gpusim::KernelCost tiled_cost(const KernelArgs&, const NDRange&,
+                              const NDRange&) {
+  // Both global accesses coalesced; local-memory traffic as "other".
+  return {.fp_insts = 0, .mem_insts = 2, .other_insts = 5, .coalesced = true};
+}
+
+const KernelRegistrar reg_naive{KernelDef{.name = kTransposeNaiveKernel,
+                                          .scalar = &naive_scalar,
+                                          .gpu_cost = &naive_cost}};
+const KernelRegistrar reg_tiled{KernelDef{.name = kTransposeTiledKernel,
+                                          .workgroup = &tiled_workgroup,
+                                          .gpu_cost = &tiled_cost}};
+
+}  // namespace
+}  // namespace mcl::apps

@@ -1,0 +1,27 @@
+// Matrix transpose — the classic memory-coalescing workload. The naive
+// kernel writes columns (uncoalesced on GPUs, strided on CPUs); the tiled
+// kernel stages a TxT block in local memory so both the read and the write
+// are contiguous. Extends the paper's coalescing discussion with the
+// canonical example its GPU sources used.
+//
+// Kernel argument conventions:
+//   "transpose_naive": 0=in(float*, h x w row-major),
+//                      1=out(float*, w x h row-major),
+//                      2=w(uint), 3=h(uint)
+//                      NDRange: global = (w, h).
+//   "transpose_tiled": same args 0-3 plus 4=local tile (T*T floats);
+//                      workgroup form, square local (T, T), T | w and T | h.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcl::apps {
+
+inline constexpr const char* kTransposeNaiveKernel = "transpose_naive";
+inline constexpr const char* kTransposeTiledKernel = "transpose_tiled";
+
+void transpose_reference(std::span<const float> in, std::span<float> out,
+                         std::size_t w, std::size_t h);
+
+}  // namespace mcl::apps

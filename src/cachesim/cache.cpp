@@ -1,0 +1,117 @@
+#include "cachesim/cache.hpp"
+
+#include "core/error.hpp"
+
+namespace mcl::cachesim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  core::check(config_.line_bytes > 0 && (config_.line_bytes & (config_.line_bytes - 1)) == 0,
+              core::Status::InvalidValue, "cache line size must be a power of two");
+  core::check(config_.ways > 0, core::Status::InvalidValue, "cache needs >=1 way");
+  sets_ = config_.num_sets();
+  core::check(sets_ > 0, core::Status::InvalidValue,
+              "cache size must cover at least one set");
+  lines_.resize(sets_ * config_.ways);
+}
+
+Cache::Line* Cache::find(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  Line* base = &lines_[set * config_.ways];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+bool Cache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  Line* base = &lines_[set * config_.ways];
+  ++tick_;
+
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == line) {
+      l.lru = tick_;
+      l.dirty = l.dirty || is_write;
+      ++stats_.hits;
+      return true;
+    }
+    if (!l.valid) {
+      victim = &l;  // prefer filling an invalid way
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = tick_;
+  victim->dirty = is_write;
+  return false;
+}
+
+bool Cache::invalidate(std::uint64_t addr) {
+  if (Line* l = find(addr)) {
+    l->valid = false;
+    l->dirty = false;
+    ++stats_.invalidations;
+    return true;
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const { return find(addr) != nullptr; }
+
+bool Cache::is_dirty(std::uint64_t addr) const {
+  const Line* l = find(addr);
+  return l != nullptr && l->dirty;
+}
+
+bool Cache::downgrade(std::uint64_t addr) {
+  if (Line* l = find(addr); l != nullptr && l->dirty) {
+    l->dirty = false;
+    ++stats_.downgrades;
+    return true;
+  }
+  return false;
+}
+
+void Cache::install(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  Line* base = &lines_[set * config_.ways];
+  ++tick_;
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == line) {
+      l.lru = tick_;
+      return;  // already resident
+    }
+    if (!l.valid) {
+      victim = &l;
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = tick_;
+  victim->dirty = false;
+}
+
+void Cache::flush() {
+  for (Line& l : lines_) {
+    l.valid = false;
+    l.dirty = false;
+  }
+}
+
+}  // namespace mcl::cachesim

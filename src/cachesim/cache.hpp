@@ -1,0 +1,89 @@
+// Set-associative cache with true-LRU replacement.
+//
+// Building block of the multi-core hierarchy in hierarchy.hpp. Addresses are
+// byte addresses; the cache operates on lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcl::cachesim {
+
+struct CacheConfig {
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t ways = 8;
+
+  [[nodiscard]] std::size_t num_sets() const noexcept {
+    return size_bytes / (line_bytes * ways);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t downgrades = 0;  ///< M -> S transitions (remote read snoops)
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(total);
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks up the line containing `addr`; on miss installs it (evicting
+  /// LRU). Writes mark the line dirty (MESI M state). Returns true on hit.
+  bool access(std::uint64_t addr, bool is_write = false);
+
+  /// Removes the line containing `addr` if present (coherence invalidate).
+  /// Returns true when a copy existed.
+  bool invalidate(std::uint64_t addr);
+
+  /// True if the line is currently resident (no LRU update — probe only).
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  /// True if the line is resident and dirty (M state).
+  [[nodiscard]] bool is_dirty(std::uint64_t addr) const;
+
+  /// M -> S: clears the dirty bit if the line is resident (a remote read
+  /// snoop hit this owner). Returns true when a dirty copy was downgraded.
+  bool downgrade(std::uint64_t addr);
+
+  /// Installs the line clean without touching hit/miss statistics (used by
+  /// prefetchers — their fills are not demand accesses).
+  void install(std::uint64_t addr);
+
+  void reset_stats() noexcept { stats_ = {}; }
+  void flush();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< larger = more recently used
+    bool valid = false;
+    bool dirty = false;     ///< MESI M (vs S/E collapsed into clean-valid)
+  };
+
+  [[nodiscard]] Line* find(std::uint64_t addr);
+  [[nodiscard]] const Line* find(std::uint64_t addr) const;
+
+  [[nodiscard]] std::uint64_t line_of(std::uint64_t addr) const noexcept {
+    return addr / config_.line_bytes;
+  }
+
+  CacheConfig config_;
+  std::size_t sets_;
+  std::vector<Line> lines_;  ///< sets_ * ways, row-major by set
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace mcl::cachesim

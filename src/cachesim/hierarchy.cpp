@@ -1,0 +1,141 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcl::cachesim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), l3_(config.l3) {
+  core::check(config_.cores > 0, core::Status::InvalidValue,
+              "machine needs >=1 core");
+  l1_.reserve(static_cast<std::size_t>(config_.cores));
+  l2_.reserve(static_cast<std::size_t>(config_.cores));
+  for (int c = 0; c < config_.cores; ++c) {
+    l1_.emplace_back(config_.l1);
+    l2_.emplace_back(config_.l2);
+  }
+  cycles_.assign(static_cast<std::size_t>(config_.cores), 0);
+}
+
+AccessResult Machine::access_line(int core, std::uint64_t addr, bool is_write) {
+  const auto c = static_cast<std::size_t>(core);
+  AccessResult r;
+
+  bool remote_dirty = false;
+  if (is_write) {
+    // Write-invalidate: strip the line from every other private cache. A
+    // dirty remote copy must be transferred before this core may own it.
+    for (std::size_t other = 0; other < l1_.size(); ++other) {
+      if (other == c) continue;
+      remote_dirty |= l1_[other].is_dirty(addr) || l2_[other].is_dirty(addr);
+      if (l1_[other].invalidate(addr)) ++coherence_.invalidations;
+      if (l2_[other].invalidate(addr)) ++coherence_.invalidations;
+    }
+  }
+
+  const bool l1_hit = l1_[c].access(addr, is_write);
+  if (l1_hit && !remote_dirty) {
+    r.cycles = config_.lat_l1;
+    r.hit_level = 1;
+    return r;
+  }
+  // Note: Cache::access installs on miss, so the L1 lookup above already
+  // filled the line into L1; lower levels only decide the latency.
+  const bool l2_hit = l2_[c].access(addr, is_write);
+  if (l2_hit && !remote_dirty) {
+    r.cycles = config_.lat_l2;
+    r.hit_level = 2;
+    return r;
+  }
+
+  if (!is_write) {
+    // Read miss: a remote M-state copy services it cache-to-cache and the
+    // owner downgrades to shared.
+    for (std::size_t other = 0; other < l1_.size(); ++other) {
+      if (other == c) continue;
+      if (l1_[other].is_dirty(addr) || l2_[other].is_dirty(addr)) {
+        l1_[other].downgrade(addr);
+        l2_[other].downgrade(addr);
+        ++coherence_.downgrades;
+        ++coherence_.remote_transfers;
+        (void)l3_.access(addr);  // the transfer also refreshes L3
+        r.cycles = config_.lat_remote;
+        r.hit_level = 5;
+        return r;
+      }
+    }
+  } else if (remote_dirty) {
+    ++coherence_.remote_transfers;
+    (void)l3_.access(addr, true);
+    r.cycles = config_.lat_remote;
+    r.hit_level = 5;
+    return r;
+  }
+
+  if (l3_.access(addr, is_write)) {
+    r.cycles = config_.lat_l3;
+    r.hit_level = 3;
+  } else {
+    r.cycles = config_.lat_mem;
+    r.hit_level = 4;
+  }
+  return r;
+}
+
+AccessResult Machine::access(int core, std::uint64_t addr, std::uint64_t bytes,
+                             bool is_write) {
+  core::check(core >= 0 && core < config_.cores, core::Status::InvalidValue,
+              "core id out of range");
+  const std::uint64_t line = config_.l1.line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = bytes == 0 ? first : (addr + bytes - 1) / line;
+  AccessResult total;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    const AccessResult r = access_line(core, l * line, is_write);
+    total.cycles += r.cycles;
+    total.hit_level = std::max(total.hit_level, r.hit_level);
+    if (config_.prefetch_next_line && r.hit_level > 2) {
+      // Demand miss in the private caches: stream the next line in clean
+      // (untimed; no coherence action — a real streamer drops lines that
+      // would need ownership).
+      const auto c = static_cast<std::size_t>(core);
+      const std::uint64_t next = (l + 1) * line;
+      bool remote_dirty = false;
+      for (std::size_t other = 0; other < l1_.size(); ++other) {
+        if (other == c) continue;
+        remote_dirty |=
+            l1_[other].is_dirty(next) || l2_[other].is_dirty(next);
+      }
+      if (!remote_dirty) {
+        l1_[c].install(next);
+        l2_[c].install(next);
+        l3_.install(next);
+      }
+    }
+  }
+  cycles_[static_cast<std::size_t>(core)] += total.cycles;
+  return total;
+}
+
+std::uint64_t Machine::makespan_cycles() const {
+  return *std::max_element(cycles_.begin(), cycles_.end());
+}
+
+void Machine::reset_cycles() { std::fill(cycles_.begin(), cycles_.end(), 0); }
+
+void Machine::reset_stats() {
+  for (auto& c : l1_) c.reset_stats();
+  for (auto& c : l2_) c.reset_stats();
+  l3_.reset_stats();
+  coherence_ = {};
+}
+
+void Machine::flush_all() {
+  for (auto& c : l1_) c.flush();
+  for (auto& c : l2_) c.flush();
+  l3_.flush();
+}
+
+}  // namespace mcl::cachesim

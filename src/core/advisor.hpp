@@ -1,0 +1,64 @@
+// Performance advisor — the paper's contribution as executable guidance.
+//
+// Lee et al. conclude with five findings about OpenCL on multicore CPUs
+// (Sec. V). This module codifies each finding as a lint rule over a kernel
+// launch description, so a programmer (or the examples/autotuner in this
+// repo) can ask "will this launch configuration utilize the CPU well?" and
+// receive the paper's guidance with the quantitative rationale attached.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcl::advisor {
+
+/// Which of the paper's findings a piece of advice derives from.
+enum class Finding {
+  WorkGroupSize,     ///< (1) large workgroups amortize scheduling overhead
+  WorkPerItem,       ///< (1) coalesce workitems: scheduling overhead, Fig 1/2
+  Ilp,               ///< (2) independent chains feed the OoO core, Fig 6
+  TransferApi,       ///< (3) map beats copy; alloc flags don't matter, Fig 7/8
+  Affinity,          ///< (4) bind threads when kernels share data, Fig 9
+  Vectorization,     ///< (5) SPMD vectorizes where loop vectorizers give up
+};
+
+enum class Severity { Info, Warning, Critical };
+
+/// Description of a kernel launch, decoupled from the runtime types so the
+/// advisor can be used against any OpenCL-like API.
+struct LaunchProfile {
+  std::size_t global_items = 0;
+  std::size_t local_items = 0;        ///< 0 = implementation-chosen (NULL)
+  std::size_t flops_per_item = 0;     ///< arithmetic per workitem
+  std::size_t bytes_per_item = 0;     ///< memory traffic per workitem
+  int ilp_chains = 1;                 ///< independent dependence chains
+  bool uses_explicit_copy = false;    ///< clEnqueueRead/WriteBuffer style
+  bool device_is_cpu = true;
+  int cpu_logical_cores = 1;
+  bool kernels_share_data = false;    ///< successive kernels reuse buffers
+  bool affinity_pinned = false;
+};
+
+struct Advice {
+  Finding finding;
+  Severity severity;
+  std::string message;        ///< what to change
+  std::string rationale;      ///< which experiment quantifies it
+};
+
+/// Runs all rules; returned advice is ordered most severe first.
+[[nodiscard]] std::vector<Advice> analyze(const LaunchProfile& profile);
+
+/// Rule-of-thumb minimum work per workitem (flops+bytes) under which
+/// workitem scheduling overhead dominates on a CPU device (Fig 1 regime).
+inline constexpr std::size_t kMinWorkPerItem = 64;
+
+/// Workgroup sizes below this leave measurable scheduling overhead on CPUs
+/// for short kernels (Fig 3 saturation point).
+inline constexpr std::size_t kMinCpuWorkGroup = 64;
+
+[[nodiscard]] std::string_view to_string(Finding f) noexcept;
+[[nodiscard]] std::string_view to_string(Severity s) noexcept;
+
+}  // namespace mcl::advisor

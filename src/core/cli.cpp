@@ -1,0 +1,87 @@
+#include "core/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/error.hpp"
+
+namespace mcl::core {
+
+void Cli::add_flag(const std::string& name, const std::string& help,
+                   std::optional<std::string> default_value) {
+  specs_[name] = Spec{help, std::move(default_value)};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "Usage: " << program_ << " [flags]\n";
+      for (const auto& [name, spec] : specs_) {
+        std::cout << "  --" << name;
+        if (spec.default_value) std::cout << " (default: " << *spec.default_value << ")";
+        std::cout << "\n      " << spec.help << '\n';
+      }
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value = "1";
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && specs_.count(name) != 0 &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // --flag value form, only when the flag is declared and next token is
+      // not itself a flag.
+      value = argv[++i];
+    }
+    check(specs_.count(name) != 0, Status::InvalidValue, "unknown flag --" + name);
+    values_[name] = value;
+  }
+  return true;
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = specs_.find(name); it != specs_.end() && it->second.default_value)
+    return *it->second.default_value;
+  return fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+Cli make_bench_cli() {
+  Cli cli;
+  cli.add_flag("quick", "run a fast smoke version of the experiment");
+  cli.add_flag("min-time", "minimum accumulated seconds per configuration", "0.2");
+  cli.add_flag("csv", "append results as CSV to this path");
+  cli.add_flag("json", "append results as JSON lines to this path");
+  cli.add_flag("md", "append results as Markdown tables to this path");
+  cli.add_flag("seed", "input-generation seed", "1337");
+  return cli;
+}
+
+MeasureOptions measure_options_from(const Cli& cli) {
+  MeasureOptions opts = cli.has("quick") ? MeasureOptions::quick() : MeasureOptions{};
+  if (cli.has("min-time")) opts.min_time = cli.get_double("min-time", opts.min_time);
+  return opts;
+}
+
+}  // namespace mcl::core

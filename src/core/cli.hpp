@@ -1,0 +1,55 @@
+// Tiny command-line flag parser shared by bench binaries and examples.
+//
+// Supported syntax: --flag, --flag=value, --flag value. Unknown flags are an
+// error so that typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+
+namespace mcl::core {
+
+class Cli {
+ public:
+  /// Declares a flag before parse(); help is printed by --help.
+  void add_flag(const std::string& name, const std::string& help,
+                std::optional<std::string> default_value = std::nullopt);
+
+  /// Parses argv. Returns false if --help was requested (help printed).
+  /// Throws Error(InvalidValue) on unknown flags.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = {}) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name, long long fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Spec {
+    std::string help;
+    std::optional<std::string> default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string program_;
+};
+
+/// Standard bench flags: --quick, --min-time=<s>, --csv=<path>, --seed=<n>.
+/// Returns a Cli with those flags pre-registered.
+[[nodiscard]] Cli make_bench_cli();
+
+/// Derives MeasureOptions from the standard bench flags.
+[[nodiscard]] MeasureOptions measure_options_from(const Cli& cli);
+
+}  // namespace mcl::core

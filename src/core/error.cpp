@@ -1,0 +1,25 @@
+#include "core/error.hpp"
+
+namespace mcl::core {
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::Success: return "Success";
+    case Status::InvalidValue: return "InvalidValue";
+    case Status::InvalidBufferSize: return "InvalidBufferSize";
+    case Status::InvalidMemFlags: return "InvalidMemFlags";
+    case Status::InvalidKernelArgs: return "InvalidKernelArgs";
+    case Status::InvalidWorkGroupSize: return "InvalidWorkGroupSize";
+    case Status::InvalidGlobalWorkSize: return "InvalidGlobalWorkSize";
+    case Status::InvalidKernelName: return "InvalidKernelName";
+    case Status::InvalidOperation: return "InvalidOperation";
+    case Status::MapFailure: return "MapFailure";
+    case Status::OutOfResources: return "OutOfResources";
+    case Status::DeviceNotFound: return "DeviceNotFound";
+    case Status::BuildProgramFailure: return "BuildProgramFailure";
+    case Status::InternalError: return "InternalError";
+  }
+  return "UnknownStatus";
+}
+
+}  // namespace mcl::core

@@ -1,0 +1,54 @@
+// Error handling primitives shared by every MiniCL module.
+//
+// The runtime surfaces failures as exceptions carrying a Status code, in the
+// spirit of the OpenCL C++ bindings' cl::Error. Hot paths never throw; all
+// validation happens at API boundaries.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mcl::core {
+
+/// Status codes loosely mirroring the OpenCL error space.
+enum class Status : std::int32_t {
+  Success = 0,
+  InvalidValue,
+  InvalidBufferSize,
+  InvalidMemFlags,
+  InvalidKernelArgs,
+  InvalidWorkGroupSize,
+  InvalidGlobalWorkSize,
+  InvalidKernelName,
+  InvalidOperation,
+  MapFailure,
+  OutOfResources,
+  DeviceNotFound,
+  BuildProgramFailure,
+  InternalError,
+};
+
+/// Human-readable name for a status code.
+[[nodiscard]] std::string_view to_string(Status s) noexcept;
+
+/// Exception thrown by MiniCL API entry points on invalid use.
+class Error : public std::runtime_error {
+ public:
+  Error(Status status, const std::string& what)
+      : std::runtime_error(std::string(to_string(status)) + ": " + what),
+        status_(status) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Throws Error(status, msg) unless cond holds. Use at API boundaries only.
+inline void check(bool cond, Status status, const std::string& msg) {
+  if (!cond) throw Error(status, msg);
+}
+
+}  // namespace mcl::core

@@ -1,0 +1,43 @@
+#include "core/harness.hpp"
+
+namespace mcl::core {
+
+namespace {
+
+template <typename SampleFn>
+Measurement run_loop(SampleFn&& sample, const MeasureOptions& opts) {
+  Measurement m;
+  std::vector<double> samples;
+  samples.reserve(64);
+  while ((m.total_s < opts.min_time || m.iterations < opts.min_iters) &&
+         m.iterations < opts.max_iters) {
+    const Seconds dt = sample();
+    samples.push_back(dt);
+    m.total_s += dt;
+    ++m.iterations;
+  }
+  if (m.iterations > 0) m.per_iter_s = m.total_s / static_cast<double>(m.iterations);
+  m.per_iter_stats = summarize(samples);
+  return m;
+}
+
+}  // namespace
+
+Measurement measure(const std::function<void()>& fn, const MeasureOptions& opts) {
+  for (std::size_t i = 0; i < opts.warmup_iters; ++i) fn();
+  return run_loop(
+      [&fn]() {
+        const TimePoint t0 = now();
+        fn();
+        return elapsed_s(t0, now());
+      },
+      opts);
+}
+
+Measurement measure_reported(const std::function<Seconds()>& fn,
+                             const MeasureOptions& opts) {
+  for (std::size_t i = 0; i < opts.warmup_iters; ++i) (void)fn();
+  return run_loop([&fn]() { return fn(); }, opts);
+}
+
+}  // namespace mcl::core

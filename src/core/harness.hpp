@@ -1,0 +1,65 @@
+// Measurement harness implementing the paper's methodology (Sec. III-A):
+// a kernel is re-executed until the accumulated wall time passes a threshold
+// (90 s in the paper; configurable and much smaller here), and the mean time
+// per invocation is reported. Throughput figures are then normalized to a
+// baseline configuration.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/time.hpp"
+
+namespace mcl::core {
+
+/// Controls one measurement run.
+struct MeasureOptions {
+  Seconds min_time = 0.2;       ///< keep iterating until this much wall time accrues
+  std::size_t warmup_iters = 1; ///< un-timed invocations before measuring
+  std::size_t min_iters = 3;    ///< lower bound on timed invocations
+  std::size_t max_iters = 1'000'000;  ///< safety bound
+
+  /// Returns options scaled for quick smoke runs (--quick).
+  [[nodiscard]] static MeasureOptions quick() {
+    return MeasureOptions{.min_time = 0.02, .warmup_iters = 1, .min_iters = 2,
+                          .max_iters = 10'000};
+  }
+};
+
+/// Result of measuring one configuration.
+struct Measurement {
+  std::size_t iterations = 0;
+  Seconds total_s = 0.0;
+  Seconds per_iter_s = 0.0;       ///< total_s / iterations
+  Summary per_iter_stats;         ///< statistics over individual samples
+};
+
+/// Repeatedly invokes fn, timing each invocation, per MeasureOptions.
+[[nodiscard]] Measurement measure(const std::function<void()>& fn,
+                                  const MeasureOptions& opts = {});
+
+/// Like measure(), but fn reports its own duration (e.g. simulated device
+/// time from the GPU model, or event-profiled time). fn returns seconds.
+[[nodiscard]] Measurement measure_reported(const std::function<Seconds()>& fn,
+                                           const MeasureOptions& opts = {});
+
+/// Paper Equation (1): application throughput once transfer time is charged.
+///   Throughput_app = Throughput_kernel / (kernel_time + transfer_time)
+/// Expressed here as work items (or flops) per second over the total time.
+[[nodiscard]] inline double app_throughput(double work_per_invocation,
+                                           Seconds kernel_time,
+                                           Seconds transfer_time) noexcept {
+  const Seconds total = kernel_time + transfer_time;
+  return total > 0.0 ? work_per_invocation / total : 0.0;
+}
+
+/// Normalized throughput of `t` against `baseline` (both per-invocation
+/// times for identical total work): baseline_time / t.
+[[nodiscard]] inline double normalized_throughput(Seconds baseline_time,
+                                                  Seconds t) noexcept {
+  return t > 0.0 ? baseline_time / t : 0.0;
+}
+
+}  // namespace mcl::core

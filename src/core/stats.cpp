@@ -1,0 +1,43 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mcl::core {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(n);
+
+  if (n > 1) {
+    double sq = 0.0;
+    for (double v : sorted) {
+      const double d = v - s.mean;
+      sq += d * d;
+    }
+    s.stdev = std::sqrt(sq / static_cast<double>(n - 1));
+    s.ci95_half = 1.96 * s.stdev / std::sqrt(static_cast<double>(n));
+  }
+  return s;
+}
+
+double relative_spread(const Summary& s) noexcept {
+  if (s.count < 2 || s.min <= 0.0) return 0.0;
+  return s.max / s.min - 1.0;
+}
+
+}  // namespace mcl::core

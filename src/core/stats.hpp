@@ -1,0 +1,26 @@
+// Sample statistics for timing measurements.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcl::core {
+
+/// Summary statistics over a set of timing samples (seconds).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stdev = 0.0;   ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double ci95_half = 0.0;  ///< half-width of the 95% normal-approx CI of the mean
+};
+
+/// Computes summary statistics; tolerates empty input (all-zero summary).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Relative spread max/min - 1; 0 for fewer than two samples.
+[[nodiscard]] double relative_spread(const Summary& s) noexcept;
+
+}  // namespace mcl::core

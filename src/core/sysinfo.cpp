@@ -1,0 +1,106 @@
+#include "core/sysinfo.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace mcl::core {
+
+namespace {
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  if (f) std::getline(f, line);
+  return line;
+}
+
+// Parses sysfs cache size strings like "32K" / "12288K".
+std::size_t parse_cache_size(const std::string& s) {
+  if (s.empty()) return 0;
+  char unit = 0;
+  unsigned long long value = 0;
+  std::sscanf(s.c_str(), "%llu%c", &value, &unit);
+  switch (unit) {
+    case 'K': return value * 1024ULL;
+    case 'M': return value * 1024ULL * 1024ULL;
+    case 'G': return value * 1024ULL * 1024ULL * 1024ULL;
+    default: return value;
+  }
+}
+
+}  // namespace
+
+HostInfo probe_host() {
+  HostInfo info;
+  info.logical_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  if (info.logical_cpus <= 0) info.logical_cpus = 1;
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (cpuinfo && std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      if (auto colon = line.find(':'); colon != std::string::npos) {
+        info.cpu_model = line.substr(colon + 2);
+      }
+      break;
+    }
+  }
+
+  // cache levels of cpu0: index0=L1D, index1=L1I (usually), index2=L2, index3=L3
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + "index" + std::to_string(idx) + "/";
+    const std::string level = read_first_line(dir + "level");
+    const std::string type = read_first_line(dir + "type");
+    if (level.empty()) continue;
+    const std::size_t size = parse_cache_size(read_first_line(dir + "size"));
+    if (level == "1" && type != "Instruction") info.l1d_bytes = size;
+    if (level == "2") info.l2_bytes = size;
+    if (level == "3") info.l3_bytes = size;
+  }
+
+#if defined(__AVX2__)
+  info.simd_isa = "AVX2";
+  info.simd_float_lanes = 8;
+#elif defined(__AVX__)
+  info.simd_isa = "AVX";
+  info.simd_float_lanes = 8;
+#elif defined(__SSE4_2__)
+  info.simd_isa = "SSE4.2";
+  info.simd_float_lanes = 4;
+#elif defined(__SSE2__)
+  info.simd_isa = "SSE2";
+  info.simd_float_lanes = 4;
+#else
+  info.simd_isa = "scalar";
+  info.simd_float_lanes = 1;
+#endif
+
+#if defined(__linux__)
+  info.os = "Linux";
+#else
+  info.os = "unknown";
+#endif
+
+#if defined(__clang__)
+  info.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  info.compiler = "gcc " + std::to_string(__GNUC__) + "." +
+                  std::to_string(__GNUC_MINOR__);
+#else
+  info.compiler = "unknown";
+#endif
+  return info;
+}
+
+std::string format_bytes(std::size_t bytes) {
+  if (bytes == 0) return "n/a";
+  if (bytes % (1024ULL * 1024ULL) == 0)
+    return std::to_string(bytes / (1024ULL * 1024ULL)) + "M";
+  if (bytes % 1024ULL == 0) return std::to_string(bytes / 1024ULL) + "K";
+  return std::to_string(bytes) + "B";
+}
+
+}  // namespace mcl::core

@@ -1,0 +1,28 @@
+// Host-system probing used by the Table I (experimental environment) bench.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mcl::core {
+
+/// What we can discover about the machine the CPU experiments run on.
+struct HostInfo {
+  std::string cpu_model;        ///< e.g. "Intel(R) Xeon(R) CPU E5645"
+  int logical_cpus = 1;
+  std::size_t l1d_bytes = 0;    ///< 0 when undiscoverable
+  std::size_t l2_bytes = 0;
+  std::size_t l3_bytes = 0;
+  std::string simd_isa;         ///< widest ISA this binary was compiled for
+  int simd_float_lanes = 1;     ///< single-precision lanes per vector
+  std::string os;
+  std::string compiler;
+};
+
+/// Probes /proc and sysfs (best effort; missing fields stay defaulted).
+[[nodiscard]] HostInfo probe_host();
+
+/// "12K", "3M" style formatting for cache sizes.
+[[nodiscard]] std::string format_bytes(std::size_t bytes);
+
+}  // namespace mcl::core

@@ -1,0 +1,163 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace mcl::core {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<Cell> row) {
+  row.resize(columns_.size(), Cell{std::string{}});
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(const Cell& c, int precision) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, std::get<double>(c));
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].reserve(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      cells[r].push_back(format_cell(rows_[r][c]));
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::size_t total = widths.empty() ? 0 : 2 * (widths.size() - 1);
+  for (auto w : widths) total += w;
+
+  os << "\n== " << title_ << " ==\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << std::string(widths[c] - columns_[c].size(), ' ');
+    os << (c + 1 < columns_.size() ? "  " : "");
+  }
+  os << '\n' << std::string(total, '-') << '\n';
+  for (const auto& row : cells) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  }
+  os.flush();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  os << "# " << title_ << '\n';
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << escape(columns_[c]) << (c + 1 < columns_.size() ? "," : "");
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << escape(format_cell(row[c], 9)) << (c + 1 < row.size() ? "," : "");
+    os << '\n';
+  }
+}
+
+void Table::write_json(std::ostream& os) const {
+  auto json_string = [](const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    return out + "\"";
+  };
+  auto json_cell = [&](const Cell& c) {
+    if (const auto* s = std::get_if<std::string>(&c)) return json_string(*s);
+    const double v = std::get<double>(c);
+    // JSON has no NaN/Inf; degrade to null.
+    if (!std::isfinite(v)) return std::string("null");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+
+  os << "{\"title\":" << json_string(title_) << ",\"columns\":[";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << json_string(columns_[c]) << (c + 1 < columns_.size() ? "," : "");
+  }
+  os << "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "[";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << json_cell(rows_[r][c]) << (c + 1 < rows_[r].size() ? "," : "");
+    }
+    os << "]" << (r + 1 < rows_.size() ? "," : "");
+  }
+  os << "]}\n";
+}
+
+void Table::write_markdown(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char ch : s) {
+      if (ch == '|') out += "\\|";
+      else out += ch;
+    }
+    return out;
+  };
+  os << "\n### " << escape(title_) << "\n\n|";
+  for (const std::string& c : columns_) os << " " << escape(c) << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "|";
+    for (const Cell& c : row) os << " " << escape(format_cell(c)) << " |";
+    os << "\n";
+  }
+}
+
+void Table::emit(const std::string& csv_path, const std::string& json_path,
+                 const std::string& md_path) const {
+  print(std::cout);
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path, std::ios::app);
+    if (f) write_csv(f);
+  }
+  if (!json_path.empty()) {
+    std::ofstream f(json_path, std::ios::app);
+    if (f) write_json(f);  // one JSON object per line (JSONL)
+  }
+  if (!md_path.empty()) {
+    std::ofstream f(md_path, std::ios::app);
+    if (f) write_markdown(f);
+  }
+}
+
+}  // namespace mcl::core

@@ -1,0 +1,62 @@
+// Console table / CSV reporting used by every bench binary.
+//
+// Each bench builds a Table whose rows mirror the corresponding table or
+// figure series in the paper, prints it, and optionally appends it to a CSV
+// file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mcl::core {
+
+/// One table cell: text or a number (formatted with %.4g by default).
+using Cell = std::variant<std::string, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; pads/truncates to the column count.
+  void add_row(std::vector<Cell> row);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Pretty-prints with aligned columns and a title rule.
+  void print(std::ostream& os) const;
+
+  /// Appends as CSV (with a `# title` comment line and a header row).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes as a JSON object: {"title": ..., "columns": [...],
+  /// "rows": [[...], ...]} with numbers kept numeric. For machine-readable
+  /// experiment pipelines.
+  void write_json(std::ostream& os) const;
+
+  /// Writes as a GitHub-flavored Markdown table with a ### heading.
+  void write_markdown(std::ostream& os) const;
+
+  /// Convenience: prints to stdout, appends CSV to `csv_path`, JSON lines
+  /// to `json_path` and Markdown to `md_path` when nonempty.
+  void emit(const std::string& csv_path = {}, const std::string& json_path = {},
+            const std::string& md_path = {}) const;
+
+  /// Formats a cell the same way print() does.
+  [[nodiscard]] static std::string format_cell(const Cell& c, int precision = 4);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace mcl::core

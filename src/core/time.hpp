@@ -1,0 +1,35 @@
+// Wall-clock timing utilities used by the measurement harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mcl::core {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+/// Seconds as double — the unit every reported duration uses.
+using Seconds = double;
+
+[[nodiscard]] inline TimePoint now() noexcept { return Clock::now(); }
+
+[[nodiscard]] inline Seconds elapsed_s(TimePoint start, TimePoint end) noexcept {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Simple RAII-free stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(now()) {}
+
+  void reset() noexcept { start_ = now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] Seconds elapsed() const noexcept { return elapsed_s(start_, now()); }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace mcl::core

@@ -1,0 +1,211 @@
+#include "gpusim/detailed.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mcl::gpusim {
+
+namespace {
+
+enum class InstType : std::uint8_t { Fp, Other, Mem };
+
+struct Inst {
+  InstType type;
+  std::uint8_t chain;  ///< dependence chain this instruction extends
+};
+
+/// Builds the per-warp instruction stream implied by a cost descriptor:
+/// memory requests spread evenly through `ilp` interleaved compute chains.
+std::vector<Inst> build_stream(const KernelCost& cost, double inflation) {
+  const auto n_fp = static_cast<std::size_t>(std::llround(cost.fp_insts * inflation));
+  const auto n_other =
+      static_cast<std::size_t>(std::llround(cost.other_insts * inflation));
+  const auto n_mem =
+      static_cast<std::size_t>(std::llround(cost.mem_insts * inflation));
+  const auto chains =
+      static_cast<std::uint8_t>(std::clamp(cost.ilp, 1.0, 32.0));
+
+  std::vector<Inst> stream;
+  stream.reserve(n_fp + n_other + n_mem);
+  const std::size_t compute_total = n_fp + n_other;
+  // Interval between memory instructions within the compute stream.
+  const std::size_t mem_interval =
+      n_mem > 0 ? std::max<std::size_t>(1, (compute_total + n_mem) / n_mem) : 0;
+
+  std::size_t emitted_mem = 0;
+  std::uint8_t chain = 0;
+  for (std::size_t i = 0; i < compute_total; ++i) {
+    if (n_mem > 0 && mem_interval > 0 && i % mem_interval == 0 &&
+        emitted_mem < n_mem) {
+      stream.push_back({InstType::Mem, chain});
+      ++emitted_mem;
+    }
+    stream.push_back({i < n_fp ? InstType::Fp : InstType::Other, chain});
+    chain = static_cast<std::uint8_t>((chain + 1) % chains);
+  }
+  while (emitted_mem < n_mem) {
+    stream.push_back({InstType::Mem, chain});
+    ++emitted_mem;
+    chain = static_cast<std::uint8_t>((chain + 1) % chains);
+  }
+  if (stream.empty()) stream.push_back({InstType::Other, 0});
+  return stream;
+}
+
+struct WarpState {
+  std::size_t pc = 0;
+  // Cycle at which each chain's latest producer result becomes available.
+  std::array<std::uint64_t, 32> chain_ready{};
+  bool done = false;
+};
+
+}  // namespace
+
+DetailedResult simulate_detailed(const GpuSpec& spec, const KernelCost& cost,
+                                 const LaunchGeometry& geometry) {
+  DetailedResult out;
+  if (geometry.global_items == 0) return out;
+
+  std::size_t local = geometry.local_items != 0 ? geometry.local_items : 256;
+  local = std::min(local, geometry.global_items);
+
+  // Occupancy — identical rules to the analytical model.
+  const int warps_per_block = static_cast<int>(
+      (local + static_cast<std::size_t>(spec.warp_size) - 1) /
+      static_cast<std::size_t>(spec.warp_size));
+  int blocks_per_sm =
+      std::min(spec.max_blocks_per_sm,
+               std::max(1, spec.max_warps_per_sm / std::max(1, warps_per_block)));
+  const std::size_t total_blocks = (geometry.global_items + local - 1) / local;
+  const std::size_t my_blocks = std::max<std::size_t>(
+      1, (total_blocks + static_cast<std::size_t>(spec.num_sm) - 1) /
+             static_cast<std::size_t>(spec.num_sm));
+  blocks_per_sm =
+      std::min<int>(blocks_per_sm, static_cast<int>(my_blocks));
+
+  const double warp_occupancy =
+      static_cast<double>(local) /
+      (warps_per_block * static_cast<double>(spec.warp_size));
+  const double inflation = 1.0 / std::max(warp_occupancy, 1e-9);
+
+  const std::vector<Inst> stream = build_stream(cost, inflation);
+
+  // Memory subsystem per SM: bandwidth-derived cap on concurrent requests
+  // (same formula as the analytical MWP bound) plus a departure delay.
+  const double departure = cost.coalesced ? spec.departure_delay_coalesced
+                                          : spec.departure_delay_uncoalesced;
+  const double bw_per_warp_gbs =
+      (static_cast<double>(spec.warp_size) * cost.bytes_per_mem) /
+      (spec.mem_latency / (spec.clock_ghz * 1e9)) / 1e9;
+  const int mem_slots = std::max(
+      1, static_cast<int>(std::min(
+             {spec.mem_latency / departure,
+              spec.mem_bandwidth_gbs /
+                  std::max(1e-9, bw_per_warp_gbs * spec.num_sm),
+              128.0})));
+
+  const int resident_warps = blocks_per_sm * warps_per_block;
+  std::vector<WarpState> warps(static_cast<std::size_t>(resident_warps));
+
+  std::uint64_t now = 0;
+  std::size_t blocks_done = 0;
+  std::size_t blocks_launched = static_cast<std::size_t>(blocks_per_sm);
+  std::vector<std::uint64_t> mem_free_at;  // completion times of in-flight reqs
+  std::uint64_t mem_port_free = 0;         // departure-delay gate
+  std::size_t rr = 0;                      // round-robin scan start
+
+  const auto warp_blocked_until = [&](const WarpState& w) -> std::uint64_t {
+    const Inst& inst = stream[w.pc];
+    std::uint64_t ready = w.chain_ready[inst.chain];
+    if (inst.type == InstType::Mem) {
+      ready = std::max(ready, mem_port_free);
+      if (mem_free_at.size() >= static_cast<std::size_t>(mem_slots)) {
+        ready = std::max(ready, *std::min_element(mem_free_at.begin(),
+                                                  mem_free_at.end()));
+      }
+    }
+    return ready;
+  };
+
+  while (blocks_done < my_blocks) {
+    // Retire completed memory requests.
+    std::erase_if(mem_free_at, [&](std::uint64_t t) { return t <= now; });
+
+    // Round-robin: issue at most one instruction this cycle.
+    bool issued = false;
+    for (int scan = 0; scan < resident_warps && !issued; ++scan) {
+      WarpState& w = warps[(rr + scan) % warps.size()];
+      if (w.done) continue;
+      if (warp_blocked_until(w) > now) continue;
+
+      const Inst& inst = stream[w.pc];
+      switch (inst.type) {
+        case InstType::Fp:
+          w.chain_ready[inst.chain] =
+              now + static_cast<std::uint64_t>(spec.fp_latency);
+          break;
+        case InstType::Other:
+          w.chain_ready[inst.chain] = now + 1;
+          break;
+        case InstType::Mem: {
+          const auto done_at =
+              now + static_cast<std::uint64_t>(spec.mem_latency);
+          mem_free_at.push_back(done_at);
+          mem_port_free = now + static_cast<std::uint64_t>(departure);
+          w.chain_ready[inst.chain] = done_at;
+          break;
+        }
+      }
+      ++out.issued_insts;
+      issued = true;
+      rr = (rr + scan + 1) % warps.size();
+
+      if (++w.pc >= stream.size()) {
+        w.done = true;
+        // Block-granularity retirement: when warps_per_block consecutive
+        // warps of one block are done, refill them with a fresh block.
+        const std::size_t block_first =
+            ((&w - warps.data()) / warps_per_block) * warps_per_block;
+        bool block_done = true;
+        for (int k = 0; k < warps_per_block; ++k) {
+          block_done = block_done && warps[block_first + k].done;
+        }
+        if (block_done) {
+          ++blocks_done;
+          if (blocks_launched < my_blocks) {
+            ++blocks_launched;
+            for (int k = 0; k < warps_per_block; ++k) {
+              warps[block_first + k] = WarpState{};
+            }
+          }
+        }
+      }
+    }
+
+    if (issued) {
+      now += static_cast<std::uint64_t>(spec.issue_cycles);
+      continue;
+    }
+    // Nothing issueable: jump to the earliest wake-up instead of ticking.
+    std::uint64_t next = UINT64_MAX;
+    for (const WarpState& w : warps) {
+      if (!w.done) next = std::min(next, warp_blocked_until(w));
+    }
+    ++out.stall_cycles;
+    now = next == UINT64_MAX ? now + 1 : std::max(next, now + 1);
+  }
+
+  out.cycles = now;
+  out.seconds = static_cast<double>(now) / (spec.clock_ghz * 1e9);
+  out.occupancy_warps = resident_warps;
+  const double total_flops = static_cast<double>(geometry.global_items) *
+                             cost.fp_insts * cost.flops_per_fp;
+  out.achieved_gflops =
+      out.seconds > 0.0 ? total_flops / out.seconds / 1e9 : 0.0;
+  return out;
+}
+
+}  // namespace mcl::gpusim

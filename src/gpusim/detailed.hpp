@@ -1,0 +1,42 @@
+// Discrete-event SIMT timing simulator — the detailed counterpart of the
+// analytical Hong-Kim model in gpusim.hpp.
+//
+// One SM is simulated cycle by cycle: resident warps are round-robin
+// scheduled; each warp executes an instruction stream derived from the
+// KernelCost descriptor (fp/other instructions arranged into `ilp`
+// independent chains, memory instructions spread evenly); a warp stalls
+// when its next instruction depends on a result that is still in flight
+// (fp_latency) or on an outstanding memory request (mem_latency), and
+// memory-level parallelism is capped by a bandwidth-derived limit of
+// concurrent requests per SM. Other SMs are assumed identical (the grid is
+// divided evenly), matching the analytical model's assumptions.
+//
+// Purpose: validate that the paper-level GPU conclusions do not depend on
+// the closed-form approximations — tests cross-check both models for
+// agreement on orderings and rough magnitudes, and
+// bench/ablation_gpumodel compares them side by side.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/gpusim.hpp"
+
+namespace mcl::gpusim {
+
+/// Per-run outputs of the detailed simulator.
+struct DetailedResult {
+  double seconds = 0.0;
+  std::uint64_t cycles = 0;        ///< per-SM cycles for its share of blocks
+  std::uint64_t issued_insts = 0;  ///< warp-instructions issued on the SM
+  std::uint64_t stall_cycles = 0;  ///< cycles with no issueable warp
+  double occupancy_warps = 0.0;    ///< resident warps during main phase
+  double achieved_gflops = 0.0;
+};
+
+/// Runs the discrete-event simulation. Deterministic; cost/geometry
+/// semantics identical to gpusim::simulate.
+[[nodiscard]] DetailedResult simulate_detailed(const GpuSpec& spec,
+                                               const KernelCost& cost,
+                                               const LaunchGeometry& geometry);
+
+}  // namespace mcl::gpusim

@@ -1,0 +1,118 @@
+#include "gpusim/gpusim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcl::gpusim {
+
+SimResult simulate(const GpuSpec& spec, const KernelCost& cost,
+                   const LaunchGeometry& geometry) {
+  SimResult r;
+  if (geometry.global_items == 0) return r;
+
+  std::size_t local = geometry.local_items != 0 ? geometry.local_items : 256;
+  local = std::min(local, geometry.global_items);
+
+  // --- occupancy -----------------------------------------------------------
+  const int warps_per_block = static_cast<int>(
+      (local + static_cast<std::size_t>(spec.warp_size) - 1) /
+      static_cast<std::size_t>(spec.warp_size));
+  int blocks_per_sm =
+      std::min(spec.max_blocks_per_sm,
+               std::max(1, spec.max_warps_per_sm / std::max(1, warps_per_block)));
+  const std::size_t total_blocks =
+      (geometry.global_items + local - 1) / local;
+
+  // Fewer blocks than the machine can hold: spread them across SMs.
+  const double blocks_per_sm_avail =
+      static_cast<double>(total_blocks) / spec.num_sm;
+  if (blocks_per_sm_avail < blocks_per_sm) {
+    blocks_per_sm = std::max(1, static_cast<int>(std::ceil(blocks_per_sm_avail)));
+  }
+  const int resident_warps = blocks_per_sm * warps_per_block;
+  r.resident_blocks = blocks_per_sm;
+  r.resident_warps = resident_warps;
+  r.rounds = std::max(
+      1.0, std::ceil(static_cast<double>(total_blocks) /
+                     (static_cast<double>(spec.num_sm) * blocks_per_sm)));
+
+  const double n_warps = static_cast<double>(resident_warps);
+
+  // --- per-warp instruction counts (one warp-inst covers warp_size items) --
+  const double items_per_block = static_cast<double>(local);
+  const double warp_occupancy =
+      items_per_block / (warps_per_block * static_cast<double>(spec.warp_size));
+  // Partially filled warps still issue full warp instructions; account by
+  // inflating per-item work.
+  const double eff = std::max(warp_occupancy, 1e-9);
+
+  const double fp_insts = cost.fp_insts / eff;
+  const double mem_insts = cost.mem_insts / eff;
+  const double other_insts = cost.other_insts / eff;
+
+  // --- compute cycles per warp ---------------------------------------------
+  // A dependent chain stalls fp_latency cycles per instruction; with N warps
+  // and `ilp` independent chains the scheduler hides latency, so effective
+  // CPI = max(issue, fp_latency / (N * ilp)).
+  const double hide = std::max(1.0, n_warps * std::max(1.0, cost.ilp));
+  const double cpi_fp = std::max(spec.issue_cycles, spec.fp_latency / hide);
+  const double comp_cycles =
+      fp_insts * cpi_fp + other_insts * spec.issue_cycles;
+
+  // --- memory cycles per warp ----------------------------------------------
+  const double departure = cost.coalesced ? spec.departure_delay_coalesced
+                                          : spec.departure_delay_uncoalesced;
+  const double mem_cycles = mem_insts * spec.mem_latency;
+
+  double exec_cycles = 0.0;
+  if (mem_insts <= 0.0) {
+    // Pure compute: warps pipeline perfectly; total = comp work of all warps
+    // issued back-to-back, bounded below by one warp's latency chain.
+    const double issue_bound =
+        (fp_insts + other_insts) * spec.issue_cycles * n_warps;
+    const double latency_bound =
+        fp_insts * (spec.fp_latency / std::max(1.0, cost.ilp)) + other_insts;
+    exec_cycles = std::max(issue_bound, latency_bound);
+  } else {
+    // Hong-Kim MWP/CWP.
+    const double mwp_latency = spec.mem_latency / departure;
+    const double bw_per_warp_gbs =
+        (static_cast<double>(spec.warp_size) * cost.bytes_per_mem) /
+        (spec.mem_latency / (spec.clock_ghz * 1e9)) / 1e9;
+    const double mwp_bw =
+        spec.mem_bandwidth_gbs / std::max(1e-9, bw_per_warp_gbs * spec.num_sm);
+    r.mwp = std::min({mwp_latency, mwp_bw, n_warps});
+    r.mwp = std::max(1.0, r.mwp);
+
+    const double comp_per_mem = comp_cycles / mem_insts;
+    r.cwp = std::min(n_warps, (mem_cycles + comp_cycles) / std::max(1.0, comp_cycles));
+
+    if (r.mwp >= r.cwp && comp_cycles > 0.0) {
+      // Computation-bound: memory fully hidden.
+      exec_cycles = mem_cycles + comp_cycles * n_warps;
+    } else {
+      // Memory-bound: each group of MWP warps overlaps its memory time.
+      exec_cycles =
+          mem_cycles * (n_warps / r.mwp) + comp_per_mem * (r.mwp - 1.0) +
+          comp_cycles;
+    }
+  }
+
+  r.cycles_per_sm_round = exec_cycles;
+  const double total_cycles = exec_cycles * r.rounds;
+  r.seconds = total_cycles / (spec.clock_ghz * 1e9);
+
+  const double total_flops = static_cast<double>(geometry.global_items) *
+                             cost.fp_insts * cost.flops_per_fp;
+  r.achieved_gflops = r.seconds > 0.0 ? total_flops / r.seconds / 1e9 : 0.0;
+  return r;
+}
+
+double transfer_seconds(const GpuSpec& spec, std::size_t bytes) {
+  return spec.pcie_latency_s +
+         static_cast<double>(bytes) / (spec.pcie_bandwidth_gbs * 1e9);
+}
+
+}  // namespace mcl::gpusim

@@ -1,0 +1,80 @@
+// Analytical SIMT GPU timing model (Hong & Kim, ISCA'09 style — the paper's
+// own reference [18]), parameterized as a GTX 580.
+//
+// The paper's GPU-side observations are first-order consequences of
+// warp-level latency hiding:
+//   - Fig 1: coalescing workitems starves the GPU of warps -> collapse;
+//   - Fig 3/4: small workgroups cap resident warps per SM -> slow;
+//   - Fig 6: with enough warps, intra-thread ILP is irrelevant -> flat line.
+// This module computes kernel time from a per-workitem cost descriptor and
+// the launch geometry using MWP/CWP (memory/computation warp parallelism).
+// Kernels still execute *functionally* on the host (see ocl::SimGpuDevice);
+// only the reported time comes from this model.
+#pragma once
+
+#include <cstddef>
+
+namespace mcl::gpusim {
+
+/// Hardware description. Defaults are irrelevant — use gtx580().
+struct GpuSpec {
+  int num_sm = 16;
+  int warp_size = 32;
+  int max_warps_per_sm = 48;
+  int max_blocks_per_sm = 8;
+  double clock_ghz = 1.544;        ///< shader clock
+  double issue_cycles = 1.0;       ///< cycles to issue one warp instruction
+  double fp_latency = 18.0;        ///< dependent-issue latency of FP pipe
+  double mem_latency = 400.0;      ///< DRAM round trip (cycles)
+  double departure_delay_coalesced = 4.0;    ///< cycles between mem warps
+  double departure_delay_uncoalesced = 40.0;
+  double mem_bandwidth_gbs = 192.4;
+  double pcie_bandwidth_gbs = 6.0;  ///< host<->device copies
+  double pcie_latency_s = 10e-6;
+
+  /// NVIDIA GeForce GTX 580 (the paper's Table I GPU).
+  [[nodiscard]] static GpuSpec gtx580() { return GpuSpec{}; }
+
+  /// Peak single-precision Gflop/s (FMA counted as 2 flops, 32 cores/SM).
+  [[nodiscard]] double peak_gflops() const {
+    return num_sm * 32 * 2 * clock_ghz;
+  }
+};
+
+/// Per-workitem dynamic cost of a kernel, as a compiler/profiler would
+/// summarize it. Apps register a cost model producing this from their args.
+struct KernelCost {
+  double fp_insts = 0.0;       ///< FP warp-instructions per workitem
+  double mem_insts = 0.0;      ///< memory warp-instructions per workitem
+  double other_insts = 0.0;    ///< integer/control overhead per workitem
+  double flops_per_fp = 1.0;   ///< 2.0 when fp_insts are FMAs
+  double ilp = 1.0;            ///< independent dependence chains in the body
+  double bytes_per_mem = 4.0;  ///< bytes moved per mem inst per thread
+  bool coalesced = true;
+};
+
+struct LaunchGeometry {
+  std::size_t global_items = 0;
+  std::size_t local_items = 0;  ///< 0 = runtime picks (256)
+};
+
+/// Model outputs; seconds is what the device reports as kernel time.
+struct SimResult {
+  double seconds = 0.0;
+  double cycles_per_sm_round = 0.0;
+  int resident_blocks = 0;
+  int resident_warps = 0;
+  double mwp = 0.0;   ///< memory warp parallelism
+  double cwp = 0.0;   ///< computation warp parallelism
+  double rounds = 0.0;  ///< sequential batches of resident blocks per SM
+  double achieved_gflops = 0.0;
+};
+
+/// Runs the analytical model. global_items == 0 yields zero time.
+[[nodiscard]] SimResult simulate(const GpuSpec& spec, const KernelCost& cost,
+                                 const LaunchGeometry& geometry);
+
+/// PCIe transfer model for explicit copies to/from the simulated device.
+[[nodiscard]] double transfer_seconds(const GpuSpec& spec, std::size_t bytes);
+
+}  // namespace mcl::gpusim

@@ -1,0 +1,60 @@
+#include "ocl/buffer.hpp"
+
+#include <cstring>
+#include <new>
+
+namespace mcl::ocl {
+
+namespace {
+
+bool exactly_one_access_flag(MemFlags f) {
+  const int n = (has_flag(f, MemFlags::ReadWrite) ? 1 : 0) +
+                (has_flag(f, MemFlags::ReadOnly) ? 1 : 0) +
+                (has_flag(f, MemFlags::WriteOnly) ? 1 : 0);
+  return n <= 1;  // zero means the ReadWrite default
+}
+
+}  // namespace
+
+Buffer::Buffer(MemFlags flags, std::size_t bytes, void* host_ptr)
+    : flags_(flags), bytes_(bytes) {
+  core::check(bytes > 0, core::Status::InvalidBufferSize,
+              "buffer size must be nonzero");
+  core::check(exactly_one_access_flag(flags), core::Status::InvalidMemFlags,
+              "at most one of ReadWrite/ReadOnly/WriteOnly");
+  const bool use_host = has_flag(flags, MemFlags::UseHostPtr);
+  const bool copy_host = has_flag(flags, MemFlags::CopyHostPtr);
+  core::check(!(use_host && copy_host), core::Status::InvalidMemFlags,
+              "UseHostPtr and CopyHostPtr are mutually exclusive");
+  core::check((host_ptr != nullptr) == (use_host || copy_host),
+              core::Status::InvalidMemFlags,
+              "host_ptr must be given exactly when UseHostPtr/CopyHostPtr is set");
+
+  if (use_host) {
+    data_ = host_ptr;
+    return;
+  }
+  owned_.reset(static_cast<std::byte*>(
+      ::operator new[](bytes, std::align_val_t{64})));
+  data_ = owned_.get();
+  if (copy_host) {
+    std::memcpy(data_, host_ptr, bytes);
+  } else {
+    std::memset(data_, 0, bytes);
+  }
+}
+
+Buffer Buffer::sub_buffer(std::size_t offset, std::size_t bytes) {
+  core::check(bytes > 0 && offset + bytes <= bytes_,
+              core::Status::InvalidBufferSize,
+              "sub-buffer region exceeds parent");
+  Buffer sub(flags_ & ~(MemFlags::UseHostPtr | MemFlags::CopyHostPtr),
+             static_cast<std::byte*>(data_) + offset, bytes, this);
+  return sub;
+}
+
+Buffer::Buffer(MemFlags flags, std::byte* view, std::size_t bytes,
+               const Buffer* parent)
+    : flags_(flags), bytes_(bytes), data_(view), parent_(parent) {}
+
+}  // namespace mcl::ocl

@@ -1,0 +1,348 @@
+// Implementation of the MiniCL C API (mcl.h) over the C++ runtime.
+#include "ocl/mcl.h"
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+
+namespace {
+
+using namespace mcl;
+
+// Handle object definitions: each C handle owns (or references) the C++
+// object behind it. Names must match the forward declarations in mcl.h.
+struct LiveHandles {
+  std::mutex mutex;
+  std::unordered_set<const void*> mems;
+
+  static LiveHandles& instance() {
+    static LiveHandles handles;
+    return handles;
+  }
+  void add(const void* h) {
+    std::lock_guard lock(mutex);
+    mems.insert(h);
+  }
+  void remove(const void* h) {
+    std::lock_guard lock(mutex);
+    mems.erase(h);
+  }
+  bool contains(const void* h) {
+    std::lock_guard lock(mutex);
+    return mems.count(h) != 0;
+  }
+};
+
+mcl_int status_to_code(core::Status s) {
+  using core::Status;
+  switch (s) {
+    case Status::Success: return MCL_SUCCESS;
+    case Status::InvalidValue: return MCL_INVALID_VALUE;
+    case Status::InvalidBufferSize: return MCL_INVALID_BUFFER_SIZE;
+    case Status::InvalidMemFlags: return MCL_INVALID_VALUE;
+    case Status::InvalidKernelArgs: return MCL_INVALID_KERNEL_ARGS;
+    case Status::InvalidWorkGroupSize: return MCL_INVALID_WORK_GROUP_SIZE;
+    case Status::InvalidGlobalWorkSize: return MCL_INVALID_GLOBAL_WORK_SIZE;
+    case Status::InvalidKernelName: return MCL_INVALID_KERNEL_NAME;
+    case Status::InvalidOperation: return MCL_INVALID_OPERATION;
+    case Status::MapFailure: return MCL_MAP_FAILURE;
+    case Status::OutOfResources: return MCL_MEM_OBJECT_ALLOCATION_FAILURE;
+    case Status::DeviceNotFound: return MCL_DEVICE_NOT_FOUND;
+    default: return MCL_INVALID_VALUE;
+  }
+}
+
+/// Runs fn, translating MiniCL exceptions into C error codes.
+template <typename Fn>
+mcl_int guarded(Fn&& fn) {
+  try {
+    fn();
+    return MCL_SUCCESS;
+  } catch (const core::Error& e) {
+    return status_to_code(e.status());
+  } catch (...) {
+    return MCL_INVALID_VALUE;
+  }
+}
+
+void set_err(mcl_int* errcode_ret, mcl_int code) {
+  if (errcode_ret != nullptr) *errcode_ret = code;
+}
+
+}  // namespace
+
+// Handle layouts (C-visible struct tags from mcl.h).
+struct mcl_device_obj {
+  mcl::ocl::Device* device;  // global singleton; not owned
+};
+struct mcl_context_obj {
+  std::unique_ptr<mcl::ocl::Context> context;
+};
+struct mcl_queue_obj {
+  std::unique_ptr<mcl::ocl::CommandQueue> queue;
+};
+struct mcl_mem_obj {
+  std::unique_ptr<mcl::ocl::Buffer> buffer;
+};
+struct mcl_kernel_obj {
+  std::unique_ptr<mcl::ocl::Kernel> kernel;
+};
+
+extern "C" {
+
+mcl_int mclGetDeviceIDs(mcl_bitfield device_type, mcl_uint num_entries,
+                        mcl_device_id* devices, mcl_uint* num_devices) {
+  if (devices == nullptr && num_devices == nullptr) return MCL_INVALID_VALUE;
+  if (devices != nullptr && num_entries == 0) return MCL_INVALID_VALUE;
+
+  // Stable per-process handles for the two singleton devices.
+  static mcl_device_obj cpu_handle{&ocl::Platform::default_instance().cpu()};
+  static mcl_device_obj gpu_handle{&ocl::Platform::default_instance().gpu()};
+
+  mcl_device_id found[2];
+  mcl_uint count = 0;
+  if (device_type & MCL_DEVICE_TYPE_CPU) found[count++] = &cpu_handle;
+  if (device_type & MCL_DEVICE_TYPE_GPU) found[count++] = &gpu_handle;
+  if (count == 0) return MCL_DEVICE_NOT_FOUND;
+
+  if (num_devices != nullptr) *num_devices = count;
+  if (devices != nullptr) {
+    for (mcl_uint i = 0; i < count && i < num_entries; ++i) {
+      devices[i] = found[i];
+    }
+  }
+  return MCL_SUCCESS;
+}
+
+mcl_int mclGetDeviceName(mcl_device_id device, size_t buf_size, char* buf) {
+  if (device == nullptr || buf == nullptr || buf_size == 0) {
+    return MCL_INVALID_VALUE;
+  }
+  const std::string name = device->device->name();
+  std::strncpy(buf, name.c_str(), buf_size - 1);
+  buf[buf_size - 1] = '\0';
+  return MCL_SUCCESS;
+}
+
+mcl_context mclCreateContext(mcl_device_id device, mcl_int* errcode_ret) {
+  if (device == nullptr) {
+    set_err(errcode_ret, MCL_INVALID_DEVICE);
+    return nullptr;
+  }
+  auto* handle = new mcl_context_obj{
+      std::make_unique<ocl::Context>(*device->device)};
+  set_err(errcode_ret, MCL_SUCCESS);
+  return handle;
+}
+
+mcl_int mclReleaseContext(mcl_context context) {
+  if (context == nullptr) return MCL_INVALID_CONTEXT;
+  delete context;
+  return MCL_SUCCESS;
+}
+
+mcl_command_queue mclCreateCommandQueue(mcl_context context,
+                                        mcl_int* errcode_ret) {
+  if (context == nullptr) {
+    set_err(errcode_ret, MCL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  auto* handle = new mcl_queue_obj{
+      std::make_unique<ocl::CommandQueue>(*context->context)};
+  set_err(errcode_ret, MCL_SUCCESS);
+  return handle;
+}
+
+mcl_int mclReleaseCommandQueue(mcl_command_queue queue) {
+  if (queue == nullptr) return MCL_INVALID_VALUE;
+  delete queue;
+  return MCL_SUCCESS;
+}
+
+mcl_int mclFinish(mcl_command_queue queue) {
+  if (queue == nullptr) return MCL_INVALID_VALUE;
+  return guarded([&] { queue->queue->finish(); });
+}
+
+mcl_mem mclCreateBuffer(mcl_context context, mcl_bitfield flags, size_t size,
+                        void* host_ptr, mcl_int* errcode_ret) {
+  if (context == nullptr) {
+    set_err(errcode_ret, MCL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  ocl::MemFlags mf{};
+  bool any_access = false;
+  if (flags & MCL_MEM_READ_WRITE) {
+    mf = mf | ocl::MemFlags::ReadWrite;
+    any_access = true;
+  }
+  if (flags & MCL_MEM_READ_ONLY) {
+    mf = mf | ocl::MemFlags::ReadOnly;
+    any_access = true;
+  }
+  if (flags & MCL_MEM_WRITE_ONLY) {
+    mf = mf | ocl::MemFlags::WriteOnly;
+    any_access = true;
+  }
+  if (!any_access) mf = mf | ocl::MemFlags::ReadWrite;
+  if (flags & MCL_MEM_USE_HOST_PTR) mf = mf | ocl::MemFlags::UseHostPtr;
+  if (flags & MCL_MEM_ALLOC_HOST_PTR) mf = mf | ocl::MemFlags::AllocHostPtr;
+  if (flags & MCL_MEM_COPY_HOST_PTR) mf = mf | ocl::MemFlags::CopyHostPtr;
+
+  mcl_mem handle = nullptr;
+  const mcl_int code = guarded([&] {
+    handle = new mcl_mem_obj{std::make_unique<ocl::Buffer>(
+        context->context->create_buffer(mf, size, host_ptr))};
+  });
+  set_err(errcode_ret, code);
+  if (code != MCL_SUCCESS) return nullptr;
+  LiveHandles::instance().add(handle);
+  return handle;
+}
+
+mcl_int mclReleaseMemObject(mcl_mem mem) {
+  if (mem == nullptr) return MCL_INVALID_MEM_OBJECT;
+  LiveHandles::instance().remove(mem);
+  delete mem;
+  return MCL_SUCCESS;
+}
+
+mcl_int mclEnqueueWriteBuffer(mcl_command_queue queue, mcl_mem mem,
+                              mcl_int /*blocking*/, size_t offset, size_t size,
+                              const void* ptr) {
+  if (queue == nullptr || mem == nullptr) return MCL_INVALID_VALUE;
+  return guarded([&] {
+    (void)queue->queue->enqueue_write_buffer(*mem->buffer, offset, size, ptr);
+  });
+}
+
+mcl_int mclEnqueueReadBuffer(mcl_command_queue queue, mcl_mem mem,
+                             mcl_int /*blocking*/, size_t offset, size_t size,
+                             void* ptr) {
+  if (queue == nullptr || mem == nullptr) return MCL_INVALID_VALUE;
+  return guarded([&] {
+    (void)queue->queue->enqueue_read_buffer(*mem->buffer, offset, size, ptr);
+  });
+}
+
+void* mclEnqueueMapBuffer(mcl_command_queue queue, mcl_mem mem,
+                          mcl_bitfield map_flags, size_t offset, size_t size,
+                          mcl_int* errcode_ret) {
+  if (queue == nullptr || mem == nullptr) {
+    set_err(errcode_ret, MCL_INVALID_VALUE);
+    return nullptr;
+  }
+  ocl::MapFlags mf = ocl::MapFlags::ReadWrite;
+  if ((map_flags & (MCL_MAP_READ | MCL_MAP_WRITE)) == MCL_MAP_READ) {
+    mf = ocl::MapFlags::Read;
+  } else if ((map_flags & (MCL_MAP_READ | MCL_MAP_WRITE)) == MCL_MAP_WRITE) {
+    mf = ocl::MapFlags::Write;
+  }
+  void* ptr = nullptr;
+  const mcl_int code = guarded([&] {
+    ptr = queue->queue->enqueue_map_buffer(*mem->buffer, mf, offset, size);
+  });
+  set_err(errcode_ret, code);
+  return code == MCL_SUCCESS ? ptr : nullptr;
+}
+
+mcl_int mclEnqueueUnmapMemObject(mcl_command_queue queue, mcl_mem mem,
+                                 void* mapped_ptr) {
+  if (queue == nullptr || mem == nullptr) return MCL_INVALID_VALUE;
+  return guarded(
+      [&] { (void)queue->queue->enqueue_unmap(*mem->buffer, mapped_ptr); });
+}
+
+mcl_kernel mclCreateKernel(mcl_context context, const char* kernel_name,
+                           mcl_int* errcode_ret) {
+  if (context == nullptr || kernel_name == nullptr) {
+    set_err(errcode_ret, MCL_INVALID_VALUE);
+    return nullptr;
+  }
+  mcl_kernel handle = nullptr;
+  const mcl_int code = guarded([&] {
+    handle = new mcl_kernel_obj{std::make_unique<ocl::Kernel>(
+        context->context->create_kernel(ocl::Program::builtin(), kernel_name))};
+  });
+  set_err(errcode_ret, code);
+  return code == MCL_SUCCESS ? handle : nullptr;
+}
+
+mcl_int mclReleaseKernel(mcl_kernel kernel) {
+  if (kernel == nullptr) return MCL_INVALID_VALUE;
+  delete kernel;
+  return MCL_SUCCESS;
+}
+
+mcl_int mclSetKernelArg(mcl_kernel kernel, mcl_uint arg_index, size_t arg_size,
+                        const void* arg_value) {
+  if (kernel == nullptr) return MCL_INVALID_VALUE;
+  return guarded([&] {
+    if (arg_value == nullptr) {
+      // Local memory request (clSetKernelArg with NULL value).
+      kernel->kernel->set_arg_local(arg_index, arg_size);
+      return;
+    }
+    if (arg_size == sizeof(mcl_mem)) {
+      mcl_mem candidate;
+      std::memcpy(&candidate, arg_value, sizeof(candidate));
+      if (candidate != nullptr && LiveHandles::instance().contains(candidate)) {
+        kernel->kernel->set_arg(arg_index, *candidate->buffer);
+        return;
+      }
+    }
+    core::check(arg_size > 0 && arg_size <= ocl::KernelArgs::kMaxScalarBytes,
+                core::Status::InvalidKernelArgs, "scalar arg size unsupported");
+    // Copy the raw scalar bytes into the slot.
+    struct Raw {
+      unsigned char bytes[ocl::KernelArgs::kMaxScalarBytes];
+    } raw{};
+    std::memcpy(raw.bytes, arg_value, arg_size);
+    switch (arg_size) {
+      case 4: {
+        unsigned v;
+        std::memcpy(&v, arg_value, 4);
+        kernel->kernel->set_arg(arg_index, v);
+        break;
+      }
+      case 8: {
+        unsigned long long v;
+        std::memcpy(&v, arg_value, 8);
+        kernel->kernel->set_arg(arg_index, v);
+        break;
+      }
+      default:
+        kernel->kernel->set_arg(arg_index, raw);
+        break;
+    }
+  });
+}
+
+mcl_int mclEnqueueNDRangeKernel(mcl_command_queue queue, mcl_kernel kernel,
+                                mcl_uint work_dim, const size_t* global_size,
+                                const size_t* local_size) {
+  if (queue == nullptr || kernel == nullptr || global_size == nullptr ||
+      work_dim < 1 || work_dim > 3) {
+    return MCL_INVALID_VALUE;
+  }
+  ocl::NDRange global, local;
+  global.dims = work_dim;
+  for (mcl_uint d = 0; d < 3; ++d) {
+    global.size[d] = d < work_dim ? global_size[d] : 1;
+  }
+  if (local_size != nullptr) {
+    local.dims = work_dim;
+    for (mcl_uint d = 0; d < 3; ++d) {
+      local.size[d] = d < work_dim ? local_size[d] : 1;
+    }
+  }
+  return guarded([&] {
+    (void)queue->queue->enqueue_ndrange(*kernel->kernel, global, local);
+  });
+}
+
+}  // extern "C"

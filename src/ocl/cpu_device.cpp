@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/sysinfo.hpp"
+#include "ocl/detail/group_runner.hpp"
+#include "ocl/device.hpp"
+#include "threading/affinity.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace mcl::ocl {
+
+struct CpuDevice::Impl {
+  explicit Impl(const CpuDeviceConfig& config)
+      : pool(config.threads, config.pin_workers) {}
+  threading::ThreadPool pool;
+  // Kernel launches are serialized per device: the pool's batch dispatch
+  // supports one batch at a time, and the device models a single in-order
+  // execution engine (multiple CommandQueues may share it).
+  std::mutex launch_mutex;
+};
+
+CpuDevice::CpuDevice(CpuDeviceConfig config)
+    : impl_(std::make_unique<Impl>(config)), config_(config) {}
+
+CpuDevice::~CpuDevice() = default;
+
+std::string CpuDevice::name() const {
+  const core::HostInfo host = core::probe_host();
+  return host.cpu_model.empty() ? "MiniCL CPU" : host.cpu_model;
+}
+
+int CpuDevice::compute_units() const {
+  return static_cast<int>(impl_->pool.thread_count());
+}
+
+LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
+                               const NDRange& global, const NDRange& local,
+                               const NDRange& offset) {
+  detail::GroupRunner runner(def, args, global, local, config_.executor,
+                             config_.fiber_stack_bytes, offset);
+  LaunchResult result;
+  result.local_used = runner.local();
+  result.executor_used = runner.executor();
+
+  // Workgroups are claimed in chunks (as TBB-based runtimes do) so the
+  // shared-counter cost amortizes; per-group and per-item costs remain.
+  const std::size_t threads = impl_->pool.thread_count();
+  const std::size_t chunk = std::clamp<std::size_t>(
+      runner.total_groups() / (threads * 16), 1, 64);
+
+  std::lock_guard launch_lock(impl_->launch_mutex);
+  const core::TimePoint t0 = core::now();
+  result.schedule = impl_->pool.parallel_run(
+      runner.total_groups(),
+      [&runner](std::size_t g) { runner.run_group(g); }, chunk,
+      config_.scheduler);
+  result.seconds = core::elapsed_s(t0, core::now());
+  return result;
+}
+
+LaunchResult CpuDevice::launch_pinned(const KernelDef& def,
+                                      const KernelArgs& args,
+                                      const NDRange& global,
+                                      const NDRange& local,
+                                      std::span<const int> group_to_cpu) {
+  detail::GroupRunner runner(def, args, global, local, config_.executor,
+                             config_.fiber_stack_bytes);
+  core::check(group_to_cpu.size() == runner.total_groups(),
+              core::Status::InvalidValue,
+              "group_to_cpu must name a CPU for every workgroup");
+
+  // Bucket workgroups by target CPU; one pinned thread per distinct CPU.
+  std::map<int, std::vector<std::size_t>> by_cpu;
+  for (std::size_t g = 0; g < group_to_cpu.size(); ++g) {
+    core::check(group_to_cpu[g] >= 0, core::Status::InvalidValue,
+                "negative CPU id in group_to_cpu");
+    by_cpu[group_to_cpu[g]].push_back(g);
+  }
+
+  LaunchResult result;
+  result.local_used = runner.local();
+  result.executor_used = runner.executor();
+
+  const core::TimePoint t0 = core::now();
+  std::vector<std::thread> threads;
+  threads.reserve(by_cpu.size());
+  for (const auto& [cpu, groups] : by_cpu) {
+    threads.emplace_back([cpu = cpu, &groups, &runner] {
+      threading::pin_current_thread(cpu);
+      for (std::size_t g : groups) runner.run_group(g);
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.seconds = core::elapsed_s(t0, core::now());
+  return result;
+}
+
+}  // namespace mcl::ocl

@@ -1,0 +1,153 @@
+// Compute devices.
+//
+// MiniCL exposes two devices, mirroring the paper's platform pair:
+//  - CpuDevice: executes kernels on host threads (Intel-CPU-runtime
+//    analogue); reported kernel time is measured wall time.
+//  - SimGpuDevice: executes kernels functionally on the host but reports
+//    *simulated* time from the gpusim analytical model (GTX 580 analogue).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/time.hpp"
+#include "gpusim/gpusim.hpp"
+#include "ocl/kernel.hpp"
+#include "ocl/types.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace mcl::ocl {
+
+/// Outcome of one NDRange execution.
+struct LaunchResult {
+  core::Seconds seconds = 0.0;   ///< kernel time (measured or simulated)
+  NDRange local_used;            ///< local size after NULL resolution
+  ExecutorKind executor_used = ExecutorKind::Loop;
+  bool simulated = false;        ///< seconds came from a timing model
+  gpusim::SimResult sim;         ///< populated when simulated
+  threading::RunStats schedule;  ///< workgroup load balance (CPU device)
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual DeviceType type() const = 0;
+  [[nodiscard]] virtual int compute_units() const = 0;
+
+  /// Validates and executes an NDRange. `local` may be null (NullRange) to
+  /// let the device pick (pick_default_local policy); `offset` (null = 0)
+  /// shifts every global id, as clEnqueueNDRangeKernel's
+  /// global_work_offset does.
+  virtual LaunchResult launch(const KernelDef& def, const KernelArgs& args,
+                              const NDRange& global, const NDRange& local,
+                              const NDRange& offset = NDRange{}) = 0;
+
+  /// Extra seconds a `bytes`-byte explicit copy costs on top of the host
+  /// memcpy (PCIe time on the simulated GPU; 0 on the CPU).
+  [[nodiscard]] virtual core::Seconds copy_overhead_seconds(
+      std::size_t bytes) const {
+    (void)bytes;
+    return 0.0;
+  }
+
+  /// Extra seconds mapping `bytes` of `buffer` costs (0 on the CPU — mapping
+  /// returns the canonical pointer; PCIe copy for non-host-visible buffers
+  /// on the simulated GPU).
+  [[nodiscard]] virtual core::Seconds map_overhead_seconds(
+      const Buffer& buffer, std::size_t bytes) const {
+    (void)buffer;
+    (void)bytes;
+    return 0.0;
+  }
+};
+
+/// Configuration of the CPU device.
+struct CpuDeviceConfig {
+  std::size_t threads = 0;      ///< 0 = one worker per logical CPU
+  bool pin_workers = false;     ///< pin worker i to logical CPU i
+  ExecutorKind executor = ExecutorKind::Auto;
+  std::size_t fiber_stack_bytes = 64 * 1024;
+  /// Workgroup distribution policy (see threading::ScheduleStrategy and
+  /// bench/ablation_scheduler).
+  threading::ScheduleStrategy scheduler =
+      threading::ScheduleStrategy::CentralCounter;
+};
+
+class CpuDevice final : public Device {
+ public:
+  explicit CpuDevice(CpuDeviceConfig config = {});
+  ~CpuDevice() override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DeviceType type() const override { return DeviceType::Cpu; }
+  [[nodiscard]] int compute_units() const override;
+  [[nodiscard]] const CpuDeviceConfig& config() const noexcept { return config_; }
+
+  LaunchResult launch(const KernelDef& def, const KernelArgs& args,
+                      const NDRange& global, const NDRange& local,
+                      const NDRange& offset = NDRange{}) override;
+
+  /// MiniCL extension the paper argues for (Sec. III-E): launch with an
+  /// explicit workgroup -> logical-CPU map. group_to_cpu[g] names the CPU
+  /// that must execute linear workgroup g; its size must equal the group
+  /// count. Trades the shared pool for per-launch pinned threads.
+  LaunchResult launch_pinned(const KernelDef& def, const KernelArgs& args,
+                             const NDRange& global, const NDRange& local,
+                             std::span<const int> group_to_cpu);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  CpuDeviceConfig config_;
+};
+
+class SimGpuDevice final : public Device {
+ public:
+  explicit SimGpuDevice(gpusim::GpuSpec spec = gpusim::GpuSpec::gtx580());
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DeviceType type() const override {
+    return DeviceType::SimulatedGpu;
+  }
+  [[nodiscard]] int compute_units() const override { return spec_.num_sm; }
+  [[nodiscard]] const gpusim::GpuSpec& spec() const noexcept { return spec_; }
+
+  /// Functional execution on the host; time from the analytical model when
+  /// the kernel registered a gpu_cost (simulated=true), else measured.
+  LaunchResult launch(const KernelDef& def, const KernelArgs& args,
+                      const NDRange& global, const NDRange& local,
+                      const NDRange& offset = NDRange{}) override;
+
+  [[nodiscard]] core::Seconds copy_overhead_seconds(
+      std::size_t bytes) const override {
+    return gpusim::transfer_seconds(spec_, bytes);
+  }
+  [[nodiscard]] core::Seconds map_overhead_seconds(
+      const Buffer& buffer, std::size_t bytes) const override {
+    // Pinned (host-visible) buffers map without a bus crossing; device
+    // buffers must be copied over PCIe to be host-accessible.
+    return buffer.host_visible() ? 0.0
+                                 : gpusim::transfer_seconds(spec_, bytes);
+  }
+
+ private:
+  gpusim::GpuSpec spec_;
+};
+
+/// clGetKernelWorkGroupInfo analogue.
+struct KernelWorkGroupInfo {
+  std::size_t max_work_group_size = 0;
+  /// Lane width the device's vectorizer packs (1 when the kernel has no
+  /// SIMD form or the device doesn't coalesce) — size workgroup dim 0 as a
+  /// multiple of this.
+  std::size_t preferred_work_group_size_multiple = 1;
+  std::size_t local_mem_bytes = 0;  ///< currently requested via the args
+};
+
+[[nodiscard]] KernelWorkGroupInfo kernel_workgroup_info(const Kernel& kernel,
+                                                        const Device& device);
+
+}  // namespace mcl::ocl

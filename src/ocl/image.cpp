@@ -1,0 +1,14 @@
+#include "ocl/image.hpp"
+
+namespace mcl::ocl {
+
+Image2D::Image2D(std::size_t width, std::size_t height, std::size_t channels) {
+  core::check(width > 0 && height > 0, core::Status::InvalidValue,
+              "image extents must be nonzero");
+  core::check(channels == 1 || channels == 4, core::Status::InvalidValue,
+              "images support 1 (CL_R) or 4 (CL_RGBA) float channels");
+  storage_ = std::make_unique<float[]>(width * height * channels);
+  view_ = ImageView{storage_.get(), width, height, channels};
+}
+
+}  // namespace mcl::ocl

@@ -1,0 +1,71 @@
+// 2D image objects (clCreateImage2D analogue, float channels only).
+//
+// Images are row-major float arrays with 1 (CL_R) or 4 (CL_RGBA) channels.
+// Kernels receive an ImageView and sample through read_clamped(), which
+// implements CLK_ADDRESS_CLAMP_TO_EDGE — enough image API for the stencil
+// workloads (convolution) this repo adds beyond the paper's suite.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/error.hpp"
+
+namespace mcl::ocl {
+
+/// Lightweight kernel-side view of an image (fits in a KernelArgs slot).
+struct ImageView {
+  float* data = nullptr;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t channels = 1;
+
+  [[nodiscard]] std::size_t row_floats() const noexcept {
+    return width * channels;
+  }
+
+  /// Nearest sampling with clamp-to-edge addressing; x/y may be negative or
+  /// beyond the extent.
+  [[nodiscard]] float read_clamped(long long x, long long y,
+                                   std::size_t channel = 0) const noexcept {
+    const auto cx = static_cast<std::size_t>(
+        x < 0 ? 0 : (x >= static_cast<long long>(width) ? width - 1 : x));
+    const auto cy = static_cast<std::size_t>(
+        y < 0 ? 0 : (y >= static_cast<long long>(height) ? height - 1 : y));
+    return data[(cy * width + cx) * channels + channel];
+  }
+
+  void write(std::size_t x, std::size_t y, float value,
+             std::size_t channel = 0) const noexcept {
+    data[(y * width + x) * channels + channel] = value;
+  }
+};
+
+class Image2D {
+ public:
+  /// Allocates a width x height image with `channels` float channels (1 or
+  /// 4), zero-initialized.
+  Image2D(std::size_t width, std::size_t height, std::size_t channels = 1);
+
+  Image2D(const Image2D&) = delete;
+  Image2D& operator=(const Image2D&) = delete;
+  Image2D(Image2D&&) noexcept = default;
+  Image2D& operator=(Image2D&&) noexcept = default;
+
+  [[nodiscard]] std::size_t width() const noexcept { return view_.width; }
+  [[nodiscard]] std::size_t height() const noexcept { return view_.height; }
+  [[nodiscard]] std::size_t channels() const noexcept { return view_.channels; }
+  [[nodiscard]] std::size_t float_count() const noexcept {
+    return view_.width * view_.height * view_.channels;
+  }
+
+  [[nodiscard]] float* data() noexcept { return view_.data; }
+  [[nodiscard]] const float* data() const noexcept { return view_.data; }
+  [[nodiscard]] const ImageView& view() const noexcept { return view_; }
+
+ private:
+  std::unique_ptr<float[]> storage_;
+  ImageView view_;
+};
+
+}  // namespace mcl::ocl

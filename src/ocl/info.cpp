@@ -1,0 +1,27 @@
+#include "ocl/device.hpp"
+#include "simd/vec.hpp"
+
+namespace mcl::ocl {
+
+KernelWorkGroupInfo kernel_workgroup_info(const Kernel& kernel,
+                                          const Device& device) {
+  KernelWorkGroupInfo info;
+  info.local_mem_bytes = kernel.args().total_local_bytes();
+
+  if (device.type() == DeviceType::Cpu) {
+    // Bounded by fiber-stack memory for barrier kernels; generous otherwise.
+    info.max_work_group_size = kernel.def().needs_barrier ? 4096 : 1 << 20;
+    const bool vectorizes =
+        kernel.def().simd != nullptr && simd::kNativeFloatWidth > 1;
+    info.preferred_work_group_size_multiple =
+        vectorizes ? static_cast<std::size_t>(simd::kNativeFloatWidth) : 1;
+  } else {
+    const auto& gpu = static_cast<const SimGpuDevice&>(device);
+    info.max_work_group_size = 1024;  // GTX 580 limit
+    info.preferred_work_group_size_multiple =
+        static_cast<std::size_t>(gpu.spec().warp_size);
+  }
+  return info;
+}
+
+}  // namespace mcl::ocl

@@ -1,0 +1,129 @@
+/* MiniCL C API — an OpenCL-1.1-style C binding over the C++ runtime.
+ *
+ * Mirrors the subset of the cl.h surface the paper's experiments use, with
+ * mcl/MCL_ prefixes: platform/device discovery, contexts, in-order command
+ * queues, buffers with allocation flags, kernel argument binding in the
+ * clSetKernelArg style, NDRange launches, explicit copies and map/unmap.
+ *
+ * Semantics notes (documented divergences from OpenCL 1.1):
+ *  - Kernels come from the process-wide registered-program set (there is no
+ *    runtime compiler), so mclCreateKernel takes only a name.
+ *  - mclSetKernelArg distinguishes buffer args the way the ICD loader does
+ *    in practice: arg_size == sizeof(mcl_mem) AND *arg_value is a live
+ *    mcl_mem handle. NULL arg_value requests local memory of arg_size
+ *    bytes. Everything else is copied as a scalar (max 32 bytes).
+ *  - All enqueue entry points are blocking (the paper's methodology).
+ *
+ * The header compiles as both C and C++.
+ */
+#ifndef MCL_OCL_MCL_H_
+#define MCL_OCL_MCL_H_
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef int mcl_int;
+typedef unsigned int mcl_uint;
+typedef unsigned long long mcl_bitfield;
+
+typedef struct mcl_device_obj* mcl_device_id;
+typedef struct mcl_context_obj* mcl_context;
+typedef struct mcl_queue_obj* mcl_command_queue;
+typedef struct mcl_mem_obj* mcl_mem;
+typedef struct mcl_kernel_obj* mcl_kernel;
+
+/* Error codes (OpenCL-compatible values where they exist). */
+#define MCL_SUCCESS 0
+#define MCL_DEVICE_NOT_FOUND (-1)
+#define MCL_MEM_OBJECT_ALLOCATION_FAILURE (-4)
+#define MCL_MAP_FAILURE (-12)
+#define MCL_INVALID_VALUE (-30)
+#define MCL_INVALID_DEVICE (-33)
+#define MCL_INVALID_CONTEXT (-34)
+#define MCL_INVALID_MEM_OBJECT (-38)
+#define MCL_INVALID_BUFFER_SIZE (-61)
+#define MCL_INVALID_KERNEL_NAME (-46)
+#define MCL_INVALID_KERNEL_ARGS (-52)
+#define MCL_INVALID_WORK_GROUP_SIZE (-54)
+#define MCL_INVALID_GLOBAL_WORK_SIZE (-63)
+#define MCL_INVALID_OPERATION (-59)
+
+/* Device types. */
+#define MCL_DEVICE_TYPE_CPU (1 << 1)
+#define MCL_DEVICE_TYPE_GPU (1 << 2)
+
+/* Buffer flags (OpenCL bit values). */
+#define MCL_MEM_READ_WRITE (1 << 0)
+#define MCL_MEM_WRITE_ONLY (1 << 1)
+#define MCL_MEM_READ_ONLY (1 << 2)
+#define MCL_MEM_USE_HOST_PTR (1 << 3)
+#define MCL_MEM_ALLOC_HOST_PTR (1 << 4)
+#define MCL_MEM_COPY_HOST_PTR (1 << 5)
+
+/* Map flags. */
+#define MCL_MAP_READ (1 << 0)
+#define MCL_MAP_WRITE (1 << 1)
+
+#define MCL_TRUE 1
+#define MCL_FALSE 0
+
+/* --- discovery ----------------------------------------------------------- */
+
+/* Fills up to num_entries devices of the requested type(s); *num_devices
+ * (optional) receives the total available. Devices are process-global
+ * singletons; do not free them. */
+mcl_int mclGetDeviceIDs(mcl_bitfield device_type, mcl_uint num_entries,
+                        mcl_device_id* devices, mcl_uint* num_devices);
+
+/* Device name into buf (truncated, always NUL-terminated). */
+mcl_int mclGetDeviceName(mcl_device_id device, size_t buf_size, char* buf);
+
+/* --- context & queue ------------------------------------------------------ */
+
+mcl_context mclCreateContext(mcl_device_id device, mcl_int* errcode_ret);
+mcl_int mclReleaseContext(mcl_context context);
+
+mcl_command_queue mclCreateCommandQueue(mcl_context context,
+                                        mcl_int* errcode_ret);
+mcl_int mclReleaseCommandQueue(mcl_command_queue queue);
+mcl_int mclFinish(mcl_command_queue queue);
+
+/* --- buffers --------------------------------------------------------------- */
+
+mcl_mem mclCreateBuffer(mcl_context context, mcl_bitfield flags, size_t size,
+                        void* host_ptr, mcl_int* errcode_ret);
+mcl_int mclReleaseMemObject(mcl_mem mem);
+
+mcl_int mclEnqueueWriteBuffer(mcl_command_queue queue, mcl_mem mem,
+                              mcl_int blocking, size_t offset, size_t size,
+                              const void* ptr);
+mcl_int mclEnqueueReadBuffer(mcl_command_queue queue, mcl_mem mem,
+                             mcl_int blocking, size_t offset, size_t size,
+                             void* ptr);
+void* mclEnqueueMapBuffer(mcl_command_queue queue, mcl_mem mem,
+                          mcl_bitfield map_flags, size_t offset, size_t size,
+                          mcl_int* errcode_ret);
+mcl_int mclEnqueueUnmapMemObject(mcl_command_queue queue, mcl_mem mem,
+                                 void* mapped_ptr);
+
+/* --- kernels ---------------------------------------------------------------- */
+
+mcl_kernel mclCreateKernel(mcl_context context, const char* kernel_name,
+                           mcl_int* errcode_ret);
+mcl_int mclReleaseKernel(mcl_kernel kernel);
+
+mcl_int mclSetKernelArg(mcl_kernel kernel, mcl_uint arg_index, size_t arg_size,
+                        const void* arg_value);
+
+mcl_int mclEnqueueNDRangeKernel(mcl_command_queue queue, mcl_kernel kernel,
+                                mcl_uint work_dim, const size_t* global_size,
+                                const size_t* local_size);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* MCL_OCL_MCL_H_ */

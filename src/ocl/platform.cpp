@@ -1,0 +1,10 @@
+#include "ocl/platform.hpp"
+
+namespace mcl::ocl {
+
+Platform& Platform::default_instance() {
+  static Platform platform;
+  return platform;
+}
+
+}  // namespace mcl::ocl

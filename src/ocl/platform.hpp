@@ -1,0 +1,45 @@
+// Platform: device discovery root (clGetPlatformIDs analogue).
+//
+// A Platform owns one CPU device and one simulated-GPU device, matching the
+// paper's two-platform setup (Intel OpenCL on the Xeon, NVIDIA OpenCL on the
+// GTX 580). Construct your own for custom configurations, or use
+// Platform::default_instance() for the shared one.
+#pragma once
+
+#include <vector>
+
+#include "ocl/device.hpp"
+
+namespace mcl::ocl {
+
+class Platform {
+ public:
+  explicit Platform(CpuDeviceConfig cpu_config = {},
+                    gpusim::GpuSpec gpu_spec = gpusim::GpuSpec::gtx580())
+      : cpu_(cpu_config), gpu_(gpu_spec) {}
+
+  [[nodiscard]] static const char* name() noexcept { return "MiniCL"; }
+  [[nodiscard]] static const char* version() noexcept {
+    return "MiniCL 1.0 (OpenCL-1.1-style host API)";
+  }
+
+  [[nodiscard]] CpuDevice& cpu() noexcept { return cpu_; }
+  [[nodiscard]] SimGpuDevice& gpu() noexcept { return gpu_; }
+
+  [[nodiscard]] std::vector<Device*> devices() {
+    return {&cpu_, &gpu_};
+  }
+  [[nodiscard]] Device* device_by_type(DeviceType type) {
+    if (type == DeviceType::Cpu) return &cpu_;
+    return &gpu_;
+  }
+
+  /// Shared default platform (default CPU config, GTX 580 GPU model).
+  [[nodiscard]] static Platform& default_instance();
+
+ private:
+  CpuDevice cpu_;
+  SimGpuDevice gpu_;
+};
+
+}  // namespace mcl::ocl

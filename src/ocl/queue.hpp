@@ -1,0 +1,224 @@
+// Context, command queue and events.
+//
+// The queue is in-order and executes commands synchronously (the paper's
+// methodology uses blocking calls for every measurement, Sec. III-D);
+// non-blocking flags are accepted for API compatibility and behave as
+// blocking. Every command returns an Event carrying its profiled time,
+// which is how the benches obtain kernel vs. transfer time (Eq. 1).
+//
+// Transfer semantics on a CPU device — the crux of Fig 7/8:
+//  - enqueue_read/write_buffer physically copies between the caller's memory
+//    and the buffer's storage (one memcpy), exactly what a CPU OpenCL
+//    runtime does for the explicit-copy API;
+//  - enqueue_map_buffer returns the canonical pointer: no copy, constant
+//    cost ("only returning a pointer is needed" — Sec. III-D).
+// On the simulated GPU device, events additionally carry modeled PCIe time.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/time.hpp"
+#include "ocl/buffer.hpp"
+#include "ocl/device.hpp"
+#include "ocl/kernel.hpp"
+
+namespace mcl::ocl {
+
+enum class CommandType {
+  NDRangeKernel,
+  ReadBuffer,
+  WriteBuffer,
+  CopyBuffer,
+  FillBuffer,
+  ReadBufferRect,
+  WriteBufferRect,
+  MapBuffer,
+  UnmapBuffer,
+  Marker,
+};
+
+/// 3D region descriptor for the rect transfer APIs (all units bytes for
+/// dim 0, rows/slices for dims 1/2 — as in clEnqueueReadBufferRect).
+struct BufferRect {
+  std::size_t origin[3] = {0, 0, 0};   ///< byte offset, row, slice
+  std::size_t region[3] = {0, 1, 1};   ///< bytes per row, rows, slices
+  std::size_t row_pitch = 0;           ///< 0 = region[0]
+  std::size_t slice_pitch = 0;         ///< 0 = row_pitch * region[1]
+};
+
+/// Completed-command record (blocking commands return these directly; they
+/// carry profiling data).
+struct Event {
+  CommandType type = CommandType::NDRangeKernel;
+  core::Seconds seconds = 0.0;  ///< wall time + any modeled device overhead
+  LaunchResult launch;          ///< valid for NDRangeKernel events
+};
+
+/// Waitable handle for non-blocking commands (clEvent analogue). Produced by
+/// the *_async entry points; completion is signaled by the queue's
+/// dispatcher thread. Copies share state (shared_ptr semantics via
+/// AsyncEventPtr).
+class AsyncEvent {
+ public:
+  /// Blocks until the command completed; rethrows any kernel/API error.
+  void wait() const;
+
+  [[nodiscard]] bool complete() const;
+
+  /// wait() + the completed Event record.
+  [[nodiscard]] Event result() const;
+
+ private:
+  friend class CommandQueue;
+  void fulfill(Event event) noexcept;
+  void fail(std::exception_ptr error) noexcept;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Event event_;
+  std::exception_ptr error_;
+};
+
+using AsyncEventPtr = std::shared_ptr<AsyncEvent>;
+
+/// clContext analogue: a device binding plus buffer factory.
+class Context {
+ public:
+  explicit Context(Device& device) : device_(&device) {}
+
+  [[nodiscard]] Device& device() const noexcept { return *device_; }
+
+  [[nodiscard]] Buffer create_buffer(MemFlags flags, std::size_t bytes,
+                                     void* host_ptr = nullptr) const {
+    return Buffer(flags, bytes, host_ptr);
+  }
+
+  [[nodiscard]] Kernel create_kernel(const Program& program,
+                                     const std::string& name) const {
+    return Kernel(program.lookup(name));
+  }
+
+ private:
+  Device* device_;
+};
+
+class CommandQueue {
+ public:
+  explicit CommandQueue(Context& context)
+      : context_(&context), device_(&context.device()) {}
+  ~CommandQueue();
+
+  CommandQueue(const CommandQueue&) = delete;
+  CommandQueue& operator=(const CommandQueue&) = delete;
+
+  [[nodiscard]] Device& device() const noexcept { return *device_; }
+
+  /// clEnqueueWriteBuffer: host memory -> buffer.
+  Event enqueue_write_buffer(Buffer& buffer, std::size_t offset,
+                             std::size_t bytes, const void* src);
+
+  /// clEnqueueReadBuffer: buffer -> host memory.
+  Event enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
+                            std::size_t bytes, void* dst);
+
+  /// clEnqueueCopyBuffer: device-side buffer-to-buffer copy. Overlapping
+  /// src/dst regions (including via sub-buffers) are rejected.
+  Event enqueue_copy_buffer(const Buffer& src, Buffer& dst,
+                            std::size_t src_offset, std::size_t dst_offset,
+                            std::size_t bytes);
+
+  /// clEnqueueFillBuffer: tile `pattern` (pattern_bytes long) across
+  /// [offset, offset+bytes). bytes must be a multiple of pattern_bytes.
+  Event enqueue_fill_buffer(Buffer& buffer, const void* pattern,
+                            std::size_t pattern_bytes, std::size_t offset,
+                            std::size_t bytes);
+
+  /// clEnqueueWriteBufferRect: strided 3D host -> buffer copy. `host_rect`
+  /// addresses `src`; `buffer_rect` addresses the buffer. The region fields
+  /// of both rects must match.
+  Event enqueue_write_buffer_rect(Buffer& buffer, const BufferRect& buffer_rect,
+                                  const BufferRect& host_rect, const void* src);
+
+  /// clEnqueueReadBufferRect: strided 3D buffer -> host copy.
+  Event enqueue_read_buffer_rect(const Buffer& buffer,
+                                 const BufferRect& buffer_rect,
+                                 const BufferRect& host_rect, void* dst);
+
+  /// clEnqueueMarker: a timestamped no-op (the queue is synchronous, so the
+  /// marker completes immediately).
+  Event enqueue_marker() { return Event{CommandType::Marker, 0.0, {}}; }
+
+  /// clEnqueueMapBuffer: returns a host pointer into the buffer. The event
+  /// (optional) records the mapping cost.
+  [[nodiscard]] void* enqueue_map_buffer(Buffer& buffer, MapFlags flags,
+                                         std::size_t offset, std::size_t bytes,
+                                         Event* event = nullptr);
+
+  /// clEnqueueUnmapMemObject.
+  Event enqueue_unmap(Buffer& buffer, void* mapped_ptr);
+
+  /// clEnqueueNDRangeKernel. Pass a default-constructed NDRange as `local`
+  /// for the NULL-local-size behavior; `offset` is the global_work_offset.
+  Event enqueue_ndrange(const Kernel& kernel, const NDRange& global,
+                        const NDRange& local = NDRange{},
+                        const NDRange& offset = NDRange{});
+
+  /// MiniCL affinity extension (CPU device only): workgroup g runs on
+  /// logical CPU group_to_cpu[g].
+  Event enqueue_ndrange_pinned(const Kernel& kernel, const NDRange& global,
+                               const NDRange& local,
+                               std::span<const int> group_to_cpu);
+
+  // --- non-blocking commands (in-order, executed by a per-queue dispatcher
+  // thread started on first use) ------------------------------------------
+
+  /// Non-blocking clEnqueueNDRangeKernel. The kernel's argument bindings are
+  /// snapshot at enqueue time; the buffers they reference must stay alive
+  /// until the event completes. Commands of one queue execute in order;
+  /// `wait_list` adds cross-queue dependencies.
+  [[nodiscard]] AsyncEventPtr enqueue_ndrange_async(
+      const Kernel& kernel, const NDRange& global,
+      const NDRange& local = NDRange{},
+      std::vector<AsyncEventPtr> wait_list = {});
+
+  /// Non-blocking clEnqueueWriteBuffer (blocking_write = CL_FALSE). `src`
+  /// must stay valid until the event completes.
+  [[nodiscard]] AsyncEventPtr enqueue_write_buffer_async(
+      Buffer& buffer, std::size_t offset, std::size_t bytes, const void* src,
+      std::vector<AsyncEventPtr> wait_list = {});
+
+  /// Non-blocking clEnqueueReadBuffer.
+  [[nodiscard]] AsyncEventPtr enqueue_read_buffer_async(
+      const Buffer& buffer, std::size_t offset, std::size_t bytes, void* dst,
+      std::vector<AsyncEventPtr> wait_list = {});
+
+  /// clFinish: drains every pending asynchronous command. (Blocking
+  /// commands complete before returning, so only async work can be pending.)
+  void finish();
+
+ private:
+  void check_range(const Buffer& buffer, std::size_t offset,
+                   std::size_t bytes) const;
+  AsyncEventPtr submit_async(std::function<Event()> command,
+                             std::vector<AsyncEventPtr> wait_list);
+  void dispatcher_loop();
+
+  Context* context_;
+  Device* device_;
+
+  // Dispatcher state (lazy; untouched by purely blocking usage).
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::pair<std::function<Event()>, AsyncEventPtr>> pending_;
+  std::thread dispatcher_;
+  bool stop_ = false;
+};
+
+}  // namespace mcl::ocl

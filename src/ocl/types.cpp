@@ -1,0 +1,35 @@
+#include "ocl/types.hpp"
+
+namespace mcl::ocl {
+
+namespace {
+
+/// Largest divisor of n that is <= target (target >= 1, n >= 1).
+std::size_t largest_divisor_below(std::size_t n, std::size_t target) noexcept {
+  if (target >= n) return n;
+  for (std::size_t d = target; d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;
+}
+
+}  // namespace
+
+NDRange pick_default_local(const NDRange& global) noexcept {
+  constexpr std::size_t kTarget1D[3] = {64, 1, 1};
+  constexpr std::size_t kTarget2D[3] = {8, 8, 1};
+  constexpr std::size_t kTarget3D[3] = {4, 4, 4};
+  const std::size_t* target = global.dims == 1   ? kTarget1D
+                              : global.dims == 2 ? kTarget2D
+                                                 : kTarget3D;
+  NDRange local;
+  local.dims = global.dims;
+  for (std::size_t d = 0; d < 3; ++d) {
+    local.size[d] = d < global.dims
+                        ? largest_divisor_below(global.size[d], target[d])
+                        : 1;
+  }
+  return local;
+}
+
+}  // namespace mcl::ocl

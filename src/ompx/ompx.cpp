@@ -1,0 +1,241 @@
+#include "ompx/ompx.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "threading/affinity.hpp"
+
+namespace mcl::ompx {
+
+Team::Team(TeamOptions options) : options_(std::move(options)) {
+  nthreads_ = options_.threads != 0
+                  ? options_.threads
+                  : static_cast<std::size_t>(threading::logical_cpu_count());
+  if (nthreads_ == 0) nthreads_ = 1;
+
+  if (options_.proc_bind) {
+    const int cpu = options_.affinity_list.empty()
+                        ? 0
+                        : options_.affinity_list[0];
+    threading::pin_current_thread(cpu);
+  }
+  workers_.reserve(nthreads_ - 1);
+  for (std::size_t tid = 1; tid < nthreads_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+Team::~Team() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Team::worker_loop(std::size_t tid) {
+  if (options_.proc_bind) {
+    const auto& list = options_.affinity_list;
+    const int cpu = list.empty()
+                        ? static_cast<int>(tid) % threading::logical_cpu_count()
+                        : list[tid % list.size()];
+    threading::pin_current_thread(cpu);
+  }
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this, seen_epoch] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      body = body_;
+    }
+    (*body)(tid);
+    join_count_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void Team::run(const std::function<void(std::size_t)>& body) {
+  if (nthreads_ == 1) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    body_ = &body;
+    ++epoch_;
+    join_count_.store(0, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  body(0);
+  std::size_t spins = 0;
+  while (join_count_.load(std::memory_order_acquire) < nthreads_ - 1) {
+    if (++spins > 64) std::this_thread::yield();
+  }
+}
+
+void Team::parallel_for_tid(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body, Schedule schedule,
+    std::size_t chunk) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+
+  switch (schedule) {
+    case Schedule::Static: {
+      // Contiguous blocks, like schedule(static) without a chunk size.
+      run([&](std::size_t tid) {
+        const std::size_t per = n / nthreads_;
+        const std::size_t extra = n % nthreads_;
+        const std::size_t my_begin =
+            begin + tid * per + std::min<std::size_t>(tid, extra);
+        const std::size_t my_len = per + (tid < extra ? 1 : 0);
+        for (std::size_t i = my_begin; i < my_begin + my_len; ++i) body(i, tid);
+      });
+      break;
+    }
+    case Schedule::Dynamic: {
+      const std::size_t c = chunk == 0 ? 1 : chunk;
+      std::atomic<std::size_t> next{begin};
+      run([&](std::size_t tid) {
+        for (;;) {
+          const std::size_t b = next.fetch_add(c, std::memory_order_relaxed);
+          if (b >= end) return;
+          const std::size_t e = std::min(b + c, end);
+          for (std::size_t i = b; i < e; ++i) body(i, tid);
+        }
+      });
+      break;
+    }
+    case Schedule::Guided: {
+      const std::size_t min_chunk = chunk == 0 ? 1 : chunk;
+      std::atomic<std::size_t> next{begin};
+      run([&](std::size_t tid) {
+        for (;;) {
+          std::size_t b = next.load(std::memory_order_relaxed);
+          std::size_t grab;
+          do {
+            if (b >= end) return;
+            grab = std::max((end - b) / (2 * nthreads_), min_chunk);
+          } while (!next.compare_exchange_weak(b, b + grab,
+                                               std::memory_order_relaxed));
+          const std::size_t e = std::min(b + grab, end);
+          for (std::size_t i = b; i < e; ++i) body(i, tid);
+        }
+      });
+      break;
+    }
+  }
+}
+
+void Team::parallel_for(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)>& body,
+                        Schedule schedule, std::size_t chunk) {
+  parallel_for_tid(
+      begin, end, [&body](std::size_t i, std::size_t) { body(i); }, schedule,
+      chunk);
+}
+
+void Team::parallel_for_2d(
+    std::size_t b0, std::size_t e0, std::size_t b1, std::size_t e1,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    Schedule schedule, std::size_t chunk) {
+  const std::size_t n0 = e0 > b0 ? e0 - b0 : 0;
+  const std::size_t n1 = e1 > b1 ? e1 - b1 : 0;
+  if (n0 == 0 || n1 == 0) return;
+  parallel_for(
+      0, n0 * n1,
+      [&](std::size_t flat) {
+        body(b0 + flat / n1, b1 + flat % n1);
+      },
+      schedule, chunk);
+}
+
+void Team::parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body, Schedule schedule,
+    std::size_t chunk) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  switch (schedule) {
+    case Schedule::Static: {
+      run([&](std::size_t tid) {
+        const std::size_t per = n / nthreads_;
+        const std::size_t extra = n % nthreads_;
+        const std::size_t my_begin =
+            begin + tid * per + std::min<std::size_t>(tid, extra);
+        const std::size_t my_len = per + (tid < extra ? 1 : 0);
+        if (my_len > 0) body(my_begin, my_begin + my_len);
+      });
+      break;
+    }
+    case Schedule::Dynamic:
+    case Schedule::Guided: {
+      const std::size_t c =
+          chunk != 0 ? chunk : std::max<std::size_t>(n / (4 * nthreads_), 1);
+      std::atomic<std::size_t> next{begin};
+      run([&](std::size_t) {
+        for (;;) {
+          const std::size_t b = next.fetch_add(c, std::memory_order_relaxed);
+          if (b >= end) return;
+          body(b, std::min(b + c, end));
+        }
+      });
+      break;
+    }
+  }
+}
+
+namespace {
+
+bool env_truthy(const char* value) {
+  const std::string v = value;
+  return v == "1" || v == "true" || v == "TRUE" || v == "yes" || v == "YES";
+}
+
+}  // namespace
+
+TeamOptions options_from_env() {
+  TeamOptions opts;
+  if (const char* n = std::getenv("OMPX_NUM_THREADS")) {
+    const long threads = std::strtol(n, nullptr, 10);
+    if (threads > 0) opts.threads = static_cast<std::size_t>(threads);
+  }
+  if (const char* b = std::getenv("OMPX_PROC_BIND")) {
+    opts.proc_bind = env_truthy(b);
+  }
+  if (const char* a = std::getenv("OMPX_CPU_AFFINITY")) {
+    if (auto list = threading::parse_affinity_list(a)) {
+      opts.affinity_list = *list;
+      opts.proc_bind = true;  // an explicit placement implies binding
+    }
+  }
+  return opts;
+}
+
+std::optional<std::pair<Schedule, std::size_t>> parse_schedule(
+    const std::string& spec) {
+  std::string kind = spec;
+  std::size_t chunk = 0;
+  if (const auto comma = spec.find(','); comma != std::string::npos) {
+    kind = spec.substr(0, comma);
+    const std::string chunk_str = spec.substr(comma + 1);
+    char* end = nullptr;
+    const long v = std::strtol(chunk_str.c_str(), &end, 10);
+    if (end == chunk_str.c_str() || *end != '\0' || v <= 0) return std::nullopt;
+    chunk = static_cast<std::size_t>(v);
+  }
+  if (kind == "static") return std::make_pair(Schedule::Static, chunk);
+  if (kind == "dynamic") return std::make_pair(Schedule::Dynamic, chunk);
+  if (kind == "guided") return std::make_pair(Schedule::Guided, chunk);
+  return std::nullopt;
+}
+
+Team& default_team() {
+  static Team team(options_from_env());
+  return team;
+}
+
+}  // namespace mcl::ompx

@@ -1,0 +1,134 @@
+// ompx — a miniature OpenMP-like fork-join runtime.
+//
+// This is the "conventional parallel programming model" baseline the paper
+// compares OpenCL against. It provides the observable features the paper
+// relies on:
+//   - fork-join teams with static/dynamic/guided loop scheduling,
+//   - thread affinity (OMP_PROC_BIND / GOMP_CPU_AFFINITY analogues),
+//   - loop-granularity work distribution (so per-iteration independence is
+//     the programmer's contract, unlike OpenCL's per-workitem SIMT model).
+//
+// A Team owns persistent worker threads; parallel regions are dispatched by
+// epoch, so repeated parallel_for calls reuse the same OS threads exactly
+// like a warmed-up OpenMP runtime.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mcl::ompx {
+
+enum class Schedule { Static, Dynamic, Guided };
+
+struct TeamOptions {
+  std::size_t threads = 0;       ///< 0 = hardware_concurrency
+  bool proc_bind = false;        ///< OMP_PROC_BIND=true analogue
+  std::vector<int> affinity_list;  ///< GOMP_CPU_AFFINITY analogue; thread i
+                                   ///< pins to affinity_list[i % size]
+};
+
+class Team {
+ public:
+  explicit Team(TeamOptions options = {});
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return nthreads_; }
+
+  /// The fork-join primitive: body(tid) runs once on each of num_threads()
+  /// threads (the caller is tid 0). Everything else builds on this.
+  void run(const std::function<void(std::size_t tid)>& body);
+
+  /// `#pragma omp parallel for schedule(...)`: body(i) per iteration.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    Schedule schedule = Schedule::Static,
+                    std::size_t chunk = 0);
+
+  /// Range form: body(i_begin, i_end) per chunk — callers write the inner
+  /// loop themselves, which is where the "compiled" (possibly vectorized)
+  /// loop bodies plug in.
+  void parallel_for_ranges(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& body,
+                           Schedule schedule = Schedule::Static,
+                           std::size_t chunk = 0);
+
+  /// `#pragma omp parallel for collapse(2)`: the iteration space
+  /// [b0,e0) x [b1,e1) is flattened and scheduled as one loop, so uneven
+  /// outer extents still balance.
+  void parallel_for_2d(std::size_t b0, std::size_t e0, std::size_t b1,
+                       std::size_t e1,
+                       const std::function<void(std::size_t, std::size_t)>& body,
+                       Schedule schedule = Schedule::Static,
+                       std::size_t chunk = 0);
+
+  /// `#pragma omp critical`: body runs under the team-wide mutex.
+  template <typename Fn>
+  void critical(Fn&& fn) {
+    std::lock_guard lock(critical_mutex_);
+    fn();
+  }
+
+  /// Reduction over [begin, end): per-thread partials combined at the join.
+  template <typename T, typename MapFn, typename CombineFn>
+  [[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, T identity,
+                                  MapFn&& map, CombineFn&& combine) {
+    std::vector<T> partials(nthreads_, identity);
+    parallel_for_tid(
+        begin, end,
+        [&](std::size_t i, std::size_t tid) {
+          partials[tid] = combine(partials[tid], map(i));
+        },
+        Schedule::Static, 0);
+    T acc = identity;
+    for (const T& p : partials) acc = combine(acc, p);
+    return acc;
+  }
+
+ private:
+  void worker_loop(std::size_t tid);
+  void parallel_for_tid(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t, std::size_t)>& body,
+                        Schedule schedule, std::size_t chunk);
+
+  std::size_t nthreads_;
+  TeamOptions options_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::atomic<std::size_t> join_count_{0};
+  std::mutex critical_mutex_;
+};
+
+/// Builds TeamOptions from the environment, mirroring the OpenMP variables
+/// the paper used (Sec. III-E):
+///   OMPX_NUM_THREADS   -> threads
+///   OMPX_PROC_BIND     -> proc_bind ("true"/"1"/"yes")
+///   OMPX_CPU_AFFINITY  -> affinity_list (GOMP_CPU_AFFINITY syntax,
+///                         implies proc_bind)
+/// Unset/malformed variables leave the corresponding defaults.
+[[nodiscard]] TeamOptions options_from_env();
+
+/// Parses an OMPX_SCHEDULE-style string: "static", "dynamic", "dynamic,16",
+/// "guided,4". Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::pair<Schedule, std::size_t>> parse_schedule(
+    const std::string& spec);
+
+/// Process-wide default team (lazily constructed from options_from_env()).
+[[nodiscard]] Team& default_team();
+
+}  // namespace mcl::ompx

@@ -1,0 +1,19 @@
+#include "simd/vec.hpp"
+
+namespace mcl::simd {
+
+const char* native_isa_name() noexcept {
+#if defined(__AVX2__)
+  return "AVX2";
+#elif defined(__AVX__)
+  return "AVX";
+#elif defined(__SSE4_2__)
+  return "SSE4.2";
+#elif defined(__SSE2__)
+  return "SSE2";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace mcl::simd

@@ -1,0 +1,275 @@
+// Vectorized transcendentals (Cephes-style single precision) generic over
+// vfloat<W>. Used by the Black-Scholes and Parboil kernels in both the SPMD
+// (OpenCL) and loop (ompx) instantiations, so scalar and vector versions run
+// the same math and validate bit-for-bit against each other within tolerance.
+#pragma once
+
+#include "simd/vec.hpp"
+
+namespace mcl::simd {
+
+namespace detail {
+
+// --- integer bit tricks, specialized per width ------------------------------
+
+/// 2^n for integer-valued float n in roughly [-126, 127].
+[[nodiscard]] inline vfloat<1> pow2i(vfloat<1> n) {
+  const std::int32_t i = (static_cast<std::int32_t>(n.v) + 127) << 23;
+  float f;
+  __builtin_memcpy(&f, &i, 4);
+  return vfloat<1>{f};
+}
+
+/// Splits x into exponent e (as float) and mantissa m in [sqrt(0.5), sqrt(2)).
+inline void frexp_adj(vfloat<1> x, vfloat<1>& m, vfloat<1>& e) {
+  std::int32_t bits;
+  __builtin_memcpy(&bits, &x.v, 4);
+  std::int32_t exp = ((bits >> 23) & 0xff) - 126;
+  bits = (bits & 0x007fffff) | 0x3f000000;  // mantissa in [0.5, 1)
+  float mf;
+  __builtin_memcpy(&mf, &bits, 4);
+  if (mf < 0.70710678118654752440f) {
+    mf *= 2.0f;
+    exp -= 1;
+  }
+  m = vfloat<1>{mf};
+  e = vfloat<1>{static_cast<float>(exp)};
+}
+
+#if defined(__SSE2__)
+[[nodiscard]] inline vfloat<4> pow2i(vfloat<4> n) {
+  __m128i i = _mm_cvtps_epi32(n.v);
+  i = _mm_slli_epi32(_mm_add_epi32(i, _mm_set1_epi32(127)), 23);
+  return vfloat<4>{_mm_castsi128_ps(i)};
+}
+
+inline void frexp_adj(vfloat<4> x, vfloat<4>& m, vfloat<4>& e) {
+  __m128i bits = _mm_castps_si128(x.v);
+  __m128i exp = _mm_sub_epi32(
+      _mm_and_si128(_mm_srli_epi32(bits, 23), _mm_set1_epi32(0xff)),
+      _mm_set1_epi32(126));
+  bits = _mm_or_si128(_mm_and_si128(bits, _mm_set1_epi32(0x007fffff)),
+                      _mm_set1_epi32(0x3f000000));
+  vfloat<4> mf{_mm_castsi128_ps(bits)};
+  const vfloat<4> sqrt_half{0.70710678118654752440f};
+  const vfloat<4> below = cmp_lt(mf, sqrt_half);
+  m = select(below, mf + mf, mf);
+  const vfloat<4> ef{_mm_cvtepi32_ps(exp)};
+  e = select(below, ef - vfloat<4>{1.0f}, ef);
+}
+#endif
+
+#if defined(__AVX2__)
+[[nodiscard]] inline vfloat<8> pow2i(vfloat<8> n) {
+  __m256i i = _mm256_cvtps_epi32(n.v);
+  i = _mm256_slli_epi32(_mm256_add_epi32(i, _mm256_set1_epi32(127)), 23);
+  return vfloat<8>{_mm256_castsi256_ps(i)};
+}
+
+inline void frexp_adj(vfloat<8> x, vfloat<8>& m, vfloat<8>& e) {
+  __m256i bits = _mm256_castps_si256(x.v);
+  __m256i exp = _mm256_sub_epi32(
+      _mm256_and_si256(_mm256_srli_epi32(bits, 23), _mm256_set1_epi32(0xff)),
+      _mm256_set1_epi32(126));
+  bits = _mm256_or_si256(_mm256_and_si256(bits, _mm256_set1_epi32(0x007fffff)),
+                         _mm256_set1_epi32(0x3f000000));
+  vfloat<8> mf{_mm256_castsi256_ps(bits)};
+  const vfloat<8> sqrt_half{0.70710678118654752440f};
+  const vfloat<8> below = cmp_lt(mf, sqrt_half);
+  m = select(below, mf + mf, mf);
+  const vfloat<8> ef{_mm256_cvtepi32_ps(exp)};
+  e = select(below, ef - vfloat<8>{1.0f}, ef);
+}
+#elif defined(__AVX__)
+// AVX without AVX2 lacks 256-bit integer ops; run the 128-bit path twice.
+[[nodiscard]] inline vfloat<8> pow2i(vfloat<8> n) {
+  alignas(32) float tmp[8];
+  n.store_aligned(tmp);
+  alignas(32) float out[8];
+  for (int half = 0; half < 2; ++half) {
+    vfloat<4> r = pow2i(vfloat<4>::load_aligned(tmp + 4 * half));
+    r.store_aligned(out + 4 * half);
+  }
+  return vfloat<8>::load_aligned(out);
+}
+
+inline void frexp_adj(vfloat<8> x, vfloat<8>& m, vfloat<8>& e) {
+  alignas(32) float xs[8], ms[8], es[8];
+  x.store_aligned(xs);
+  for (int half = 0; half < 2; ++half) {
+    vfloat<4> mm, ee;
+    frexp_adj(vfloat<4>::load_aligned(xs + 4 * half), mm, ee);
+    mm.store_aligned(ms + 4 * half);
+    ee.store_aligned(es + 4 * half);
+  }
+  m = vfloat<8>::load_aligned(ms);
+  e = vfloat<8>::load_aligned(es);
+}
+#endif
+
+}  // namespace detail
+
+/// expf, max relative error ~2e-7 on [-87, 88]; clamps outside.
+template <int W>
+[[nodiscard]] vfloat<W> vexp(vfloat<W> x) {
+  using V = vfloat<W>;
+  const V hi{88.3762626647949f}, lo{-87.3365478515625f};
+  x = min(x, hi);
+  x = max(x, lo);
+
+  // n = round(x / ln2); r = x - n*ln2 (extended-precision ln2 split)
+  const V log2e{1.44269504088896341f};
+  V n = floor(fmadd(x, log2e, V{0.5f}));
+  const V c1{0.693359375f}, c2{-2.12194440e-4f};
+  V r = x - n * c1;
+  r = r - n * c2;
+
+  // degree-6 polynomial for e^r on [-ln2/2, ln2/2]
+  V p{1.9875691500e-4f};
+  p = fmadd(p, r, V{1.3981999507e-3f});
+  p = fmadd(p, r, V{8.3334519073e-3f});
+  p = fmadd(p, r, V{4.1665795894e-2f});
+  p = fmadd(p, r, V{1.6666665459e-1f});
+  p = fmadd(p, r, V{5.0000001201e-1f});
+  p = fmadd(p, r * r, r + V{1.0f});
+
+  return p * detail::pow2i(n);
+}
+
+/// logf for x > 0, max relative error ~3e-7. No special-casing of <=0.
+template <int W>
+[[nodiscard]] vfloat<W> vlog(vfloat<W> x) {
+  using V = vfloat<W>;
+  V m, e;
+  detail::frexp_adj(x, m, e);
+  m = m - V{1.0f};
+
+  V p{7.0376836292e-2f};
+  p = fmadd(p, m, V{-1.1514610310e-1f});
+  p = fmadd(p, m, V{1.1676998740e-1f});
+  p = fmadd(p, m, V{-1.2420140846e-1f});
+  p = fmadd(p, m, V{1.4249322787e-1f});
+  p = fmadd(p, m, V{-1.6668057665e-1f});
+  p = fmadd(p, m, V{2.0000714765e-1f});
+  p = fmadd(p, m, V{-2.4999993993e-1f});
+  p = fmadd(p, m, V{3.3333331174e-1f});
+  const V m2 = m * m;
+  V r = p * m * m2;
+  r = fmadd(e, V{-2.12194440e-4f}, r);
+  r = r - m2 * V{0.5f};
+  r = r + m;
+  r = fmadd(e, V{0.693359375f}, r);
+  return r;
+}
+
+namespace detail {
+
+/// Shared sin/cos core: Cephes-style range reduction to [-pi/4, pi/4] with
+/// quadrant selection. Computes both polynomials and picks per quadrant.
+template <int W>
+void vsincos_impl(vfloat<W> x, vfloat<W>& s, vfloat<W>& c) {
+  using V = vfloat<W>;
+  const V sign_x = cmp_lt(x, V{0.0f});
+  const V ax = abs(x);
+
+  // j = round-to-even-ish quadrant count: j = floor(ax * 4/pi), j += j & 1
+  const V four_over_pi{1.27323954473516f};
+  V j = floor(ax * four_over_pi);
+  // if j is odd, add 1 (force even): odd iff floor(j/2)*2 != j
+  const V half_j = floor(j * V{0.5f}) * V{2.0f};
+  const V odd = cmp_lt(half_j, j);  // all-ones where j odd
+  j = select(odd, j + V{1.0f}, j);
+
+  // Extended-precision reduction: y = ax - j*pi/4 (3-part pi/4)
+  const V dp1{0.78515625f}, dp2{2.4187564849853515625e-4f},
+      dp3{3.77489497744594108e-8f};
+  V y = ax - j * dp1;
+  y = y - j * dp2;
+  y = y - j * dp3;
+
+  // quadrant q = j mod 8 -> we need j/2 mod 4; compute q2 = (j/2) mod 4
+  const V j_half = j * V{0.5f};
+  const V q2 = j_half - floor(j_half * V{0.25f}) * V{4.0f};  // in {0,1,2,3}
+
+  const V y2 = y * y;
+  // cos poly on [-pi/4, pi/4]
+  V pc{2.443315711809948e-5f};
+  pc = fmadd(pc, y2, V{-1.388731625493765e-3f});
+  pc = fmadd(pc, y2, V{4.166664568298827e-2f});
+  pc = pc * y2 * y2;
+  pc = pc - y2 * V{0.5f} + V{1.0f};
+  // sin poly
+  V ps{-1.9515295891e-4f};
+  ps = fmadd(ps, y2, V{8.3321608736e-3f});
+  ps = fmadd(ps, y2, V{-1.6666654611e-1f});
+  ps = fmadd(ps * y2, y, y);
+
+  // Quadrant selection (q2 in {0,1,2,3}):
+  //   sin(ax): q0: ps, q1: pc, q2: -ps, q3: -pc
+  //   cos(ax): q0: pc, q1: -ps, q2: -pc, q3: ps
+  const V is_q1 = cmp_lt(abs(q2 - V{1.0f}), V{0.5f});
+  const V is_q2 = cmp_lt(abs(q2 - V{2.0f}), V{0.5f});
+  const V is_q3 = cmp_lt(abs(q2 - V{3.0f}), V{0.5f});
+  const V swap = select(is_q1, V{1.0f}, select(is_q3, V{1.0f}, V{0.0f}));
+  const V do_swap = cmp_gt(swap, V{0.5f});
+
+  V sin_ax = select(do_swap, pc, ps);
+  V cos_ax = select(do_swap, ps, pc);
+  // sign of sin: negative in q2, q3
+  const V neg_sin = select(is_q2, V{1.0f}, select(is_q3, V{1.0f}, V{0.0f}));
+  sin_ax = select(cmp_gt(neg_sin, V{0.5f}), V{0.0f} - sin_ax, sin_ax);
+  // sign of cos: negative in q1, q2
+  const V neg_cos = select(is_q1, V{1.0f}, select(is_q2, V{1.0f}, V{0.0f}));
+  cos_ax = select(cmp_gt(neg_cos, V{0.5f}), V{0.0f} - cos_ax, cos_ax);
+
+  // sin is odd, cos is even.
+  s = select(sign_x, V{0.0f} - sin_ax, sin_ax);
+  c = cos_ax;
+}
+
+}  // namespace detail
+
+/// sinf/cosf pair, usable range |x| < ~8192 (range reduction precision).
+template <int W>
+void vsincos(vfloat<W> x, vfloat<W>& s, vfloat<W>& c) {
+  detail::vsincos_impl(x, s, c);
+}
+
+template <int W>
+[[nodiscard]] vfloat<W> vsin(vfloat<W> x) {
+  vfloat<W> s, c;
+  detail::vsincos_impl(x, s, c);
+  return s;
+}
+
+template <int W>
+[[nodiscard]] vfloat<W> vcos(vfloat<W> x) {
+  vfloat<W> s, c;
+  detail::vsincos_impl(x, s, c);
+  return c;
+}
+
+/// Standard normal CDF via the Abramowitz & Stegun 26.2.17 polynomial (the
+/// formulation used by the classic Black-Scholes OpenCL samples).
+template <int W>
+[[nodiscard]] vfloat<W> normal_cdf(vfloat<W> d) {
+  using V = vfloat<W>;
+  const V a1{0.31938153f}, a2{-0.356563782f}, a3{1.781477937f},
+      a4{-1.821255978f}, a5{1.330274429f};
+  const V inv_sqrt_2pi{0.39894228040143267794f};
+
+  const V ad = abs(d);
+  const V k = V{1.0f} / fmadd(ad, V{0.2316419f}, V{1.0f});
+  V poly = fmadd(a5, k, a4);
+  poly = fmadd(poly, k, a3);
+  poly = fmadd(poly, k, a2);
+  poly = fmadd(poly, k, a1);
+  poly = poly * k;
+
+  const V pdf = inv_sqrt_2pi * vexp(V{-0.5f} * ad * ad);
+  const V cnd_pos = V{1.0f} - pdf * poly;
+  // reflect for negative d
+  return select(cmp_lt(d, V{0.0f}), V{1.0f} - cnd_pos, cnd_pos);
+}
+
+}  // namespace mcl::simd

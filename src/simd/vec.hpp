@@ -1,0 +1,281 @@
+// Explicit SIMD vector wrapper.
+//
+// This is the codegen layer both "compilers" in this repo target:
+//  - the MiniCL SPMD executor coalesces W workitems into one vfloat<W> lane
+//    group (the Intel OpenCL "implicit vectorization module" analogue);
+//  - the ompx path instantiates vectorized loop bodies with vfloat<W> only
+//    when veclegal proves the loop vectorizable.
+//
+// Kernels are written once against the vfloat<W> interface; vfloat<1> is the
+// scalar instantiation, so a single template expresses both the scalar and
+// vector binaries a compiler would emit. Widths: 1 (always), 4 (SSE2+),
+// 8 (AVX+). kNativeFloatWidth picks the widest compiled-in ISA.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace mcl::simd {
+
+template <int W>
+struct vfloat;
+
+// ---------------------------------------------------------------------------
+// Scalar instantiation: lets templated kernels compile to plain float code.
+// ---------------------------------------------------------------------------
+template <>
+struct vfloat<1> {
+  static constexpr int width = 1;
+  float v = 0.0f;
+
+  vfloat() = default;
+  explicit vfloat(float x) : v(x) {}
+
+  [[nodiscard]] static vfloat load(const float* p) { return vfloat{*p}; }
+  [[nodiscard]] static vfloat load_aligned(const float* p) { return vfloat{*p}; }
+  void store(float* p) const { *p = v; }
+  void store_aligned(float* p) const { *p = v; }
+  /// lane i gets base + i (scalar: just base).
+  [[nodiscard]] static vfloat iota(float base) { return vfloat{base}; }
+
+  [[nodiscard]] float lane(int) const { return v; }
+  [[nodiscard]] float reduce_add() const { return v; }
+
+  friend vfloat operator+(vfloat a, vfloat b) { return vfloat{a.v + b.v}; }
+  friend vfloat operator-(vfloat a, vfloat b) { return vfloat{a.v - b.v}; }
+  friend vfloat operator*(vfloat a, vfloat b) { return vfloat{a.v * b.v}; }
+  friend vfloat operator/(vfloat a, vfloat b) { return vfloat{a.v / b.v}; }
+  vfloat& operator+=(vfloat b) { v += b.v; return *this; }
+  vfloat& operator-=(vfloat b) { v -= b.v; return *this; }
+  vfloat& operator*=(vfloat b) { v *= b.v; return *this; }
+};
+
+[[nodiscard]] inline vfloat<1> fmadd(vfloat<1> a, vfloat<1> b, vfloat<1> c) {
+  return vfloat<1>{a.v * b.v + c.v};
+}
+[[nodiscard]] inline vfloat<1> sqrt(vfloat<1> a) { return vfloat<1>{std::sqrt(a.v)}; }
+[[nodiscard]] inline vfloat<1> abs(vfloat<1> a) { return vfloat<1>{std::fabs(a.v)}; }
+[[nodiscard]] inline vfloat<1> min(vfloat<1> a, vfloat<1> b) {
+  return vfloat<1>{a.v < b.v ? a.v : b.v};
+}
+[[nodiscard]] inline vfloat<1> max(vfloat<1> a, vfloat<1> b) {
+  return vfloat<1>{a.v > b.v ? a.v : b.v};
+}
+/// Comparison produces an all-ones/all-zeros mask representable as vfloat.
+[[nodiscard]] inline vfloat<1> cmp_lt(vfloat<1> a, vfloat<1> b) {
+  std::uint32_t m = a.v < b.v ? 0xffffffffu : 0u;
+  float f;
+  __builtin_memcpy(&f, &m, 4);
+  return vfloat<1>{f};
+}
+[[nodiscard]] inline vfloat<1> cmp_gt(vfloat<1> a, vfloat<1> b) { return cmp_lt(b, a); }
+/// Lane-wise: mask ? a : b (mask lanes are all-ones/all-zeros bit patterns).
+[[nodiscard]] inline vfloat<1> select(vfloat<1> mask, vfloat<1> a, vfloat<1> b) {
+  std::uint32_t m, x, y, r;
+  __builtin_memcpy(&m, &mask.v, 4);
+  __builtin_memcpy(&x, &a.v, 4);
+  __builtin_memcpy(&y, &b.v, 4);
+  r = (x & m) | (y & ~m);
+  float f;
+  __builtin_memcpy(&f, &r, 4);
+  return vfloat<1>{f};
+}
+[[nodiscard]] inline vfloat<1> floor(vfloat<1> a) { return vfloat<1>{std::floor(a.v)}; }
+
+#if defined(__SSE2__)
+// ---------------------------------------------------------------------------
+// SSE: 4 single-precision lanes (the paper's Xeon E5645 / SSE4.2 width).
+// ---------------------------------------------------------------------------
+template <>
+struct vfloat<4> {
+  static constexpr int width = 4;
+  __m128 v;
+
+  vfloat() : v(_mm_setzero_ps()) {}
+  explicit vfloat(float x) : v(_mm_set1_ps(x)) {}
+  explicit vfloat(__m128 x) : v(x) {}
+
+  [[nodiscard]] static vfloat load(const float* p) { return vfloat{_mm_loadu_ps(p)}; }
+  [[nodiscard]] static vfloat load_aligned(const float* p) {
+    return vfloat{_mm_load_ps(p)};
+  }
+  void store(float* p) const { _mm_storeu_ps(p, v); }
+  void store_aligned(float* p) const { _mm_store_ps(p, v); }
+  [[nodiscard]] static vfloat iota(float base) {
+    return vfloat{_mm_add_ps(_mm_set1_ps(base), _mm_setr_ps(0, 1, 2, 3))};
+  }
+
+  [[nodiscard]] float lane(int i) const {
+    alignas(16) float tmp[4];
+    _mm_store_ps(tmp, v);
+    return tmp[i];
+  }
+  [[nodiscard]] float reduce_add() const {
+    __m128 sum = _mm_add_ps(v, _mm_movehl_ps(v, v));
+    sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x55));
+    return _mm_cvtss_f32(sum);
+  }
+
+  friend vfloat operator+(vfloat a, vfloat b) { return vfloat{_mm_add_ps(a.v, b.v)}; }
+  friend vfloat operator-(vfloat a, vfloat b) { return vfloat{_mm_sub_ps(a.v, b.v)}; }
+  friend vfloat operator*(vfloat a, vfloat b) { return vfloat{_mm_mul_ps(a.v, b.v)}; }
+  friend vfloat operator/(vfloat a, vfloat b) { return vfloat{_mm_div_ps(a.v, b.v)}; }
+  vfloat& operator+=(vfloat b) { v = _mm_add_ps(v, b.v); return *this; }
+  vfloat& operator-=(vfloat b) { v = _mm_sub_ps(v, b.v); return *this; }
+  vfloat& operator*=(vfloat b) { v = _mm_mul_ps(v, b.v); return *this; }
+};
+
+[[nodiscard]] inline vfloat<4> fmadd(vfloat<4> a, vfloat<4> b, vfloat<4> c) {
+#if defined(__FMA__)
+  return vfloat<4>{_mm_fmadd_ps(a.v, b.v, c.v)};
+#else
+  return vfloat<4>{_mm_add_ps(_mm_mul_ps(a.v, b.v), c.v)};
+#endif
+}
+[[nodiscard]] inline vfloat<4> sqrt(vfloat<4> a) { return vfloat<4>{_mm_sqrt_ps(a.v)}; }
+[[nodiscard]] inline vfloat<4> abs(vfloat<4> a) {
+  const __m128 mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+  return vfloat<4>{_mm_and_ps(a.v, mask)};
+}
+[[nodiscard]] inline vfloat<4> min(vfloat<4> a, vfloat<4> b) {
+  return vfloat<4>{_mm_min_ps(a.v, b.v)};
+}
+[[nodiscard]] inline vfloat<4> max(vfloat<4> a, vfloat<4> b) {
+  return vfloat<4>{_mm_max_ps(a.v, b.v)};
+}
+[[nodiscard]] inline vfloat<4> cmp_lt(vfloat<4> a, vfloat<4> b) {
+  return vfloat<4>{_mm_cmplt_ps(a.v, b.v)};
+}
+[[nodiscard]] inline vfloat<4> cmp_gt(vfloat<4> a, vfloat<4> b) {
+  return vfloat<4>{_mm_cmpgt_ps(a.v, b.v)};
+}
+[[nodiscard]] inline vfloat<4> select(vfloat<4> mask, vfloat<4> a, vfloat<4> b) {
+#if defined(__SSE4_1__)
+  return vfloat<4>{_mm_blendv_ps(b.v, a.v, mask.v)};
+#else
+  return vfloat<4>{_mm_or_ps(_mm_and_ps(mask.v, a.v), _mm_andnot_ps(mask.v, b.v))};
+#endif
+}
+[[nodiscard]] inline vfloat<4> floor(vfloat<4> a) {
+#if defined(__SSE4_1__)
+  return vfloat<4>{_mm_floor_ps(a.v)};
+#else
+  alignas(16) float tmp[4];
+  a.store_aligned(tmp);
+  for (float& t : tmp) t = std::floor(t);
+  return vfloat<4>::load_aligned(tmp);
+#endif
+}
+#endif  // __SSE2__
+
+#if defined(__AVX__)
+// ---------------------------------------------------------------------------
+// AVX: 8 single-precision lanes.
+// ---------------------------------------------------------------------------
+template <>
+struct vfloat<8> {
+  static constexpr int width = 8;
+  __m256 v;
+
+  vfloat() : v(_mm256_setzero_ps()) {}
+  explicit vfloat(float x) : v(_mm256_set1_ps(x)) {}
+  explicit vfloat(__m256 x) : v(x) {}
+
+  [[nodiscard]] static vfloat load(const float* p) {
+    return vfloat{_mm256_loadu_ps(p)};
+  }
+  [[nodiscard]] static vfloat load_aligned(const float* p) {
+    return vfloat{_mm256_load_ps(p)};
+  }
+  void store(float* p) const { _mm256_storeu_ps(p, v); }
+  void store_aligned(float* p) const { _mm256_store_ps(p, v); }
+  [[nodiscard]] static vfloat iota(float base) {
+    return vfloat{_mm256_add_ps(_mm256_set1_ps(base),
+                                _mm256_setr_ps(0, 1, 2, 3, 4, 5, 6, 7))};
+  }
+
+  [[nodiscard]] float lane(int i) const {
+    alignas(32) float tmp[8];
+    _mm256_store_ps(tmp, v);
+    return tmp[i];
+  }
+  [[nodiscard]] float reduce_add() const {
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 sum = _mm_add_ps(lo, hi);
+    sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+    sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x55));
+    return _mm_cvtss_f32(sum);
+  }
+
+  friend vfloat operator+(vfloat a, vfloat b) {
+    return vfloat{_mm256_add_ps(a.v, b.v)};
+  }
+  friend vfloat operator-(vfloat a, vfloat b) {
+    return vfloat{_mm256_sub_ps(a.v, b.v)};
+  }
+  friend vfloat operator*(vfloat a, vfloat b) {
+    return vfloat{_mm256_mul_ps(a.v, b.v)};
+  }
+  friend vfloat operator/(vfloat a, vfloat b) {
+    return vfloat{_mm256_div_ps(a.v, b.v)};
+  }
+  vfloat& operator+=(vfloat b) { v = _mm256_add_ps(v, b.v); return *this; }
+  vfloat& operator-=(vfloat b) { v = _mm256_sub_ps(v, b.v); return *this; }
+  vfloat& operator*=(vfloat b) { v = _mm256_mul_ps(v, b.v); return *this; }
+};
+
+[[nodiscard]] inline vfloat<8> fmadd(vfloat<8> a, vfloat<8> b, vfloat<8> c) {
+#if defined(__FMA__)
+  return vfloat<8>{_mm256_fmadd_ps(a.v, b.v, c.v)};
+#else
+  return vfloat<8>{_mm256_add_ps(_mm256_mul_ps(a.v, b.v), c.v)};
+#endif
+}
+[[nodiscard]] inline vfloat<8> sqrt(vfloat<8> a) {
+  return vfloat<8>{_mm256_sqrt_ps(a.v)};
+}
+[[nodiscard]] inline vfloat<8> abs(vfloat<8> a) {
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  return vfloat<8>{_mm256_and_ps(a.v, mask)};
+}
+[[nodiscard]] inline vfloat<8> min(vfloat<8> a, vfloat<8> b) {
+  return vfloat<8>{_mm256_min_ps(a.v, b.v)};
+}
+[[nodiscard]] inline vfloat<8> max(vfloat<8> a, vfloat<8> b) {
+  return vfloat<8>{_mm256_max_ps(a.v, b.v)};
+}
+[[nodiscard]] inline vfloat<8> cmp_lt(vfloat<8> a, vfloat<8> b) {
+  return vfloat<8>{_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ)};
+}
+[[nodiscard]] inline vfloat<8> cmp_gt(vfloat<8> a, vfloat<8> b) {
+  return vfloat<8>{_mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ)};
+}
+[[nodiscard]] inline vfloat<8> select(vfloat<8> mask, vfloat<8> a, vfloat<8> b) {
+  return vfloat<8>{_mm256_blendv_ps(b.v, a.v, mask.v)};
+}
+[[nodiscard]] inline vfloat<8> floor(vfloat<8> a) {
+  return vfloat<8>{_mm256_floor_ps(a.v)};
+}
+#endif  // __AVX__
+
+/// Widest width this binary was compiled for.
+#if defined(__AVX__)
+inline constexpr int kNativeFloatWidth = 8;
+#elif defined(__SSE2__)
+inline constexpr int kNativeFloatWidth = 4;
+#else
+inline constexpr int kNativeFloatWidth = 1;
+#endif
+
+using vfloatn = vfloat<kNativeFloatWidth>;
+
+/// Name of the ISA behind kNativeFloatWidth (for reports).
+[[nodiscard]] const char* native_isa_name() noexcept;
+
+}  // namespace mcl::simd

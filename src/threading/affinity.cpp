@@ -1,0 +1,86 @@
+#include "threading/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <cctype>
+#include <string>
+
+namespace mcl::threading {
+
+int logical_cpu_count() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+bool pin_handle(pthread_t handle, int cpu) noexcept {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+}
+
+}  // namespace
+
+bool pin_current_thread(int cpu) noexcept { return pin_handle(pthread_self(), cpu); }
+
+bool pin_thread(std::thread& thread, int cpu) noexcept {
+  return pin_handle(thread.native_handle(), cpu);
+}
+
+std::vector<int> current_affinity() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  std::vector<int> cpus;
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) return cpus;
+  for (int i = 0; i < CPU_SETSIZE; ++i) {
+    if (CPU_ISSET(i, &set)) cpus.push_back(i);
+  }
+  return cpus;
+}
+
+std::optional<std::vector<int>> parse_affinity_list(const std::string& spec) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < spec.size() && (spec[i] == ' ' || spec[i] == ',')) ++i;
+  };
+  const auto parse_num = [&](int& out) -> bool {
+    if (i >= spec.size() || !std::isdigit(static_cast<unsigned char>(spec[i])))
+      return false;
+    long v = 0;
+    while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i]))) {
+      v = v * 10 + (spec[i] - '0');
+      if (v > 1'000'000) return false;
+      ++i;
+    }
+    out = static_cast<int>(v);
+    return true;
+  };
+
+  skip_ws();
+  while (i < spec.size()) {
+    int first = 0;
+    if (!parse_num(first)) return std::nullopt;
+    int last = first;
+    int stride = 1;
+    if (i < spec.size() && spec[i] == '-') {
+      ++i;
+      if (!parse_num(last)) return std::nullopt;
+      if (i < spec.size() && spec[i] == ':') {
+        ++i;
+        if (!parse_num(stride) || stride <= 0) return std::nullopt;
+      }
+    }
+    if (last < first) return std::nullopt;
+    for (int c = first; c <= last; c += stride) cpus.push_back(c);
+    skip_ws();
+  }
+  if (cpus.empty()) return std::nullopt;
+  return cpus;
+}
+
+}  // namespace mcl::threading

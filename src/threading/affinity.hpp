@@ -1,0 +1,30 @@
+// CPU-affinity helpers — the capability OpenCL lacks and the paper's
+// Sec. II-D/III-E argues for. Used by ompx (OMPX_PROC_BIND analogue) and by
+// the MiniCL CPU device's optional pinning extension.
+#pragma once
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace mcl::threading {
+
+/// Number of logical CPUs visible to this process.
+[[nodiscard]] int logical_cpu_count() noexcept;
+
+/// Pins the calling thread to one logical CPU. Returns false when the OS
+/// refuses (e.g. cpu id out of range); never throws.
+bool pin_current_thread(int cpu) noexcept;
+
+/// Pins `thread` to one logical CPU. Returns false on failure.
+bool pin_thread(std::thread& thread, int cpu) noexcept;
+
+/// CPUs the calling thread is currently allowed to run on.
+[[nodiscard]] std::vector<int> current_affinity();
+
+/// Parses a GOMP_CPU_AFFINITY-style list: "0 3 1-2 4-6:2".
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<int>> parse_affinity_list(
+    const std::string& spec);
+
+}  // namespace mcl::threading

@@ -1,0 +1,42 @@
+// Reusable sense-reversing spin barrier for worker teams.
+//
+// Used by ompx's fork-join team; kept spin-based because teams are small and
+// phases are short (an OS-blocking barrier would swamp the effects the
+// benchmarks measure).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace mcl::threading {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived; reusable across phases.
+  void arrive_and_wait() noexcept {
+    const bool sense = sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+      return;
+    }
+    std::size_t spins = 0;
+    while (sense_.load(std::memory_order_acquire) == sense) {
+      if (++spins > 1024) std::this_thread::yield();
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace mcl::threading

@@ -1,0 +1,156 @@
+#include "threading/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace mcl::threading {
+
+namespace {
+
+/// Per-thread pool of equally-sized fiber stacks.
+class StackPool {
+ public:
+  void* acquire(std::size_t bytes) {
+    if (bytes != stack_bytes_) {
+      // Size change invalidates the pool (rare: executor reconfiguration).
+      free_.clear();
+      blocks_.clear();
+      stack_bytes_ = bytes;
+    }
+    if (!free_.empty()) {
+      void* s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+    blocks_.push_back(std::make_unique<std::byte[]>(bytes));
+    return blocks_.back().get();
+  }
+
+  void release(void* stack) { free_.push_back(stack); }
+
+  void clear() noexcept {
+    free_.clear();
+    blocks_.clear();
+    stack_bytes_ = 0;
+  }
+
+ private:
+  std::size_t stack_bytes_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<void*> free_;
+};
+
+thread_local StackPool t_stack_pool;
+
+}  // namespace
+
+class FiberScheduler {
+ public:
+  FiberScheduler(std::size_t count, const FiberBody& body, std::size_t stack_bytes)
+      : body_(body), fibers_(count) {
+    stack_bytes_ = (stack_bytes + 4095) & ~std::size_t{4095};
+    for (std::size_t i = 0; i < count; ++i) {
+      Fiber& f = fibers_[i];
+      f.index = i;
+      f.sched = this;
+      f.stack = t_stack_pool.acquire(stack_bytes_);
+      if (getcontext(&f.ctx) != 0)
+        throw std::runtime_error("getcontext failed");
+      f.ctx.uc_stack.ss_sp = f.stack;
+      f.ctx.uc_stack.ss_size = stack_bytes_;
+      f.ctx.uc_link = &main_ctx_;
+      // makecontext only forwards ints; split the Fiber* into two words.
+      const auto ptr = reinterpret_cast<std::uintptr_t>(&f);
+      makecontext(&f.ctx, reinterpret_cast<void (*)()>(&FiberScheduler::trampoline),
+                  2, static_cast<unsigned>(ptr & 0xffffffffu),
+                  static_cast<unsigned>(ptr >> 32));
+    }
+  }
+
+  ~FiberScheduler() {
+    for (Fiber& f : fibers_) {
+      if (f.stack != nullptr) t_stack_pool.release(f.stack);
+    }
+  }
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  void run() {
+    std::size_t live = fibers_.size();
+    while (live > 0) {
+      // One round: resume every unfinished fiber exactly once. Fibers that
+      // hit barrier() suspend; fibers that return are retired. Because every
+      // workitem must reach the same barriers (OpenCL rule), one round ==
+      // one barrier phase.
+      for (Fiber& f : fibers_) {
+        if (f.finished) continue;
+        current_ = &f;
+        swapcontext(&main_ctx_, &f.ctx);
+        current_ = nullptr;
+        if (f.finished) --live;
+        if (f.exception) {
+          // Propagate the first failure after retiring remaining fibers'
+          // stacks (they are simply abandoned mid-run; their memory is
+          // pooled, not leaked).
+          std::rethrow_exception(f.exception);
+        }
+      }
+    }
+  }
+
+  void yield_current() {
+    Fiber* f = current_;
+    swapcontext(&f->ctx, &main_ctx_);
+  }
+
+ private:
+  struct Fiber {
+    ucontext_t ctx{};
+    void* stack = nullptr;
+    std::size_t index = 0;
+    bool finished = false;
+    std::exception_ptr exception;
+    FiberScheduler* sched = nullptr;
+  };
+
+  static void trampoline(unsigned lo, unsigned hi) {
+    const auto ptr = static_cast<std::uintptr_t>(lo) |
+                     (static_cast<std::uintptr_t>(hi) << 32);
+    Fiber* f = reinterpret_cast<Fiber*>(ptr);
+    FiberYield yield(*f->sched);
+    try {
+      f->sched->body_(f->index, yield);
+    } catch (...) {
+      f->exception = std::current_exception();
+    }
+    f->finished = true;
+    // Returning lets uc_link switch back to the scheduler's main context.
+  }
+
+  const FiberBody& body_;
+  std::vector<Fiber> fibers_;
+  ucontext_t main_ctx_{};
+  Fiber* current_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+
+  friend class FiberYield;
+  friend void run_fiber_group(std::size_t, const FiberBody&, std::size_t);
+};
+
+void FiberYield::barrier() { sched_->yield_current(); }
+
+void run_fiber_group(std::size_t count, const FiberBody& body,
+                     std::size_t stack_bytes) {
+  if (count == 0) return;
+  FiberScheduler sched(count, body, stack_bytes);
+  sched.run();
+}
+
+void release_fiber_stacks() noexcept { t_stack_pool.clear(); }
+
+}  // namespace mcl::threading

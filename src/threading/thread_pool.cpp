@@ -1,0 +1,232 @@
+#include "threading/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "threading/affinity.hpp"
+
+namespace mcl::threading {
+
+ThreadPool::ThreadPool(std::size_t threads, bool pin) {
+  if (threads == 0) threads = static_cast<std::size_t>(logical_cpu_count());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i, pin] { worker_loop(i, pin); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_.notify_one();
+}
+
+namespace {
+
+constexpr std::uint64_t pack_range(std::uint64_t next, std::uint64_t end) {
+  return (next << 32) | end;
+}
+constexpr std::uint32_t range_next(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed >> 32);
+}
+constexpr std::uint32_t range_end(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed & 0xffffffffu);
+}
+
+}  // namespace
+
+void ThreadPool::drain_batch_stealing(Batch& batch) {
+  const std::size_t nslots = batch.slots.size();
+  const std::size_t my_slot =
+      batch.participants.fetch_add(1, std::memory_order_relaxed) % nslots;
+  const std::size_t my_tally =
+      batch.tally_ids.fetch_add(1, std::memory_order_relaxed) %
+      batch.executed.size();
+  std::size_t executed = 0;
+
+  // Claim `chunk` indices from slot `s` (owner and thief fast-path share the
+  // same CAS, so no index is ever double-claimed).
+  const auto claim_front = [&](std::size_t s) -> std::pair<std::size_t, std::size_t> {
+    std::uint64_t cur = batch.slots[s].load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t n = range_next(cur);
+      const std::uint32_t e = range_end(cur);
+      if (n >= e) return {0, 0};
+      const std::uint32_t take =
+          std::min<std::uint32_t>(static_cast<std::uint32_t>(batch.chunk), e - n);
+      if (batch.slots[s].compare_exchange_weak(cur, pack_range(n + take, e),
+                                               std::memory_order_acq_rel)) {
+        return {n, n + take};
+      }
+    }
+  };
+  // Steal the upper half of slot `s`'s remaining range into my slot.
+  const auto steal_from = [&](std::size_t s) -> bool {
+    std::uint64_t cur = batch.slots[s].load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t n = range_next(cur);
+      const std::uint32_t e = range_end(cur);
+      if (e - n < 2 * batch.chunk) return false;  // not worth splitting
+      const std::uint32_t mid = n + (e - n) / 2;
+      if (batch.slots[s].compare_exchange_weak(cur, pack_range(n, mid),
+                                               std::memory_order_acq_rel)) {
+        batch.slots[my_slot].store(pack_range(mid, e),
+                                   std::memory_order_release);
+        return true;
+      }
+    }
+  };
+
+  for (;;) {
+    const auto [b, e] = claim_front(my_slot);
+    if (b != e) {
+      for (std::size_t i = b; i < e; ++i) (*batch.fn)(i);
+      executed += e - b;
+      continue;
+    }
+    // Own slot empty: look for a victim.
+    bool stole = false;
+    for (std::size_t v = 1; v < nslots && !stole; ++v) {
+      stole = steal_from((my_slot + v) % nslots);
+    }
+    if (!stole) break;
+  }
+  if (executed > 0) {
+    batch.executed[my_tally].fetch_add(executed, std::memory_order_relaxed);
+    batch.done.fetch_add(executed, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::drain_batch(Batch& batch) {
+  if (batch.strategy == ScheduleStrategy::WorkStealing) {
+    drain_batch_stealing(batch);
+    return;
+  }
+  std::size_t executed = 0;
+  for (;;) {
+    const std::size_t begin =
+        batch.next.fetch_add(batch.chunk, std::memory_order_relaxed);
+    if (begin >= batch.count) break;
+    const std::size_t end = std::min(begin + batch.chunk, batch.count);
+    for (std::size_t i = begin; i < end; ++i) (*batch.fn)(i);
+    batch.done.fetch_add(end - begin, std::memory_order_acq_rel);
+    executed += end - begin;
+  }
+  if (executed > 0) {
+    const std::size_t tally =
+        batch.tally_ids.fetch_add(1, std::memory_order_relaxed) %
+        batch.executed.size();
+    batch.executed[tally].fetch_add(executed, std::memory_order_relaxed);
+  }
+}
+
+RunStats ThreadPool::parallel_run(std::size_t count,
+                                  const std::function<void(std::size_t)>& fn,
+                                  std::size_t chunk, ScheduleStrategy strategy) {
+  if (count == 0) return {};
+  if (chunk == 0) chunk = 1;
+  auto batch = std::make_shared<Batch>();
+  batch->generation = batch_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  batch->count = count;
+  batch->chunk = chunk;
+  batch->fn = &fn;
+  batch->strategy = strategy;
+  batch->executed = std::vector<std::atomic<std::size_t>>(workers_.size() + 1);
+  if (strategy == ScheduleStrategy::WorkStealing) {
+    // count must fit the packed 32-bit ranges.
+    if (count >= (1ull << 32)) {
+      batch->strategy = ScheduleStrategy::CentralCounter;
+    } else {
+      const std::size_t nslots = workers_.size() + 1;  // workers + caller
+      batch->slots = std::vector<std::atomic<std::uint64_t>>(nslots);
+      const std::size_t per = count / nslots;
+      const std::size_t extra = count % nslots;
+      std::size_t begin = 0;
+      for (std::size_t s = 0; s < nslots; ++s) {
+        const std::size_t len = per + (s < extra ? 1 : 0);
+        batch->slots[s].store(pack_range(begin, begin + len),
+                              std::memory_order_relaxed);
+        begin += len;
+      }
+    }
+  }
+
+  batch_.store(batch, std::memory_order_release);
+  cv_.notify_all();
+  drain_batch(*batch);  // the calling thread participates
+
+  std::size_t spins = 0;
+  while (batch->done.load(std::memory_order_acquire) < count) {
+    if (++spins > 64) std::this_thread::yield();
+  }
+  batch_.store(nullptr, std::memory_order_release);
+
+  RunStats stats;
+  std::size_t total = 0;
+  for (const auto& e : batch->executed) {
+    const std::size_t v = e.load(std::memory_order_relaxed);
+    if (v == 0) continue;
+    ++stats.participants;
+    total += v;
+    stats.max_per_participant = std::max(stats.max_per_participant, v);
+  }
+  if (stats.participants > 0) {
+    stats.imbalance = static_cast<double>(stats.max_per_participant) *
+                      static_cast<double>(stats.participants) /
+                      static_cast<double>(total);
+  }
+  return stats;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index, bool pin) {
+  if (pin) {
+    pin_current_thread(static_cast<int>(worker_index) % logical_cpu_count());
+  }
+  std::uint64_t last_generation = 0;
+  for (;;) {
+    // Help with an active batch. The shared_ptr copy keeps the batch alive
+    // even if the producer finishes and releases it while we drain.
+    if (std::shared_ptr<Batch> b = batch_.load(std::memory_order_acquire);
+        b != nullptr && b->generation != last_generation) {
+      last_generation = b->generation;
+      drain_batch(*b);
+      continue;
+    }
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this, last_generation] {
+        if (stop_ || !tasks_.empty()) return true;
+        std::shared_ptr<Batch> b = batch_.load(std::memory_order_acquire);
+        return b != nullptr && b->generation != last_generation;
+      });
+      if (stop_ && tasks_.empty()) return;
+      if (tasks_.empty()) continue;  // woken for a batch; handled above
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mcl::threading

@@ -1,0 +1,223 @@
+#include "veclegal/analysis.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mcl::veclegal {
+
+namespace {
+
+/// Whether two affine refs to the same array can touch the same element at
+/// loop distance d (i vs i+d): s1*i + o1 == s2*(i+d) + o2 for some valid i.
+/// Returns the set of "small" distances (|d| < width) with a solution;
+/// unequal scales are treated conservatively as dependent at distance 1.
+std::vector<long long> carried_distances(const Subscript& a, const Subscript& b,
+                                         int width) {
+  std::vector<long long> out;
+  if (a.scale != b.scale) {
+    out.push_back(1);  // conservative: assume a dependence inside the window
+    return out;
+  }
+  if (a.scale == 0) {
+    // Both loop-invariant: same element iff offsets match, at every distance.
+    if (a.offset == b.offset) out.push_back(1);
+    return out;
+  }
+  // s*(i) + o1 == s*(i+d) + o2  =>  d = (o1 - o2) / s
+  const long long num = a.offset - b.offset;
+  if (num % a.scale != 0) return out;
+  const long long d = num / a.scale;
+  if (d != 0 && std::llabs(d) < width) out.push_back(d);
+  return out;
+}
+
+/// `t = t OP expr` where t is read only by its own defining statement: a
+/// reduction idiom, vectorizable with partial accumulators when the
+/// compiler may reassociate.
+bool is_reduction_idiom(const LoopBody& body, std::size_t stmt_index) {
+  const Stmt& s = body.stmts[stmt_index];
+  if (!s.temp_write) return false;
+  const int t = *s.temp_write;
+  bool self_read = false;
+  for (int r : s.temp_reads) self_read |= (r == t);
+  if (!self_read) return false;
+  for (std::size_t j = 0; j < body.stmts.size(); ++j) {
+    if (j == stmt_index) continue;
+    for (int r : body.stmts[j].temp_reads) {
+      if (r == t) return false;  // consumed elsewhere in the loop
+    }
+    if (body.stmts[j].temp_write && *body.stmts[j].temp_write == t) {
+      return false;  // multiply-defined
+    }
+  }
+  return true;
+}
+
+void check_loop_model(const LoopBody& body, const AnalysisOptions& opts,
+                      Verdict& v) {
+  const int width = opts.width;
+  // L1: shape.
+  if (body.trip_count <= 0)
+    v.reasons.push_back("L1: loop is not countable");
+  if (!body.single_entry_exit)
+    v.reasons.push_back("L1: loop has multiple entries/exits");
+  if (!body.straight_line)
+    v.reasons.push_back("L1: control flow inside the loop body");
+
+  // L2: strides.
+  for (const Stmt& s : body.stmts) {
+    auto check_stride = [&](const ArrayRef& r, bool is_write) {
+      const long long sc = r.subscript.scale;
+      if (sc == 1) return;
+      if (sc == 0 && !is_write) return;  // loop-invariant load is fine
+      std::ostringstream os;
+      os << "L2: noncontiguous " << (is_write ? "store" : "load")
+         << " (stride " << sc << ") in '" << s.text << "'";
+      v.reasons.push_back(os.str());
+    };
+    if (s.array_write) check_stride(*s.array_write, true);
+    for (const ArrayRef& r : s.array_reads) check_stride(r, false);
+  }
+
+  // L3: loop-carried dependences through arrays.
+  for (std::size_t i = 0; i < body.stmts.size(); ++i) {
+    const Stmt& w = body.stmts[i];
+    if (!w.array_write) continue;
+    for (const Stmt& other : body.stmts) {
+      auto note = [&](const ArrayRef& r, const char* kind) {
+        if (r.array != w.array_write->array) return;
+        for (long long d :
+             carried_distances(w.array_write->subscript, r.subscript, width)) {
+          std::ostringstream os;
+          os << "L3: loop-carried " << kind << " dependence, distance " << d
+             << ", between '" << w.text << "' and '" << other.text << "'";
+          v.reasons.push_back(os.str());
+        }
+      };
+      for (const ArrayRef& r : other.array_reads) note(r, "flow/anti");
+      if (other.array_write && &other != &w) note(*other.array_write, "output");
+    }
+  }
+
+  // L3 (scalars): a temp read before any definition in the same iteration is
+  // a recurrence carried from the previous iteration — unless it is a
+  // recognized reduction idiom and reassociation is allowed.
+  {
+    std::set<int> defined;
+    for (std::size_t i = 0; i < body.stmts.size(); ++i) {
+      const Stmt& s = body.stmts[i];
+      const bool reduction_ok =
+          opts.allow_reduction_idioms && is_reduction_idiom(body, i);
+      for (int t : s.temp_reads) {
+        if (defined.count(t) == 0 && !reduction_ok) {
+          v.reasons.push_back("L3: scalar recurrence on temp t" +
+                              std::to_string(t) + " in '" + s.text + "'");
+        }
+      }
+      if (s.temp_write) defined.insert(*s.temp_write);
+    }
+  }
+
+  // L4: chained read-modify-write of one location within the iteration.
+  // Count, per (array, subscript), stores that also read the same element.
+  {
+    std::map<std::pair<int, std::pair<long long, long long>>, int> rmw_count;
+    for (const Stmt& s : body.stmts) {
+      if (!s.array_write) continue;
+      const ArrayRef& w = *s.array_write;
+      const bool reads_same = [&] {
+        for (const ArrayRef& r : s.array_reads) {
+          if (r.array == w.array && r.subscript.scale == w.subscript.scale &&
+              r.subscript.offset == w.subscript.offset)
+            return true;
+        }
+        return false;
+      }();
+      if (!reads_same) continue;
+      const auto key = std::make_pair(
+          w.array, std::make_pair(w.subscript.scale, w.subscript.offset));
+      if (++rmw_count[key] == 2) {
+        v.reasons.push_back(
+            "L4: true-dependence chain through memory (repeated "
+            "read-modify-write of one element, e.g. '" +
+            s.text + "') — vectorization would reorder dependent operations");
+      }
+    }
+  }
+}
+
+void check_spmd_model(const LoopBody& body, Verdict& v) {
+  // S1: writes must be item-distinct.
+  for (const Stmt& s : body.stmts) {
+    if (!s.array_write) continue;
+    if (s.array_write->subscript.scale == 0) {
+      v.reasons.push_back(
+          "S1: all workitems store to one element in '" + s.text +
+          "' — lanes would collide (and the kernel races regardless)");
+    }
+  }
+}
+
+}  // namespace
+
+std::string Verdict::summary() const {
+  std::string out = vectorizable ? "VECTORIZABLE" : "NOT vectorizable";
+  for (const std::string& r : reasons) {
+    out += "\n  - " + r;
+  }
+  return out;
+}
+
+Verdict analyze(const LoopBody& body, Model model, int width) {
+  AnalysisOptions opts;
+  opts.width = width;
+  return analyze(body, model, opts);
+}
+
+Verdict analyze(const LoopBody& body, Model model,
+                const AnalysisOptions& options) {
+  Verdict v;
+  if (model == Model::Loop) {
+    check_loop_model(body, options, v);
+  } else {
+    check_spmd_model(body, v);
+  }
+  v.vectorizable = v.reasons.empty();
+  if (v.vectorizable) {
+    v.reasons.push_back(model == Model::Loop
+                            ? "all loop-vectorizer legality rules hold"
+                            : "workitems are independent by the SPMD contract; "
+                              "lanes pack across items");
+  }
+  return v;
+}
+
+std::string to_string(const LoopBody& body) {
+  std::ostringstream os;
+  os << "loop '" << body.name << "'";
+  if (body.trip_count > 0) {
+    os << ", trip count " << body.trip_count;
+  } else {
+    os << ", uncountable";
+  }
+  if (!body.straight_line) os << ", control flow in body";
+  if (!body.single_entry_exit) os << ", multiple entries/exits";
+  os << ":\n";
+  for (const Stmt& s : body.stmts) os << "  " << s.text << "\n";
+  return os.str();
+}
+
+std::string explain_both(const LoopBody& body, int width) {
+  std::ostringstream os;
+  os << "body '" << body.name << "':\n";
+  for (const Stmt& s : body.stmts) os << "    " << s.text << "\n";
+  const Verdict loop = analyze(body, Model::Loop, width);
+  const Verdict spmd = analyze(body, Model::Spmd, width);
+  os << "  loop auto-vectorizer (OpenMP model): " << loop.summary() << "\n";
+  os << "  SPMD vectorizer (OpenCL model):      " << spmd.summary() << "\n";
+  return os.str();
+}
+
+}  // namespace mcl::veclegal

@@ -1,0 +1,62 @@
+// Vectorization legality analysis for the two programming models.
+//
+// Loop model (OpenMP-style auto-vectorizer, after Intel's documented rules
+// [17] and the paper's Sec. III-F):
+//   L1 countable loop, single entry/exit, straight-line body;
+//   L2 every array access has unit stride (scale 1) or is loop-invariant
+//      (scale 0, read-only) — "noncontiguous memory access" rule;
+//   L3 no loop-carried dependence with distance 0 < d < W — "data
+//      dependence" rule (includes scalar recurrences);
+//   L4 no chained read-modify-write of the same location inside one
+//      iteration — vectorization reorders operations, and a true dependence
+//      chain through memory forbids that reordering (the Fig 11 FMUL case).
+//
+// SPMD model (OpenCL implicit vectorizer): workitems are independent by
+// contract, so lanes can always be packed — legality only fails when the
+// kernel itself races:
+//   S1 every array write must be item-distinct (|scale| >= 1), otherwise
+//      adjacent lanes would collide on one element.
+// Intra-item dependence chains are irrelevant — precisely why the OpenCL
+// compiler vectorizes the Fig 11 body while the loop vectorizer refuses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "veclegal/ir.hpp"
+
+namespace mcl::veclegal {
+
+enum class Model { Loop, Spmd };
+
+struct Verdict {
+  bool vectorizable = false;
+  std::vector<std::string> reasons;  ///< failures, or positive rationale
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Knobs of the modeled loop compiler.
+struct AnalysisOptions {
+  int width = 8;  ///< SIMD width W used for the distance test (L3)
+  /// Recognize `t = t OP expr` reduction idioms and vectorize them with
+  /// partial accumulators (requires reassociation — the -ffast-math /
+  /// modern-compiler behavior; the paper-era fragile vectorizer refuses,
+  /// which is the default).
+  bool allow_reduction_idioms = false;
+};
+
+/// `width` is the SIMD width W used for the distance test (L3).
+[[nodiscard]] Verdict analyze(const LoopBody& body, Model model, int width = 8);
+
+/// Full-options form.
+[[nodiscard]] Verdict analyze(const LoopBody& body, Model model,
+                              const AnalysisOptions& options);
+
+/// Renders the loop body as pseudo-source (statement texts + metadata).
+[[nodiscard]] std::string to_string(const LoopBody& body);
+
+/// Renders a Fig-11-style side-by-side explanation for one body.
+[[nodiscard]] std::string explain_both(const LoopBody& body, int width = 8);
+
+}  // namespace mcl::veclegal

@@ -1,0 +1,83 @@
+// Affine loop IR for vectorization-legality analysis.
+//
+// The paper's Fig 10/11 point is that *which* code gets vectorized is a
+// property of the programming model: a loop auto-vectorizer must prove
+// legality rules that an SPMD (OpenCL) vectorizer does not need. To make
+// that policy difference computable (rather than hard-coding who wins), the
+// MBench bodies are declared once in this IR and src/veclegal/analysis
+// renders the verdict for each model. The benches then time the real scalar
+// or SIMD implementation the "compiler" chose.
+//
+// Model: a single innermost loop (or kernel body) over induction variable i
+// (loop iteration == workitem id). Statements execute in order; array
+// subscripts are affine in i (scale * i + offset); scalar temporaries are
+// tracked by id.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcl::veclegal {
+
+/// scale * i + offset, elements (not bytes).
+struct Subscript {
+  long long scale = 1;
+  long long offset = 0;
+};
+
+struct ArrayRef {
+  int array = 0;  ///< array identity (same id = same base pointer)
+  Subscript subscript;
+};
+
+/// One statement: target = op(sources). Either an array store or a scalar
+/// temp definition; sources are array loads and/or scalar temps.
+struct Stmt {
+  std::optional<ArrayRef> array_write;
+  std::optional<int> temp_write;
+  std::vector<ArrayRef> array_reads;
+  std::vector<int> temp_reads;
+  std::string text;  ///< pretty form for explanations ("a[i] = a[i] * b[i]")
+};
+
+struct LoopBody {
+  std::string name;
+  std::vector<Stmt> stmts;
+  long long trip_count = 0;   ///< 0 = unknown (uncountable)
+  bool single_entry_exit = true;
+  bool straight_line = true;  ///< no control flow inside the body
+};
+
+// -- tiny builder helpers so app code stays readable -------------------------
+
+[[nodiscard]] inline ArrayRef ref(int array, long long scale = 1,
+                                  long long offset = 0) {
+  return ArrayRef{array, Subscript{scale, offset}};
+}
+
+/// a[w] = f(reads...)
+[[nodiscard]] inline Stmt store(ArrayRef w, std::vector<ArrayRef> reads,
+                                std::string text = {},
+                                std::vector<int> temp_reads = {}) {
+  Stmt s;
+  s.array_write = w;
+  s.array_reads = std::move(reads);
+  s.temp_reads = std::move(temp_reads);
+  s.text = std::move(text);
+  return s;
+}
+
+/// t = f(reads..., temps...)
+[[nodiscard]] inline Stmt assign_temp(int temp, std::vector<ArrayRef> reads,
+                                      std::vector<int> temp_reads = {},
+                                      std::string text = {}) {
+  Stmt s;
+  s.temp_write = temp;
+  s.array_reads = std::move(reads);
+  s.temp_reads = std::move(temp_reads);
+  s.text = std::move(text);
+  return s;
+}
+
+}  // namespace mcl::veclegal

@@ -1,0 +1,222 @@
+#include "veclegal/nest.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <sstream>
+
+namespace mcl::veclegal {
+
+std::string Dependence2::direction() const {
+  auto dir = [](long long d) { return d > 0 ? "<" : (d < 0 ? ">" : "="); };
+  return std::string("(") + dir(di) + ", " + dir(dj) + ")";
+}
+
+namespace {
+
+bool in_space(const LoopNest& nest, long long di, long long dj) {
+  return std::llabs(di) < std::max<long long>(nest.outer_trip, 1) &&
+         std::llabs(dj) < std::max<long long>(nest.inner_trip, 1);
+}
+
+void push_canonical(long long di, long long dj, const std::string& label,
+                    std::vector<Dependence2>& out) {
+  if (di == 0 && dj == 0) return;  // same iteration: not loop-carried
+  if (di < 0 || (di == 0 && dj < 0)) {
+    di = -di;
+    dj = -dj;
+  }
+  for (const Dependence2& d : out) {
+    if (d.di == di && d.dj == dj && d.between == label) return;  // dedupe
+  }
+  out.push_back({di, dj, label});
+}
+
+/// Solves the per-dimension equality system for (di, dj): for each dim d,
+///   w_d(i, j) == r_d(i + di, j + dj)
+///   =>  r.ci*di + r.cj*dj == w.off - r.off          (when scales match)
+/// Mismatched scales in a dimension make that equation nonlinear in the
+/// iteration variables; we then conservatively assume a dependence.
+void solve_pair(const LoopNest& nest, const ArrayRef2& w, const ArrayRef2& r,
+                const std::string& label, std::vector<Dependence2>& out) {
+  if (w.subs.size() != r.subs.size()) {
+    push_canonical(0, 1, label + " (rank mismatch: assumed)", out);
+    return;
+  }
+  // Gather the linear equations A*di + B*dj = C.
+  std::vector<std::array<long long, 3>> eqs;
+  for (std::size_t d = 0; d < w.subs.size(); ++d) {
+    if (w.subs[d].ci != r.subs[d].ci || w.subs[d].cj != r.subs[d].cj) {
+      push_canonical(0, 1, label + " (unequal subscript scales: assumed)", out);
+      return;
+    }
+    eqs.push_back({r.subs[d].ci, r.subs[d].cj, w.subs[d].off - r.subs[d].off});
+  }
+
+  // Try to find two independent equations.
+  for (std::size_t a = 0; a < eqs.size(); ++a) {
+    for (std::size_t b = a + 1; b < eqs.size(); ++b) {
+      const long long det = eqs[a][0] * eqs[b][1] - eqs[a][1] * eqs[b][0];
+      if (det == 0) continue;
+      const long long num_di = eqs[a][2] * eqs[b][1] - eqs[a][1] * eqs[b][2];
+      const long long num_dj = eqs[a][0] * eqs[b][2] - eqs[a][2] * eqs[b][0];
+      if (num_di % det != 0 || num_dj % det != 0) return;  // no integer sol
+      const long long di = num_di / det;
+      const long long dj = num_dj / det;
+      if (in_space(nest, di, dj)) push_canonical(di, dj, label, out);
+      return;  // unique solution handled
+    }
+  }
+
+  // Rank-deficient: every equation constrains the same line (or nothing).
+  // Enumerate di over a bounded window and derive dj per equation.
+  const long long wi = std::min<long long>(nest.outer_trip - 1, 8);
+  for (long long di = -wi; di <= wi; ++di) {
+    bool feasible = true;
+    long long dj = 0;
+    bool dj_bound = false;
+    for (const auto& [A, B, C] : eqs) {
+      const long long rem = C - A * di;
+      if (B == 0) {
+        if (rem != 0) {
+          feasible = false;
+          break;
+        }
+      } else {
+        if (rem % B != 0) {
+          feasible = false;
+          break;
+        }
+        const long long cand = rem / B;
+        if (dj_bound && cand != dj) {
+          feasible = false;
+          break;
+        }
+        dj = cand;
+        dj_bound = true;
+      }
+    }
+    if (!feasible) continue;
+    if (!dj_bound) {
+      // dj unconstrained: the tightest loop-carried instance is (di, 0) for
+      // di != 0, or (0, 1) when even di is free.
+      if (di != 0 && in_space(nest, di, 0)) push_canonical(di, 0, label, out);
+      if (di == 0) push_canonical(0, 1, label, out);
+      continue;
+    }
+    if (in_space(nest, di, dj)) push_canonical(di, dj, label, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Dependence2> find_dependences(const LoopNest& nest) {
+  std::vector<Dependence2> deps;
+  for (const Stmt2& ws : nest.stmts) {
+    if (!ws.array_write) continue;
+    for (const Stmt2& rs : nest.stmts) {
+      const std::string label = "'" + ws.text + "' -> '" + rs.text + "'";
+      for (const ArrayRef2& r : rs.array_reads) {
+        if (r.array != ws.array_write->array) continue;
+        solve_pair(nest, *ws.array_write, r, label, deps);
+      }
+      if (rs.array_write && &rs != &ws &&
+          rs.array_write->array == ws.array_write->array) {
+        solve_pair(nest, *ws.array_write, *rs.array_write, label + " (output)",
+                   deps);
+      }
+    }
+  }
+  return deps;
+}
+
+Verdict analyze_inner(const LoopNest& nest, int width) {
+  return analyze_inner(nest, width, true);
+}
+
+Verdict analyze_inner(const LoopNest& nest, int width, bool check_strides) {
+  Verdict v;
+  if (nest.inner_trip <= 0 || nest.outer_trip <= 0) {
+    v.reasons.push_back("N1: nest is not countable");
+  }
+  for (const Stmt2& s : nest.stmts) {
+    if (!check_strides) break;
+    auto check = [&](const ArrayRef2& ref, bool is_write) {
+      // Contiguity along j: the last dimension must move with j at stride
+      // 1 (or not at all, for loads); any other dimension moving with j is
+      // a row-crossing (huge-stride) access.
+      for (std::size_t d = 0; d + 1 < ref.subs.size(); ++d) {
+        if (ref.subs[d].cj != 0) {
+          v.reasons.push_back("N2: dimension " + std::to_string(d) +
+                              " varies with the inner index in '" + s.text +
+                              "' (non-contiguous)");
+          return;
+        }
+      }
+      const long long cj = ref.subs.back().cj;
+      if (cj == 1) return;
+      if (cj == 0 && !is_write) return;  // inner-invariant load
+      std::ostringstream os;
+      os << "N2: non-unit inner stride (" << cj << ") in '" << s.text << "'";
+      v.reasons.push_back(os.str());
+    };
+    if (s.array_write) check(*s.array_write, true);
+    for (const ArrayRef2& r : s.array_reads) check(r, false);
+  }
+  for (const Dependence2& d : find_dependences(nest)) {
+    // Only dependences carried by j with i equal constrain inner
+    // vectorization; outer-carried ones are honored by the outer loop.
+    if (d.di == 0 && d.dj != 0 && std::llabs(d.dj) < width) {
+      std::ostringstream os;
+      os << "N3: inner-carried dependence, distance (" << d.di << ", " << d.dj
+         << ") " << d.direction() << " between " << d.between;
+      v.reasons.push_back(os.str());
+    }
+  }
+  v.vectorizable = v.reasons.empty();
+  if (v.vectorizable) v.reasons.push_back("inner loop vectorizes as written");
+  return v;
+}
+
+Verdict can_interchange(const LoopNest& nest) {
+  Verdict v;
+  for (const Dependence2& d : find_dependences(nest)) {
+    if (d.di > 0 && d.dj < 0) {
+      std::ostringstream os;
+      os << "I1: dependence with direction (<, >) — distance (" << d.di << ", "
+         << d.dj << ") between " << d.between
+         << " — would become the impossible (>, <) after interchange";
+      v.reasons.push_back(os.str());
+    }
+  }
+  v.vectorizable = v.reasons.empty();
+  if (v.vectorizable) v.reasons.push_back("interchange preserves all dependences");
+  return v;
+}
+
+std::string vectorization_strategy(const LoopNest& nest, int width) {
+  if (analyze_inner(nest, width).vectorizable) return "inner";
+  if (can_interchange(nest).vectorizable) {
+    // After interchange the old outer index becomes the inner one: swap the
+    // trip counts and every subscript's (ci, cj).
+    LoopNest swapped = nest;
+    std::swap(swapped.outer_trip, swapped.inner_trip);
+    for (Stmt2& s : swapped.stmts) {
+      auto flip = [](ArrayRef2& r) {
+        for (Affine2& a : r.subs) std::swap(a.ci, a.cj);
+      };
+      if (s.array_write) flip(*s.array_write);
+      for (ArrayRef2& r : s.array_reads) flip(r);
+    }
+    // Dependence-level legality only: interchanging a row-major nest makes
+    // the new inner accesses strided, which is a cost problem (gathers),
+    // not a correctness one — the strategy answer reports what a
+    // dependence-driven vectorizer could do.
+    if (analyze_inner(swapped, width, false).vectorizable) {
+      return "after-interchange";
+    }
+  }
+  return "none";
+}
+
+}  // namespace mcl::veclegal

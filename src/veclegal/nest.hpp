@@ -1,0 +1,87 @@
+// Two-level loop-nest dependence analysis: direction vectors, inner-loop
+// vectorization legality, and loop-interchange legality.
+//
+// Extends the single-loop model of analysis.hpp to the classic nested case
+// (i outer, j inner). Array references carry one affine subscript *per
+// dimension* (ci*i + cj*j + off), the textbook representation: a[i][j-1]
+// can then never alias a different row, unlike a flattened linear
+// subscript. Dependences are distance vectors (di, dj) obtained by solving
+// the per-dimension equations exactly (Cramer) with a windowed fallback for
+// rank-deficient systems.
+//
+// This is the machinery a loop vectorizer needs for 2D kernels like the
+// paper's Matrixmul/Blackscholes OpenMP ports: an inner loop may be
+// unvectorizable as written yet become vectorizable after interchange — and
+// interchange is itself only legal when no dependence has direction (<, >).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "veclegal/analysis.hpp"
+
+namespace mcl::veclegal {
+
+/// ci*i + cj*j + off (array elements along one dimension).
+struct Affine2 {
+  long long ci = 0;
+  long long cj = 0;
+  long long off = 0;
+};
+
+/// 1D or 2D array reference: one affine index per dimension (the last
+/// dimension is contiguous in memory).
+struct ArrayRef2 {
+  int array = 0;
+  std::vector<Affine2> subs;
+};
+
+struct Stmt2 {
+  std::optional<ArrayRef2> array_write;
+  std::vector<ArrayRef2> array_reads;
+  std::string text;
+};
+
+struct LoopNest {
+  std::string name;
+  long long outer_trip = 0;  ///< i extent
+  long long inner_trip = 0;  ///< j extent
+  std::vector<Stmt2> stmts;
+};
+
+/// One dependence between two references, as a distance vector (di, dj).
+struct Dependence2 {
+  long long di = 0;
+  long long dj = 0;
+  std::string between;  ///< "'w-text' -> 'r-text'"
+
+  /// Direction vector in the classic (<, =, >) notation.
+  [[nodiscard]] std::string direction() const;
+};
+
+/// All loop-carried dependences within the iteration space, between each
+/// write and every same-array reference. Distances are canonicalized to
+/// lexicographically positive form.
+[[nodiscard]] std::vector<Dependence2> find_dependences(const LoopNest& nest);
+
+/// Inner-loop (j) vectorization legality: shape rules on j-strides plus
+/// "no dependence carried by j (i equal) at distance < width".
+[[nodiscard]] Verdict analyze_inner(const LoopNest& nest, int width = 8);
+
+/// As above; `check_strides = false` skips the contiguity rules (N2),
+/// leaving pure dependence legality — what the interchange strategy query
+/// needs, since interchange changes iteration order but not memory layout.
+[[nodiscard]] Verdict analyze_inner(const LoopNest& nest, int width,
+                                    bool check_strides);
+
+/// Loop-interchange legality: illegal iff some dependence has direction
+/// (<, >) — interchange would reverse it to the impossible (>, <).
+[[nodiscard]] Verdict can_interchange(const LoopNest& nest);
+
+/// Convenience: is the nest vectorizable as written, after interchange, or
+/// not at all? Returns "inner" / "after-interchange" / "none".
+[[nodiscard]] std::string vectorization_strategy(const LoopNest& nest,
+                                                 int width = 8);
+
+}  // namespace mcl::veclegal

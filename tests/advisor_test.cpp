@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/advisor.hpp"
+
+namespace mcl::advisor {
+namespace {
+
+[[nodiscard]] bool has_finding(const std::vector<Advice>& advice, Finding f) {
+  return std::any_of(advice.begin(), advice.end(),
+                     [f](const Advice& a) { return a.finding == f; });
+}
+
+LaunchProfile good_profile() {
+  LaunchProfile p;
+  p.global_items = 100'000;
+  p.local_items = 256;
+  p.flops_per_item = 2000;
+  p.bytes_per_item = 64;
+  p.ilp_chains = 4;
+  p.uses_explicit_copy = false;
+  p.device_is_cpu = true;
+  p.cpu_logical_cores = 8;
+  return p;
+}
+
+TEST(Advisor, TinyWorkitemsTriggerCoalescingAdvice) {
+  LaunchProfile p = good_profile();
+  p.flops_per_item = 1;
+  p.bytes_per_item = 12;
+  const auto advice = analyze(p);
+  ASSERT_TRUE(has_finding(advice, Finding::WorkPerItem));
+  // it must be the most severe item (critical sorts first)
+  EXPECT_EQ(advice.front().severity, Severity::Critical);
+}
+
+TEST(Advisor, SmallWorkgroupWarnsForShortKernels) {
+  LaunchProfile p = good_profile();
+  p.local_items = 4;
+  p.flops_per_item = 10;
+  EXPECT_TRUE(has_finding(analyze(p), Finding::WorkGroupSize));
+}
+
+TEST(Advisor, LargeWorkgroupNoWarning) {
+  LaunchProfile p = good_profile();
+  p.local_items = 512;
+  EXPECT_FALSE(has_finding(analyze(p), Finding::WorkGroupSize));
+}
+
+TEST(Advisor, NullLocalSizeGetsInfo) {
+  LaunchProfile p = good_profile();
+  p.local_items = 0;
+  const auto advice = analyze(p);
+  ASSERT_TRUE(has_finding(advice, Finding::WorkGroupSize));
+  const auto it = std::find_if(advice.begin(), advice.end(), [](const Advice& a) {
+    return a.finding == Finding::WorkGroupSize;
+  });
+  EXPECT_EQ(it->severity, Severity::Info);
+}
+
+TEST(Advisor, LongKernelInsensitiveToWorkgroupSize) {
+  // Fig 4: Blackscholes-like kernels don't care about local size.
+  LaunchProfile p = good_profile();
+  p.local_items = 2;
+  p.flops_per_item = 100'000;
+  EXPECT_FALSE(has_finding(analyze(p), Finding::WorkGroupSize));
+}
+
+TEST(Advisor, IlpOneTriggersWarning) {
+  LaunchProfile p = good_profile();
+  p.ilp_chains = 1;
+  p.flops_per_item = 100;
+  EXPECT_TRUE(has_finding(analyze(p), Finding::Ilp));
+}
+
+TEST(Advisor, TrivialKernelSkipsIlpAdvice) {
+  LaunchProfile p = good_profile();
+  p.ilp_chains = 1;
+  p.flops_per_item = 2;  // nothing to overlap
+  EXPECT_FALSE(has_finding(analyze(p), Finding::Ilp));
+}
+
+TEST(Advisor, ExplicitCopyTriggersTransferAdvice) {
+  LaunchProfile p = good_profile();
+  p.uses_explicit_copy = true;
+  EXPECT_TRUE(has_finding(analyze(p), Finding::TransferApi));
+}
+
+TEST(Advisor, SharedDataWithoutPinningTriggersAffinity) {
+  LaunchProfile p = good_profile();
+  p.kernels_share_data = true;
+  p.affinity_pinned = false;
+  EXPECT_TRUE(has_finding(analyze(p), Finding::Affinity));
+}
+
+TEST(Advisor, PinnedSharedDataIsFine) {
+  LaunchProfile p = good_profile();
+  p.kernels_share_data = true;
+  p.affinity_pinned = true;
+  EXPECT_FALSE(has_finding(analyze(p), Finding::Affinity));
+}
+
+TEST(Advisor, SingleCoreSkipsAffinity) {
+  LaunchProfile p = good_profile();
+  p.kernels_share_data = true;
+  p.cpu_logical_cores = 1;
+  EXPECT_FALSE(has_finding(analyze(p), Finding::Affinity));
+}
+
+TEST(Advisor, GpuProfilesGetNoCpuAdvice) {
+  LaunchProfile p = good_profile();
+  p.device_is_cpu = false;
+  p.flops_per_item = 1;  // would be critical on a CPU
+  EXPECT_TRUE(analyze(p).empty());
+}
+
+TEST(Advisor, AdviceSortedBySeverity) {
+  LaunchProfile p = good_profile();
+  p.flops_per_item = 1;
+  p.bytes_per_item = 4;
+  p.local_items = 2;
+  p.ilp_chains = 1;
+  p.uses_explicit_copy = true;
+  const auto advice = analyze(p);
+  ASSERT_GE(advice.size(), 2u);
+  for (std::size_t i = 1; i < advice.size(); ++i) {
+    EXPECT_GE(static_cast<int>(advice[i - 1].severity),
+              static_cast<int>(advice[i].severity));
+  }
+}
+
+TEST(Advisor, EveryAdviceCitesAnExperiment) {
+  LaunchProfile p = good_profile();
+  p.flops_per_item = 1;
+  p.bytes_per_item = 4;
+  p.local_items = 2;
+  p.ilp_chains = 1;
+  p.uses_explicit_copy = true;
+  p.kernels_share_data = true;
+  for (const Advice& a : analyze(p)) {
+    EXPECT_NE(a.rationale.find("Fig"), std::string::npos)
+        << "advice lacks experimental rationale: " << a.message;
+  }
+}
+
+TEST(Advisor, EnumNames) {
+  EXPECT_EQ(to_string(Finding::Ilp), "ilp");
+  EXPECT_EQ(to_string(Severity::Critical), "critical");
+}
+
+}  // namespace
+}  // namespace mcl::advisor

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mcl::cachesim {
+namespace {
+
+CacheConfig tiny_cache() {
+  // 4 sets x 2 ways x 64B lines = 512 B.
+  return CacheConfig{512, 64, 2};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(tiny_cache());
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1010));  // same line
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  Cache c(tiny_cache());
+  // Three lines mapping to the same set (stride = sets * line = 256B).
+  const std::uint64_t a = 0x0000, b = 0x0100, d = 0x0200;
+  c.access(a);
+  c.access(b);
+  c.access(a);      // a is now MRU
+  c.access(d);      // evicts b (LRU)
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c(tiny_cache());
+  c.access(0x40);
+  EXPECT_TRUE(c.invalidate(0x40));
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_FALSE(c.invalidate(0x40));  // second invalidate is a no-op
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, ContainsDoesNotTouchLru) {
+  Cache c(tiny_cache());
+  const std::uint64_t a = 0x0000, b = 0x0100, d = 0x0200;
+  c.access(a);
+  c.access(b);
+  // Probing a must NOT refresh it; d should evict a (the LRU).
+  EXPECT_TRUE(c.contains(a));
+  c.access(d);
+  EXPECT_FALSE(c.contains(a));
+}
+
+TEST(Cache, FlushClearsEverything) {
+  Cache c(tiny_cache());
+  c.access(0);
+  c.access(64);
+  c.flush();
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.contains(64));
+}
+
+TEST(Cache, WorkingSetWithinCapacityHasNoCapacityMisses) {
+  // Property: touching exactly size/line distinct lines repeatedly misses
+  // only on the first pass (power-of-two geometry -> perfect indexing).
+  Cache c(CacheConfig{4096, 64, 4});
+  const std::size_t lines = 4096 / 64;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t l = 0; l < lines; ++l) c.access(l * 64);
+  }
+  EXPECT_EQ(c.stats().misses, lines);
+  EXPECT_EQ(c.stats().hits, 2 * lines);
+}
+
+TEST(Cache, StreamLargerThanCapacityThrashes) {
+  Cache c(CacheConfig{4096, 64, 4});
+  const std::size_t lines = 3 * 4096 / 64;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t l = 0; l < lines; ++l) c.access(l * 64);
+  }
+  // LRU on a sequential stream >> capacity: everything misses.
+  EXPECT_EQ(c.stats().misses, 2 * lines);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(CacheConfig{512, 63, 2}), core::Error);   // non-pow2 line
+  EXPECT_THROW(Cache(CacheConfig{512, 64, 0}), core::Error);   // zero ways
+  EXPECT_THROW(Cache(CacheConfig{32, 64, 2}), core::Error);    // < one set
+}
+
+TEST(Cache, MissRateComputation) {
+  Cache c(tiny_cache());
+  c.access(0);
+  c.access(0);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+  c.reset_stats();
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.0);
+}
+
+// --- hierarchy -----------------------------------------------------------------
+
+MachineConfig small_machine(int cores = 2) {
+  MachineConfig m;
+  m.cores = cores;
+  m.l1 = CacheConfig{1024, 64, 2};
+  m.l2 = CacheConfig{4096, 64, 4};
+  m.l3 = CacheConfig{16384, 64, 8};
+  return m;
+}
+
+TEST(Machine, LatencyLadder) {
+  Machine m(small_machine());
+  // Cold: memory latency.
+  EXPECT_EQ(m.access(0, 0x10000, 4, false).hit_level, 4);
+  // Now hot in L1.
+  EXPECT_EQ(m.access(0, 0x10000, 4, false).hit_level, 1);
+  EXPECT_EQ(m.access(0, 0x10000, 4, false).cycles, m.config().lat_l1);
+}
+
+TEST(Machine, PrivateCachesArePerCore) {
+  Machine m(small_machine());
+  m.access(0, 0x2000, 4, false);
+  // Core 1 misses its private caches but hits shared L3.
+  const AccessResult r = m.access(1, 0x2000, 4, false);
+  EXPECT_EQ(r.hit_level, 3);
+}
+
+TEST(Machine, WriteInvalidatesOtherCores) {
+  Machine m(small_machine());
+  m.access(0, 0x3000, 4, false);   // core 0 caches the line
+  EXPECT_TRUE(m.l1(0).contains(0x3000));
+  m.access(1, 0x3000, 4, true);    // core 1 writes it
+  EXPECT_FALSE(m.l1(0).contains(0x3000));
+  EXPECT_FALSE(m.l2(0).contains(0x3000));
+}
+
+TEST(Machine, MultiLineAccessWalksEveryLine) {
+  Machine m(small_machine());
+  // 256 bytes starting at 0 = 4 lines, all cold -> 4 * mem latency.
+  const AccessResult r = m.access(0, 0, 256, false);
+  EXPECT_EQ(r.cycles, 4 * m.config().lat_mem);
+}
+
+TEST(Machine, MakespanIsMaxOverCores) {
+  Machine m(small_machine());
+  m.access(0, 0x0, 64, false);
+  m.access(0, 0x1000, 64, false);
+  m.access(1, 0x2000, 64, false);
+  EXPECT_EQ(m.makespan_cycles(), m.core_cycles(0));
+  EXPECT_GT(m.core_cycles(0), m.core_cycles(1));
+  m.reset_cycles();
+  EXPECT_EQ(m.makespan_cycles(), 0u);
+}
+
+TEST(Machine, RejectsBadCore) {
+  Machine m(small_machine());
+  EXPECT_THROW(m.access(-1, 0, 4, false), core::Error);
+  EXPECT_THROW(m.access(2, 0, 4, false), core::Error);
+}
+
+TEST(Machine, AffinityEffectPrototype) {
+  // The Fig 9 mechanism in miniature: core 0 writes a range (kernel 1);
+  // reading it back on core 0 (aligned) is cheaper than on core 1
+  // (misaligned).
+  Machine aligned(small_machine());
+  Machine misaligned(small_machine());
+  for (std::uint64_t a = 0; a < 1024; a += 4) {
+    aligned.access(0, a, 4, true);
+    misaligned.access(0, a, 4, true);
+  }
+  aligned.reset_cycles();
+  misaligned.reset_cycles();
+  for (std::uint64_t a = 0; a < 1024; a += 4) {
+    aligned.access(0, a, 4, false);
+    misaligned.access(1, a, 4, false);
+  }
+  EXPECT_LT(aligned.core_cycles(0), misaligned.core_cycles(1));
+}
+
+}  // namespace
+}  // namespace mcl::cachesim
+
+// --- MESI-style coherence --------------------------------------------------------
+
+namespace mcl::cachesim {
+namespace {
+
+TEST(CacheMesi, WriteMarksDirtyReadDoesNot) {
+  Cache c(CacheConfig{512, 64, 2});
+  c.access(0x100, false);
+  EXPECT_FALSE(c.is_dirty(0x100));
+  c.access(0x100, true);
+  EXPECT_TRUE(c.is_dirty(0x100));
+}
+
+TEST(CacheMesi, DowngradeClearsDirtyOnce) {
+  Cache c(CacheConfig{512, 64, 2});
+  c.access(0x40, true);
+  EXPECT_TRUE(c.downgrade(0x40));
+  EXPECT_FALSE(c.is_dirty(0x40));
+  EXPECT_TRUE(c.contains(0x40));      // still resident (S state)
+  EXPECT_FALSE(c.downgrade(0x40));    // already clean
+  EXPECT_EQ(c.stats().downgrades, 1u);
+}
+
+TEST(CacheMesi, InvalidateClearsDirty) {
+  Cache c(CacheConfig{512, 64, 2});
+  c.access(0x40, true);
+  c.invalidate(0x40);
+  c.access(0x40, false);  // re-fetch clean
+  EXPECT_FALSE(c.is_dirty(0x40));
+}
+
+TEST(MachineMesi, RemoteDirtyReadPaysTransferLatency) {
+  Machine m(small_machine());
+  m.access(0, 0x5000, 4, true);                     // core 0 owns M copy
+  const AccessResult r = m.access(1, 0x5000, 4, false);
+  EXPECT_EQ(r.hit_level, 5);
+  EXPECT_EQ(r.cycles, m.config().lat_remote);
+  EXPECT_EQ(m.coherence().remote_transfers, 1u);
+  EXPECT_EQ(m.coherence().downgrades, 1u);
+  // Owner's copy survives, now clean: its next read is a local hit.
+  EXPECT_EQ(m.access(0, 0x5000, 4, false).hit_level, 1);
+}
+
+TEST(MachineMesi, CleanRemoteCopyIsJustAnL3Hit) {
+  Machine m(small_machine());
+  m.access(0, 0x6000, 4, false);  // core 0 holds a clean copy
+  const AccessResult r = m.access(1, 0x6000, 4, false);
+  EXPECT_EQ(r.hit_level, 3);
+  EXPECT_EQ(m.coherence().remote_transfers, 0u);
+}
+
+TEST(MachineMesi, WriteForOwnershipOverDirtyRemote) {
+  Machine m(small_machine());
+  m.access(0, 0x7000, 4, true);  // core 0 M copy
+  const AccessResult r = m.access(1, 0x7000, 4, true);
+  EXPECT_EQ(r.hit_level, 5);
+  EXPECT_FALSE(m.l1(0).contains(0x7000));  // invalidated
+  EXPECT_TRUE(m.l1(1).is_dirty(0x7000));   // new owner in M
+  EXPECT_GE(m.coherence().invalidations, 1u);
+}
+
+TEST(MachineMesi, PingPongCountsTransfersEachWay) {
+  Machine m(small_machine());
+  for (int round = 0; round < 4; ++round) {
+    m.access(round % 2, 0x8000, 4, true);
+  }
+  // First write is a cold miss; the next three each steal a dirty line.
+  EXPECT_EQ(m.coherence().remote_transfers, 3u);
+}
+
+TEST(MachineMesi, ResetStatsClearsCoherence) {
+  Machine m(small_machine());
+  m.access(0, 0x9000, 4, true);
+  m.access(1, 0x9000, 4, false);
+  EXPECT_GT(m.coherence().remote_transfers, 0u);
+  m.reset_stats();
+  EXPECT_EQ(m.coherence().remote_transfers, 0u);
+  EXPECT_EQ(m.coherence().downgrades, 0u);
+}
+
+}  // namespace
+}  // namespace mcl::cachesim
+
+// --- next-line prefetcher -----------------------------------------------------------
+
+namespace mcl::cachesim {
+namespace {
+
+TEST(Prefetch, SequentialStreamMissesHalve) {
+  MachineConfig base = small_machine(1);
+  MachineConfig with_pf = base;
+  with_pf.prefetch_next_line = true;
+  Machine plain(base), pf(with_pf);
+  for (std::uint64_t a = 0; a < 64 * 64; a += 4) {  // 64 lines, sequential
+    plain.access(0, a, 4, false);
+    pf.access(0, a, 4, false);
+  }
+  // Without prefetch: one miss per line (64). With: every miss pulls the
+  // next line, so roughly every other line misses.
+  EXPECT_EQ(plain.l1(0).stats().misses, 64u);
+  EXPECT_LE(pf.l1(0).stats().misses, 34u);
+  EXPECT_LT(pf.core_cycles(0), plain.core_cycles(0));
+}
+
+TEST(Prefetch, DoesNotStealRemoteDirtyLines) {
+  MachineConfig cfg = small_machine(2);
+  cfg.prefetch_next_line = true;
+  Machine m(cfg);
+  // Core 1 owns line B dirty; core 0 misses on line A = B - 1.
+  const std::uint64_t line_a = 0x4000, line_b = 0x4040;
+  m.access(1, line_b, 4, true);
+  m.access(0, line_a, 4, false);  // would prefetch line_b
+  EXPECT_TRUE(m.l1(1).is_dirty(line_b));   // owner untouched
+  EXPECT_FALSE(m.l1(0).contains(line_b));  // streamer skipped it
+}
+
+TEST(Prefetch, RandomAccessUnaffectedMuch) {
+  MachineConfig base = small_machine(1);
+  MachineConfig with_pf = base;
+  with_pf.prefetch_next_line = true;
+  Machine plain(base), pf(with_pf);
+  core::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next_below(1 << 22) * 4;
+    plain.access(0, a, 4, false);
+    pf.access(0, a, 4, false);
+  }
+  // Wrong-path prefetches may pollute slightly but not explode misses.
+  const double ratio = static_cast<double>(pf.l1(0).stats().misses) /
+                       static_cast<double>(plain.l1(0).stats().misses);
+  EXPECT_LT(ratio, 1.3);
+  EXPECT_GT(ratio, 0.7);
+}
+
+}  // namespace
+}  // namespace mcl::cachesim

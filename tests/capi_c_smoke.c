@@ -1,0 +1,72 @@
+/* Proves mcl.h compiles and links as plain C: a complete vector-add through
+ * the C API, returning 0 on success (asserted by the C++ test). */
+#include <stdlib.h>
+#include <string.h>
+
+#include "ocl/mcl.h"
+
+int mcl_c_smoke(void) {
+  mcl_device_id device;
+  mcl_uint ndev = 0;
+  if (mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 1, &device, &ndev) != MCL_SUCCESS)
+    return 1;
+  if (ndev < 1) return 2;
+
+  char name[128];
+  if (mclGetDeviceName(device, sizeof(name), name) != MCL_SUCCESS) return 3;
+  if (name[0] == '\0') return 4;
+
+  mcl_int err = MCL_SUCCESS;
+  mcl_context ctx = mclCreateContext(device, &err);
+  if (err != MCL_SUCCESS) return 5;
+  mcl_command_queue queue = mclCreateCommandQueue(ctx, &err);
+  if (err != MCL_SUCCESS) return 6;
+
+  enum { N = 1024 };
+  float a[N], b[N], c[N];
+  for (int i = 0; i < N; ++i) {
+    a[i] = (float)i;
+    b[i] = 2.0f * (float)i;
+    c[i] = 0.0f;
+  }
+
+  mcl_mem ma = mclCreateBuffer(ctx, MCL_MEM_READ_ONLY | MCL_MEM_COPY_HOST_PTR,
+                               sizeof(a), a, &err);
+  if (err != MCL_SUCCESS) return 7;
+  mcl_mem mb = mclCreateBuffer(ctx, MCL_MEM_READ_ONLY | MCL_MEM_COPY_HOST_PTR,
+                               sizeof(b), b, &err);
+  if (err != MCL_SUCCESS) return 8;
+  mcl_mem mc = mclCreateBuffer(ctx, MCL_MEM_WRITE_ONLY, sizeof(c), NULL, &err);
+  if (err != MCL_SUCCESS) return 9;
+
+  mcl_kernel kernel = mclCreateKernel(ctx, "vectoradd", &err);
+  if (err != MCL_SUCCESS) return 10;
+  if (mclSetKernelArg(kernel, 0, sizeof(mcl_mem), &ma) != MCL_SUCCESS) return 11;
+  if (mclSetKernelArg(kernel, 1, sizeof(mcl_mem), &mb) != MCL_SUCCESS) return 12;
+  if (mclSetKernelArg(kernel, 2, sizeof(mcl_mem), &mc) != MCL_SUCCESS) return 13;
+
+  size_t global = N, local = 64;
+  if (mclEnqueueNDRangeKernel(queue, kernel, 1, &global, &local) != MCL_SUCCESS)
+    return 14;
+  if (mclEnqueueReadBuffer(queue, mc, MCL_TRUE, 0, sizeof(c), c) != MCL_SUCCESS)
+    return 15;
+
+  for (int i = 0; i < N; ++i) {
+    if (c[i] != 3.0f * (float)i) return 16;
+  }
+
+  /* map path */
+  void* p = mclEnqueueMapBuffer(queue, mc, MCL_MAP_READ, 0, sizeof(c), &err);
+  if (err != MCL_SUCCESS || p == NULL) return 17;
+  if (((float*)p)[5] != 15.0f) return 18;
+  if (mclEnqueueUnmapMemObject(queue, mc, p) != MCL_SUCCESS) return 19;
+
+  if (mclFinish(queue) != MCL_SUCCESS) return 20;
+  mclReleaseKernel(kernel);
+  mclReleaseMemObject(ma);
+  mclReleaseMemObject(mb);
+  mclReleaseMemObject(mc);
+  mclReleaseCommandQueue(queue);
+  mclReleaseContext(ctx);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Tests for the MiniCL C API (mcl.h): error mapping, handle semantics, the
+// clSetKernelArg-style argument protocol, plus the pure-C smoke TU.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ocl/mcl.h"
+
+extern "C" int mcl_c_smoke(void);
+
+namespace {
+
+TEST(CApi, PureCTranslationUnitRunsEndToEnd) {
+  EXPECT_EQ(mcl_c_smoke(), 0);
+}
+
+TEST(CApi, DeviceDiscovery) {
+  mcl_uint n = 0;
+  EXPECT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU | MCL_DEVICE_TYPE_GPU, 0,
+                            nullptr, &n),
+            MCL_SUCCESS);
+  EXPECT_EQ(n, 2u);
+  mcl_device_id devices[2];
+  EXPECT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_GPU, 2, devices, &n), MCL_SUCCESS);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(mclGetDeviceIDs(0, 1, devices, &n), MCL_DEVICE_NOT_FOUND);
+  EXPECT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 0, devices, &n),
+            MCL_INVALID_VALUE);
+  EXPECT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 1, nullptr, nullptr),
+            MCL_INVALID_VALUE);
+}
+
+TEST(CApi, ErrorCodesPropagate) {
+  mcl_device_id device;
+  ASSERT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 1, &device, nullptr),
+            MCL_SUCCESS);
+  mcl_int err;
+  mcl_context ctx = mclCreateContext(device, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+
+  // zero-size buffer
+  mcl_mem bad = mclCreateBuffer(ctx, MCL_MEM_READ_WRITE, 0, nullptr, &err);
+  EXPECT_EQ(bad, nullptr);
+  EXPECT_EQ(err, MCL_INVALID_BUFFER_SIZE);
+
+  // unknown kernel
+  mcl_kernel k = mclCreateKernel(ctx, "definitely_not_registered", &err);
+  EXPECT_EQ(k, nullptr);
+  EXPECT_EQ(err, MCL_INVALID_KERNEL_NAME);
+
+  // bad launch: indivisible local size
+  mcl_command_queue q = mclCreateCommandQueue(ctx, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_mem buf = mclCreateBuffer(ctx, MCL_MEM_READ_WRITE, 64 * 4, nullptr, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_kernel sq = mclCreateKernel(ctx, "square", &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(sq, 0, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(sq, 1, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+  size_t global = 10, local = 3;
+  EXPECT_EQ(mclEnqueueNDRangeKernel(q, sq, 1, &global, &local),
+            MCL_INVALID_WORK_GROUP_SIZE);
+
+  mclReleaseKernel(sq);
+  mclReleaseMemObject(buf);
+  mclReleaseCommandQueue(q);
+  mclReleaseContext(ctx);
+}
+
+TEST(CApi, ScalarAndLocalArgs) {
+  // square_coalesced takes a uint scalar (arg 2); reduce takes local memory
+  // (arg 2) — both through the clSetKernelArg byte protocol.
+  mcl_device_id device;
+  ASSERT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 1, &device, nullptr),
+            MCL_SUCCESS);
+  mcl_int err;
+  mcl_context ctx = mclCreateContext(device, &err);
+  mcl_command_queue q = mclCreateCommandQueue(ctx, &err);
+
+  const size_t n = 1000;
+  std::vector<float> in(n, 3.0f), out(n, 0.0f);
+  mcl_mem min = mclCreateBuffer(ctx, MCL_MEM_READ_ONLY | MCL_MEM_COPY_HOST_PTR,
+                                n * 4, in.data(), &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_mem mout = mclCreateBuffer(ctx, MCL_MEM_WRITE_ONLY, n * 4, nullptr, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+
+  mcl_kernel k = mclCreateKernel(ctx, "square_coalesced", &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  const unsigned per_item = 10;
+  ASSERT_EQ(mclSetKernelArg(k, 0, sizeof(mcl_mem), &min), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(k, 1, sizeof(mcl_mem), &mout), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(k, 2, sizeof(per_item), &per_item), MCL_SUCCESS);
+  size_t global = n / per_item;
+  ASSERT_EQ(mclEnqueueNDRangeKernel(q, k, 1, &global, nullptr), MCL_SUCCESS);
+  ASSERT_EQ(mclEnqueueReadBuffer(q, mout, MCL_TRUE, 0, n * 4, out.data()),
+            MCL_SUCCESS);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 9.0f);
+
+  // Local-memory arg via NULL value.
+  mcl_kernel red = mclCreateKernel(ctx, "reduce", &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_mem partials = mclCreateBuffer(ctx, MCL_MEM_READ_WRITE, (n / 100) * 4,
+                                     nullptr, &err);
+  ASSERT_EQ(mclSetKernelArg(red, 0, sizeof(mcl_mem), &min), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(red, 1, sizeof(mcl_mem), &partials), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(red, 2, 100 * 4, nullptr), MCL_SUCCESS);
+  size_t local = 100;
+  size_t g2 = n;  // 10 workgroups of 100 items
+  ASSERT_EQ(mclEnqueueNDRangeKernel(q, red, 1, &g2, &local), MCL_SUCCESS);
+  float sum = 0.0f, partial[10];
+  ASSERT_EQ(mclEnqueueReadBuffer(q, partials, MCL_TRUE, 0, sizeof(partial),
+                                 partial),
+            MCL_SUCCESS);
+  for (float p : partial) sum += p;
+  EXPECT_NEAR(sum, 3.0f * n, 0.5f);
+
+  mclReleaseKernel(k);
+  mclReleaseKernel(red);
+  mclReleaseMemObject(min);
+  mclReleaseMemObject(mout);
+  mclReleaseMemObject(partials);
+  mclReleaseCommandQueue(q);
+  mclReleaseContext(ctx);
+}
+
+TEST(CApi, NullHandleRejection) {
+  EXPECT_EQ(mclReleaseContext(nullptr), MCL_INVALID_CONTEXT);
+  EXPECT_EQ(mclReleaseMemObject(nullptr), MCL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(mclReleaseKernel(nullptr), MCL_INVALID_VALUE);
+  EXPECT_EQ(mclFinish(nullptr), MCL_INVALID_VALUE);
+  mcl_int err = 123;
+  EXPECT_EQ(mclCreateContext(nullptr, &err), nullptr);
+  EXPECT_EQ(err, MCL_INVALID_DEVICE);
+}
+
+}  // namespace

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "core/cli.hpp"
+#include "core/error.hpp"
+#include "core/harness.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/sysinfo.hpp"
+#include "core/table.hpp"
+
+namespace mcl::core {
+namespace {
+
+// --- error -------------------------------------------------------------------
+
+TEST(Error, CarriesStatusAndMessage) {
+  try {
+    check(false, Status::InvalidBufferSize, "boom");
+    FAIL() << "check() should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::InvalidBufferSize);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("InvalidBufferSize"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(check(true, Status::InternalError, "never"));
+}
+
+TEST(Error, EveryStatusHasAName) {
+  for (int s = 0; s <= static_cast<int>(Status::InternalError); ++s) {
+    EXPECT_NE(to_string(static_cast<Status>(s)), "UnknownStatus");
+  }
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FloatRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = r.next_float(-3.0f, 5.0f);
+    EXPECT_GE(f, -3.0f);
+    EXPECT_LT(f, 5.0f);
+  }
+}
+
+TEST(Rng, NextBelowBound) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, FillUniformDeterministic) {
+  std::vector<float> a(64), b(64);
+  fill_uniform(a, 5, 1.0f, 2.0f);
+  fill_uniform(b, 5, 1.0f, 2.0f);
+  EXPECT_EQ(a, b);
+  for (float v : a) {
+    EXPECT_GE(v, 1.0f);
+    EXPECT_LT(v, 2.0f);
+  }
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const double v[] = {3.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.stdev, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const double v[] = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stdev, 1.2909944487, 1e-9);
+}
+
+TEST(Stats, MedianOddCount) {
+  const double v[] = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(summarize(v).median, 5.0);
+}
+
+TEST(Stats, RelativeSpread) {
+  const double v[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(relative_spread(summarize(v)), 1.0);
+  const double one[] = {1.0};
+  EXPECT_DOUBLE_EQ(relative_spread(summarize(one)), 0.0);
+}
+
+// --- harness -----------------------------------------------------------------
+
+TEST(Harness, RunsAtLeastMinIters) {
+  int calls = 0;
+  MeasureOptions opts;
+  opts.min_time = 0.0;
+  opts.min_iters = 5;
+  opts.warmup_iters = 2;
+  const Measurement m = measure([&] { ++calls; }, opts);
+  EXPECT_EQ(m.iterations, 5u);
+  EXPECT_EQ(calls, 7);  // warmups + timed
+}
+
+TEST(Harness, AccumulatesUntilMinTime) {
+  MeasureOptions opts;
+  opts.min_time = 0.01;
+  opts.min_iters = 1;
+  opts.warmup_iters = 0;
+  const Measurement m = measure([] {
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += i;
+  }, opts);
+  EXPECT_GE(m.total_s, 0.01);
+  EXPECT_GT(m.iterations, 1u);
+  EXPECT_NEAR(m.per_iter_s * static_cast<double>(m.iterations), m.total_s,
+              1e-9);
+}
+
+TEST(Harness, MeasureReportedUsesReportedSeconds) {
+  MeasureOptions opts;
+  opts.min_time = 0.5;  // reported seconds, not wall time
+  opts.min_iters = 1;
+  opts.warmup_iters = 0;
+  const Measurement m = measure_reported([] { return 0.25; }, opts);
+  EXPECT_EQ(m.iterations, 2u);
+  EXPECT_DOUBLE_EQ(m.per_iter_s, 0.25);
+}
+
+TEST(Harness, MaxItersBounds) {
+  MeasureOptions opts;
+  opts.min_time = 1e9;
+  opts.max_iters = 10;
+  opts.warmup_iters = 0;
+  const Measurement m = measure_reported([] { return 0.0; }, opts);
+  EXPECT_EQ(m.iterations, 10u);
+}
+
+TEST(Harness, AppThroughputEquation) {
+  // Paper Eq. 1: charge transfer time against the kernel's work rate.
+  EXPECT_DOUBLE_EQ(app_throughput(100.0, 1.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(app_throughput(100.0, 1.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(app_throughput(100.0, 0.0, 0.0), 0.0);
+}
+
+TEST(Harness, NormalizedThroughput) {
+  EXPECT_DOUBLE_EQ(normalized_throughput(2.0, 1.0), 2.0);  // 2x faster
+  EXPECT_DOUBLE_EQ(normalized_throughput(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(normalized_throughput(1.0, 0.0), 0.0);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, PrintAlignsAndTitles) {
+  Table t("My Table", {"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(Table, RowPaddingToColumnCount) {
+  Table t("t", {"a", "b", "c"});
+  t.add_row({std::string("x")});
+  EXPECT_EQ(t.row(0).size(), 3u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t("t", {"col,with comma"});
+  t.add_row({std::string("va\"l,ue")});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"col,with comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"va\"\"l,ue\""), std::string::npos);
+}
+
+TEST(Table, FormatCellNumberPrecision) {
+  EXPECT_EQ(Table::format_cell(Cell{1.23456789}, 4), "1.235");
+  EXPECT_EQ(Table::format_cell(Cell{std::string("s")}), "s");
+}
+
+// --- cli ---------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndValues) {
+  Cli cli;
+  cli.add_flag("alpha", "help");
+  cli.add_flag("beta", "help", "7");
+  const char* argv[] = {"prog", "--alpha=3", "pos1"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);  // default
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli;
+  cli.add_flag("n", "count");
+  const char* argv[] = {"prog", "--n", "42"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli;
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW((void)cli.parse(2, argv), Error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, BenchCliDefaults) {
+  Cli cli = make_bench_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  const MeasureOptions opts = measure_options_from(cli);
+  EXPECT_DOUBLE_EQ(opts.min_time, 0.2);
+}
+
+TEST(Cli, QuickModeShrinksMeasurement) {
+  Cli cli = make_bench_cli();
+  const char* argv[] = {"prog", "--quick"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const MeasureOptions opts = measure_options_from(cli);
+  EXPECT_LT(opts.min_time, 0.2);
+}
+
+// --- sysinfo -----------------------------------------------------------------
+
+TEST(SysInfo, ProbeReturnsSaneValues) {
+  const HostInfo info = probe_host();
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_GE(info.simd_float_lanes, 1);
+  EXPECT_FALSE(info.simd_isa.empty());
+  EXPECT_FALSE(info.compiler.empty());
+}
+
+TEST(SysInfo, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "n/a");
+  EXPECT_EQ(format_bytes(32 * 1024), "32K");
+  EXPECT_EQ(format_bytes(12 * 1024 * 1024), "12M");
+  EXPECT_EQ(format_bytes(100), "100B");
+}
+
+}  // namespace
+}  // namespace mcl::core
+
+// --- JSON reporter -----------------------------------------------------------------
+
+namespace mcl::core {
+namespace {
+
+TEST(TableJson, WellFormedOutput) {
+  Table t("Fig X", {"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), 0.25});
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("{\"title\":\"Fig X\""), 0u);
+  EXPECT_NE(out.find("\"columns\":[\"name\",\"value\"]"), std::string::npos);
+  EXPECT_NE(out.find("[\"alpha\",1.5]"), std::string::npos);
+  EXPECT_NE(out.find("[\"beta\",0.25]"), std::string::npos);
+}
+
+TEST(TableJson, EscapesSpecialCharacters) {
+  Table t("ti\"tle", {"col\\umn"});
+  t.add_row({std::string("line\nbreak\ttab")});
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ti\\\"tle"), std::string::npos);
+  EXPECT_NE(out.find("col\\\\umn"), std::string::npos);
+  EXPECT_NE(out.find("line\\nbreak\\ttab"), std::string::npos);
+}
+
+TEST(TableJson, NonFiniteBecomesNull) {
+  Table t("t", {"v"});
+  t.add_row({std::numeric_limits<double>::infinity()});
+  t.add_row({std::numeric_limits<double>::quiet_NaN()});
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[null],[null]"), std::string::npos);
+}
+
+TEST(TableJson, EmptyTable) {
+  Table t("empty", {"a"});
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_NE(os.str().find("\"rows\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcl::core
+
+// --- Markdown reporter ---------------------------------------------------------------
+
+namespace mcl::core {
+namespace {
+
+TEST(TableMarkdown, RendersPipeTable) {
+  Table t("Fig X", {"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  std::ostringstream os;
+  t.write_markdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("### Fig X"), std::string::npos);
+  EXPECT_NE(out.find("| name | value |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1.5 |"), std::string::npos);
+}
+
+TEST(TableMarkdown, EscapesPipes) {
+  Table t("a|b", {"c|d"});
+  t.add_row({std::string("e|f")});
+  std::ostringstream os;
+  t.write_markdown(os);
+  EXPECT_NE(os.str().find("a\\|b"), std::string::npos);
+  EXPECT_NE(os.str().find("e\\|f"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcl::core

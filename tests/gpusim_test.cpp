@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/gpusim.hpp"
+
+namespace mcl::gpusim {
+namespace {
+
+KernelCost compute_kernel(double ilp = 1.0) {
+  return KernelCost{.fp_insts = 64,
+                    .mem_insts = 0,
+                    .other_insts = 8,
+                    .flops_per_fp = 2.0,
+                    .ilp = ilp};
+}
+
+KernelCost memory_kernel() {
+  return KernelCost{.fp_insts = 4, .mem_insts = 8, .other_insts = 2};
+}
+
+TEST(GpuSpec, Gtx580PeakMatchesTableI) {
+  // Paper Table I: 1.56 Tflop/s.
+  EXPECT_NEAR(GpuSpec::gtx580().peak_gflops(), 1581.0, 5.0);
+}
+
+TEST(Simulate, ZeroItemsZeroTime) {
+  const SimResult r = simulate(GpuSpec::gtx580(), compute_kernel(),
+                               {.global_items = 0, .local_items = 0});
+  EXPECT_EQ(r.seconds, 0.0);
+}
+
+TEST(Simulate, TimeScalesWithWork) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const auto t1 = simulate(spec, compute_kernel(),
+                           {.global_items = 1 << 20, .local_items = 256});
+  const auto t4 = simulate(spec, compute_kernel(),
+                           {.global_items = 4 << 20, .local_items = 256});
+  EXPECT_NEAR(t4.seconds / t1.seconds, 4.0, 0.2);
+}
+
+TEST(Simulate, IlpIrrelevantAtHighOccupancy) {
+  // Fig 6, GPU series: flat across ILP 1..4 when warps abound.
+  const GpuSpec spec = GpuSpec::gtx580();
+  const LaunchGeometry geom{.global_items = 1 << 20, .local_items = 256};
+  const double t1 = simulate(spec, compute_kernel(1.0), geom).seconds;
+  const double t4 = simulate(spec, compute_kernel(4.0), geom).seconds;
+  EXPECT_NEAR(t1 / t4, 1.0, 0.05);
+}
+
+TEST(Simulate, IlpMattersWhenWarpsAreScarce) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  // One warp per SM: latency is exposed; ILP should now help.
+  const LaunchGeometry geom{.global_items = 16 * 32, .local_items = 32};
+  const double t1 = simulate(spec, compute_kernel(1.0), geom).seconds;
+  const double t4 = simulate(spec, compute_kernel(4.0), geom).seconds;
+  EXPECT_GT(t1 / t4, 1.5);
+}
+
+TEST(Simulate, CoalescingWorkitemsCollapsesThroughput) {
+  // Fig 1, GPU series: shrinking the NDRange starves the GPU.
+  const GpuSpec spec = GpuSpec::gtx580();
+  const KernelCost per_item = memory_kernel();
+  const auto base = simulate(spec, per_item,
+                             {.global_items = 1'000'000, .local_items = 256});
+  // 1000x coalescing: each workitem does 1000x the work, 1000x fewer items.
+  KernelCost fat = per_item;
+  fat.fp_insts *= 1000;
+  fat.mem_insts *= 1000;
+  fat.other_insts *= 1000;
+  const auto coalesced =
+      simulate(spec, fat, {.global_items = 1'000, .local_items = 256});
+  // Same total work, far less TLP -> much slower.
+  EXPECT_GT(coalesced.seconds, 3.0 * base.seconds);
+}
+
+TEST(Simulate, SmallWorkgroupsHurt) {
+  // Fig 3, GPU series: workgroup size caps resident warps per SM.
+  const GpuSpec spec = GpuSpec::gtx580();
+  const KernelCost k = memory_kernel();
+  const double t_small =
+      simulate(spec, k, {.global_items = 1 << 20, .local_items = 1}).seconds;
+  const double t_large =
+      simulate(spec, k, {.global_items = 1 << 20, .local_items = 256}).seconds;
+  EXPECT_GT(t_small / t_large, 4.0);
+}
+
+TEST(Simulate, OccupancyRespectsBlockAndWarpLimits) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  // 32-item blocks: 1 warp each; the 8-block cap binds -> 8 warps.
+  auto r = simulate(spec, compute_kernel(),
+                    {.global_items = 1 << 20, .local_items = 32});
+  EXPECT_EQ(r.resident_blocks, 8);
+  EXPECT_EQ(r.resident_warps, 8);
+  // 512-item blocks: 16 warps each; the 48-warp cap binds -> 3 blocks.
+  r = simulate(spec, compute_kernel(),
+               {.global_items = 1 << 20, .local_items = 512});
+  EXPECT_EQ(r.resident_blocks, 3);
+  EXPECT_EQ(r.resident_warps, 48);
+}
+
+TEST(Simulate, MoreWarpsNeverSlower) {
+  // Monotonicity property: with fixed per-item cost and total items, larger
+  // workgroup sizes (up to the caps) never meaningfully increase simulated
+  // time. A few percent of slack absorbs rounding at the memory-bound
+  // plateau where the MWP/CWP cases cross over.
+  const GpuSpec spec = GpuSpec::gtx580();
+  const KernelCost k = memory_kernel();
+  double prev = 1e30;
+  for (std::size_t local : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    const double t =
+        simulate(spec, k, {.global_items = 1 << 18, .local_items = local})
+            .seconds;
+    EXPECT_LE(t, prev * 1.05) << "local=" << local;
+    prev = t;
+  }
+}
+
+TEST(Simulate, UncoalescedMemorySlower) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  KernelCost k = memory_kernel();
+  const double coalesced =
+      simulate(spec, k, {.global_items = 1 << 20, .local_items = 256}).seconds;
+  k.coalesced = false;
+  const double scattered =
+      simulate(spec, k, {.global_items = 1 << 20, .local_items = 256}).seconds;
+  EXPECT_GT(scattered, coalesced);
+}
+
+TEST(Simulate, NullLocalPicksReasonableDefault) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const auto r = simulate(spec, compute_kernel(),
+                          {.global_items = 1 << 20, .local_items = 0});
+  EXPECT_GT(r.resident_warps, 1);
+}
+
+TEST(Simulate, AchievedNeverExceedsPeak) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  for (double ilp : {1.0, 2.0, 4.0}) {
+    const auto r = simulate(spec, compute_kernel(ilp),
+                            {.global_items = 1 << 22, .local_items = 256});
+    EXPECT_LE(r.achieved_gflops, spec.peak_gflops() * 1.01);
+    EXPECT_GT(r.achieved_gflops, 0.0);
+  }
+}
+
+TEST(Transfer, LatencyPlusBandwidth) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const double t0 = transfer_seconds(spec, 0);
+  EXPECT_DOUBLE_EQ(t0, spec.pcie_latency_s);
+  const double t1g = transfer_seconds(spec, 1'000'000'000);
+  EXPECT_NEAR(t1g, spec.pcie_latency_s + 1.0 / spec.pcie_bandwidth_gbs, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcl::gpusim
+
+// --- discrete-event simulator & cross-validation ----------------------------------
+
+#include "gpusim/detailed.hpp"
+
+namespace mcl::gpusim {
+namespace {
+
+TEST(Detailed, ZeroItemsZeroTime) {
+  const DetailedResult r = simulate_detailed(GpuSpec::gtx580(), compute_kernel(),
+                                             {.global_items = 0});
+  EXPECT_EQ(r.seconds, 0.0);
+}
+
+TEST(Detailed, IssuesEveryInstruction) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const KernelCost k{.fp_insts = 10, .mem_insts = 2, .other_insts = 3};
+  const LaunchGeometry geom{.global_items = 16 * 256, .local_items = 256};
+  const DetailedResult r = simulate_detailed(spec, k, geom);
+  // One block per SM: 8 warps x 15 instructions.
+  EXPECT_EQ(r.issued_insts, 8u * 15u);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Detailed, IlpFlatAtHighOccupancyLikeAnalytical) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const LaunchGeometry geom{.global_items = 1 << 18, .local_items = 256};
+  const double t1 = simulate_detailed(spec, compute_kernel(1.0), geom).seconds;
+  const double t4 = simulate_detailed(spec, compute_kernel(4.0), geom).seconds;
+  EXPECT_NEAR(t1 / t4, 1.0, 0.10);
+}
+
+TEST(Detailed, IlpMattersWhenWarpsScarceLikeAnalytical) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const LaunchGeometry geom{.global_items = 16 * 32, .local_items = 32};
+  const double t1 = simulate_detailed(spec, compute_kernel(1.0), geom).seconds;
+  const double t4 = simulate_detailed(spec, compute_kernel(4.0), geom).seconds;
+  EXPECT_GT(t1 / t4, 1.5);
+}
+
+TEST(Detailed, SmallWorkgroupsHurtLikeAnalytical) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const KernelCost k = memory_kernel();
+  const double t_small =
+      simulate_detailed(spec, k, {.global_items = 1 << 14, .local_items = 1})
+          .seconds;
+  const double t_large =
+      simulate_detailed(spec, k, {.global_items = 1 << 14, .local_items = 256})
+          .seconds;
+  EXPECT_GT(t_small / t_large, 4.0);
+}
+
+TEST(Detailed, TimeScalesWithWork) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  const auto t1 = simulate_detailed(spec, compute_kernel(),
+                                    {.global_items = 1 << 16, .local_items = 256});
+  const auto t4 = simulate_detailed(spec, compute_kernel(),
+                                    {.global_items = 1 << 18, .local_items = 256});
+  EXPECT_NEAR(t4.seconds / t1.seconds, 4.0, 0.4);
+}
+
+TEST(Detailed, AgreesWithAnalyticalWithinFactorTwo) {
+  // Cross-validation: over a grid of kernel shapes and launch geometries,
+  // the closed-form and discrete-event models must agree within ~2x (they
+  // share assumptions but differ in all approximations).
+  const GpuSpec spec = GpuSpec::gtx580();
+  int checked = 0;
+  for (double fp : {8.0, 64.0}) {
+    for (double mem : {0.0, 2.0, 8.0}) {
+      for (double ilp : {1.0, 4.0}) {
+        for (std::size_t local : {32u, 256u}) {
+          const KernelCost k{.fp_insts = fp, .mem_insts = mem,
+                             .other_insts = fp / 4, .flops_per_fp = 2.0,
+                             .ilp = ilp};
+          const LaunchGeometry geom{.global_items = 1 << 16,
+                                    .local_items = local};
+          const double analytical = simulate(spec, k, geom).seconds;
+          const double detailed = simulate_detailed(spec, k, geom).seconds;
+          const double ratio = detailed / analytical;
+          EXPECT_GT(ratio, 0.33) << "fp=" << fp << " mem=" << mem
+                                 << " ilp=" << ilp << " local=" << local;
+          EXPECT_LT(ratio, 3.0) << "fp=" << fp << " mem=" << mem
+                                << " ilp=" << ilp << " local=" << local;
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(checked, 24);
+}
+
+TEST(Detailed, UncoalescedSlowerLikeAnalytical) {
+  const GpuSpec spec = GpuSpec::gtx580();
+  KernelCost k = memory_kernel();
+  const LaunchGeometry geom{.global_items = 1 << 15, .local_items = 256};
+  const double coalesced = simulate_detailed(spec, k, geom).seconds;
+  k.coalesced = false;
+  const double scattered = simulate_detailed(spec, k, geom).seconds;
+  EXPECT_GT(scattered, coalesced);
+}
+
+}  // namespace
+}  // namespace mcl::gpusim

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "simd/math.hpp"
+#include "simd/vec.hpp"
+
+namespace mcl::simd {
+namespace {
+
+// The suite exercises every compiled width via typed tests.
+template <typename T>
+class VecTest : public ::testing::Test {};
+
+template <int W>
+struct WidthTag {
+  static constexpr int width = W;
+};
+
+#if defined(__AVX__)
+using Widths = ::testing::Types<WidthTag<1>, WidthTag<4>, WidthTag<8>>;
+#elif defined(__SSE2__)
+using Widths = ::testing::Types<WidthTag<1>, WidthTag<4>>;
+#else
+using Widths = ::testing::Types<WidthTag<1>>;
+#endif
+TYPED_TEST_SUITE(VecTest, Widths);
+
+template <int W>
+std::vector<float> to_vec(vfloat<W> v) {
+  std::vector<float> out(W);
+  for (int i = 0; i < W; ++i) out[i] = v.lane(i);
+  return out;
+}
+
+TYPED_TEST(VecTest, LoadStoreRoundtrip) {
+  constexpr int W = TypeParam::width;
+  alignas(64) float in[W], out[W];
+  for (int i = 0; i < W; ++i) in[i] = static_cast<float>(i) * 1.5f - 2.0f;
+  vfloat<W>::load_aligned(in).store_aligned(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(in[i], out[i]);
+}
+
+TYPED_TEST(VecTest, BroadcastAndIota) {
+  constexpr int W = TypeParam::width;
+  const vfloat<W> b{3.25f};
+  for (int i = 0; i < W; ++i) EXPECT_EQ(b.lane(i), 3.25f);
+  const vfloat<W> io = vfloat<W>::iota(10.0f);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(io.lane(i), 10.0f + static_cast<float>(i));
+}
+
+TYPED_TEST(VecTest, ArithmeticMatchesScalar) {
+  constexpr int W = TypeParam::width;
+  core::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    alignas(64) float a[W], b[W];
+    for (int i = 0; i < W; ++i) {
+      a[i] = rng.next_float(-10.0f, 10.0f);
+      b[i] = rng.next_float(0.5f, 10.0f);
+    }
+    const auto va = vfloat<W>::load_aligned(a);
+    const auto vb = vfloat<W>::load_aligned(b);
+    for (int i = 0; i < W; ++i) {
+      EXPECT_FLOAT_EQ((va + vb).lane(i), a[i] + b[i]);
+      EXPECT_FLOAT_EQ((va - vb).lane(i), a[i] - b[i]);
+      EXPECT_FLOAT_EQ((va * vb).lane(i), a[i] * b[i]);
+      EXPECT_FLOAT_EQ((va / vb).lane(i), a[i] / b[i]);
+      EXPECT_FLOAT_EQ(min(va, vb).lane(i), std::fmin(a[i], b[i]));
+      EXPECT_FLOAT_EQ(max(va, vb).lane(i), std::fmax(a[i], b[i]));
+      EXPECT_FLOAT_EQ(abs(va).lane(i), std::fabs(a[i]));
+    }
+  }
+}
+
+TYPED_TEST(VecTest, FmaddMatches) {
+  constexpr int W = TypeParam::width;
+  const auto a = vfloat<W>::iota(1.0f);
+  const vfloat<W> b{2.0f}, c{0.5f};
+  for (int i = 0; i < W; ++i) {
+    EXPECT_NEAR(fmadd(a, b, c).lane(i), (1.0f + i) * 2.0f + 0.5f, 1e-6);
+  }
+}
+
+TYPED_TEST(VecTest, SqrtMatches) {
+  constexpr int W = TypeParam::width;
+  const auto x = vfloat<W>::iota(1.0f);
+  for (int i = 0; i < W; ++i) {
+    EXPECT_NEAR(sqrt(x).lane(i), std::sqrt(1.0f + i), 1e-6);
+  }
+}
+
+TYPED_TEST(VecTest, CompareAndSelect) {
+  constexpr int W = TypeParam::width;
+  const auto a = vfloat<W>::iota(0.0f);       // 0, 1, 2, ...
+  const vfloat<W> threshold{1.5f};
+  const auto mask = cmp_lt(a, threshold);     // lanes 0,1 true
+  const auto sel = select(mask, vfloat<W>{-1.0f}, vfloat<W>{+1.0f});
+  for (int i = 0; i < W; ++i) {
+    EXPECT_EQ(sel.lane(i), i < 2 ? -1.0f : 1.0f) << "lane " << i;
+  }
+  const auto gt = cmp_gt(a, threshold);
+  const auto sel2 = select(gt, vfloat<W>{9.0f}, vfloat<W>{3.0f});
+  for (int i = 0; i < W; ++i) EXPECT_EQ(sel2.lane(i), i > 1 ? 9.0f : 3.0f);
+}
+
+TYPED_TEST(VecTest, FloorMatches) {
+  constexpr int W = TypeParam::width;
+  alignas(64) float vals[W];
+  for (int i = 0; i < W; ++i) vals[i] = static_cast<float>(i) - 1.75f;
+  const auto f = floor(vfloat<W>::load_aligned(vals));
+  for (int i = 0; i < W; ++i) EXPECT_EQ(f.lane(i), std::floor(vals[i]));
+}
+
+TYPED_TEST(VecTest, ReduceAdd) {
+  constexpr int W = TypeParam::width;
+  const auto x = vfloat<W>::iota(1.0f);
+  EXPECT_FLOAT_EQ(x.reduce_add(), static_cast<float>(W * (W + 1)) / 2.0f);
+}
+
+// --- math functions: accuracy vs libm across widths --------------------------
+
+TYPED_TEST(VecTest, ExpAccuracy) {
+  constexpr int W = TypeParam::width;
+  core::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    alignas(64) float x[W];
+    for (int i = 0; i < W; ++i) x[i] = rng.next_float(-80.0f, 80.0f);
+    const auto r = vexp(vfloat<W>::load_aligned(x));
+    for (int i = 0; i < W; ++i) {
+      const double expect = std::exp(static_cast<double>(x[i]));
+      EXPECT_NEAR(r.lane(i) / expect, 1.0, 3e-6) << "x=" << x[i];
+    }
+  }
+}
+
+TYPED_TEST(VecTest, ExpClampsExtremes) {
+  constexpr int W = TypeParam::width;
+  EXPECT_TRUE(std::isfinite(vexp(vfloat<W>{1000.0f}).lane(0)));
+  EXPECT_NEAR(vexp(vfloat<W>{-1000.0f}).lane(0), 0.0f, 1e-30);
+}
+
+TYPED_TEST(VecTest, LogAccuracy) {
+  constexpr int W = TypeParam::width;
+  core::Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    alignas(64) float x[W];
+    for (int i = 0; i < W; ++i) x[i] = rng.next_float(1e-5f, 1e5f);
+    const auto r = vlog(vfloat<W>::load_aligned(x));
+    for (int i = 0; i < W; ++i) {
+      const double expect = std::log(static_cast<double>(x[i]));
+      EXPECT_NEAR(r.lane(i), expect, 2e-4 * std::fabs(expect) + 2e-6)
+          << "x=" << x[i];
+    }
+  }
+}
+
+TYPED_TEST(VecTest, SinCosAccuracy) {
+  constexpr int W = TypeParam::width;
+  core::Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    alignas(64) float x[W];
+    for (int i = 0; i < W; ++i) x[i] = rng.next_float(-50.0f, 50.0f);
+    vfloat<W> s, c;
+    vsincos(vfloat<W>::load_aligned(x), s, c);
+    for (int i = 0; i < W; ++i) {
+      EXPECT_NEAR(s.lane(i), std::sin(static_cast<double>(x[i])), 2e-5)
+          << "x=" << x[i];
+      EXPECT_NEAR(c.lane(i), std::cos(static_cast<double>(x[i])), 2e-5)
+          << "x=" << x[i];
+    }
+  }
+}
+
+TYPED_TEST(VecTest, SinCosPythagorean) {
+  constexpr int W = TypeParam::width;
+  core::Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    const vfloat<W> x{rng.next_float(-100.0f, 100.0f)};
+    vfloat<W> s, c;
+    vsincos(x, s, c);
+    for (int i = 0; i < W; ++i) {
+      EXPECT_NEAR(s.lane(i) * s.lane(i) + c.lane(i) * c.lane(i), 1.0f, 1e-4);
+    }
+  }
+}
+
+TYPED_TEST(VecTest, NormalCdfProperties) {
+  constexpr int W = TypeParam::width;
+  // Known points.
+  EXPECT_NEAR(normal_cdf(vfloat<W>{0.0f}).lane(0), 0.5, 1e-6);
+  EXPECT_NEAR(normal_cdf(vfloat<W>{1.0f}).lane(0), 0.8413447, 1e-5);
+  EXPECT_NEAR(normal_cdf(vfloat<W>{-1.0f}).lane(0), 0.1586553, 1e-5);
+  EXPECT_NEAR(normal_cdf(vfloat<W>{6.0f}).lane(0), 1.0, 1e-6);
+  // Symmetry: CND(d) + CND(-d) == 1.
+  core::Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const float d = rng.next_float(-5.0f, 5.0f);
+    const float sum = normal_cdf(vfloat<W>{d}).lane(0) +
+                      normal_cdf(vfloat<W>{-d}).lane(0);
+    EXPECT_NEAR(sum, 1.0f, 2e-6) << "d=" << d;
+  }
+  // Monotonicity on a grid.
+  float prev = 0.0f;
+  for (float d = -6.0f; d <= 6.0f; d += 0.25f) {
+    const float v = normal_cdf(vfloat<W>{d}).lane(0);
+    EXPECT_GE(v, prev - 1e-6f);
+    prev = v;
+  }
+}
+
+TEST(Simd, NativeWidthConsistent) {
+  EXPECT_GE(kNativeFloatWidth, 1);
+  EXPECT_EQ(vfloatn::width, kNativeFloatWidth);
+  EXPECT_NE(native_isa_name(), nullptr);
+}
+
+}  // namespace
+}  // namespace mcl::simd

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "threading/affinity.hpp"
+#include "threading/barrier.hpp"
+#include "threading/fiber.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace mcl::threading {
+namespace {
+
+// --- affinity ------------------------------------------------------------------
+
+TEST(Affinity, LogicalCpuCountPositive) { EXPECT_GE(logical_cpu_count(), 1); }
+
+TEST(Affinity, PinCurrentThreadToCpu0) {
+  EXPECT_TRUE(pin_current_thread(0));
+  const auto cpus = current_affinity();
+  ASSERT_EQ(cpus.size(), 1u);
+  EXPECT_EQ(cpus[0], 0);
+}
+
+TEST(Affinity, PinRejectsAbsurdCpu) {
+  EXPECT_FALSE(pin_current_thread(-1));
+  EXPECT_FALSE(pin_current_thread(1 << 20));
+}
+
+TEST(AffinityParse, SimpleList) {
+  const auto cpus = parse_affinity_list("0 3 1");
+  ASSERT_TRUE(cpus.has_value());
+  EXPECT_EQ(*cpus, (std::vector<int>{0, 3, 1}));
+}
+
+TEST(AffinityParse, RangesAndStrides) {
+  EXPECT_EQ(*parse_affinity_list("1-4"), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(*parse_affinity_list("0-6:2"), (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(*parse_affinity_list("0,2, 5-6"), (std::vector<int>{0, 2, 5, 6}));
+}
+
+TEST(AffinityParse, RejectsMalformed) {
+  EXPECT_FALSE(parse_affinity_list("").has_value());
+  EXPECT_FALSE(parse_affinity_list("a-b").has_value());
+  EXPECT_FALSE(parse_affinity_list("4-1").has_value());
+  EXPECT_FALSE(parse_affinity_list("1-5:0").has_value());
+}
+
+// --- barrier ---------------------------------------------------------------------
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[kPhases];
+  for (auto& c : phase_counts) c.store(0);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counts[p].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread must observe the full count.
+        EXPECT_EQ(phase_counts[p].load(), kThreads);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 10; ++i) barrier.arrive_and_wait();
+}
+
+// --- thread pool ------------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelRunCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_run(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelRunChunked) {
+  ThreadPool pool(2);
+  constexpr std::size_t kN = 1003;  // not a multiple of the chunk
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_run(kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 64);
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, static_cast<int>(kN));
+}
+
+TEST(ThreadPool, ParallelRunZeroCount) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RepeatedBatchesAllComplete) {
+  // Regression: successive batches reuse stack addresses; generations must
+  // keep workers participating (and results exact) every time.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_run(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_run(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ThreadCountDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.thread_count(),
+            static_cast<std::size_t>(logical_cpu_count()));
+}
+
+// --- fibers -------------------------------------------------------------------------
+
+TEST(Fiber, AllFibersRun) {
+  std::vector<int> hits(100, 0);
+  run_fiber_group(100, [&](std::size_t i, FiberYield&) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(Fiber, BarrierAlignsPhases) {
+  // Every fiber writes phase 0 data, barriers, then reads a neighbor's
+  // phase-0 value. Without a real barrier the neighbor's slot would still
+  // be the sentinel.
+  constexpr std::size_t kN = 37;
+  std::vector<int> slot(kN, -1);
+  std::vector<int> seen(kN, -2);
+  run_fiber_group(kN, [&](std::size_t i, FiberYield& yield) {
+    slot[i] = static_cast<int>(i);
+    yield.barrier();
+    seen[i] = slot[(i + 1) % kN];
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(seen[i], static_cast<int>((i + 1) % kN));
+  }
+}
+
+TEST(Fiber, ManyBarrierPhases) {
+  constexpr std::size_t kN = 16;
+  constexpr int kPhases = 25;
+  std::vector<int> counters(kN, 0);
+  run_fiber_group(kN, [&](std::size_t i, FiberYield& yield) {
+    for (int p = 0; p < kPhases; ++p) {
+      ++counters[i];
+      yield.barrier();
+      // All fibers must have finished this phase.
+      for (std::size_t j = 0; j < kN; ++j) EXPECT_GE(counters[j], p + 1);
+      yield.barrier();
+    }
+  });
+}
+
+TEST(Fiber, PropagatesException) {
+  EXPECT_THROW(
+      run_fiber_group(8,
+                      [&](std::size_t i, FiberYield&) {
+                        if (i == 3) throw std::runtime_error("kernel fault");
+                      }),
+      std::runtime_error);
+}
+
+TEST(Fiber, ZeroFibersIsNoop) {
+  run_fiber_group(0, [](std::size_t, FiberYield&) { FAIL(); });
+}
+
+TEST(Fiber, StacksSurviveDeepUsage) {
+  // Each fiber uses a few KB of stack; ensures stack sizing and reuse work.
+  std::vector<double> out(32, 0.0);
+  run_fiber_group(
+      32,
+      [&](std::size_t i, FiberYield& yield) {
+        volatile double local[512];
+        for (int j = 0; j < 512; ++j) local[j] = static_cast<double>(j + i);
+        yield.barrier();
+        double sum = 0;
+        for (int j = 0; j < 512; ++j) sum += local[j];
+        out[i] = sum;
+      },
+      64 * 1024);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], 512.0 * 511.0 / 2.0 + 512.0 * static_cast<double>(i));
+  }
+  release_fiber_stacks();
+}
+
+}  // namespace
+}  // namespace mcl::threading
+
+// --- work-stealing schedule strategy -----------------------------------------------
+
+namespace mcl::threading {
+namespace {
+
+TEST(WorkStealing, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 20'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_run(kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 1,
+                    ScheduleStrategy::WorkStealing);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkStealing, ChunkedAndUnevenCounts) {
+  ThreadPool pool(3);
+  for (std::size_t n : {1u, 7u, 100u, 1003u}) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_run(n, [&](std::size_t i) { sum.fetch_add(i + 1); }, 16,
+                      ScheduleStrategy::WorkStealing);
+    ASSERT_EQ(sum.load(), n * (n + 1) / 2) << "n=" << n;
+  }
+}
+
+TEST(WorkStealing, SkewedWorkloadStillCompletes) {
+  // All the work piles into the first slot's range; thieves must spread it.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_run(
+      kN,
+      [&](std::size_t i) {
+        if (i < kN / 8) {  // heavy head
+          volatile double sink = 0;
+          for (int j = 0; j < 2000; ++j) sink += j;
+        }
+        hits[i].fetch_add(1);
+      },
+      1, ScheduleStrategy::WorkStealing);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkStealing, RepeatedBatchesStayExact) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 30; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_run(257, [&](std::size_t i) { sum.fetch_add(i); }, 4,
+                      ScheduleStrategy::WorkStealing);
+    ASSERT_EQ(sum.load(), 256u * 257u / 2u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mcl::threading
+
+// --- run statistics --------------------------------------------------------------
+
+namespace mcl::threading {
+namespace {
+
+TEST(RunStatistics, AllIndicesAccounted) {
+  ThreadPool pool(3);
+  for (ScheduleStrategy s :
+       {ScheduleStrategy::CentralCounter, ScheduleStrategy::WorkStealing}) {
+    const RunStats stats =
+        pool.parallel_run(1000, [](std::size_t) {}, 8, s);
+    EXPECT_GE(stats.participants, 1u);
+    EXPECT_LE(stats.participants, 4u);  // 3 workers + caller
+    EXPECT_GE(stats.max_per_participant, 1000u / 4u);
+    EXPECT_GE(stats.imbalance, 1.0);
+  }
+}
+
+TEST(RunStatistics, SingleParticipantPerfectlyBalanced) {
+  ThreadPool pool(1);  // one worker + the caller; tiny batch -> often 1 party
+  const RunStats stats =
+      pool.parallel_run(1, [](std::size_t) {}, 1);
+  EXPECT_EQ(stats.participants, 1u);
+  EXPECT_DOUBLE_EQ(stats.imbalance, 1.0);
+  EXPECT_EQ(stats.max_per_participant, 1u);
+}
+
+TEST(RunStatistics, ZeroCountEmptyStats) {
+  ThreadPool pool(2);
+  const RunStats stats = pool.parallel_run(0, [](std::size_t) {});
+  EXPECT_EQ(stats.participants, 0u);
+}
+
+}  // namespace
+}  // namespace mcl::threading

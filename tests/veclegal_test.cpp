@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include "apps/mbench.hpp"
+#include "veclegal/analysis.hpp"
+
+namespace mcl::veclegal {
+namespace {
+
+LoopBody simple_elementwise() {
+  LoopBody l{.name = "saxpy", .stmts = {}, .trip_count = 1024};
+  l.stmts.push_back(store(ref(2), {ref(0), ref(1)}, "c[i] = a[i] + b[i]"));
+  return l;
+}
+
+TEST(LoopModel, ElementwiseIsVectorizable) {
+  const Verdict v = analyze(simple_elementwise(), Model::Loop);
+  EXPECT_TRUE(v.vectorizable) << v.summary();
+}
+
+TEST(LoopModel, UncountableLoopRefused) {
+  LoopBody l = simple_elementwise();
+  l.trip_count = 0;
+  const Verdict v = analyze(l, Model::Loop);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("L1"), std::string::npos);
+}
+
+TEST(LoopModel, ControlFlowRefused) {
+  LoopBody l = simple_elementwise();
+  l.straight_line = false;
+  EXPECT_FALSE(analyze(l, Model::Loop).vectorizable);
+}
+
+TEST(LoopModel, MultipleExitsRefused) {
+  LoopBody l = simple_elementwise();
+  l.single_entry_exit = false;
+  EXPECT_FALSE(analyze(l, Model::Loop).vectorizable);
+}
+
+TEST(LoopModel, NonUnitStrideLoadRefused) {
+  LoopBody l{.name = "strided", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(store(ref(2), {ref(0, 3)}, "c[i] = a[3i]"));
+  const Verdict v = analyze(l, Model::Loop);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("L2"), std::string::npos);
+}
+
+TEST(LoopModel, LoopInvariantLoadAllowed) {
+  LoopBody l{.name = "broadcast", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(store(ref(2), {ref(0, 0, 5), ref(1)}, "c[i] = a[5] * b[i]"));
+  EXPECT_TRUE(analyze(l, Model::Loop).vectorizable);
+}
+
+TEST(LoopModel, CarriedFlowDependenceRefused) {
+  // a[i+1] = a[i] * b[i]: distance-1 flow dependence.
+  LoopBody l{.name = "recur", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(store(ref(0, 1, 1), {ref(0), ref(1)}, "a[i+1] = a[i]*b[i]"));
+  const Verdict v = analyze(l, Model::Loop);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("distance 1"), std::string::npos);
+}
+
+TEST(LoopModel, FarDependenceOutsideWindowAllowed) {
+  // a[i+64] = a[i]: distance 64 >= W, safe for W-lane vectors.
+  LoopBody l{.name = "far", .stmts = {}, .trip_count = 1024};
+  l.stmts.push_back(store(ref(0, 1, 64), {ref(0)}, "a[i+64] = a[i]"));
+  EXPECT_TRUE(analyze(l, Model::Loop, 8).vectorizable);
+  // ... but unsafe for 128-lane hypothetical vectors.
+  EXPECT_FALSE(analyze(l, Model::Loop, 128).vectorizable);
+}
+
+TEST(LoopModel, ScalarRecurrenceRefused) {
+  // s = s + a[i] (reduction without the reduction idiom).
+  LoopBody l{.name = "sum", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(assign_temp(0, {ref(0)}, {0}, "s = s + a[i]"));
+  const Verdict v = analyze(l, Model::Loop);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("recurrence"), std::string::npos);
+}
+
+TEST(LoopModel, TempDefinedBeforeUseAllowed) {
+  LoopBody l{.name = "temp", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(assign_temp(0, {ref(0), ref(1)}, {}, "t = a[i]*b[i]"));
+  l.stmts.push_back(store(ref(2), {}, "c[i] = t", {0}));
+  EXPECT_TRUE(analyze(l, Model::Loop).vectorizable);
+}
+
+TEST(LoopModel, SingleRmwAllowed) {
+  // c[i] = alpha*a[i] + c[i] is one read-modify-write: fine.
+  LoopBody l{.name = "axpy", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(store(ref(2), {ref(0), ref(2)}, "c[i] = a*x + c[i]"));
+  EXPECT_TRUE(analyze(l, Model::Loop).vectorizable);
+}
+
+TEST(LoopModel, ChainedRmwRefused) {
+  // The Fig 11 FMUL chain: repeated RMW of the same element.
+  LoopBody l{.name = "fig11", .stmts = {}, .trip_count = 4};
+  for (int i = 0; i < 6; ++i) {
+    l.stmts.push_back(store(ref(0), {ref(0), ref(1)}, "FMUL(a[j], b[j])"));
+  }
+  const Verdict v = analyze(l, Model::Loop);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("L4"), std::string::npos);
+}
+
+// --- SPMD model ---------------------------------------------------------------
+
+TEST(SpmdModel, Fig11ChainVectorizes) {
+  // The same chained body IS vectorizable across workitems — the paper's
+  // central Fig 11 observation.
+  LoopBody l{.name = "fig11", .stmts = {}, .trip_count = 4};
+  for (int i = 0; i < 6; ++i) {
+    l.stmts.push_back(store(ref(0), {ref(0), ref(1)}, "FMUL(a[j], b[j])"));
+  }
+  EXPECT_TRUE(analyze(l, Model::Spmd).vectorizable);
+}
+
+TEST(SpmdModel, StridedAccessVectorizes) {
+  LoopBody l{.name = "strided", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(store(ref(2, 2), {ref(0, 3)}, "c[2i] = a[3i]"));
+  EXPECT_TRUE(analyze(l, Model::Spmd).vectorizable);
+}
+
+TEST(SpmdModel, SharedElementStoreRefused) {
+  LoopBody l{.name = "race", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(store(ref(2, 0), {ref(0)}, "c[0] = a[i]"));
+  const Verdict v = analyze(l, Model::Spmd);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("S1"), std::string::npos);
+}
+
+TEST(Verdict, SummaryMentionsOutcome) {
+  const Verdict v = analyze(simple_elementwise(), Model::Loop);
+  EXPECT_NE(v.summary().find("VECTORIZABLE"), std::string::npos);
+}
+
+TEST(Explain, RendersBothModels) {
+  const std::string text = explain_both(simple_elementwise());
+  EXPECT_NE(text.find("loop auto-vectorizer"), std::string::npos);
+  EXPECT_NE(text.find("SPMD vectorizer"), std::string::npos);
+}
+
+// --- MBench IR: the verdicts Fig 10 depends on ---------------------------------
+
+struct MBenchExpectation {
+  const char* name;
+  bool loop_vectorizable;
+};
+
+class MBenchVerdicts : public ::testing::TestWithParam<MBenchExpectation> {};
+
+TEST_P(MBenchVerdicts, LoopVerdictMatchesPaperStory) {
+  for (const auto& mb : apps::all_mbenches()) {
+    if (std::string(mb.name) != GetParam().name) continue;
+    const Verdict loop = analyze(mb.ir, Model::Loop);
+    EXPECT_EQ(loop.vectorizable, GetParam().loop_vectorizable)
+        << mb.name << ": " << loop.summary();
+    // All MBench kernels vectorize in the SPMD model.
+    EXPECT_TRUE(analyze(mb.ir, Model::Spmd).vectorizable) << mb.name;
+    return;
+  }
+  FAIL() << "unknown MBench " << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMBenches, MBenchVerdicts,
+    ::testing::Values(MBenchExpectation{"MBench1", true},
+                      MBenchExpectation{"MBench2", false},
+                      MBenchExpectation{"MBench3", false},
+                      MBenchExpectation{"MBench4", true},
+                      MBenchExpectation{"MBench5", false},
+                      MBenchExpectation{"MBench6", false},
+                      MBenchExpectation{"MBench7", false},
+                      MBenchExpectation{"MBench8", true}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace mcl::veclegal
+
+// --- reduction idioms & options ---------------------------------------------------
+
+namespace mcl::veclegal {
+namespace {
+
+LoopBody dot_product_body() {
+  // s = s + a[i]*b[i]; c[0..] untouched — the canonical reduction.
+  LoopBody l{.name = "dot", .stmts = {}, .trip_count = 1024};
+  l.stmts.push_back(assign_temp(0, {ref(0), ref(1)}, {0}, "s = s + a[i]*b[i]"));
+  return l;
+}
+
+TEST(Reductions, FragileCompilerRefuses) {
+  // Default options model the paper-era vectorizer: no reassociation.
+  EXPECT_FALSE(analyze(dot_product_body(), Model::Loop).vectorizable);
+}
+
+TEST(Reductions, ReassociatingCompilerAccepts) {
+  AnalysisOptions opts;
+  opts.allow_reduction_idioms = true;
+  const Verdict v = analyze(dot_product_body(), Model::Loop, opts);
+  EXPECT_TRUE(v.vectorizable) << v.summary();
+}
+
+TEST(Reductions, ConsumedAccumulatorIsNotAnIdiom) {
+  // t feeds another statement inside the loop: order matters, not a
+  // reduction even with reassociation.
+  LoopBody l = dot_product_body();
+  l.stmts.push_back(store(ref(2), {}, "c[i] = s", {0}));
+  AnalysisOptions opts;
+  opts.allow_reduction_idioms = true;
+  EXPECT_FALSE(analyze(l, Model::Loop, opts).vectorizable);
+}
+
+TEST(Reductions, MultiplyDefinedAccumulatorIsNotAnIdiom) {
+  LoopBody l = dot_product_body();
+  l.stmts.push_back(assign_temp(0, {ref(1)}, {}, "s = b[i]"));
+  AnalysisOptions opts;
+  opts.allow_reduction_idioms = true;
+  EXPECT_FALSE(analyze(l, Model::Loop, opts).vectorizable);
+}
+
+TEST(Reductions, TwoIndependentReductionsBothAccepted) {
+  LoopBody l{.name = "dot2", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(assign_temp(0, {ref(0)}, {0}, "s0 = s0 + a[i]"));
+  l.stmts.push_back(assign_temp(1, {ref(1)}, {1}, "s1 = s1 * b[i]"));
+  AnalysisOptions opts;
+  opts.allow_reduction_idioms = true;
+  EXPECT_TRUE(analyze(l, Model::Loop, opts).vectorizable);
+}
+
+TEST(Reductions, OtherRulesStillApply) {
+  // A reduction over a strided load still trips L2.
+  LoopBody l{.name = "strided-dot", .stmts = {}, .trip_count = 128};
+  l.stmts.push_back(assign_temp(0, {ref(0, 2)}, {0}, "s = s + a[2i]"));
+  AnalysisOptions opts;
+  opts.allow_reduction_idioms = true;
+  const Verdict v = analyze(l, Model::Loop, opts);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("L2"), std::string::npos);
+}
+
+TEST(Printer, RendersBodyAndMetadata) {
+  LoopBody l = dot_product_body();
+  const std::string text = to_string(l);
+  EXPECT_NE(text.find("dot"), std::string::npos);
+  EXPECT_NE(text.find("trip count 1024"), std::string::npos);
+  EXPECT_NE(text.find("s = s + a[i]*b[i]"), std::string::npos);
+  l.trip_count = 0;
+  l.straight_line = false;
+  const std::string text2 = to_string(l);
+  EXPECT_NE(text2.find("uncountable"), std::string::npos);
+  EXPECT_NE(text2.find("control flow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcl::veclegal
+
+// --- two-level loop nests -----------------------------------------------------------
+
+#include "veclegal/nest.hpp"
+
+namespace mcl::veclegal {
+namespace {
+
+/// a[i + di0][j + dj0] style helper: 2D ref with per-dimension offsets.
+ArrayRef2 ref2(int array, long long i_off, long long j_off) {
+  return ArrayRef2{array, {{1, 0, i_off}, {0, 1, j_off}}};
+}
+
+Stmt2 nest_store(ArrayRef2 w, std::vector<ArrayRef2> reads, std::string text) {
+  Stmt2 s;
+  s.array_write = std::move(w);
+  s.array_reads = std::move(reads);
+  s.text = std::move(text);
+  return s;
+}
+
+LoopNest make_nest(std::vector<Stmt2> stmts, const char* name) {
+  return LoopNest{name, 32, 64, std::move(stmts)};
+}
+
+TEST(Nest, ElementwiseIsFullyParallel) {
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ref2(1, 0, 0)}, "a[i][j] = b[i][j]")},
+      "copy");
+  EXPECT_TRUE(find_dependences(nest).empty());
+  EXPECT_TRUE(analyze_inner(nest).vectorizable);
+  EXPECT_TRUE(can_interchange(nest).vectorizable);
+  EXPECT_EQ(vectorization_strategy(nest), "inner");
+}
+
+TEST(Nest, InnerCarriedBlocksVectorizationButInterchangeRescues) {
+  // a[i][j] = a[i][j-1]: distance (0, 1) — classic inner recurrence; rows
+  // are independent, so interchanging makes the (new) inner loop parallel.
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ref2(0, 0, -1)}, "a[i][j] = a[i][j-1]")},
+      "inner-recurrence");
+  const auto deps = find_dependences(nest);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].di, 0);
+  EXPECT_EQ(deps[0].dj, 1);
+  EXPECT_FALSE(analyze_inner(nest).vectorizable);
+  EXPECT_TRUE(can_interchange(nest).vectorizable);
+  EXPECT_EQ(vectorization_strategy(nest), "after-interchange");
+}
+
+TEST(Nest, OuterCarriedDoesNotBlockInnerVectorization) {
+  // a[i][j] = a[i-1][j]: distance (1, 0) — carried by i only.
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ref2(0, -1, 0)}, "a[i][j] = a[i-1][j]")},
+      "outer-recurrence");
+  const auto deps = find_dependences(nest);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].di, 1);
+  EXPECT_EQ(deps[0].dj, 0);
+  EXPECT_TRUE(analyze_inner(nest).vectorizable);
+  EXPECT_EQ(vectorization_strategy(nest), "inner");
+}
+
+TEST(Nest, AntiDiagonalDependenceForbidsInterchange) {
+  // a[i][j] = a[i-1][j+1]: distance (1, -1), direction (<, >).
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ref2(0, -1, 1)}, "a[i][j] = a[i-1][j+1]")},
+      "anti-diagonal");
+  EXPECT_TRUE(analyze_inner(nest).vectorizable);  // not j-carried (di != 0)
+  const Verdict inter = can_interchange(nest);
+  EXPECT_FALSE(inter.vectorizable);
+  EXPECT_NE(inter.summary().find("(<, >)"), std::string::npos);
+}
+
+TEST(Nest, DiagonalWavefrontVectorizesAfterInterchange) {
+  // a[i][j] = a[i-1][j-1] + a[i][j-1]: inner blocked by (0,1); after
+  // interchange both dependences are carried by the new outer loop — the
+  // textbook interchange win.
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ref2(0, -1, -1), ref2(0, 0, -1)},
+                  "a[i][j] = a[i-1][j-1] + a[i][j-1]")},
+      "diagonal");
+  EXPECT_FALSE(analyze_inner(nest).vectorizable);
+  EXPECT_EQ(vectorization_strategy(nest), "after-interchange");
+}
+
+TEST(Nest, TrueWavefrontHasNoStrategy) {
+  // a[i][j] = a[i][j-1] + a[i-1][j]: carried by BOTH loops — neither order
+  // vectorizes (needs skewing, which this analyzer does not model).
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ref2(0, 0, -1), ref2(0, -1, 0)},
+                  "a[i][j] = a[i][j-1] + a[i-1][j]")},
+      "wavefront");
+  EXPECT_FALSE(analyze_inner(nest).vectorizable);
+  EXPECT_TRUE(can_interchange(nest).vectorizable);  // no (<, >) direction
+  EXPECT_EQ(vectorization_strategy(nest), "none");
+}
+
+TEST(Nest, NonUnitInnerStrideRefused) {
+  // a[i][2j] = b[i][j].
+  const LoopNest nest = make_nest(
+      {nest_store(ArrayRef2{0, {{1, 0, 0}, {0, 2, 0}}}, {ref2(1, 0, 0)},
+                  "a[i][2j] = b[i][j]")},
+      "strided");
+  const Verdict v = analyze_inner(nest);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("N2"), std::string::npos);
+}
+
+TEST(Nest, TransposedReadIsNonContiguous) {
+  // c[i][j] = b[j][i]: b's row index varies with j.
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(2, 0, 0), {ArrayRef2{1, {{0, 1, 0}, {1, 0, 0}}}},
+                  "c[i][j] = b[j][i]")},
+      "transpose");
+  const Verdict v = analyze_inner(nest);
+  EXPECT_FALSE(v.vectorizable);
+  EXPECT_NE(v.summary().find("non-contiguous"), std::string::npos);
+}
+
+TEST(Nest, InnerInvariantLoadAllowed) {
+  // c[i][j] = a[i] * b[i][j]: a is 1D, broadcast along j.
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(2, 0, 0),
+                  {ArrayRef2{0, {{1, 0, 0}}}, ref2(1, 0, 0)},
+                  "c[i][j] = a[i] * b[i][j]")},
+      "broadcast");
+  EXPECT_TRUE(analyze_inner(nest).vectorizable);
+  EXPECT_EQ(vectorization_strategy(nest), "inner");
+}
+
+TEST(Nest, MatmulAccumulatorPattern) {
+  // c[i][j] += a[i][k-as-j] ... modeled as the j-loop over columns with a
+  // row-broadcast A element: c[i][j] = c[i][j] + a_scalar * b[k][j]; the
+  // c[i][j] self-RMW is same-iteration, not loop-carried -> vectorizable.
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(2, 0, 0), {ref2(2, 0, 0), ref2(1, 0, 0)},
+                  "c[i][j] = c[i][j] + x * b[k][j]")},
+      "matmul-inner");
+  EXPECT_TRUE(find_dependences(nest).empty());
+  EXPECT_TRUE(analyze_inner(nest).vectorizable);
+}
+
+TEST(Nest, DirectionVectorRendering) {
+  Dependence2 d{1, -1, "x"};
+  EXPECT_EQ(d.direction(), "(<, >)");
+  Dependence2 e{0, 2, "x"};
+  EXPECT_EQ(e.direction(), "(=, <)");
+}
+
+TEST(Nest, UncountableRefused) {
+  LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ref2(1, 0, 0)}, "a[i][j] = b[i][j]")},
+      "uncountable");
+  nest.inner_trip = 0;
+  EXPECT_FALSE(analyze_inner(nest).vectorizable);
+}
+
+TEST(Nest, RankMismatchAssumedDependent) {
+  // A 1D alias of a 2D array: the analyzer must stay conservative.
+  const LoopNest nest = make_nest(
+      {nest_store(ref2(0, 0, 0), {ArrayRef2{0, {{0, 1, 0}}}},
+                  "a[i][j] = a_flat[j]")},
+      "rank-mismatch");
+  EXPECT_FALSE(analyze_inner(nest).vectorizable);
+}
+
+}  // namespace
+}  // namespace mcl::veclegal

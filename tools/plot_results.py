@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Render bench results (the --json=<path> JSONL output) as quick charts.
+
+Usage:
+    for b in build/bench/fig*; do $b --json results.jsonl; done
+    tools/plot_results.py results.jsonl            # ASCII bars to stdout
+    tools/plot_results.py results.jsonl --png out/ # PNGs via matplotlib
+
+Without matplotlib installed, the ASCII renderer still works — every table
+becomes horizontal bars of its first numeric column group.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load_tables(path):
+    tables = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            tables.append(json.loads(line))
+    return tables
+
+
+def numeric_columns(table):
+    """Indices of columns whose cells are all numbers (or null)."""
+    cols = []
+    for c in range(len(table["columns"])):
+        values = [row[c] for row in table["rows"] if c < len(row)]
+        if values and all(isinstance(v, (int, float)) or v is None for v in values):
+            cols.append(c)
+    return cols
+
+
+def ascii_render(table, width=48):
+    print(f"\n=== {table['title']} ===")
+    num_cols = numeric_columns(table)
+    if not num_cols or not table["rows"]:
+        print("(no numeric series)")
+        return
+    # Label = concatenation of the non-numeric leading cells.
+    label_cols = [c for c in range(len(table["columns"])) if c not in num_cols]
+    for c in num_cols:
+        name = table["columns"][c]
+        values = [(row[c] if row[c] is not None else 0.0) for row in table["rows"]]
+        peak = max((abs(v) for v in values), default=0.0)
+        if peak == 0.0:
+            continue
+        print(f"-- {name}")
+        for row, v in zip(table["rows"], values):
+            label = " ".join(str(row[i]) for i in label_cols if i < len(row))
+            bar = "#" * max(1, int(width * abs(v) / peak)) if v else ""
+            print(f"  {label[:38]:38} {bar} {v:g}")
+
+
+def png_render(tables, out_dir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(out_dir, exist_ok=True)
+    for i, table in enumerate(tables):
+        num_cols = numeric_columns(table)
+        if not num_cols or not table["rows"]:
+            continue
+        label_cols = [c for c in range(len(table["columns"])) if c not in num_cols]
+        labels = [
+            " ".join(str(row[c]) for c in label_cols if c < len(row))
+            for row in table["rows"]
+        ]
+        fig, ax = plt.subplots(figsize=(10, max(3, 0.4 * len(labels))))
+        for c in num_cols:
+            values = [row[c] if row[c] is not None else 0.0 for row in table["rows"]]
+            ax.barh(
+                [f"{l} [{table['columns'][c]}]" for l in labels],
+                values,
+                label=table["columns"][c],
+            )
+        ax.set_title(table["title"])
+        ax.legend(fontsize=7)
+        fig.tight_layout()
+        name = f"{i:02d}_" + "".join(
+            ch if ch.isalnum() else "_" for ch in table["title"][:40]
+        )
+        fig.savefig(os.path.join(out_dir, name + ".png"), dpi=120)
+        plt.close(fig)
+        print(f"wrote {name}.png")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="JSONL file produced with --json")
+    parser.add_argument("--png", metavar="DIR", help="write PNGs instead of ASCII")
+    args = parser.parse_args()
+
+    tables = load_tables(args.jsonl)
+    if not tables:
+        print("no tables found", file=sys.stderr)
+        return 1
+    if args.png:
+        png_render(tables, args.png)
+    else:
+        for table in tables:
+            ascii_render(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
