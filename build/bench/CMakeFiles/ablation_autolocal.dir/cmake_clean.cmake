@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autolocal.dir/ablation_autolocal.cpp.o"
+  "CMakeFiles/ablation_autolocal.dir/ablation_autolocal.cpp.o.d"
+  "ablation_autolocal"
+  "ablation_autolocal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autolocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_executors.dir/ablation_executors.cpp.o"
+  "CMakeFiles/ablation_executors.dir/ablation_executors.cpp.o.d"
+  "ablation_executors"
+  "ablation_executors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_executors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpumodel.dir/ablation_gpumodel.cpp.o"
+  "CMakeFiles/ablation_gpumodel.dir/ablation_gpumodel.cpp.o.d"
+  "ablation_gpumodel"
+  "ablation_gpumodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

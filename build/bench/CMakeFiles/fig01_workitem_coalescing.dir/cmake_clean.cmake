@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_workitem_coalescing.dir/fig01_workitem_coalescing.cpp.o"
+  "CMakeFiles/fig01_workitem_coalescing.dir/fig01_workitem_coalescing.cpp.o.d"
+  "fig01_workitem_coalescing"
+  "fig01_workitem_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_workitem_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_parboil_coalescing.dir/fig02_parboil_coalescing.cpp.o"
+  "CMakeFiles/fig02_parboil_coalescing.dir/fig02_parboil_coalescing.cpp.o.d"
+  "fig02_parboil_coalescing"
+  "fig02_parboil_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_parboil_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_workgroup_size.dir/fig03_workgroup_size.cpp.o"
+  "CMakeFiles/fig03_workgroup_size.dir/fig03_workgroup_size.cpp.o.d"
+  "fig03_workgroup_size"
+  "fig03_workgroup_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_workgroup_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

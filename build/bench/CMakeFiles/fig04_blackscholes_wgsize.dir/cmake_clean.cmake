@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_blackscholes_wgsize.dir/fig04_blackscholes_wgsize.cpp.o"
+  "CMakeFiles/fig04_blackscholes_wgsize.dir/fig04_blackscholes_wgsize.cpp.o.d"
+  "fig04_blackscholes_wgsize"
+  "fig04_blackscholes_wgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_blackscholes_wgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_parboil_wgsize.dir/fig05_parboil_wgsize.cpp.o"
+  "CMakeFiles/fig05_parboil_wgsize.dir/fig05_parboil_wgsize.cpp.o.d"
+  "fig05_parboil_wgsize"
+  "fig05_parboil_wgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_parboil_wgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

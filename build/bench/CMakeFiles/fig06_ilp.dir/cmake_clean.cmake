@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ilp.dir/fig06_ilp.cpp.o"
+  "CMakeFiles/fig06_ilp.dir/fig06_ilp.cpp.o.d"
+  "fig06_ilp"
+  "fig06_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

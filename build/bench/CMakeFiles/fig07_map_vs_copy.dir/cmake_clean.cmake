@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_map_vs_copy.dir/fig07_map_vs_copy.cpp.o"
+  "CMakeFiles/fig07_map_vs_copy.dir/fig07_map_vs_copy.cpp.o.d"
+  "fig07_map_vs_copy"
+  "fig07_map_vs_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_map_vs_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_affinity.dir/fig09_affinity.cpp.o"
+  "CMakeFiles/fig09_affinity.dir/fig09_affinity.cpp.o.d"
+  "fig09_affinity"
+  "fig09_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vectorization.dir/fig10_vectorization.cpp.o"
+  "CMakeFiles/fig10_vectorization.dir/fig10_vectorization.cpp.o.d"
+  "fig10_vectorization"
+  "fig10_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

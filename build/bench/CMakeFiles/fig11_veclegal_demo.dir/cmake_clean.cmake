@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_veclegal_demo.dir/fig11_veclegal_demo.cpp.o"
+  "CMakeFiles/fig11_veclegal_demo.dir/fig11_veclegal_demo.cpp.o.d"
+  "fig11_veclegal_demo"
+  "fig11_veclegal_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_veclegal_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

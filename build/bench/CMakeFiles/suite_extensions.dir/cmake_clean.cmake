@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_extensions.dir/suite_extensions.cpp.o"
+  "CMakeFiles/suite_extensions.dir/suite_extensions.cpp.o.d"
+  "suite_extensions"
+  "suite_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

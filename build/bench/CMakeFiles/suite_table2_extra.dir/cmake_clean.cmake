@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_table2_extra.dir/suite_table2_extra.cpp.o"
+  "CMakeFiles/suite_table2_extra.dir/suite_table2_extra.cpp.o.d"
+  "suite_table2_extra"
+  "suite_table2_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_table2_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_environment.dir/table1_environment.cpp.o"
+  "CMakeFiles/table1_environment.dir/table1_environment.cpp.o.d"
+  "table1_environment"
+  "table1_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

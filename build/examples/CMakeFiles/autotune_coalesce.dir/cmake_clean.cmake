@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_coalesce.dir/autotune_coalesce.cpp.o"
+  "CMakeFiles/autotune_coalesce.dir/autotune_coalesce.cpp.o.d"
+  "autotune_coalesce"
+  "autotune_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

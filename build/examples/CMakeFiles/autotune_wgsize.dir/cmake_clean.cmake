@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_wgsize.dir/autotune_wgsize.cpp.o"
+  "CMakeFiles/autotune_wgsize.dir/autotune_wgsize.cpp.o.d"
+  "autotune_wgsize"
+  "autotune_wgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_wgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackscholes_pricer.dir/blackscholes_pricer.cpp.o"
+  "CMakeFiles/blackscholes_pricer.dir/blackscholes_pricer.cpp.o.d"
+  "blackscholes_pricer"
+  "blackscholes_pricer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackscholes_pricer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_host.dir/c_host.c.o"
+  "CMakeFiles/c_host.dir/c_host.c.o.d"
+  "c_host"
+  "c_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/c_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_blur.dir/image_blur.cpp.o"
+  "CMakeFiles/image_blur.dir/image_blur.cpp.o.d"
+  "image_blur"
+  "image_blur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_blur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_blackscholes_pricer "/root/repo/build/examples/blackscholes_pricer")
+set_tests_properties(example_blackscholes_pricer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matrix_pipeline "/root/repo/build/examples/matrix_pipeline")
+set_tests_properties(example_matrix_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_device_explorer "/root/repo/build/examples/device_explorer")
+set_tests_properties(example_device_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autotune_wgsize "/root/repo/build/examples/autotune_wgsize")
+set_tests_properties(example_autotune_wgsize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autotune_coalesce "/root/repo/build/examples/autotune_coalesce")
+set_tests_properties(example_autotune_coalesce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_async_pipeline "/root/repo/build/examples/async_pipeline")
+set_tests_properties(example_async_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;17;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_image_blur "/root/repo/build/examples/image_blur")
+set_tests_properties(example_image_blur PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;18;mcl_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_c_host "/root/repo/build/examples/c_host")
+set_tests_properties(example_c_host PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blackscholes.cpp" "src/apps/CMakeFiles/mcl_apps.dir/blackscholes.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/blackscholes.cpp.o.d"
+  "/root/repo/src/apps/convolution.cpp" "src/apps/CMakeFiles/mcl_apps.dir/convolution.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/convolution.cpp.o.d"
+  "/root/repo/src/apps/ilp.cpp" "src/apps/CMakeFiles/mcl_apps.dir/ilp.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/ilp.cpp.o.d"
+  "/root/repo/src/apps/matrixmul.cpp" "src/apps/CMakeFiles/mcl_apps.dir/matrixmul.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/matrixmul.cpp.o.d"
+  "/root/repo/src/apps/mbench.cpp" "src/apps/CMakeFiles/mcl_apps.dir/mbench.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/mbench.cpp.o.d"
+  "/root/repo/src/apps/parboil.cpp" "src/apps/CMakeFiles/mcl_apps.dir/parboil.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/parboil.cpp.o.d"
+  "/root/repo/src/apps/reduction.cpp" "src/apps/CMakeFiles/mcl_apps.dir/reduction.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/reduction.cpp.o.d"
+  "/root/repo/src/apps/simple.cpp" "src/apps/CMakeFiles/mcl_apps.dir/simple.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/simple.cpp.o.d"
+  "/root/repo/src/apps/spmv.cpp" "src/apps/CMakeFiles/mcl_apps.dir/spmv.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/spmv.cpp.o.d"
+  "/root/repo/src/apps/transpose.cpp" "src/apps/CMakeFiles/mcl_apps.dir/transpose.cpp.o" "gcc" "src/apps/CMakeFiles/mcl_apps.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocl/CMakeFiles/mcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/mcl_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/veclegal/CMakeFiles/mcl_veclegal.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/mcl_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mcl_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_apps.dir/blackscholes.cpp.o"
+  "CMakeFiles/mcl_apps.dir/blackscholes.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/convolution.cpp.o"
+  "CMakeFiles/mcl_apps.dir/convolution.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/ilp.cpp.o"
+  "CMakeFiles/mcl_apps.dir/ilp.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/matrixmul.cpp.o"
+  "CMakeFiles/mcl_apps.dir/matrixmul.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/mbench.cpp.o"
+  "CMakeFiles/mcl_apps.dir/mbench.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/parboil.cpp.o"
+  "CMakeFiles/mcl_apps.dir/parboil.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/reduction.cpp.o"
+  "CMakeFiles/mcl_apps.dir/reduction.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/simple.cpp.o"
+  "CMakeFiles/mcl_apps.dir/simple.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/spmv.cpp.o"
+  "CMakeFiles/mcl_apps.dir/spmv.cpp.o.d"
+  "CMakeFiles/mcl_apps.dir/transpose.cpp.o"
+  "CMakeFiles/mcl_apps.dir/transpose.cpp.o.d"
+  "libmcl_apps.a"
+  "libmcl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/mcl_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/mcl_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/mcl_cachesim.dir/hierarchy.cpp.o.d"
+  "libmcl_cachesim.a"
+  "libmcl_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

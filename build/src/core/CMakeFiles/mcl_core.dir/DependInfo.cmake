@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/mcl_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/mcl_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/cli.cpp" "src/core/CMakeFiles/mcl_core.dir/cli.cpp.o" "gcc" "src/core/CMakeFiles/mcl_core.dir/cli.cpp.o.d"
+  "/root/repo/src/core/error.cpp" "src/core/CMakeFiles/mcl_core.dir/error.cpp.o" "gcc" "src/core/CMakeFiles/mcl_core.dir/error.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/mcl_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/mcl_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/mcl_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/mcl_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/sysinfo.cpp" "src/core/CMakeFiles/mcl_core.dir/sysinfo.cpp.o" "gcc" "src/core/CMakeFiles/mcl_core.dir/sysinfo.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/mcl_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/mcl_core.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_core.dir/advisor.cpp.o"
+  "CMakeFiles/mcl_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/mcl_core.dir/cli.cpp.o"
+  "CMakeFiles/mcl_core.dir/cli.cpp.o.d"
+  "CMakeFiles/mcl_core.dir/error.cpp.o"
+  "CMakeFiles/mcl_core.dir/error.cpp.o.d"
+  "CMakeFiles/mcl_core.dir/harness.cpp.o"
+  "CMakeFiles/mcl_core.dir/harness.cpp.o.d"
+  "CMakeFiles/mcl_core.dir/stats.cpp.o"
+  "CMakeFiles/mcl_core.dir/stats.cpp.o.d"
+  "CMakeFiles/mcl_core.dir/sysinfo.cpp.o"
+  "CMakeFiles/mcl_core.dir/sysinfo.cpp.o.d"
+  "CMakeFiles/mcl_core.dir/table.cpp.o"
+  "CMakeFiles/mcl_core.dir/table.cpp.o.d"
+  "libmcl_core.a"
+  "libmcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

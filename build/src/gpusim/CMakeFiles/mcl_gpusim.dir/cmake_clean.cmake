@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_gpusim.dir/detailed.cpp.o"
+  "CMakeFiles/mcl_gpusim.dir/detailed.cpp.o.d"
+  "CMakeFiles/mcl_gpusim.dir/gpusim.cpp.o"
+  "CMakeFiles/mcl_gpusim.dir/gpusim.cpp.o.d"
+  "libmcl_gpusim.a"
+  "libmcl_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/buffer.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/buffer.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/buffer.cpp.o.d"
+  "/root/repo/src/ocl/capi.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/capi.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/capi.cpp.o.d"
+  "/root/repo/src/ocl/cpu_device.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/cpu_device.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/cpu_device.cpp.o.d"
+  "/root/repo/src/ocl/detail/group_runner.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/detail/group_runner.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/detail/group_runner.cpp.o.d"
+  "/root/repo/src/ocl/image.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/image.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/image.cpp.o.d"
+  "/root/repo/src/ocl/info.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/info.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/info.cpp.o.d"
+  "/root/repo/src/ocl/kernel.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/kernel.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/kernel.cpp.o.d"
+  "/root/repo/src/ocl/platform.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/platform.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/platform.cpp.o.d"
+  "/root/repo/src/ocl/queue.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/queue.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/queue.cpp.o.d"
+  "/root/repo/src/ocl/sim_gpu_device.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/sim_gpu_device.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/sim_gpu_device.cpp.o.d"
+  "/root/repo/src/ocl/types.cpp" "src/ocl/CMakeFiles/mcl_ocl.dir/types.cpp.o" "gcc" "src/ocl/CMakeFiles/mcl_ocl.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/mcl_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/mcl_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mcl_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_ocl.dir/buffer.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/buffer.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/capi.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/capi.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/cpu_device.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/cpu_device.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/detail/group_runner.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/detail/group_runner.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/image.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/image.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/info.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/info.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/kernel.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/kernel.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/platform.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/platform.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/queue.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/queue.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/sim_gpu_device.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/sim_gpu_device.cpp.o.d"
+  "CMakeFiles/mcl_ocl.dir/types.cpp.o"
+  "CMakeFiles/mcl_ocl.dir/types.cpp.o.d"
+  "libmcl_ocl.a"
+  "libmcl_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_ompx.dir/ompx.cpp.o"
+  "CMakeFiles/mcl_ompx.dir/ompx.cpp.o.d"
+  "libmcl_ompx.a"
+  "libmcl_ompx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_ompx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_simd.dir/isa.cpp.o"
+  "CMakeFiles/mcl_simd.dir/isa.cpp.o.d"
+  "libmcl_simd.a"
+  "libmcl_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcl_simd.a"
+)

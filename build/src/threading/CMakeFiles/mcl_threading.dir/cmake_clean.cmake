@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_threading.dir/affinity.cpp.o"
+  "CMakeFiles/mcl_threading.dir/affinity.cpp.o.d"
+  "CMakeFiles/mcl_threading.dir/fiber.cpp.o"
+  "CMakeFiles/mcl_threading.dir/fiber.cpp.o.d"
+  "CMakeFiles/mcl_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcl_threading.dir/thread_pool.cpp.o.d"
+  "libmcl_threading.a"
+  "libmcl_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

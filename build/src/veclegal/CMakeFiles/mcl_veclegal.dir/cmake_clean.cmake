@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_veclegal.dir/analysis.cpp.o"
+  "CMakeFiles/mcl_veclegal.dir/analysis.cpp.o.d"
+  "CMakeFiles/mcl_veclegal.dir/nest.cpp.o"
+  "CMakeFiles/mcl_veclegal.dir/nest.cpp.o.d"
+  "libmcl_veclegal.a"
+  "libmcl_veclegal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_veclegal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompx_test.dir/ompx_test.cpp.o"
+  "CMakeFiles/ompx_test.dir/ompx_test.cpp.o.d"
+  "ompx_test"
+  "ompx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

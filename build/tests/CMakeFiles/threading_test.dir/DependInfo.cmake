@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threading_test.cpp" "tests/CMakeFiles/threading_test.dir/threading_test.cpp.o" "gcc" "tests/CMakeFiles/threading_test.dir/threading_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mcl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/mcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompx/CMakeFiles/mcl_ompx.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/mcl_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mcl_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/veclegal/CMakeFiles/mcl_veclegal.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/mcl_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/mcl_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veclegal_test.dir/veclegal_test.cpp.o"
+  "CMakeFiles/veclegal_test.dir/veclegal_test.cpp.o.d"
+  "veclegal_test"
+  "veclegal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veclegal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(advisor_test "/root/repo/build/tests/advisor_test")
+set_tests_properties(advisor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(threading_test "/root/repo/build/tests/threading_test")
+set_tests_properties(threading_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simd_test "/root/repo/build/tests/simd_test")
+set_tests_properties(simd_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ompx_test "/root/repo/build/tests/ompx_test")
+set_tests_properties(ompx_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cachesim_test "/root/repo/build/tests/cachesim_test")
+set_tests_properties(cachesim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gpusim_test "/root/repo/build/tests/gpusim_test")
+set_tests_properties(gpusim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ocl_test "/root/repo/build/tests/ocl_test")
+set_tests_properties(ocl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(veclegal_test "/root/repo/build/tests/veclegal_test")
+set_tests_properties(veclegal_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_test "/root/repo/build/tests/apps_test")
+set_tests_properties(apps_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;mcl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(capi_test "/root/repo/build/tests/capi_test")
+set_tests_properties(capi_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
