@@ -2,6 +2,7 @@
 
 #include "ocl/kernel.hpp"
 #include "simd/vec.hpp"
+#include "veclegal/kernel_ir.hpp"
 
 namespace mcl::apps {
 
@@ -243,6 +244,35 @@ LoopBody ir_mb8() {
       store(ref(2), {ref(0), ref(2)}, "c[i] = alpha * a[i] + c[i]"));
   return l;
 }
+
+// ---------------------------------------------------------------------------
+// Sanitizer descriptors: the same IR, annotated with the argument binding and
+// the buffer sizing contract (a: 3n+1, b: n, c: 2n — see mbench.hpp) at the
+// nominal trip, so mclsan can bounds-check and replay accesses.
+// ---------------------------------------------------------------------------
+
+veclegal::KernelIr mbench_ir(LoopBody body) {
+  veclegal::KernelIr ir;
+  ir.body = std::move(body);
+  ir.arrays = {
+      veclegal::ArrayInfo{
+          .array = 0, .arg_index = 0, .extent = 3 * kNominalTrip + 1},
+      veclegal::ArrayInfo{
+          .array = 1, .arg_index = 1, .extent = kNominalTrip, .read_only = true},
+      veclegal::ArrayInfo{
+          .array = 2, .arg_index = 2, .extent = 2 * kNominalTrip},
+  };
+  return ir;
+}
+
+const veclegal::KernelIrRegistrar ir_reg1{"mbench1", mbench_ir(ir_mb1())};
+const veclegal::KernelIrRegistrar ir_reg2{"mbench2", mbench_ir(ir_mb2())};
+const veclegal::KernelIrRegistrar ir_reg3{"mbench3", mbench_ir(ir_mb3())};
+const veclegal::KernelIrRegistrar ir_reg4{"mbench4", mbench_ir(ir_mb4())};
+const veclegal::KernelIrRegistrar ir_reg5{"mbench5", mbench_ir(ir_mb5())};
+const veclegal::KernelIrRegistrar ir_reg6{"mbench6", mbench_ir(ir_mb6())};
+const veclegal::KernelIrRegistrar ir_reg7{"mbench7", mbench_ir(ir_mb7())};
+const veclegal::KernelIrRegistrar ir_reg8{"mbench8", mbench_ir(ir_mb8())};
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include "ocl/kernel.hpp"
 #include "simd/vec.hpp"
+#include "veclegal/kernel_ir.hpp"
 
 namespace mcl::apps {
 
@@ -159,6 +160,38 @@ const KernelRegistrar reg_vadd_coalesced{
               .scalar = &vadd_coalesced_scalar,
               .simd = &vadd_coalesced_simd,
               .gpu_cost = &vadd_coalesced_cost}};
+
+// Sanitizer descriptors. Extent 0 = launch-sized (the Checked executor takes
+// it from the bound buffer); trip 0 = any global size. The coalesced
+// variants index through a runtime per_item scalar, which the affine IR
+// cannot express, so they carry no descriptor.
+veclegal::KernelIr square_ir() {
+  veclegal::KernelIr ir;
+  ir.body.name = "square";
+  ir.body.stmts.push_back(
+      veclegal::store(veclegal::ref(1), {veclegal::ref(0), veclegal::ref(0)},
+                      "out[i] = in[i] * in[i]"));
+  ir.arrays = {
+      veclegal::ArrayInfo{.array = 0, .arg_index = 0, .read_only = true},
+      veclegal::ArrayInfo{.array = 1, .arg_index = 1},
+  };
+  return ir;
+}
+veclegal::KernelIr vadd_ir() {
+  veclegal::KernelIr ir;
+  ir.body.name = "vectoradd";
+  ir.body.stmts.push_back(
+      veclegal::store(veclegal::ref(2), {veclegal::ref(0), veclegal::ref(1)},
+                      "c[i] = a[i] + b[i]"));
+  ir.arrays = {
+      veclegal::ArrayInfo{.array = 0, .arg_index = 0, .read_only = true},
+      veclegal::ArrayInfo{.array = 1, .arg_index = 1, .read_only = true},
+      veclegal::ArrayInfo{.array = 2, .arg_index = 2},
+  };
+  return ir;
+}
+const veclegal::KernelIrRegistrar ir_reg_square{kSquareKernel, square_ir()};
+const veclegal::KernelIrRegistrar ir_reg_vadd{kVectorAddKernel, vadd_ir()};
 
 }  // namespace
 }  // namespace mcl::apps

@@ -13,10 +13,12 @@ std::string_view to_string(Status s) noexcept {
     case Status::InvalidGlobalWorkSize: return "InvalidGlobalWorkSize";
     case Status::InvalidKernelName: return "InvalidKernelName";
     case Status::InvalidOperation: return "InvalidOperation";
+    case Status::InvalidLaunch: return "InvalidLaunch";
     case Status::MapFailure: return "MapFailure";
     case Status::OutOfResources: return "OutOfResources";
     case Status::DeviceNotFound: return "DeviceNotFound";
     case Status::BuildProgramFailure: return "BuildProgramFailure";
+    case Status::SanitizerViolation: return "SanitizerViolation";
     case Status::InternalError: return "InternalError";
   }
   return "UnknownStatus";

@@ -23,10 +23,12 @@ enum class Status : std::int32_t {
   InvalidGlobalWorkSize,
   InvalidKernelName,
   InvalidOperation,
+  InvalidLaunch,
   MapFailure,
   OutOfResources,
   DeviceNotFound,
   BuildProgramFailure,
+  SanitizerViolation,
   InternalError,
 };
 

@@ -49,6 +49,7 @@ mcl_int status_to_code(core::Status s) {
     case Status::InvalidGlobalWorkSize: return MCL_INVALID_GLOBAL_WORK_SIZE;
     case Status::InvalidKernelName: return MCL_INVALID_KERNEL_NAME;
     case Status::InvalidOperation: return MCL_INVALID_OPERATION;
+    case Status::InvalidLaunch: return MCL_INVALID_OPERATION;
     case Status::MapFailure: return MCL_MAP_FAILURE;
     case Status::OutOfResources: return MCL_MEM_OBJECT_ALLOCATION_FAILURE;
     case Status::DeviceNotFound: return MCL_DEVICE_NOT_FOUND;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/sysinfo.hpp"
+#include "ocl/detail/checked_runner.hpp"
 #include "ocl/detail/group_runner.hpp"
 #include "ocl/device.hpp"
 #include "threading/affinity.hpp"
@@ -38,6 +39,20 @@ int CpuDevice::compute_units() const {
 LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
                                const NDRange& global, const NDRange& local,
                                const NDRange& offset) {
+  if (config_.executor == ExecutorKind::Checked) {
+    // mclsan dynamic mode: serial, instrumented execution. Throws
+    // SanitizerViolation (after the launch completes) on any finding.
+    detail::CheckedRunner checked(def, args, global, local,
+                                  config_.fiber_stack_bytes, offset);
+    LaunchResult result;
+    result.local_used = checked.local();
+    result.executor_used = ExecutorKind::Checked;
+    std::lock_guard launch_lock(impl_->launch_mutex);
+    const core::TimePoint t0 = core::now();
+    checked.run();
+    result.seconds = core::elapsed_s(t0, core::now());
+    return result;
+  }
   detail::GroupRunner runner(def, args, global, local, config_.executor,
                              config_.fiber_stack_bytes, offset);
   LaunchResult result;

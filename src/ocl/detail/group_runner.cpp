@@ -54,7 +54,8 @@ GroupRunner::GroupRunner(const KernelDef& def, const KernelArgs& args,
   // Local-memory layout.
   for (std::size_t i = 0; i < args.arg_count(); ++i) {
     core::check(args.is_set(i), core::Status::InvalidKernelArgs,
-                "kernel argument " + std::to_string(i) + " was never set");
+                "kernel '" + def.name + "': argument " + std::to_string(i) +
+                    " was never set");
     if (args.is_local(i)) {
       local_args_.emplace_back(i, local_total_bytes_);
       local_total_bytes_ += (args.local_bytes(i) + 63) & ~std::size_t{63};
@@ -62,8 +63,12 @@ GroupRunner::GroupRunner(const KernelDef& def, const KernelArgs& args,
     }
   }
 
-  // Resolve the executor.
+  // Resolve the executor. Checked is handled by CheckedRunner, which wraps
+  // this class; a bare GroupRunner degrades it to the matching plain kind.
   kind_ = kind;
+  if (kind_ == ExecutorKind::Checked) {
+    kind_ = def.needs_barrier ? ExecutorKind::Fiber : ExecutorKind::Loop;
+  }
   if (kind_ == ExecutorKind::Auto) {
     if (def.workgroup != nullptr) {
       // Workgroup-form kernels run as a whole group per call; reuse the Loop
@@ -81,9 +86,15 @@ GroupRunner::GroupRunner(const KernelDef& def, const KernelArgs& args,
     core::check(def.simd != nullptr, core::Status::InvalidOperation,
                 "kernel '" + def.name + "' has no simd form");
   }
-  if (kind_ == ExecutorKind::Loop && def.scalar != nullptr &&
-      def.needs_barrier) {
-    // Permitted (tests exercise it): barrier() will throw at run time.
+  // A barrier kernel on a barrier-less executor used to surface as UB (a
+  // throw from inside the kernel body); reject the launch up front instead.
+  // The Checked executor runs barrier kernels on fibers, so it passes.
+  if (def.workgroup == nullptr && def.scalar != nullptr && def.needs_barrier &&
+      (kind_ == ExecutorKind::Loop || kind_ == ExecutorKind::Simd)) {
+    throw core::Error(core::Status::InvalidLaunch,
+                      "kernel '" + def.name +
+                          "' requires barriers but resolved to a non-fiber "
+                          "executor; select Fiber, Checked or Auto");
   }
   if (def.scalar == nullptr) {
     core::check(def.workgroup != nullptr, core::Status::BuildProgramFailure,
@@ -119,7 +130,9 @@ void GroupRunner::run_group(std::size_t linear_group) const {
     case ExecutorKind::Loop: run_group_loop(g0, g1, g2, local_mem); break;
     case ExecutorKind::Simd: run_group_simd(g0, g1, g2, local_mem); break;
     case ExecutorKind::Fiber: run_group_fiber(g0, g1, g2, local_mem); break;
-    case ExecutorKind::Auto: break;  // resolved in the constructor
+    case ExecutorKind::Auto:
+    case ExecutorKind::Checked:
+      break;  // both resolved to a concrete kind in the constructor
   }
 }
 

@@ -157,7 +157,8 @@ class WorkItemCtx {
     return local_size_[dim];
   }
   [[nodiscard]] std::size_t num_groups(std::size_t dim = 0) const noexcept {
-    return global_size_[dim] / local_size_[dim];
+    // Round up: with a partial final group, truncation would under-report.
+    return (global_size_[dim] + local_size_[dim] - 1) / local_size_[dim];
   }
 
   /// Pointer to the local-memory block requested at arg `index`.
@@ -231,7 +232,8 @@ class WorkGroupCtx {
     return global_size_[dim];
   }
   [[nodiscard]] std::size_t num_groups(std::size_t dim = 0) const noexcept {
-    return global_size_[dim] / local_size_[dim];
+    // Round up: with a partial final group, truncation would under-report.
+    return (global_size_[dim] + local_size_[dim] - 1) / local_size_[dim];
   }
   template <typename T = void>
   [[nodiscard]] T* local_mem(std::size_t index) const noexcept {

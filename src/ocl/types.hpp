@@ -45,10 +45,13 @@ enum class DeviceType { Cpu, SimulatedGpu };
 
 /// How the CPU device runs the workitems of one workgroup.
 enum class ExecutorKind {
-  Auto,   ///< simd when available, fiber when barriers are needed, else loop
-  Loop,   ///< plain per-workitem loop; barrier() is an error
-  Fiber,  ///< one fiber per workitem; full barrier() support
-  Simd,   ///< coalesce kNativeFloatWidth workitems per lane group
+  Auto,     ///< simd when available, fiber when barriers are needed, else loop
+  Loop,     ///< plain per-workitem loop; barrier() is an error
+  Fiber,    ///< one fiber per workitem; full barrier() support
+  Simd,     ///< coalesce kNativeFloatWidth workitems per lane group
+  Checked,  ///< mclsan dynamic mode: serial shadow-access executor that
+            ///< detects races, read-only-buffer writes, barrier divergence
+            ///< and local-memory overflow (see docs/sanitizer.md)
 };
 
 /// 1-3 dimensional range (global size, local size, ids).

@@ -1,0 +1,48 @@
+#include "san/diagnostics.hpp"
+
+#include <sstream>
+
+namespace mcl::san {
+
+std::string_view to_string(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::S2WriteWriteRace: return "S2";
+    case Rule::S3ReadWriteRace: return "S3";
+    case Rule::B1OutOfBounds: return "B1";
+    case Rule::P1BarrierDivergence: return "P1";
+    case Rule::W1ReadOnlyWrite: return "W1";
+    case Rule::M1LocalOverflow: return "M1";
+    case Rule::H1UnsetArg: return "H1";
+    case Rule::H2BarrierExecutor: return "H2";
+    case Rule::H3BadNDRange: return "H3";
+  }
+  return "?";
+}
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << "[" << san::to_string(rule) << "] " << san::to_string(severity) << " "
+     << kernel << ": " << message;
+  return os.str();
+}
+
+std::string Report::to_string() const {
+  if (diagnostics.empty()) return "clean (no findings)\n";
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mcl::san

@@ -1,0 +1,76 @@
+// Diagnostic model shared by mclsan's static analyzer, host-API lint, and
+// the Checked executor.
+//
+// Rule numbering continues the veclegal scheme (L1-L4 loop-vectorizer rules,
+// S1 SPMD write-distinctness — see src/veclegal/analysis.hpp):
+//   S2  inter-workitem write-write race on a shared array
+//   S3  inter-workitem read-write race on a shared array
+//   B1  affine access out of the declared array extent
+//   P1  barrier in divergent control flow / mismatched barrier counts
+//   W1  write through a read-only array or buffer
+//   M1  workgroup-local memory arena overflow
+//   H1  launch with an unset kernel argument slot
+//   H2  needs_barrier kernel routed to a non-fiber executor
+//   H3  NDRange / local-size mismatch
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcl::san {
+
+enum class Rule {
+  S2WriteWriteRace,
+  S3ReadWriteRace,
+  B1OutOfBounds,
+  P1BarrierDivergence,
+  W1ReadOnlyWrite,
+  M1LocalOverflow,
+  H1UnsetArg,
+  H2BarrierExecutor,
+  H3BadNDRange,
+};
+
+enum class Severity { Error, Warning, Note };
+
+[[nodiscard]] std::string_view to_string(Rule rule) noexcept;
+[[nodiscard]] std::string_view to_string(Severity severity) noexcept;
+
+struct Diagnostic {
+  Rule rule = Rule::S2WriteWriteRace;
+  Severity severity = Severity::Error;
+  std::string kernel;   ///< kernel the finding applies to
+  std::string message;  ///< human-readable finding
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One checker run's findings.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool clean() const noexcept { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::Error) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] bool has_rule(Rule rule) const noexcept {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.rule == rule) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  void add(Rule rule, Severity severity, std::string kernel,
+           std::string message) {
+    diagnostics.push_back(
+        {rule, severity, std::move(kernel), std::move(message)});
+  }
+};
+
+}  // namespace mcl::san

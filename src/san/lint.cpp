@@ -1,0 +1,66 @@
+#include "san/lint.hpp"
+
+#include <sstream>
+
+namespace mcl::san {
+
+Report lint_launch(const ocl::KernelDef& def, const ocl::KernelArgs& args,
+                   const ocl::NDRange& global, const ocl::NDRange& local,
+                   ocl::ExecutorKind executor) {
+  Report report;
+
+  // H1: every slot in [0, max bound arg] must be set. (Slots past the last
+  // one ever bound are invisible here — MiniCL has no arity metadata.)
+  for (std::size_t i = 0; i < args.arg_count(); ++i) {
+    if (!args.is_set(i)) {
+      report.add(Rule::H1UnsetArg, Severity::Error, def.name,
+                 "kernel argument " + std::to_string(i) +
+                     " was never set (slots up to " +
+                     std::to_string(args.arg_count() - 1) + " are bound)");
+    }
+  }
+
+  // H2: executor routing. Workgroup-form kernels run barrier phases
+  // internally; scalar barrier kernels need the fiber (or Checked) executor.
+  const bool scalar_barrier =
+      def.workgroup == nullptr && def.needs_barrier && def.scalar != nullptr;
+  if (scalar_barrier && (executor == ocl::ExecutorKind::Loop ||
+                         executor == ocl::ExecutorKind::Simd)) {
+    report.add(Rule::H2BarrierExecutor, Severity::Error, def.name,
+               "kernel requires barriers but the device routes it to a "
+               "non-fiber executor; barrier() would fault mid-kernel");
+  }
+  if (executor == ocl::ExecutorKind::Simd && def.simd == nullptr) {
+    report.add(Rule::H2BarrierExecutor, Severity::Error, def.name,
+               "Simd executor selected but the kernel has no simd form");
+  }
+
+  // H3: NDRange shape.
+  if (global.is_null() || global.total() == 0) {
+    report.add(Rule::H3BadNDRange, Severity::Error, def.name,
+               "global work size must be nonzero");
+  } else if (!local.is_null()) {
+    if (local.dims != global.dims) {
+      std::ostringstream os;
+      os << "local dimensionality (" << local.dims
+         << ") differs from global (" << global.dims << ")";
+      report.add(Rule::H3BadNDRange, Severity::Error, def.name, os.str());
+    } else {
+      for (std::size_t d = 0; d < global.dims; ++d) {
+        if (local[d] == 0) {
+          report.add(Rule::H3BadNDRange, Severity::Error, def.name,
+                     "local size is zero in dimension " + std::to_string(d));
+        } else if (global[d] % local[d] != 0) {
+          std::ostringstream os;
+          os << "global size " << global[d] << " is not divisible by local "
+             << "size " << local[d] << " in dimension " << d
+             << " (OpenCL 1.x rule)";
+          report.add(Rule::H3BadNDRange, Severity::Error, def.name, os.str());
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mcl::san

@@ -1,0 +1,22 @@
+// mclsan host-API lint: launch-time diagnostics computed without executing
+// anything. The runtime enforces the Error-severity subset of these at
+// enqueue (core::Status::InvalidKernelArgs / InvalidLaunch); this pass
+// exists so tools and tests can surface the same findings as data.
+#pragma once
+
+#include "ocl/kernel.hpp"
+#include "ocl/types.hpp"
+#include "san/diagnostics.hpp"
+
+namespace mcl::san {
+
+/// Lints one prospective launch: argument binding (H1), executor routing for
+/// barrier kernels (H2), and NDRange/local-size shape (H3). `executor` is
+/// the device-configured kind before Auto resolution.
+[[nodiscard]] Report lint_launch(const ocl::KernelDef& def,
+                                 const ocl::KernelArgs& args,
+                                 const ocl::NDRange& global,
+                                 const ocl::NDRange& local,
+                                 ocl::ExecutorKind executor);
+
+}  // namespace mcl::san

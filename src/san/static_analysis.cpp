@@ -1,0 +1,193 @@
+#include "san/static_analysis.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace mcl::san {
+
+namespace {
+
+using veclegal::ArrayInfo;
+using veclegal::ArrayRef;
+using veclegal::KernelIr;
+using veclegal::Stmt;
+using veclegal::Subscript;
+
+/// Pretty name for an array id ("a0", or "a0 (local)" etc. via info).
+std::string array_name(const KernelIr& ir, int id) {
+  std::ostringstream os;
+  os << "array " << id;
+  if (const ArrayInfo* info = ir.array_info(id); info != nullptr) {
+    if (info->local) os << " (local)";
+    if (info->read_only) os << " (read-only)";
+  }
+  return os.str();
+}
+
+std::string subscript_text(const Subscript& s) {
+  std::ostringstream os;
+  if (s.scale == 0) {
+    os << "[" << s.offset << "]";
+  } else {
+    os << "[";
+    if (s.scale != 1) os << s.scale << "*";
+    os << "i";
+    if (s.offset > 0) os << "+" << s.offset;
+    if (s.offset < 0) os << s.offset;
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+bool items_collide(const Subscript& a, const Subscript& b, long long n,
+                   long long exact_solve_limit) {
+  const bool many_items = (n == 0 || n > 1);
+  if (a.scale == 0 && b.scale == 0) {
+    // Every item touches one element through each access.
+    return a.offset == b.offset && many_items;
+  }
+  if (a.scale == 0 || b.scale == 0) {
+    // One access pins a single element hit by every item; the other touches
+    // it iff some item j maps onto it. Any second item then collides.
+    const Subscript& fixed = a.scale == 0 ? a : b;
+    const Subscript& strided = a.scale == 0 ? b : a;
+    const long long num = fixed.offset - strided.offset;
+    if (num % strided.scale != 0) return false;
+    const long long j = num / strided.scale;
+    return (n == 0 || (j >= 0 && j < n)) && many_items;
+  }
+  if (a.scale == b.scale) {
+    // s*i + o1 == s*j + o2  =>  j = i + (o1 - o2) / s.
+    const long long num = a.offset - b.offset;
+    if (num % a.scale != 0) return false;
+    const long long d = num / a.scale;
+    if (d == 0) return false;  // same item only: not an inter-item conflict
+    return n == 0 || std::llabs(d) < n;
+  }
+  // Different nonzero scales: solve exactly when the space is small enough.
+  if (n > 0 && n <= exact_solve_limit) {
+    for (long long i = 0; i < n; ++i) {
+      const long long num = a.scale * i + a.offset - b.offset;
+      if (num % b.scale != 0) continue;
+      const long long j = num / b.scale;
+      if (j >= 0 && j < n && j != i) return true;
+    }
+    return false;
+  }
+  // Unknown/huge space: the equation a.scale*i - b.scale*j = b.offset -
+  // a.offset has integer solutions iff gcd divides the RHS; treat solvable
+  // as colliding (conservative, like veclegal's unequal-scale L3 handling).
+  const long long g = std::gcd(std::llabs(a.scale), std::llabs(b.scale));
+  return (b.offset - a.offset) % g == 0;
+}
+
+Report analyze_kernel(const std::string& kernel_name, const KernelIr& ir,
+                      const StaticOptions& options) {
+  Report report;
+  const auto& body = ir.body;
+  const long long n = body.trip_count;
+
+  // Epoch index per statement: number of barriers strictly before it.
+  std::vector<int> epoch(body.stmts.size(), 0);
+  {
+    int e = 0;
+    for (std::size_t k = 0; k < body.stmts.size(); ++k) {
+      epoch[k] = e;
+      if (body.stmts[k].barrier) ++e;
+    }
+  }
+
+  // P1: barrier placement.
+  for (const Stmt& s : body.stmts) {
+    if (s.barrier && s.divergent) {
+      report.add(Rule::P1BarrierDivergence, Severity::Error, kernel_name,
+                 "barrier in divergent control flow ('" + s.text +
+                     "'): some workitems of a group would skip it");
+    }
+  }
+
+  // W1 + B1 per access.
+  auto check_access = [&](const Stmt& s, const ArrayRef& r, bool is_write) {
+    const ArrayInfo* info = ir.array_info(r.array);
+    if (info == nullptr) return;
+    if (is_write && info->read_only) {
+      report.add(Rule::W1ReadOnlyWrite, Severity::Error, kernel_name,
+                 "write to " + array_name(ir, r.array) + " in '" + s.text +
+                     "'");
+    }
+    if (info->extent > 0 && n > 0) {
+      const long long at0 = r.subscript.offset;
+      const long long atN = r.subscript.scale * (n - 1) + r.subscript.offset;
+      const long long lo = std::min(at0, atN);
+      const long long hi = std::max(at0, atN);
+      if (lo < 0 || hi >= info->extent) {
+        std::ostringstream os;
+        os << (is_write ? "store" : "load") << " " << array_name(ir, r.array)
+           << subscript_text(r.subscript) << " spans [" << lo << ", " << hi
+           << "] but the extent is " << info->extent << " ('" << s.text
+           << "')";
+        report.add(Rule::B1OutOfBounds, Severity::Error, kernel_name,
+                   os.str());
+      }
+    }
+  };
+  for (const Stmt& s : body.stmts) {
+    if (s.array_write) check_access(s, *s.array_write, true);
+    for (const ArrayRef& r : s.array_reads) check_access(s, r, false);
+  }
+
+  // S2/S3: inter-workitem conflicts. Barrier epochs clear conflicts only on
+  // local (workgroup-scoped) arrays; global arrays are shared across groups.
+  std::set<std::string> seen;  // dedup repeated findings
+  auto conflict = [&](std::size_t kw, std::size_t ko, const ArrayRef& w,
+                      const ArrayRef& other, bool other_is_write) {
+    if (w.array != other.array) return;
+    const ArrayInfo* info = ir.array_info(w.array);
+    const bool local = info != nullptr && info->local;
+    if (local && epoch[kw] != epoch[ko]) return;  // barrier-separated
+    if (!items_collide(w.subscript, other.subscript, n,
+                       options.exact_solve_limit))
+      return;
+    const Stmt& sw = body.stmts[kw];
+    const Stmt& so = body.stmts[ko];
+    std::ostringstream os;
+    os << (other_is_write ? "write-write" : "read-write")
+       << " race: distinct workitems touch one element of "
+       << array_name(ir, w.array) << " via '" << sw.text << "'";
+    if (&sw != &so) os << " and '" << so.text << "'";
+    if (!local) os << " (a barrier would not help: global memory is shared "
+                      "across workgroups)";
+    const std::string key = os.str();
+    if (!seen.insert(key).second) return;
+    report.add(other_is_write ? Rule::S2WriteWriteRace : Rule::S3ReadWriteRace,
+               Severity::Error, kernel_name, key);
+  };
+  for (std::size_t kw = 0; kw < body.stmts.size(); ++kw) {
+    const Stmt& sw = body.stmts[kw];
+    if (!sw.array_write) continue;
+    for (std::size_t ko = 0; ko < body.stmts.size(); ++ko) {
+      const Stmt& so = body.stmts[ko];
+      // Write-write: include the self pair (a scale-0 store races with its
+      // own copies in other workitems — the S1 generalization); order pairs
+      // once (ko >= kw) to avoid duplicates.
+      if (so.array_write && ko >= kw) {
+        conflict(kw, ko, *sw.array_write, *so.array_write, true);
+      }
+      for (const ArrayRef& r : so.array_reads) {
+        conflict(kw, ko, *sw.array_write, r, false);
+      }
+    }
+  }
+
+  if (body.stmts.empty()) {
+    report.add(Rule::H3BadNDRange, Severity::Note, kernel_name,
+               "IR descriptor has no statements; nothing to check");
+  }
+  return report;
+}
+
+}  // namespace mcl::san

@@ -1,0 +1,50 @@
+// mclsan static mode: kernel-legality checking on the veclegal affine IR.
+//
+// Generalizes veclegal rule S1 (write scale must be nonzero) into full
+// inter-workitem conflict analysis over arbitrary affine subscript pairs:
+//
+//   S2  two statements write the same element of one array from two distinct
+//       workitems (write-write race);
+//   S3  one statement writes an element another workitem reads (read-write
+//       race). Intra-item read-modify-write of one element (distance 0) is
+//       NOT a race — that is the Fig 11 FMUL shape, legal under SPMD.
+//   B1  an affine access s*i + o, i in [0, trip), falls outside the array's
+//       declared extent;
+//   P1  a barrier statement sits in divergent (item-id-dependent) control
+//       flow — some workitems of a group would skip it;
+//   W1  a statement writes an array declared read-only.
+//
+// Barrier statements split the body into epochs. A barrier synchronizes the
+// workitems of ONE workgroup, so conflicts on local (workgroup-scoped)
+// arrays in different epochs are not races; global arrays are shared across
+// groups, which a barrier does not synchronize, so epoch separation does not
+// clear global-array conflicts (the runtime Checked executor, which knows
+// the group decomposition, is more precise).
+#pragma once
+
+#include "san/diagnostics.hpp"
+#include "veclegal/kernel_ir.hpp"
+
+namespace mcl::san {
+
+struct StaticOptions {
+  /// Iteration spaces up to this size are solved exactly (brute force over
+  /// the Diophantine collision equation); larger/unknown spaces use the
+  /// conservative gcd solvability test.
+  long long exact_solve_limit = 1 << 16;
+};
+
+/// Analyzes one kernel IR descriptor; `kernel_name` labels the diagnostics.
+[[nodiscard]] Report analyze_kernel(const std::string& kernel_name,
+                                    const veclegal::KernelIr& ir,
+                                    const StaticOptions& options = {});
+
+/// True when two affine accesses can touch the same element from two
+/// DISTINCT workitems i != j in [0, n) (n = 0 means unknown/unbounded):
+/// exists i != j with a.scale*i + a.offset == b.scale*j + b.offset.
+/// Exposed for tests.
+[[nodiscard]] bool items_collide(const veclegal::Subscript& a,
+                                 const veclegal::Subscript& b, long long n,
+                                 long long exact_solve_limit = 1 << 16);
+
+}  // namespace mcl::san

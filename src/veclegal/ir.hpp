@@ -32,13 +32,17 @@ struct ArrayRef {
 };
 
 /// One statement: target = op(sources). Either an array store or a scalar
-/// temp definition; sources are array loads and/or scalar temps.
+/// temp definition; sources are array loads and/or scalar temps. A statement
+/// may instead be a workgroup barrier (no accesses), which partitions the
+/// body into synchronization epochs for the sanitizer's race rules.
 struct Stmt {
   std::optional<ArrayRef> array_write;
   std::optional<int> temp_write;
   std::vector<ArrayRef> array_reads;
   std::vector<int> temp_reads;
   std::string text;  ///< pretty form for explanations ("a[i] = a[i] * b[i]")
+  bool barrier = false;   ///< barrier(CLK_*_MEM_FENCE) statement
+  bool divergent = false; ///< executes under an item-id-dependent condition
 };
 
 struct LoopBody {
@@ -77,6 +81,23 @@ struct LoopBody {
   s.array_reads = std::move(reads);
   s.temp_reads = std::move(temp_reads);
   s.text = std::move(text);
+  return s;
+}
+
+/// barrier(); `divergent` marks a barrier reached only by some workitems
+/// (an item-id-dependent condition guards it) — illegal in OpenCL.
+[[nodiscard]] inline Stmt barrier_stmt(bool divergent = false,
+                                       std::string text = "barrier()") {
+  Stmt s;
+  s.barrier = true;
+  s.divergent = divergent;
+  s.text = std::move(text);
+  return s;
+}
+
+/// Marks an access statement as guarded by an item-id-dependent condition.
+[[nodiscard]] inline Stmt divergent_stmt(Stmt s) {
+  s.divergent = true;
   return s;
 }
 

@@ -1,0 +1,26 @@
+#include "veclegal/kernel_ir.hpp"
+
+namespace mcl::veclegal {
+
+KernelIrRegistry& KernelIrRegistry::instance() {
+  static KernelIrRegistry registry;
+  return registry;
+}
+
+void KernelIrRegistry::add(std::string kernel_name, KernelIr ir) {
+  irs_[std::move(kernel_name)] = std::move(ir);
+}
+
+const KernelIr* KernelIrRegistry::find(const std::string& kernel_name) const {
+  auto it = irs_.find(kernel_name);
+  return it == irs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> KernelIrRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(irs_.size());
+  for (const auto& [name, ir] : irs_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mcl::veclegal

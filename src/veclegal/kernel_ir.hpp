@@ -1,0 +1,73 @@
+// Kernel IR descriptors: the bridge between the affine loop IR and the
+// runtime's kernel registry.
+//
+// MiniCL has no OpenCL C frontend, so the analyzable form of a kernel (a
+// veclegal::LoopBody whose induction variable is the dim-0 global id) is
+// declared alongside the compiled body and registered here by kernel name.
+// The mclsan static analyzer walks every registered descriptor; the Checked
+// executor replays a launch's access sets from it at run time.
+//
+// ArrayInfo augments the bare array ids of the IR with what the checkers
+// need: the declared extent (for bounds rule B1), the KernelArgs slot the
+// array is bound to (for runtime replay), the element size, and whether the
+// array is read-only or lives in workgroup-local memory (local arrays are
+// barrier-scoped for the race rules; global arrays are not).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "veclegal/ir.hpp"
+
+namespace mcl::veclegal {
+
+/// Metadata for one array of a kernel IR.
+struct ArrayInfo {
+  int array = 0;             ///< matches ArrayRef::array
+  int arg_index = -1;        ///< KernelArgs slot bound at launch (-1 unknown)
+  long long extent = 0;      ///< declared extent in elements; 0 = unknown
+                             ///< (runtime replay takes it from the buffer)
+  std::size_t elem_bytes = sizeof(float);
+  bool read_only = false;    ///< kernel contract: never written
+  bool local = false;        ///< workgroup-local arena array
+};
+
+/// A kernel's analyzable form: body + per-array metadata.
+struct KernelIr {
+  LoopBody body;
+  std::vector<ArrayInfo> arrays;
+
+  /// nullptr when array id has no declared metadata.
+  [[nodiscard]] const ArrayInfo* array_info(int id) const noexcept {
+    for (const ArrayInfo& a : arrays) {
+      if (a.array == id) return &a;
+    }
+    return nullptr;
+  }
+};
+
+/// Process-wide kernel-name -> IR descriptor map (the analysis-side analogue
+/// of ocl::Program::builtin()).
+class KernelIrRegistry {
+ public:
+  [[nodiscard]] static KernelIrRegistry& instance();
+
+  void add(std::string kernel_name, KernelIr ir);
+  [[nodiscard]] const KernelIr* find(const std::string& kernel_name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, KernelIr> irs_;
+};
+
+/// Static registration helper, mirroring ocl::KernelRegistrar:
+///   const KernelIrRegistrar ir_reg{"square", KernelIr{...}};
+struct KernelIrRegistrar {
+  KernelIrRegistrar(std::string kernel_name, KernelIr ir) {
+    KernelIrRegistry::instance().add(std::move(kernel_name), std::move(ir));
+  }
+};
+
+}  // namespace mcl::veclegal

@@ -1,0 +1,311 @@
+// mclsan: kernel sanitizer driver.
+//
+//   mclsan --list                list kernels that carry an IR descriptor
+//   mclsan --static [kernel]     static analysis of every (or one) registered
+//                                IR descriptor: races (S2/S3), bounds (B1),
+//                                barrier placement (P1), read-only writes (W1)
+//   mclsan --dynamic <kernel>    run the kernel once under the Checked
+//                                executor with a canned launch; reports
+//                                races, read-only-buffer writes, barrier
+//                                divergence and local-memory overflow
+//   mclsan --slowdown            measure Checked vs Loop on the 'square'
+//                                kernel (the dynamic mode's overhead budget)
+//
+// Exit code: 0 when every requested check is clean, 1 when any finding was
+// reported, 2 on usage/launch-setup errors.
+//
+// The tool also registers a few deliberately broken demo kernels
+// (san_demo_*) so each checker has a known-positive to exercise.
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "ocl/buffer.hpp"
+#include "ocl/device.hpp"
+#include "ocl/kernel.hpp"
+#include "san/lint.hpp"
+#include "san/static_analysis.hpp"
+#include "veclegal/kernel_ir.hpp"
+
+namespace {
+
+using mcl::ocl::Buffer;
+using mcl::ocl::CpuDevice;
+using mcl::ocl::CpuDeviceConfig;
+using mcl::ocl::ExecutorKind;
+using mcl::ocl::KernelArgs;
+using mcl::ocl::KernelDef;
+using mcl::ocl::KernelRegistrar;
+using mcl::ocl::MemFlags;
+using mcl::ocl::NDRange;
+using mcl::ocl::Program;
+using mcl::ocl::WorkItemCtx;
+using mcl::veclegal::ArrayInfo;
+using mcl::veclegal::KernelIr;
+using mcl::veclegal::KernelIrRegistrar;
+using mcl::veclegal::KernelIrRegistry;
+
+// ---------------------------------------------------------------------------
+// Seeded demo kernels: one known-positive per checker.
+// ---------------------------------------------------------------------------
+
+// Inter-workitem race, the MBench5 shape: item i writes what item i+1 reads.
+void demo_racy(const KernelArgs& args, const WorkItemCtx& c) {
+  float* a = args.buffer<float>(0);
+  const std::size_t i = c.global_id(0);
+  a[i + 1] = a[i] * 2.0f;
+}
+KernelIr demo_racy_ir() {
+  KernelIr ir;
+  ir.body.name = "san_demo_racy";
+  ir.body.stmts.push_back(mcl::veclegal::store(
+      mcl::veclegal::ref(0, 1, 1), {mcl::veclegal::ref(0)},
+      "a[i+1] = 2 * a[i]"));
+  ir.arrays = {ArrayInfo{.array = 0, .arg_index = 0}};
+  return ir;
+}
+
+// Barrier executed only by even workitems: divergence.
+void demo_divergent_barrier(const KernelArgs& args, const WorkItemCtx& c) {
+  float* out = args.buffer<float>(0);
+  if (c.local_id(0) % 2 == 0) c.barrier();
+  out[c.global_id(0)] = static_cast<float>(c.local_id(0));
+}
+KernelIr demo_divergent_barrier_ir() {
+  KernelIr ir;
+  ir.body.name = "san_demo_divergent_barrier";
+  ir.body.straight_line = false;
+  ir.body.stmts.push_back(mcl::veclegal::barrier_stmt(
+      /*divergent=*/true, "if (lid % 2 == 0) barrier()"));
+  ir.body.stmts.push_back(mcl::veclegal::store(
+      mcl::veclegal::ref(0), {}, "out[i] = lid"));
+  ir.arrays = {ArrayInfo{.array = 0, .arg_index = 0}};
+  return ir;
+}
+
+// Writes through whatever arg 0 is; the canned launch binds a ReadOnly
+// buffer, so the Checked executor's snapshot diff reports W1.
+void demo_readonly_write(const KernelArgs& args, const WorkItemCtx& c) {
+  float* a = args.buffer<float>(0);
+  a[c.global_id(0)] += 1.0f;
+}
+
+// Requests 8 floats of local memory but stores past them.
+void demo_local_overflow(const KernelArgs& args, const WorkItemCtx& c) {
+  (void)args;
+  float* lm = c.local_mem<float>(1);
+  lm[10] = 1.0f;  // slot 10 of an 8-float block
+}
+
+const KernelRegistrar reg_demo_racy{
+    KernelDef{.name = "san_demo_racy", .scalar = &demo_racy}};
+const KernelRegistrar reg_demo_divergent{
+    KernelDef{.name = "san_demo_divergent_barrier",
+              .scalar = &demo_divergent_barrier,
+              .needs_barrier = true}};
+const KernelRegistrar reg_demo_readonly{
+    KernelDef{.name = "san_demo_readonly_write",
+              .scalar = &demo_readonly_write}};
+const KernelRegistrar reg_demo_local{
+    KernelDef{.name = "san_demo_local_overflow",
+              .scalar = &demo_local_overflow}};
+const KernelIrRegistrar ir_demo_racy{"san_demo_racy", demo_racy_ir()};
+const KernelIrRegistrar ir_demo_divergent{"san_demo_divergent_barrier",
+                                          demo_divergent_barrier_ir()};
+
+// ---------------------------------------------------------------------------
+// Canned launches for --dynamic.
+// ---------------------------------------------------------------------------
+
+struct LaunchPlan {
+  KernelArgs args;
+  std::vector<std::unique_ptr<Buffer>> buffers;  // own the bound storage
+  NDRange global;
+  NDRange local;  // null = runtime default
+};
+
+Buffer& own(LaunchPlan& plan, MemFlags flags, std::size_t floats) {
+  plan.buffers.push_back(
+      std::make_unique<Buffer>(flags, floats * sizeof(float)));
+  Buffer& b = *plan.buffers.back();
+  float* p = b.as<float>();
+  for (std::size_t i = 0; i < floats; ++i) p[i] = 0.25f * (i % 17);
+  return b;
+}
+
+bool make_plan(const std::string& kernel, LaunchPlan& plan) {
+  const std::size_t n = 1024;
+  if (kernel.rfind("mbench", 0) == 0) {
+    // Buffer sizing contract from mbench.hpp: a 3n+1, b n, c 2n.
+    plan.args.set_buffer(0, own(plan, MemFlags::ReadWrite, 3 * n + 1));
+    plan.args.set_buffer(1, own(plan, MemFlags::ReadOnly, n));
+    plan.args.set_buffer(2, own(plan, MemFlags::ReadWrite, 2 * n));
+    plan.args.set_scalar(3, 1.5f);
+    plan.global = NDRange{n};
+    return true;
+  }
+  if (kernel == "square") {
+    plan.args.set_buffer(0, own(plan, MemFlags::ReadOnly, 4 * n));
+    plan.args.set_buffer(1, own(plan, MemFlags::ReadWrite, 4 * n));
+    plan.global = NDRange{4 * n};
+    return true;
+  }
+  if (kernel == "vectoradd") {
+    plan.args.set_buffer(0, own(plan, MemFlags::ReadOnly, 4 * n));
+    plan.args.set_buffer(1, own(plan, MemFlags::ReadOnly, 4 * n));
+    plan.args.set_buffer(2, own(plan, MemFlags::ReadWrite, 4 * n));
+    plan.global = NDRange{4 * n};
+    return true;
+  }
+  if (kernel == "san_demo_racy") {
+    plan.args.set_buffer(0, own(plan, MemFlags::ReadWrite, n + 1));
+    plan.global = NDRange{n};
+    return true;
+  }
+  if (kernel == "san_demo_divergent_barrier") {
+    plan.args.set_buffer(0, own(plan, MemFlags::ReadWrite, n));
+    plan.global = NDRange{n};
+    plan.local = NDRange{64};
+    return true;
+  }
+  if (kernel == "san_demo_readonly_write") {
+    plan.args.set_buffer(0, own(plan, MemFlags::ReadOnly, n));
+    plan.global = NDRange{n};
+    return true;
+  }
+  if (kernel == "san_demo_local_overflow") {
+    plan.args.set_buffer(0, own(plan, MemFlags::ReadWrite, n));
+    plan.args.set_local(1, 8 * sizeof(float));
+    plan.global = NDRange{n};
+    plan.local = NDRange{64};
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Modes.
+// ---------------------------------------------------------------------------
+
+int run_static(const std::string& only) {
+  const KernelIrRegistry& registry = KernelIrRegistry::instance();
+  std::size_t kernels = 0, flagged = 0;
+  for (const std::string& name : registry.names()) {
+    if (!only.empty() && name != only) continue;
+    ++kernels;
+    const mcl::san::Report report =
+        mcl::san::analyze_kernel(name, *registry.find(name));
+    if (report.clean() && report.diagnostics.empty()) {
+      std::cout << name << ": clean\n";
+      continue;
+    }
+    std::cout << report.to_string();
+    if (!report.clean()) ++flagged;
+  }
+  if (kernels == 0) {
+    std::cerr << "mclsan: no IR descriptor registered for '" << only << "'\n";
+    return 2;
+  }
+  std::cout << "mclsan --static: " << kernels << " kernel(s) analyzed, "
+            << flagged << " with errors\n";
+  return flagged > 0 ? 1 : 0;
+}
+
+int run_dynamic(const std::string& kernel) {
+  if (!Program::builtin().contains(kernel)) {
+    std::cerr << "mclsan: unknown kernel '" << kernel << "'\n";
+    return 2;
+  }
+  const KernelDef& def = Program::builtin().lookup(kernel);
+  LaunchPlan plan;
+  if (!make_plan(kernel, plan)) {
+    std::cerr << "mclsan: no canned launch for '" << kernel
+              << "' (supported: mbench1..8, square, vectoradd, san_demo_*)\n";
+    return 2;
+  }
+
+  const mcl::san::Report lint = mcl::san::lint_launch(
+      def, plan.args, plan.global, plan.local, ExecutorKind::Checked);
+  if (!lint.diagnostics.empty()) std::cout << lint.to_string();
+
+  CpuDevice device{CpuDeviceConfig{
+      .threads = 1, .executor = ExecutorKind::Checked}};
+  try {
+    const auto result =
+        device.launch(def, plan.args, plan.global, plan.local);
+    std::cout << kernel << ": clean under Checked executor ("
+              << result.seconds * 1e3 << " ms)\n";
+    return lint.clean() ? 0 : 1;
+  } catch (const mcl::core::Error& e) {
+    if (e.status() != mcl::core::Status::SanitizerViolation) throw;
+    std::cout << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_slowdown() {
+  const KernelDef& def = Program::builtin().lookup("square");
+  const std::size_t n = 1 << 20;
+  LaunchPlan plan;
+  plan.args.set_buffer(0, own(plan, MemFlags::ReadOnly, n));
+  plan.args.set_buffer(1, own(plan, MemFlags::ReadWrite, n));
+  plan.global = NDRange{n};
+
+  auto best_of = [&](ExecutorKind kind) {
+    CpuDevice device{CpuDeviceConfig{.threads = 1, .executor = kind}};
+    double best = 1e30;
+    for (int rep = 0; rep < 5; ++rep) {
+      best = std::min(
+          best, device.launch(def, plan.args, plan.global, plan.local).seconds);
+    }
+    return best;
+  };
+  const double loop_s = best_of(ExecutorKind::Loop);
+  const double checked_s = best_of(ExecutorKind::Checked);
+  std::cout << "square n=" << n << ": loop " << loop_s * 1e3 << " ms, checked "
+            << checked_s * 1e3 << " ms, slowdown "
+            << (loop_s > 0 ? checked_s / loop_s : 0) << "x\n";
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: mclsan --list | --static [kernel] | --dynamic <kernel>"
+               " | --slowdown\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      usage();
+      return 2;
+    }
+    const std::string mode = argv[1];
+    if (mode == "--list") {
+      for (const std::string& name : KernelIrRegistry::instance().names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    }
+    if (mode == "--static") return run_static(argc > 2 ? argv[2] : "");
+    if (mode == "--dynamic") {
+      if (argc < 3) {
+        usage();
+        return 2;
+      }
+      return run_dynamic(argv[2]);
+    }
+    if (mode == "--slowdown") return run_slowdown();
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "mclsan: " << e.what() << "\n";
+    return 2;
+  }
+}

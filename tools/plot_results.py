@@ -5,6 +5,8 @@ Usage:
     for b in build/bench/fig*; do $b --json results.jsonl; done
     tools/plot_results.py results.jsonl            # ASCII bars to stdout
     tools/plot_results.py results.jsonl --png out/ # PNGs via matplotlib
+    tools/plot_results.py results.jsonl --check    # validate only; exit 1 on
+                                                   # missing/malformed input
 
 Without matplotlib installed, the ASCII renderer still works — every table
 becomes horizontal bars of its first numeric column group.
@@ -24,6 +26,53 @@ def load_tables(path):
                 continue
             tables.append(json.loads(line))
     return tables
+
+
+def check_tables(path):
+    """Validates a results file; returns a list of error strings (empty = ok).
+
+    Checks existence, JSONL parse, and per-table shape: a "title" string, a
+    non-empty "columns" list of strings, and "rows" whose entries are lists
+    no wider than the columns.
+    """
+    errors = []
+    if not os.path.exists(path):
+        return [f"{path}: no such file"]
+    try:
+        tables = load_tables(path)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not tables:
+        return [f"{path}: no tables (empty results file)"]
+    for i, table in enumerate(tables):
+        where = f"{path}: table {i}"
+        if not isinstance(table, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        title = table.get("title")
+        if not isinstance(title, str) or not title:
+            errors.append(f"{where}: missing or empty 'title'")
+        else:
+            where = f"{path}: table {i} ({title!r})"
+        columns = table.get("columns")
+        if not isinstance(columns, list) or not columns or not all(
+            isinstance(c, str) for c in columns
+        ):
+            errors.append(f"{where}: 'columns' must be a non-empty list of strings")
+            continue
+        rows = table.get("rows")
+        if not isinstance(rows, list):
+            errors.append(f"{where}: 'rows' must be a list")
+            continue
+        for r, row in enumerate(rows):
+            if not isinstance(row, list):
+                errors.append(f"{where}: row {r} is not a list")
+            elif len(row) > len(columns):
+                errors.append(
+                    f"{where}: row {r} has {len(row)} cells "
+                    f"but only {len(columns)} columns"
+                )
+    return errors
 
 
 def numeric_columns(table):
@@ -96,7 +145,21 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("jsonl", help="JSONL file produced with --json")
     parser.add_argument("--png", metavar="DIR", help="write PNGs instead of ASCII")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the results file and exit (nonzero on problems)",
+    )
     args = parser.parse_args()
+
+    if args.check:
+        errors = check_tables(args.jsonl)
+        for err in errors:
+            print(err, file=sys.stderr)
+        if errors:
+            return 1
+        print(f"{args.jsonl}: ok ({len(load_tables(args.jsonl))} tables)")
+        return 0
 
     tables = load_tables(args.jsonl)
     if not tables:

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every change must pass before merging.
+#
+#   1. plain Release build + full ctest suite;
+#   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite.
+#
+# Usage: tools/tier1.sh [jobs]    (jobs defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+echo "== tier1: plain build =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure
+
+echo "== tier1: ASan+UBSan build =="
+cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure
+
+echo "== tier1: all checks passed =="
