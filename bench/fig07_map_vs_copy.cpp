@@ -101,5 +101,43 @@ int main(int argc, char** argv) {
     }
   }
   t.emit(env.csv(), env.json(), env.md());
+
+  // Addendum: per-command event profiling on the async copy path. The same
+  // traffic as the copy rows above, enqueued non-blocking on an in-order
+  // queue; the four clGetEventProfilingInfo-style timestamps break each
+  // transfer into queue wait (queued->submitted), scheduling (submitted->
+  // started) and execution (started->ended) phases.
+  {
+    bench::SquareDriver app(sq_n, env.seed(), bench::BufferPolicy{});
+    (void)app.time(q, ocl::NDRange{}, env.opts());
+    std::vector<std::byte> scratch;
+    core::Table tp("Figure 7 addendum - async transfer event profiling",
+                   {"command", "MiB", "queued->submit us", "submit->start us",
+                    "start->end ms"});
+    struct Row {
+      std::string name;
+      std::size_t bytes;
+      ocl::AsyncEventPtr ev;
+    };
+    std::vector<Row> rows;
+    for (const auto& [buf, is_input] : app.traffic()) {
+      if (scratch.size() < buf->size()) scratch.resize(buf->size());
+      rows.push_back(
+          {is_input ? "WriteBuffer" : "ReadBuffer", buf->size(),
+           is_input ? q.enqueue_write_buffer_async(*buf, 0, buf->size(),
+                                                   scratch.data())
+                    : q.enqueue_read_buffer_async(*buf, 0, buf->size(),
+                                                  scratch.data())});
+    }
+    q.finish();
+    for (const auto& row : rows) {
+      const ocl::ProfilingInfo p = row.ev->profiling_ns();
+      tp.add_row({row.name, static_cast<double>(row.bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(p.submitted_ns - p.queued_ns) * 1e-3,
+                  static_cast<double>(p.started_ns - p.submitted_ns) * 1e-3,
+                  static_cast<double>(p.ended_ns - p.started_ns) * 1e-6});
+    }
+    tp.emit(env.csv(), env.json(), env.md());
+  }
   return 0;
 }

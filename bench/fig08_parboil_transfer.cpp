@@ -106,5 +106,41 @@ int main(int argc, char** argv) {
   }
   up.emit(env.csv(), env.json(), env.md());
   down.emit(env.csv(), env.json(), env.md());
+
+  // Addendum: event-profiling breakdown of one full async H2D+D2H pass per
+  // suite. Aggregates the per-command clGetEventProfilingInfo-style phases:
+  // queue wait (queued->submitted), scheduling (submitted->started) and
+  // execution (started->ended).
+  core::Table prof("Figure 8 addendum - async transfer event profiling",
+                   {"benchmark", "commands", "queued->submit us",
+                    "submit->start us", "start->end ms"});
+  for (const Suite& suite : suites) {
+    double queue_us = 0.0, sched_us = 0.0, exec_ms = 0.0;
+    std::size_t commands = 0;
+    std::vector<std::byte> scratch;
+    for (const char* kname : suite.kernels) {
+      bench::ParboilDriver driver(kname, sizes, env.seed());
+      std::vector<ocl::AsyncEventPtr> events;
+      for (const auto& [buf, is_input] : driver.traffic()) {
+        if (scratch.size() < buf->size()) scratch.resize(buf->size());
+        events.push_back(
+            is_input ? q.enqueue_write_buffer_async(*buf, 0, buf->size(),
+                                                    scratch.data())
+                     : q.enqueue_read_buffer_async(*buf, 0, buf->size(),
+                                                   scratch.data()));
+      }
+      q.finish();
+      for (const auto& ev : events) {
+        const ocl::ProfilingInfo p = ev->profiling_ns();
+        queue_us += static_cast<double>(p.submitted_ns - p.queued_ns) * 1e-3;
+        sched_us += static_cast<double>(p.started_ns - p.submitted_ns) * 1e-3;
+        exec_ms += static_cast<double>(p.ended_ns - p.started_ns) * 1e-6;
+        ++commands;
+      }
+    }
+    prof.add_row({std::string(suite.label), static_cast<double>(commands),
+                  queue_us, sched_us, exec_ms});
+  }
+  prof.emit(env.csv(), env.json(), env.md());
   return 0;
 }

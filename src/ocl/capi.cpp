@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_set>
+#include <vector>
 
 #include "ocl/platform.hpp"
 #include "ocl/queue.hpp"
@@ -92,6 +93,35 @@ struct mcl_mem_obj {
 struct mcl_kernel_obj {
   std::unique_ptr<mcl::ocl::Kernel> kernel;
 };
+struct mcl_event_obj {
+  mcl::ocl::AsyncEventPtr event;
+};
+
+namespace {
+
+/// Collects a C wait list into the C++ vector form; returns false (and sets
+/// the caller's error) for a malformed list.
+bool collect_wait_list(mcl_uint num_events, const mcl_event* event_wait_list,
+                       std::vector<mcl::ocl::AsyncEventPtr>& out) {
+  if ((num_events == 0) != (event_wait_list == nullptr)) return false;
+  out.reserve(num_events);
+  for (mcl_uint i = 0; i < num_events; ++i) {
+    if (event_wait_list[i] == nullptr || !event_wait_list[i]->event) {
+      return false;
+    }
+    out.push_back(event_wait_list[i]->event);
+  }
+  return true;
+}
+
+/// Wraps an AsyncEventPtr into a C handle if the caller asked for one.
+void export_event(mcl::ocl::AsyncEventPtr ev, mcl_event* event_out) {
+  if (event_out != nullptr) {
+    *event_out = new mcl_event_obj{std::move(ev)};
+  }
+}
+
+}  // namespace
 
 extern "C" {
 
@@ -158,6 +188,28 @@ mcl_command_queue mclCreateCommandQueue(mcl_context context,
   return handle;
 }
 
+mcl_command_queue mclCreateCommandQueueWithProperties(mcl_context context,
+                                                      mcl_bitfield properties,
+                                                      mcl_int* errcode_ret) {
+  if (context == nullptr) {
+    set_err(errcode_ret, MCL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if ((properties & ~static_cast<mcl_bitfield>(
+                        MCL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE)) != 0) {
+    set_err(errcode_ret, MCL_INVALID_VALUE);
+    return nullptr;
+  }
+  ocl::QueueProperties props = ocl::QueueProperties::Default;
+  if (properties & MCL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE) {
+    props = props | ocl::QueueProperties::OutOfOrder;
+  }
+  auto* handle = new mcl_queue_obj{
+      std::make_unique<ocl::CommandQueue>(*context->context, props)};
+  set_err(errcode_ret, MCL_SUCCESS);
+  return handle;
+}
+
 mcl_int mclReleaseCommandQueue(mcl_command_queue queue) {
   if (queue == nullptr) return MCL_INVALID_VALUE;
   delete queue;
@@ -167,6 +219,55 @@ mcl_int mclReleaseCommandQueue(mcl_command_queue queue) {
 mcl_int mclFinish(mcl_command_queue queue) {
   if (queue == nullptr) return MCL_INVALID_VALUE;
   return guarded([&] { queue->queue->finish(); });
+}
+
+mcl_int mclWaitForEvents(mcl_uint num_events, const mcl_event* event_list) {
+  if (num_events == 0 || event_list == nullptr) return MCL_INVALID_VALUE;
+  for (mcl_uint i = 0; i < num_events; ++i) {
+    if (event_list[i] == nullptr || !event_list[i]->event) {
+      return MCL_INVALID_EVENT;
+    }
+  }
+  bool any_failed = false;
+  for (mcl_uint i = 0; i < num_events; ++i) {
+    const mcl_int code =
+        guarded([&] { event_list[i]->event->wait(); });
+    if (code != MCL_SUCCESS) any_failed = true;
+  }
+  return any_failed ? MCL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST
+                    : MCL_SUCCESS;
+}
+
+mcl_int mclGetEventProfilingInfo(mcl_event event, mcl_uint param_name,
+                                 size_t value_size, void* value,
+                                 size_t* value_size_ret) {
+  if (event == nullptr || !event->event) return MCL_INVALID_EVENT;
+  if (value != nullptr && value_size < sizeof(mcl_ulong)) {
+    return MCL_INVALID_VALUE;
+  }
+  ocl::ProfilingInfo prof;
+  try {
+    prof = event->event->profiling_ns();
+  } catch (const core::Error&) {
+    return MCL_PROFILING_INFO_NOT_AVAILABLE;
+  }
+  mcl_ulong ns = 0;
+  switch (param_name) {
+    case MCL_PROFILING_COMMAND_QUEUED: ns = prof.queued_ns; break;
+    case MCL_PROFILING_COMMAND_SUBMIT: ns = prof.submitted_ns; break;
+    case MCL_PROFILING_COMMAND_START: ns = prof.started_ns; break;
+    case MCL_PROFILING_COMMAND_END: ns = prof.ended_ns; break;
+    default: return MCL_INVALID_VALUE;
+  }
+  if (value != nullptr) std::memcpy(value, &ns, sizeof(ns));
+  if (value_size_ret != nullptr) *value_size_ret = sizeof(mcl_ulong);
+  return MCL_SUCCESS;
+}
+
+mcl_int mclReleaseEvent(mcl_event event) {
+  if (event == nullptr) return MCL_INVALID_EVENT;
+  delete event;
+  return MCL_SUCCESS;
 }
 
 mcl_mem mclCreateBuffer(mcl_context context, mcl_bitfield flags, size_t size,
@@ -227,6 +328,68 @@ mcl_int mclEnqueueReadBuffer(mcl_command_queue queue, mcl_mem mem,
   if (queue == nullptr || mem == nullptr) return MCL_INVALID_VALUE;
   return guarded([&] {
     (void)queue->queue->enqueue_read_buffer(*mem->buffer, offset, size, ptr);
+  });
+}
+
+mcl_int mclEnqueueWriteBufferAsync(mcl_command_queue queue, mcl_mem mem,
+                                   size_t offset, size_t size, const void* ptr,
+                                   mcl_uint num_events_in_wait_list,
+                                   const mcl_event* event_wait_list,
+                                   mcl_event* event) {
+  if (queue == nullptr || mem == nullptr) return MCL_INVALID_VALUE;
+  std::vector<ocl::AsyncEventPtr> waits;
+  if (!collect_wait_list(num_events_in_wait_list, event_wait_list, waits)) {
+    return MCL_INVALID_EVENT_WAIT_LIST;
+  }
+  return guarded([&] {
+    export_event(queue->queue->enqueue_write_buffer_async(
+                     *mem->buffer, offset, size, ptr, std::move(waits)),
+                 event);
+  });
+}
+
+mcl_int mclEnqueueReadBufferAsync(mcl_command_queue queue, mcl_mem mem,
+                                  size_t offset, size_t size, void* ptr,
+                                  mcl_uint num_events_in_wait_list,
+                                  const mcl_event* event_wait_list,
+                                  mcl_event* event) {
+  if (queue == nullptr || mem == nullptr) return MCL_INVALID_VALUE;
+  std::vector<ocl::AsyncEventPtr> waits;
+  if (!collect_wait_list(num_events_in_wait_list, event_wait_list, waits)) {
+    return MCL_INVALID_EVENT_WAIT_LIST;
+  }
+  return guarded([&] {
+    export_event(queue->queue->enqueue_read_buffer_async(
+                     *mem->buffer, offset, size, ptr, std::move(waits)),
+                 event);
+  });
+}
+
+mcl_int mclEnqueueMarkerWithWaitList(mcl_command_queue queue,
+                                     mcl_uint num_events_in_wait_list,
+                                     const mcl_event* event_wait_list,
+                                     mcl_event* event) {
+  if (queue == nullptr) return MCL_INVALID_VALUE;
+  std::vector<ocl::AsyncEventPtr> waits;
+  if (!collect_wait_list(num_events_in_wait_list, event_wait_list, waits)) {
+    return MCL_INVALID_EVENT_WAIT_LIST;
+  }
+  return guarded([&] {
+    export_event(queue->queue->enqueue_marker_async(std::move(waits)), event);
+  });
+}
+
+mcl_int mclEnqueueBarrierWithWaitList(mcl_command_queue queue,
+                                      mcl_uint num_events_in_wait_list,
+                                      const mcl_event* event_wait_list,
+                                      mcl_event* event) {
+  if (queue == nullptr) return MCL_INVALID_VALUE;
+  std::vector<ocl::AsyncEventPtr> waits;
+  if (!collect_wait_list(num_events_in_wait_list, event_wait_list, waits)) {
+    return MCL_INVALID_EVENT_WAIT_LIST;
+  }
+  return guarded([&] {
+    export_event(queue->queue->enqueue_barrier_async(std::move(waits)), event);
   });
 }
 
@@ -343,6 +506,39 @@ mcl_int mclEnqueueNDRangeKernel(mcl_command_queue queue, mcl_kernel kernel,
   }
   return guarded([&] {
     (void)queue->queue->enqueue_ndrange(*kernel->kernel, global, local);
+  });
+}
+
+mcl_int mclEnqueueNDRangeKernelAsync(mcl_command_queue queue, mcl_kernel kernel,
+                                     mcl_uint work_dim,
+                                     const size_t* global_size,
+                                     const size_t* local_size,
+                                     mcl_uint num_events_in_wait_list,
+                                     const mcl_event* event_wait_list,
+                                     mcl_event* event) {
+  if (queue == nullptr || kernel == nullptr || global_size == nullptr ||
+      work_dim < 1 || work_dim > 3) {
+    return MCL_INVALID_VALUE;
+  }
+  std::vector<ocl::AsyncEventPtr> waits;
+  if (!collect_wait_list(num_events_in_wait_list, event_wait_list, waits)) {
+    return MCL_INVALID_EVENT_WAIT_LIST;
+  }
+  ocl::NDRange global, local;
+  global.dims = work_dim;
+  for (mcl_uint d = 0; d < 3; ++d) {
+    global.size[d] = d < work_dim ? global_size[d] : 1;
+  }
+  if (local_size != nullptr) {
+    local.dims = work_dim;
+    for (mcl_uint d = 0; d < 3; ++d) {
+      local.size[d] = d < work_dim ? local_size[d] : 1;
+    }
+  }
+  return guarded([&] {
+    export_event(queue->queue->enqueue_ndrange_async(*kernel->kernel, global,
+                                                     local, std::move(waits)),
+                 event);
   });
 }
 

@@ -12,7 +12,11 @@
  *    in practice: arg_size == sizeof(mcl_mem) AND *arg_value is a live
  *    mcl_mem handle. NULL arg_value requests local memory of arg_size
  *    bytes. Everything else is copied as a scalar (max 32 bytes).
- *  - All enqueue entry points are blocking (the paper's methodology).
+ *  - The classic enqueue entry points are blocking (the paper's
+ *    methodology). The *Async variants return mcl_event handles backed by
+ *    the runtime's out-of-order event-graph executor; wait lists, markers,
+ *    barriers and clGetEventProfilingInfo-style timestamp queries follow
+ *    OpenCL 1.2 semantics.
  *
  * The header compiles as both C and C++.
  */
@@ -27,6 +31,7 @@ extern "C" {
 
 typedef int mcl_int;
 typedef unsigned int mcl_uint;
+typedef unsigned long long mcl_ulong;
 typedef unsigned long long mcl_bitfield;
 
 typedef struct mcl_device_obj* mcl_device_id;
@@ -34,6 +39,7 @@ typedef struct mcl_context_obj* mcl_context;
 typedef struct mcl_queue_obj* mcl_command_queue;
 typedef struct mcl_mem_obj* mcl_mem;
 typedef struct mcl_kernel_obj* mcl_kernel;
+typedef struct mcl_event_obj* mcl_event;
 
 /* Error codes (OpenCL-compatible values where they exist). */
 #define MCL_SUCCESS 0
@@ -50,6 +56,13 @@ typedef struct mcl_kernel_obj* mcl_kernel;
 #define MCL_INVALID_WORK_GROUP_SIZE (-54)
 #define MCL_INVALID_GLOBAL_WORK_SIZE (-63)
 #define MCL_INVALID_OPERATION (-59)
+#define MCL_INVALID_EVENT (-58)
+#define MCL_INVALID_EVENT_WAIT_LIST (-57)
+#define MCL_PROFILING_INFO_NOT_AVAILABLE (-7)
+/* Returned by mclWaitForEvents when a waited event (or one of its
+ * dependencies) finished with an error — the CL_EXEC_STATUS_ERROR_FOR_
+ * EVENTS_IN_WAIT_LIST analogue. */
+#define MCL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST (-14)
 
 /* Device types. */
 #define MCL_DEVICE_TYPE_CPU (1 << 1)
@@ -66,6 +79,16 @@ typedef struct mcl_kernel_obj* mcl_kernel;
 /* Map flags. */
 #define MCL_MAP_READ (1 << 0)
 #define MCL_MAP_WRITE (1 << 1)
+
+/* Command-queue properties (mclCreateCommandQueueWithProperties). */
+#define MCL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE (1 << 0)
+
+/* mclGetEventProfilingInfo parameter names (OpenCL values). Timestamps are
+ * steady-clock nanoseconds; per event queued <= submit <= start <= end. */
+#define MCL_PROFILING_COMMAND_QUEUED 0x1280
+#define MCL_PROFILING_COMMAND_SUBMIT 0x1281
+#define MCL_PROFILING_COMMAND_START 0x1282
+#define MCL_PROFILING_COMMAND_END 0x1283
 
 #define MCL_TRUE 1
 #define MCL_FALSE 0
@@ -88,8 +111,31 @@ mcl_int mclReleaseContext(mcl_context context);
 
 mcl_command_queue mclCreateCommandQueue(mcl_context context,
                                         mcl_int* errcode_ret);
+/* Like mclCreateCommandQueue with a properties bitfield
+ * (MCL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE). Unknown bits are rejected. */
+mcl_command_queue mclCreateCommandQueueWithProperties(mcl_context context,
+                                                      mcl_bitfield properties,
+                                                      mcl_int* errcode_ret);
 mcl_int mclReleaseCommandQueue(mcl_command_queue queue);
 mcl_int mclFinish(mcl_command_queue queue);
+
+/* --- events ---------------------------------------------------------------- */
+
+/* Blocks until all num_events events completed. Returns MCL_EXEC_STATUS_
+ * ERROR_FOR_EVENTS_IN_WAIT_LIST if any of them finished with an error. */
+mcl_int mclWaitForEvents(mcl_uint num_events, const mcl_event* event_list);
+
+/* Profiling timestamp query (see MCL_PROFILING_COMMAND_*). value_size must
+ * be >= sizeof(mcl_ulong) when value is non-NULL; *value_size_ret (optional)
+ * receives sizeof(mcl_ulong). Returns MCL_PROFILING_INFO_NOT_AVAILABLE until
+ * the event reaches a terminal state. */
+mcl_int mclGetEventProfilingInfo(mcl_event event, mcl_uint param_name,
+                                 size_t value_size, void* value,
+                                 size_t* value_size_ret);
+
+/* Releases the handle. The underlying command still runs to completion; it
+ * just can no longer be waited on through this handle. */
+mcl_int mclReleaseEvent(mcl_event event);
 
 /* --- buffers --------------------------------------------------------------- */
 
@@ -103,6 +149,36 @@ mcl_int mclEnqueueWriteBuffer(mcl_command_queue queue, mcl_mem mem,
 mcl_int mclEnqueueReadBuffer(mcl_command_queue queue, mcl_mem mem,
                              mcl_int blocking, size_t offset, size_t size,
                              void* ptr);
+/* Non-blocking transfers (blocking_write/read = CL_FALSE analogues). The
+ * host pointer and the buffer must stay valid until the returned event
+ * completes. `event` may be NULL to enqueue without keeping a handle; a
+ * non-empty wait list delays execution until those events complete, and a
+ * failed wait-list event propagates its error instead of running this
+ * command. Wait-list events may come from any queue. */
+mcl_int mclEnqueueWriteBufferAsync(mcl_command_queue queue, mcl_mem mem,
+                                   size_t offset, size_t size, const void* ptr,
+                                   mcl_uint num_events_in_wait_list,
+                                   const mcl_event* event_wait_list,
+                                   mcl_event* event);
+mcl_int mclEnqueueReadBufferAsync(mcl_command_queue queue, mcl_mem mem,
+                                  size_t offset, size_t size, void* ptr,
+                                  mcl_uint num_events_in_wait_list,
+                                  const mcl_event* event_wait_list,
+                                  mcl_event* event);
+
+/* clEnqueueMarkerWithWaitList / clEnqueueBarrierWithWaitList. With an empty
+ * wait list both complete once every previously enqueued command has; the
+ * barrier additionally orders all subsequently enqueued commands after it
+ * (meaningful on out-of-order queues). */
+mcl_int mclEnqueueMarkerWithWaitList(mcl_command_queue queue,
+                                     mcl_uint num_events_in_wait_list,
+                                     const mcl_event* event_wait_list,
+                                     mcl_event* event);
+mcl_int mclEnqueueBarrierWithWaitList(mcl_command_queue queue,
+                                      mcl_uint num_events_in_wait_list,
+                                      const mcl_event* event_wait_list,
+                                      mcl_event* event);
+
 void* mclEnqueueMapBuffer(mcl_command_queue queue, mcl_mem mem,
                           mcl_bitfield map_flags, size_t offset, size_t size,
                           mcl_int* errcode_ret);
@@ -121,6 +197,16 @@ mcl_int mclSetKernelArg(mcl_kernel kernel, mcl_uint arg_index, size_t arg_size,
 mcl_int mclEnqueueNDRangeKernel(mcl_command_queue queue, mcl_kernel kernel,
                                 mcl_uint work_dim, const size_t* global_size,
                                 const size_t* local_size);
+
+/* Non-blocking launch; argument bindings are snapshot at enqueue time. Same
+ * wait-list/event contract as the async transfers. */
+mcl_int mclEnqueueNDRangeKernelAsync(mcl_command_queue queue, mcl_kernel kernel,
+                                     mcl_uint work_dim,
+                                     const size_t* global_size,
+                                     const size_t* local_size,
+                                     mcl_uint num_events_in_wait_list,
+                                     const mcl_event* event_wait_list,
+                                     mcl_event* event);
 
 #ifdef __cplusplus
 }

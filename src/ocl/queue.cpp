@@ -1,18 +1,62 @@
 #include "ocl/queue.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <utility>
+
+#include "threading/affinity.hpp"
+#include "threading/thread_pool.hpp"
 
 namespace mcl::ocl {
 
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          core::now().time_since_epoch())
+          .count());
+}
+
+std::size_t checked_add(std::size_t a, std::size_t b) {
+  std::size_t r = 0;
+  core::check(!__builtin_add_overflow(a, b, &r), core::Status::InvalidValue,
+              "rect arithmetic overflows size_t");
+  return r;
+}
+
+std::size_t checked_mul(std::size_t a, std::size_t b) {
+  std::size_t r = 0;
+  core::check(!__builtin_mul_overflow(a, b, &r), core::Status::InvalidValue,
+              "rect arithmetic overflows size_t");
+  return r;
+}
+
+core::Status status_of(const std::exception_ptr& error) noexcept {
+  try {
+    std::rethrow_exception(error);
+  } catch (const core::Error& e) {
+    return e.status();
+  } catch (...) {
+    return core::Status::InternalError;
+  }
+}
+
+}  // namespace
+
 void CommandQueue::check_range(const Buffer& buffer, std::size_t offset,
                                std::size_t bytes) const {
-  core::check(bytes > 0 && offset + bytes <= buffer.size(),
+  // Overflow-safe form: `offset + bytes <= size` wraps for huge offsets and
+  // would wave an out-of-bounds range through.
+  core::check(bytes <= buffer.size() && offset <= buffer.size() - bytes,
               core::Status::InvalidValue,
               "transfer range exceeds buffer size");
 }
 
 Event CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
                                          std::size_t bytes, const void* src) {
+  if (bytes == 0) return Event{CommandType::WriteBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
   core::check(src != nullptr, core::Status::InvalidValue, "null source");
   Event ev{CommandType::WriteBuffer, 0.0, {}};
@@ -25,6 +69,7 @@ Event CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
 
 Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
                                         std::size_t bytes, void* dst) {
+  if (bytes == 0) return Event{CommandType::ReadBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
   core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
   Event ev{CommandType::ReadBuffer, 0.0, {}};
@@ -40,6 +85,7 @@ Event CommandQueue::enqueue_copy_buffer(const Buffer& src, Buffer& dst,
                                         std::size_t src_offset,
                                         std::size_t dst_offset,
                                         std::size_t bytes) {
+  if (bytes == 0) return Event{CommandType::CopyBuffer, 0.0, {}};
   check_range(src, src_offset, bytes);
   check_range(dst, dst_offset, bytes);
   const auto* s = static_cast<const std::byte*>(src.device_ptr()) + src_offset;
@@ -56,11 +102,14 @@ Event CommandQueue::enqueue_copy_buffer(const Buffer& src, Buffer& dst,
 Event CommandQueue::enqueue_fill_buffer(Buffer& buffer, const void* pattern,
                                         std::size_t pattern_bytes,
                                         std::size_t offset, std::size_t bytes) {
-  check_range(buffer, offset, bytes);
   core::check(pattern != nullptr && pattern_bytes > 0,
               core::Status::InvalidValue, "null/empty fill pattern");
   core::check(bytes % pattern_bytes == 0, core::Status::InvalidValue,
               "fill size must be a multiple of the pattern size");
+  core::check(offset % pattern_bytes == 0, core::Status::InvalidValue,
+              "fill offset must be a multiple of the pattern size");
+  if (bytes == 0) return Event{CommandType::FillBuffer, 0.0, {}};
+  check_range(buffer, offset, bytes);
   Event ev{CommandType::FillBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   auto* d = static_cast<std::byte*>(buffer.device_ptr()) + offset;
@@ -80,21 +129,34 @@ struct ResolvedRect {
 ResolvedRect resolve(const BufferRect& r) {
   const std::size_t row = r.row_pitch != 0 ? r.row_pitch : r.region[0];
   const std::size_t slice =
-      r.slice_pitch != 0 ? r.slice_pitch : row * r.region[1];
-  core::check(row >= r.region[0] && slice >= row * r.region[1],
+      r.slice_pitch != 0 ? r.slice_pitch : checked_mul(row, r.region[1]);
+  core::check(row >= r.region[0] && slice >= checked_mul(row, r.region[1]),
               core::Status::InvalidValue, "rect pitches smaller than region");
   return {row, slice};
 }
 
-/// Byte offset of (row y, slice z) start within a rect's memory.
+/// Byte offset of (row y, slice z) start within a rect's memory. Interior
+/// offsets are bounded by rect_end, which is computed with overflow checks,
+/// so plain arithmetic is safe here.
 std::size_t rect_offset(const BufferRect& r, const ResolvedRect& rr,
                         std::size_t y, std::size_t z) {
   return r.origin[0] + (r.origin[1] + y) * rr.row_pitch +
          (r.origin[2] + z) * rr.slice_pitch;
 }
 
+/// One-past-the-end byte offset of the rect, with every addition and
+/// multiplication overflow-checked (huge origins/pitches must be rejected,
+/// not wrapped into a passing bound check).
 std::size_t rect_end(const BufferRect& r, const ResolvedRect& rr) {
-  return rect_offset(r, rr, r.region[1] - 1, r.region[2] - 1) + r.region[0];
+  core::check(r.region[0] > 0 && r.region[1] > 0 && r.region[2] > 0,
+              core::Status::InvalidValue, "empty rect region");
+  const std::size_t last_row =
+      checked_mul(checked_add(r.origin[1], r.region[1] - 1), rr.row_pitch);
+  const std::size_t last_slice =
+      checked_mul(checked_add(r.origin[2], r.region[2] - 1), rr.slice_pitch);
+  return checked_add(
+      checked_add(checked_add(r.origin[0], last_row), last_slice),
+      r.region[0]);
 }
 
 void copy_rect(const BufferRect& dst_r, std::byte* dst,
@@ -122,6 +184,7 @@ Event CommandQueue::enqueue_write_buffer_rect(Buffer& buffer,
   core::check(src != nullptr, core::Status::InvalidValue, "null source");
   core::check(rect_end(buffer_rect, resolve(buffer_rect)) <= buffer.size(),
               core::Status::InvalidValue, "rect exceeds buffer size");
+  (void)rect_end(host_rect, resolve(host_rect));  // overflow audit only
   Event ev{CommandType::WriteBufferRect, 0.0, {}};
   const core::TimePoint t0 = core::now();
   copy_rect(buffer_rect, static_cast<std::byte*>(buffer.device_ptr()),
@@ -137,6 +200,7 @@ Event CommandQueue::enqueue_read_buffer_rect(const Buffer& buffer,
   core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
   core::check(rect_end(buffer_rect, resolve(buffer_rect)) <= buffer.size(),
               core::Status::InvalidValue, "rect exceeds buffer size");
+  (void)rect_end(host_rect, resolve(host_rect));  // overflow audit only
   Event ev{CommandType::ReadBufferRect, 0.0, {}};
   const core::TimePoint t0 = core::now();
   copy_rect(host_rect, static_cast<std::byte*>(dst), buffer_rect,
@@ -197,17 +261,17 @@ Event CommandQueue::enqueue_ndrange_pinned(const Kernel& kernel,
 }
 
 
-// --- async machinery ------------------------------------------------------------
+// --- async event ----------------------------------------------------------------
 
 void AsyncEvent::wait() const {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return done_; });
+  cv_.wait(lock, [this] { return finished_locked(); });
   if (error_) std::rethrow_exception(error_);
 }
 
 bool AsyncEvent::complete() const {
   std::lock_guard lock(mutex_);
-  return done_;
+  return finished_locked();
 }
 
 Event AsyncEvent::result() const {
@@ -216,79 +280,208 @@ Event AsyncEvent::result() const {
   return event_;
 }
 
-void AsyncEvent::fulfill(Event event) noexcept {
-  {
-    std::lock_guard lock(mutex_);
-    event_ = event;
-    done_ = true;
-  }
-  cv_.notify_all();
+CommandState AsyncEvent::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
 }
 
-void AsyncEvent::fail(std::exception_ptr error) noexcept {
-  {
-    std::lock_guard lock(mutex_);
-    error_ = std::move(error);
-    done_ = true;
-  }
-  cv_.notify_all();
+core::Status AsyncEvent::status() const {
+  std::lock_guard lock(mutex_);
+  return status_;
 }
 
-CommandQueue::~CommandQueue() {
-  if (dispatcher_.joinable()) {
-    {
-      std::lock_guard lock(mutex_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    dispatcher_.join();
-  }
+ProfilingInfo AsyncEvent::profiling_ns() const {
+  std::lock_guard lock(mutex_);
+  core::check(finished_locked(), core::Status::InvalidOperation,
+              "profiling info unavailable before the command completes");
+  return prof_;
 }
 
-void CommandQueue::dispatcher_loop() {
-  for (;;) {
-    std::pair<std::function<Event()>, AsyncEventPtr> item;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
-      if (pending_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      item = std::move(pending_.front());
-      pending_.pop_front();
-    }
-    try {
-      item.second->fulfill(item.first());
-    } catch (...) {
-      item.second->fail(std::current_exception());
-    }
-    cv_.notify_all();  // wake finish() waiters
-  }
+bool AsyncEvent::add_continuation(std::function<void(core::Status)> fn) {
+  std::lock_guard lock(mutex_);
+  if (finished_locked()) return false;
+  continuations_.push_back(std::move(fn));
+  return true;
 }
 
-AsyncEventPtr CommandQueue::submit_async(std::function<Event()> command,
-                                         std::vector<AsyncEventPtr> wait_list) {
-  auto event = std::make_shared<AsyncEvent>();
-  // Cross-queue dependencies resolve before the command runs; same-queue
-  // ordering is inherent (single dispatcher, FIFO).
-  auto gated = [command = std::move(command),
-                waits = std::move(wait_list)]() -> Event {
-    for (const AsyncEventPtr& w : waits) {
-      if (w) w->wait();
-    }
-    return command();
+// --- event-graph executor -------------------------------------------------------
+
+threading::ThreadPool& CommandQueue::executor_pool() {
+  // Shared by every queue in the process. Sized above the core count so
+  // independent commands still overlap on small hosts; command bodies never
+  // block on other events (dependencies resolve via continuations), so any
+  // pool size is deadlock-free.
+  static threading::ThreadPool pool(std::max<std::size_t>(
+      4, static_cast<std::size_t>(threading::logical_cpu_count())));
+  return pool;
+}
+
+CommandQueue::~CommandQueue() { finish(); }
+
+void CommandQueue::finish() {
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+AsyncEventPtr CommandQueue::submit_async(CommandType type,
+                                         std::function<Event()> command,
+                                         std::vector<AsyncEventPtr> wait_list,
+                                         bool gather_outstanding,
+                                         bool install_barrier) {
+  auto ev = std::make_shared<AsyncEvent>();
+  ev->type_ = type;
+  ev->work_ = std::move(command);
+  ev->prof_.queued_ns = now_ns();
+
+  // Edges: explicit wait-list dependencies propagate failure; implicit
+  // ordering edges (in-order chain, barriers, marker gathering) only order.
+  struct Edge {
+    AsyncEventPtr dep;
+    bool propagate_failure;
   };
+  std::vector<Edge> edges;
+  edges.reserve(wait_list.size() + 1);
+  for (AsyncEventPtr& w : wait_list) {
+    if (w) edges.push_back({std::move(w), true});
+  }
   {
     std::lock_guard lock(mutex_);
-    if (!dispatcher_.joinable()) {
-      dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    ++outstanding_;
+    if (!out_of_order()) {
+      if (last_) edges.push_back({last_, false});
+      last_ = ev;
+    } else {
+      if (gather_outstanding) {
+        for (const std::weak_ptr<AsyncEvent>& weak : live_) {
+          if (AsyncEventPtr dep = weak.lock();
+              dep && dep.get() != ev.get() && !dep->complete()) {
+            edges.push_back({std::move(dep), false});
+          }
+        }
+      } else if (barrier_) {
+        edges.push_back({barrier_, false});
+      }
+      if (install_barrier) barrier_ = ev;
+      live_.push_back(ev);
+      if (live_.size() > 128) {
+        std::erase_if(live_, [](const std::weak_ptr<AsyncEvent>& weak) {
+          const AsyncEventPtr e = weak.lock();
+          return !e || e->complete();
+        });
+      }
     }
-    pending_.emplace_back(std::move(gated), event);
   }
-  cv_.notify_all();
-  return event;
+
+  // The +1 sentinel keeps the node from firing while edges are still being
+  // attached; released at the end.
+  {
+    std::lock_guard lock(ev->mutex_);
+    ev->blocking_deps_ = edges.size() + 1;
+  }
+  for (Edge& edge : edges) {
+    const bool propagate = edge.propagate_failure;
+    const bool registered = edge.dep->add_continuation(
+        [this, ev, propagate](core::Status dep_status) {
+          resolve_dep(ev, propagate ? dep_status : core::Status::Success);
+        });
+    if (!registered) {
+      resolve_dep(ev, propagate ? edge.dep->status() : core::Status::Success);
+    }
+  }
+  resolve_dep(ev, core::Status::Success);
+  return ev;
 }
+
+void CommandQueue::resolve_dep(const AsyncEventPtr& ev,
+                               core::Status dep_status) {
+  bool ready = false;
+  {
+    std::lock_guard lock(ev->mutex_);
+    if (dep_status != core::Status::Success &&
+        ev->dep_failure_ == core::Status::Success) {
+      ev->dep_failure_ = dep_status;
+    }
+    ready = (--ev->blocking_deps_ == 0);
+  }
+  if (ready) launch_ready(ev);
+}
+
+void CommandQueue::launch_ready(const AsyncEventPtr& ev) {
+  core::Status dep_failure = core::Status::Success;
+  {
+    std::lock_guard lock(ev->mutex_);
+    ev->state_ = CommandState::Submitted;
+    ev->prof_.submitted_ns = now_ns();
+    dep_failure = ev->dep_failure_;
+  }
+  if (dep_failure != core::Status::Success) {
+    // A wait-list dependency failed: propagate its Status without occupying
+    // a pool worker — dependents must not hang, they must fail.
+    finalize(ev, Event{ev->type_, 0.0, {}},
+             std::make_exception_ptr(core::Error(
+                 dep_failure, "failed dependency in wait list")),
+             dep_failure);
+    return;
+  }
+  executor_pool().submit([this, ev] { run_command(ev); });
+}
+
+void CommandQueue::run_command(const AsyncEventPtr& ev) {
+  std::function<Event()> work;
+  {
+    std::lock_guard lock(ev->mutex_);
+    ev->state_ = CommandState::Running;
+    ev->prof_.started_ns = now_ns();
+    work = std::move(ev->work_);
+  }
+  Event result{ev->type_, 0.0, {}};
+  std::exception_ptr error;
+  try {
+    result = work();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  finalize(ev, result, error, error ? status_of(error) : core::Status::Success);
+}
+
+void CommandQueue::finalize(const AsyncEventPtr& ev, Event result,
+                            std::exception_ptr error, core::Status status) {
+  std::vector<std::function<void(core::Status)>> continuations;
+  const core::Status final_status = error ? status : core::Status::Success;
+  {
+    std::lock_guard lock(ev->mutex_);
+    const std::uint64_t ns = now_ns();
+    // Dependency-failure propagation skips Running; keep the timestamps
+    // monotonic by stamping the skipped phases with the terminal time.
+    if (ev->prof_.started_ns == 0) ev->prof_.started_ns = ns;
+    ev->prof_.ended_ns = ns;
+    if (error) {
+      ev->state_ = CommandState::Error;
+      ev->error_ = std::move(error);
+      ev->status_ = status;
+    } else {
+      ev->state_ = CommandState::Complete;
+      ev->event_ = result;
+    }
+    ev->work_ = nullptr;
+    continuations = std::move(ev->continuations_);
+    ev->continuations_.clear();
+  }
+  ev->cv_.notify_all();
+  for (const auto& continuation : continuations) continuation(final_status);
+  command_retired();
+}
+
+void CommandQueue::command_retired() {
+  // Notify under the lock: finish() may return — and the caller destroy the
+  // queue — the instant outstanding_ hits zero, so the condition variable
+  // must not be touched after the mutex is released.
+  std::lock_guard lock(mutex_);
+  --outstanding_;
+  drained_cv_.notify_all();
+}
+
+// --- async entry points ---------------------------------------------------------
 
 AsyncEventPtr CommandQueue::enqueue_ndrange_async(
     const Kernel& kernel, const NDRange& global, const NDRange& local,
@@ -296,6 +489,7 @@ AsyncEventPtr CommandQueue::enqueue_ndrange_async(
   // Snapshot the argument bindings so later set_arg calls on the caller's
   // Kernel cannot race the in-flight command.
   return submit_async(
+      CommandType::NDRangeKernel,
       [this, def = &kernel.def(), args = kernel.args(), global, local] {
         Event ev{CommandType::NDRangeKernel, 0.0, {}};
         ev.launch = device_->launch(*def, args, global, local);
@@ -308,9 +502,27 @@ AsyncEventPtr CommandQueue::enqueue_ndrange_async(
 AsyncEventPtr CommandQueue::enqueue_write_buffer_async(
     Buffer& buffer, std::size_t offset, std::size_t bytes, const void* src,
     std::vector<AsyncEventPtr> wait_list) {
+  if (bytes == 0) {
+    return submit_async(
+        CommandType::WriteBuffer,
+        [] { return Event{CommandType::WriteBuffer, 0.0, {}}; },
+        std::move(wait_list));
+  }
+  // Validate and snapshot at enqueue time: invalid ranges fail fast at the
+  // call site, and the command never touches the (possibly shorter-lived)
+  // Buffer object itself — only its storage, which must outlive the event.
+  check_range(buffer, offset, bytes);
+  core::check(src != nullptr, core::Status::InvalidValue, "null source");
+  auto* dst = static_cast<std::byte*>(buffer.device_ptr()) + offset;
   return submit_async(
-      [this, &buffer, offset, bytes, src] {
-        return enqueue_write_buffer(buffer, offset, bytes, src);
+      CommandType::WriteBuffer,
+      [this, dst, bytes, src] {
+        Event ev{CommandType::WriteBuffer, 0.0, {}};
+        const core::TimePoint t0 = core::now();
+        std::memcpy(dst, src, bytes);
+        ev.seconds = core::elapsed_s(t0, core::now()) +
+                     device_->copy_overhead_seconds(bytes);
+        return ev;
       },
       std::move(wait_list));
 }
@@ -318,25 +530,105 @@ AsyncEventPtr CommandQueue::enqueue_write_buffer_async(
 AsyncEventPtr CommandQueue::enqueue_read_buffer_async(
     const Buffer& buffer, std::size_t offset, std::size_t bytes, void* dst,
     std::vector<AsyncEventPtr> wait_list) {
+  if (bytes == 0) {
+    return submit_async(
+        CommandType::ReadBuffer,
+        [] { return Event{CommandType::ReadBuffer, 0.0, {}}; },
+        std::move(wait_list));
+  }
+  check_range(buffer, offset, bytes);
+  core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
+  const auto* src = static_cast<const std::byte*>(buffer.device_ptr()) + offset;
   return submit_async(
-      [this, &buffer, offset, bytes, dst] {
-        return enqueue_read_buffer(buffer, offset, bytes, dst);
+      CommandType::ReadBuffer,
+      [this, src, bytes, dst] {
+        Event ev{CommandType::ReadBuffer, 0.0, {}};
+        const core::TimePoint t0 = core::now();
+        std::memcpy(dst, src, bytes);
+        ev.seconds = core::elapsed_s(t0, core::now()) +
+                     device_->copy_overhead_seconds(bytes);
+        return ev;
       },
       std::move(wait_list));
 }
 
-void CommandQueue::finish() {
-  std::unique_lock lock(mutex_);
-  if (!dispatcher_.joinable()) return;
-  // The dispatcher holds no lock while executing, so "pending empty" can be
-  // observed one command early; track in-flight via a drain marker instead:
-  // enqueue a no-op and wait for it.
-  auto marker = std::make_shared<AsyncEvent>();
-  pending_.emplace_back([] { return Event{CommandType::Marker, 0.0, {}}; },
-                        marker);
-  lock.unlock();
-  cv_.notify_all();
-  marker->wait();
+AsyncEventPtr CommandQueue::enqueue_copy_buffer_async(
+    const Buffer& src, Buffer& dst, std::size_t src_offset,
+    std::size_t dst_offset, std::size_t bytes,
+    std::vector<AsyncEventPtr> wait_list) {
+  if (bytes == 0) {
+    return submit_async(
+        CommandType::CopyBuffer,
+        [] { return Event{CommandType::CopyBuffer, 0.0, {}}; },
+        std::move(wait_list));
+  }
+  check_range(src, src_offset, bytes);
+  check_range(dst, dst_offset, bytes);
+  const auto* s = static_cast<const std::byte*>(src.device_ptr()) + src_offset;
+  auto* d = static_cast<std::byte*>(dst.device_ptr()) + dst_offset;
+  core::check(s + bytes <= d || d + bytes <= s, core::Status::InvalidValue,
+              "copy regions overlap");
+  return submit_async(
+      CommandType::CopyBuffer,
+      [s, d, bytes] {
+        Event ev{CommandType::CopyBuffer, 0.0, {}};
+        const core::TimePoint t0 = core::now();
+        std::memcpy(d, s, bytes);
+        ev.seconds = core::elapsed_s(t0, core::now());
+        return ev;
+      },
+      std::move(wait_list));
+}
+
+AsyncEventPtr CommandQueue::enqueue_fill_buffer_async(
+    Buffer& buffer, const void* pattern, std::size_t pattern_bytes,
+    std::size_t offset, std::size_t bytes,
+    std::vector<AsyncEventPtr> wait_list) {
+  core::check(pattern != nullptr && pattern_bytes > 0,
+              core::Status::InvalidValue, "null/empty fill pattern");
+  core::check(bytes % pattern_bytes == 0, core::Status::InvalidValue,
+              "fill size must be a multiple of the pattern size");
+  core::check(offset % pattern_bytes == 0, core::Status::InvalidValue,
+              "fill offset must be a multiple of the pattern size");
+  if (bytes == 0) {
+    return submit_async(
+        CommandType::FillBuffer,
+        [] { return Event{CommandType::FillBuffer, 0.0, {}}; },
+        std::move(wait_list));
+  }
+  check_range(buffer, offset, bytes);
+  auto* d = static_cast<std::byte*>(buffer.device_ptr()) + offset;
+  std::vector<std::byte> pattern_copy(
+      static_cast<const std::byte*>(pattern),
+      static_cast<const std::byte*>(pattern) + pattern_bytes);
+  return submit_async(
+      CommandType::FillBuffer,
+      [d, bytes, pattern_copy = std::move(pattern_copy)] {
+        Event ev{CommandType::FillBuffer, 0.0, {}};
+        const core::TimePoint t0 = core::now();
+        for (std::size_t i = 0; i < bytes; i += pattern_copy.size()) {
+          std::memcpy(d + i, pattern_copy.data(), pattern_copy.size());
+        }
+        ev.seconds = core::elapsed_s(t0, core::now());
+        return ev;
+      },
+      std::move(wait_list));
+}
+
+AsyncEventPtr CommandQueue::enqueue_marker_async(
+    std::vector<AsyncEventPtr> wait_list) {
+  const bool gather = wait_list.empty();
+  return submit_async(
+      CommandType::Marker, [] { return Event{CommandType::Marker, 0.0, {}}; },
+      std::move(wait_list), gather, /*install_barrier=*/false);
+}
+
+AsyncEventPtr CommandQueue::enqueue_barrier_async(
+    std::vector<AsyncEventPtr> wait_list) {
+  const bool gather = wait_list.empty();
+  return submit_async(
+      CommandType::Barrier, [] { return Event{CommandType::Barrier, 0.0, {}}; },
+      std::move(wait_list), gather, /*install_barrier=*/true);
 }
 
 }  // namespace mcl::ocl

@@ -1,10 +1,18 @@
 // Context, command queue and events.
 //
-// The queue is in-order and executes commands synchronously (the paper's
-// methodology uses blocking calls for every measurement, Sec. III-D);
-// non-blocking flags are accepted for API compatibility and behave as
-// blocking. Every command returns an Event carrying its profiled time,
-// which is how the benches obtain kernel vs. transfer time (Eq. 1).
+// Blocking commands execute synchronously (the paper's methodology uses
+// blocking calls for every measurement, Sec. III-D) and return an Event
+// carrying the profiled time, which is how the benches obtain kernel vs.
+// transfer time (Eq. 1).
+//
+// Asynchronous commands form an event graph: each *_async call creates a
+// node whose edges are its wait list plus, on in-order queues, an implicit
+// edge to the previously enqueued command. Nodes whose dependencies have all
+// resolved are submitted to a shared threading::ThreadPool, so independent
+// commands of an OutOfOrder queue (and commands of different queues) execute
+// concurrently — the pocl-style DAG scheduler, not a FIFO dispatcher. Every
+// AsyncEvent tracks OpenCL event state (Queued -> Submitted -> Running ->
+// Complete/Error) and the four clGetEventProfilingInfo timestamps.
 //
 // Transfer semantics on a CPU device — the crux of Fig 7/8:
 //  - enqueue_read/write_buffer physically copies between the caller's memory
@@ -13,20 +21,29 @@
 //  - enqueue_map_buffer returns the canonical pointer: no copy, constant
 //    cost ("only returning a pointer is needed" — Sec. III-D).
 // On the simulated GPU device, events additionally carry modeled PCIe time.
+//
+// Lifetime contract for asynchronous transfers: ranges are validated and the
+// buffer's storage pointer is snapshot at enqueue time (so invalid calls fail
+// fast, at the call site). The buffer's storage and the host pointer must
+// both stay valid until the returned event completes; destroying either
+// earlier is undefined (and is what the ASan tier exists to catch).
 #pragma once
 
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/time.hpp"
 #include "ocl/buffer.hpp"
 #include "ocl/device.hpp"
 #include "ocl/kernel.hpp"
+
+namespace mcl::threading {
+class ThreadPool;
+}  // namespace mcl::threading
 
 namespace mcl::ocl {
 
@@ -41,6 +58,26 @@ enum class CommandType {
   MapBuffer,
   UnmapBuffer,
   Marker,
+  Barrier,
+};
+
+/// OpenCL command execution status (CL_QUEUED/SUBMITTED/RUNNING/COMPLETE,
+/// plus a distinct Error terminal state).
+enum class CommandState {
+  Queued,     ///< enqueued; waiting on dependencies
+  Submitted,  ///< dependencies resolved; handed to the executor pool
+  Running,    ///< executing on a pool worker
+  Complete,   ///< finished successfully
+  Error,      ///< finished with an error (own or propagated from a dependency)
+};
+
+/// clGetEventProfilingInfo analogue: steady-clock timestamps in nanoseconds.
+/// Monotonic per command: queued <= submitted <= started <= ended.
+struct ProfilingInfo {
+  std::uint64_t queued_ns = 0;     ///< CL_PROFILING_COMMAND_QUEUED
+  std::uint64_t submitted_ns = 0;  ///< CL_PROFILING_COMMAND_SUBMIT
+  std::uint64_t started_ns = 0;    ///< CL_PROFILING_COMMAND_START
+  std::uint64_t ended_ns = 0;      ///< CL_PROFILING_COMMAND_END
 };
 
 /// 3D region descriptor for the rect transfer APIs (all units bytes for
@@ -61,32 +98,60 @@ struct Event {
 };
 
 /// Waitable handle for non-blocking commands (clEvent analogue). Produced by
-/// the *_async entry points; completion is signaled by the queue's
-/// dispatcher thread. Copies share state (shared_ptr semantics via
-/// AsyncEventPtr).
+/// the *_async entry points; doubles as the node of the queue's event graph.
+/// Copies share state (shared_ptr semantics via AsyncEventPtr).
+class AsyncEvent;
+using AsyncEventPtr = std::shared_ptr<AsyncEvent>;
+
 class AsyncEvent {
  public:
-  /// Blocks until the command completed; rethrows any kernel/API error.
+  /// Blocks until the command completed; rethrows any kernel/API error
+  /// (including a propagated dependency failure).
   void wait() const;
 
+  /// True once the command reached a terminal state (Complete or Error).
   [[nodiscard]] bool complete() const;
 
   /// wait() + the completed Event record.
   [[nodiscard]] Event result() const;
 
+  /// Current execution status (Queued -> Submitted -> Running -> terminal).
+  [[nodiscard]] CommandState state() const;
+
+  /// Status::Success until the command (or a dependency) failed.
+  [[nodiscard]] core::Status status() const;
+
+  [[nodiscard]] CommandType type() const noexcept { return type_; }
+
+  /// The four profiling timestamps. Only available once the command reached
+  /// a terminal state; throws Status::InvalidOperation before that
+  /// (CL_PROFILING_INFO_NOT_AVAILABLE analogue).
+  [[nodiscard]] ProfilingInfo profiling_ns() const;
+
  private:
   friend class CommandQueue;
-  void fulfill(Event event) noexcept;
-  void fail(std::exception_ptr error) noexcept;
+
+  [[nodiscard]] bool finished_locked() const noexcept {
+    return state_ == CommandState::Complete || state_ == CommandState::Error;
+  }
+  /// Registers fn to run (with this event's final status) on completion;
+  /// returns false — caller must resolve immediately — when already done.
+  bool add_continuation(std::function<void(core::Status)> fn);
 
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
-  bool done_ = false;
+  CommandType type_ = CommandType::Marker;
+  CommandState state_ = CommandState::Queued;
   Event event_;
   std::exception_ptr error_;
+  core::Status status_ = core::Status::Success;
+  ProfilingInfo prof_;
+  // Event-graph node state (owned by the queue machinery).
+  std::function<Event()> work_;
+  std::size_t blocking_deps_ = 0;
+  core::Status dep_failure_ = core::Status::Success;
+  std::vector<std::function<void(core::Status)>> continuations_;
 };
-
-using AsyncEventPtr = std::shared_ptr<AsyncEvent>;
 
 /// clContext analogue: a device binding plus buffer factory.
 class Context {
@@ -111,20 +176,29 @@ class Context {
 
 class CommandQueue {
  public:
-  explicit CommandQueue(Context& context)
-      : context_(&context), device_(&context.device()) {}
+  explicit CommandQueue(Context& context,
+                        QueueProperties properties = QueueProperties::Default)
+      : context_(&context),
+        device_(&context.device()),
+        properties_(properties) {}
   ~CommandQueue();
 
   CommandQueue(const CommandQueue&) = delete;
   CommandQueue& operator=(const CommandQueue&) = delete;
 
   [[nodiscard]] Device& device() const noexcept { return *device_; }
+  [[nodiscard]] QueueProperties properties() const noexcept {
+    return properties_;
+  }
+  [[nodiscard]] bool out_of_order() const noexcept {
+    return has_flag(properties_, QueueProperties::OutOfOrder);
+  }
 
-  /// clEnqueueWriteBuffer: host memory -> buffer.
+  /// clEnqueueWriteBuffer: host memory -> buffer. bytes == 0 is a no-op.
   Event enqueue_write_buffer(Buffer& buffer, std::size_t offset,
                              std::size_t bytes, const void* src);
 
-  /// clEnqueueReadBuffer: buffer -> host memory.
+  /// clEnqueueReadBuffer: buffer -> host memory. bytes == 0 is a no-op.
   Event enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
                             std::size_t bytes, void* dst);
 
@@ -135,7 +209,8 @@ class CommandQueue {
                             std::size_t bytes);
 
   /// clEnqueueFillBuffer: tile `pattern` (pattern_bytes long) across
-  /// [offset, offset+bytes). bytes must be a multiple of pattern_bytes.
+  /// [offset, offset+bytes). bytes and offset must both be multiples of
+  /// pattern_bytes (OpenCL 1.2 §5.2.2).
   Event enqueue_fill_buffer(Buffer& buffer, const void* pattern,
                             std::size_t pattern_bytes, std::size_t offset,
                             std::size_t bytes);
@@ -151,8 +226,8 @@ class CommandQueue {
                                  const BufferRect& buffer_rect,
                                  const BufferRect& host_rect, void* dst);
 
-  /// clEnqueueMarker: a timestamped no-op (the queue is synchronous, so the
-  /// marker completes immediately).
+  /// clEnqueueMarker: a timestamped no-op (blocking commands are synchronous,
+  /// so the marker completes immediately).
   Event enqueue_marker() { return Event{CommandType::Marker, 0.0, {}}; }
 
   /// clEnqueueMapBuffer: returns a host pointer into the buffer. The event
@@ -176,49 +251,90 @@ class CommandQueue {
                                const NDRange& local,
                                std::span<const int> group_to_cpu);
 
-  // --- non-blocking commands (in-order, executed by a per-queue dispatcher
-  // thread started on first use) ------------------------------------------
+  // --- non-blocking commands (event-graph executor over the shared thread
+  // pool; see the header comment for ordering and lifetime rules) -----------
 
   /// Non-blocking clEnqueueNDRangeKernel. The kernel's argument bindings are
   /// snapshot at enqueue time; the buffers they reference must stay alive
-  /// until the event completes. Commands of one queue execute in order;
-  /// `wait_list` adds cross-queue dependencies.
+  /// until the event completes. `wait_list` adds explicit dependencies (on
+  /// events of this or any other queue); a failed wait-list event propagates
+  /// its Status to this command instead of running it.
   [[nodiscard]] AsyncEventPtr enqueue_ndrange_async(
       const Kernel& kernel, const NDRange& global,
       const NDRange& local = NDRange{},
       std::vector<AsyncEventPtr> wait_list = {});
 
-  /// Non-blocking clEnqueueWriteBuffer (blocking_write = CL_FALSE). `src`
-  /// must stay valid until the event completes.
+  /// Non-blocking clEnqueueWriteBuffer (blocking_write = CL_FALSE). The
+  /// range is validated and the destination snapshot at enqueue time; `src`
+  /// and the buffer's storage must stay valid until the event completes.
   [[nodiscard]] AsyncEventPtr enqueue_write_buffer_async(
       Buffer& buffer, std::size_t offset, std::size_t bytes, const void* src,
       std::vector<AsyncEventPtr> wait_list = {});
 
-  /// Non-blocking clEnqueueReadBuffer.
+  /// Non-blocking clEnqueueReadBuffer. Same lifetime contract as the write.
   [[nodiscard]] AsyncEventPtr enqueue_read_buffer_async(
       const Buffer& buffer, std::size_t offset, std::size_t bytes, void* dst,
       std::vector<AsyncEventPtr> wait_list = {});
 
-  /// clFinish: drains every pending asynchronous command. (Blocking
-  /// commands complete before returning, so only async work can be pending.)
+  /// Non-blocking clEnqueueCopyBuffer.
+  [[nodiscard]] AsyncEventPtr enqueue_copy_buffer_async(
+      const Buffer& src, Buffer& dst, std::size_t src_offset,
+      std::size_t dst_offset, std::size_t bytes,
+      std::vector<AsyncEventPtr> wait_list = {});
+
+  /// Non-blocking clEnqueueFillBuffer (the pattern is copied at enqueue).
+  [[nodiscard]] AsyncEventPtr enqueue_fill_buffer_async(
+      Buffer& buffer, const void* pattern, std::size_t pattern_bytes,
+      std::size_t offset, std::size_t bytes,
+      std::vector<AsyncEventPtr> wait_list = {});
+
+  /// clEnqueueMarkerWithWaitList: completes when the wait list completes —
+  /// or, with an empty wait list, when every command enqueued so far has
+  /// (on an in-order queue that is simply the previous command).
+  [[nodiscard]] AsyncEventPtr enqueue_marker_async(
+      std::vector<AsyncEventPtr> wait_list = {});
+
+  /// clEnqueueBarrierWithWaitList: like the marker, but on an OutOfOrder
+  /// queue every subsequently enqueued command also waits for it — the
+  /// fence that restores ordering between independent command groups.
+  [[nodiscard]] AsyncEventPtr enqueue_barrier_async(
+      std::vector<AsyncEventPtr> wait_list = {});
+
+  /// clFinish: blocks until every asynchronous command enqueued on this
+  /// queue has reached a terminal state. (Blocking commands complete before
+  /// returning, so only async work can be pending.)
   void finish();
 
  private:
   void check_range(const Buffer& buffer, std::size_t offset,
                    std::size_t bytes) const;
-  AsyncEventPtr submit_async(std::function<Event()> command,
-                             std::vector<AsyncEventPtr> wait_list);
-  void dispatcher_loop();
+
+  /// The process-wide executor all queues submit ready commands to.
+  static threading::ThreadPool& executor_pool();
+
+  AsyncEventPtr submit_async(CommandType type, std::function<Event()> command,
+                             std::vector<AsyncEventPtr> wait_list,
+                             bool gather_outstanding = false,
+                             bool install_barrier = false);
+  void resolve_dep(const AsyncEventPtr& ev, core::Status dep_status);
+  void launch_ready(const AsyncEventPtr& ev);
+  void run_command(const AsyncEventPtr& ev);
+  void finalize(const AsyncEventPtr& ev, Event result,
+                std::exception_ptr error, core::Status status);
+  void command_retired();
 
   Context* context_;
   Device* device_;
+  QueueProperties properties_;
 
-  // Dispatcher state (lazy; untouched by purely blocking usage).
+  // Event-graph bookkeeping. outstanding_ counts enqueued-but-unfinished
+  // commands; finish() waits for it to reach zero.
   std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::pair<std::function<Event()>, AsyncEventPtr>> pending_;
-  std::thread dispatcher_;
-  bool stop_ = false;
+  std::condition_variable drained_cv_;
+  std::size_t outstanding_ = 0;
+  AsyncEventPtr last_;     ///< in-order implicit dependency chain tail
+  AsyncEventPtr barrier_;  ///< latest out-of-order barrier, if any
+  std::vector<std::weak_ptr<AsyncEvent>> live_;  ///< for marker/barrier edges
 };
 
 }  // namespace mcl::ocl

@@ -41,6 +41,26 @@ enum class MapFlags : std::uint32_t {
   ReadWrite = (1u << 0) | (1u << 1),
 };
 
+/// clCreateCommandQueue properties (subset). Default queues are in-order:
+/// every asynchronous command implicitly depends on the previously enqueued
+/// one. OutOfOrder queues only honor explicit wait lists, markers and
+/// barriers (CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE semantics).
+enum class QueueProperties : std::uint32_t {
+  Default = 0,
+  OutOfOrder = 1u << 0,
+};
+
+[[nodiscard]] constexpr QueueProperties operator|(QueueProperties a,
+                                                  QueueProperties b) noexcept {
+  return static_cast<QueueProperties>(static_cast<std::uint32_t>(a) |
+                                      static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr bool has_flag(QueueProperties props,
+                                      QueueProperties bit) noexcept {
+  return (static_cast<std::uint32_t>(props) &
+          static_cast<std::uint32_t>(bit)) != 0;
+}
+
 enum class DeviceType { Cpu, SimulatedGpu };
 
 /// How the CPU device runs the workitems of one workgroup.

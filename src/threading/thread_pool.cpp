@@ -162,7 +162,14 @@ RunStats ThreadPool::parallel_run(std::size_t count,
     }
   }
 
-  batch_.store(batch, std::memory_order_release);
+  // Publish under the lock: a worker evaluates the wait predicate while
+  // holding mutex_, so storing + notifying without it can land exactly
+  // between the predicate check and the sleep — the worker misses the batch
+  // and the caller silently does all the work alone (lost wakeup).
+  {
+    std::lock_guard lock(mutex_);
+    batch_.store(batch, std::memory_order_release);
+  }
   cv_.notify_all();
   drain_batch(*batch);  // the calling thread participates
 
@@ -170,7 +177,11 @@ RunStats ThreadPool::parallel_run(std::size_t count,
   while (batch->done.load(std::memory_order_acquire) < count) {
     if (++spins > 64) std::this_thread::yield();
   }
-  batch_.store(nullptr, std::memory_order_release);
+  // CAS rather than a plain store: only retire *our* batch, never a newer
+  // one another caller may have published since.
+  std::shared_ptr<Batch> expected = batch;
+  batch_.compare_exchange_strong(expected, nullptr,
+                                 std::memory_order_acq_rel);
 
   RunStats stats;
   std::size_t total = 0;

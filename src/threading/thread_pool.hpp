@@ -99,6 +99,8 @@ class ThreadPool {
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t in_flight_ = 0;
+  /// Active parallel_run batch. Written under mutex_ (publication must be
+  /// ordered against the workers' cv wait predicate) but read lock-free.
   std::atomic<std::shared_ptr<Batch>> batch_{nullptr};
   std::atomic<std::uint64_t> batch_gen_{0};
   bool stop_ = false;

@@ -124,6 +124,136 @@ TEST(CApi, ScalarAndLocalArgs) {
   mclReleaseContext(ctx);
 }
 
+TEST(CApi, AsyncEventsRoundTripWithWaitLists) {
+  mcl_device_id device;
+  ASSERT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 1, &device, nullptr),
+            MCL_SUCCESS);
+  mcl_int err;
+  mcl_context ctx = mclCreateContext(device, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_command_queue q = mclCreateCommandQueueWithProperties(
+      ctx, MCL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  // Unknown property bits are rejected.
+  EXPECT_EQ(mclCreateCommandQueueWithProperties(ctx, 1u << 30, &err), nullptr);
+  EXPECT_EQ(err, MCL_INVALID_VALUE);
+
+  const size_t n = 1024;
+  std::vector<float> in(n, 4.0f), out(n, 0.0f);
+  mcl_mem buf = mclCreateBuffer(ctx, MCL_MEM_READ_WRITE, n * 4, nullptr, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_kernel k = mclCreateKernel(ctx, "square", &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(k, 0, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(k, 1, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+
+  // On the out-of-order queue the explicit wait list is the only ordering:
+  // write -> kernel -> read.
+  mcl_event w_ev = nullptr, k_ev = nullptr, r_ev = nullptr;
+  ASSERT_EQ(mclEnqueueWriteBufferAsync(q, buf, 0, n * 4, in.data(), 0, nullptr,
+                                       &w_ev),
+            MCL_SUCCESS);
+  ASSERT_EQ(mclEnqueueNDRangeKernelAsync(q, k, 1, &n, nullptr, 1, &w_ev, &k_ev),
+            MCL_SUCCESS);
+  ASSERT_EQ(mclEnqueueReadBufferAsync(q, buf, 0, n * 4, out.data(), 1, &k_ev,
+                                      &r_ev),
+            MCL_SUCCESS);
+  ASSERT_EQ(mclWaitForEvents(1, &r_ev), MCL_SUCCESS);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 16.0f);
+
+  // Profiling: per-event monotonic, and wait-edges visible across events.
+  mcl_ulong queued = 0, submit = 0, start = 0, end = 0, prev_end = 0;
+  const mcl_event chain[] = {w_ev, k_ev, r_ev};
+  for (mcl_event ev : chain) {
+    size_t size_ret = 0;
+    ASSERT_EQ(mclGetEventProfilingInfo(ev, MCL_PROFILING_COMMAND_QUEUED,
+                                       sizeof(queued), &queued, &size_ret),
+              MCL_SUCCESS);
+    EXPECT_EQ(size_ret, sizeof(mcl_ulong));
+    ASSERT_EQ(mclGetEventProfilingInfo(ev, MCL_PROFILING_COMMAND_SUBMIT,
+                                       sizeof(submit), &submit, nullptr),
+              MCL_SUCCESS);
+    ASSERT_EQ(mclGetEventProfilingInfo(ev, MCL_PROFILING_COMMAND_START,
+                                       sizeof(start), &start, nullptr),
+              MCL_SUCCESS);
+    ASSERT_EQ(mclGetEventProfilingInfo(ev, MCL_PROFILING_COMMAND_END,
+                                       sizeof(end), &end, nullptr),
+              MCL_SUCCESS);
+    EXPECT_LE(queued, submit);
+    EXPECT_LE(submit, start);
+    EXPECT_LE(start, end);
+    EXPECT_GE(start, prev_end);  // the wait edge ordered this event
+    prev_end = end;
+  }
+  EXPECT_EQ(mclGetEventProfilingInfo(r_ev, 0xdead, sizeof(end), &end, nullptr),
+            MCL_INVALID_VALUE);
+  EXPECT_EQ(mclGetEventProfilingInfo(r_ev, MCL_PROFILING_COMMAND_END, 2, &end,
+                                     nullptr),
+            MCL_INVALID_VALUE);
+
+  // Marker with empty wait list completes once everything enqueued has.
+  mcl_event m_ev = nullptr;
+  ASSERT_EQ(mclEnqueueMarkerWithWaitList(q, 0, nullptr, &m_ev), MCL_SUCCESS);
+  ASSERT_EQ(mclWaitForEvents(1, &m_ev), MCL_SUCCESS);
+  // Barrier works with a NULL event-out (fire and forget).
+  ASSERT_EQ(mclEnqueueBarrierWithWaitList(q, 0, nullptr, nullptr), MCL_SUCCESS);
+  ASSERT_EQ(mclFinish(q), MCL_SUCCESS);
+
+  // Malformed wait lists are rejected up front.
+  EXPECT_EQ(mclEnqueueMarkerWithWaitList(q, 1, nullptr, nullptr),
+            MCL_INVALID_EVENT_WAIT_LIST);
+  mcl_event null_ev = nullptr;
+  EXPECT_EQ(mclEnqueueMarkerWithWaitList(q, 1, &null_ev, nullptr),
+            MCL_INVALID_EVENT_WAIT_LIST);
+  EXPECT_EQ(mclWaitForEvents(0, nullptr), MCL_INVALID_VALUE);
+
+  for (mcl_event ev : {w_ev, k_ev, r_ev, m_ev}) {
+    EXPECT_EQ(mclReleaseEvent(ev), MCL_SUCCESS);
+  }
+  EXPECT_EQ(mclReleaseEvent(nullptr), MCL_INVALID_EVENT);
+  mclReleaseKernel(k);
+  mclReleaseMemObject(buf);
+  mclReleaseCommandQueue(q);
+  mclReleaseContext(ctx);
+}
+
+TEST(CApi, AsyncErrorPropagationAcrossEvents) {
+  mcl_device_id device;
+  ASSERT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 1, &device, nullptr),
+            MCL_SUCCESS);
+  mcl_int err;
+  mcl_context ctx = mclCreateContext(device, &err);
+  mcl_command_queue q = mclCreateCommandQueueWithProperties(
+      ctx, MCL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_mem buf = mclCreateBuffer(ctx, MCL_MEM_READ_WRITE, 64 * 4, nullptr, &err);
+  mcl_kernel k = mclCreateKernel(ctx, "square", &err);
+  ASSERT_EQ(mclSetKernelArg(k, 0, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(k, 1, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+
+  size_t global = 10, local = 3;  // indivisible: fails at execution
+  mcl_event bad = nullptr, dep = nullptr;
+  ASSERT_EQ(mclEnqueueNDRangeKernelAsync(q, k, 1, &global, &local, 0, nullptr,
+                                         &bad),
+            MCL_SUCCESS);
+  float out[64];
+  ASSERT_EQ(mclEnqueueReadBufferAsync(q, buf, 0, sizeof(out), out, 1, &bad,
+                                      &dep),
+            MCL_SUCCESS);
+  EXPECT_EQ(mclWaitForEvents(1, &bad),
+            MCL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST);
+  EXPECT_EQ(mclWaitForEvents(1, &dep),
+            MCL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST);
+  ASSERT_EQ(mclFinish(q), MCL_SUCCESS);
+
+  mclReleaseEvent(bad);
+  mclReleaseEvent(dep);
+  mclReleaseKernel(k);
+  mclReleaseMemObject(buf);
+  mclReleaseCommandQueue(q);
+  mclReleaseContext(ctx);
+}
+
 TEST(CApi, NullHandleRejection) {
   EXPECT_EQ(mclReleaseContext(nullptr), MCL_INVALID_CONTEXT);
   EXPECT_EQ(mclReleaseMemObject(nullptr), MCL_INVALID_MEM_OBJECT);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -431,8 +433,62 @@ TEST(Queue, TransferRangeValidation) {
   char tmp[32];
   EXPECT_THROW((void)q.enqueue_write_buffer(b, 0, 32, tmp), core::Error);
   EXPECT_THROW((void)q.enqueue_write_buffer(b, 8, 9, tmp), core::Error);
-  EXPECT_THROW((void)q.enqueue_read_buffer(b, 0, 0, tmp), core::Error);
   EXPECT_THROW((void)q.enqueue_write_buffer(b, 0, 4, nullptr), core::Error);
+  // Zero-byte transfers are no-ops (clEnqueueWriteBuffer size==0 handling).
+  EXPECT_NO_THROW((void)q.enqueue_read_buffer(b, 0, 0, tmp));
+  EXPECT_NO_THROW((void)q.enqueue_write_buffer(b, 16, 0, tmp));
+}
+
+TEST(Queue, TransferRangeOverflowRejected) {
+  // offset + bytes used to be checked as a sum, which wraps for huge offsets
+  // and waved the range through; the rewritten check must reject it.
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  Buffer b(MemFlags::ReadWrite, 16);
+  char tmp[16];
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() - 4;
+  EXPECT_THROW((void)q.enqueue_write_buffer(b, huge, 8, tmp), core::Error);
+  EXPECT_THROW((void)q.enqueue_read_buffer(b, huge, 8, tmp), core::Error);
+  EXPECT_THROW((void)q.enqueue_read_buffer(
+                   b, 8, std::numeric_limits<std::size_t>::max() - 2, tmp),
+               core::Error);
+}
+
+TEST(Queue, RectPitchOverflowRejected) {
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  Buffer b(MemFlags::ReadWrite, 256);
+  char host[256] = {};
+  BufferRect rect;
+  rect.region[0] = 8;
+  rect.region[1] = 4;
+  rect.region[2] = 1;
+  rect.row_pitch = std::numeric_limits<std::size_t>::max() / 2;
+  BufferRect host_rect;
+  host_rect.region[0] = 8;
+  host_rect.region[1] = 4;
+  host_rect.region[2] = 1;
+  EXPECT_THROW((void)q.enqueue_write_buffer_rect(b, rect, host_rect, host),
+               core::Error);
+  BufferRect huge_origin = host_rect;
+  huge_origin.origin[1] = std::numeric_limits<std::size_t>::max() - 1;
+  EXPECT_THROW((void)q.enqueue_read_buffer_rect(b, host_rect, huge_origin, host),
+               core::Error);
+}
+
+TEST(Queue, FillOffsetMustAlignToPattern) {
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  Buffer b(MemFlags::ReadWrite, 64);
+  const std::uint32_t pattern = 0xa5a5a5a5u;
+  // OpenCL 1.2 §5.2.2: offset must be a multiple of the pattern size.
+  EXPECT_THROW((void)q.enqueue_fill_buffer(b, &pattern, 4, 2, 8), core::Error);
+  EXPECT_NO_THROW((void)q.enqueue_fill_buffer(b, &pattern, 4, 4, 8));
+  EXPECT_EQ(b.as<std::uint32_t>()[1], pattern);
+  EXPECT_EQ(b.as<std::uint32_t>()[2], pattern);
 }
 
 TEST(Queue, MapReturnsCanonicalPointerOnCpu) {

@@ -1,0 +1,439 @@
+// Event-graph executor tests: out-of-order independence, cross-queue wait
+// edges, error propagation, markers/barriers, profiling timestamps, and
+// multi-threaded enqueue/finish stress (run under ASan and TSan tiers).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ocl/queue.hpp"
+
+namespace mcl::ocl {
+namespace {
+
+// ----- test kernels ------------------------------------------------------------
+
+/// Host-controlled gate: spins (bounded) until the test releases it. Runs on
+/// a dedicated gate device so it never holds the main device's launch lock.
+std::atomic<int> g_gate{0};
+
+void gate_spin(const KernelArgs& a, const WorkItemCtx&) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (g_gate.load(std::memory_order_acquire) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  a.buffer<int>(0)[0] = g_gate.load(std::memory_order_acquire);
+}
+const KernelRegistrar reg_gate{{.name = "qa_gate_spin", .scalar = &gate_spin}};
+
+void double_fn(const KernelArgs& a, const WorkItemCtx& c) {
+  const std::size_t i = c.global_id(0);
+  a.buffer<float>(1)[i] = 2.0f * a.buffer<float>(0)[i];
+}
+const KernelRegistrar reg_double{{.name = "qa_double", .scalar = &double_fn}};
+
+/// Closes the gate on construction and guarantees it opens again even if a
+/// test bails early (queues drain in destructors and must not time out).
+struct GateGuard {
+  GateGuard() { g_gate.store(0, std::memory_order_release); }
+  ~GateGuard() { g_gate.store(1, std::memory_order_release); }
+  void release() { g_gate.store(1, std::memory_order_release); }
+};
+
+void expect_monotonic(const ProfilingInfo& p) {
+  EXPECT_GT(p.queued_ns, 0u);
+  EXPECT_LE(p.queued_ns, p.submitted_ns);
+  EXPECT_LE(p.submitted_ns, p.started_ns);
+  EXPECT_LE(p.started_ns, p.ended_ns);
+}
+
+/// A gate-blocked event from a throwaway queue on its own device. The
+/// returned event cannot complete until the gate is released.
+struct GateFixture {
+  CpuDevice dev{CpuDeviceConfig{.threads = 1}};
+  Context ctx{dev};
+  CommandQueue queue{ctx};
+  Buffer out{MemFlags::ReadWrite, sizeof(int)};
+  Kernel kernel{ctx.create_kernel(Program::builtin(), "qa_gate_spin")};
+
+  AsyncEventPtr launch() {
+    kernel.set_arg(0, out);
+    return queue.enqueue_ndrange_async(kernel, NDRange{1}, NDRange{1});
+  }
+};
+
+// ----- out-of-order independence ------------------------------------------------
+
+TEST(QueueAsync, OutOfOrderIndependentCommandsCompleteEitherOrder) {
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr gate_ev = gate.launch();
+
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  const std::size_t n = 1024;
+  Buffer ba(MemFlags::ReadWrite, n * 4);
+  Buffer bb(MemFlags::ReadWrite, n * 4);
+  std::vector<float> ha(n, 1.0f), hb(n, 2.0f);
+
+  // First-enqueued command is held back by the gate; the second has no
+  // dependencies. On an in-order queue b could never finish first.
+  const AsyncEventPtr a =
+      q.enqueue_write_buffer_async(ba, 0, n * 4, ha.data(), {gate_ev});
+  const AsyncEventPtr b = q.enqueue_write_buffer_async(bb, 0, n * 4, hb.data());
+  b->wait();
+  EXPECT_FALSE(a->complete());
+  EXPECT_EQ(a->state(), CommandState::Queued);
+
+  guard.release();
+  a->wait();
+  EXPECT_EQ(a->state(), CommandState::Complete);
+  EXPECT_EQ(ba.as<float>()[0], 1.0f);
+  EXPECT_EQ(bb.as<float>()[0], 2.0f);
+  // The later-enqueued command finished strictly before the earlier one ran.
+  EXPECT_LE(b->profiling_ns().ended_ns, a->profiling_ns().started_ns);
+  q.finish();
+}
+
+TEST(QueueAsync, OutOfOrderKernelsCompleteInReverseEnqueueOrder) {
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr gate_ev = gate.launch();
+
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  const std::size_t n = 256;
+  Buffer in(MemFlags::ReadWrite, n * 4);
+  Buffer out1(MemFlags::ReadWrite, n * 4);
+  Buffer out2(MemFlags::ReadWrite, n * 4);
+  for (std::size_t i = 0; i < n; ++i) in.as<float>()[i] = 3.0f;
+
+  Kernel k1 = ctx.create_kernel(Program::builtin(), "qa_double");
+  k1.set_arg(0, in);
+  k1.set_arg(1, out1);
+  Kernel k2 = ctx.create_kernel(Program::builtin(), "qa_double");
+  k2.set_arg(0, in);
+  k2.set_arg(1, out2);
+
+  const AsyncEventPtr first =
+      q.enqueue_ndrange_async(k1, NDRange{n}, NDRange{64}, {gate_ev});
+  const AsyncEventPtr second = q.enqueue_ndrange_async(k2, NDRange{n}, NDRange{64});
+  second->wait();
+  EXPECT_FALSE(first->complete());
+  guard.release();
+  first->wait();
+  EXPECT_EQ(out1.as<float>()[n - 1], 6.0f);
+  EXPECT_EQ(out2.as<float>()[n - 1], 6.0f);
+  EXPECT_LE(second->profiling_ns().ended_ns, first->profiling_ns().started_ns);
+}
+
+TEST(QueueAsync, InOrderQueueStillChainsImplicitly) {
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr gate_ev = gate.launch();
+
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx);  // default: in-order
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<char> h1(64, 1), h2(64, 2);
+
+  const AsyncEventPtr a =
+      q.enqueue_write_buffer_async(b, 0, 64, h1.data(), {gate_ev});
+  const AsyncEventPtr c = q.enqueue_write_buffer_async(b, 0, 64, h2.data());
+  // The implicit in-order edge holds c back while a waits on the gate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(c->complete());
+  guard.release();
+  c->wait();
+  EXPECT_GE(c->profiling_ns().started_ns, a->profiling_ns().ended_ns);
+  EXPECT_EQ(b.as<char>()[0], 2);
+}
+
+// ----- wait lists across queues -------------------------------------------------
+
+TEST(QueueAsync, CrossQueueWaitEdgesHonored) {
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue producer(ctx, QueueProperties::OutOfOrder);
+  CommandQueue consumer(ctx, QueueProperties::OutOfOrder);
+  const std::size_t n = 4096;
+  Buffer b(MemFlags::ReadWrite, n * 4);
+  std::vector<float> src(n, 7.0f), dst(n, 0.0f);
+
+  const AsyncEventPtr w = producer.enqueue_write_buffer_async(b, 0, n * 4, src.data());
+  const AsyncEventPtr r =
+      consumer.enqueue_read_buffer_async(b, 0, n * 4, dst.data(), {w});
+  r->wait();
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(dst[i], 7.0f);
+  // The edge is visible in the timestamps: the consumer started only after
+  // the producer ended.
+  EXPECT_GE(r->profiling_ns().started_ns, w->profiling_ns().ended_ns);
+}
+
+// ----- error propagation --------------------------------------------------------
+
+TEST(QueueAsync, ErrorPropagatesThroughExplicitDependents) {
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  const std::size_t n = 10;
+  Buffer b(MemFlags::ReadWrite, n * 4);
+  std::vector<float> host(n, 0.0f);
+  Kernel k = ctx.create_kernel(Program::builtin(), "qa_double");
+  k.set_arg(0, b);
+  k.set_arg(1, b);
+
+  // Indivisible local size: the command itself fails at execution.
+  const AsyncEventPtr bad = q.enqueue_ndrange_async(k, NDRange{n}, NDRange{3});
+  const AsyncEventPtr dep =
+      q.enqueue_read_buffer_async(b, 0, n * 4, host.data(), {bad});
+  const AsyncEventPtr grand = q.enqueue_marker_async({dep});
+
+  // Dependents must fail, not hang.
+  EXPECT_THROW(bad->wait(), core::Error);
+  EXPECT_THROW(dep->wait(), core::Error);
+  EXPECT_THROW(grand->wait(), core::Error);
+  EXPECT_NE(bad->status(), core::Status::Success);
+  EXPECT_EQ(dep->status(), bad->status());
+  EXPECT_EQ(grand->status(), bad->status());
+  EXPECT_EQ(dep->state(), CommandState::Error);
+  // Failed commands still report monotonic profiling timestamps.
+  expect_monotonic(dep->profiling_ns());
+
+  // The queue survives: later independent commands run normally.
+  const AsyncEventPtr ok = q.enqueue_write_buffer_async(b, 0, n * 4, host.data());
+  EXPECT_NO_THROW(ok->wait());
+  q.finish();
+}
+
+// ----- markers and barriers -----------------------------------------------------
+
+TEST(QueueAsync, MarkerWaitsForAllOutstandingCommands) {
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr gate_ev = gate.launch();
+
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<char> h(64, 1);
+
+  const AsyncEventPtr blocked =
+      q.enqueue_write_buffer_async(b, 0, 64, h.data(), {gate_ev});
+  const AsyncEventPtr free_cmd = q.enqueue_write_buffer_async(b, 0, 64, h.data());
+  const AsyncEventPtr marker = q.enqueue_marker_async();
+  free_cmd->wait();
+  EXPECT_FALSE(marker->complete());  // still gated via `blocked`
+  guard.release();
+  marker->wait();
+  EXPECT_GE(marker->profiling_ns().ended_ns,
+            blocked->profiling_ns().ended_ns);
+  EXPECT_EQ(marker->type(), CommandType::Marker);
+}
+
+TEST(QueueAsync, BarrierFencesSubsequentCommands) {
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr gate_ev = gate.launch();
+
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<char> h1(64, 1), h2(64, 2);
+
+  const AsyncEventPtr blocked =
+      q.enqueue_write_buffer_async(b, 0, 64, h1.data(), {gate_ev});
+  const AsyncEventPtr barrier = q.enqueue_barrier_async();
+  // After the barrier: would be independent on an OutOfOrder queue, but the
+  // barrier must order it behind `blocked`.
+  const AsyncEventPtr after = q.enqueue_write_buffer_async(b, 0, 64, h2.data());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(barrier->complete());
+  EXPECT_FALSE(after->complete());
+  guard.release();
+  after->wait();
+  EXPECT_GE(barrier->profiling_ns().ended_ns, blocked->profiling_ns().ended_ns);
+  EXPECT_GE(after->profiling_ns().started_ns, barrier->profiling_ns().ended_ns);
+  EXPECT_EQ(b.as<char>()[0], 2);
+  EXPECT_EQ(barrier->type(), CommandType::Barrier);
+}
+
+// ----- profiling ----------------------------------------------------------------
+
+TEST(QueueAsync, ProfilingMonotonicForEveryCommandType) {
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  const std::size_t n = 512;
+  Buffer b1(MemFlags::ReadWrite, n * 4);
+  Buffer b2(MemFlags::ReadWrite, n * 4);
+  std::vector<float> host(n, 1.5f);
+  Kernel k = ctx.create_kernel(Program::builtin(), "qa_double");
+  k.set_arg(0, b1);
+  k.set_arg(1, b2);
+  const std::uint32_t pattern = 0x2020;
+
+  std::vector<AsyncEventPtr> events;
+  events.push_back(q.enqueue_write_buffer_async(b1, 0, n * 4, host.data()));
+  events.push_back(q.enqueue_ndrange_async(k, NDRange{n}, NDRange{64}));
+  events.push_back(q.enqueue_copy_buffer_async(b2, b1, 0, 0, n * 4));
+  events.push_back(q.enqueue_fill_buffer_async(b2, &pattern, 4, 0, n * 4));
+  events.push_back(q.enqueue_read_buffer_async(b1, 0, n * 4, host.data()));
+  events.push_back(q.enqueue_marker_async());
+  events.push_back(q.enqueue_barrier_async());
+  q.finish();
+
+  const CommandType expected[] = {
+      CommandType::WriteBuffer, CommandType::NDRangeKernel,
+      CommandType::CopyBuffer,  CommandType::FillBuffer,
+      CommandType::ReadBuffer,  CommandType::Marker,
+      CommandType::Barrier,
+  };
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(events[i]->complete());
+    EXPECT_EQ(events[i]->type(), expected[i]);
+    const ProfilingInfo p = events[i]->profiling_ns();
+    expect_monotonic(p);
+    // In-order queue: command i started only after command i-1 ended.
+    EXPECT_GE(p.started_ns, prev_end);
+    prev_end = p.ended_ns;
+  }
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(host[i], 3.0f);
+}
+
+TEST(QueueAsync, ProfilingUnavailableBeforeCompletion) {
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr gate_ev = gate.launch();
+  EXPECT_THROW((void)gate_ev->profiling_ns(), core::Error);
+  guard.release();
+  gate_ev->wait();
+  EXPECT_NO_THROW((void)gate_ev->profiling_ns());
+}
+
+// ----- enqueue-time validation --------------------------------------------------
+
+TEST(QueueAsync, EnqueueValidationFailsFast) {
+  CpuDevice dev;
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  Buffer b(MemFlags::ReadWrite, 64);
+  char tmp[64];
+  // Invalid ranges throw at the enqueue call site, not at wait().
+  EXPECT_THROW((void)q.enqueue_write_buffer_async(b, 0, 128, tmp), core::Error);
+  EXPECT_THROW((void)q.enqueue_read_buffer_async(
+                   b, std::size_t{0} - 8, 16, tmp),
+               core::Error);
+  const std::uint32_t pattern = 0xff;
+  EXPECT_THROW((void)q.enqueue_fill_buffer_async(b, &pattern, 4, 2, 8),
+               core::Error);
+  // Zero-byte transfers are valid no-op commands that still produce events.
+  const AsyncEventPtr z = q.enqueue_write_buffer_async(b, 0, 0, tmp);
+  z->wait();
+  EXPECT_EQ(z->state(), CommandState::Complete);
+  expect_monotonic(z->profiling_ns());
+  q.finish();
+}
+
+// ----- concurrency stress -------------------------------------------------------
+
+TEST(QueueAsync, FinishDrainsUnderConcurrentEnqueue) {
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<Buffer> buffers;
+  buffers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    buffers.emplace_back(MemFlags::ReadWrite, 256);
+  }
+  std::vector<std::vector<AsyncEventPtr>> events(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<char> h(256, static_cast<char>(t + 1));
+      for (int i = 0; i < kPerThread; ++i) {
+        // On an out-of-order queue overlapping writes need explicit edges;
+        // chain this thread's writes so they never run concurrently.
+        std::vector<AsyncEventPtr> deps;
+        if (!events[t].empty()) deps.push_back(events[t].back());
+        events[t].push_back(q.enqueue_write_buffer_async(
+            buffers[t], 0, 256, h.data(), std::move(deps)));
+      }
+      // Host pointer h dies at thread exit: drain before leaving.
+      for (const auto& ev : events[t]) ev->wait();
+    });
+  }
+  // finish() racing the enqueuing threads must neither crash nor miss work.
+  for (int i = 0; i < 20; ++i) q.finish();
+  for (auto& th : threads) th.join();
+  q.finish();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(static_cast<int>(events[t].size()), kPerThread);
+    for (const auto& ev : events[t]) EXPECT_TRUE(ev->complete());
+    EXPECT_EQ(buffers[t].as<char>()[0], static_cast<char>(t + 1));
+  }
+}
+
+TEST(QueueAsync, StressChainedCommandsFourThreads) {
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 40;
+  constexpr std::size_t kBytes = 1024;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Buffer b1(MemFlags::ReadWrite, kBytes);
+      Buffer b2(MemFlags::ReadWrite, kBytes);
+      std::vector<char> src(kBytes), dst(kBytes);
+      for (int i = 0; i < kIters; ++i) {
+        const char tag = static_cast<char>((t * kIters + i) % 127 + 1);
+        std::fill(src.begin(), src.end(), tag);
+        const AsyncEventPtr w =
+            q.enqueue_write_buffer_async(b1, 0, kBytes, src.data());
+        const AsyncEventPtr c =
+            q.enqueue_copy_buffer_async(b1, b2, 0, 0, kBytes, {w});
+        const AsyncEventPtr r =
+            q.enqueue_read_buffer_async(b2, 0, kBytes, dst.data(), {c});
+        r->wait();
+        for (std::size_t j = 0; j < kBytes; ++j) {
+          if (dst[j] != tag) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        const ProfilingInfo pw = w->profiling_ns();
+        const ProfilingInfo pc = c->profiling_ns();
+        const ProfilingInfo pr = r->profiling_ns();
+        if (!(pw.ended_ns <= pc.started_ns && pc.ended_ns <= pr.started_ns)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  q.finish();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace mcl::ocl

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "threading/affinity.hpp"
@@ -121,6 +123,34 @@ TEST(ThreadPool, RepeatedBatchesAllComplete) {
     pool.parallel_run(100, [&](std::size_t i) { sum.fetch_add(i); });
     EXPECT_EQ(sum.load(), 4950u) << "round " << round;
   }
+}
+
+TEST(ThreadPool, SmallBatchesWakeSleepingWorkers) {
+  // Regression for the lost-wakeup race: the batch used to be published and
+  // notified without holding the pool mutex, so a worker could evaluate the
+  // wait predicate, miss the notify, and sleep through the whole batch — the
+  // caller then silently executed every index alone (participants == 1).
+  // Each index waits (bounded) for a second participant, so a woken worker
+  // always gets a chance to claim work before the batch drains.
+  ThreadPool pool(2);
+  int multi = 0;
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> started{0};
+    const RunStats stats = pool.parallel_run(8, [&](std::size_t) {
+      started.fetch_add(1, std::memory_order_relaxed);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+      while (started.load(std::memory_order_relaxed) < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    });
+    if (stats.participants >= 2) ++multi;
+  }
+  // Allow a little scheduler noise, but sleeping through batches must not
+  // be a steady-state behavior.
+  EXPECT_GE(multi, kRounds * 9 / 10);
 }
 
 TEST(ThreadPool, SingleThreadPoolStillWorks) {

@@ -2,7 +2,11 @@
 # Tier-1 gate: the checks every change must pass before merging.
 #
 #   1. plain Release build + full ctest suite;
-#   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite.
+#   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
+#   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue`
+#      labels — the thread-pool wakeup and event-graph executor tests. Only
+#      those labels: TSan cannot track ucontext fiber stacks, so the fiber
+#      suites are excluded via the label selection.
 #
 # Usage: tools/tier1.sh [jobs]    (jobs defaults to nproc)
 set -euo pipefail
@@ -18,5 +22,10 @@ echo "== tier1: ASan+UBSan build =="
 cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure
+
+echo "== tier1: TSan build (threading + queue labels) =="
+cmake -B build-tsan -S . -DMCL_SANITIZE=thread
+cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test
+ctest --test-dir build-tsan --output-on-failure -L "threading|queue"
 
 echo "== tier1: all checks passed =="
