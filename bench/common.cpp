@@ -1,8 +1,31 @@
 #include "common.hpp"
 
+#include <fstream>
 #include <iostream>
 
+#include "san/lint.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
 namespace mcl::bench {
+
+Env::~Env() {
+  if (trace_path_.empty()) return;
+  trace::stop();
+  const std::uint64_t dropped = trace::dropped_events();
+  const std::vector<trace::TaggedEvent> events = trace::collect();
+  if (!trace::write_chrome_trace(trace_path_, events, dropped)) {
+    std::cerr << "mcltrace: failed to write " << trace_path_ << "\n";
+    return;
+  }
+  std::cout << "\nmcltrace: wrote " << trace_path_ << " (" << events.size()
+            << " events, " << dropped << " dropped; open in Perfetto or "
+            << "chrome://tracing)\n";
+  std::cout << trace::metrics_text(trace::metrics(events));
+  // Dropped events mean the timeline above is truncated — surface that
+  // through the sanitizer's lint channel rather than silently.
+  if (dropped > 0) std::cout << san::lint_trace(dropped).to_string();
+}
 
 bool Env::init(int argc, const char* const* argv, const std::string& description) {
   cli_.add_flag("full", "use the paper's exact workload sizes (slow)");
@@ -22,7 +45,14 @@ bool Env::init(int argc, const char* const* argv, const std::string& description
   ocl::CpuDeviceConfig cpu;
   cpu.threads = static_cast<std::size_t>(cli_.get_int("threads", 0));
   platform_ = std::make_unique<ocl::Platform>(cpu);
+
+  trace_path_ = cli_.get("trace");
+  if (!trace_path_.empty()) trace::start();
   return true;
+}
+
+void Env::restart_trace() {
+  if (!trace_path_.empty()) trace::start();
 }
 
 double time_launch(ocl::CommandQueue& queue, const ocl::Kernel& kernel,

@@ -20,7 +20,15 @@ namespace mcl::bench {
 
 class Env {
  public:
-  /// Parses flags; returns false when --help was requested.
+  Env() = default;
+  /// When --trace was given: stops the trace session, writes the Chrome
+  /// JSON, and prints the aggregate metrics + drop report.
+  ~Env();
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// Parses flags; returns false when --help was requested. Starts an
+  /// mcltrace session when --trace=<path> is present.
   [[nodiscard]] bool init(int argc, const char* const* argv,
                           const std::string& description);
 
@@ -34,6 +42,13 @@ class Env {
   /// --full selects the paper's exact workload sizes; the default is scaled
   /// down to keep a laptop run in seconds.
   [[nodiscard]] bool full() const { return full_; }
+
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+  [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
+  /// Restarts the trace session, discarding everything recorded so far.
+  /// Benches with a --trace addendum call this so the exported timeline
+  /// holds only the labeled replay, not the measurement-loop flood.
+  void restart_trace();
 
   /// Picks a size: quick -> small, default -> medium, --full -> paper size.
   template <typename T>
@@ -51,6 +66,7 @@ class Env {
   std::uint64_t seed_ = 1337;
   bool quick_ = false;
   bool full_ = false;
+  std::string trace_path_;
 };
 
 /// Times kernel launches using event-reported seconds (wall time on the CPU

@@ -8,6 +8,8 @@
 #include <optional>
 
 #include "apps_setup.hpp"
+#include "ompx/ompx.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -54,6 +56,34 @@ std::vector<ocl::NDRange> locals_1d(std::initializer_list<std::size_t> sizes) {
   std::vector<ocl::NDRange> v{ocl::NDRange{}};  // base = NULL
   for (std::size_t s : sizes) v.push_back(ocl::NDRange{s});
   return v;
+}
+
+// --trace addendum (mirrors the fig07/fig08 profiling addenda): replay each
+// workgroup-size case of one CaseSet exactly once under a fresh trace
+// session, so the exported timeline shows the Fig 3 cliff as per-workgroup
+// spans — many tiny groups vs few large ones — instead of the measurement
+// loop's flood. An equivalent ompx parallel_for runs last so the
+// OpenCL-vs-OpenMP execution styles are comparable on one timeline (the
+// paper's Figs 10-11 framing).
+void trace_addendum(bench::Env& env, CaseSet& cs) {
+  env.restart_trace();
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue q(ctx);
+  const core::MeasureOptions once{
+      .min_time = 0.0, .warmup_iters = 0, .min_iters = 1, .max_iters = 1};
+  for (std::size_t i = 0; i < cs.cases.size(); ++i) {
+    MCL_TRACE_INSTANT(trace::intern("fig03.case:" + cs.labels[i]));
+    (void)cs.driver->time(q, cs.cases[i], once);
+  }
+
+  MCL_TRACE_INSTANT("fig03.ompx");
+  const std::size_t total = cs.driver->global().total();
+  std::vector<float> out(total);
+  ompx::Team team;
+  team.parallel_for(0, total, [&out](std::size_t i) {
+    const float x = static_cast<float>(i);
+    out[i] = x * x;
+  });
 }
 
 }  // namespace
@@ -106,5 +136,8 @@ int main(int argc, char** argv) {
                  "norm GPU (sim)"});
   for (CaseSet& cs : sets) run_caseset(env, cs, t);
   t.emit(env.csv(), env.json(), env.md());
+
+  // sets[2] is the tiled matmul — the case with the sharpest Fig 3 cliff.
+  if (env.tracing()) trace_addendum(env, sets[2]);
   return 0;
 }

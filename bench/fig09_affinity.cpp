@@ -8,10 +8,11 @@
 // cache-hierarchy simulator with Xeon-E5645-like geometry (deterministic),
 // and additionally on real threads via the ompx runtime for reference.
 #include "cachesim/hierarchy.hpp"
-#include "common.hpp"
+#include "apps_setup.hpp"
 #include "apps/hostdata.hpp"
 #include "ompx/ompx.hpp"
 #include "threading/affinity.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -94,6 +95,53 @@ std::pair<double, double> run_real(std::size_t n, int cores,
   return {t_aligned, t_misaligned};
 }
 
+// --trace addendum: one aligned and one misaligned replay of the dependent
+// kernel pair under a fresh trace session, in both execution styles —
+// real-thread phases via ompx (region + per-tid work spans) and the MiniCL
+// pinned-launch extension (per-workgroup spans tagged with the CPU each
+// group ran on), so the shifted mapping is visible directly on the timeline.
+void trace_addendum(bench::Env& env, std::size_t n, int cores) {
+  env.restart_trace();
+
+  {
+    apps::FloatVec a = apps::random_floats(n, 1), b = apps::random_floats(n, 2);
+    apps::FloatVec c(n, 0.0f), d(n, 0.0f);
+    ompx::Team team(ompx::TeamOptions{
+        .threads = static_cast<std::size_t>(cores), .proc_bind = true});
+    const std::size_t slice = n / cores;
+    for (const bool aligned : {true, false}) {
+      MCL_TRACE_INSTANT(aligned ? "fig09.ompx.aligned"
+                                : "fig09.ompx.misaligned");
+      team.run([&](std::size_t tid) {
+        const std::size_t lo = tid * slice;
+        for (std::size_t i = lo; i < lo + slice; ++i) c[i] = a[i] + b[i];
+      });
+      team.run([&](std::size_t tid) {
+        const std::size_t owner =
+            aligned ? tid : (tid + 1) % static_cast<std::size_t>(cores);
+        const std::size_t lo = owner * slice;
+        for (std::size_t i = lo; i < lo + slice; ++i) d[i] = c[i] * b[i];
+      });
+    }
+  }
+
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue q(ctx);
+  bench::VectorAddDriver driver(n, env.seed());
+  // One workgroup per "core slice": group g computes slice g.
+  const ocl::NDRange global = driver.global();
+  const ocl::NDRange local{n / static_cast<std::size_t>(cores)};
+  std::vector<int> map(static_cast<std::size_t>(cores));
+  for (const bool aligned : {true, false}) {
+    for (std::size_t g = 0; g < map.size(); ++g) {
+      map[g] = static_cast<int>(aligned ? g : (g + 1) % map.size());
+    }
+    MCL_TRACE_INSTANT(aligned ? "fig09.pinned.aligned"
+                              : "fig09.pinned.misaligned");
+    (void)q.enqueue_ndrange_pinned(driver.kernel(), global, local, map);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,5 +202,7 @@ int main(int argc, char** argv) {
         "effect — the simulator rows above are the Fig 9 reproduction.\n",
         static_cast<int>(host_cpus), cores);
   }
+
+  if (env.tracing()) trace_addendum(env, n, cores);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "simd/math.hpp"
 #include "threading/fiber.hpp"
 #include "threading/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -147,6 +148,32 @@ void BM_TransferMap(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_TransferMap)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 24);
+
+// --- mcltrace overhead -------------------------------------------------------
+
+// The always-on contract: with tracing off, an instrumentation site costs
+// one relaxed atomic load. This guard is the "no measurable regression with
+// MCL_TRACE unset" acceptance check in code form.
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    MCL_TRACE_SCOPE("bench.disabled", "i", 1);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+// Enabled cost per span: two clock reads + one SPSC ring push. start(0)
+// disables the drainer thread; the ring wraps and drops, which is fine —
+// push cost is identical either way.
+void BM_TraceScopeEnabled(benchmark::State& state) {
+  trace::start(0);
+  for (auto _ : state) {
+    MCL_TRACE_SCOPE("bench.enabled", "i", 1);
+    benchmark::ClobberMemory();
+  }
+  trace::stop();
+}
+BENCHMARK(BM_TraceScopeEnabled);
 
 }  // namespace
 

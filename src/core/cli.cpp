@@ -75,6 +75,8 @@ Cli make_bench_cli() {
   cli.add_flag("json", "append results as JSON lines to this path");
   cli.add_flag("md", "append results as Markdown tables to this path");
   cli.add_flag("seed", "input-generation seed", "1337");
+  cli.add_flag("trace",
+               "write a Chrome-trace JSON (mcltrace) of the run to this path");
   return cli;
 }
 

@@ -14,6 +14,16 @@ using Seconds = double;
 
 [[nodiscard]] inline TimePoint now() noexcept { return Clock::now(); }
 
+/// Absolute steady-clock nanoseconds. The single monotonic epoch shared by
+/// AsyncEvent profiling timestamps (ocl/queue.cpp) and mcltrace events
+/// (trace/trace.cpp), so both land on one timeline when exported.
+[[nodiscard]] inline std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
 [[nodiscard]] inline Seconds elapsed_s(TimePoint start, TimePoint end) noexcept {
   return std::chrono::duration<double>(end - start).count();
 }

@@ -9,6 +9,7 @@
 
 #include "ocl/platform.hpp"
 #include "ocl/queue.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -540,6 +541,30 @@ mcl_int mclEnqueueNDRangeKernelAsync(mcl_command_queue queue, mcl_kernel kernel,
                                                      local, std::move(waits)),
                  event);
   });
+}
+
+/* --- tracing ----------------------------------------------------------------- */
+
+mcl_int mclTraceBegin(const char* name) {
+  if (name == nullptr) return MCL_INVALID_VALUE;
+  // intern() only when recording: C callers may pass transient strings, and
+  // the disabled path must stay at one relaxed load.
+  if (mcl::trace::enabled()) mcl::trace::span_begin(mcl::trace::intern(name));
+  return MCL_SUCCESS;
+}
+
+mcl_int mclTraceEnd(const char* name) {
+  if (name == nullptr) return MCL_INVALID_VALUE;
+  if (mcl::trace::enabled()) mcl::trace::span_end(mcl::trace::intern(name));
+  return MCL_SUCCESS;
+}
+
+mcl_int mclTraceCounter(const char* name, double value) {
+  if (name == nullptr) return MCL_INVALID_VALUE;
+  if (mcl::trace::enabled()) {
+    mcl::trace::counter(mcl::trace::intern(name), value);
+  }
+  return MCL_SUCCESS;
 }
 
 }  // extern "C"

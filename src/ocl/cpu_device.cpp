@@ -9,8 +9,25 @@
 #include "ocl/device.hpp"
 #include "threading/affinity.hpp"
 #include "threading/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace mcl::ocl {
+
+namespace {
+
+/// Rough per-workgroup traffic estimate for trace args: total bytes of all
+/// bound buffer arguments, split evenly across workgroups. Computed only
+/// when tracing is on.
+std::uint64_t estimate_group_bytes(const KernelArgs& args,
+                                   std::size_t total_groups) {
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < args.arg_count(); ++i) {
+    if (args.is_buffer(i)) bytes += args.buffer_object(i)->size();
+  }
+  return bytes / std::max<std::size_t>(total_groups, 1);
+}
+
+}  // namespace
 
 struct CpuDevice::Impl {
   explicit Impl(const CpuDeviceConfig& config)
@@ -48,6 +65,9 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
     result.local_used = checked.local();
     result.executor_used = ExecutorKind::Checked;
     std::lock_guard launch_lock(impl_->launch_mutex);
+    trace::ScopedSpan span(
+        trace::enabled() ? trace::intern("launch.checked:" + def.name)
+                         : nullptr);
     const core::TimePoint t0 = core::now();
     checked.run();
     result.seconds = core::elapsed_s(t0, core::now());
@@ -67,10 +87,30 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
 
   std::lock_guard launch_lock(impl_->launch_mutex);
   const core::TimePoint t0 = core::now();
-  result.schedule = impl_->pool.parallel_run(
-      runner.total_groups(),
-      [&runner](std::size_t g) { runner.run_group(g); }, chunk,
-      config_.scheduler);
+  if (!trace::enabled()) {
+    result.schedule = impl_->pool.parallel_run(
+        runner.total_groups(),
+        [&runner](std::size_t g) { runner.run_group(g); }, chunk,
+        config_.scheduler);
+  } else {
+    // Traced launch: a span per workgroup tagged (group id, worker id,
+    // estimated bytes touched) under an enclosing per-kernel launch span.
+    // Kept off the fast path so the untraced lambda stays capture-light.
+    const char* wg_name = trace::intern("wg:" + def.name);
+    const std::uint64_t est_bytes =
+        estimate_group_bytes(args, runner.total_groups());
+    trace::ScopedSpan launch_span(trace::intern("launch:" + def.name),
+                                  "groups,threads", runner.total_groups(),
+                                  threads);
+    result.schedule = impl_->pool.parallel_run(
+        runner.total_groups(),
+        [&runner, wg_name, est_bytes](std::size_t g) {
+          trace::ScopedSpan span(wg_name, "group,worker,est_bytes", g,
+                                 trace::current_thread_id(), est_bytes);
+          runner.run_group(g);
+        },
+        chunk, config_.scheduler);
+  }
   result.seconds = core::elapsed_s(t0, core::now());
   return result;
 }
@@ -98,13 +138,24 @@ LaunchResult CpuDevice::launch_pinned(const KernelDef& def,
   result.local_used = runner.local();
   result.executor_used = runner.executor();
 
+  // Null when tracing is off; ScopedSpan disarms on a null name.
+  const char* wg_name =
+      trace::enabled() ? trace::intern("wg:" + def.name) : nullptr;
+  const std::uint64_t est_bytes =
+      wg_name != nullptr ? estimate_group_bytes(args, runner.total_groups())
+                         : 0;
+
   const core::TimePoint t0 = core::now();
   std::vector<std::thread> threads;
   threads.reserve(by_cpu.size());
   for (const auto& [cpu, groups] : by_cpu) {
-    threads.emplace_back([cpu = cpu, &groups, &runner] {
+    threads.emplace_back([cpu = cpu, &groups, &runner, wg_name, est_bytes] {
       threading::pin_current_thread(cpu);
-      for (std::size_t g : groups) runner.run_group(g);
+      for (std::size_t g : groups) {
+        trace::ScopedSpan span(wg_name, "group,cpu,est_bytes", g,
+                               static_cast<std::uint64_t>(cpu), est_bytes);
+        runner.run_group(g);
+      }
     });
   }
   for (auto& t : threads) t.join();

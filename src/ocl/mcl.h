@@ -208,6 +208,19 @@ mcl_int mclEnqueueNDRangeKernelAsync(mcl_command_queue queue, mcl_kernel kernel,
                                      const mcl_event* event_wait_list,
                                      mcl_event* event);
 
+/* --- tracing (mcltrace extension) ------------------------------------------- */
+
+/* Annotate host phases on the mcltrace timeline (see docs/tracing.md).
+ * Recording is runtime-gated: set MCL_TRACE=path.json in the environment (the
+ * trace is exported at process exit) or run a bench binary with --trace. When
+ * tracing is off these calls cost one relaxed atomic load. mclTraceBegin
+ * opens a span on the calling thread; mclTraceEnd closes the innermost open
+ * span; mclTraceCounter samples a named value. The name is copied — it need
+ * not outlive the call. */
+mcl_int mclTraceBegin(const char* name);
+mcl_int mclTraceEnd(const char* name);
+mcl_int mclTraceCounter(const char* name, double value);
+
 #ifdef __cplusplus
 }
 #endif

@@ -1,22 +1,38 @@
 #include "ocl/queue.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "core/time.hpp"
 #include "threading/affinity.hpp"
 #include "threading/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace mcl::ocl {
 
 namespace {
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          core::now().time_since_epoch())
-          .count());
+// Profiling timestamps and trace spans share core::steady_now_ns so both
+// land on one exported timeline (the shared-epoch contract in docs/tracing.md).
+std::uint64_t now_ns() { return core::steady_now_ns(); }
+
+/// Trace-span name of an event-graph node's Running phase.
+const char* command_name(CommandType t) {
+  switch (t) {
+    case CommandType::NDRangeKernel: return "cmd.kernel";
+    case CommandType::ReadBuffer: return "cmd.read";
+    case CommandType::WriteBuffer: return "cmd.write";
+    case CommandType::CopyBuffer: return "cmd.copy";
+    case CommandType::FillBuffer: return "cmd.fill";
+    case CommandType::ReadBufferRect: return "cmd.read_rect";
+    case CommandType::WriteBufferRect: return "cmd.write_rect";
+    case CommandType::MapBuffer: return "cmd.map";
+    case CommandType::UnmapBuffer: return "cmd.unmap";
+    case CommandType::Marker: return "cmd.marker";
+    case CommandType::Barrier: return "cmd.barrier";
+  }
+  return "cmd.unknown";
 }
 
 std::size_t checked_add(std::size_t a, std::size_t b) {
@@ -59,6 +75,7 @@ Event CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
   if (bytes == 0) return Event{CommandType::WriteBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
   core::check(src != nullptr, core::Status::InvalidValue, "null source");
+  MCL_TRACE_SCOPE("cq.write", "bytes", bytes);
   Event ev{CommandType::WriteBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   std::memcpy(static_cast<std::byte*>(buffer.device_ptr()) + offset, src, bytes);
@@ -72,6 +89,7 @@ Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, std::size_t offset
   if (bytes == 0) return Event{CommandType::ReadBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
   core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
+  MCL_TRACE_SCOPE("cq.read", "bytes", bytes);
   Event ev{CommandType::ReadBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   std::memcpy(dst, static_cast<const std::byte*>(buffer.device_ptr()) + offset,
@@ -92,6 +110,7 @@ Event CommandQueue::enqueue_copy_buffer(const Buffer& src, Buffer& dst,
   auto* d = static_cast<std::byte*>(dst.device_ptr()) + dst_offset;
   core::check(s + bytes <= d || d + bytes <= s, core::Status::InvalidValue,
               "copy regions overlap");
+  MCL_TRACE_SCOPE("cq.copy", "bytes", bytes);
   Event ev{CommandType::CopyBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   std::memcpy(d, s, bytes);
@@ -110,6 +129,7 @@ Event CommandQueue::enqueue_fill_buffer(Buffer& buffer, const void* pattern,
               "fill offset must be a multiple of the pattern size");
   if (bytes == 0) return Event{CommandType::FillBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
+  MCL_TRACE_SCOPE("cq.fill", "bytes", bytes);
   Event ev{CommandType::FillBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   auto* d = static_cast<std::byte*>(buffer.device_ptr()) + offset;
@@ -185,6 +205,9 @@ Event CommandQueue::enqueue_write_buffer_rect(Buffer& buffer,
   core::check(rect_end(buffer_rect, resolve(buffer_rect)) <= buffer.size(),
               core::Status::InvalidValue, "rect exceeds buffer size");
   (void)rect_end(host_rect, resolve(host_rect));  // overflow audit only
+  MCL_TRACE_SCOPE("cq.write_rect", "bytes",
+                  buffer_rect.region[0] * buffer_rect.region[1] *
+                      buffer_rect.region[2]);
   Event ev{CommandType::WriteBufferRect, 0.0, {}};
   const core::TimePoint t0 = core::now();
   copy_rect(buffer_rect, static_cast<std::byte*>(buffer.device_ptr()),
@@ -201,6 +224,9 @@ Event CommandQueue::enqueue_read_buffer_rect(const Buffer& buffer,
   core::check(rect_end(buffer_rect, resolve(buffer_rect)) <= buffer.size(),
               core::Status::InvalidValue, "rect exceeds buffer size");
   (void)rect_end(host_rect, resolve(host_rect));  // overflow audit only
+  MCL_TRACE_SCOPE("cq.read_rect", "bytes",
+                  buffer_rect.region[0] * buffer_rect.region[1] *
+                      buffer_rect.region[2]);
   Event ev{CommandType::ReadBufferRect, 0.0, {}};
   const core::TimePoint t0 = core::now();
   copy_rect(host_rect, static_cast<std::byte*>(dst), buffer_rect,
@@ -214,6 +240,7 @@ void* CommandQueue::enqueue_map_buffer(Buffer& buffer, MapFlags flags,
                                        Event* event) {
   (void)flags;  // recorded semantics only; all mappings are coherent here
   check_range(buffer, offset, bytes);
+  MCL_TRACE_SCOPE("cq.map", "bytes", bytes);
   const core::TimePoint t0 = core::now();
   void* ptr = static_cast<std::byte*>(buffer.device_ptr()) + offset;
   buffer.note_mapped();
@@ -233,12 +260,17 @@ Event CommandQueue::enqueue_unmap(Buffer& buffer, void* mapped_ptr) {
               "unmap pointer does not belong to this buffer");
   core::check(buffer.note_unmapped(), core::Status::MapFailure,
               "buffer is not mapped");
+  MCL_TRACE_INSTANT("cq.unmap");
   return Event{CommandType::UnmapBuffer, 0.0, {}};
 }
 
 Event CommandQueue::enqueue_ndrange(const Kernel& kernel, const NDRange& global,
                                     const NDRange& local,
                                     const NDRange& offset) {
+  trace::ScopedSpan span(
+      trace::enabled() ? trace::intern("cq.kernel:" + kernel.def().name)
+                       : nullptr,
+      "global,local", global.total(), local.is_null() ? 0 : local.total());
   Event ev{CommandType::NDRangeKernel, 0.0, {}};
   ev.launch =
       device_->launch(kernel.def(), kernel.args(), global, local, offset);
@@ -253,6 +285,10 @@ Event CommandQueue::enqueue_ndrange_pinned(const Kernel& kernel,
   auto* cpu = dynamic_cast<CpuDevice*>(device_);
   core::check(cpu != nullptr, core::Status::InvalidOperation,
               "pinned launches are a CPU-device extension");
+  trace::ScopedSpan span(
+      trace::enabled() ? trace::intern("cq.kernel_pinned:" + kernel.def().name)
+                       : nullptr,
+      "global,local", global.total(), local.is_null() ? 0 : local.total());
   Event ev{CommandType::NDRangeKernel, 0.0, {}};
   ev.launch =
       cpu->launch_pinned(kernel.def(), kernel.args(), global, local, group_to_cpu);
@@ -448,6 +484,7 @@ void CommandQueue::finalize(const AsyncEventPtr& ev, Event result,
                             std::exception_ptr error, core::Status status) {
   std::vector<std::function<void(core::Status)>> continuations;
   const core::Status final_status = error ? status : core::Status::Success;
+  ProfilingInfo prof;
   {
     std::lock_guard lock(ev->mutex_);
     const std::uint64_t ns = now_ns();
@@ -455,6 +492,7 @@ void CommandQueue::finalize(const AsyncEventPtr& ev, Event result,
     // monotonic by stamping the skipped phases with the terminal time.
     if (ev->prof_.started_ns == 0) ev->prof_.started_ns = ns;
     ev->prof_.ended_ns = ns;
+    prof = ev->prof_;
     if (error) {
       ev->state_ = CommandState::Error;
       ev->error_ = std::move(error);
@@ -468,6 +506,24 @@ void CommandQueue::finalize(const AsyncEventPtr& ev, Event result,
     ev->continuations_.clear();
   }
   ev->cv_.notify_all();
+  if (trace::enabled()) {
+    // Re-emit the event-graph node's lifecycle as spans that reuse the
+    // profiling timestamps exactly (shared steady_now_ns epoch), so the DAG
+    // wait/dispatch/run phases appear on the same timeline as workgroup
+    // spans. tests/trace_test.cpp asserts the Running-phase span encloses
+    // the kernel's workgroup spans.
+    if (prof.submitted_ns > prof.queued_ns) {
+      trace::complete_span("cmd.queued", prof.queued_ns,
+                           prof.submitted_ns - prof.queued_ns);
+    }
+    if (prof.started_ns > prof.submitted_ns) {
+      trace::complete_span("cmd.dispatch", prof.submitted_ns,
+                           prof.started_ns - prof.submitted_ns);
+    }
+    trace::complete_span(command_name(ev->type_), prof.started_ns,
+                         prof.ended_ns - prof.started_ns, "ok",
+                         final_status == core::Status::Success ? 1 : 0);
+  }
   for (const auto& continuation : continuations) continuation(final_status);
   command_retired();
 }
@@ -517,6 +573,7 @@ AsyncEventPtr CommandQueue::enqueue_write_buffer_async(
   return submit_async(
       CommandType::WriteBuffer,
       [this, dst, bytes, src] {
+        MCL_TRACE_SCOPE("cq.write", "bytes", bytes);
         Event ev{CommandType::WriteBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         std::memcpy(dst, src, bytes);
@@ -542,6 +599,7 @@ AsyncEventPtr CommandQueue::enqueue_read_buffer_async(
   return submit_async(
       CommandType::ReadBuffer,
       [this, src, bytes, dst] {
+        MCL_TRACE_SCOPE("cq.read", "bytes", bytes);
         Event ev{CommandType::ReadBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         std::memcpy(dst, src, bytes);
@@ -571,6 +629,7 @@ AsyncEventPtr CommandQueue::enqueue_copy_buffer_async(
   return submit_async(
       CommandType::CopyBuffer,
       [s, d, bytes] {
+        MCL_TRACE_SCOPE("cq.copy", "bytes", bytes);
         Event ev{CommandType::CopyBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         std::memcpy(d, s, bytes);
@@ -604,6 +663,7 @@ AsyncEventPtr CommandQueue::enqueue_fill_buffer_async(
   return submit_async(
       CommandType::FillBuffer,
       [d, bytes, pattern_copy = std::move(pattern_copy)] {
+        MCL_TRACE_SCOPE("cq.fill", "bytes", bytes);
         Event ev{CommandType::FillBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         for (std::size_t i = 0; i < bytes; i += pattern_copy.size()) {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "threading/affinity.hpp"
+#include "trace/trace.hpp"
 
 namespace mcl::ompx {
 
@@ -58,6 +59,22 @@ void Team::worker_loop(std::size_t tid) {
 }
 
 void Team::run(const std::function<void(std::size_t)>& body) {
+  if (!trace::enabled()) {
+    run_impl(body);
+    return;
+  }
+  // Traced fork-join: one region span on the forking thread plus a per-tid
+  // work span, so ompx timelines line up against OpenCL launches (the
+  // paper's Figs 10-11 comparison).
+  MCL_TRACE_SCOPE("ompx.region", "threads", nthreads_);
+  const std::function<void(std::size_t)> traced = [&body](std::size_t tid) {
+    trace::ScopedSpan work("ompx.work", "tid", tid);
+    body(tid);
+  };
+  run_impl(traced);
+}
+
+void Team::run_impl(const std::function<void(std::size_t)>& body) {
   if (nthreads_ == 1) {
     body(0);
     return;

@@ -97,6 +97,8 @@ class Team {
 
  private:
   void worker_loop(std::size_t tid);
+  /// run() without the tracing wrapper — the actual epoch dispatch.
+  void run_impl(const std::function<void(std::size_t tid)>& body);
   void parallel_for_tid(std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t, std::size_t)>& body,
                         Schedule schedule, std::size_t chunk);

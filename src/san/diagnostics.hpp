@@ -12,6 +12,7 @@
 //   H1  launch with an unset kernel argument slot
 //   H2  needs_barrier kernel routed to a non-fiber executor
 //   H3  NDRange / local-size mismatch
+//   T1  mcltrace ring overflow dropped events (timeline is truncated)
 #pragma once
 
 #include <string>
@@ -30,6 +31,7 @@ enum class Rule {
   H1UnsetArg,
   H2BarrierExecutor,
   H3BadNDRange,
+  T1TraceDrop,
 };
 
 enum class Severity { Error, Warning, Note };

@@ -63,4 +63,16 @@ Report lint_launch(const ocl::KernelDef& def, const ocl::KernelArgs& args,
   return report;
 }
 
+Report lint_trace(std::uint64_t dropped_events) {
+  Report report;
+  if (dropped_events > 0) {
+    report.add(Rule::T1TraceDrop, Severity::Warning, "<trace>",
+               std::to_string(dropped_events) +
+                   " trace events were dropped on ring overflow; the "
+                   "exported timeline is truncated (raise the drain rate or "
+                   "trace a shorter window)");
+  }
+  return report;
+}
+
 }  // namespace mcl::san

@@ -4,6 +4,8 @@
 // exists so tools and tests can surface the same findings as data.
 #pragma once
 
+#include <cstdint>
+
 #include "ocl/kernel.hpp"
 #include "ocl/types.hpp"
 #include "san/diagnostics.hpp"
@@ -18,5 +20,11 @@ namespace mcl::san {
                                  const ocl::NDRange& global,
                                  const ocl::NDRange& local,
                                  ocl::ExecutorKind executor);
+
+/// Lints an mcltrace session outcome (T1): a non-zero drop count means the
+/// exported timeline is truncated and span/counter aggregates undercount.
+/// Takes the count as a value so mcl_san stays independent of mcl_trace;
+/// callers pass trace::dropped_events().
+[[nodiscard]] Report lint_trace(std::uint64_t dropped_events);
 
 }  // namespace mcl::san

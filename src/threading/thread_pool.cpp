@@ -1,10 +1,48 @@
 #include "threading/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "threading/affinity.hpp"
+#include "trace/trace.hpp"
 
 namespace mcl::threading {
+
+namespace {
+
+// Process-wide count of threads currently executing pool work, sampled into
+// the "pool.active" trace counter so worker occupancy is visible on the
+// timeline. Only touched while tracing is on.
+std::atomic<int> g_active_workers{0};
+
+class OccupancyScope {
+ public:
+  OccupancyScope() : armed_(trace::enabled()) {
+    if (armed_) {
+      trace::counter(
+          "pool.active",
+          static_cast<double>(
+              g_active_workers.fetch_add(1, std::memory_order_relaxed) + 1));
+    }
+  }
+  ~OccupancyScope() {
+    if (armed_) {
+      trace::counter(
+          "pool.active",
+          static_cast<double>(
+              g_active_workers.fetch_sub(1, std::memory_order_relaxed) - 1));
+    }
+  }
+  OccupancyScope(const OccupancyScope&) = delete;
+  OccupancyScope& operator=(const OccupancyScope&) = delete;
+
+ private:
+  // Snapshot of enabled() at entry so the decrement always balances the
+  // increment even if tracing flips mid-scope.
+  const bool armed_;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads, bool pin) {
   if (threads == 0) threads = static_cast<std::size_t>(logical_cpu_count());
@@ -83,6 +121,8 @@ void ThreadPool::drain_batch_stealing(Batch& batch) {
                                                std::memory_order_acq_rel)) {
         batch.slots[my_slot].store(pack_range(mid, e),
                                    std::memory_order_release);
+        MCL_TRACE_INSTANT("pool.steal", "victim,thief,taken", s, my_slot,
+                          e - mid);
         return true;
       }
     }
@@ -109,6 +149,8 @@ void ThreadPool::drain_batch_stealing(Batch& batch) {
 }
 
 void ThreadPool::drain_batch(Batch& batch) {
+  OccupancyScope occupancy;
+  MCL_TRACE_SCOPE("pool.drain");
   if (batch.strategy == ScheduleStrategy::WorkStealing) {
     drain_batch_stealing(batch);
     return;
@@ -136,6 +178,7 @@ RunStats ThreadPool::parallel_run(std::size_t count,
                                   std::size_t chunk, ScheduleStrategy strategy) {
   if (count == 0) return {};
   if (chunk == 0) chunk = 1;
+  MCL_TRACE_SCOPE("pool.batch", "count,chunk", count, chunk);
   auto batch = std::make_shared<Batch>();
   batch->generation = batch_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
   batch->count = count;
@@ -232,7 +275,11 @@ void ThreadPool::worker_loop(std::size_t worker_index, bool pin) {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    {
+      OccupancyScope occupancy;
+      MCL_TRACE_SCOPE("pool.task");
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

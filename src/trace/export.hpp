@@ -1,0 +1,47 @@
+// mcltrace exporters: Chrome/Perfetto trace JSON and the aggregate metrics
+// report (per-span-name count/total/p50/p99) printed by the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mcl::trace {
+
+/// One row of the aggregate metrics report, over all spans sharing a name.
+struct MetricSummary {
+  std::string name;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Aggregates span durations (Complete spans, plus matched Begin/End pairs
+/// per thread) by name; rows sorted by descending total time.
+[[nodiscard]] std::vector<MetricSummary> metrics(
+    const std::vector<TaggedEvent>& events);
+
+/// Fixed-width table of metrics rows.
+[[nodiscard]] std::string metrics_text(const std::vector<MetricSummary>& rows);
+
+/// Chrome trace-event JSON (loads in chrome://tracing and Perfetto).
+/// Timestamps are rebased to the earliest event; the absolute steady-clock
+/// epoch and the drop count land in "otherData". A dropped count > 0 also
+/// emits an "mcltrace.dropped" instant so the truncation is visible on the
+/// timeline itself.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TaggedEvent>& events, std::uint64_t dropped);
+
+/// Writes chrome_trace_json(events, dropped) to `path`; false on IO error.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TaggedEvent>& events,
+                        std::uint64_t dropped);
+
+/// Convenience: collect() + dropped_events() from the live session, then
+/// write. Used by the MCL_TRACE atexit exporter.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace mcl::trace

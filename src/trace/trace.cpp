@@ -1,0 +1,289 @@
+// mcltrace session: per-thread SPSC rings, a central drain store, the
+// MCL_TRACE env-var autostart, and the string intern pool.
+#include "trace/trace.hpp"
+
+#include <bit>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "core/time.hpp"
+#include "trace/export.hpp"
+
+namespace mcl::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+std::uint64_t clock_ns() noexcept { return core::steady_now_ns(); }
+
+namespace {
+
+// One producer thread, one consumer (the session, always under its mutex).
+// head_ is written only by the producer, tail_ only by the consumer; a full
+// ring drops the event and bumps drops_ — producers never wait.
+struct alignas(64) Ring {
+  std::vector<TraceEvent> slots{std::vector<TraceEvent>(kRingCapacity)};
+  alignas(64) std::atomic<std::uint64_t> head{0};  // next write index
+  alignas(64) std::atomic<std::uint64_t> tail{0};  // next read index
+  std::atomic<std::uint64_t> drops{0};
+  std::uint32_t tid = 0;
+  std::atomic<bool> in_use{false};  // bound to a live thread right now
+
+  bool push(const TraceEvent& ev) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail.load(std::memory_order_acquire);
+    if (h - t >= kRingCapacity) {
+      drops.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots[h & (kRingCapacity - 1)] = ev;
+    head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+};
+
+class Session {
+ public:
+  static Session& get() {
+    // Leaked on purpose: thread_local ring holders and the atexit exporter
+    // may outlive static destruction of any non-leaked singleton.
+    static Session* const s = new Session;
+    return *s;
+  }
+
+  Ring* acquire_ring() {
+    std::lock_guard lock(mu_);
+    for (const std::unique_ptr<Ring>& r : rings_) {
+      if (!r->in_use.load(std::memory_order_relaxed)) {
+        r->in_use.store(true, std::memory_order_relaxed);
+        return r.get();
+      }
+    }
+    rings_.push_back(std::make_unique<Ring>());
+    Ring* r = rings_.back().get();
+    r->tid = next_tid_++;
+    r->in_use.store(true, std::memory_order_relaxed);
+    return r;
+  }
+
+  // Called from the thread_local holder's destructor on thread exit: drain
+  // what the thread wrote (still tagged with its tid), then recycle the
+  // ring so short-lived threads (launch_pinned) don't grow rings_ forever.
+  void release_ring(Ring* r) {
+    std::lock_guard lock(mu_);
+    drain_one_locked(*r);
+    r->in_use.store(false, std::memory_order_relaxed);
+  }
+
+  void start(std::uint32_t drain_interval_ms) {
+    stop();
+    std::lock_guard lock(mu_);
+    store_.clear();
+    store_drops_ = 0;
+    for (const std::unique_ptr<Ring>& r : rings_) {
+      r->tail.store(r->head.load(std::memory_order_acquire),
+                    std::memory_order_release);
+      r->drops.store(0, std::memory_order_relaxed);
+    }
+    if (drain_interval_ms > 0) {
+      drainer_quit_ = false;
+      drainer_ = std::thread([this, drain_interval_ms] {
+        std::unique_lock lock(mu_);
+        while (!drainer_quit_) {
+          drain_all_locked();
+          cv_.wait_for(lock, std::chrono::milliseconds(drain_interval_ms),
+                       [this] { return drainer_quit_; });
+        }
+      });
+    }
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+  }
+
+  void stop() {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+    std::thread joiner;
+    {
+      std::lock_guard lock(mu_);
+      drainer_quit_ = true;
+      joiner = std::move(drainer_);
+    }
+    cv_.notify_all();
+    if (joiner.joinable()) joiner.join();
+    std::lock_guard lock(mu_);
+    drain_all_locked();
+  }
+
+  std::uint64_t dropped() {
+    std::lock_guard lock(mu_);
+    std::uint64_t n = store_drops_;
+    for (const std::unique_ptr<Ring>& r : rings_)
+      n += r->drops.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  std::size_t thread_count() {
+    std::lock_guard lock(mu_);
+    return rings_.size();
+  }
+
+  std::vector<TaggedEvent> collect() {
+    std::lock_guard lock(mu_);
+    drain_all_locked();
+    return store_;
+  }
+
+  void flush() {
+    std::lock_guard lock(mu_);
+    drain_all_locked();
+  }
+
+  const char* intern(const char* name) {
+    std::lock_guard lock(mu_);
+    return interned_.emplace(name).first->c_str();
+  }
+
+ private:
+  void drain_one_locked(Ring& r) {
+    const std::uint64_t h = r.head.load(std::memory_order_acquire);
+    std::uint64_t t = r.tail.load(std::memory_order_relaxed);
+    for (; t != h; ++t) {
+      if (store_.size() >= kMaxStoreEvents) {
+        ++store_drops_;
+        continue;
+      }
+      store_.push_back({r.tid, r.slots[t & (kRingCapacity - 1)]});
+    }
+    r.tail.store(t, std::memory_order_release);
+  }
+
+  void drain_all_locked() {
+    for (const std::unique_ptr<Ring>& r : rings_) drain_one_locked(*r);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<TaggedEvent> store_;
+  std::uint64_t store_drops_ = 0;
+  std::uint32_t next_tid_ = 1;
+  bool drainer_quit_ = true;
+  std::thread drainer_;
+  std::unordered_set<std::string> interned_;
+};
+
+// Binds the calling thread to a ring for its lifetime; returns it to the
+// session's free list on thread exit.
+struct RingHolder {
+  Ring* ring = nullptr;
+  ~RingHolder() {
+    if (ring != nullptr) Session::get().release_ring(ring);
+  }
+};
+
+Ring& thread_ring() {
+  thread_local RingHolder holder;
+  if (holder.ring == nullptr) holder.ring = Session::get().acquire_ring();
+  return *holder.ring;
+}
+
+void emit(EventType type, const char* name, const char* arg_keys,
+          std::uint64_t ts_ns, std::uint64_t dur_ns, std::uint64_t a0,
+          std::uint64_t a1, std::uint64_t a2) {
+  TraceEvent ev;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.name = name;
+  ev.arg_keys = arg_keys;
+  ev.args[0] = a0;
+  ev.args[1] = a1;
+  ev.args[2] = a2;
+  ev.type = type;
+  thread_ring().push(ev);
+}
+
+// MCL_TRACE=path.json starts tracing before main() and exports at exit.
+struct EnvAutoStart {
+  EnvAutoStart() {
+    const char* path = std::getenv("MCL_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    static std::string out_path;  // alive for the atexit handler
+    out_path = path;
+    start();
+    std::atexit([] {
+      stop();
+      const std::uint64_t dropped = dropped_events();
+      const std::vector<TaggedEvent> events = collect();
+      if (write_chrome_trace(out_path, events, dropped)) {
+        std::fprintf(stderr, "mcltrace: wrote %s (%zu events, %llu dropped)\n",
+                     out_path.c_str(), events.size(),
+                     static_cast<unsigned long long>(dropped));
+      } else {
+        std::fprintf(stderr, "mcltrace: failed to write %s\n",
+                     out_path.c_str());
+      }
+    });
+  }
+};
+const EnvAutoStart g_env_autostart;
+
+}  // namespace
+
+void start(std::uint32_t drain_interval_ms) {
+  Session::get().start(drain_interval_ms);
+}
+
+void stop() { Session::get().stop(); }
+
+std::uint64_t dropped_events() { return Session::get().dropped(); }
+
+std::size_t registered_threads() { return Session::get().thread_count(); }
+
+std::vector<TaggedEvent> collect() { return Session::get().collect(); }
+
+void flush() { Session::get().flush(); }
+
+std::uint32_t current_thread_id() { return thread_ring().tid; }
+
+const char* intern(const char* name) { return Session::get().intern(name); }
+
+const char* intern(const std::string& name) {
+  return Session::get().intern(name.c_str());
+}
+
+void span_begin(const char* name, const char* arg_keys, std::uint64_t a0,
+                std::uint64_t a1, std::uint64_t a2) {
+  if (!enabled()) return;
+  emit(EventType::Begin, name, arg_keys, clock_ns(), 0, a0, a1, a2);
+}
+
+void span_end(const char* name) {
+  if (!enabled()) return;
+  emit(EventType::End, name, nullptr, clock_ns(), 0, 0, 0, 0);
+}
+
+void complete_span(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                   const char* arg_keys, std::uint64_t a0, std::uint64_t a1,
+                   std::uint64_t a2) {
+  if (!enabled()) return;
+  emit(EventType::Complete, name, arg_keys, ts_ns, dur_ns, a0, a1, a2);
+}
+
+void instant(const char* name, const char* arg_keys, std::uint64_t a0,
+             std::uint64_t a1, std::uint64_t a2) {
+  if (!enabled()) return;
+  emit(EventType::Instant, name, arg_keys, clock_ns(), 0, a0, a1, a2);
+}
+
+void counter(const char* name, double value) {
+  if (!enabled()) return;
+  emit(EventType::Counter, name, nullptr, clock_ns(), 0,
+       std::bit_cast<std::uint64_t>(value), 0, 0);
+}
+
+}  // namespace mcl::trace

@@ -1,0 +1,176 @@
+// mcltrace — always-compiled, runtime-gated tracing and metrics for MiniCL.
+//
+// Model: every instrumented thread owns a lock-free single-producer /
+// single-consumer ring of fixed-size TraceEvents (~64 B each). A central
+// session registers rings on a thread's first event, drains them (from a
+// background drainer thread, or on demand) into one store, and never blocks
+// a producer: when a ring is full the event is dropped and counted, never
+// queued. Drop counts are surfaced in the exported JSON, the bench summary
+// and the mclsan lint path (san::lint_trace) instead of silently truncating
+// the timeline.
+//
+// Cost when tracing is off: every instrumentation site performs exactly one
+// relaxed atomic load (enabled()) and branches out; no ring is allocated,
+// no clock is read. `bench/gbench_micro` guards this
+// (BM_TraceScopeDisabled).
+//
+// Timestamps are absolute std::chrono::steady_clock nanoseconds
+// (core::steady_now_ns) — the same epoch AsyncEvent::profiling_ns() uses —
+// so queue profiling timestamps and trace spans align on one exported
+// timeline. tests/trace_test.cpp has the shared-epoch regression test.
+//
+// See docs/tracing.md for the event model and Perfetto workflow.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcl::trace {
+
+/// Events a thread can hold before the drainer catches up; power of two.
+inline constexpr std::size_t kRingCapacity = std::size_t{1} << 13;
+
+/// Central store cap; past this, drained events are dropped and counted.
+inline constexpr std::size_t kMaxStoreEvents = std::size_t{1} << 20;
+
+enum class EventType : std::uint8_t {
+  Begin,     ///< open a span on this thread (Chrome ph "B")
+  End,       ///< close the innermost open span (Chrome ph "E")
+  Complete,  ///< a finished span with explicit duration (Chrome ph "X")
+  Instant,   ///< a point marker (Chrome ph "i")
+  Counter,   ///< a named value sample (Chrome ph "C"); args[0] holds the
+             ///< bit pattern of a double
+};
+
+/// One fixed-size trace record. `name` and `arg_keys` must point at storage
+/// that outlives the session: string literals or intern()ed strings.
+/// `arg_keys` is a comma-separated key list ("group,worker,est_bytes")
+/// naming the leading entries of `args` for the exporter.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< Complete spans only
+  const char* name = nullptr;
+  const char* arg_keys = nullptr;
+  std::uint64_t args[3] = {0, 0, 0};
+  EventType type = EventType::Instant;
+};
+static_assert(sizeof(TraceEvent) <= 64, "trace events must stay ring-sized");
+
+/// A drained event plus the id of the thread that produced it.
+struct TaggedEvent {
+  std::uint32_t tid = 0;
+  TraceEvent event;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True when a trace session is recording. The only cost paid at an
+/// instrumentation site when tracing is off.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Absolute steady-clock nanoseconds (core::steady_now_ns) — shares the
+/// AsyncEvent::profiling_ns() epoch.
+[[nodiscard]] std::uint64_t clock_ns() noexcept;
+
+/// Starts (or restarts) recording: clears the store and every ring, resets
+/// drop counts, then enables tracing. With drain_interval_ms > 0 a
+/// background thread drains rings periodically; 0 leaves draining to stop()
+/// and collect() — useful for deterministic wraparound tests. Not
+/// re-entrant against a concurrent start()/stop().
+void start(std::uint32_t drain_interval_ms = 10);
+
+/// Disables tracing, joins the drainer, and drains every ring.
+void stop();
+
+/// Events dropped so far (full rings + store overflow).
+[[nodiscard]] std::uint64_t dropped_events();
+
+/// Number of thread rings ever registered with the session.
+[[nodiscard]] std::size_t registered_threads();
+
+/// Drains all rings and returns a snapshot of the store.
+[[nodiscard]] std::vector<TaggedEvent> collect();
+
+/// Synchronously drains every ring into the store (serialized with the
+/// background drainer on the session lock). Deterministic backpressure:
+/// a producer that flushes at least once per kRingCapacity events can
+/// never overflow its ring, however slowly the drainer is scheduled.
+void flush();
+
+/// Stable id of the calling thread's ring (registers one if needed).
+[[nodiscard]] std::uint32_t current_thread_id();
+
+/// Copies `name` into a leaked pool and returns a stable pointer, deduped.
+/// Use for dynamic names (kernel names, C-API callers); literals don't
+/// need it.
+[[nodiscard]] const char* intern(const char* name);
+[[nodiscard]] const char* intern(const std::string& name);
+
+/// Raw emitters. All are no-ops (after one relaxed load) when disabled.
+void span_begin(const char* name, const char* arg_keys = nullptr,
+                std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                std::uint64_t a2 = 0);
+void span_end(const char* name);
+/// A finished span with caller-provided timestamps — lets queue.cpp emit
+/// command spans that exactly match ProfilingInfo.
+void complete_span(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                   const char* arg_keys = nullptr, std::uint64_t a0 = 0,
+                   std::uint64_t a1 = 0, std::uint64_t a2 = 0);
+void instant(const char* name, const char* arg_keys = nullptr,
+             std::uint64_t a0 = 0, std::uint64_t a1 = 0, std::uint64_t a2 = 0);
+void counter(const char* name, double value);
+
+/// RAII span: one relaxed load when tracing is off; when on, records a
+/// Complete event spanning construction to destruction. A null `name`
+/// disarms the span (callers can skip intern() work when disabled).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* arg_keys = nullptr,
+                      std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                      std::uint64_t a2 = 0) noexcept {
+    if (!enabled() || name == nullptr) return;
+    name_ = name;
+    arg_keys_ = arg_keys;
+    args_[0] = a0;
+    args_[1] = a1;
+    args_[2] = a2;
+    t0_ns_ = clock_ns();
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      complete_span(name_, t0_ns_, clock_ns() - t0_ns_, arg_keys_, args_[0],
+                    args_[1], args_[2]);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* arg_keys_ = nullptr;
+  std::uint64_t args_[3] = {0, 0, 0};
+  std::uint64_t t0_ns_ = 0;
+};
+
+#define MCL_TRACE_CAT2(a, b) a##b
+#define MCL_TRACE_CAT(a, b) MCL_TRACE_CAT2(a, b)
+
+/// Span covering the enclosing scope: MCL_TRACE_SCOPE("name"[, arg_keys,
+/// a0, a1, a2]).
+#define MCL_TRACE_SCOPE(...) \
+  ::mcl::trace::ScopedSpan MCL_TRACE_CAT(mcl_trace_span_, __LINE__)(__VA_ARGS__)
+
+/// Point marker: MCL_TRACE_INSTANT("name"[, arg_keys, a0, a1, a2]).
+#define MCL_TRACE_INSTANT(...) ::mcl::trace::instant(__VA_ARGS__)
+
+/// Value sample: MCL_TRACE_COUNTER("name", value).
+#define MCL_TRACE_COUNTER(name, value) ::mcl::trace::counter((name), (value))
+
+}  // namespace mcl::trace

@@ -1,0 +1,230 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace mcl::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with sub-ns-loss-free 3 decimals, as Chrome expects.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+// Splits "group,worker,est_bytes" and pairs keys with args in order.
+void append_args(std::string& out, const TraceEvent& ev) {
+  if (ev.arg_keys == nullptr || *ev.arg_keys == '\0') return;
+  out += ",\"args\":{";
+  const char* p = ev.arg_keys;
+  for (std::size_t i = 0; i < 3 && *p != '\0'; ++i) {
+    const char* end = p;
+    while (*end != '\0' && *end != ',') ++end;
+    if (i > 0) out += ',';
+    out += '"';
+    out.append(p, static_cast<std::size_t>(end - p));
+    out += "\":";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.args[i]);
+    out += buf;
+    p = (*end == ',') ? end + 1 : end;
+  }
+  out += '}';
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::vector<MetricSummary> metrics(const std::vector<TaggedEvent>& events) {
+  // Durations per span name; Begin events wait on a per-thread stack for
+  // their End (unbalanced leftovers are ignored).
+  std::map<std::string, std::vector<double>> durs_ms;
+  std::unordered_map<std::uint32_t, std::vector<const TaggedEvent*>> open;
+  for (const TaggedEvent& te : events) {
+    switch (te.event.type) {
+      case EventType::Complete:
+        durs_ms[te.event.name].push_back(static_cast<double>(te.event.dur_ns) /
+                                         1e6);
+        break;
+      case EventType::Begin:
+        open[te.tid].push_back(&te);
+        break;
+      case EventType::End: {
+        std::vector<const TaggedEvent*>& stack = open[te.tid];
+        if (stack.empty()) break;
+        const TaggedEvent* b = stack.back();
+        stack.pop_back();
+        if (te.event.ts_ns >= b->event.ts_ns) {
+          durs_ms[b->event.name].push_back(
+              static_cast<double>(te.event.ts_ns - b->event.ts_ns) / 1e6);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::vector<MetricSummary> rows;
+  rows.reserve(durs_ms.size());
+  for (auto& [name, durs] : durs_ms) {
+    std::sort(durs.begin(), durs.end());
+    MetricSummary row;
+    row.name = name;
+    row.count = durs.size();
+    for (double d : durs) row.total_ms += d;
+    row.p50_ms = percentile(durs, 0.50);
+    row.p99_ms = percentile(durs, 0.99);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricSummary& a, const MetricSummary& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return rows;
+}
+
+std::string metrics_text(const std::vector<MetricSummary>& rows) {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %10s %12s %12s %12s\n", "span",
+                "count", "total_ms", "p50_ms", "p99_ms");
+  out << line;
+  for (const MetricSummary& r : rows) {
+    std::snprintf(line, sizeof(line), "%-32s %10zu %12.3f %12.4f %12.4f\n",
+                  r.name.c_str(), r.count, r.total_ms, r.p50_ms, r.p99_ms);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string chrome_trace_json(const std::vector<TaggedEvent>& events,
+                              std::uint64_t dropped) {
+  std::vector<const TaggedEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const TaggedEvent& te : events) sorted.push_back(&te);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TaggedEvent* a, const TaggedEvent* b) {
+                     return a->event.ts_ns < b->event.ts_ns;
+                   });
+  const std::uint64_t base =
+      sorted.empty() ? 0 : sorted.front()->event.ts_ns;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":"
+         "\"steady_clock\",\"epoch_ns\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, base);
+  out += buf;
+  out += ",\"dropped_events\":";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, dropped);
+  out += buf;
+  out += "},\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"minicl\"}}";
+  if (dropped > 0) {
+    out += ",{\"name\":\"mcltrace.dropped\",\"ph\":\"i\",\"s\":\"g\","
+           "\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"count\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, dropped);
+    out += buf;
+    out += "}}";
+  }
+  for (const TaggedEvent* te : sorted) {
+    const TraceEvent& ev = te->event;
+    out += ",\n{\"name\":\"";
+    append_escaped(out, ev.name != nullptr ? ev.name : "?");
+    out += "\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%u", te->tid);
+    out += buf;
+    out += ",\"ts\":";
+    append_us(out, ev.ts_ns - base);
+    switch (ev.type) {
+      case EventType::Complete:
+        out += ",\"ph\":\"X\",\"dur\":";
+        append_us(out, ev.dur_ns);
+        append_args(out, ev);
+        break;
+      case EventType::Begin:
+        out += ",\"ph\":\"B\"";
+        append_args(out, ev);
+        break;
+      case EventType::End:
+        out += ",\"ph\":\"E\"";
+        break;
+      case EventType::Instant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        append_args(out, ev);
+        break;
+      case EventType::Counter: {
+        out += ",\"ph\":\"C\",\"args\":{\"value\":";
+        std::snprintf(buf, sizeof(buf), "%g",
+                      std::bit_cast<double>(ev.args[0]));
+        out += buf;
+        out += '}';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TaggedEvent>& events,
+                        std::uint64_t dropped) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const std::string json = chrome_trace_json(events, dropped);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(file);
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_chrome_trace(path, collect(), dropped_events());
+}
+
+}  // namespace mcl::trace

@@ -8,6 +8,13 @@ Usage:
     tools/plot_results.py results.jsonl --check    # validate only; exit 1 on
                                                    # missing/malformed input
 
+--check also understands mcltrace Chrome-trace exports (the --trace=<path>
+output): a file whose first non-blank character is "{" is treated as a trace
+object and validated structurally — well-formed JSON, a "traceEvents" list,
+non-decreasing per-thread timestamps, balanced B/E pairs per (pid, tid), and
+non-negative durations on X events. A nonzero otherData.dropped_events only
+warns (the trace is truncated, not malformed).
+
 Without matplotlib installed, the ASCII renderer still works — every table
 becomes horizontal bars of its first numeric column group.
 """
@@ -72,6 +79,99 @@ def check_tables(path):
                     f"{where}: row {r} has {len(row)} cells "
                     f"but only {len(columns)} columns"
                 )
+    return errors
+
+
+def is_trace_file(path):
+    """A Chrome-trace export is one JSON object; results files are JSONL whose
+    first line is a complete object on its own. Peek at the first non-blank
+    character: mcltrace writes the object pretty-printed, so "{" opens it."""
+    try:
+        with open(path) as f:
+            for line in f:
+                stripped = line.strip()
+                if stripped:
+                    return stripped == "{" or (
+                        stripped.startswith("{") and "traceEvents" in stripped
+                    )
+    except OSError:
+        pass
+    return False
+
+
+def check_trace(path):
+    """Validates an mcltrace Chrome-trace JSON; returns error strings.
+
+    Checks: parseable JSON object, a "traceEvents" list, every event an
+    object with string "ph", numeric "ts", balanced B/E per (pid, tid),
+    non-negative "dur" on X events, and per-thread non-decreasing ts.
+    Reports (not fails) a nonzero otherData.dropped_events count.
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: trace root is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: missing 'traceEvents' list"]
+    open_stacks = {}  # (pid, tid) -> count of unmatched B events
+    last_ts = {}  # (pid, tid) -> last seen ts
+    n_spans = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing 'ph' phase")
+            continue
+        if ph == "M":  # metadata events carry no timestamp
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: ph {ph!r} without numeric 'ts'")
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        # mcltrace drains per-thread SPSC rings in order, so within one
+        # thread ts must never go backwards (the shared-epoch guarantee).
+        if key in last_ts and ts < last_ts[key]:
+            errors.append(
+                f"{where}: ts {ts} goes backwards on pid/tid {key} "
+                f"(previous {last_ts[key]})"
+            )
+        last_ts[key] = ts
+        if ph == "B":
+            open_stacks[key] = open_stacks.get(key, 0) + 1
+            n_spans += 1
+        elif ph == "E":
+            if open_stacks.get(key, 0) <= 0:
+                errors.append(f"{where}: 'E' with no matching 'B' on {key}")
+            else:
+                open_stacks[key] -= 1
+        elif ph == "X":
+            n_spans += 1
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' with missing or negative 'dur'")
+    for key, depth in sorted(open_stacks.items(), key=str):
+        if depth > 0:
+            errors.append(
+                f"{path}: {depth} unmatched 'B' event(s) on pid/tid {key}"
+            )
+    dropped = (doc.get("otherData") or {}).get("dropped_events", 0)
+    if isinstance(dropped, int) and dropped > 0:
+        print(
+            f"{path}: warning: {dropped} events were dropped on ring "
+            f"overflow; the timeline is truncated",
+            file=sys.stderr,
+        )
+    if not errors:
+        print(f"{path}: ok (trace, {len(events)} events, {n_spans} spans)")
     return errors
 
 
@@ -153,13 +253,15 @@ def main():
     args = parser.parse_args()
 
     if args.check:
-        errors = check_tables(args.jsonl)
+        if is_trace_file(args.jsonl):
+            errors = check_trace(args.jsonl)
+        else:
+            errors = check_tables(args.jsonl)
+            if not errors:
+                print(f"{args.jsonl}: ok ({len(load_tables(args.jsonl))} tables)")
         for err in errors:
             print(err, file=sys.stderr)
-        if errors:
-            return 1
-        print(f"{args.jsonl}: ok ({len(load_tables(args.jsonl))} tables)")
-        return 0
+        return 1 if errors else 0
 
     tables = load_tables(args.jsonl)
     if not tables:

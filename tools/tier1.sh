@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the checks every change must pass before merging.
 #
-#   1. plain Release build + full ctest suite;
+#   1. plain Release build + full ctest suite (plus an explicit `-L trace`
+#      pass for the mcltrace ring/exporter suite);
 #   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
-#   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue`
-#      labels — the thread-pool wakeup and event-graph executor tests. Only
-#      those labels: TSan cannot track ucontext fiber stacks, so the fiber
-#      suites are excluded via the label selection.
+#   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue` +
+#      `trace` labels — the thread-pool wakeup, event-graph executor, and
+#      trace-ring tests. Only those labels: TSan cannot track ucontext fiber
+#      stacks, so the fiber suites are excluded via the label selection.
 #
 # Usage: tools/tier1.sh [jobs]    (jobs defaults to nproc)
 set -euo pipefail
@@ -17,15 +18,16 @@ echo "== tier1: plain build =="
 cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure -L trace
 
 echo "== tier1: ASan+UBSan build =="
 cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure
 
-echo "== tier1: TSan build (threading + queue labels) =="
+echo "== tier1: TSan build (threading + queue + trace labels) =="
 cmake -B build-tsan -S . -DMCL_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test
-ctest --test-dir build-tsan --output-on-failure -L "threading|queue"
+cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test
+ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace"
 
 echo "== tier1: all checks passed =="
