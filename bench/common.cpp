@@ -3,6 +3,9 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/sysinfo.hpp"
+#include "prof/metrics.hpp"
+#include "prof/profiler.hpp"
 #include "san/lint.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
@@ -10,6 +13,26 @@
 namespace mcl::bench {
 
 Env::~Env() {
+  if (!profile_path_.empty()) {
+    prof::stop();
+    std::cout << "\n" << prof::profiles_text();
+    std::cout << prof::metrics_text(prof::snapshot());
+    // P2: a kernel whose measured vector-lane utilization contradicts its
+    // static IR descriptor is surfaced like the T1 trace-drop lint.
+    for (const prof::KernelProfile& p : prof::kernel_profiles()) {
+      const san::Report lint =
+          san::lint_profile(p.name, p.has_simd_form, p.simd_item_fraction());
+      if (!lint.diagnostics.empty()) std::cout << lint.to_string();
+    }
+    if (profile_path_ != "1") {
+      if (prof::write_profile_json(profile_path_)) {
+        std::cout << "mclprof: wrote " << profile_path_
+                  << " (validate with tools/plot_results.py --check)\n";
+      } else {
+        std::cerr << "mclprof: failed to write " << profile_path_ << "\n";
+      }
+    }
+  }
   if (trace_path_.empty()) return;
   trace::stop();
   const std::uint64_t dropped = trace::dropped_events();
@@ -48,7 +71,60 @@ bool Env::init(int argc, const char* const* argv, const std::string& description
 
   trace_path_ = cli_.get("trace");
   if (!trace_path_.empty()) trace::start();
+
+  profile_path_ = cli_.get("profile");
+  if (!profile_path_.empty()) {
+    prof::start();
+    std::cout << "mclprof: profiling on (perf: " << prof::availability().detail
+              << ")\n";
+  }
+
+  write_provenance(description);
   return true;
+}
+
+void Env::write_provenance(const std::string& description) const {
+  // A provenance block ahead of the result tables, so an exported CSV/JSONL
+  // file is self-describing: which host, which flags, which seed, and
+  // whether the profile columns came from real hardware counters.
+  const core::HostInfo host = core::probe_host();
+  const prof::PerfAvailability& perf = prof::availability();
+  if (!csv_.empty()) {
+    std::ofstream out(csv_, std::ios::app);
+    if (out) {
+      out << "# mclbench: " << description << "\n"
+          << "# host: " << host.cpu_model << " (" << host.logical_cpus
+          << " logical CPUs, " << host.simd_isa << ")\n"
+          << "# flags: quick=" << (quick_ ? 1 : 0)
+          << " full=" << (full_ ? 1 : 0) << " min_time=" << opts_.min_time
+          << " seed=" << seed_ << " profile=" << (profiling() ? 1 : 0) << "\n"
+          << "# perf: " << perf.detail << "\n";
+    }
+  }
+  if (!json_.empty()) {
+    std::ofstream out(json_, std::ios::app);
+    if (out) {
+      auto quote = [](const std::string& s) {
+        std::string q = "\"";
+        for (char c : s) {
+          if (c == '"' || c == '\\') q += '\\';
+          q += c;
+        }
+        return q + "\"";
+      };
+      out << "{\"meta\":{\"bench\":" << quote(description)
+          << ",\"host\":" << quote(host.cpu_model)
+          << ",\"logical_cpus\":" << host.logical_cpus
+          << ",\"simd\":" << quote(host.simd_isa)
+          << ",\"quick\":" << (quick_ ? "true" : "false")
+          << ",\"full\":" << (full_ ? "true" : "false")
+          << ",\"min_time\":" << opts_.min_time << ",\"seed\":" << seed_
+          << ",\"perf\":{\"usable\":" << (perf.usable ? "true" : "false")
+          << ",\"paranoid\":" << perf.paranoid
+          << ",\"events_ok\":" << perf.events_ok
+          << ",\"detail\":" << quote(perf.detail) << "}}}\n";
+    }
+  }
 }
 
 void Env::restart_trace() {
@@ -69,6 +145,23 @@ double time_launch(ocl::CommandQueue& queue, const ocl::Kernel& kernel,
       [&] { return queue.enqueue_ndrange(kernel, global, local).seconds; },
       launch_opts);
   return m.per_iter_s;
+}
+
+void emit_profile_addendum(const Env& env, const std::string& title,
+                           const std::vector<std::string>& kernels) {
+  if (!env.profiling()) return;
+  core::Table t(title, {"kernel", "src", "IPC", "cache miss %", "GB/s",
+                        "SIMD item %"});
+  for (const std::string& name : kernels) {
+    const prof::KernelProfile p = prof::kernel_profile(name);
+    if (p.launches == 0) continue;
+    t.add_row({name, std::string(p.hardware ? "hw" : "sw"),
+               p.hardware ? core::Cell{p.ipc()} : core::Cell{std::string("-")},
+               p.hardware ? core::Cell{p.cache_miss_rate() * 100.0}
+                          : core::Cell{std::string("-")},
+               p.achieved_gbps(), p.simd_item_fraction() * 100.0});
+  }
+  if (t.row_count() > 0) t.emit(env.csv(), env.json(), env.md());
 }
 
 std::string range_str(const ocl::NDRange& r) {

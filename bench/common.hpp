@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/cli.hpp"
 #include "core/harness.hpp"
@@ -21,8 +22,11 @@ namespace mcl::bench {
 class Env {
  public:
   Env() = default;
-  /// When --trace was given: stops the trace session, writes the Chrome
-  /// JSON, and prints the aggregate metrics + drop report.
+  /// Teardown reporting: with --profile, stops the mclprof session, prints
+  /// the per-kernel profile table + metrics registry, runs the P2
+  /// profile-vs-IR lint, and writes the profile JSON when a path was given;
+  /// with --trace, stops the trace session, writes the Chrome JSON, and
+  /// prints the aggregate metrics + drop report.
   ~Env();
   Env(const Env&) = delete;
   Env& operator=(const Env&) = delete;
@@ -50,6 +54,13 @@ class Env {
   /// holds only the labeled replay, not the measurement-loop flood.
   void restart_trace();
 
+  /// True when --profile was given (an mclprof session is recording).
+  [[nodiscard]] bool profiling() const { return !profile_path_.empty(); }
+  /// The --profile value; "1" (bare flag) means report-only, no JSON file.
+  [[nodiscard]] const std::string& profile_path() const {
+    return profile_path_;
+  }
+
   /// Picks a size: quick -> small, default -> medium, --full -> paper size.
   template <typename T>
   [[nodiscard]] T size(T small, T medium, T paper) const {
@@ -67,6 +78,9 @@ class Env {
   bool quick_ = false;
   bool full_ = false;
   std::string trace_path_;
+  std::string profile_path_;
+
+  void write_provenance(const std::string& description) const;
 };
 
 /// Times kernel launches using event-reported seconds (wall time on the CPU
@@ -79,5 +93,13 @@ class Env {
 
 /// Formats an NDRange as "800x1600" / "NULL".
 [[nodiscard]] std::string range_str(const ocl::NDRange& r);
+
+/// With --profile, emits an mclprof addendum table — per-kernel IPC,
+/// cache-miss rate, achieved GB/s, and SIMD item fraction — for the named
+/// kernels, read from the live session. IPC/miss-rate cells show "-" when
+/// hardware counters were unavailable (the GB/s column is always real).
+/// No-op without --profile.
+void emit_profile_addendum(const Env& env, const std::string& title,
+                           const std::vector<std::string>& kernels);
 
 }  // namespace mcl::bench

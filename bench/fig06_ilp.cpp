@@ -63,5 +63,11 @@ int main(int argc, char** argv) {
     t.add_row({static_cast<double>(level), cpu_gflops, gpu_gflops});
   }
   t.emit(env.csv(), env.json(), env.md());
+
+  std::vector<std::string> kernels;
+  for (int level : apps::kIlpLevels)
+    kernels.push_back(apps::ilp_kernel_name(level));
+  bench::emit_profile_addendum(
+      env, "Figure 6 profile addendum (mclprof, CPU launches)", kernels);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "apps_setup.hpp"
 #include "apps/hostdata.hpp"
 #include "ompx/ompx.hpp"
+#include "prof/profiler.hpp"
 #include "threading/affinity.hpp"
 #include "trace/trace.hpp"
 
@@ -142,6 +143,40 @@ void trace_addendum(bench::Env& env, std::size_t n, int cores) {
   }
 }
 
+// --profile addendum: one aligned and one misaligned pinned launch, each
+// bracketed by KernelProfile snapshots, so the counter deltas (cycles,
+// cache misses when hardware counters are up; wall seconds and GB/s always)
+// attribute to exactly one mapping. On a multi-core host with perf access
+// the misaligned row shows the extra cache misses the simulator predicts.
+void profile_addendum(bench::Env& env, std::size_t n, int cores) {
+  ocl::Context ctx(env.platform().cpu());
+  ocl::CommandQueue q(ctx);
+  bench::VectorAddDriver driver(n, env.seed());
+  const ocl::NDRange global = driver.global();
+  const ocl::NDRange local{n / static_cast<std::size_t>(cores)};
+  const std::string kname = driver.kernel().def().name;
+  std::vector<int> map(static_cast<std::size_t>(cores));
+
+  core::Table t("Figure 9 profile addendum (mclprof, pinned launches)",
+                {"mapping", "src", "cycles", "cache misses", "seconds",
+                 "GB/s"});
+  for (const bool aligned : {true, false}) {
+    for (std::size_t g = 0; g < map.size(); ++g) {
+      map[g] = static_cast<int>(aligned ? g : (g + 1) % map.size());
+    }
+    const prof::KernelProfile before = prof::kernel_profile(kname);
+    (void)q.enqueue_ndrange_pinned(driver.kernel(), global, local, map);
+    const prof::KernelProfile delta =
+        prof::kernel_profile(kname).minus(before);
+    t.add_row({std::string(aligned ? "aligned" : "misaligned"),
+               std::string(delta.hardware ? "hw" : "sw"),
+               static_cast<double>(delta.cycles),
+               static_cast<double>(delta.cache_misses), delta.seconds,
+               delta.achieved_gbps()});
+  }
+  t.emit(env.csv(), env.json(), env.md());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,5 +239,6 @@ int main(int argc, char** argv) {
   }
 
   if (env.tracing()) trace_addendum(env, n, cores);
+  if (env.profiling()) profile_addendum(env, n, cores);
   return 0;
 }

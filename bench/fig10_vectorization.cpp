@@ -78,5 +78,11 @@ int main(int argc, char** argv) {
     (void)spmd_v;
   }
   t.emit(env.csv(), env.json(), env.md());
+
+  std::vector<std::string> kernels;
+  for (const apps::MBenchInfo& mb : apps::all_mbenches())
+    kernels.emplace_back(mb.kernel);
+  bench::emit_profile_addendum(
+      env, "Figure 10 profile addendum (mclprof, OpenCL launches)", kernels);
   return 0;
 }

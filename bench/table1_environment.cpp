@@ -3,6 +3,7 @@
 // parameters), in the layout of the paper's Table I.
 #include "common.hpp"
 #include "core/sysinfo.hpp"
+#include "prof/hw.hpp"
 #include "simd/vec.hpp"
 
 int main(int argc, char** argv) {
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
   t.add_row({std::string("GPU shader clock (MHz)"), gpu.clock_ghz * 1000.0,
              std::string("1544")});
   t.add_row({std::string("O/S"), host.os, std::string("Ubuntu 12.04.1 LTS")});
+  t.add_row({std::string("perf_event_paranoid"),
+             static_cast<double>(host.perf_event_paranoid),
+             std::string("n/a")});
+  t.add_row({std::string("Perf counters"), prof::availability().detail,
+             std::string("n/a (paper reports wall time only)")});
   t.add_row({std::string("Platform (CPU)"), std::string(ocl::Platform::version()),
              std::string("Intel OpenCL Platform")});
   t.add_row({std::string("Platform (GPU)"),

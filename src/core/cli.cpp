@@ -77,6 +77,9 @@ Cli make_bench_cli() {
   cli.add_flag("seed", "input-generation seed", "1337");
   cli.add_flag("trace",
                "write a Chrome-trace JSON (mcltrace) of the run to this path");
+  cli.add_flag("profile",
+               "profile kernels with hardware counters (mclprof); pass a path "
+               "to also write the profile JSON there");
   return cli;
 }
 

@@ -1,6 +1,7 @@
 #include "core/sysinfo.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -83,6 +84,15 @@ HostInfo probe_host() {
 #else
   info.os = "unknown";
 #endif
+
+  {
+    const std::string paranoid =
+        read_first_line("/proc/sys/kernel/perf_event_paranoid");
+    if (!paranoid.empty()) {
+      info.perf_event_paranoid =
+          static_cast<int>(std::strtol(paranoid.c_str(), nullptr, 10));
+    }
+  }
 
 #if defined(__clang__)
   info.compiler = "clang " __clang_version__;

@@ -17,6 +17,9 @@ struct HostInfo {
   int simd_float_lanes = 1;     ///< single-precision lanes per vector
   std::string os;
   std::string compiler;
+  /// /proc/sys/kernel/perf_event_paranoid (-99 when unreadable) — governs
+  /// whether mclprof can open hardware counters; Table I reports it.
+  int perf_event_paranoid = -99;
 };
 
 /// Probes /proc and sysfs (best effort; missing fields stay defaulted).

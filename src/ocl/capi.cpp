@@ -1,6 +1,7 @@
 // Implementation of the MiniCL C API (mcl.h) over the C++ runtime.
 #include "ocl/mcl.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,8 @@
 
 #include "ocl/platform.hpp"
 #include "ocl/queue.hpp"
+#include "prof/metrics.hpp"
+#include "prof/profiler.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -563,6 +566,51 @@ mcl_int mclTraceCounter(const char* name, double value) {
   if (name == nullptr) return MCL_INVALID_VALUE;
   if (mcl::trace::enabled()) {
     mcl::trace::counter(mcl::trace::intern(name), value);
+  }
+  return MCL_SUCCESS;
+}
+
+/* --- profiling --------------------------------------------------------------- */
+
+mcl_int mclGetEventProfile(mcl_event event, mcl_kernel_profile* profile) {
+  if (event == nullptr || !event->event) return MCL_INVALID_EVENT;
+  if (profile == nullptr) return MCL_INVALID_VALUE;
+  mcl::prof::KernelProfile p;
+  try {
+    p = event->event->kernel_profile();
+  } catch (const core::Error&) {
+    return MCL_PROFILING_INFO_NOT_AVAILABLE;
+  }
+  if (p.launches == 0) return MCL_PROFILING_INFO_NOT_AVAILABLE;
+  std::memset(profile, 0, sizeof(*profile));
+  std::strncpy(profile->kernel, p.name.c_str(), sizeof(profile->kernel) - 1);
+  profile->kernel[sizeof(profile->kernel) - 1] = '\0';
+  profile->launches = p.launches;
+  profile->workgroups = p.groups;
+  profile->items = p.items;
+  profile->cycles = p.cycles;
+  profile->instructions = p.instructions;
+  profile->cache_references = p.cache_references;
+  profile->cache_misses = p.cache_misses;
+  profile->branches = p.branches;
+  profile->branch_misses = p.branch_misses;
+  profile->seconds = p.seconds;
+  profile->ipc = p.ipc();
+  profile->cache_miss_rate = p.cache_miss_rate();
+  profile->bytes_per_cycle = p.bytes_per_cycle();
+  profile->achieved_gbps = p.achieved_gbps();
+  profile->hardware = p.hardware ? MCL_TRUE : MCL_FALSE;
+  return MCL_SUCCESS;
+}
+
+mcl_int mclMetricsSnapshot(char* buf, size_t buf_size, size_t* size_ret) {
+  if (buf == nullptr && size_ret == nullptr) return MCL_INVALID_VALUE;
+  const std::string json = mcl::prof::metrics_json(mcl::prof::snapshot());
+  if (size_ret != nullptr) *size_ret = json.size() + 1;
+  if (buf != nullptr && buf_size > 0) {
+    const size_t n = std::min(buf_size - 1, json.size());
+    std::memcpy(buf, json.data(), n);
+    buf[n] = '\0';
   }
   return MCL_SUCCESS;
 }

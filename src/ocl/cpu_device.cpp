@@ -7,6 +7,8 @@
 #include "ocl/detail/checked_runner.hpp"
 #include "ocl/detail/group_runner.hpp"
 #include "ocl/device.hpp"
+#include "prof/profiler.hpp"
+#include "simd/vec.hpp"
 #include "threading/affinity.hpp"
 #include "threading/thread_pool.hpp"
 #include "trace/trace.hpp"
@@ -15,16 +17,50 @@ namespace mcl::ocl {
 
 namespace {
 
-/// Rough per-workgroup traffic estimate for trace args: total bytes of all
-/// bound buffer arguments, split evenly across workgroups. Computed only
-/// when tracing is on.
-std::uint64_t estimate_group_bytes(const KernelArgs& args,
-                                   std::size_t total_groups) {
+/// Total bytes of all bound buffer arguments — the traffic estimate behind
+/// trace args and KernelProfile::achieved_gbps (each byte counted once per
+/// launch, so re-reads are invisible; it is a floor, not a measurement).
+std::uint64_t total_arg_bytes(const KernelArgs& args) {
   std::uint64_t bytes = 0;
   for (std::size_t i = 0; i < args.arg_count(); ++i) {
     if (args.is_buffer(i)) bytes += args.buffer_object(i)->size();
   }
-  return bytes / std::max<std::size_t>(total_groups, 1);
+  return bytes;
+}
+
+/// Rough per-workgroup traffic estimate for trace args: total buffer bytes
+/// split evenly across workgroups.
+std::uint64_t estimate_group_bytes(const KernelArgs& args,
+                                   std::size_t total_groups) {
+  return total_arg_bytes(args) / std::max<std::size_t>(total_groups, 1);
+}
+
+/// Items executed through the kernel's simd form. The Simd executor batches
+/// full lane groups along dim 0 of each local row and runs the remainder
+/// scalar, so coverage is (local0 - local0 % W) of every local0-item row.
+std::uint64_t simd_items_of(const detail::GroupRunner& runner,
+                            ExecutorKind used) {
+  if (used != ExecutorKind::Simd) return 0;
+  const std::size_t W = static_cast<std::size_t>(simd::kNativeFloatWidth);
+  const std::size_t local0 = std::max<std::size_t>(runner.local()[0], 1);
+  const std::size_t rows_per_group = runner.local().total() / local0;
+  return static_cast<std::uint64_t>(runner.total_groups()) *
+         (local0 - local0 % W) * rows_per_group;
+}
+
+prof::LaunchMeta launch_meta(const KernelDef& def,
+                             const detail::GroupRunner& runner,
+                             ExecutorKind used, double seconds,
+                             std::uint64_t est_bytes) {
+  prof::LaunchMeta meta;
+  meta.groups = runner.total_groups();
+  meta.items = static_cast<std::uint64_t>(runner.total_groups()) *
+               runner.local().total();
+  meta.simd_items = simd_items_of(runner, used);
+  meta.has_simd_form = def.simd != nullptr && simd::kNativeFloatWidth > 1;
+  meta.seconds = seconds;
+  meta.est_bytes = est_bytes;
+  return meta;
 }
 
 }  // namespace
@@ -68,9 +104,26 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
     trace::ScopedSpan span(
         trace::enabled() ? trace::intern("launch.checked:" + def.name)
                          : nullptr);
+    prof::LaunchAcc acc;
     const core::TimePoint t0 = core::now();
-    checked.run();
+    {
+      // One scope around the whole serial run: hw counters still attribute
+      // to the kernel even though there is no per-group fan-out.
+      prof::GroupScope hw(prof::profiling() ? &acc : nullptr);
+      checked.run();
+    }
     result.seconds = core::elapsed_s(t0, core::now());
+    if (prof::profiling()) {
+      prof::LaunchMeta meta;
+      const std::size_t local_total =
+          std::max<std::size_t>(result.local_used.total(), 1);
+      meta.items = global.total();
+      meta.groups = meta.items / local_total;
+      meta.has_simd_form = def.simd != nullptr && simd::kNativeFloatWidth > 1;
+      meta.seconds = result.seconds;
+      meta.est_bytes = total_arg_bytes(args);
+      result.profile = prof::commit_launch(def.name, acc, meta);
+    }
     return result;
   }
   detail::GroupRunner runner(def, args, global, local, config_.executor,
@@ -86,32 +139,48 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
       runner.total_groups() / (threads * 16), 1, 64);
 
   std::lock_guard launch_lock(impl_->launch_mutex);
+  prof::LaunchAcc acc;
   const core::TimePoint t0 = core::now();
-  if (!trace::enabled()) {
+  if (!trace::enabled() && !prof::profiling()) {
     result.schedule = impl_->pool.parallel_run(
         runner.total_groups(),
         [&runner](std::size_t g) { runner.run_group(g); }, chunk,
         config_.scheduler);
   } else {
-    // Traced launch: a span per workgroup tagged (group id, worker id,
-    // estimated bytes touched) under an enclosing per-kernel launch span.
-    // Kept off the fast path so the untraced lambda stays capture-light.
-    const char* wg_name = trace::intern("wg:" + def.name);
+    // Instrumented launch: a trace span per workgroup tagged (group id,
+    // worker id, estimated bytes touched) under an enclosing per-kernel
+    // launch span, and a prof::GroupScope sampling the worker's hardware
+    // counters across each workgroup batch. Either side disarms on null
+    // (wg_name when tracing is off, the accumulator when not profiling);
+    // the fast path above stays capture-light.
+    const char* wg_name =
+        trace::enabled() ? trace::intern("wg:" + def.name) : nullptr;
     const std::uint64_t est_bytes =
         estimate_group_bytes(args, runner.total_groups());
-    trace::ScopedSpan launch_span(trace::intern("launch:" + def.name),
-                                  "groups,threads", runner.total_groups(),
-                                  threads);
+    prof::LaunchAcc* const accp = prof::profiling() ? &acc : nullptr;
+    trace::ScopedSpan launch_span(
+        trace::enabled() ? trace::intern("launch:" + def.name) : nullptr,
+        "groups,threads", runner.total_groups(), threads);
     result.schedule = impl_->pool.parallel_run(
         runner.total_groups(),
-        [&runner, wg_name, est_bytes](std::size_t g) {
+        [&runner, wg_name, est_bytes, accp](std::size_t g) {
           trace::ScopedSpan span(wg_name, "group,worker,est_bytes", g,
-                                 trace::current_thread_id(), est_bytes);
+                                 wg_name != nullptr
+                                     ? trace::current_thread_id()
+                                     : 0,
+                                 est_bytes);
+          prof::GroupScope hw(accp);
           runner.run_group(g);
         },
         chunk, config_.scheduler);
   }
   result.seconds = core::elapsed_s(t0, core::now());
+  if (prof::profiling()) {
+    result.profile = prof::commit_launch(
+        def.name, acc,
+        launch_meta(def, runner, result.executor_used, result.seconds,
+                    total_arg_bytes(args)));
+  }
   return result;
 }
 
@@ -144,22 +213,32 @@ LaunchResult CpuDevice::launch_pinned(const KernelDef& def,
   const std::uint64_t est_bytes =
       wg_name != nullptr ? estimate_group_bytes(args, runner.total_groups())
                          : 0;
+  prof::LaunchAcc acc;
+  prof::LaunchAcc* const accp = prof::profiling() ? &acc : nullptr;
 
   const core::TimePoint t0 = core::now();
   std::vector<std::thread> threads;
   threads.reserve(by_cpu.size());
   for (const auto& [cpu, groups] : by_cpu) {
-    threads.emplace_back([cpu = cpu, &groups, &runner, wg_name, est_bytes] {
-      threading::pin_current_thread(cpu);
-      for (std::size_t g : groups) {
-        trace::ScopedSpan span(wg_name, "group,cpu,est_bytes", g,
-                               static_cast<std::uint64_t>(cpu), est_bytes);
-        runner.run_group(g);
-      }
-    });
+    threads.emplace_back(
+        [cpu = cpu, &groups, &runner, wg_name, est_bytes, accp] {
+          threading::pin_current_thread(cpu);
+          for (std::size_t g : groups) {
+            trace::ScopedSpan span(wg_name, "group,cpu,est_bytes", g,
+                                   static_cast<std::uint64_t>(cpu), est_bytes);
+            prof::GroupScope hw(accp);
+            runner.run_group(g);
+          }
+        });
   }
   for (auto& t : threads) t.join();
   result.seconds = core::elapsed_s(t0, core::now());
+  if (prof::profiling()) {
+    result.profile = prof::commit_launch(
+        def.name, acc,
+        launch_meta(def, runner, result.executor_used, result.seconds,
+                    total_arg_bytes(args)));
+  }
   return result;
 }
 

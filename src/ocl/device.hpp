@@ -15,6 +15,7 @@
 #include "gpusim/gpusim.hpp"
 #include "ocl/kernel.hpp"
 #include "ocl/types.hpp"
+#include "prof/profiler.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace mcl::ocl {
@@ -27,6 +28,10 @@ struct LaunchResult {
   bool simulated = false;        ///< seconds came from a timing model
   gpusim::SimResult sim;         ///< populated when simulated
   threading::RunStats schedule;  ///< workgroup load balance (CPU device)
+  /// Per-launch hardware-counter profile (CPU device, while prof::profiling()
+  /// is active; launches == 0 otherwise). Rides the event DAG: AsyncEvent
+  /// exposes it as kernel_profile() next to profiling_ns().
+  prof::KernelProfile profile;
 };
 
 class Device {

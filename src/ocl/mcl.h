@@ -221,6 +221,45 @@ mcl_int mclTraceBegin(const char* name);
 mcl_int mclTraceEnd(const char* name);
 mcl_int mclTraceCounter(const char* name, double value);
 
+/* --- profiling (mclprof extension) ------------------------------------------ */
+
+/* Per-launch hardware-counter profile of an NDRangeKernel event. `hardware`
+ * is MCL_TRUE when the counters came from perf_event_open; when the PMU is
+ * unavailable the software-derived fields (seconds, achieved_gbps) are still
+ * populated and the counter fields are zero. */
+typedef struct mcl_kernel_profile {
+  char kernel[64]; /* kernel name, truncated, NUL-terminated */
+  mcl_ulong launches;
+  mcl_ulong workgroups;
+  mcl_ulong items;
+  mcl_ulong cycles;
+  mcl_ulong instructions;
+  mcl_ulong cache_references;
+  mcl_ulong cache_misses;
+  mcl_ulong branches;
+  mcl_ulong branch_misses;
+  double seconds;
+  double ipc;
+  double cache_miss_rate;
+  double bytes_per_cycle;
+  double achieved_gbps;
+  mcl_int hardware; /* MCL_TRUE when counters came from perf_event_open */
+} mcl_kernel_profile;
+
+/* Fills *profile with the event's per-launch kernel profile. A profiling
+ * session must have been active at launch time (MCL_PROF=path in the
+ * environment, or a bench --profile run). Returns
+ * MCL_PROFILING_INFO_NOT_AVAILABLE when the event is not a completed
+ * NDRangeKernel command or no session was active. */
+mcl_int mclGetEventProfile(mcl_event event, mcl_kernel_profile* profile);
+
+/* Copies the current mclprof metrics registry snapshot as a JSON object
+ * ({"counters": ..., "gauges": ..., "histograms": ...}) into buf (truncated,
+ * always NUL-terminated when buf_size > 0). *size_ret (optional) receives
+ * the full untruncated size including the NUL. buf may be NULL for a pure
+ * size query. */
+mcl_int mclMetricsSnapshot(char* buf, size_t buf_size, size_t* size_ret);
+
 #ifdef __cplusplus
 }
 #endif

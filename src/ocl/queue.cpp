@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/time.hpp"
+#include "prof/metrics.hpp"
 #include "threading/affinity.hpp"
 #include "threading/thread_pool.hpp"
 #include "trace/trace.hpp"
@@ -49,6 +50,12 @@ std::size_t checked_mul(std::size_t a, std::size_t b) {
   return r;
 }
 
+/// Registry counters shared by the blocking and async transfer paths.
+void note_transfer(std::size_t bytes) {
+  MCL_PROF_COUNT("cq.transfers", 1);
+  MCL_PROF_HIST("cq.transfer_bytes", bytes);
+}
+
 core::Status status_of(const std::exception_ptr& error) noexcept {
   try {
     std::rethrow_exception(error);
@@ -76,6 +83,7 @@ Event CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
   check_range(buffer, offset, bytes);
   core::check(src != nullptr, core::Status::InvalidValue, "null source");
   MCL_TRACE_SCOPE("cq.write", "bytes", bytes);
+  note_transfer(bytes);
   Event ev{CommandType::WriteBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   std::memcpy(static_cast<std::byte*>(buffer.device_ptr()) + offset, src, bytes);
@@ -90,6 +98,7 @@ Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, std::size_t offset
   check_range(buffer, offset, bytes);
   core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
   MCL_TRACE_SCOPE("cq.read", "bytes", bytes);
+  note_transfer(bytes);
   Event ev{CommandType::ReadBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   std::memcpy(dst, static_cast<const std::byte*>(buffer.device_ptr()) + offset,
@@ -111,6 +120,7 @@ Event CommandQueue::enqueue_copy_buffer(const Buffer& src, Buffer& dst,
   core::check(s + bytes <= d || d + bytes <= s, core::Status::InvalidValue,
               "copy regions overlap");
   MCL_TRACE_SCOPE("cq.copy", "bytes", bytes);
+  note_transfer(bytes);
   Event ev{CommandType::CopyBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   std::memcpy(d, s, bytes);
@@ -130,6 +140,7 @@ Event CommandQueue::enqueue_fill_buffer(Buffer& buffer, const void* pattern,
   if (bytes == 0) return Event{CommandType::FillBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
   MCL_TRACE_SCOPE("cq.fill", "bytes", bytes);
+  note_transfer(bytes);
   Event ev{CommandType::FillBuffer, 0.0, {}};
   const core::TimePoint t0 = core::now();
   auto* d = static_cast<std::byte*>(buffer.device_ptr()) + offset;
@@ -271,6 +282,7 @@ Event CommandQueue::enqueue_ndrange(const Kernel& kernel, const NDRange& global,
       trace::enabled() ? trace::intern("cq.kernel:" + kernel.def().name)
                        : nullptr,
       "global,local", global.total(), local.is_null() ? 0 : local.total());
+  MCL_PROF_COUNT("cq.kernel_launches", 1);
   Event ev{CommandType::NDRangeKernel, 0.0, {}};
   ev.launch =
       device_->launch(kernel.def(), kernel.args(), global, local, offset);
@@ -289,6 +301,7 @@ Event CommandQueue::enqueue_ndrange_pinned(const Kernel& kernel,
       trace::enabled() ? trace::intern("cq.kernel_pinned:" + kernel.def().name)
                        : nullptr,
       "global,local", global.total(), local.is_null() ? 0 : local.total());
+  MCL_PROF_COUNT("cq.kernel_launches", 1);
   Event ev{CommandType::NDRangeKernel, 0.0, {}};
   ev.launch =
       cpu->launch_pinned(kernel.def(), kernel.args(), global, local, group_to_cpu);
@@ -333,6 +346,16 @@ ProfilingInfo AsyncEvent::profiling_ns() const {
   return prof_;
 }
 
+prof::KernelProfile AsyncEvent::kernel_profile() const {
+  std::lock_guard lock(mutex_);
+  core::check(finished_locked(), core::Status::InvalidOperation,
+              "kernel profile unavailable before the command completes");
+  core::check(type_ == CommandType::NDRangeKernel,
+              core::Status::InvalidOperation,
+              "kernel profiles exist only for NDRangeKernel commands");
+  return event_.launch.profile;
+}
+
 bool AsyncEvent::add_continuation(std::function<void(core::Status)> fn) {
   std::lock_guard lock(mutex_);
   if (finished_locked()) return false;
@@ -368,6 +391,7 @@ AsyncEventPtr CommandQueue::submit_async(CommandType type,
   ev->type_ = type;
   ev->work_ = std::move(command);
   ev->prof_.queued_ns = now_ns();
+  MCL_PROF_COUNT("cq.async_commands", 1);
 
   // Edges: explicit wait-list dependencies propagate failure; implicit
   // ordering edges (in-order chain, barriers, marker gathering) only order.
@@ -547,6 +571,7 @@ AsyncEventPtr CommandQueue::enqueue_ndrange_async(
   return submit_async(
       CommandType::NDRangeKernel,
       [this, def = &kernel.def(), args = kernel.args(), global, local] {
+        MCL_PROF_COUNT("cq.kernel_launches", 1);
         Event ev{CommandType::NDRangeKernel, 0.0, {}};
         ev.launch = device_->launch(*def, args, global, local);
         ev.seconds = ev.launch.seconds;
@@ -574,6 +599,7 @@ AsyncEventPtr CommandQueue::enqueue_write_buffer_async(
       CommandType::WriteBuffer,
       [this, dst, bytes, src] {
         MCL_TRACE_SCOPE("cq.write", "bytes", bytes);
+        note_transfer(bytes);
         Event ev{CommandType::WriteBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         std::memcpy(dst, src, bytes);
@@ -600,6 +626,7 @@ AsyncEventPtr CommandQueue::enqueue_read_buffer_async(
       CommandType::ReadBuffer,
       [this, src, bytes, dst] {
         MCL_TRACE_SCOPE("cq.read", "bytes", bytes);
+        note_transfer(bytes);
         Event ev{CommandType::ReadBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         std::memcpy(dst, src, bytes);
@@ -630,6 +657,7 @@ AsyncEventPtr CommandQueue::enqueue_copy_buffer_async(
       CommandType::CopyBuffer,
       [s, d, bytes] {
         MCL_TRACE_SCOPE("cq.copy", "bytes", bytes);
+        note_transfer(bytes);
         Event ev{CommandType::CopyBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         std::memcpy(d, s, bytes);
@@ -664,6 +692,7 @@ AsyncEventPtr CommandQueue::enqueue_fill_buffer_async(
       CommandType::FillBuffer,
       [d, bytes, pattern_copy = std::move(pattern_copy)] {
         MCL_TRACE_SCOPE("cq.fill", "bytes", bytes);
+        note_transfer(bytes);
         Event ev{CommandType::FillBuffer, 0.0, {}};
         const core::TimePoint t0 = core::now();
         for (std::size_t i = 0; i < bytes; i += pattern_copy.size()) {

@@ -128,6 +128,13 @@ class AsyncEvent {
   /// (CL_PROFILING_INFO_NOT_AVAILABLE analogue).
   [[nodiscard]] ProfilingInfo profiling_ns() const;
 
+  /// The mclprof per-launch profile (IPC, cache-miss rate, GB/s) of an
+  /// NDRangeKernel command. Same availability contract as profiling_ns():
+  /// throws Status::InvalidOperation before the terminal state or for
+  /// non-kernel commands. The profile has launches == 0 when no profiling
+  /// session was active at launch time.
+  [[nodiscard]] prof::KernelProfile kernel_profile() const;
+
  private:
   friend class CommandQueue;
 

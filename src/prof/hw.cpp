@@ -1,0 +1,159 @@
+#include "prof/hw.hpp"
+
+#include <mutex>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define MCL_PROF_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#else
+#define MCL_PROF_HAVE_PERF 0
+#endif
+
+namespace mcl::prof {
+
+#if MCL_PROF_HAVE_PERF
+
+namespace {
+
+// The six events every group tries to open, leader first. Order defines the
+// slot layout of the PERF_FORMAT_GROUP read.
+constexpr std::uint64_t kEventConfigs[kHwEventCount] = {
+    PERF_COUNT_HW_CPU_CYCLES,      PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_INSTRUCTIONS, PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int open_event(std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled, then ioctl
+  // exclude_kernel keeps the group admissible at perf_event_paranoid=2 (the
+  // common default); kernel-side work is invisible, which is the right scope
+  // for attributing user-space kernels anyway.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+int read_paranoid() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+  if (f == nullptr) return -99;
+  int level = -99;
+  if (std::fscanf(f, "%d", &level) != 1) level = -99;
+  std::fclose(f);
+  return level;
+}
+
+}  // namespace
+
+bool HwCounterGroup::open() {
+  close();
+  leader_fd_ = open_event(kEventConfigs[0], -1);
+  if (leader_fd_ < 0) {
+    leader_fd_ = -1;
+    return false;
+  }
+  fds_[0] = leader_fd_;
+  for (int i = 1; i < kHwEventCount; ++i) {
+    // Siblings that fail to open (unsupported event on this PMU) are simply
+    // absent; their slot stays -1 and reads as zero.
+    fds_[i] = open_event(kEventConfigs[i], leader_fd_);
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return true;
+}
+
+void HwCounterGroup::close() {
+  for (int i = kHwEventCount - 1; i >= 0; --i) {
+    if (fds_[i] >= 0) ::close(fds_[i]);
+    fds_[i] = -1;
+  }
+  leader_fd_ = -1;
+}
+
+HwSample HwCounterGroup::read() const {
+  HwSample sample;
+  if (leader_fd_ < 0) return sample;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + kHwEventCount] = {};
+  const ssize_t n = ::read(leader_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return sample;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  // Multiplex scaling: when the PMU time-shares this group with others,
+  // running < enabled and raw counts must be scaled up to estimates.
+  const double scale =
+      (running > 0 && enabled > running)
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  std::uint64_t* const out[kHwEventCount] = {
+      &sample.cycles,          &sample.instructions, &sample.cache_references,
+      &sample.cache_misses,    &sample.branches,     &sample.branch_misses,
+  };
+  // Group values appear in sibling-attach order, skipping events that never
+  // opened; walk our fd table in the same order to map slots back.
+  std::uint64_t slot = 0;
+  for (int i = 0; i < kHwEventCount && slot < nr; ++i) {
+    if (fds_[i] < 0) continue;
+    *out[i] = static_cast<std::uint64_t>(
+        static_cast<double>(buf[3 + slot]) * scale);
+    ++slot;
+  }
+  sample.valid = true;
+  return sample;
+}
+
+const PerfAvailability& availability() {
+  static PerfAvailability cached = [] {
+    PerfAvailability a;
+    a.paranoid = read_paranoid();
+    HwCounterGroup probe;
+    if (probe.open()) {
+      a.usable = probe.read().valid;
+      a.events_ok = probe.open_events();
+      a.detail = std::string(a.usable ? "ok (" : "opened but unreadable (") +
+                 std::to_string(a.events_ok) + "/" +
+                 std::to_string(kHwEventCount) + " events, paranoid=" +
+                 std::to_string(a.paranoid) + ")";
+    } else {
+      const int err = errno;
+      a.usable = false;
+      a.events_ok = 0;
+      a.detail = std::string("perf_event_open denied: ") +
+                 std::strerror(err) + " (paranoid=" +
+                 std::to_string(a.paranoid) + ")";
+    }
+    return a;
+  }();
+  return cached;
+}
+
+#else  // !MCL_PROF_HAVE_PERF
+
+bool HwCounterGroup::open() { return false; }
+void HwCounterGroup::close() { leader_fd_ = -1; }
+HwSample HwCounterGroup::read() const { return HwSample{}; }
+
+const PerfAvailability& availability() {
+  static const PerfAvailability cached{
+      false, -99, 0, "perf_event_open not available on this platform"};
+  return cached;
+}
+
+#endif  // MCL_PROF_HAVE_PERF
+
+}  // namespace mcl::prof

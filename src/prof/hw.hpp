@@ -1,0 +1,99 @@
+// mclprof hardware-counter backend: a per-thread perf_event_open group
+// sampling cycles, instructions, cache references/misses, and branch stats.
+//
+// The group leader is CPU cycles; the other events are siblings read in one
+// PERF_FORMAT_GROUP read() so the six values are mutually consistent. Each
+// event may fail to open independently (paranoid settings, missing PMU,
+// VM without counter passthrough) — failed events are skipped, not fatal,
+// and their slots read as zero with `valid` still true for the rest.
+//
+// Availability is probed once and cached (availability()): it records the
+// /proc/sys/kernel/perf_event_paranoid level, how many of the six events
+// opened, and a human-readable detail string (errno of the first failure).
+// Everything degrades gracefully: on kernels where perf_event_open is denied
+// or absent entirely (the syscall returns ENOENT in some containers), open()
+// yields a group whose ok() is false and the profiler falls back to
+// software-derived metrics — reported as such, never silently zeroed.
+//
+// Counters are opened with exclude_kernel so paranoid level 2 (the common
+// distro default) still admits them, and multiplex scaling
+// (time_enabled/time_running) is applied on read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcl::prof {
+
+/// Number of hardware events a group tries to open.
+inline constexpr int kHwEventCount = 6;
+
+/// One consistent reading of the thread's counter group (deltas are computed
+/// by subtracting two samples). Values are multiplex-scaled.
+struct HwSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  bool valid = false;  ///< false when the group is not usable
+
+  HwSample& operator-=(const HwSample& rhs) noexcept {
+    auto sub = [](std::uint64_t a, std::uint64_t b) { return a >= b ? a - b : 0; };
+    cycles = sub(cycles, rhs.cycles);
+    instructions = sub(instructions, rhs.instructions);
+    cache_references = sub(cache_references, rhs.cache_references);
+    cache_misses = sub(cache_misses, rhs.cache_misses);
+    branches = sub(branches, rhs.branches);
+    branch_misses = sub(branch_misses, rhs.branch_misses);
+    return *this;
+  }
+};
+
+/// What the probe discovered about perf_event_open on this host.
+struct PerfAvailability {
+  bool usable = false;   ///< at least the cycles leader opens
+  int paranoid = -99;    ///< /proc/sys/kernel/perf_event_paranoid (-99 unknown)
+  int events_ok = 0;     ///< how many of the kHwEventCount events opened
+  std::string detail;    ///< e.g. "ok (6/6 events)" or "denied: ENOENT"
+};
+
+/// Probes once per process (opens and closes a throwaway group) and caches
+/// the result. Thread-safe.
+[[nodiscard]] const PerfAvailability& availability();
+
+/// A per-thread group of hardware counters. Not thread-safe: open, read,
+/// and close on the owning thread.
+class HwCounterGroup {
+ public:
+  HwCounterGroup() = default;
+  ~HwCounterGroup() { close(); }
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  /// Opens the group for the calling thread, enabled immediately. Returns
+  /// ok() — false (with every fd closed) when even the leader is denied.
+  bool open();
+  void close();
+
+  /// True when the cycles leader is live.
+  [[nodiscard]] bool ok() const noexcept { return leader_fd_ >= 0; }
+
+  /// How many of the kHwEventCount events are currently open.
+  [[nodiscard]] int open_events() const noexcept {
+    int n = 0;
+    for (int fd : fds_) n += fd >= 0 ? 1 : 0;
+    return n;
+  }
+
+  /// Reads all counters in one syscall, multiplex-scaled. Returns a sample
+  /// with valid=false when the group is not open or the read fails.
+  [[nodiscard]] HwSample read() const;
+
+ private:
+  int leader_fd_ = -1;
+  int fds_[kHwEventCount] = {-1, -1, -1, -1, -1, -1};
+};
+
+}  // namespace mcl::prof

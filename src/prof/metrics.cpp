@@ -1,0 +1,291 @@
+// mclprof metrics registry: per-thread shards, name registration, snapshot
+// merge, and the text/JSON exporters.
+#include "prof/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace mcl::prof {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+// One writer thread per shard (counters/histograms are only added to by the
+// owning thread; snapshot() reads them relaxed from any thread). Shards are
+// recycled on thread exit like trace rings, but their counts are retained:
+// snapshot() sums across shards, so work done by exited threads must keep
+// contributing.
+struct alignas(64) Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::array<std::atomic<std::uint64_t>, kHistogramBuckets>,
+             kMaxHistograms>
+      histograms{};
+  std::atomic<bool> in_use{false};
+};
+
+class Registry {
+ public:
+  static Registry& get() {
+    // Leaked on purpose: thread_local shard holders may outlive static
+    // destruction of a non-leaked singleton.
+    static Registry* const r = new Registry;
+    return *r;
+  }
+
+  Shard* acquire_shard() {
+    std::lock_guard lock(mu_);
+    for (const std::unique_ptr<Shard>& s : shards_) {
+      if (!s->in_use.load(std::memory_order_relaxed)) {
+        s->in_use.store(true, std::memory_order_relaxed);
+        return s.get();
+      }
+    }
+    shards_.push_back(std::make_unique<Shard>());
+    Shard* s = shards_.back().get();
+    s->in_use.store(true, std::memory_order_relaxed);
+    return s;
+  }
+
+  void release_shard(Shard* s) {
+    std::lock_guard lock(mu_);
+    s->in_use.store(false, std::memory_order_relaxed);
+  }
+
+  std::uint32_t register_name(std::vector<std::string>& names,
+                              std::size_t capacity, const std::string& name) {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<std::uint32_t>(i);
+    }
+    if (names.size() >= capacity) return detail::kInvalidId;
+    names.push_back(name);
+    return static_cast<std::uint32_t>(names.size() - 1);
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::array<std::atomic<std::uint64_t>, kMaxGauges> gauges_{};  // double bits
+};
+
+struct ShardHolder {
+  Shard* shard = nullptr;
+  ~ShardHolder() {
+    if (shard != nullptr) Registry::get().release_shard(shard);
+  }
+};
+
+Shard& thread_shard() {
+  thread_local ShardHolder holder;
+  if (holder.shard == nullptr) holder.shard = Registry::get().acquire_shard();
+  return *holder.shard;
+}
+
+}  // namespace
+
+namespace detail {
+
+void counter_add(std::uint32_t id, std::uint64_t n) noexcept {
+  thread_shard().counters[id].fetch_add(n, std::memory_order_relaxed);
+}
+
+void gauge_set(std::uint32_t id, double value) noexcept {
+  Registry::get().gauges_[id].store(std::bit_cast<std::uint64_t>(value),
+                                    std::memory_order_relaxed);
+}
+
+void histogram_record(std::uint32_t id, std::uint64_t value) noexcept {
+  thread_shard().histograms[id][bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter counter(const std::string& name) {
+  Registry& r = Registry::get();
+  Counter c;
+  c.id_ = r.register_name(r.counter_names_, kMaxCounters, name);
+  return c;
+}
+
+Gauge gauge(const std::string& name) {
+  Registry& r = Registry::get();
+  Gauge g;
+  g.id_ = r.register_name(r.gauge_names_, kMaxGauges, name);
+  return g;
+}
+
+Histogram histogram(const std::string& name) {
+  Registry& r = Registry::get();
+  Histogram h;
+  h.id_ = r.register_name(r.histogram_names_, kMaxHistograms, name);
+  return h;
+}
+
+std::size_t bucket_index(std::uint64_t value) noexcept {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t bucket_lower(std::size_t b) noexcept {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t bucket_upper(std::size_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+std::uint64_t HistogramData::count() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint64_t b : buckets) n += b;
+  return n;
+}
+
+std::uint64_t HistogramData::max() const noexcept {
+  for (std::size_t b = buckets.size(); b-- > 0;) {
+    if (buckets[b] != 0) return bucket_upper(b);
+  }
+  return 0;
+}
+
+std::uint64_t HistogramData::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the k-th smallest sample with k = ceil(p/100 * n),
+  // clamped to at least 1 so p=0 answers with the smallest sample's bucket.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return bucket_upper(b);
+  }
+  return bucket_upper(buckets.size() - 1);
+}
+
+void HistogramData::merge(const HistogramData& other) noexcept {
+  for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+}
+
+Snapshot snapshot() {
+  Registry& r = Registry::get();
+  Snapshot snap;
+  std::lock_guard lock(r.mu_);
+  snap.counters.resize(r.counter_names_.size());
+  for (std::size_t i = 0; i < r.counter_names_.size(); ++i) {
+    snap.counters[i].name = r.counter_names_[i];
+  }
+  snap.gauges.resize(r.gauge_names_.size());
+  for (std::size_t i = 0; i < r.gauge_names_.size(); ++i) {
+    snap.gauges[i].name = r.gauge_names_[i];
+    snap.gauges[i].value = std::bit_cast<double>(
+        r.gauges_[i].load(std::memory_order_relaxed));
+  }
+  snap.histograms.resize(r.histogram_names_.size());
+  for (std::size_t i = 0; i < r.histogram_names_.size(); ++i) {
+    snap.histograms[i].name = r.histogram_names_[i];
+  }
+  for (const std::unique_ptr<Shard>& s : r.shards_) {
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      snap.counters[i].value +=
+          s->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        snap.histograms[i].data.buckets[b] +=
+            s->histograms[i][b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return snap;
+}
+
+void reset() {
+  Registry& r = Registry::get();
+  std::lock_guard lock(r.mu_);
+  for (const std::unique_ptr<Shard>& s : r.shards_) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : s->histograms) {
+      for (auto& b : h) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : r.gauges_) {
+    g.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+  }
+}
+
+std::string metrics_text(const Snapshot& snap) {
+  std::ostringstream os;
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    return "mclprof: no metrics registered\n";
+  }
+  os << "mclprof metrics\n";
+  for (const auto& c : snap.counters) {
+    os << "  counter  " << c.name << " = " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    os << "  gauge    " << g.name << " = " << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    os << "  hist     " << h.name << ": n=" << h.data.count()
+       << " p50<=" << h.data.percentile(50) << " p99<=" << h.data.percentile(99)
+       << " max<=" << h.data.max() << "\n";
+  }
+  return os.str();
+}
+
+std::string metrics_json(const Snapshot& snap) {
+  std::ostringstream os;
+  auto quote = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  };
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) os << ",";
+    os << quote(snap.counters[i].name) << ":" << snap.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) os << ",";
+    const double v = snap.gauges[i].value;
+    os << quote(snap.gauges[i].name) << ":";
+    if (std::isfinite(v)) {
+      os << v;
+    } else {
+      os << "null";
+    }
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i != 0) os << ",";
+    const HistogramData& d = snap.histograms[i].data;
+    os << quote(snap.histograms[i].name) << ":{\"count\":" << d.count()
+       << ",\"p50\":" << d.percentile(50) << ",\"p99\":" << d.percentile(99)
+       << ",\"max\":" << d.max() << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace mcl::prof

@@ -1,0 +1,208 @@
+// mclprof metrics registry — always-compiled, runtime-gated counters,
+// gauges, and log-bucketed histograms for MiniCL.
+//
+// Model: metrics are registered once by name (deduped, stable ids) and
+// updated through small value-type handles. Counter and histogram updates
+// land in a per-thread shard — a fixed-size block of relaxed atomics owned
+// by one writer thread — so hot paths never contend; snapshot() merges every
+// shard (including shards of exited threads, whose counts are retained) into
+// totals. Gauges are last-value samples and live in one global slot each.
+//
+// Cost when metrics are off: every instrumentation site performs exactly one
+// relaxed atomic load (enabled()) and branches out — the same budget as
+// MCL_TRACE_SCOPE, guarded by bench/gbench_micro (BM_MetricsDisabled).
+// Registration also only happens on the first *enabled* pass through a site,
+// so a binary that never profiles never touches the registry mutex.
+//
+// Histogram buckets are powers of two: value v lands in bucket
+// bit_width(v), i.e. bucket 0 holds only v == 0 and bucket b >= 1 covers
+// [2^(b-1), 2^b - 1]. percentile() returns the upper bound of the bucket
+// holding the nearest-rank sample — deterministic, and exact to within the
+// 2x bucket resolution. Merging histograms is elementwise addition, which
+// is associative and commutative (tested in tests/prof_test.cpp).
+//
+// See docs/metrics.md for the registry model and naming conventions.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcl::prof {
+
+/// Registry capacity per kind; registrations past these return an invalid
+/// (no-op) handle rather than failing — metrics must never throw on a hot
+/// path.
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 32;
+
+/// One bucket per possible bit_width of a uint64 value (0..64).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+inline constexpr std::uint32_t kInvalidId = UINT32_MAX;
+void counter_add(std::uint32_t id, std::uint64_t n) noexcept;
+void gauge_set(std::uint32_t id, double value) noexcept;
+void histogram_record(std::uint32_t id, std::uint64_t value) noexcept;
+}  // namespace detail
+
+/// True while a metrics session is recording. The only cost paid at an
+/// instrumentation site when metrics are off.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on/off. start()/stop() of the profiler session call this;
+/// it is exposed separately so the registry can be used without hardware
+/// counters (tests, gbench guards).
+void set_enabled(bool on);
+
+/// Monotonic named counter. Copyable; invalid handles (registry full) no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const noexcept {
+    if (id_ != detail::kInvalidId) detail::counter_add(id_, n);
+  }
+  [[nodiscard]] bool valid() const noexcept { return id_ != detail::kInvalidId; }
+
+ private:
+  friend Counter counter(const std::string& name);
+  std::uint32_t id_ = detail::kInvalidId;
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const noexcept {
+    if (id_ != detail::kInvalidId) detail::gauge_set(id_, value);
+  }
+  [[nodiscard]] bool valid() const noexcept { return id_ != detail::kInvalidId; }
+
+ private:
+  friend Gauge gauge(const std::string& name);
+  std::uint32_t id_ = detail::kInvalidId;
+};
+
+/// Log-bucketed value distribution.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t value) const noexcept {
+    if (id_ != detail::kInvalidId) detail::histogram_record(id_, value);
+  }
+  [[nodiscard]] bool valid() const noexcept { return id_ != detail::kInvalidId; }
+
+ private:
+  friend Histogram histogram(const std::string& name);
+  std::uint32_t id_ = detail::kInvalidId;
+};
+
+/// Registers (or finds, by name) a metric. Thread-safe; stable across the
+/// process lifetime. Returns an invalid no-op handle when the per-kind
+/// capacity is exhausted.
+[[nodiscard]] Counter counter(const std::string& name);
+[[nodiscard]] Gauge gauge(const std::string& name);
+[[nodiscard]] Histogram histogram(const std::string& name);
+
+// --- bucket math (exposed for tests and exporters) ---------------------------
+
+/// Bucket index of a value: bit_width(v), so 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+[[nodiscard]] std::size_t bucket_index(std::uint64_t value) noexcept;
+/// Smallest value bucket b holds (0 for b == 0, else 2^(b-1)).
+[[nodiscard]] std::uint64_t bucket_lower(std::size_t b) noexcept;
+/// Largest value bucket b holds (0 for b == 0, else 2^b - 1).
+[[nodiscard]] std::uint64_t bucket_upper(std::size_t b) noexcept;
+
+/// Merged histogram contents.
+struct HistogramData {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  /// Sum of per-bucket midpoint-free lower bounds is meaningless; callers
+  /// wanting totals should pair the histogram with a counter. max() is the
+  /// upper bound of the highest nonempty bucket (0 when empty).
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  /// Nearest-rank percentile (p in [0, 100]): the upper bound of the bucket
+  /// containing the ceil(p/100 * count)-th smallest sample; 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+  /// Elementwise sum — the shard-merge operation (associative/commutative).
+  void merge(const HistogramData& other) noexcept;
+};
+
+/// Point-in-time merged view of every registered metric.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    HistogramData data;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Merges every thread shard into totals. Safe to call while writers run
+/// (relaxed reads; the result is a consistent-enough monotonic view).
+[[nodiscard]] Snapshot snapshot();
+
+/// Zeroes every shard, gauge, and histogram. Registered names survive.
+void reset();
+
+/// Human-readable table of a snapshot (counters, gauges, histogram p50/p99).
+[[nodiscard]] std::string metrics_text(const Snapshot& snap);
+
+/// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+[[nodiscard]] std::string metrics_json(const Snapshot& snap);
+
+#define MCL_PROF_CAT2(a, b) a##b
+#define MCL_PROF_CAT(a, b) MCL_PROF_CAT2(a, b)
+
+/// Bump a named counter by n. One relaxed load when metrics are off; the
+/// metric registers itself on the first enabled pass through the site.
+#define MCL_PROF_COUNT(name, n)                                      \
+  do {                                                               \
+    if (::mcl::prof::enabled()) {                                    \
+      static const ::mcl::prof::Counter MCL_PROF_CAT(mcl_prof_c_,    \
+                                                     __LINE__) =     \
+          ::mcl::prof::counter(name);                                \
+      MCL_PROF_CAT(mcl_prof_c_, __LINE__).add(n);                    \
+    }                                                                \
+  } while (0)
+
+/// Sample a named gauge.
+#define MCL_PROF_GAUGE(name, value)                                  \
+  do {                                                               \
+    if (::mcl::prof::enabled()) {                                    \
+      static const ::mcl::prof::Gauge MCL_PROF_CAT(mcl_prof_g_,      \
+                                                   __LINE__) =       \
+          ::mcl::prof::gauge(name);                                  \
+      MCL_PROF_CAT(mcl_prof_g_, __LINE__).set(value);                \
+    }                                                                \
+  } while (0)
+
+/// Record a value into a named log-bucketed histogram.
+#define MCL_PROF_HIST(name, value)                                   \
+  do {                                                               \
+    if (::mcl::prof::enabled()) {                                    \
+      static const ::mcl::prof::Histogram MCL_PROF_CAT(mcl_prof_h_,  \
+                                                       __LINE__) =   \
+          ::mcl::prof::histogram(name);                              \
+      MCL_PROF_CAT(mcl_prof_h_, __LINE__).record(value);             \
+    }                                                                \
+  } while (0)
+
+}  // namespace mcl::prof

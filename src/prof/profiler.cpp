@@ -1,0 +1,335 @@
+// mclprof profiler session: per-kernel accumulation, trace bridging, and the
+// profile JSON / text exporters.
+#include "prof/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "core/time.hpp"
+#include "prof/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace mcl::prof {
+
+namespace detail {
+std::atomic<bool> g_profiling{false};
+}
+
+namespace {
+
+// Bumped on every start(); worker threads compare it against their cached
+// value and lazily (re)open their counter group on the first workgroup of a
+// new session. Keeps perf fds out of threads that never run kernels.
+std::atomic<std::uint64_t> g_generation{0};
+
+std::mutex g_mu;
+std::map<std::string, KernelProfile>& profile_map() {
+  static std::map<std::string, KernelProfile>* const m =
+      new std::map<std::string, KernelProfile>;
+  return *m;
+}
+
+struct ThreadHwCtx {
+  HwCounterGroup group;
+  std::uint64_t gen = 0;
+};
+
+ThreadHwCtx& thread_hw() {
+  thread_local ThreadHwCtx ctx;
+  return ctx;
+}
+
+std::uint64_t sub_sat(std::uint64_t a, std::uint64_t b) noexcept {
+  return a >= b ? a - b : 0;
+}
+
+void put_double(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+KernelProfile KernelProfile::minus(const KernelProfile& base) const {
+  KernelProfile d = *this;
+  d.launches = sub_sat(launches, base.launches);
+  d.groups = sub_sat(groups, base.groups);
+  d.items = sub_sat(items, base.items);
+  d.simd_items = sub_sat(simd_items, base.simd_items);
+  d.seconds = std::max(0.0, seconds - base.seconds);
+  d.est_bytes = sub_sat(est_bytes, base.est_bytes);
+  d.cycles = sub_sat(cycles, base.cycles);
+  d.instructions = sub_sat(instructions, base.instructions);
+  d.cache_references = sub_sat(cache_references, base.cache_references);
+  d.cache_misses = sub_sat(cache_misses, base.cache_misses);
+  d.branches = sub_sat(branches, base.branches);
+  d.branch_misses = sub_sat(branch_misses, base.branch_misses);
+  return d;
+}
+
+void start() {
+  // Probe before workers race into GroupScope; availability() caches.
+  (void)availability();
+  {
+    std::lock_guard lock(g_mu);
+    profile_map().clear();
+  }
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  set_enabled(true);
+  // Release pairs with the acquire of g_generation in GroupScope: a worker
+  // that observes profiling() == true also observes the bumped generation.
+  detail::g_profiling.store(true, std::memory_order_release);
+}
+
+void stop() {
+  detail::g_profiling.store(false, std::memory_order_relaxed);
+  set_enabled(false);
+}
+
+void reset_profiles() {
+  std::lock_guard lock(g_mu);
+  profile_map().clear();
+}
+
+GroupScope::GroupScope(LaunchAcc* acc) noexcept {
+  if (acc == nullptr || !profiling()) return;
+  acc_ = acc;
+  ThreadHwCtx& ctx = thread_hw();
+  const std::uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (ctx.gen != gen) {
+    ctx.group.close();
+    if (availability().usable) ctx.group.open();
+    ctx.gen = gen;
+  }
+  t0_ = ctx.group.read();
+  t0_ns_ = core::steady_now_ns();
+}
+
+GroupScope::~GroupScope() {
+  if (acc_ == nullptr) return;
+  const std::uint64_t dur = core::steady_now_ns() - t0_ns_;
+  MCL_PROF_HIST("prof.wg_ns", dur);
+  if (!t0_.valid) return;
+  HwSample t1 = thread_hw().group.read();
+  if (!t1.valid) return;
+  t1 -= t0_;
+  acc_->cycles.fetch_add(t1.cycles, std::memory_order_relaxed);
+  acc_->instructions.fetch_add(t1.instructions, std::memory_order_relaxed);
+  acc_->cache_references.fetch_add(t1.cache_references,
+                                   std::memory_order_relaxed);
+  acc_->cache_misses.fetch_add(t1.cache_misses, std::memory_order_relaxed);
+  acc_->branches.fetch_add(t1.branches, std::memory_order_relaxed);
+  acc_->branch_misses.fetch_add(t1.branch_misses, std::memory_order_relaxed);
+  acc_->hw_groups.fetch_add(1, std::memory_order_relaxed);
+}
+
+KernelProfile commit_launch(const std::string& kernel, const LaunchAcc& acc,
+                            const LaunchMeta& meta) {
+  KernelProfile launch;
+  launch.name = kernel;
+  if (!profiling()) return launch;
+  launch.launches = 1;
+  launch.groups = meta.groups;
+  launch.items = meta.items;
+  launch.simd_items = meta.simd_items;
+  launch.has_simd_form = meta.has_simd_form;
+  launch.seconds = meta.seconds;
+  launch.est_bytes = meta.est_bytes;
+  launch.cycles = acc.cycles.load(std::memory_order_relaxed);
+  launch.instructions = acc.instructions.load(std::memory_order_relaxed);
+  launch.cache_references =
+      acc.cache_references.load(std::memory_order_relaxed);
+  launch.cache_misses = acc.cache_misses.load(std::memory_order_relaxed);
+  launch.branches = acc.branches.load(std::memory_order_relaxed);
+  launch.branch_misses = acc.branch_misses.load(std::memory_order_relaxed);
+  launch.hardware = acc.hw_groups.load(std::memory_order_relaxed) > 0;
+
+  MCL_PROF_COUNT("prof.launches", 1);
+  {
+    std::lock_guard lock(g_mu);
+    KernelProfile& cum = profile_map()[kernel];
+    cum.name = kernel;
+    cum.launches += 1;
+    cum.groups += launch.groups;
+    cum.items += launch.items;
+    cum.simd_items += launch.simd_items;
+    cum.has_simd_form = cum.has_simd_form || launch.has_simd_form;
+    cum.hardware = cum.hardware || launch.hardware;
+    cum.seconds += launch.seconds;
+    cum.est_bytes += launch.est_bytes;
+    cum.cycles += launch.cycles;
+    cum.instructions += launch.instructions;
+    cum.cache_references += launch.cache_references;
+    cum.cache_misses += launch.cache_misses;
+    cum.branches += launch.branches;
+    cum.branch_misses += launch.branch_misses;
+  }
+
+  if (trace::enabled()) {
+    // Stamp IPC/GB/s counter tracks at the launch end so Perfetto lines the
+    // samples up with the kernel spans the device emitted.
+    const std::uint64_t ts = trace::clock_ns();
+    if (launch.hardware) {
+      trace::counter_at(trace::intern("prof.ipc:" + kernel), ts, launch.ipc());
+    }
+    trace::counter_at(trace::intern("prof.gbps:" + kernel), ts,
+                      launch.achieved_gbps());
+  }
+  return launch;
+}
+
+std::vector<KernelProfile> kernel_profiles() {
+  std::lock_guard lock(g_mu);
+  std::vector<KernelProfile> out;
+  out.reserve(profile_map().size());
+  for (const auto& [name, profile] : profile_map()) out.push_back(profile);
+  return out;
+}
+
+KernelProfile kernel_profile(const std::string& kernel) {
+  std::lock_guard lock(g_mu);
+  const auto it = profile_map().find(kernel);
+  if (it == profile_map().end()) {
+    KernelProfile zero;
+    zero.name = kernel;
+    return zero;
+  }
+  return it->second;
+}
+
+std::string profiles_text() {
+  const std::vector<KernelProfile> profiles = kernel_profiles();
+  std::ostringstream os;
+  os << "mclprof kernel profiles (perf: " << availability().detail << ")\n";
+  if (profiles.empty()) {
+    os << "  (no kernels profiled)\n";
+    return os.str();
+  }
+  os << "  " << std::left << std::setw(28) << "kernel" << std::right
+     << std::setw(8) << "launch" << std::setw(10) << "groups" << std::setw(12)
+     << "items" << std::setw(7) << "simd%" << std::setw(11) << "sec"
+     << std::setw(8) << "GB/s" << std::setw(7) << "IPC" << std::setw(7)
+     << "miss%" << std::setw(5) << "src" << "\n";
+  for (const KernelProfile& p : profiles) {
+    os << "  " << std::left << std::setw(28) << p.name << std::right
+       << std::setw(8) << p.launches << std::setw(10) << p.groups
+       << std::setw(12) << p.items << std::setw(7) << std::fixed
+       << std::setprecision(1) << p.simd_item_fraction() * 100.0
+       << std::setw(11) << std::setprecision(5) << p.seconds << std::setw(8)
+       << std::setprecision(2) << p.achieved_gbps();
+    if (p.hardware) {
+      os << std::setw(7) << std::setprecision(2) << p.ipc() << std::setw(6)
+         << std::setprecision(1) << p.cache_miss_rate() * 100.0 << "%"
+         << std::setw(5) << "hw";
+    } else {
+      os << std::setw(7) << "-" << std::setw(7) << "-" << std::setw(5) << "sw";
+    }
+    os << "\n";
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+  }
+  return os.str();
+}
+
+std::string profile_json() {
+  const PerfAvailability& perf = availability();
+  const std::vector<KernelProfile> profiles = kernel_profiles();
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "{\"mclprof\":1,\"perf\":{\"usable\":"
+     << (perf.usable ? "true" : "false") << ",\"paranoid\":" << perf.paranoid
+     << ",\"events_ok\":" << perf.events_ok
+     << ",\"detail\":" << quote(perf.detail) << "},\"kernels\":[";
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const KernelProfile& p = profiles[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":" << quote(p.name) << ",\"launches\":" << p.launches
+       << ",\"groups\":" << p.groups << ",\"items\":" << p.items
+       << ",\"simd_items\":" << p.simd_items << ",\"has_simd_form\":"
+       << (p.has_simd_form ? "true" : "false")
+       << ",\"hardware\":" << (p.hardware ? "true" : "false")
+       << ",\"seconds\":";
+    put_double(os, p.seconds);
+    os << ",\"est_bytes\":" << p.est_bytes << ",\"cycles\":" << p.cycles
+       << ",\"instructions\":" << p.instructions
+       << ",\"cache_references\":" << p.cache_references
+       << ",\"cache_misses\":" << p.cache_misses
+       << ",\"branches\":" << p.branches
+       << ",\"branch_misses\":" << p.branch_misses << ",\"ipc\":";
+    put_double(os, p.ipc());
+    os << ",\"cache_miss_rate\":";
+    put_double(os, p.cache_miss_rate());
+    os << ",\"branch_miss_rate\":";
+    put_double(os, p.branch_miss_rate());
+    os << ",\"bytes_per_cycle\":";
+    put_double(os, p.bytes_per_cycle());
+    os << ",\"achieved_gbps\":";
+    put_double(os, p.achieved_gbps());
+    os << ",\"simd_item_fraction\":";
+    put_double(os, p.simd_item_fraction());
+    os << "}";
+  }
+  os << "],\"metrics\":" << metrics_json(snapshot()) << "}";
+  return os.str();
+}
+
+bool write_profile_json(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << profile_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+// MCL_PROF=out.json starts a session at load time and writes the profile at
+// exit — the same UX as MCL_TRACE. MCL_PROF=1|-|stderr prints the text
+// table to stderr instead of writing JSON.
+const char* g_env_path = nullptr;
+
+struct EnvAutoStart {
+  EnvAutoStart() {
+    const char* path = std::getenv("MCL_PROF");
+    if (path == nullptr || *path == '\0') return;
+    g_env_path = path;
+    start();
+    std::atexit([] {
+      stop();
+      const std::string path_s(g_env_path);
+      if (path_s == "1" || path_s == "-" || path_s == "stderr") {
+        std::fputs(profiles_text().c_str(), stderr);
+        std::fputs(metrics_text(snapshot()).c_str(), stderr);
+      } else if (write_profile_json(path_s)) {
+        std::fprintf(stderr, "mclprof: wrote %s\n", g_env_path);
+      } else {
+        std::fprintf(stderr, "mclprof: failed to write %s\n", g_env_path);
+      }
+    });
+  }
+};
+
+const EnvAutoStart g_env_autostart;
+
+}  // namespace
+
+}  // namespace mcl::prof

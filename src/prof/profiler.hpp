@@ -1,0 +1,179 @@
+// mclprof profiler session: per-kernel hardware-counter profiles attributed
+// through the launch path and the queue's event DAG.
+//
+// Model: bench::Env (--profile), the MCL_PROF env var, or a direct start()
+// call opens a profiling session. While it is active, every CPU-device
+// kernel launch accumulates per-workgroup deltas of the worker thread's
+// perf_event_open counter group (prof::HwCounterGroup) into a LaunchAcc;
+// when the launch completes, commit_launch() folds the accumulator into the
+// per-kernel cumulative profile and returns the per-launch KernelProfile
+// that rides inside ocl::LaunchResult — so every ocl::Event and AsyncEvent
+// carries IPC / cache-miss-rate / GB/s next to its profiling_ns().
+//
+// Graceful degradation: when perf_event_open is unavailable (containers,
+// paranoid kernels, VMs without a PMU) the session still profiles — groups,
+// items, SIMD coverage, seconds and estimated bytes come from the launch
+// path and core::steady_now_ns — and `hardware` stays false so consumers
+// report "sw" instead of fabricating zero IPC. availability() says why.
+// Cache behavior in degraded mode comes from the cachesim replay benches
+// (fig09) rather than the PMU; see docs/metrics.md.
+//
+// Profiles are also bridged onto the mcltrace timeline: each committed
+// launch emits "prof.ipc:<kernel>" / "prof.gbps:<kernel>" counter samples
+// when tracing is on, so Perfetto shows IPC over time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/hw.hpp"
+
+namespace mcl::prof {
+
+/// Per-kernel (or per-launch) counter aggregate with derived rates. A
+/// default-constructed profile (launches == 0) means "not profiled".
+struct KernelProfile {
+  std::string name;
+  std::uint64_t launches = 0;
+  std::uint64_t groups = 0;      ///< workgroups executed
+  std::uint64_t items = 0;       ///< workitems executed
+  std::uint64_t simd_items = 0;  ///< items executed through the simd form
+  bool has_simd_form = false;    ///< static IR descriptor registered a simd fn
+  bool hardware = false;         ///< counters below came from perf_event_open
+  double seconds = 0.0;          ///< kernel wall time (core::steady_now_ns)
+  std::uint64_t est_bytes = 0;   ///< estimated buffer bytes touched
+
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+
+  /// Instructions per cycle; 0 when no hardware counts are present.
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  [[nodiscard]] double cache_miss_rate() const noexcept {
+    return cache_references > 0 ? static_cast<double>(cache_misses) /
+                                      static_cast<double>(cache_references)
+                                : 0.0;
+  }
+  [[nodiscard]] double branch_miss_rate() const noexcept {
+    return branches > 0 ? static_cast<double>(branch_misses) /
+                              static_cast<double>(branches)
+                        : 0.0;
+  }
+  [[nodiscard]] double bytes_per_cycle() const noexcept {
+    return cycles > 0
+               ? static_cast<double>(est_bytes) / static_cast<double>(cycles)
+               : 0.0;
+  }
+  /// Achieved bandwidth over the estimated bytes touched (software-derived:
+  /// works with or without hardware counters).
+  [[nodiscard]] double achieved_gbps() const noexcept {
+    return seconds > 0.0
+               ? static_cast<double>(est_bytes) / seconds / 1e9
+               : 0.0;
+  }
+  /// Fraction of items that went through the simd form — the measured
+  /// vector-lane utilization the P2 lint compares against the IR descriptor.
+  [[nodiscard]] double simd_item_fraction() const noexcept {
+    return items > 0 ? static_cast<double>(simd_items) /
+                           static_cast<double>(items)
+                     : 0.0;
+  }
+
+  /// Per-interval delta (this - base); used by benches to attribute a
+  /// cumulative profile to one measured configuration.
+  [[nodiscard]] KernelProfile minus(const KernelProfile& base) const;
+};
+
+namespace detail {
+extern std::atomic<bool> g_profiling;
+}
+
+/// True while a profiling session is active (one relaxed load).
+[[nodiscard]] inline bool profiling() noexcept {
+  return detail::g_profiling.load(std::memory_order_relaxed);
+}
+
+/// Starts (or restarts) profiling: bumps the session generation (worker
+/// threads lazily reopen their counter groups), enables the metrics
+/// registry, and clears per-kernel profiles.
+void start();
+
+/// Stops profiling and disables the metrics registry. Profiles survive
+/// until the next start() for inspection.
+void stop();
+
+/// Clears per-kernel cumulative profiles (without stopping the session).
+void reset_profiles();
+
+/// Per-launch accumulator the device fills through GroupScope instances.
+struct LaunchAcc {
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> instructions{0};
+  std::atomic<std::uint64_t> cache_references{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> branches{0};
+  std::atomic<std::uint64_t> branch_misses{0};
+  std::atomic<std::uint64_t> hw_groups{0};  ///< groups with a valid hw delta
+};
+
+/// RAII per-workgroup sampler: reads the calling thread's counter group on
+/// entry and exit and adds the delta to `acc`. A null acc (or an inactive
+/// session) disarms it. Also records the workgroup duration into the
+/// "prof.wg_ns" registry histogram.
+class GroupScope {
+ public:
+  explicit GroupScope(LaunchAcc* acc) noexcept;
+  ~GroupScope();
+  GroupScope(const GroupScope&) = delete;
+  GroupScope& operator=(const GroupScope&) = delete;
+
+ private:
+  LaunchAcc* acc_ = nullptr;
+  HwSample t0_;
+  std::uint64_t t0_ns_ = 0;
+};
+
+/// Static facts about one launch, provided by the device.
+struct LaunchMeta {
+  std::uint64_t groups = 0;
+  std::uint64_t items = 0;
+  std::uint64_t simd_items = 0;
+  bool has_simd_form = false;
+  double seconds = 0.0;
+  std::uint64_t est_bytes = 0;
+};
+
+/// Folds one finished launch into the per-kernel cumulative profile and
+/// returns the per-launch profile (for LaunchResult / AsyncEvent). Emits
+/// trace counter samples when tracing is on. No-op (returns a default
+/// profile) when the session is inactive.
+[[nodiscard]] KernelProfile commit_launch(const std::string& kernel,
+                                          const LaunchAcc& acc,
+                                          const LaunchMeta& meta);
+
+/// Cumulative per-kernel profiles of the current session, name-sorted.
+[[nodiscard]] std::vector<KernelProfile> kernel_profiles();
+
+/// Cumulative profile of one kernel (default/zero when never profiled).
+[[nodiscard]] KernelProfile kernel_profile(const std::string& kernel);
+
+/// Fixed-width per-kernel profile table (the bench::Env teardown report).
+[[nodiscard]] std::string profiles_text();
+
+/// The full profile document: {"mclprof": 1, "perf": {...}, "kernels":
+/// [...], "metrics": {...}} — validated by tools/plot_results.py --check.
+[[nodiscard]] std::string profile_json();
+
+/// Writes profile_json() to `path`; false on IO error.
+bool write_profile_json(const std::string& path);
+
+}  // namespace mcl::prof

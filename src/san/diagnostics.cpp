@@ -16,6 +16,7 @@ std::string_view to_string(Rule rule) noexcept {
     case Rule::H2BarrierExecutor: return "H2";
     case Rule::H3BadNDRange: return "H3";
     case Rule::T1TraceDrop: return "T1";
+    case Rule::P2ProfileContradiction: return "P2";
   }
   return "?";
 }

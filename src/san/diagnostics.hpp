@@ -32,6 +32,7 @@ enum class Rule {
   H2BarrierExecutor,
   H3BadNDRange,
   T1TraceDrop,
+  P2ProfileContradiction,
 };
 
 enum class Severity { Error, Warning, Note };

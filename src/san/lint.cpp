@@ -1,5 +1,6 @@
 #include "san/lint.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace mcl::san {
@@ -71,6 +72,24 @@ Report lint_trace(std::uint64_t dropped_events) {
                    " trace events were dropped on ring overflow; the "
                    "exported timeline is truncated (raise the drain rate or "
                    "trace a shorter window)");
+  }
+  return report;
+}
+
+Report lint_profile(const std::string& kernel, bool claims_vectorized,
+                    double simd_item_fraction) {
+  Report report;
+  constexpr double kMinUtilization = 0.05;
+  if (claims_vectorized && simd_item_fraction < kMinUtilization) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.1f%%", simd_item_fraction * 100.0);
+    report.add(Rule::P2ProfileContradiction, Severity::Warning, kernel,
+               std::string("kernel registered a SIMD form but the measured "
+                           "vector-lane utilization is ") +
+                   pct +
+                   "; the launch ran (nearly) all items scalar — check the "
+                   "executor routing and that local size dim 0 covers the "
+                   "vector width");
   }
   return report;
 }

@@ -27,4 +27,16 @@ namespace mcl::san {
 /// callers pass trace::dropped_events().
 [[nodiscard]] Report lint_trace(std::uint64_t dropped_events);
 
+/// Lints a measured kernel profile against the kernel's static IR descriptor
+/// (P2): a kernel that registered a SIMD form but whose measured
+/// vector-lane utilization is ~0 (simd_item_fraction below ~5%) is claiming
+/// vectorization it never delivered — the executor routed it scalar (Fiber
+/// fallback for barrier kernels, explicit executor override, or a local
+/// size below the lane width). Values instead of prof types so mcl_san
+/// stays independent of mcl_prof; callers pass
+/// KernelProfile::simd_item_fraction().
+[[nodiscard]] Report lint_profile(const std::string& kernel,
+                                  bool claims_vectorized,
+                                  double simd_item_fraction);
+
 }  // namespace mcl::san

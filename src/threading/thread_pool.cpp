@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "prof/metrics.hpp"
 #include "threading/affinity.hpp"
 #include "trace/trace.hpp"
 
@@ -62,6 +63,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  MCL_PROF_COUNT("pool.tasks", 1);
   {
     std::lock_guard lock(mutex_);
     tasks_.push_back(std::move(task));
@@ -179,6 +181,8 @@ RunStats ThreadPool::parallel_run(std::size_t count,
   if (count == 0) return {};
   if (chunk == 0) chunk = 1;
   MCL_TRACE_SCOPE("pool.batch", "count,chunk", count, chunk);
+  MCL_PROF_COUNT("pool.batches", 1);
+  MCL_PROF_HIST("pool.batch_groups", count);
   auto batch = std::make_shared<Batch>();
   batch->generation = batch_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
   batch->count = count;

@@ -286,4 +286,10 @@ void counter(const char* name, double value) {
        std::bit_cast<std::uint64_t>(value), 0, 0);
 }
 
+void counter_at(const char* name, std::uint64_t ts_ns, double value) {
+  if (!enabled()) return;
+  emit(EventType::Counter, name, nullptr, ts_ns, 0,
+       std::bit_cast<std::uint64_t>(value), 0, 0);
+}
+
 }  // namespace mcl::trace

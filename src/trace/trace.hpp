@@ -126,6 +126,9 @@ void complete_span(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
 void instant(const char* name, const char* arg_keys = nullptr,
              std::uint64_t a0 = 0, std::uint64_t a1 = 0, std::uint64_t a2 = 0);
 void counter(const char* name, double value);
+/// A counter sample with a caller-provided timestamp — lets mclprof stamp
+/// per-launch IPC/GB/s samples at the launch end time on the shared epoch.
+void counter_at(const char* name, std::uint64_t ts_ns, double value);
 
 /// RAII span: one relaxed load when tracing is off; when on, records a
 /// Complete event spanning construction to destruction. A null `name`

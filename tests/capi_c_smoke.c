@@ -62,6 +62,22 @@ int mcl_c_smoke(void) {
   if (mclEnqueueUnmapMemObject(queue, mc, p) != MCL_SUCCESS) return 19;
 
   if (mclFinish(queue) != MCL_SUCCESS) return 20;
+
+  /* mclprof extension: C linkage of the profiling entry points. The metrics
+   * snapshot works with or without an active session; event profiles reject
+   * null handles. */
+  {
+    size_t sz = 0;
+    char small[8];
+    if (mclMetricsSnapshot(NULL, 0, &sz) != MCL_SUCCESS || sz < 3) return 21;
+    if (mclMetricsSnapshot(small, sizeof(small), NULL) != MCL_SUCCESS)
+      return 22;
+    if (small[0] != '{') return 23;
+    if (small[sizeof(small) - 1] != '\0') return 24; /* truncating copy */
+    if (mclMetricsSnapshot(NULL, 0, NULL) != MCL_INVALID_VALUE) return 25;
+    if (mclGetEventProfile(NULL, NULL) != MCL_INVALID_EVENT) return 26;
+  }
+
   mclReleaseKernel(kernel);
   mclReleaseMemObject(ma);
   mclReleaseMemObject(mb);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ocl/mcl.h"
+#include "prof/profiler.hpp"
 
 extern "C" int mcl_c_smoke(void);
 
@@ -248,6 +249,67 @@ TEST(CApi, AsyncErrorPropagationAcrossEvents) {
 
   mclReleaseEvent(bad);
   mclReleaseEvent(dep);
+  mclReleaseKernel(k);
+  mclReleaseMemObject(buf);
+  mclReleaseCommandQueue(q);
+  mclReleaseContext(ctx);
+}
+
+TEST(CApi, EventProfileCarriesKernelCounters) {
+  mcl_device_id device;
+  ASSERT_EQ(mclGetDeviceIDs(MCL_DEVICE_TYPE_CPU, 1, &device, nullptr),
+            MCL_SUCCESS);
+  mcl_int err;
+  mcl_context ctx = mclCreateContext(device, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_command_queue q = mclCreateCommandQueue(ctx, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+
+  const size_t n = 512;
+  mcl_mem buf = mclCreateBuffer(ctx, MCL_MEM_READ_WRITE, n * 4, nullptr, &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  mcl_kernel k = mclCreateKernel(ctx, "square", &err);
+  ASSERT_EQ(err, MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(k, 0, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+  ASSERT_EQ(mclSetKernelArg(k, 1, sizeof(mcl_mem), &buf), MCL_SUCCESS);
+
+  mcl::prof::start();
+  mcl_event ev = nullptr;
+  const size_t local = 64;
+  ASSERT_EQ(
+      mclEnqueueNDRangeKernelAsync(q, k, 1, &n, &local, 0, nullptr, &ev),
+      MCL_SUCCESS);
+  ASSERT_EQ(mclWaitForEvents(1, &ev), MCL_SUCCESS);
+
+  mcl_kernel_profile p;
+  ASSERT_EQ(mclGetEventProfile(ev, &p), MCL_SUCCESS);
+  EXPECT_STREQ(p.kernel, "square");
+  EXPECT_EQ(p.launches, 1u);
+  EXPECT_EQ(p.workgroups, n / local);
+  EXPECT_EQ(p.items, n);
+  EXPECT_GT(p.seconds, 0.0);
+  // Graceful degradation: `hardware` says whether cycles/ipc are real.
+  if (p.hardware == MCL_FALSE) {
+    EXPECT_EQ(p.cycles, 0u);
+    EXPECT_EQ(p.ipc, 0.0);
+  } else {
+    EXPECT_GT(p.cycles, 0u);
+    EXPECT_GT(p.ipc, 0.0);
+  }
+  EXPECT_EQ(mclGetEventProfile(ev, nullptr), MCL_INVALID_VALUE);
+  mcl::prof::stop();
+
+  // A transfer event is not a kernel: no profile to fetch.
+  std::vector<float> host(n, 0.0f);
+  mcl_event r_ev = nullptr;
+  ASSERT_EQ(mclEnqueueReadBufferAsync(q, buf, 0, n * 4, host.data(), 0,
+                                      nullptr, &r_ev),
+            MCL_SUCCESS);
+  ASSERT_EQ(mclWaitForEvents(1, &r_ev), MCL_SUCCESS);
+  EXPECT_EQ(mclGetEventProfile(r_ev, &p), MCL_PROFILING_INFO_NOT_AVAILABLE);
+
+  mclReleaseEvent(ev);
+  mclReleaseEvent(r_ev);
   mclReleaseKernel(k);
   mclReleaseMemObject(buf);
   mclReleaseCommandQueue(q);

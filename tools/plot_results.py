@@ -15,6 +15,16 @@ non-decreasing per-thread timestamps, balanced B/E pairs per (pid, tid), and
 non-negative durations on X events. A nonzero otherData.dropped_events only
 warns (the trace is truncated, not malformed).
 
+--check likewise understands mclprof profile documents (the --profile=<path>
+/ MCL_PROF=<path> output, a single object with an "mclprof" version key):
+the perf availability block must be present and typed, every kernel entry's
+counters must be non-negative, IPC must sit in sane bounds (0..16), and a
+profile claiming hardware=false must not fabricate cycle counts.
+
+Results JSONL files may carry {"meta": {...}} provenance lines (written by
+the bench --csv/--json header block); they are validated for shape and
+skipped by the renderers.
+
 Without matplotlib installed, the ASCII renderer still works — every table
 becomes horizontal bars of its first numeric column group.
 """
@@ -31,7 +41,10 @@ def load_tables(path):
             line = line.strip()
             if not line:
                 continue
-            tables.append(json.loads(line))
+            doc = json.loads(line)
+            if isinstance(doc, dict) and "meta" in doc:
+                continue  # provenance line, not a table
+            tables.append(doc)
     return tables
 
 
@@ -45,12 +58,24 @@ def check_tables(path):
     errors = []
     if not os.path.exists(path):
         return [f"{path}: no such file"]
+    docs = []
     try:
-        tables = load_tables(path)
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    docs.append(json.loads(line))
     except (OSError, json.JSONDecodeError) as e:
         return [f"{path}: {e}"]
+    tables = []
+    for i, doc in enumerate(docs):
+        if isinstance(doc, dict) and "meta" in doc:
+            if not isinstance(doc["meta"], dict):
+                errors.append(f"{path}: line {i}: 'meta' must be an object")
+            continue
+        tables.append(doc)
     if not tables:
-        return [f"{path}: no tables (empty results file)"]
+        return errors + [f"{path}: no tables (empty results file)"]
     for i, table in enumerate(tables):
         where = f"{path}: table {i}"
         if not isinstance(table, dict):
@@ -97,6 +122,128 @@ def is_trace_file(path):
     except OSError:
         pass
     return False
+
+
+def is_profile_file(path):
+    """An mclprof document is one JSON object whose first key is the
+    "mclprof" version marker (written by --profile=<path> / MCL_PROF)."""
+    try:
+        with open(path) as f:
+            for line in f:
+                stripped = line.strip()
+                if stripped:
+                    return stripped.startswith("{") and '"mclprof"' in stripped
+    except OSError:
+        pass
+    return False
+
+
+# Counter fields every kernel entry must carry, all non-negative.
+PROFILE_COUNTERS = (
+    "launches",
+    "groups",
+    "items",
+    "simd_items",
+    "est_bytes",
+    "cycles",
+    "instructions",
+    "cache_references",
+    "cache_misses",
+    "branches",
+    "branch_misses",
+)
+
+# An IPC outside (0, 16] means the counter group misread (modern x86 retires
+# at most ~8 uops/cycle; 16 leaves slack for SMT aggregation).
+PROFILE_MAX_IPC = 16.0
+
+
+def check_profile(path):
+    """Validates an mclprof profile JSON; returns error strings.
+
+    Checks: parseable object, "mclprof" version 1, a typed "perf"
+    availability block, kernel entries with non-negative counters, seconds
+    >= 0, IPC within sane bounds, SIMD items <= items, and no fabricated
+    cycle counts when hardware counters were unavailable.
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: profile root is not a JSON object"]
+    if doc.get("mclprof") != 1:
+        errors.append(f"{path}: 'mclprof' version marker is not 1")
+    perf = doc.get("perf")
+    if not isinstance(perf, dict):
+        errors.append(f"{path}: missing 'perf' availability object")
+        perf = {}
+    else:
+        if not isinstance(perf.get("usable"), bool):
+            errors.append(f"{path}: perf.usable must be a boolean")
+        if not isinstance(perf.get("paranoid"), int):
+            errors.append(f"{path}: perf.paranoid must be an integer")
+        if not isinstance(perf.get("detail"), str) or not perf.get("detail"):
+            errors.append(
+                f"{path}: perf.detail must explain availability "
+                f"(degradation is reported, never silent)"
+            )
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list):
+        errors.append(f"{path}: missing 'kernels' list")
+        kernels = []
+    for i, k in enumerate(kernels):
+        where = f"{path}: kernels[{i}]"
+        if not isinstance(k, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        name = k.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing kernel 'name'")
+        else:
+            where = f"{path}: kernel {name!r}"
+        for field in PROFILE_COUNTERS:
+            v = k.get(field)
+            if not isinstance(v, int) or v < 0:
+                errors.append(f"{where}: '{field}' must be a non-negative int")
+        seconds = k.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            errors.append(f"{where}: 'seconds' must be >= 0")
+        ipc = k.get("ipc")
+        if not isinstance(ipc, (int, float)) or not (
+            0 <= ipc <= PROFILE_MAX_IPC
+        ):
+            errors.append(
+                f"{where}: 'ipc' {ipc!r} outside sane bounds "
+                f"[0, {PROFILE_MAX_IPC}]"
+            )
+        items = k.get("items", 0)
+        simd_items = k.get("simd_items", 0)
+        if (
+            isinstance(items, int)
+            and isinstance(simd_items, int)
+            and simd_items > items
+        ):
+            errors.append(f"{where}: simd_items {simd_items} > items {items}")
+        hardware = k.get("hardware")
+        if not isinstance(hardware, bool):
+            errors.append(f"{where}: 'hardware' must be a boolean")
+        elif not hardware and k.get("cycles", 0) != 0:
+            errors.append(
+                f"{where}: hardware=false but cycles nonzero "
+                f"(software fallback must not fabricate counts)"
+            )
+    if not isinstance(doc.get("metrics"), dict):
+        errors.append(f"{path}: missing 'metrics' registry object")
+    if not errors:
+        n_hw = sum(1 for k in kernels if isinstance(k, dict) and k.get("hardware"))
+        print(
+            f"{path}: ok (profile, {len(kernels)} kernels, "
+            f"{n_hw} with hardware counters, perf usable={perf.get('usable')})"
+        )
+    return errors
 
 
 def check_trace(path):
@@ -253,7 +400,9 @@ def main():
     args = parser.parse_args()
 
     if args.check:
-        if is_trace_file(args.jsonl):
+        if is_profile_file(args.jsonl):
+            errors = check_profile(args.jsonl)
+        elif is_trace_file(args.jsonl):
             errors = check_trace(args.jsonl)
         else:
             errors = check_tables(args.jsonl)

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the checks every change must pass before merging.
 #
-#   1. plain Release build + full ctest suite (plus an explicit `-L trace`
-#      pass for the mcltrace ring/exporter suite);
+#   1. plain Release build + full ctest suite (plus explicit `-L trace` and
+#      `-L prof` passes for the mcltrace ring/exporter and mclprof
+#      registry/profiler suites);
 #   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
 #   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue` +
-#      `trace` labels — the thread-pool wakeup, event-graph executor, and
-#      trace-ring tests. Only those labels: TSan cannot track ucontext fiber
-#      stacks, so the fiber suites are excluded via the label selection.
+#      `trace` + `prof` labels — the thread-pool wakeup, event-graph
+#      executor, trace-ring, and metrics-shard tests. Only those labels:
+#      TSan cannot track ucontext fiber stacks, so the fiber suites are
+#      excluded via the label selection.
 #
 # Usage: tools/tier1.sh [jobs]    (jobs defaults to nproc)
 set -euo pipefail
@@ -19,15 +21,16 @@ cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure
 ctest --test-dir build --output-on-failure -L trace
+ctest --test-dir build --output-on-failure -L prof
 
 echo "== tier1: ASan+UBSan build =="
 cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure
 
-echo "== tier1: TSan build (threading + queue + trace labels) =="
+echo "== tier1: TSan build (threading + queue + trace + prof labels) =="
 cmake -B build-tsan -S . -DMCL_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test
-ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace"
+cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test
+ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof"
 
 echo "== tier1: all checks passed =="
