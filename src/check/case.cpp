@@ -1,0 +1,361 @@
+#include "check/case.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace mcl::check {
+
+namespace {
+
+constexpr long long kMaxGlobal = 1 << 20;
+constexpr long long kMaxExtent = 1 << 22;
+constexpr std::size_t kMaxStmts = 64;
+
+/// Subscript as pseudo-source ("i", "2*i+1", "L-1-l", ...).
+std::string subscript_text(const Access& a, bool local) {
+  const char* id = local ? "l" : "i";
+  std::ostringstream out;
+  if (a.scale == 0) {
+    out << a.offset;
+    return out.str();
+  }
+  if (a.scale == 1) {
+    out << id;
+  } else if (a.scale == -1) {
+    out << "-" << id;
+  } else {
+    out << a.scale << "*" << id;
+  }
+  if (a.offset > 0) out << "+" << a.offset;
+  if (a.offset < 0) out << a.offset;
+  return out.str();
+}
+
+std::string access_text(const Case& c, const Access& a) {
+  std::ostringstream out;
+  out << "A" << a.array << "["
+      << subscript_text(a, c.arrays[a.array].local) << "]";
+  return out.str();
+}
+
+std::string stmt_text(const Case& c, const Stmt& s) {
+  if (s.barrier) return "barrier()";
+  std::ostringstream out;
+  if (s.dst_array >= 0) {
+    out << access_text(c, s.dst);
+  } else {
+    out << "T" << s.dst_temp;
+  }
+  out << " = " << to_string(s.op) << "(0x" << std::hex << s.init_bits
+      << std::dec;
+  for (const Access& r : s.reads) out << ", " << access_text(c, r);
+  for (int t : s.temp_reads) out << ", T" << t;
+  out << ")";
+  return out.str();
+}
+
+/// Min/max of scale*id + offset over id in [0, n).
+void affine_bounds(long long scale, long long offset, long long n,
+                   long long& lo, long long& hi) {
+  const long long at0 = offset;
+  const long long atN = scale * (n - 1) + offset;
+  lo = at0 < atN ? at0 : atN;
+  hi = at0 < atN ? atN : at0;
+}
+
+}  // namespace
+
+bool Case::has_barrier() const noexcept {
+  for (const Stmt& s : stmts) {
+    if (s.barrier) return true;
+  }
+  return false;
+}
+
+bool Case::has_local() const noexcept {
+  for (const Array& a : arrays) {
+    if (a.local) return true;
+  }
+  return false;
+}
+
+std::uint32_t sanitize_bits(Ty type, std::uint32_t bits) {
+  if (type != Ty::F32) return bits;
+  const std::uint32_t exp = (bits >> 23) & 0xffu;
+  if (exp == 0xffu) {
+    // Inf/NaN: remap to a finite value in [1, 2) keeping the mantissa, so
+    // propagation stays deterministic regardless of NaN payload rules.
+    return (bits & 0x007fffffu) | 0x3f800000u;
+  }
+  if (exp == 0 && (bits & 0x007fffffu) != 0) {
+    // Subnormal: flush to signed zero so FTZ/DAZ build flavors agree.
+    return bits & 0x80000000u;
+  }
+  return bits;
+}
+
+std::uint32_t apply_op(Ty type, Op op, std::uint32_t acc, std::uint32_t v) {
+  if (type == Ty::I32) {
+    switch (op) {
+      case Op::Add: return acc + v;
+      case Op::Sub: return acc - v;
+      case Op::Mul: return acc * v;
+      case Op::Min:
+        return static_cast<std::int32_t>(v) < static_cast<std::int32_t>(acc)
+                   ? v
+                   : acc;
+      case Op::Max:
+        return static_cast<std::int32_t>(v) > static_cast<std::int32_t>(acc)
+                   ? v
+                   : acc;
+      case Op::Xor: return acc ^ v;
+      case Op::And: return acc & v;
+      case Op::Or: return acc | v;
+    }
+    return acc;
+  }
+  // F32: bitwise ops degrade to their integer forms (the generator does not
+  // emit them for floats, but replayed files must stay deterministic).
+  const float a = std::bit_cast<float>(acc);
+  const float b = std::bit_cast<float>(v);
+  float r = a;
+  switch (op) {
+    case Op::Add: r = a + b; break;
+    case Op::Sub: r = a - b; break;
+    case Op::Mul: r = a * b; break;
+    case Op::Min: r = b < a ? b : a; break;
+    case Op::Max: r = b > a ? b : a; break;
+    case Op::Xor: return sanitize_bits(type, acc ^ v);
+    case Op::And: return sanitize_bits(type, acc & v);
+    case Op::Or: return sanitize_bits(type, acc | v);
+  }
+  return sanitize_bits(type, std::bit_cast<std::uint32_t>(r));
+}
+
+void eval_stmt(const Case& c, const Stmt& s, long long gid, long long lid,
+               std::uint32_t* const* mem, std::uint32_t* temps) {
+  std::uint32_t acc = sanitize_bits(c.type, s.init_bits);
+  for (const Access& r : s.reads) {
+    const long long id = c.arrays[r.array].local ? lid : gid;
+    acc = apply_op(c.type, s.op, acc, mem[r.array][r.scale * id + r.offset]);
+  }
+  for (int t : s.temp_reads) acc = apply_op(c.type, s.op, acc, temps[t]);
+  if (s.dst_temp >= 0) {
+    temps[s.dst_temp] = acc;
+    return;
+  }
+  const long long id = c.arrays[s.dst_array].local ? lid : gid;
+  mem[s.dst_array][s.dst.scale * id + s.dst.offset] = acc;
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Min: return "min";
+    case Op::Max: return "max";
+    case Op::Xor: return "xor";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+  }
+  return "?";
+}
+
+std::optional<Op> parse_op(const std::string& name) {
+  for (Op op : {Op::Add, Op::Sub, Op::Mul, Op::Min, Op::Max, Op::Xor, Op::And,
+                Op::Or}) {
+    if (name == to_string(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate(const Case& c) {
+  const auto fail = [](const std::string& why) {
+    return std::optional<std::string>(why);
+  };
+  if (c.arrays.empty() || c.arrays.size() > kMaxArrays) {
+    return fail("array count out of [1, kMaxArrays]");
+  }
+  if (c.num_temps < 0 || c.num_temps > kMaxTemps) {
+    return fail("temp count out of [0, kMaxTemps]");
+  }
+  if (c.stmts.size() > kMaxStmts) return fail("too many statements");
+  if (c.global < 1 || static_cast<long long>(c.global) > kMaxGlobal) {
+    return fail("global size out of range");
+  }
+  if (c.local < 1 || c.local > c.global) {
+    return fail("local size must be in [1, global]");
+  }
+  if (c.work_items < 1 || c.work_items > static_cast<long long>(c.global)) {
+    return fail("work_items must be in [1, global]");
+  }
+  if (c.global % c.local != 0) {
+    // The runtime enforces the OpenCL 1.x uniform-workgroup rule for every
+    // launch, so the descriptor space does too.
+    return fail("global size must be a multiple of the local size");
+  }
+  const bool synced = c.has_barrier() || c.has_local();
+  if (synced) {
+    if (c.work_items != static_cast<long long>(c.global)) {
+      return fail("barrier/local cases must not guard the tail");
+    }
+  }
+  for (std::size_t i = 0; i < c.arrays.size(); ++i) {
+    const Array& a = c.arrays[i];
+    if (a.extent < 1 || a.extent > kMaxExtent) {
+      return fail("array extent out of range");
+    }
+    if (a.local && a.extent != static_cast<long long>(c.local)) {
+      return fail("local array extent must equal the local size");
+    }
+    if (a.local && a.read_only) return fail("local arrays cannot be read-only");
+  }
+
+  const auto in_bounds = [&](const Access& acc) {
+    const Array& a = c.arrays[acc.array];
+    const long long n = a.local ? static_cast<long long>(c.local)
+                                : c.work_items;
+    long long lo = 0;
+    long long hi = 0;
+    affine_bounds(acc.scale, acc.offset, n, lo, hi);
+    return lo >= 0 && hi < a.extent;
+  };
+
+  // writer[a]: the unique write access of global array a, if any.
+  std::vector<std::optional<Access>> writer(c.arrays.size());
+  int epoch = 0;
+  std::vector<int> local_write_epoch(c.arrays.size(), -1);
+  std::vector<bool> temp_defined(static_cast<std::size_t>(kMaxTemps), false);
+  for (const Stmt& s : c.stmts) {
+    if (s.barrier) {
+      if (s.dst_array >= 0 || s.dst_temp >= 0 || !s.reads.empty() ||
+          !s.temp_reads.empty()) {
+        return fail("barrier statement must carry no accesses");
+      }
+      if (!synced) return fail("barrier in a case without uniform groups");
+      ++epoch;
+      continue;
+    }
+    if ((s.dst_array >= 0) == (s.dst_temp >= 0)) {
+      return fail("statement must target exactly one of array/temp");
+    }
+    for (const Access& r : s.reads) {
+      if (r.array < 0 || r.array >= static_cast<int>(c.arrays.size())) {
+        return fail("read of unknown array");
+      }
+      const Array& a = c.arrays[r.array];
+      if (!in_bounds(r)) return fail("read subscript out of bounds");
+      if (a.local) {
+        if (local_write_epoch[r.array] < 0 ||
+            local_write_epoch[r.array] >= epoch) {
+          return fail("local array read without an earlier-epoch write");
+        }
+      } else if (!a.read_only && writer[r.array].has_value() &&
+                 !(r == *writer[r.array])) {
+        return fail("writable global array read away from its write subscript");
+      }
+    }
+    for (int t : s.temp_reads) {
+      if (t < 0 || t >= c.num_temps || !temp_defined[t]) {
+        return fail("read of undefined temp");
+      }
+    }
+    if (s.dst_temp >= 0) {
+      if (s.dst_temp >= c.num_temps) return fail("temp index out of range");
+      temp_defined[s.dst_temp] = true;
+      continue;
+    }
+    if (s.dst_array >= static_cast<int>(c.arrays.size()) ||
+        s.dst.array != s.dst_array) {
+      return fail("malformed write destination");
+    }
+    const Array& a = c.arrays[s.dst_array];
+    if (a.read_only) return fail("write to a read-only array");
+    if (!in_bounds(s.dst)) return fail("write subscript out of bounds");
+    if (a.local) {
+      if (s.dst.scale != 1 || s.dst.offset != 0) {
+        return fail("local writes must target local[lid]");
+      }
+      if (local_write_epoch[s.dst_array] < 0) {
+        local_write_epoch[s.dst_array] = epoch;
+      }
+    } else {
+      if (s.dst.scale != 1 && s.dst.scale != -1) {
+        return fail("global writes must be item-injective (|scale| == 1)");
+      }
+      if (writer[s.dst_array].has_value()) {
+        return fail("writable global array written more than once");
+      }
+      writer[s.dst_array] = s.dst;
+      // Reads up to and including this statement must already have used
+      // this subscript (later reads are checked as they are reached).
+      for (const Stmt& prior : c.stmts) {
+        for (const Access& r : prior.reads) {
+          if (r.array == s.dst_array && !(r == s.dst)) {
+            return fail(
+                "writable global array read away from its write subscript");
+          }
+        }
+        if (&prior == &s) break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+veclegal::KernelIr lower_to_ir(const Case& c) {
+  veclegal::KernelIr ir;
+  ir.body.name = "mclcheck.case";
+  ir.body.trip_count = c.work_items;
+  for (const Stmt& s : c.stmts) {
+    if (s.barrier) {
+      ir.body.stmts.push_back(veclegal::barrier_stmt());
+      continue;
+    }
+    veclegal::Stmt out;
+    out.text = stmt_text(c, s);
+    for (const Access& r : s.reads) {
+      if (c.arrays[r.array].local) continue;  // lid-indexed: inexpressible
+      out.array_reads.push_back(veclegal::ref(r.array, r.scale, r.offset));
+    }
+    out.temp_reads = s.temp_reads;
+    if (s.dst_temp >= 0) {
+      out.temp_write = s.dst_temp;
+    } else if (!c.arrays[s.dst_array].local) {
+      out.array_write = veclegal::ref(s.dst_array, s.dst.scale, s.dst.offset);
+    } else if (out.array_reads.empty() && out.temp_reads.empty()) {
+      continue;  // pure local-memory statement: nothing the IR can model
+    }
+    ir.body.stmts.push_back(std::move(out));
+  }
+  for (std::size_t i = 0; i < c.arrays.size(); ++i) {
+    const Array& a = c.arrays[i];
+    if (a.local) continue;
+    ir.arrays.push_back(veclegal::array_info(
+        static_cast<int>(i), a.extent, static_cast<int>(i) + 1, a.read_only,
+        /*local=*/false, sizeof(std::uint32_t)));
+  }
+  return ir;
+}
+
+std::string describe(const Case& c) {
+  std::ostringstream out;
+  out << "case seed=" << c.seed
+      << " type=" << (c.type == Ty::F32 ? "f32" : "i32")
+      << " global=" << c.global << " local=" << c.local
+      << " work_items=" << c.work_items << " temps=" << c.num_temps
+      << " plan=" << (c.plan.map_inputs ? "map" : "write") << "/"
+      << (c.plan.map_outputs ? "map" : "read") << "\n";
+  for (std::size_t i = 0; i < c.arrays.size(); ++i) {
+    const Array& a = c.arrays[i];
+    out << "  A" << i << ": extent=" << a.extent;
+    if (a.read_only) out << " read_only";
+    if (a.local) out << " local";
+    out << " init_seed=" << a.init_seed << "\n";
+  }
+  for (const Stmt& s : c.stmts) out << "  " << stmt_text(c, s) << "\n";
+  return out.str();
+}
+
+}  // namespace mcl::check

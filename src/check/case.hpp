@@ -1,0 +1,158 @@
+// mclcheck case model: one generated kernel program + launch geometry +
+// host transfer plan — everything a differential test needs to run, compare,
+// shrink, and replay.
+//
+// The model is a typed, executable sibling of the veclegal affine IR: array
+// subscripts are affine in the dim-0 global id (local arrays: in the local
+// id), statements execute in order per workitem, barriers split the body
+// into workgroup-synchronized epochs. A Case lowers losslessly (minus
+// local-array accesses, which the gid-indexed IR cannot express) to a
+// veclegal::KernelIr so the mclsan static analyzer can certify every
+// generated program race- and bounds-free before the backends run it.
+//
+// Determinism contract (what makes bit-exact differential testing possible):
+//  - every writable global array is written by at most one statement, whose
+//    subscript has |scale| == 1 (injective across workitems);
+//  - a writable global array may be read only at the exact subscript its
+//    writer uses (the distance-0 read-modify-write shape — legal under SPMD,
+//    rule S3);
+//  - local arrays appear only in barrier cases, are written pre-barrier at
+//    local[lid], and read post-barrier at lid-affine subscripts inside
+//    [0, local);
+//  - all arithmetic funnels through the one compiled eval_stmt() below, so
+//    no backend can see a different FP contraction or association;
+//  - non-finite floats are remapped to a value derived from their bit
+//    pattern (sanitize_bits), so Inf/NaN propagation cannot introduce
+//    platform-dependent payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "veclegal/kernel_ir.hpp"
+
+namespace mcl::check {
+
+/// Element type of a case. One per case: every array, temp and constant of
+/// the program shares it (4 bytes either way; storage is raw bit patterns).
+enum class Ty : std::uint8_t { F32, I32 };
+
+/// Fold operator applied between the accumulator and each operand.
+/// F32 uses Add..Max; I32 additionally uses the bitwise ops. Integer
+/// arithmetic wraps as uint32 (no UB); min/max compare as int32.
+enum class Op : std::uint8_t { Add, Sub, Mul, Min, Max, Xor, And, Or };
+
+/// Affine array access: element index scale*id + offset, where id is the
+/// global id for global arrays and the local id for local arrays.
+struct Access {
+  int array = 0;
+  long long scale = 1;
+  long long offset = 0;
+
+  [[nodiscard]] bool operator==(const Access&) const = default;
+};
+
+/// One statement: dst = fold(op, init, reads..., temps...) or a barrier.
+/// Exactly one of {dst_array, dst_temp, barrier} is active.
+struct Stmt {
+  bool barrier = false;
+  int dst_array = -1;  ///< >= 0: array store through `dst`
+  Access dst;          ///< valid when dst_array >= 0 (dst.array == dst_array)
+  int dst_temp = -1;   ///< >= 0: scalar temp definition
+  Op op = Op::Add;
+  std::uint32_t init_bits = 0;  ///< fold seed (bit pattern of Ty)
+  std::vector<Access> reads;
+  std::vector<int> temp_reads;
+
+  [[nodiscard]] bool operator==(const Stmt&) const = default;
+};
+
+/// One array of the program. Global arrays bind to a Buffer at KernelArgs
+/// slot 1 + index; local arrays to a set_arg_local request of extent
+/// elements (extent == the case's local size).
+struct Array {
+  long long extent = 0;
+  bool read_only = false;       ///< input: the kernel never writes it
+  bool local = false;           ///< workgroup-local scratch
+  std::uint64_t init_seed = 0;  ///< content seed (inputs and writable init)
+
+  [[nodiscard]] bool operator==(const Array&) const = default;
+};
+
+/// Host transfer plan: how inputs reach the buffers and how outputs come
+/// back. Metamorphically equivalent on a CPU device — flipping either bit
+/// must not change results.
+struct Plan {
+  bool map_inputs = false;   ///< map+memcpy+unmap instead of write_buffer
+  bool map_outputs = false;  ///< map instead of read_buffer
+
+  [[nodiscard]] bool operator==(const Plan&) const = default;
+};
+
+/// Maximum shape bounds. Kernel-side interpretation indexes fixed arrays of
+/// these sizes; validate() enforces them so replayed files cannot overflow.
+inline constexpr int kMaxArrays = 8;
+inline constexpr int kMaxTemps = 8;
+
+struct Case {
+  std::uint64_t seed = 0;  ///< generator seed that produced it (provenance)
+  Ty type = Ty::F32;
+  std::vector<Array> arrays;
+  std::vector<Stmt> stmts;
+  int num_temps = 0;
+  std::size_t global = 1;      ///< 1D launch global size
+  std::size_t local = 1;       ///< 1D launch local size
+  long long work_items = 1;    ///< active items; the body guards id < this
+  Plan plan;
+
+  [[nodiscard]] bool has_barrier() const noexcept;
+  [[nodiscard]] bool has_local() const noexcept;
+  [[nodiscard]] bool operator==(const Case&) const = default;
+};
+
+// --- shared evaluation core (the single compiled semantics) -----------------
+
+/// Remaps non-finite F32 bit patterns to a finite value in [1, 2) derived
+/// from the mantissa bits; identity for finite values and for I32.
+[[nodiscard]] std::uint32_t sanitize_bits(Ty type, std::uint32_t bits);
+
+/// acc = op(acc, v) in the bit domain of `type` (uint32 wrap for I32;
+/// result sanitized for F32).
+[[nodiscard]] std::uint32_t apply_op(Ty type, Op op, std::uint32_t acc,
+                                     std::uint32_t v);
+
+/// Executes one non-barrier statement for one workitem. `mem[a]` is array
+/// a's storage base (the buffer for globals, the group's block for locals);
+/// `temps` is the item's register file (>= kMaxTemps slots). Global
+/// subscripts use `gid`, local subscripts `lid`. The ONLY definition of
+/// statement semantics: reference interpreter and kernel-side interpreter
+/// both call this compiled function, so no backend pair can disagree on
+/// FP contraction or evaluation order.
+void eval_stmt(const Case& c, const Stmt& s, long long gid, long long lid,
+               std::uint32_t* const* mem, std::uint32_t* temps);
+
+// --- structure helpers ------------------------------------------------------
+
+/// [name] of an Op for printing/parsing.
+[[nodiscard]] const char* to_string(Op op);
+[[nodiscard]] std::optional<Op> parse_op(const std::string& name);
+
+/// Checks every invariant the determinism contract needs (shape bounds,
+/// write injectivity, RMW-only reads of writable globals, barrier/local
+/// structure, in-bounds subscripts for all active items). Returns an error
+/// description, or nullopt when the case is well-formed. Gate for replayed
+/// files and a self-check on the generator.
+[[nodiscard]] std::optional<std::string> validate(const Case& c);
+
+/// Lowers the case to a veclegal::KernelIr over the active-item space
+/// [0, work_items). Local-array accesses are dropped (their index space is
+/// the local id, which the IR cannot express); statements left with no
+/// effect are skipped. Exact for cases without local arrays.
+[[nodiscard]] veclegal::KernelIr lower_to_ir(const Case& c);
+
+/// Human-readable dump (geometry, plan, arrays, statement pseudo-source).
+[[nodiscard]] std::string describe(const Case& c);
+
+}  // namespace mcl::check

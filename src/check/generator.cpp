@@ -1,0 +1,216 @@
+#include "check/generator.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace mcl::check {
+
+namespace {
+
+/// Records the largest index each array needs so extents can be assigned
+/// after all accesses exist.
+struct ExtentTracker {
+  std::vector<long long> need;
+
+  void note(const Access& a, long long n) {
+    const long long at0 = a.offset;
+    const long long atN = a.scale * (n - 1) + a.offset;
+    need[a.array] = std::max({need[a.array], at0 + 1, atN + 1});
+  }
+};
+
+Op pick_op(core::Rng& rng, Ty type) {
+  // F32 sticks to arithmetic/min/max; I32 adds the bitwise ops.
+  const int n = type == Ty::F32 ? 5 : 8;
+  return static_cast<Op>(rng.next_below(static_cast<std::uint64_t>(n)));
+}
+
+std::uint32_t pick_const(core::Rng& rng, Ty type) {
+  if (type == Ty::I32) return static_cast<std::uint32_t>(rng.next_u64());
+  return sanitize_bits(
+      Ty::F32, std::bit_cast<std::uint32_t>(rng.next_float(-2.0f, 2.0f)));
+}
+
+/// Read access into a read-only global array: identity, shifted, reversed,
+/// broadcast, or strided gather — all non-negative over id in [0, n).
+Access pick_input_access(core::Rng& rng, int array, long long n) {
+  switch (rng.next_below(5)) {
+    case 0: return {array, 1, 0};
+    case 1: return {array, 1, static_cast<long long>(rng.next_below(5))};
+    case 2:
+      return {array, -1, n - 1 + static_cast<long long>(rng.next_below(3))};
+    case 3: return {array, 0, static_cast<long long>(rng.next_below(5))};
+    default: return {array, 2, static_cast<long long>(rng.next_below(3))};
+  }
+}
+
+/// Write access for a writable global array: item-injective (|scale| == 1).
+Access pick_write_access(core::Rng& rng, int array, long long n) {
+  switch (rng.next_below(3)) {
+    case 0: return {array, 1, 0};
+    case 1: return {array, 1, static_cast<long long>(rng.next_below(3))};
+    default: return {array, -1, n - 1};
+  }
+}
+
+/// Read access into a local array, affine in lid over [0, local).
+Access pick_local_access(core::Rng& rng, int array, long long local) {
+  switch (rng.next_below(3)) {
+    case 0: return {array, 1, 0};
+    case 1: return {array, -1, local - 1};
+    default:
+      return {array, 0,
+              static_cast<long long>(rng.next_below(
+                  static_cast<std::uint64_t>(local)))};
+  }
+}
+
+}  // namespace
+
+std::uint64_t case_seed(std::uint64_t run_seed, std::uint64_t i) {
+  std::uint64_t state = run_seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+  return core::splitmix64(state);
+}
+
+Case generate_case(std::uint64_t seed) {
+  core::Rng rng(seed ^ 0x6d636c6368656b21ULL);
+  Case c;
+  c.seed = seed;
+  c.type = rng.next_below(10) < 7 ? Ty::F32 : Ty::I32;
+
+  const std::uint64_t shape = rng.next_below(10);
+  const bool barrier_case = shape >= 8;
+  const bool guarded = !barrier_case && shape >= 6;
+
+  if (barrier_case) {
+    constexpr std::size_t kLocals[] = {2, 4, 8, 16};
+    c.local = kLocals[rng.next_below(4)];
+    c.global = c.local * (1 + rng.next_below(8));
+    c.work_items = static_cast<long long>(c.global);
+  } else {
+    // OpenCL 1.x rule: the local size must divide the global size.
+    c.local = 1 + rng.next_below(32);
+    c.global = c.local * (1 + rng.next_below(std::max<std::uint64_t>(
+                                  1, 192 / c.local)));
+    c.work_items =
+        guarded ? static_cast<long long>(1 + rng.next_below(c.global))
+                : static_cast<long long>(c.global);
+  }
+  const long long n = c.work_items;
+
+  const int n_inputs = static_cast<int>(1 + rng.next_below(3));
+  const int n_outputs = static_cast<int>(1 + rng.next_below(2));
+  const int n_locals = barrier_case ? static_cast<int>(1 + rng.next_below(2)) : 0;
+  for (int i = 0; i < n_inputs; ++i) {
+    c.arrays.push_back(Array{1, /*read_only=*/true, false, rng.next_u64()});
+  }
+  for (int i = 0; i < n_outputs; ++i) {
+    c.arrays.push_back(Array{1, false, false, rng.next_u64()});
+  }
+  for (int i = 0; i < n_locals; ++i) {
+    c.arrays.push_back(Array{static_cast<long long>(c.local), false,
+                             /*local=*/true, rng.next_u64()});
+  }
+  const auto input_id = [&](std::uint64_t i) { return static_cast<int>(i); };
+  const auto output_id = [&](int i) { return n_inputs + i; };
+  const auto local_id = [&](int i) { return n_inputs + n_outputs + i; };
+
+  ExtentTracker need{std::vector<long long>(c.arrays.size(), 0)};
+  c.num_temps = static_cast<int>(rng.next_below(4));  // 0..3 scalar temps
+
+  // Operand list for one statement: read-only gathers and defined temps.
+  const auto add_operands = [&](Stmt& s, int defined_temps) {
+    const int count = static_cast<int>(1 + rng.next_below(2));
+    for (int r = 0; r < count; ++r) {
+      if (defined_temps > 0 && rng.next_below(3) == 0) {
+        s.temp_reads.push_back(
+            static_cast<int>(rng.next_below(defined_temps)));
+      } else {
+        const Access a = pick_input_access(
+            rng, input_id(rng.next_below(n_inputs)), n);
+        need.note(a, n);
+        s.reads.push_back(a);
+      }
+    }
+  };
+
+  // ILP chain: temp definitions feeding later statements.
+  int defined = 0;
+  for (; defined < c.num_temps; ++defined) {
+    Stmt s;
+    s.dst_temp = defined;
+    s.op = pick_op(rng, c.type);
+    s.init_bits = pick_const(rng, c.type);
+    add_operands(s, defined);
+    c.stmts.push_back(std::move(s));
+  }
+
+  if (barrier_case) {
+    // Epoch 0: every local array filled at local[lid] from global inputs.
+    for (int l = 0; l < n_locals; ++l) {
+      Stmt s;
+      s.dst_array = local_id(l);
+      s.dst = Access{s.dst_array, 1, 0};
+      s.op = pick_op(rng, c.type);
+      s.init_bits = pick_const(rng, c.type);
+      add_operands(s, defined);
+      c.stmts.push_back(std::move(s));
+    }
+    Stmt bar;
+    bar.barrier = true;
+    c.stmts.push_back(std::move(bar));
+  }
+
+  // Output statements: one write per writable global array.
+  for (int w = 0; w < n_outputs; ++w) {
+    Stmt s;
+    s.dst_array = output_id(w);
+    s.dst = pick_write_access(rng, s.dst_array, n);
+    need.note(s.dst, n);
+    s.op = pick_op(rng, c.type);
+    s.init_bits = pick_const(rng, c.type);
+    if (barrier_case) {
+      // Epoch 1 reads the transposed/broadcast local data — the pattern the
+      // barrier exists for.
+      const int count = static_cast<int>(1 + rng.next_below(2));
+      for (int r = 0; r < count; ++r) {
+        s.reads.push_back(pick_local_access(
+            rng, local_id(static_cast<int>(rng.next_below(n_locals))),
+            static_cast<long long>(c.local)));
+      }
+      if (rng.next_below(2) == 0) add_operands(s, defined);
+    } else {
+      add_operands(s, defined);
+    }
+    if (rng.next_below(10) < 3) {
+      // Read-modify-write of the output at its own subscript (distance-0,
+      // the Fig 11 FMUL shape).
+      s.reads.push_back(s.dst);
+    }
+    c.stmts.push_back(std::move(s));
+  }
+
+  // Extents: what the accesses need plus a little slack, so boundary cases
+  // (extent == max index + 1) and slack cases both occur.
+  for (std::size_t i = 0; i < c.arrays.size(); ++i) {
+    if (c.arrays[i].local) continue;
+    c.arrays[i].extent =
+        std::max<long long>(1, need.need[i]) +
+        static_cast<long long>(rng.next_below(3));
+  }
+
+  c.plan.map_inputs = rng.next_below(2) == 0;
+  c.plan.map_outputs = rng.next_below(2) == 0;
+
+  if (auto why = validate(c)) {
+    throw core::Error(core::Status::InternalError,
+                      "generator produced an invalid case (seed " +
+                          std::to_string(seed) + "): " + *why);
+  }
+  return c;
+}
+
+}  // namespace mcl::check

@@ -1,0 +1,29 @@
+// mclcheck case generator: seeded, deterministic random programs over the
+// Case model (see case.hpp for the determinism contract it constructs by).
+//
+// Shapes drawn (weights in generator.cpp):
+//  - plain:    straight-line arithmetic/gather chains over global arrays,
+//              optional read-modify-write of an output, scalar temp ILP;
+//  - guarded:  same, but launched over a padded NDRange with a boundary
+//              guard (gid < work_items) — the tail-handling shape;
+//  - barrier:  local-memory kernels structured as write-local[lid] /
+//              barrier / read-phase epochs (the loop-fission shape), with
+//              uniform workgroups.
+#pragma once
+
+#include <cstdint>
+
+#include "check/case.hpp"
+
+namespace mcl::check {
+
+/// Deterministic: equal seeds yield equal cases, on every platform. The
+/// result always satisfies validate() — the differential driver treats a
+/// violation as an internal error of the generator itself.
+[[nodiscard]] Case generate_case(std::uint64_t seed);
+
+/// Seed for case index i of a run seeded with `run_seed` (splitmix64 mix, so
+/// neighboring indices share no structure).
+[[nodiscard]] std::uint64_t case_seed(std::uint64_t run_seed, std::uint64_t i);
+
+}  // namespace mcl::check

@@ -1,0 +1,28 @@
+// mclcheck kernel-side interpreter: runs a Case as a real MiniCL kernel.
+//
+// The KernelDef's function pointers are ordinary registered-kernel shapes
+// (scalar + optional simd form); the Case* travels through KernelArgs scalar
+// slot 0 and the arrays bind at slots 1 + index (buffers for globals,
+// set_arg_local requests for locals). Both forms call the same compiled
+// eval_stmt() the reference oracle uses, so a result difference can only
+// come from the runtime underneath — executors, pool, event graph, transfer
+// plumbing — never from duplicated arithmetic.
+#pragma once
+
+#include "check/case.hpp"
+#include "ocl/kernel.hpp"
+
+namespace mcl::check {
+
+/// Builds the kernel definition for a case. `with_simd` attaches the SIMD
+/// lane-group form (caller gates it on the veclegal SPMD verdict and on the
+/// case having no local memory); needs_barrier is set from the case.
+[[nodiscard]] ocl::KernelDef make_kernel_def(const Case& c, bool with_simd);
+
+/// Binds `c` (slot 0) and its array storage (slots 1 + i) onto `kernel`.
+/// `buffers[i]` must be the buffer for global array i (ignored for locals).
+/// The Case must outlive every launch of the kernel.
+void bind_args(ocl::Kernel& kernel, const Case& c,
+               const std::vector<ocl::Buffer*>& buffers);
+
+}  // namespace mcl::check

@@ -1,0 +1,85 @@
+#include "check/reference.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "core/rng.hpp"
+
+namespace mcl::check {
+
+Memory initial_memory(const Case& c) {
+  Memory mem;
+  mem.arrays.resize(c.arrays.size());
+  for (std::size_t i = 0; i < c.arrays.size(); ++i) {
+    const Array& a = c.arrays[i];
+    if (a.local) continue;  // per-group scratch: no host-observable storage
+    core::Rng rng(a.init_seed);
+    mem.arrays[i].resize(static_cast<std::size_t>(a.extent));
+    for (std::uint32_t& v : mem.arrays[i]) {
+      if (c.type == Ty::F32) {
+        v = sanitize_bits(
+            Ty::F32, std::bit_cast<std::uint32_t>(rng.next_float(-2.0f, 2.0f)));
+      } else {
+        v = static_cast<std::uint32_t>(rng.next_u64());
+      }
+    }
+  }
+  return mem;
+}
+
+void run_reference(const Case& c, Memory& mem) {
+  // Barrier statements split the body into epochs; within one group every
+  // item finishes epoch e before any item starts e+1 — exactly the barrier
+  // contract, realized by the serial loop order.
+  std::vector<std::vector<const Stmt*>> epochs(1);
+  for (const Stmt& s : c.stmts) {
+    if (s.barrier) {
+      epochs.emplace_back();
+    } else {
+      epochs.back().push_back(&s);
+    }
+  }
+
+  const std::size_t groups = (c.global + c.local - 1) / c.local;
+  std::vector<std::vector<std::uint32_t>> local_store(c.arrays.size());
+  std::vector<std::uint32_t*> ptrs(c.arrays.size(), nullptr);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const long long base = static_cast<long long>(g * c.local);
+    const long long items = std::min<long long>(
+        static_cast<long long>(c.local),
+        static_cast<long long>(c.global) - base);
+    for (std::size_t i = 0; i < c.arrays.size(); ++i) {
+      if (c.arrays[i].local) {
+        local_store[i].assign(static_cast<std::size_t>(c.arrays[i].extent),
+                              0xABABABABu);
+        ptrs[i] = local_store[i].data();
+      } else {
+        ptrs[i] = mem.arrays[i].data();
+      }
+    }
+    // Temps persist across epochs within one item (they live on the item's
+    // stack/fiber in the real executors), so the register files are per
+    // group-item, reset per group.
+    std::vector<std::array<std::uint32_t, kMaxTemps>> temps(
+        static_cast<std::size_t>(items));
+    for (auto& t : temps) t.fill(0);
+    for (const auto& epoch : epochs) {
+      for (long long it = 0; it < items; ++it) {
+        const long long gid = base + it;
+        if (gid >= c.work_items) continue;
+        for (const Stmt* s : epoch) {
+          eval_stmt(c, *s, gid, it, ptrs.data(), temps[it].data());
+        }
+      }
+    }
+  }
+}
+
+Memory reference_result(const Case& c) {
+  Memory mem = initial_memory(c);
+  run_reference(c, mem);
+  return mem;
+}
+
+}  // namespace mcl::check

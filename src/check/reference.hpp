@@ -1,0 +1,37 @@
+// mclcheck reference oracle: scalar interpretation of a Case with no thread
+// pool, no SIMD, no reordering — workgroups in linear order, workitems in
+// linear order within each barrier epoch, on the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/case.hpp"
+
+namespace mcl::check {
+
+/// Contents of every global array, as raw 4-byte bit patterns. arrays[i] has
+/// the case's extent[i] elements; local arrays get an empty placeholder slot
+/// (they are per-group scratch, not memory a host could observe).
+struct Memory {
+  std::vector<std::vector<std::uint32_t>> arrays;
+
+  [[nodiscard]] bool operator==(const Memory&) const = default;
+};
+
+/// The deterministic initial contents every backend starts from: read-only
+/// arrays filled from their init_seed (finite floats for F32 cases),
+/// writable global arrays filled from theirs (the kernel may leave elements
+/// untouched, so the comparison covers the fill too).
+[[nodiscard]] Memory initial_memory(const Case& c);
+
+/// Executes the case over `mem` in place. Local arrays are simulated with a
+/// fresh 0xABABABAB-filled block per workgroup (the sentinel is never read
+/// when validate() holds: every local read is preceded by a full-group
+/// local[lid] write in an earlier epoch).
+void run_reference(const Case& c, Memory& mem);
+
+/// initial_memory + run_reference: the expected final state.
+[[nodiscard]] Memory reference_result(const Case& c);
+
+}  // namespace mcl::check

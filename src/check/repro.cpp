@@ -1,0 +1,212 @@
+#include "check/repro.hpp"
+
+#include <sstream>
+
+namespace mcl::check {
+
+namespace {
+
+std::string access_token(const Access& a) {
+  std::ostringstream out;
+  out << a.array << ":" << a.scale << ":" << a.offset;
+  return out.str();
+}
+
+bool parse_access(const std::string& token, Access& out) {
+  std::istringstream in(token);
+  char c1 = 0;
+  char c2 = 0;
+  if (!(in >> out.array >> c1 >> out.scale >> c2 >> out.offset)) return false;
+  return c1 == ':' && c2 == ':' && in.eof();
+}
+
+}  // namespace
+
+std::string serialize_repro(const Case& c, bool minimized,
+                            const std::string& note) {
+  std::ostringstream out;
+  out << "mclcheck-repro v1\n";
+  if (!note.empty()) {
+    std::istringstream lines(note);
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << "\n";
+  }
+  out << "seed " << c.seed << "\n";
+  out << "minimized " << (minimized ? 1 : 0) << "\n";
+  out << "type " << (c.type == Ty::F32 ? "f32" : "i32") << "\n";
+  out << "geometry " << c.global << " " << c.local << " " << c.work_items
+      << "\n";
+  out << "temps " << c.num_temps << "\n";
+  out << "plan " << (c.plan.map_inputs ? "map" : "write") << " "
+      << (c.plan.map_outputs ? "map" : "read") << "\n";
+  for (std::size_t i = 0; i < c.arrays.size(); ++i) {
+    const Array& a = c.arrays[i];
+    out << "array " << i << " " << a.extent << " "
+        << (a.read_only ? "ro" : "rw") << " " << (a.local ? "local" : "global")
+        << " " << a.init_seed << "\n";
+  }
+  for (const Stmt& s : c.stmts) {
+    if (s.barrier) {
+      out << "stmt barrier\n";
+      continue;
+    }
+    out << "stmt ";
+    if (s.dst_temp >= 0) {
+      out << "temp " << s.dst_temp;
+    } else {
+      out << "array " << s.dst_array << " " << s.dst.scale << " "
+          << s.dst.offset;
+    }
+    out << " op " << to_string(s.op) << " init 0x" << std::hex << s.init_bits
+        << std::dec << " reads";
+    for (const Access& r : s.reads) out << " " << access_token(r);
+    out << " temps";
+    for (int t : s.temp_reads) out << " " << t;
+    out << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<ParsedRepro> parse_repro(const std::string& text,
+                                       std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<ParsedRepro> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "mclcheck-repro v1") {
+    return fail("missing 'mclcheck-repro v1' header");
+  }
+
+  ParsedRepro out;
+  Case& c = out.kase;
+  c.arrays.clear();
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    } else if (key == "seed") {
+      if (!(ls >> c.seed)) return fail("bad seed line");
+    } else if (key == "minimized") {
+      int v = 0;
+      if (!(ls >> v)) return fail("bad minimized line");
+      out.minimized = v != 0;
+    } else if (key == "type") {
+      std::string t;
+      ls >> t;
+      if (t == "f32") {
+        c.type = Ty::F32;
+      } else if (t == "i32") {
+        c.type = Ty::I32;
+      } else {
+        return fail("bad type '" + t + "'");
+      }
+    } else if (key == "geometry") {
+      if (!(ls >> c.global >> c.local >> c.work_items)) {
+        return fail("bad geometry line");
+      }
+    } else if (key == "temps") {
+      if (!(ls >> c.num_temps)) return fail("bad temps line");
+    } else if (key == "plan") {
+      std::string input;
+      std::string output;
+      if (!(ls >> input >> output)) return fail("bad plan line");
+      if ((input != "map" && input != "write") ||
+          (output != "map" && output != "read")) {
+        return fail("bad plan tokens");
+      }
+      c.plan.map_inputs = input == "map";
+      c.plan.map_outputs = output == "map";
+    } else if (key == "array") {
+      std::size_t id = 0;
+      Array a;
+      std::string access;
+      std::string scope;
+      if (!(ls >> id >> a.extent >> access >> scope >> a.init_seed)) {
+        return fail("bad array line");
+      }
+      if ((access != "ro" && access != "rw") ||
+          (scope != "global" && scope != "local")) {
+        return fail("bad array tokens");
+      }
+      a.read_only = access == "ro";
+      a.local = scope == "local";
+      if (id != c.arrays.size()) return fail("array ids must be sequential");
+      c.arrays.push_back(a);
+    } else if (key == "stmt") {
+      std::string kind;
+      ls >> kind;
+      Stmt s;
+      if (kind == "barrier") {
+        s.barrier = true;
+        c.stmts.push_back(std::move(s));
+        continue;
+      }
+      if (kind == "temp") {
+        if (!(ls >> s.dst_temp)) return fail("bad temp destination");
+      } else if (kind == "array") {
+        if (!(ls >> s.dst_array >> s.dst.scale >> s.dst.offset)) {
+          return fail("bad array destination");
+        }
+        s.dst.array = s.dst_array;
+      } else {
+        return fail("bad stmt kind '" + kind + "'");
+      }
+      std::string kw;
+      std::string op_name;
+      if (!(ls >> kw >> op_name) || kw != "op") return fail("missing op");
+      const auto op = parse_op(op_name);
+      if (!op) return fail("unknown op '" + op_name + "'");
+      s.op = *op;
+      std::string init_token;
+      if (!(ls >> kw >> init_token) || kw != "init") {
+        return fail("missing init");
+      }
+      try {
+        s.init_bits = static_cast<std::uint32_t>(
+            std::stoul(init_token, nullptr, 0));
+      } catch (...) {
+        return fail("bad init constant '" + init_token + "'");
+      }
+      if (!(ls >> kw) || kw != "reads") return fail("missing reads");
+      std::string token;
+      bool in_temps = false;
+      while (ls >> token) {
+        if (token == "temps") {
+          in_temps = true;
+          continue;
+        }
+        if (in_temps) {
+          try {
+            s.temp_reads.push_back(std::stoi(token));
+          } catch (...) {
+            return fail("bad temp read '" + token + "'");
+          }
+        } else {
+          Access a;
+          if (!parse_access(token, a)) {
+            return fail("bad access token '" + token + "'");
+          }
+          s.reads.push_back(a);
+        }
+      }
+      if (!in_temps) return fail("missing temps section");
+      c.stmts.push_back(std::move(s));
+    } else {
+      return fail("unknown directive '" + key + "'");
+    }
+  }
+  if (!saw_end) return fail("missing 'end' line");
+  if (auto why = validate(c)) return fail("invalid case: " + *why);
+  return out;
+}
+
+}  // namespace mcl::check

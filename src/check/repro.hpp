@@ -1,0 +1,47 @@
+// mclcheck repro files: a self-contained, text, line-based serialization of
+// one Case, replayable with `tools/mclcheck --replay <file>`.
+//
+// Format (see docs/mclcheck.md for the grammar):
+//   mclcheck-repro v1
+//   # free-form comment lines
+//   seed <u64>
+//   minimized <0|1>
+//   type <f32|i32>
+//   geometry <global> <local> <work_items>
+//   temps <n>
+//   plan <write|map> <read|map>
+//   array <id> <extent> <ro|rw> <global|local> <init_seed>
+//   stmt barrier
+//   stmt temp <t> op <name> init <hex> reads [<a>:<scale>:<offset>...]
+//        temps [<t>...]
+//   stmt array <a> <scale> <offset> op <name> init <hex> reads ... temps ...
+//   end
+//
+// Parsing re-validates the case (validate()), so a hand-edited file cannot
+// smuggle an out-of-bounds or racy program into the backends.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/case.hpp"
+
+namespace mcl::check {
+
+/// Serializes the case. `minimized` marks whether the shrinker ran to a
+/// fixpoint — committed repro files must say 1 (plot_results.py --check
+/// enforces it). `note` becomes leading # comment lines.
+[[nodiscard]] std::string serialize_repro(const Case& c, bool minimized,
+                                          const std::string& note = {});
+
+struct ParsedRepro {
+  Case kase;
+  bool minimized = false;
+};
+
+/// Parses and validates; on any syntax or invariant error returns nullopt
+/// and fills `error` (when non-null) with the reason.
+[[nodiscard]] std::optional<ParsedRepro> parse_repro(const std::string& text,
+                                                     std::string* error);
+
+}  // namespace mcl::check

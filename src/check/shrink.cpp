@@ -1,0 +1,207 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mcl::check {
+
+namespace {
+
+/// Sets a new local size, rebuilding everything derived from it: local
+/// array extents and lid-affine access offsets (reversed reads track
+/// local-1, broadcasts clamp into range).
+Case with_local(const Case& c, std::size_t new_local) {
+  Case n = c;
+  n.local = new_local;
+  const long long L = static_cast<long long>(new_local);
+  for (Array& a : n.arrays) {
+    if (a.local) a.extent = L;
+  }
+  const auto fix = [&](Access& acc) {
+    if (!n.arrays[acc.array].local) return;
+    if (acc.scale == -1) acc.offset = L - 1;
+    if (acc.scale == 0) acc.offset = std::min(acc.offset, L - 1);
+  };
+  for (Stmt& s : n.stmts) {
+    for (Access& r : s.reads) fix(r);
+    if (s.dst_array >= 0) fix(s.dst);
+  }
+  return n;
+}
+
+std::vector<Case> geometry_candidates(const Case& c) {
+  std::vector<Case> out;
+  const bool synced = c.has_barrier() || c.has_local();
+  // Every candidate keeps uniform workgroups (local | global) and only
+  // shrinks, so the search is monotone and terminates.
+  const auto with_geom = [&](std::size_t g, std::size_t l) {
+    if (l < 1 || g < l || g % l != 0 || g > c.global || l > c.local) return;
+    Case n = c;
+    n.global = g;
+    n.local = l;
+    n.work_items = synced ? static_cast<long long>(g)
+                          : std::min(n.work_items, static_cast<long long>(g));
+    out.push_back(std::move(n));
+  };
+  if (synced) {
+    with_geom(std::max(c.local, (c.global / 2) / c.local * c.local), c.local);
+    with_geom(c.local, c.local);
+    if (c.local > 1) {
+      Case n = with_local(c, c.local / 2);
+      n.global = n.local * std::max<std::size_t>(1, c.global / c.local / 2);
+      n.work_items = static_cast<long long>(n.global);
+      out.push_back(std::move(n));
+      Case n1 = with_local(c, 1);
+      n1.global = std::max<std::size_t>(1, c.global / c.local);
+      n1.work_items = static_cast<long long>(n1.global);
+      out.push_back(std::move(n1));
+    }
+  } else {
+    with_geom((c.global / 2) / c.local * c.local, c.local);
+    // Round work_items up to a whole number of groups (never exceeds
+    // c.global, which is itself a multiple of c.local).
+    with_geom(
+        (static_cast<std::size_t>(c.work_items) + c.local - 1) / c.local *
+            c.local,
+        c.local);
+    with_geom(2, 1);
+    with_geom(c.global, 1);
+    if (c.local > 1) with_geom(c.global, c.local / 2);
+    if (c.work_items > 1) {
+      Case n = c;
+      n.work_items = c.work_items / 2;
+      out.push_back(std::move(n));
+    }
+  }
+  return out;
+}
+
+/// Removes stmt k, dropping reads of anything only it defined (temps, local
+/// arrays) so the survivor is still well-formed.
+Case remove_stmt(const Case& c, std::size_t k) {
+  Case n = c;
+  const Stmt victim = n.stmts[k];
+  n.stmts.erase(n.stmts.begin() + static_cast<std::ptrdiff_t>(k));
+  if (victim.dst_temp >= 0) {
+    bool redefined = false;
+    for (const Stmt& s : n.stmts) redefined |= s.dst_temp == victim.dst_temp;
+    if (!redefined) {
+      for (Stmt& s : n.stmts) {
+        std::erase(s.temp_reads, victim.dst_temp);
+      }
+    }
+  }
+  if (victim.dst_array >= 0 && c.arrays[victim.dst_array].local) {
+    bool rewritten = false;
+    for (const Stmt& s : n.stmts) rewritten |= s.dst_array == victim.dst_array;
+    if (!rewritten) {
+      for (Stmt& s : n.stmts) {
+        std::erase_if(s.reads, [&](const Access& r) {
+          return r.array == victim.dst_array;
+        });
+      }
+    }
+  }
+  return n;
+}
+
+/// Shrinks every global array's extent to exactly what the remaining
+/// accesses touch.
+Case tight_extents(const Case& c) {
+  Case n = c;
+  std::vector<long long> need(n.arrays.size(), 1);
+  const auto note = [&](const Access& a) {
+    const long long span = n.arrays[a.array].local
+                               ? static_cast<long long>(n.local)
+                               : n.work_items;
+    const long long at0 = a.offset;
+    const long long atN = a.scale * (span - 1) + a.offset;
+    need[a.array] = std::max({need[a.array], at0 + 1, atN + 1});
+  };
+  for (const Stmt& s : n.stmts) {
+    for (const Access& r : s.reads) note(r);
+    if (s.dst_array >= 0) note(s.dst);
+  }
+  for (std::size_t i = 0; i < n.arrays.size(); ++i) {
+    if (!n.arrays[i].local) n.arrays[i].extent = need[i];
+  }
+  return n;
+}
+
+struct Search {
+  const std::function<bool(const Case&)>& fails;
+  ShrinkStats* stats;
+  int max_attempts;
+
+  /// Validates + tries one candidate; on survival it replaces `current`.
+  bool accept(Case& current, Case candidate) {
+    if (stats->attempts >= max_attempts) return false;
+    if (candidate == current) return false;
+    if (validate(candidate).has_value()) return false;
+    ++stats->attempts;
+    if (!fails(candidate)) return false;
+    ++stats->accepted;
+    current = std::move(candidate);
+    return true;
+  }
+};
+
+}  // namespace
+
+Case shrink_case(Case c, const std::function<bool(const Case&)>& fails,
+                 int max_attempts, ShrinkStats* stats) {
+  ShrinkStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Search search{fails, stats, max_attempts};
+
+  bool progress = true;
+  while (progress && stats->attempts < max_attempts) {
+    progress = false;
+
+    // Geometry first: smaller NDRanges make every later predicate run cheap.
+    for (bool moved = true; moved;) {
+      moved = false;
+      for (Case& cand : geometry_candidates(c)) {
+        if (search.accept(c, std::move(cand))) {
+          moved = true;
+          progress = true;
+          break;
+        }
+      }
+    }
+
+    // Whole statements, last-to-first so indices stay valid across accepts.
+    for (std::size_t k = c.stmts.size(); k-- > 0;) {
+      if (search.accept(c, remove_stmt(c, k))) progress = true;
+      if (k > c.stmts.size()) k = c.stmts.size();
+    }
+
+    // Individual operands.
+    for (std::size_t k = 0; k < c.stmts.size(); ++k) {
+      for (std::size_t r = c.stmts[k].reads.size(); r-- > 0;) {
+        Case cand = c;
+        cand.stmts[k].reads.erase(cand.stmts[k].reads.begin() +
+                                  static_cast<std::ptrdiff_t>(r));
+        if (search.accept(c, std::move(cand))) progress = true;
+      }
+      for (std::size_t r = c.stmts[k].temp_reads.size(); r-- > 0;) {
+        Case cand = c;
+        cand.stmts[k].temp_reads.erase(cand.stmts[k].temp_reads.begin() +
+                                       static_cast<std::ptrdiff_t>(r));
+        if (search.accept(c, std::move(cand))) progress = true;
+      }
+    }
+
+    // Data: tight extents, zeroed constants.
+    if (search.accept(c, tight_extents(c))) progress = true;
+    for (std::size_t k = 0; k < c.stmts.size(); ++k) {
+      if (c.stmts[k].init_bits == 0) continue;
+      Case cand = c;
+      cand.stmts[k].init_bits = 0;
+      if (search.accept(c, std::move(cand))) progress = true;
+    }
+  }
+  return c;
+}
+
+}  // namespace mcl::check

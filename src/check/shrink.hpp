@@ -1,0 +1,34 @@
+// mclcheck minimizer: greedy fixpoint reduction of a failing case.
+//
+// Passes, in order (each repeated until no candidate keeps the failure):
+//   geometry   halve the global size, shrink the local size, shrink the
+//              guarded-item count;
+//   program    drop whole statements (patching dangling temp/local reads),
+//              then drop individual operands;
+//   data       shrink array extents to what the remaining accesses touch,
+//              zero fold constants.
+//
+// Every candidate is validated before it is tried, so the shrinker can only
+// move within the space of well-formed cases; `fails` decides survival.
+#pragma once
+
+#include <functional>
+
+#include "check/case.hpp"
+
+namespace mcl::check {
+
+struct ShrinkStats {
+  int attempts = 0;   ///< candidates tried
+  int accepted = 0;   ///< candidates that kept the failure
+};
+
+/// Returns the smallest failing case the passes reach. `fails(c)` must
+/// return true when `c` still reproduces the bug (deterministically — the
+/// driver runs it with fixed seeds). `max_attempts` bounds the search.
+[[nodiscard]] Case shrink_case(Case c,
+                               const std::function<bool(const Case&)>& fails,
+                               int max_attempts = 400,
+                               ShrinkStats* stats = nullptr);
+
+}  // namespace mcl::check

@@ -1,8 +1,11 @@
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
+#include "core/error.hpp"
 #include "core/sysinfo.hpp"
 #include "ocl/detail/checked_runner.hpp"
 #include "ocl/detail/group_runner.hpp"
@@ -46,6 +49,15 @@ std::uint64_t simd_items_of(const detail::GroupRunner& runner,
   const std::size_t rows_per_group = runner.local().total() / local0;
   return static_cast<std::uint64_t>(runner.total_groups()) *
          (local0 - local0 % W) * rows_per_group;
+}
+
+/// Fault-injection hook for mclcheck's self-test (see docs/mclcheck.md):
+/// MCL_CHECK_INJECT=chunker makes the pooled dispatch drop the last
+/// workgroup, an off-by-one the differential fuzzer must catch and
+/// minimize. Never set outside that acceptance test.
+bool inject_chunker_bug() {
+  const char* inject = std::getenv("MCL_CHECK_INJECT");
+  return inject != nullptr && std::string_view(inject) == "chunker";
 }
 
 prof::LaunchMeta launch_meta(const KernelDef& def,
@@ -132,18 +144,41 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
   result.local_used = runner.local();
   result.executor_used = runner.executor();
 
+  if (config_.dispatch_order) {
+    // mclcheck's metamorphic dispatch-order transform: execute workgroups
+    // serially on this thread in the permuted order. Race-free kernels must
+    // be insensitive to it; the pool (and its chunker) is bypassed so the
+    // order is exact, not a scheduling hint.
+    std::lock_guard launch_lock(impl_->launch_mutex);
+    const std::size_t total = runner.total_groups();
+    const core::TimePoint t0 = core::now();
+    for (std::size_t k = 0; k < total; ++k) {
+      const std::size_t g = config_.dispatch_order(k, total);
+      core::check(g < total, core::Status::InvalidValue,
+                  "dispatch_order returned an out-of-range workgroup index");
+      runner.run_group(g);
+    }
+    result.seconds = core::elapsed_s(t0, core::now());
+    return result;
+  }
+
   // Workgroups are claimed in chunks (as TBB-based runtimes do) so the
   // shared-counter cost amortizes; per-group and per-item costs remain.
   const std::size_t threads = impl_->pool.thread_count();
   const std::size_t chunk = std::clamp<std::size_t>(
       runner.total_groups() / (threads * 16), 1, 64);
+  // Real dispatch extent; diverges from total_groups() only under the
+  // MCL_CHECK_INJECT=chunker fault (drops the last group when there are
+  // at least two) so mclcheck's catch-and-minimize path can be exercised.
+  std::size_t dispatch_groups = runner.total_groups();
+  if (dispatch_groups > 1 && inject_chunker_bug()) --dispatch_groups;
 
   std::lock_guard launch_lock(impl_->launch_mutex);
   prof::LaunchAcc acc;
   const core::TimePoint t0 = core::now();
   if (!trace::enabled() && !prof::profiling()) {
     result.schedule = impl_->pool.parallel_run(
-        runner.total_groups(),
+        dispatch_groups,
         [&runner](std::size_t g) { runner.run_group(g); }, chunk,
         config_.scheduler);
   } else {
@@ -162,7 +197,7 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
         trace::enabled() ? trace::intern("launch:" + def.name) : nullptr,
         "groups,threads", runner.total_groups(), threads);
     result.schedule = impl_->pool.parallel_run(
-        runner.total_groups(),
+        dispatch_groups,
         [&runner, wg_name, est_bytes, accp](std::size_t g) {
           trace::ScopedSpan span(wg_name, "group,worker,est_bytes", g,
                                  wg_name != nullptr

@@ -7,6 +7,7 @@
 //    *simulated* time from the gpusim analytical model (GTX 580 analogue).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -79,6 +80,13 @@ struct CpuDeviceConfig {
   /// bench/ablation_scheduler).
   threading::ScheduleStrategy scheduler =
       threading::ScheduleStrategy::CentralCounter;
+  /// Deterministic dispatch-order hook (mclcheck's metamorphic transform):
+  /// when set, launch() bypasses the pool and executes workgroups serially
+  /// on the calling thread, running linear group order(k, total) at step k.
+  /// `order` must be a bijection on [0, total); a race-free kernel must
+  /// produce identical results under every order.
+  std::function<std::size_t(std::size_t index, std::size_t total)>
+      dispatch_order = nullptr;
 };
 
 class CpuDevice final : public Device {

@@ -565,15 +565,16 @@ void CommandQueue::command_retired() {
 
 AsyncEventPtr CommandQueue::enqueue_ndrange_async(
     const Kernel& kernel, const NDRange& global, const NDRange& local,
-    std::vector<AsyncEventPtr> wait_list) {
+    std::vector<AsyncEventPtr> wait_list, const NDRange& offset) {
   // Snapshot the argument bindings so later set_arg calls on the caller's
   // Kernel cannot race the in-flight command.
   return submit_async(
       CommandType::NDRangeKernel,
-      [this, def = &kernel.def(), args = kernel.args(), global, local] {
+      [this, def = &kernel.def(), args = kernel.args(), global, local,
+       offset] {
         MCL_PROF_COUNT("cq.kernel_launches", 1);
         Event ev{CommandType::NDRangeKernel, 0.0, {}};
-        ev.launch = device_->launch(*def, args, global, local);
+        ev.launch = device_->launch(*def, args, global, local, offset);
         ev.seconds = ev.launch.seconds;
         return ev;
       },

@@ -265,11 +265,14 @@ class CommandQueue {
   /// snapshot at enqueue time; the buffers they reference must stay alive
   /// until the event completes. `wait_list` adds explicit dependencies (on
   /// events of this or any other queue); a failed wait-list event propagates
-  /// its Status to this command instead of running it.
+  /// its Status to this command instead of running it. `offset` is the
+  /// global_work_offset (mclcheck's split-NDRange transform slices one
+  /// launch into offset sub-launches chained by wait-list edges).
   [[nodiscard]] AsyncEventPtr enqueue_ndrange_async(
       const Kernel& kernel, const NDRange& global,
       const NDRange& local = NDRange{},
-      std::vector<AsyncEventPtr> wait_list = {});
+      std::vector<AsyncEventPtr> wait_list = {},
+      const NDRange& offset = NDRange{});
 
   /// Non-blocking clEnqueueWriteBuffer (blocking_write = CL_FALSE). The
   /// range is validated and the destination snapshot at enqueue time; `src`

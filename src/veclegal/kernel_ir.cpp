@@ -1,6 +1,23 @@
 #include "veclegal/kernel_ir.hpp"
 
+#include <sstream>
+
+#include "veclegal/analysis.hpp"
+
 namespace mcl::veclegal {
+
+std::string to_string(const KernelIr& ir) {
+  std::ostringstream out;
+  out << to_string(ir.body);
+  for (const ArrayInfo& a : ir.arrays) {
+    out << "array A" << a.array << ": extent=" << a.extent
+        << " elem_bytes=" << a.elem_bytes << " arg=" << a.arg_index;
+    if (a.read_only) out << " read_only";
+    if (a.local) out << " local";
+    out << "\n";
+  }
+  return out.str();
+}
 
 KernelIrRegistry& KernelIrRegistry::instance() {
   static KernelIrRegistry registry;

@@ -62,6 +62,20 @@ class KernelIrRegistry {
   std::map<std::string, KernelIr> irs_;
 };
 
+/// Builder helper mirroring veclegal::ref/store: declares one array's
+/// metadata in a single expression.
+[[nodiscard]] inline ArrayInfo array_info(int array, long long extent,
+                                          int arg_index = -1,
+                                          bool read_only = false,
+                                          bool local = false,
+                                          std::size_t elem_bytes = sizeof(float)) {
+  return ArrayInfo{array, arg_index, extent, elem_bytes, read_only, local};
+}
+
+/// Renders the full descriptor — body pseudo-source plus one metadata line
+/// per array — for diagnostics and mclcheck repro files.
+[[nodiscard]] std::string to_string(const KernelIr& ir);
+
 /// Static registration helper, mirroring ocl::KernelRegistrar:
 ///   const KernelIrRegistrar ir_reg{"square", KernelIr{...}};
 struct KernelIrRegistrar {

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "apps/blackscholes.hpp"
+#include "testseed.hpp"
 #include "apps/hostdata.hpp"
 #include "apps/ilp.hpp"
 #include "apps/matrixmul.hpp"
@@ -62,7 +63,7 @@ INSTANTIATE_TEST_SUITE_P(Executors, ExecutorParam,
 
 TEST_P(ExecutorParam, SquareMatchesReference) {
   for (std::size_t n : {100u, 1000u, 10000u}) {
-    const FloatVec in = random_floats(n, 1, -4.0f, 4.0f);
+    const FloatVec in = random_floats(n, mcl::test::seed(1), -4.0f, 4.0f);
     FloatVec expect(n);
     square_reference(in, expect);
 
@@ -78,7 +79,7 @@ TEST_P(ExecutorParam, SquareMatchesReference) {
 
 TEST_P(ExecutorParam, SquareCoalescedAllFactors) {
   const std::size_t n = 10'000;
-  const FloatVec in = random_floats(n, 2, -4.0f, 4.0f);
+  const FloatVec in = random_floats(n, mcl::test::seed(2), -4.0f, 4.0f);
   FloatVec expect(n);
   square_reference(in, expect);
   for (unsigned per_item : {1u, 10u, 100u, 1000u}) {
@@ -96,7 +97,7 @@ TEST_P(ExecutorParam, SquareCoalescedAllFactors) {
 
 TEST_P(ExecutorParam, VectorAddMatchesReference) {
   const std::size_t n = 11'000;
-  const FloatVec a = random_floats(n, 3), b = random_floats(n, 4);
+  const FloatVec a = random_floats(n, mcl::test::seed(3)), b = random_floats(n, mcl::test::seed(4));
   FloatVec expect(n);
   vectoradd_reference(a, b, expect);
 
@@ -112,7 +113,7 @@ TEST_P(ExecutorParam, VectorAddMatchesReference) {
 
 TEST_P(ExecutorParam, VectorAddCoalesced) {
   const std::size_t n = 8000;
-  const FloatVec a = random_floats(n, 5), b = random_floats(n, 6);
+  const FloatVec a = random_floats(n, mcl::test::seed(5)), b = random_floats(n, mcl::test::seed(6));
   FloatVec expect(n);
   vectoradd_reference(a, b, expect);
   for (unsigned per_item : {10u, 100u}) {
@@ -143,8 +144,8 @@ TEST_P(MatrixMulParam, AllThreeKernelsMatchReference) {
   Context ctx(device);
   CommandQueue queue(ctx);
 
-  const FloatVec a = random_floats(m * k, 10, -1.0f, 1.0f);
-  const FloatVec b = random_floats(k * n, 11, -1.0f, 1.0f);
+  const FloatVec a = random_floats(m * k, mcl::test::seed(10), -1.0f, 1.0f);
+  const FloatVec b = random_floats(k * n, mcl::test::seed(11), -1.0f, 1.0f);
   FloatVec expect(m * n);
   matmul_reference(a, b, expect, m, n, k);
 
@@ -192,7 +193,7 @@ TEST(Reduction, MatchesReferenceAcrossGroupSizes) {
   CommandQueue queue(ctx);
   for (std::size_t local : {4u, 16u, 48u, 256u}) {
     const std::size_t n = local * 40;
-    const FloatVec in = random_floats(n, 20, 0.0f, 1.0f);
+    const FloatVec in = random_floats(n, mcl::test::seed(20), 0.0f, 1.0f);
     Buffer bin = make_in(ctx, in);
     Buffer bpart = make_out(ctx, n / local);
     Kernel k = ctx.create_kernel(Program::builtin(), kReduceKernel);
@@ -212,7 +213,7 @@ TEST(Histogram, MatchesReference) {
   CommandQueue queue(ctx);
   const std::size_t n = 409'600 / 16;  // Table II shape, scaled
   UintVec in(n);
-  core::Rng rng(21);
+  core::Rng rng(mcl::test::seed(21));
   for (auto& v : in) v = static_cast<unsigned>(rng.next_below(256));
   std::vector<unsigned> expect(256);
   histogram_reference(in, expect);
@@ -235,7 +236,7 @@ TEST(PrefixSum, SingleGroupScan) {
   Context ctx(device);
   CommandQueue queue(ctx);
   for (std::size_t n : {8u, 128u, 1024u}) {  // Table II: 1024, local 1024
-    const FloatVec in = random_floats(n, 22, 0.0f, 2.0f);
+    const FloatVec in = random_floats(n, mcl::test::seed(22), 0.0f, 2.0f);
     FloatVec expect(n);
     prefixsum_reference(in, expect);
     Buffer bin = make_in(ctx, in);
@@ -255,9 +256,9 @@ TEST(PrefixSum, SingleGroupScan) {
 TEST_P(ExecutorParam, BlackScholesMatchesReference) {
   const std::size_t w = 64, h = 20;
   const std::size_t n = w * h;
-  const FloatVec s = random_floats(n, 30, 5.0f, 30.0f);
-  const FloatVec x = random_floats(n, 31, 1.0f, 100.0f);
-  const FloatVec t = random_floats(n, 32, 0.25f, 10.0f);
+  const FloatVec s = random_floats(n, mcl::test::seed(30), 5.0f, 30.0f);
+  const FloatVec x = random_floats(n, mcl::test::seed(31), 1.0f, 100.0f);
+  const FloatVec t = random_floats(n, mcl::test::seed(32), 0.25f, 10.0f);
   const float r = 0.02f, v = 0.30f;
   FloatVec ecall(n), eput(n);
   blackscholes_reference(s, x, t, ecall, eput, r, v);
@@ -279,9 +280,9 @@ TEST_P(ExecutorParam, BlackScholesMatchesReference) {
 
 TEST(BlackScholes, PutCallParity) {
   const std::size_t n = 512;
-  const FloatVec s = random_floats(n, 33, 10.0f, 20.0f);
-  const FloatVec x = random_floats(n, 34, 10.0f, 20.0f);
-  const FloatVec t = random_floats(n, 35, 0.5f, 2.0f);
+  const FloatVec s = random_floats(n, mcl::test::seed(33), 10.0f, 20.0f);
+  const FloatVec x = random_floats(n, mcl::test::seed(34), 10.0f, 20.0f);
+  const FloatVec t = random_floats(n, mcl::test::seed(35), 0.5f, 2.0f);
   const float r = 0.05f, v = 0.2f;
   FloatVec call(n), put(n);
   blackscholes_reference(s, x, t, call, put, r, v);
@@ -310,9 +311,9 @@ TEST(Binomial, KernelMatchesReference) {
   CommandQueue queue(ctx);
   const unsigned steps = 63;
   const std::size_t opts = 20;
-  const FloatVec s = random_floats(opts, 40, 50.0f, 150.0f);
-  const FloatVec x = random_floats(opts, 41, 50.0f, 150.0f);
-  const FloatVec t = random_floats(opts, 42, 0.5f, 3.0f);
+  const FloatVec s = random_floats(opts, mcl::test::seed(40), 50.0f, 150.0f);
+  const FloatVec x = random_floats(opts, mcl::test::seed(41), 50.0f, 150.0f);
+  const FloatVec t = random_floats(opts, mcl::test::seed(42), 0.5f, 3.0f);
   const float r = 0.03f, v = 0.3f;
 
   Buffer bs = make_in(ctx, s), bx = make_in(ctx, x), bt = make_in(ctx, t);
@@ -337,7 +338,7 @@ TEST(Binomial, KernelMatchesReference) {
 
 TEST_P(ExecutorParam, CpCenergyMatchesReference) {
   const std::size_t gx = 64, gy = 32, natoms = 50;
-  const FloatVec atoms = random_floats(natoms * 4, 50, 0.5f, 10.0f);
+  const FloatVec atoms = random_floats(natoms * 4, mcl::test::seed(50), 0.5f, 10.0f);
   FloatVec expect(gx * gy);
   cp_cenergy_reference(atoms, expect, gx, gy, 0.1f, 1.5f);
 
@@ -360,14 +361,14 @@ TEST_P(ExecutorParam, CpCenergyMatchesReference) {
 
 TEST_P(ExecutorParam, MriqKernelsMatchReference) {
   const std::size_t nx = 512, nk = 64;  // Table III shape, scaled
-  const FloatVec phi_r = random_floats(nk, 60, -1.0f, 1.0f);
-  const FloatVec phi_i = random_floats(nk, 61, -1.0f, 1.0f);
-  const FloatVec x = random_floats(nx, 62, -0.5f, 0.5f);
-  const FloatVec y = random_floats(nx, 63, -0.5f, 0.5f);
-  const FloatVec z = random_floats(nx, 64, -0.5f, 0.5f);
-  const FloatVec kx = random_floats(nk, 65, -1.0f, 1.0f);
-  const FloatVec ky = random_floats(nk, 66, -1.0f, 1.0f);
-  const FloatVec kz = random_floats(nk, 67, -1.0f, 1.0f);
+  const FloatVec phi_r = random_floats(nk, mcl::test::seed(60), -1.0f, 1.0f);
+  const FloatVec phi_i = random_floats(nk, mcl::test::seed(61), -1.0f, 1.0f);
+  const FloatVec x = random_floats(nx, mcl::test::seed(62), -0.5f, 0.5f);
+  const FloatVec y = random_floats(nx, mcl::test::seed(63), -0.5f, 0.5f);
+  const FloatVec z = random_floats(nx, mcl::test::seed(64), -0.5f, 0.5f);
+  const FloatVec kx = random_floats(nk, mcl::test::seed(65), -1.0f, 1.0f);
+  const FloatVec ky = random_floats(nk, mcl::test::seed(66), -1.0f, 1.0f);
+  const FloatVec kz = random_floats(nk, mcl::test::seed(67), -1.0f, 1.0f);
 
   // computePhiMag
   FloatVec mag_expect(nk);
@@ -411,10 +412,10 @@ TEST_P(ExecutorParam, MriqKernelsMatchReference) {
 
 TEST_P(ExecutorParam, MrifhdKernelsMatchReference) {
   const std::size_t nx = 256, nk = 48;
-  const FloatVec phi_r = random_floats(nk, 70, -1.0f, 1.0f);
-  const FloatVec phi_i = random_floats(nk, 71, -1.0f, 1.0f);
-  const FloatVec d_r = random_floats(nk, 72, -1.0f, 1.0f);
-  const FloatVec d_i = random_floats(nk, 73, -1.0f, 1.0f);
+  const FloatVec phi_r = random_floats(nk, mcl::test::seed(70), -1.0f, 1.0f);
+  const FloatVec phi_i = random_floats(nk, mcl::test::seed(71), -1.0f, 1.0f);
+  const FloatVec d_r = random_floats(nk, mcl::test::seed(72), -1.0f, 1.0f);
+  const FloatVec d_i = random_floats(nk, mcl::test::seed(73), -1.0f, 1.0f);
   FloatVec rrho_expect(nk), irho_expect(nk);
   mrifhd_rhophi_reference(phi_r, phi_i, d_r, d_i, rrho_expect, irho_expect);
 
@@ -433,12 +434,12 @@ TEST_P(ExecutorParam, MrifhdKernelsMatchReference) {
   EXPECT_LT(max_rel_diff({brr.as<float>(), nk}, rrho_expect, 1e-2), 1e-4);
   EXPECT_LT(max_rel_diff({bri.as<float>(), nk}, irho_expect, 1e-2), 1e-4);
 
-  const FloatVec x = random_floats(nx, 74, -0.5f, 0.5f);
-  const FloatVec y = random_floats(nx, 75, -0.5f, 0.5f);
-  const FloatVec z = random_floats(nx, 76, -0.5f, 0.5f);
-  const FloatVec kxv = random_floats(nk, 77, -1.0f, 1.0f);
-  const FloatVec kyv = random_floats(nk, 78, -1.0f, 1.0f);
-  const FloatVec kzv = random_floats(nk, 79, -1.0f, 1.0f);
+  const FloatVec x = random_floats(nx, mcl::test::seed(74), -0.5f, 0.5f);
+  const FloatVec y = random_floats(nx, mcl::test::seed(75), -0.5f, 0.5f);
+  const FloatVec z = random_floats(nx, mcl::test::seed(76), -0.5f, 0.5f);
+  const FloatVec kxv = random_floats(nk, mcl::test::seed(77), -1.0f, 1.0f);
+  const FloatVec kyv = random_floats(nk, mcl::test::seed(78), -1.0f, 1.0f);
+  const FloatVec kzv = random_floats(nk, mcl::test::seed(79), -1.0f, 1.0f);
   FloatVec rfh_expect(nx), ifh_expect(nx);
   mrifhd_fh_reference(x, y, z, kxv, kyv, kzv, rrho_expect, irho_expect,
                       rfh_expect, ifh_expect);
@@ -469,7 +470,7 @@ TEST_P(ExecutorParam, MrifhdKernelsMatchReference) {
 TEST_P(ExecutorParam, IlpKernelsAllComputeSameResult) {
   const std::size_t n = 256;
   const unsigned iters = 10;
-  const FloatVec in = random_floats(n, 80, 0.0f, 1.0f);
+  const FloatVec in = random_floats(n, mcl::test::seed(80), 0.0f, 1.0f);
 
   for (int level : kIlpLevels) {
     Buffer bin = make_in(ctx, in);
@@ -516,9 +517,9 @@ TEST_P(MBenchParam, LoopSimdMatchesLoopScalar) {
   const std::size_t n = 1000;
 
   auto make_data = [&](FloatVec& a, FloatVec& b, FloatVec& c) {
-    a = random_floats(3 * n + 1, 90, 0.25f, 1.75f);
-    b = random_floats(n, 91, 0.25f, 1.75f);
-    c = random_floats(2 * n, 92, 0.25f, 1.75f);
+    a = random_floats(3 * n + 1, mcl::test::seed(90), 0.25f, 1.75f);
+    b = random_floats(n, mcl::test::seed(91), 0.25f, 1.75f);
+    c = random_floats(2 * n, mcl::test::seed(92), 0.25f, 1.75f);
   };
   FloatVec a1, b1, c1, a2, b2, c2;
   make_data(a1, b1, c1);
@@ -539,9 +540,9 @@ TEST_P(MBenchParam, KernelMatchesLoopScalar) {
   if (!mb.deterministic) GTEST_SKIP() << "schedule-dependent semantics";
   const std::size_t n = 960;
 
-  FloatVec a_ref = random_floats(3 * n + 1, 93, 0.25f, 1.75f);
-  const FloatVec b = random_floats(n, 94, 0.25f, 1.75f);
-  FloatVec c_ref = random_floats(2 * n, 95, 0.25f, 1.75f);
+  FloatVec a_ref = random_floats(3 * n + 1, mcl::test::seed(93), 0.25f, 1.75f);
+  const FloatVec b = random_floats(n, mcl::test::seed(94), 0.25f, 1.75f);
+  FloatVec c_ref = random_floats(2 * n, mcl::test::seed(95), 0.25f, 1.75f);
   FloatVec a_cl = a_ref, c_cl = c_ref;
 
   MBenchData dref{a_ref.data(), b.data(), c_ref.data(), 1.5f, n};
@@ -581,8 +582,8 @@ TEST(MBench, Race5RunsWithoutCrashing) {
     Context ctx(device);
     CommandQueue queue(ctx);
     const std::size_t n = 512;
-    FloatVec a = random_floats(3 * n + 1, 96, 0.5f, 1.5f);
-    const FloatVec b = random_floats(n, 97, 0.5f, 1.5f);
+    FloatVec a = random_floats(3 * n + 1, mcl::test::seed(96), 0.5f, 1.5f);
+    const FloatVec b = random_floats(n, mcl::test::seed(97), 0.5f, 1.5f);
     FloatVec c(2 * n, 0.0f);
     Buffer ba = ctx.create_buffer(MemFlags::ReadWrite | MemFlags::UseHostPtr,
                                   a.size() * 4, a.data());
@@ -640,7 +641,7 @@ TEST(Spmv, GeneratorDeterministic) {
 TEST_P(ExecutorParam, SpmvMatchesReference) {
   for (std::size_t rows : {64u, 640u}) {
     const CsrMatrix m = make_random_csr(rows, rows, 6, 11);
-    const FloatVec x = random_floats(rows, 12, -1.0f, 1.0f);
+    const FloatVec x = random_floats(rows, mcl::test::seed(12), -1.0f, 1.0f);
     FloatVec expect(rows);
     spmv_reference(m, x, expect);
 
@@ -673,7 +674,7 @@ TEST(Spmv, GpuCostModelUsesRealNnz) {
   CommandQueue q(ctx);
   const std::size_t rows = 256;
   const CsrMatrix m = make_random_csr(rows, rows, 8, 3);
-  const FloatVec x = random_floats(rows, 4);
+  const FloatVec x = random_floats(rows, mcl::test::seed(4));
 
   Buffer bval = ctx.create_buffer(MemFlags::ReadOnly | MemFlags::CopyHostPtr,
                                   m.values.size() * 4,
@@ -729,7 +730,7 @@ TEST(Convolution, KernelMatchesReference) {
 
   for (unsigned k : {1u, 3u, 5u}) {
     const std::size_t w = 64, h = 48;
-    ocl::Image2D in = random_image(w, h, 100 + k);
+    ocl::Image2D in = random_image(w, h, mcl::test::seed(100 + k));
     ocl::Image2D out(w, h, 1);
     ocl::Image2D expect(w, h, 1);
     const std::vector<float> filter = box_filter(k);
@@ -752,7 +753,7 @@ TEST(Convolution, KernelMatchesReference) {
 
 TEST(Convolution, IdentityFilterIsANoop) {
   const std::size_t w = 32, h = 32;
-  ocl::Image2D in = random_image(w, h, 7);
+  ocl::Image2D in = random_image(w, h, mcl::test::seed(7));
   ocl::Image2D out(w, h, 1);
   std::vector<float> identity(9, 0.0f);
   identity[4] = 1.0f;  // center tap
@@ -794,7 +795,7 @@ TEST(Convolution, RunsOnSimulatedGpu) {
   Context ctx(platform.gpu());
   CommandQueue q(ctx);
   const std::size_t w = 32, h = 16;
-  ocl::Image2D in = random_image(w, h, 9);
+  ocl::Image2D in = random_image(w, h, mcl::test::seed(9));
   ocl::Image2D out(w, h, 1);
   ocl::Image2D expect(w, h, 1);
   const std::vector<float> filter = gaussian3();
@@ -834,7 +835,7 @@ TEST(Transpose, BothKernelsMatchReference) {
   };
   for (const Shape s : {Shape{32, 32, 8}, Shape{64, 16, 8}, Shape{48, 96, 16},
                         Shape{8, 8, 4}}) {
-    const FloatVec in = random_floats(s.w * s.h, 55, -4.0f, 4.0f);
+    const FloatVec in = random_floats(s.w * s.h, mcl::test::seed(55), -4.0f, 4.0f);
     FloatVec expect(s.w * s.h);
     transpose_reference(in, expect, s.w, s.h);
 
@@ -862,7 +863,7 @@ TEST(Transpose, InvolutionProperty) {
   Context ctx(device);
   CommandQueue queue(ctx);
   const std::size_t w = 64, h = 32, tile = 16;
-  const FloatVec in = random_floats(w * h, 56);
+  const FloatVec in = random_floats(w * h, mcl::test::seed(56));
   Buffer a = make_in(ctx, in);
   Buffer b = make_out(ctx, w * h);
   Buffer c = make_out(ctx, w * h);

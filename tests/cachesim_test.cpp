@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cachesim/cache.hpp"
+#include "testseed.hpp"
 #include "cachesim/hierarchy.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
@@ -305,7 +306,7 @@ TEST(Prefetch, RandomAccessUnaffectedMuch) {
   MachineConfig with_pf = base;
   with_pf.prefetch_next_line = true;
   Machine plain(base), pf(with_pf);
-  core::Rng rng(3);
+  core::Rng rng(mcl::test::seed(3));
   for (int i = 0; i < 2000; ++i) {
     const std::uint64_t a = rng.next_below(1 << 22) * 4;
     plain.access(0, a, 4, false);

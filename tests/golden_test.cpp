@@ -1,0 +1,301 @@
+// Golden-file tests for the paper kernels on the serial oracle device.
+//
+// Each kernel from the paper's suite (blackscholes, matrixmul, reduction,
+// spmv, transpose) runs single-threaded with an identity workgroup dispatch
+// order — the same "one workitem at a time, in order" execution model the
+// mclcheck reference interpreter uses — and its output is digested
+// (count / sum / min / max / first four elements, %.9g). Digests are
+// compared against tests/golden/oracle.golden with 1e-5 relative
+// tolerance, so a silent numeric regression in a kernel body, the
+// executor, or the host data generators shows up as a diff against a
+// committed artifact.
+//
+// Regenerate after an intentional change with:
+//   MCL_UPDATE_GOLDEN=1 ./build/tests/golden_test
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/blackscholes.hpp"
+#include "apps/hostdata.hpp"
+#include "apps/matrixmul.hpp"
+#include "apps/reduction.hpp"
+#include "apps/spmv.hpp"
+#include "apps/transpose.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+
+#ifndef MCL_GOLDEN_DIR
+#define MCL_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace mcl::apps {
+namespace {
+
+using ocl::Buffer;
+using ocl::CommandQueue;
+using ocl::Context;
+using ocl::CpuDevice;
+using ocl::CpuDeviceConfig;
+using ocl::Kernel;
+using ocl::MemFlags;
+using ocl::NDRange;
+using ocl::Program;
+
+// Golden inputs use fixed seeds on purpose: the digests must not move with
+// MCL_TEST_SEED, or the committed file would only be valid for one seed.
+
+std::string format_digest(const std::string& name,
+                          std::span<const float> data) {
+  double sum = 0.0;
+  float lo = data.empty() ? 0.0f : data[0];
+  float hi = lo;
+  for (const float v : data) {
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%s count=%zu sum=%.9g min=%.9g max=%.9g",
+                name.c_str(), data.size(), sum, lo, hi);
+  std::string line = buf;
+  line += " first=";
+  for (std::size_t i = 0; i < 4; ++i) {
+    const float v = i < data.size() ? data[i] : 0.0f;
+    std::snprintf(buf, sizeof buf, "%s%.9g", i == 0 ? "" : ",", v);
+    line += buf;
+  }
+  return line;
+}
+
+/// Splits "name k=v k=v first=a,b,c,d" into the name and the numeric fields.
+bool parse_digest(const std::string& line, std::string& name,
+                  std::vector<double>& fields) {
+  std::istringstream in(line);
+  if (!(in >> name)) return false;
+  fields.clear();
+  for (std::string tok; in >> tok;) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) return false;
+    std::istringstream vals(tok.substr(eq + 1));
+    for (std::string v; std::getline(vals, v, ',');) {
+      fields.push_back(std::strtod(v.c_str(), nullptr));
+    }
+  }
+  return true;
+}
+
+bool fields_close(double a, double b) {
+  const double tol = 1e-5 * std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= tol;
+}
+
+/// The oracle device: one thread, workgroups dispatched in identity order
+/// through the deterministic dispatch hook.
+CpuDeviceConfig oracle_config() {
+  CpuDeviceConfig cfg;
+  cfg.threads = 1;
+  cfg.dispatch_order = [](std::size_t index, std::size_t) { return index; };
+  return cfg;
+}
+
+Buffer make_in(Context& ctx, std::span<const float> data) {
+  return ctx.create_buffer(MemFlags::ReadOnly | MemFlags::CopyHostPtr,
+                           data.size() * 4,
+                           const_cast<float*>(data.data()));
+}
+Buffer make_in_u(Context& ctx, std::span<const unsigned> data) {
+  return ctx.create_buffer(MemFlags::ReadOnly | MemFlags::CopyHostPtr,
+                           data.size() * 4,
+                           const_cast<unsigned*>(data.data()));
+}
+Buffer make_out(Context& ctx, std::size_t n) {
+  return ctx.create_buffer(MemFlags::ReadWrite, n * 4);
+}
+
+/// Runs every paper kernel on the oracle device; returns name -> digest
+/// line, cross-checking each output against its serial reference as it goes.
+std::vector<std::string> compute_digests() {
+  CpuDevice device(oracle_config());
+  Context ctx(device);
+  CommandQueue q(ctx);
+  std::vector<std::string> lines;
+
+  {  // blackscholes
+    const std::size_t n = 256;
+    const FloatVec s = random_floats(n, 1001, 5.0f, 30.0f);
+    const FloatVec x = random_floats(n, 1002, 1.0f, 100.0f);
+    const FloatVec t = random_floats(n, 1003, 0.25f, 10.0f);
+    const float r = 0.02f, v = 0.30f;
+    Buffer bs = make_in(ctx, s), bx = make_in(ctx, x), bt = make_in(ctx, t);
+    Buffer bc = make_out(ctx, n), bp = make_out(ctx, n);
+    Kernel k = ctx.create_kernel(Program::builtin(), kBlackScholesKernel);
+    k.set_arg(0, bs);
+    k.set_arg(1, bx);
+    k.set_arg(2, bt);
+    k.set_arg(3, bc);
+    k.set_arg(4, bp);
+    k.set_arg(5, r);
+    k.set_arg(6, v);
+    (void)q.enqueue_ndrange(k, NDRange{n}, NDRange{16});
+    FloatVec ecall(n), eput(n);
+    blackscholes_reference(s, x, t, ecall, eput, r, v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(bc.as<float>()[i], ecall[i], 2e-4) << "blackscholes " << i;
+      EXPECT_NEAR(bp.as<float>()[i], eput[i], 2e-4) << "blackscholes " << i;
+    }
+    lines.push_back(format_digest("blackscholes.call", {bc.as<float>(), n}));
+    lines.push_back(format_digest("blackscholes.put", {bp.as<float>(), n}));
+  }
+
+  {  // matrixmul: tiled (workgroup form) and naive
+    const std::size_t m = 32, n = 32, kk = 32, tile = 8;
+    const FloatVec a = random_floats(m * kk, 1010, -1.0f, 1.0f);
+    const FloatVec b = random_floats(kk * n, 1011, -1.0f, 1.0f);
+    FloatVec expect(m * n);
+    matmul_reference(a, b, expect, m, n, kk);
+    const auto run = [&](const char* kernel_name, bool tiled) {
+      Buffer ba = make_in(ctx, a), bb = make_in(ctx, b);
+      Buffer bc = make_out(ctx, m * n);
+      Kernel kr = ctx.create_kernel(Program::builtin(), kernel_name);
+      kr.set_arg(0, ba);
+      kr.set_arg(1, bb);
+      kr.set_arg(2, bc);
+      kr.set_arg(3, static_cast<unsigned>(m));
+      kr.set_arg(4, static_cast<unsigned>(n));
+      kr.set_arg(5, static_cast<unsigned>(kk));
+      if (tiled) {
+        kr.set_arg_local(6, tile * tile * 4);
+        kr.set_arg_local(7, tile * tile * 4);
+        kr.set_arg_local(8, tile * tile * 4);
+      }
+      const NDRange local = tiled ? NDRange(tile, tile) : NDRange{};
+      (void)q.enqueue_ndrange(kr, NDRange(n, m), local);
+      for (std::size_t i = 0; i < m * n; ++i) {
+        EXPECT_NEAR(bc.as<float>()[i], expect[i], 1e-3) << kernel_name << i;
+      }
+      lines.push_back(format_digest(kernel_name, {bc.as<float>(), m * n}));
+    };
+    run(kMatrixMulKernel, true);
+    run(kMatrixMulNaiveKernel, false);
+  }
+
+  {  // reduction (per-group partials)
+    const std::size_t local = 64, n = local * 32;
+    const FloatVec in = random_floats(n, 1020, 0.0f, 1.0f);
+    Buffer bin = make_in(ctx, in);
+    Buffer bpart = make_out(ctx, n / local);
+    Kernel k = ctx.create_kernel(Program::builtin(), kReduceKernel);
+    k.set_arg(0, bin);
+    k.set_arg(1, bpart);
+    k.set_arg_local(2, local * 4);
+    (void)q.enqueue_ndrange(k, NDRange{n}, NDRange{local});
+    double total = 0.0;
+    for (std::size_t g = 0; g < n / local; ++g) total += bpart.as<float>()[g];
+    EXPECT_NEAR(total, reduce_reference(in), n * 1e-5);
+    lines.push_back(format_digest("reduce.partials",
+                                  {bpart.as<float>(), n / local}));
+  }
+
+  {  // spmv (CSR gather)
+    const std::size_t rows = 128;
+    const CsrMatrix m = make_random_csr(rows, rows, 6, 2025);
+    const FloatVec x = random_floats(rows, 1030, -1.0f, 1.0f);
+    Buffer bval = make_in(ctx, m.values);
+    Buffer bcol = make_in_u(ctx, m.col_idx);
+    Buffer brow = make_in_u(ctx, m.row_ptr);
+    Buffer bx = make_in(ctx, x);
+    Buffer by = make_out(ctx, rows);
+    Kernel k = ctx.create_kernel(Program::builtin(), kSpmvKernel);
+    k.set_arg(0, bval);
+    k.set_arg(1, bcol);
+    k.set_arg(2, brow);
+    k.set_arg(3, bx);
+    k.set_arg(4, by);
+    (void)q.enqueue_ndrange(k, NDRange{rows}, NDRange{32});
+    FloatVec expect(rows);
+    spmv_reference(m, x, expect);
+    for (std::size_t i = 0; i < rows; ++i) {
+      EXPECT_NEAR(by.as<float>()[i], expect[i], 1e-4) << "spmv " << i;
+    }
+    lines.push_back(format_digest("spmv_csr", {by.as<float>(), rows}));
+  }
+
+  {  // transpose (naive, strided writes)
+    const std::size_t w = 32, h = 16;
+    const FloatVec in = random_floats(w * h, 1040, -4.0f, 4.0f);
+    Buffer bin = make_in(ctx, in);
+    Buffer bout = make_out(ctx, w * h);
+    Kernel k = ctx.create_kernel(Program::builtin(), kTransposeNaiveKernel);
+    k.set_arg(0, bin);
+    k.set_arg(1, bout);
+    k.set_arg(2, static_cast<unsigned>(w));
+    k.set_arg(3, static_cast<unsigned>(h));
+    (void)q.enqueue_ndrange(k, NDRange(w, h), NDRange(8, 8));
+    FloatVec expect(w * h);
+    transpose_reference(in, expect, w, h);
+    for (std::size_t i = 0; i < w * h; ++i) {
+      EXPECT_EQ(bout.as<float>()[i], expect[i]) << "transpose " << i;
+    }
+    lines.push_back(format_digest("transpose_naive", {bout.as<float>(), w * h}));
+  }
+
+  return lines;
+}
+
+TEST(GoldenOracle, PaperKernelDigestsMatchGoldenFile) {
+  const std::vector<std::string> lines = compute_digests();
+  const std::string path = std::string(MCL_GOLDEN_DIR) + "/oracle.golden";
+
+  if (std::getenv("MCL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "# Paper-kernel digests from the serial oracle device.\n"
+        << "# Regenerate: MCL_UPDATE_GOLDEN=1 ./build/tests/golden_test\n";
+    for (const std::string& line : lines) out << line << "\n";
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing " << path
+      << " — generate it with MCL_UPDATE_GOLDEN=1 ./build/tests/golden_test";
+  std::map<std::string, std::vector<double>> golden;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string name;
+    std::vector<double> fields;
+    ASSERT_TRUE(parse_digest(line, name, fields)) << "bad line: " << line;
+    golden[name] = std::move(fields);
+  }
+
+  for (const std::string& line : lines) {
+    std::string name;
+    std::vector<double> fields;
+    ASSERT_TRUE(parse_digest(line, name, fields));
+    const auto it = golden.find(name);
+    ASSERT_NE(it, golden.end()) << "no golden entry for '" << name << "'";
+    ASSERT_EQ(it->second.size(), fields.size()) << name;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      EXPECT_TRUE(fields_close(fields[i], it->second[i]))
+          << name << " field " << i << ": got " << fields[i] << ", golden "
+          << it->second[i] << "\n  current: " << line;
+    }
+    golden.erase(it);
+  }
+  for (const auto& [name, unused] : golden) {
+    ADD_FAILURE() << "golden entry '" << name
+                  << "' has no matching kernel digest (stale file?)";
+  }
+}
+
+}  // namespace
+}  // namespace mcl::apps

@@ -10,6 +10,7 @@
 #include "apps/simple.hpp"
 #include "cachesim/hierarchy.hpp"
 #include "core/advisor.hpp"
+#include "testseed.hpp"
 #include "core/harness.hpp"
 #include "ocl/platform.hpp"
 #include "ocl/queue.hpp"
@@ -53,7 +54,7 @@ TEST(Integration, WorkitemCoalescingSpeedsUpCpu) {
   Context ctx(device);
   CommandQueue q(ctx);
   const std::size_t n = 1 << 18;
-  const FloatVec in = random_floats(n, 1);
+  const FloatVec in = random_floats(n, mcl::test::seed(1));
   Buffer bin(MemFlags::ReadOnly | MemFlags::CopyHostPtr, n * 4,
              const_cast<float*>(in.data()));
   Buffer bout(MemFlags::WriteOnly, n * 4);
@@ -171,9 +172,9 @@ TEST(Integration, VectorizationPolicyPipeline) {
   ASSERT_TRUE(spmd_v.vectorizable);
 
   const std::size_t n = 4096;
-  FloatVec a_omp = random_floats(3 * n + 1, 7, 0.5f, 1.5f);
+  FloatVec a_omp = random_floats(3 * n + 1, mcl::test::seed(7), 0.5f, 1.5f);
   FloatVec a_ocl = a_omp;
-  const FloatVec b = random_floats(n, 8, 0.5f, 1.5f);
+  const FloatVec b = random_floats(n, mcl::test::seed(8), 0.5f, 1.5f);
   FloatVec c(2 * n, 0.0f);
 
   // OpenMP path: runs the loop body the legality verdict allows (scalar).
@@ -226,7 +227,7 @@ TEST(Integration, EveryRegisteredKernelAgreesAcrossDevices) {
   // Functional cross-check of the two devices over the elementwise kernels.
   ocl::Platform platform;
   const std::size_t n = 512;
-  const FloatVec in = random_floats(n, 13, 0.1f, 2.0f);
+  const FloatVec in = random_floats(n, mcl::test::seed(13), 0.1f, 2.0f);
 
   for (const char* name : {"square", "vectoradd"}) {
     auto run = [&](ocl::Device& dev) {

@@ -5,6 +5,7 @@
 
 #include "core/rng.hpp"
 #include "simd/math.hpp"
+#include "testseed.hpp"
 #include "simd/vec.hpp"
 
 namespace mcl::simd {
@@ -53,7 +54,7 @@ TYPED_TEST(VecTest, BroadcastAndIota) {
 
 TYPED_TEST(VecTest, ArithmeticMatchesScalar) {
   constexpr int W = TypeParam::width;
-  core::Rng rng(99);
+  core::Rng rng(mcl::test::seed(99));
   for (int trial = 0; trial < 50; ++trial) {
     alignas(64) float a[W], b[W];
     for (int i = 0; i < W; ++i) {
@@ -123,7 +124,7 @@ TYPED_TEST(VecTest, ReduceAdd) {
 
 TYPED_TEST(VecTest, ExpAccuracy) {
   constexpr int W = TypeParam::width;
-  core::Rng rng(7);
+  core::Rng rng(mcl::test::seed(7));
   for (int trial = 0; trial < 200; ++trial) {
     alignas(64) float x[W];
     for (int i = 0; i < W; ++i) x[i] = rng.next_float(-80.0f, 80.0f);
@@ -143,7 +144,7 @@ TYPED_TEST(VecTest, ExpClampsExtremes) {
 
 TYPED_TEST(VecTest, LogAccuracy) {
   constexpr int W = TypeParam::width;
-  core::Rng rng(8);
+  core::Rng rng(mcl::test::seed(8));
   for (int trial = 0; trial < 200; ++trial) {
     alignas(64) float x[W];
     for (int i = 0; i < W; ++i) x[i] = rng.next_float(1e-5f, 1e5f);
@@ -158,7 +159,7 @@ TYPED_TEST(VecTest, LogAccuracy) {
 
 TYPED_TEST(VecTest, SinCosAccuracy) {
   constexpr int W = TypeParam::width;
-  core::Rng rng(9);
+  core::Rng rng(mcl::test::seed(9));
   for (int trial = 0; trial < 200; ++trial) {
     alignas(64) float x[W];
     for (int i = 0; i < W; ++i) x[i] = rng.next_float(-50.0f, 50.0f);
@@ -175,7 +176,7 @@ TYPED_TEST(VecTest, SinCosAccuracy) {
 
 TYPED_TEST(VecTest, SinCosPythagorean) {
   constexpr int W = TypeParam::width;
-  core::Rng rng(10);
+  core::Rng rng(mcl::test::seed(10));
   for (int trial = 0; trial < 100; ++trial) {
     const vfloat<W> x{rng.next_float(-100.0f, 100.0f)};
     vfloat<W> s, c;
@@ -194,7 +195,7 @@ TYPED_TEST(VecTest, NormalCdfProperties) {
   EXPECT_NEAR(normal_cdf(vfloat<W>{-1.0f}).lane(0), 0.1586553, 1e-5);
   EXPECT_NEAR(normal_cdf(vfloat<W>{6.0f}).lane(0), 1.0, 1e-6);
   // Symmetry: CND(d) + CND(-d) == 1.
-  core::Rng rng(11);
+  core::Rng rng(mcl::test::seed(11));
   for (int trial = 0; trial < 100; ++trial) {
     const float d = rng.next_float(-5.0f, 5.0f);
     const float sum = normal_cdf(vfloat<W>{d}).lane(0) +

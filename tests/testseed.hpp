@@ -1,0 +1,67 @@
+// Single-point RNG seeding for the test suite.
+//
+// Tests that want random data derive their stream seed from
+// mcl::test::seed(salt). The base seed comes from the MCL_TEST_SEED
+// environment variable (default 0x5eed) and is printed on the first test
+// failure, so a red CI run can be replayed exactly:
+//
+//   MCL_TEST_SEED=<printed value> ./build/tests/<binary> --gtest_filter=...
+//
+// Distinct call sites should pass distinct salts so their streams stay
+// decorrelated no matter what base the environment picks.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace mcl::test {
+
+/// The run-wide base seed: MCL_TEST_SEED if set (decimal or 0x-hex),
+/// otherwise the historical default 0x5eed.
+inline std::uint64_t seed_base() {
+  static const std::uint64_t base = [] {
+    if (const char* env = std::getenv("MCL_TEST_SEED")) {
+      return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 0));
+    }
+    return std::uint64_t{0x5eed};
+  }();
+  return base;
+}
+
+/// Per-stream seed: splitmix64 of base + golden-ratio-spread salt, so
+/// adjacent salts land far apart in state space.
+inline std::uint64_t seed(std::uint64_t salt) {
+  std::uint64_t state = seed_base() + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  return core::splitmix64(state);
+}
+
+namespace detail {
+
+/// Prints the active base seed once, on the first failing assertion, so the
+/// run is replayable even when the seed came from the default.
+class SeedReporter : public ::testing::EmptyTestEventListener {
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed() || printed_) return;
+    printed_ = true;
+    std::fprintf(stderr,
+                 "[  SEED    ] base test seed %llu; replay with "
+                 "MCL_TEST_SEED=%llu\n",
+                 static_cast<unsigned long long>(seed_base()),
+                 static_cast<unsigned long long>(seed_base()));
+  }
+  bool printed_ = false;
+};
+
+inline const bool seed_reporter_registered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+  return true;
+}();
+
+}  // namespace detail
+
+}  // namespace mcl::test

@@ -21,6 +21,11 @@ the perf availability block must be present and typed, every kernel entry's
 counters must be non-negative, IPC must sit in sane bounds (0..16), and a
 profile claiming hardware=false must not fabricate cycle counts.
 
+--check also understands mclcheck repro files (*.mclrepro, or any file whose
+first non-comment line is "mclcheck-repro v1"): the file must be structurally
+complete and carry "minimized 1" — committing raw unminimized fuzzer output
+is an error; shrink it with tools/mclcheck first.
+
 Results JSONL files may carry {"meta": {...}} provenance lines (written by
 the bench --csv/--json header block); they are validated for shape and
 skipped by the renderers.
@@ -104,6 +109,57 @@ def check_tables(path):
                     f"{where}: row {r} has {len(row)} cells "
                     f"but only {len(columns)} columns"
                 )
+    return errors
+
+
+def is_repro_file(path):
+    """mclcheck repro files self-identify with a version header line."""
+    if path.endswith(".mclrepro"):
+        return True
+    try:
+        with open(path) as f:
+            for line in f:
+                stripped = line.strip()
+                if stripped:
+                    return stripped.startswith("mclcheck-repro v")
+    except (OSError, UnicodeDecodeError):
+        pass
+    return False
+
+
+def check_repro(path):
+    """Validates one mclcheck .mclrepro file; returns error strings.
+
+    A committed repro must be structurally complete (header, geometry, at
+    least one array, an end marker) and MINIMIZED ("minimized 1"): raw
+    fuzzer output is fine in a bug report, but the repo only carries shrunk
+    cases a human can read. Replay semantics are re-checked by
+    tools/mclcheck --replay; this pass only gates what gets committed.
+    """
+    errors = []
+    if not os.path.exists(path):
+        return [f"{path}: no such file"]
+    try:
+        with open(path) as f:
+            lines = [ln.strip() for ln in f]
+    except (OSError, UnicodeDecodeError) as e:
+        return [f"{path}: {e}"]
+    body = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not body or not body[0].startswith("mclcheck-repro v1"):
+        errors.append(f"{path}: missing 'mclcheck-repro v1' header")
+        return errors
+    keys = {ln.split()[0] for ln in body}
+    for required in ("seed", "minimized", "type", "geometry", "array", "end"):
+        if required not in keys:
+            errors.append(f"{path}: missing '{required}' line")
+    minimized = [ln for ln in body if ln.startswith("minimized")]
+    if minimized and minimized[0].split()[1:] != ["1"]:
+        errors.append(
+            f"{path}: unminimized repro (minimized != 1) — shrink it with "
+            "tools/mclcheck before committing"
+        )
+    if body[-1] != "end":
+        errors.append(f"{path}: content after the 'end' marker")
     return errors
 
 
@@ -400,7 +456,11 @@ def main():
     args = parser.parse_args()
 
     if args.check:
-        if is_profile_file(args.jsonl):
+        if is_repro_file(args.jsonl):
+            errors = check_repro(args.jsonl)
+            if not errors:
+                print(f"{args.jsonl}: ok (minimized mclcheck repro)")
+        elif is_profile_file(args.jsonl):
             errors = check_profile(args.jsonl)
         elif is_trace_file(args.jsonl):
             errors = check_trace(args.jsonl)

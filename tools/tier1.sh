@@ -3,7 +3,9 @@
 #
 #   1. plain Release build + full ctest suite (plus explicit `-L trace` and
 #      `-L prof` passes for the mcltrace ring/exporter and mclprof
-#      registry/profiler suites);
+#      registry/profiler suites), then a fixed-seed 60-second mclcheck
+#      differential smoke and a scan rejecting unminimized committed
+#      .mclrepro files;
 #   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
 #   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue` +
 #      `trace` + `prof` labels — the thread-pool wakeup, event-graph
@@ -22,6 +24,18 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure
 ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L prof
+
+echo "== tier1: mclcheck differential smoke (fixed seed, 60 s budget) =="
+# Fixed-seed so the gate is reproducible; the clock-seeded long run is the
+# nightly `ctest -C nightly -L fuzz` job. Repro files go to the build tree.
+./build/tools/mclcheck --cases 2000 --seed 1 --budget-seconds 60 \
+  --repro-dir build
+# Any repro file that does land in the source tree must be minimized.
+find . -path ./build -prune -o -path ./build-asan -prune -o \
+  -path ./build-tsan -prune -o -name '*.mclrepro' -print0 |
+  while IFS= read -r -d '' repro; do
+    tools/plot_results.py --check "$repro"
+  done
 
 echo "== tier1: ASan+UBSan build =="
 cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
