@@ -1,0 +1,47 @@
+// mclcheck soundness oracle for mclverify's proof-carrying launches.
+//
+// The contract under test: an array the static verifier proves safe for a
+// launch shape is exempted from the Checked executor's shadow replay — so an
+// unsound proof would silently disable the sanitizer exactly where it is
+// wrong. This mode closes that loop with the generator: every generated
+// program is lowered to IR, registered (re-registration per case exercises
+// the KernelIrRegistry analysis-cache invalidation), analyzed, and run under
+// a CheckedRunner with FULL replay forced. The assertion is that no array
+// the discharged proof covers is ever flagged by the dynamic replay
+// (B1/S2/S3/W1).
+//
+// Each case is additionally rerun as a boundary variant: the declared extent
+// of one array is shrunk to exactly the highest index the launch reaches, so
+// dynamic replay must flag B1 while a correct discharge must refuse the
+// proof. Under MCL_CHECK_INJECT=verify the discharge is deliberately lax
+// (accepts one element past the extent) and the oracle MUST report a
+// violation — proving the check can fail.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/case.hpp"
+
+namespace mcl::check {
+
+struct SoundnessStats {
+  std::size_t cases = 0;
+  std::size_t launches = 0;         ///< forced-full-replay runs driven
+  std::size_t proven_arrays = 0;    ///< arrays covered by discharged proofs
+  std::size_t fully_proven = 0;     ///< launches with every array proven
+  std::size_t accesses_covered = 0; ///< declared accesses proofs would exempt
+  std::size_t boundary_checks = 0;  ///< shrunk-extent variants driven
+  std::size_t violations = 0;       ///< proven-and-flagged arrays seen
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool sound() const noexcept { return violations == 0; }
+};
+
+/// Runs the oracle on one generated case (base launch + boundary variant).
+/// Returns false when any statically proven array was dynamically flagged;
+/// details are appended to `stats.failures`.
+bool run_soundness_case(const Case& c, SoundnessStats& stats);
+
+}  // namespace mcl::check

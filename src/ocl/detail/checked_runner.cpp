@@ -13,6 +13,7 @@
 #include "ocl/detail/ctx_access.hpp"
 #include "threading/fiber.hpp"
 #include "veclegal/kernel_ir.hpp"
+#include "verify/verify.hpp"
 
 namespace mcl::ocl::detail {
 
@@ -92,6 +93,52 @@ void CheckedRunner::replay_ir(const veclegal::KernelIr& ir) {
   // sizes are far outside what the Checked (serial) executor is for.
   if (n > (1ll << 31) - 2) return;
 
+  // Proof-carrying launch: discharge the kernel's symbolic facts against
+  // this launch's shape class. Arrays the proof covers are exempted from
+  // shadow replay below; everything unproven is replayed as before. Extents
+  // and writability are resolved EXACTLY like the replay's own shadows, so
+  // the proof talks about the same obligations the replay would check.
+  std::shared_ptr<const verify::KernelFacts> facts;
+  std::set<int> proven_ids;
+  if (verify::runtime_enabled()) {
+    facts = verify::facts_for(def_.name);
+  }
+  if (facts != nullptr) {
+    verify::ShapeClass shape;
+    shape.global0 = n;
+    shape.local0 = local0;
+    shape.offset0 = off0;
+    for (const verify::ArrayFacts& af : facts->arrays) {
+      long long extent = af.declared_extent;
+      bool writable = true;
+      if (af.arg_index >= 0) {
+        const std::size_t arg = static_cast<std::size_t>(af.arg_index);
+        if (extent <= 0 && af.local && args_.is_local(arg)) {
+          extent =
+              static_cast<long long>(args_.local_bytes(arg) / af.elem_bytes);
+        } else if (const Buffer* buf = args_.buffer_object(arg)) {
+          if (extent <= 0) {
+            extent = static_cast<long long>(buf->size() / af.elem_bytes);
+          }
+          writable = buf->kernel_writable();
+        }
+      }
+      shape.extents.push_back(extent);
+      shape.writable.push_back(writable);
+    }
+    proof_ = verify::discharge_cached(def_.name, *facts, shape);
+    // Under forced full replay (the soundness oracle) the proof is still
+    // computed and exposed, but every access is replayed regardless — that
+    // is the ground truth proofs are checked against.
+    if (!force_full_replay_) {
+      for (std::size_t idx = 0; idx < facts->arrays.size(); ++idx) {
+        if (proof_->array_proven[idx]) {
+          proven_ids.insert(facts->arrays[idx].array);
+        }
+      }
+    }
+  }
+
   // One shadow per array: per-element last writer and last reader. Recording
   // only the most recent access of each kind still reports at least one
   // conflict per racy element, at O(1) per declared access. Cells are kept
@@ -164,14 +211,22 @@ void CheckedRunner::replay_ir(const veclegal::KernelIr& ir) {
   bool any_local = false;
   for (std::size_t k = 0; k < stmts.size(); ++k) {
     auto add_access = [&](const veclegal::ArrayRef& ref, bool is_write) {
+      if (proven_ids.count(ref.array) != 0) {
+        // Every access of this array is statically proven safe for this
+        // shape class; its replay (the per-item inner loop) is skipped.
+        ++skipped_accesses_;
+        return;
+      }
       const std::size_t si = shadow_index(ref.array);
       const Shadow& s = shadows[si];
       if (s.info == nullptr || s.extent <= 0) return;  // nothing declared
       if (is_write && !s.writable) {
+        flagged_arrays_.insert(s.id);
         add_finding("[W1] kernel '" + def_.name + "': write to read-only " +
                     array_label(s) + " in '" + stmts[k].text + "'");
       }
       any_local = any_local || s.local;
+      ++replayed_accesses_;
       plan.push_back({si, ref.subscript.scale, ref.subscript.offset, is_write,
                       epoch[k], &stmts[k], false, false, false});
     };
@@ -179,6 +234,8 @@ void CheckedRunner::replay_ir(const veclegal::KernelIr& ir) {
       add_access(r, false);
     if (stmts[k].array_write) add_access(*stmts[k].array_write, true);
   }
+  // A fully proven launch skips the whole per-item replay loop — the
+  // measurable Checked-mode speedup of proof-carrying launches.
   if (plan.empty()) return;
 
   // Barrier-free bodies have a single epoch, so no two accesses are ever
@@ -207,6 +264,7 @@ void CheckedRunner::replay_ir(const veclegal::KernelIr& ir) {
       if (idx < 0 || idx >= s.extent) {
         if (!p.b1_fired) {
           p.b1_fired = true;
+          flagged_arrays_.insert(s.id);
           add_finding("[B1] kernel '" + def_.name + "': out-of-bounds " +
                       (p.is_write ? "write" : "read") + " to " +
                       array_label(s) + " at index " + std::to_string(idx) +
@@ -227,6 +285,7 @@ void CheckedRunner::replay_ir(const veclegal::KernelIr& ir) {
         if (!p.s2_fired && c.writer >= 0 && c.writer != i &&
             !synced(c.writer, c.writer_epoch)) {
           p.s2_fired = true;
+          flagged_arrays_.insert(s.id);
           add_finding("[S2] kernel '" + def_.name +
                       "': write-write race on " + array_label(s) + "[" +
                       std::to_string(idx) + "] between workitems " +
@@ -236,6 +295,7 @@ void CheckedRunner::replay_ir(const veclegal::KernelIr& ir) {
         if (!p.s3_fired && c.reader >= 0 && c.reader != i &&
             !synced(c.reader, c.reader_epoch)) {
           p.s3_fired = true;
+          flagged_arrays_.insert(s.id);
           add_finding("[S3] kernel '" + def_.name + "': read-write race on " +
                       array_label(s) + "[" + std::to_string(idx) +
                       "] between reader workitem " + std::to_string(c.reader) +
@@ -248,6 +308,7 @@ void CheckedRunner::replay_ir(const veclegal::KernelIr& ir) {
         if (!p.s3_fired && c.writer >= 0 && c.writer != i &&
             !synced(c.writer, c.writer_epoch)) {
           p.s3_fired = true;
+          flagged_arrays_.insert(s.id);
           add_finding("[S3] kernel '" + def_.name + "': read-write race on " +
                       array_label(s) + "[" + std::to_string(idx) +
                       "] between writer workitem " + std::to_string(c.writer) +
@@ -404,6 +465,10 @@ void CheckedRunner::run() {
   findings_.clear();
   finding_keys_.clear();
   suppressed_ = 0;
+  proof_.reset();
+  flagged_arrays_.clear();
+  skipped_accesses_ = 0;
+  replayed_accesses_ = 0;
 
   // Snapshot read-only buffers; any post-launch difference is a write the
   // access flags forbid (rule W1). Catches kernels with no IR descriptor.

@@ -15,6 +15,14 @@
 //    barrier so an undeclared barrier() is caught instead of crashing.
 //  - Workgroup local-memory blocks are surrounded by canary zones checked
 //    after every group (M1).
+//  - Proof-carrying launches: before replay, the mclverify facts for the
+//    kernel are discharged against this launch's shape class; arrays whose
+//    every declared access is statically proven in-bounds, race-free and
+//    access-flag-clean are exempted from shadow replay (the dominant cost of
+//    this mode). MCL_VERIFY=off disables the exemption, and
+//    set_force_full_replay() restores full replay for one runner — the
+//    mclcheck soundness oracle uses both to cross-check proofs against the
+//    dynamic findings.
 //
 // Any finding makes run() throw core::Error(Status::SanitizerViolation)
 // after the launch completes, with all (deduplicated) findings joined into
@@ -26,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "ocl/detail/group_runner.hpp"
 #include "ocl/kernel.hpp"
 #include "ocl/types.hpp"
+#include "verify/facts.hpp"
 
 namespace mcl::veclegal {
 struct KernelIr;
@@ -62,6 +73,33 @@ class CheckedRunner {
     return findings_;
   }
 
+  /// Ignore launch proofs for this runner: every declared access is replayed
+  /// even when statically proven safe (the soundness oracle's ground truth).
+  void set_force_full_replay(bool force) noexcept {
+    force_full_replay_ = force;
+  }
+
+  /// The launch proof discharged by the last run(), or nullptr when replay
+  /// did not happen (no IR, >1D launch) or proofs were disabled.
+  [[nodiscard]] const verify::LaunchProof* launch_proof() const noexcept {
+    return proof_.get();
+  }
+
+  /// Array ids (ArrayRef::array) on which IR replay flagged any B1/S2/S3/W1
+  /// finding during the last run().
+  [[nodiscard]] const std::set<int>& flagged_arrays() const noexcept {
+    return flagged_arrays_;
+  }
+
+  /// Replay-exemption counters for the last run(): declared accesses whose
+  /// per-item replay was skipped under proof vs actually replayed.
+  [[nodiscard]] std::size_t skipped_accesses() const noexcept {
+    return skipped_accesses_;
+  }
+  [[nodiscard]] std::size_t replayed_accesses() const noexcept {
+    return replayed_accesses_;
+  }
+
  private:
   void replay_ir(const veclegal::KernelIr& ir);
   void execute_groups();
@@ -84,6 +122,11 @@ class CheckedRunner {
   std::vector<std::string> findings_;
   std::set<std::string> finding_keys_;
   std::size_t suppressed_ = 0;  ///< findings dropped past the cap
+  bool force_full_replay_ = false;
+  std::shared_ptr<const verify::LaunchProof> proof_;
+  std::set<int> flagged_arrays_;
+  std::size_t skipped_accesses_ = 0;
+  std::size_t replayed_accesses_ = 0;
 };
 
 }  // namespace mcl::ocl::detail

@@ -17,6 +17,8 @@ std::string_view to_string(Rule rule) noexcept {
     case Rule::H3BadNDRange: return "H3";
     case Rule::T1TraceDrop: return "T1";
     case Rule::P2ProfileContradiction: return "P2";
+    case Rule::V1DeadStore: return "V1";
+    case Rule::V2RedundantBarrier: return "V2";
   }
   return "?";
 }

@@ -13,6 +13,9 @@
 //   H2  needs_barrier kernel routed to a non-fiber executor
 //   H3  NDRange / local-size mismatch
 //   T1  mcltrace ring overflow dropped events (timeline is truncated)
+//   V1  dead store: an element is overwritten before any item can read it
+//   V2  redundant barrier: no potentially communicating accesses in the
+//       adjacent epochs (given the other barriers, it separates nothing)
 #pragma once
 
 #include <string>
@@ -33,6 +36,8 @@ enum class Rule {
   H3BadNDRange,
   T1TraceDrop,
   P2ProfileContradiction,
+  V1DeadStore,
+  V2RedundantBarrier,
 };
 
 enum class Severity { Error, Warning, Note };

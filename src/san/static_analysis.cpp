@@ -1,9 +1,11 @@
 #include "san/static_analysis.hpp"
 
 #include <cstdlib>
-#include <numeric>
 #include <set>
 #include <sstream>
+
+#include "verify/interval.hpp"
+#include "verify/verify.hpp"
 
 namespace mcl::san {
 
@@ -45,35 +47,44 @@ std::string subscript_text(const Subscript& s) {
 
 bool items_collide(const Subscript& a, const Subscript& b, long long n,
                    long long exact_solve_limit) {
+  // All solver arithmetic runs in __int128: every intermediate here is a sum
+  // or product of two long long values (scale*i + offset, offset - offset),
+  // which can exceed the 64-bit range for LLONG_MAX-adjacent extents and
+  // offsets. 128 bits holds any such value exactly, so the solver needs no
+  // overflow side-conditions (and no UB — llabs(LLONG_MIN) included).
+  using verify::Wide;
   const bool many_items = (n == 0 || n > 1);
-  if (a.scale == 0 && b.scale == 0) {
+  const Wide as = a.scale, ao = a.offset;
+  const Wide bs = b.scale, bo = b.offset;
+  if (as == 0 && bs == 0) {
     // Every item touches one element through each access.
-    return a.offset == b.offset && many_items;
+    return ao == bo && many_items;
   }
-  if (a.scale == 0 || b.scale == 0) {
+  if (as == 0 || bs == 0) {
     // One access pins a single element hit by every item; the other touches
     // it iff some item j maps onto it. Any second item then collides.
-    const Subscript& fixed = a.scale == 0 ? a : b;
-    const Subscript& strided = a.scale == 0 ? b : a;
-    const long long num = fixed.offset - strided.offset;
-    if (num % strided.scale != 0) return false;
-    const long long j = num / strided.scale;
+    const Wide fixed_off = as == 0 ? ao : bo;
+    const Wide scale = as == 0 ? bs : as;
+    const Wide base = as == 0 ? bo : ao;
+    const Wide num = fixed_off - base;
+    if (num % scale != 0) return false;
+    const Wide j = num / scale;
     return (n == 0 || (j >= 0 && j < n)) && many_items;
   }
-  if (a.scale == b.scale) {
+  if (as == bs) {
     // s*i + o1 == s*j + o2  =>  j = i + (o1 - o2) / s.
-    const long long num = a.offset - b.offset;
-    if (num % a.scale != 0) return false;
-    const long long d = num / a.scale;
+    const Wide num = ao - bo;
+    if (num % as != 0) return false;
+    const Wide d = num / as;
     if (d == 0) return false;  // same item only: not an inter-item conflict
-    return n == 0 || std::llabs(d) < n;
+    return n == 0 || verify::wide_abs(d) < n;
   }
   // Different nonzero scales: solve exactly when the space is small enough.
   if (n > 0 && n <= exact_solve_limit) {
     for (long long i = 0; i < n; ++i) {
-      const long long num = a.scale * i + a.offset - b.offset;
-      if (num % b.scale != 0) continue;
-      const long long j = num / b.scale;
+      const Wide num = as * Wide(i) + ao - bo;
+      if (num % bs != 0) continue;
+      const Wide j = num / bs;
       if (j >= 0 && j < n && j != i) return true;
     }
     return false;
@@ -81,8 +92,7 @@ bool items_collide(const Subscript& a, const Subscript& b, long long n,
   // Unknown/huge space: the equation a.scale*i - b.scale*j = b.offset -
   // a.offset has integer solutions iff gcd divides the RHS; treat solvable
   // as colliding (conservative, like veclegal's unequal-scale L3 handling).
-  const long long g = std::gcd(std::llabs(a.scale), std::llabs(b.scale));
-  return (b.offset - a.offset) % g == 0;
+  return (bo - ao) % verify::wide_gcd(as, bs) == 0;
 }
 
 Report analyze_kernel(const std::string& kernel_name, const KernelIr& ir,
@@ -101,13 +111,43 @@ Report analyze_kernel(const std::string& kernel_name, const KernelIr& ir,
     }
   }
 
+  // The verify dataflow pass: uniformity (generalizing P1 beyond the blunt
+  // `divergent` bit to guard temps proven item-dependent), dead stores (V1)
+  // and redundant barriers (V2).
+  const verify::KernelFacts facts = verify::analyze(kernel_name, ir);
+
   // P1: barrier placement.
-  for (const Stmt& s : body.stmts) {
-    if (s.barrier && s.divergent) {
+  for (std::size_t k = 0; k < body.stmts.size(); ++k) {
+    const Stmt& s = body.stmts[k];
+    if (!s.barrier) continue;
+    if (s.divergent) {
       report.add(Rule::P1BarrierDivergence, Severity::Error, kernel_name,
                  "barrier in divergent control flow ('" + s.text +
                      "'): some workitems of a group would skip it");
+    } else if (k < facts.stmt_uniform.size() &&
+               facts.stmt_uniform[k] == verify::Uniformity::ItemDependent) {
+      report.add(Rule::P1BarrierDivergence, Severity::Error, kernel_name,
+                 "barrier under an item-dependent guard ('" + s.text +
+                     "'): the uniformity dataflow cannot prove every "
+                     "workitem of a group reaches it");
     }
+  }
+
+  // V1/V2: verify's lint findings, at Warning severity — the kernel still
+  // computes the right answer, it just wastes work.
+  for (const int k : facts.dead_stores) {
+    report.add(Rule::V1DeadStore, Severity::Warning, kernel_name,
+               "dead store ('" + body.stmts[static_cast<std::size_t>(k)].text +
+                   "'): the element is unconditionally overwritten before "
+                   "any workitem can read it");
+  }
+  for (const int k : facts.redundant_barriers) {
+    report.add(Rule::V2RedundantBarrier, Severity::Warning, kernel_name,
+               "redundant barrier ('" +
+                   body.stmts[static_cast<std::size_t>(k)].text +
+                   "'): no potentially communicating accesses in its "
+                   "adjacent epochs (given the other barriers, it separates "
+                   "nothing)");
   }
 
   // W1 + B1 per access.
@@ -120,15 +160,16 @@ Report analyze_kernel(const std::string& kernel_name, const KernelIr& ir,
                      "'");
     }
     if (info->extent > 0 && n > 0) {
-      const long long at0 = r.subscript.offset;
-      const long long atN = r.subscript.scale * (n - 1) + r.subscript.offset;
-      const long long lo = std::min(at0, atN);
-      const long long hi = std::max(at0, atN);
-      if (lo < 0 || hi >= info->extent) {
+      // Interval arithmetic in __int128: scale*(n-1) + offset overflows
+      // long long for LLONG_MAX-adjacent extents (satellite of ISSUE 6).
+      const verify::Interval iv =
+          verify::Interval::affine(r.subscript.scale, r.subscript.offset,
+                                   /*first=*/0, /*count=*/n);
+      if (!iv.within(info->extent)) {
         std::ostringstream os;
         os << (is_write ? "store" : "load") << " " << array_name(ir, r.array)
-           << subscript_text(r.subscript) << " spans [" << lo << ", " << hi
-           << "] but the extent is " << info->extent << " ('" << s.text
+           << subscript_text(r.subscript) << " spans " << iv.to_string()
+           << " but the extent is " << info->extent << " ('" << s.text
            << "')";
         report.add(Rule::B1OutOfBounds, Severity::Error, kernel_name,
                    os.str());
@@ -188,6 +229,16 @@ Report analyze_kernel(const std::string& kernel_name, const KernelIr& ir,
                "IR descriptor has no statements; nothing to check");
   }
   return report;
+}
+
+std::shared_ptr<const Report> analyze_kernel_cached(
+    const std::string& kernel_name, const StaticOptions& options) {
+  auto& registry = veclegal::KernelIrRegistry::instance();
+  const KernelIr* ir = registry.find(kernel_name);
+  if (ir == nullptr) return nullptr;
+  return registry.memoize<Report>(
+      kernel_name, "san.report:" + std::to_string(options.exact_solve_limit),
+      [&] { return analyze_kernel(kernel_name, *ir, options); });
 }
 
 }  // namespace mcl::san

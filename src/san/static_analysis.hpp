@@ -22,6 +22,8 @@
 // the group decomposition, is more precise).
 #pragma once
 
+#include <memory>
+
 #include "san/diagnostics.hpp"
 #include "veclegal/kernel_ir.hpp"
 
@@ -38,6 +40,14 @@ struct StaticOptions {
 [[nodiscard]] Report analyze_kernel(const std::string& kernel_name,
                                     const veclegal::KernelIr& ir,
                                     const StaticOptions& options = {});
+
+/// Registry-backed memoized form for kernels registered in KernelIrRegistry:
+/// the report is computed once per (kernel, exact_solve_limit) and served
+/// from the registry's analysis cache on later calls, so per-launch host
+/// lint stops re-running the conflict solver. Re-registering the kernel's IR
+/// invalidates the entry. Returns nullptr for unregistered kernels.
+[[nodiscard]] std::shared_ptr<const Report> analyze_kernel_cached(
+    const std::string& kernel_name, const StaticOptions& options = {});
 
 /// True when two affine accesses can touch the same element from two
 /// DISTINCT workitems i != j in [0, n) (n = 0 means unknown/unbounded):

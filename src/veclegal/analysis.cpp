@@ -148,7 +148,8 @@ void check_loop_model(const LoopBody& body, const AnalysisOptions& opts,
   }
 }
 
-void check_spmd_model(const LoopBody& body, Verdict& v) {
+void check_spmd_model(const LoopBody& body, const AnalysisOptions& opts,
+                      Verdict& v) {
   // S1: writes must be item-distinct.
   for (const Stmt& s : body.stmts) {
     if (!s.array_write) continue;
@@ -156,6 +157,25 @@ void check_spmd_model(const LoopBody& body, Verdict& v) {
       v.reasons.push_back(
           "S1: all workitems store to one element in '" + s.text +
           "' — lanes would collide (and the kernel races regardless)");
+    }
+  }
+  // S4: barriers are group-wide synchronization points; a guarded barrier is
+  // legal only with a uniformity proof for its guard. The proof bits come
+  // from the mclverify dataflow (verify::uniform_guards), so kernels whose
+  // guards are computed from uniform inputs are no longer scalarized.
+  for (std::size_t k = 0; k < body.stmts.size(); ++k) {
+    const Stmt& s = body.stmts[k];
+    if (!s.barrier) continue;
+    bool uniform = !s.divergent;
+    if (uniform && s.guard_temp) {
+      uniform = opts.uniform_guard != nullptr &&
+                k < opts.uniform_guard->size() && (*opts.uniform_guard)[k];
+    }
+    if (!uniform) {
+      v.reasons.push_back(
+          "S4: barrier under (potentially) item-dependent control in '" +
+          s.text + "' — workitems of a group would diverge at a group-wide "
+          "synchronization point");
     }
   }
 }
@@ -182,7 +202,7 @@ Verdict analyze(const LoopBody& body, Model model,
   if (model == Model::Loop) {
     check_loop_model(body, options, v);
   } else {
-    check_spmd_model(body, v);
+    check_spmd_model(body, options, v);
   }
   v.vectorizable = v.reasons.empty();
   if (v.vectorizable) {

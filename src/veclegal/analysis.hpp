@@ -15,7 +15,12 @@
 // contract, so lanes can always be packed — legality only fails when the
 // kernel itself races:
 //   S1 every array write must be item-distinct (|scale| >= 1), otherwise
-//      adjacent lanes would collide on one element.
+//      adjacent lanes would collide on one element;
+//   S4 a barrier must be reached by every workitem of a group — a
+//      guarded barrier is legal only when the guard is PROVEN uniform (the
+//      mclverify uniformity dataflow exports that proof through
+//      AnalysisOptions::uniform_guard; without it the vectorizer must
+//      assume divergence).
 // Intra-item dependence chains are irrelevant — precisely why the OpenCL
 // compiler vectorizes the Fig 11 body while the loop vectorizer refuses.
 #pragma once
@@ -44,6 +49,10 @@ struct AnalysisOptions {
   /// modern-compiler behavior; the paper-era fragile vectorizer refuses,
   /// which is the default).
   bool allow_reduction_idioms = false;
+  /// Per-statement "guard proven uniform" bits from the mclverify uniformity
+  /// dataflow (verify::uniform_guards), index-aligned with body.stmts. When
+  /// null, any guarded barrier is conservatively treated as divergent (S4).
+  const std::vector<bool>* uniform_guard = nullptr;
 };
 
 /// `width` is the SIMD width W used for the distance test (L3).

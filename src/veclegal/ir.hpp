@@ -43,6 +43,11 @@ struct Stmt {
   std::string text;  ///< pretty form for explanations ("a[i] = a[i] * b[i]")
   bool barrier = false;   ///< barrier(CLK_*_MEM_FENCE) statement
   bool divergent = false; ///< executes under an item-id-dependent condition
+  /// Temp id holding the guard condition, when the statement executes under
+  /// `if (tN)`. Unlike the blunt `divergent` bit, the uniformity dataflow in
+  /// src/verify classifies the guard temp itself, so a condition computed
+  /// from uniform inputs keeps the statement uniform.
+  std::optional<int> guard_temp;
 };
 
 struct LoopBody {
@@ -98,6 +103,13 @@ struct LoopBody {
 /// Marks an access statement as guarded by an item-id-dependent condition.
 [[nodiscard]] inline Stmt divergent_stmt(Stmt s) {
   s.divergent = true;
+  return s;
+}
+
+/// Marks a statement as guarded by `if (t<guard_temp>)`; whether that makes
+/// it divergent is decided by the uniformity analysis of the guard temp.
+[[nodiscard]] inline Stmt guarded(Stmt s, int guard_temp) {
+  s.guard_temp = guard_temp;
   return s;
 }
 

@@ -25,7 +25,37 @@ KernelIrRegistry& KernelIrRegistry::instance() {
 }
 
 void KernelIrRegistry::add(std::string kernel_name, KernelIr ir) {
+  {
+    // Invalidate before publishing the new IR: any analysis result computed
+    // from the old descriptor must not be served for the new one.
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.erase(kernel_name);
+    ++generations_[kernel_name];
+  }
   irs_[std::move(kernel_name)] = std::move(ir);
+}
+
+std::shared_ptr<const void> KernelIrRegistry::cached(
+    const std::string& kernel_name, const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto kernel_it = cache_.find(kernel_name);
+  if (kernel_it == cache_.end()) return nullptr;
+  const auto it = kernel_it->second.find(key);
+  return it == kernel_it->second.end() ? nullptr : it->second;
+}
+
+void KernelIrRegistry::put_cache(const std::string& kernel_name,
+                                 const std::string& key,
+                                 std::shared_ptr<const void> value) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_[kernel_name][key] = std::move(value);
+}
+
+std::uint64_t KernelIrRegistry::generation(
+    const std::string& kernel_name) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = generations_.find(kernel_name);
+  return it == generations_.end() ? 0 : it->second;
 }
 
 const KernelIr* KernelIrRegistry::find(const std::string& kernel_name) const {

@@ -15,8 +15,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "veclegal/ir.hpp"
@@ -58,8 +62,45 @@ class KernelIrRegistry {
   [[nodiscard]] const KernelIr* find(const std::string& kernel_name) const;
   [[nodiscard]] std::vector<std::string> names() const;
 
+  // -- per-kernel analysis cache --------------------------------------------
+  //
+  // Derived analysis results (san reports, verify facts, discharged launch
+  // proofs) are memoized here, keyed (kernel, analysis-key), type-erased so
+  // the registry does not depend on its clients. add() drops every cached
+  // entry of the re-registered kernel and bumps its generation, so stale
+  // facts can never outlive the IR they were computed from.
+
+  /// Cached entry, or nullptr. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const void> cached(
+      const std::string& kernel_name, const std::string& key) const;
+
+  /// Stores an entry (last writer wins). Thread-safe.
+  void put_cache(const std::string& kernel_name, const std::string& key,
+                 std::shared_ptr<const void> value);
+
+  /// Monotone counter, bumped each time the kernel's IR is (re)registered.
+  [[nodiscard]] std::uint64_t generation(const std::string& kernel_name) const;
+
+  /// Lookup-or-compute convenience. `compute` runs outside the cache lock;
+  /// concurrent first callers may compute twice, last write wins.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::shared_ptr<const T> memoize(const std::string& kernel_name,
+                                                 const std::string& key,
+                                                 Fn&& compute) {
+    if (auto hit = cached(kernel_name, key)) {
+      return std::static_pointer_cast<const T>(std::move(hit));
+    }
+    auto value = std::make_shared<const T>(std::forward<Fn>(compute)());
+    put_cache(kernel_name, key, value);
+    return value;
+  }
+
  private:
   std::map<std::string, KernelIr> irs_;
+  mutable std::mutex cache_mutex_;
+  std::map<std::string, std::map<std::string, std::shared_ptr<const void>>>
+      cache_;
+  std::map<std::string, std::uint64_t> generations_;
 };
 
 /// Builder helper mirroring veclegal::ref/store: declares one array's

@@ -1,0 +1,100 @@
+#include "verify/engine.hpp"
+
+#include <algorithm>
+
+#include "veclegal/kernel_ir.hpp"
+
+namespace mcl::verify {
+
+namespace {
+
+using veclegal::ArrayRef;
+using veclegal::KernelIr;
+using veclegal::Stmt;
+
+[[nodiscard]] Uniformity join(Uniformity a, Uniformity b) noexcept {
+  return (a == Uniformity::ItemDependent || b == Uniformity::ItemDependent)
+             ? Uniformity::ItemDependent
+             : Uniformity::Uniform;
+}
+
+}  // namespace
+
+UniformityResult run_uniformity(const KernelIr& ir) {
+  const auto& stmts = ir.body.stmts;
+  UniformityResult result;
+  result.stmt_guard.assign(stmts.size(), Uniformity::Uniform);
+  result.stmt_value.assign(stmts.size(), Uniformity::Uniform);
+
+  int max_temp = -1;
+  for (const Stmt& s : stmts) {
+    if (s.temp_write) max_temp = std::max(max_temp, *s.temp_write);
+    for (const int t : s.temp_reads) max_temp = std::max(max_temp, t);
+    if (s.guard_temp) max_temp = std::max(max_temp, *s.guard_temp);
+  }
+  // Optimistic start: everything Uniform; the monotone transfer only ever
+  // lowers entries to ItemDependent, so the loop converges to the least
+  // fixpoint of the system.
+  result.temps.assign(static_cast<std::size_t>(max_temp + 1),
+                      Uniformity::Uniform);
+
+  // An array the kernel writes is a cross-item communication channel: even a
+  // scale-0 read of it can observe another item's store, so only reads of
+  // never-written arrays yield uniform values.
+  std::vector<int> written_ids;
+  for (const Stmt& s : stmts) {
+    if (s.array_write) written_ids.push_back(s.array_write->array);
+  }
+  const auto array_written = [&](int id) {
+    return std::find(written_ids.begin(), written_ids.end(), id) !=
+           written_ids.end();
+  };
+
+  const auto read_uniformity = [&](const ArrayRef& r) {
+    if (r.subscript.scale != 0) return Uniformity::ItemDependent;
+    return array_written(r.array) ? Uniformity::ItemDependent
+                                  : Uniformity::Uniform;
+  };
+
+  const int cap = static_cast<int>(stmts.size()) + 2;
+  bool changed = true;
+  while (changed && result.iterations < cap) {
+    changed = false;
+    ++result.iterations;
+    for (std::size_t k = 0; k < stmts.size(); ++k) {
+      const Stmt& s = stmts[k];
+      Uniformity guard = s.divergent ? Uniformity::ItemDependent
+                                     : Uniformity::Uniform;
+      if (s.guard_temp) {
+        guard = join(guard, result.temps[static_cast<std::size_t>(
+                                *s.guard_temp)]);
+      }
+      Uniformity value = guard;
+      for (const ArrayRef& r : s.array_reads) {
+        value = join(value, read_uniformity(r));
+      }
+      for (const int t : s.temp_reads) {
+        value = join(value, result.temps[static_cast<std::size_t>(t)]);
+      }
+      if (result.stmt_guard[k] != guard) {
+        result.stmt_guard[k] = guard;
+        changed = true;
+      }
+      if (result.stmt_value[k] != value) {
+        result.stmt_value[k] = value;
+        changed = true;
+      }
+      if (s.temp_write) {
+        auto& slot = result.temps[static_cast<std::size_t>(*s.temp_write)];
+        const Uniformity joined = join(slot, value);
+        if (slot != joined) {
+          slot = joined;
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mcl::verify

@@ -1,0 +1,43 @@
+// mclverify dataflow engine: a fixpoint iteration over the statements of a
+// KernelIr body, propagating a per-temp abstract state until it stabilizes.
+//
+// The engine is deliberately generic over a tiny lattice interface (an
+// optimistic initial value plus a monotone per-statement transfer) because
+// the IR is straight-line but temps may feed each other in any pattern; one
+// monotone sweep per dependence edge reaches the least fixpoint, and the
+// iteration cap makes non-termination structurally impossible.
+//
+// The one client today is the uniformity analysis: every expression is
+// classified Uniform (one value per workgroup) or ItemDependent. Sources of
+// item-dependence are affine array reads with nonzero scale (the value
+// varies with the id), reads of arrays the kernel also writes (another item
+// may have written the element), statements guarded by an item-dependent
+// condition, and temps already classified item-dependent.
+#pragma once
+
+#include <vector>
+
+#include "verify/facts.hpp"
+
+namespace mcl::veclegal {
+struct KernelIr;
+}
+
+namespace mcl::verify {
+
+struct UniformityResult {
+  /// Per statement: the uniformity of the condition under which it executes
+  /// (Uniform when unguarded). This is what barrier rule P1 generalizes to.
+  std::vector<Uniformity> stmt_guard;
+  /// Per statement: the uniformity of the value it computes (guard joined
+  /// with every source).
+  std::vector<Uniformity> stmt_value;
+  /// Per temp id: least classification over all definitions.
+  std::vector<Uniformity> temps;
+  int iterations = 0;  ///< sweeps until no state changed (>= 1)
+};
+
+/// Runs the uniformity dataflow to fixpoint.
+[[nodiscard]] UniformityResult run_uniformity(const veclegal::KernelIr& ir);
+
+}  // namespace mcl::verify

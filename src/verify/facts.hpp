@@ -1,0 +1,132 @@
+// mclverify result model: the machine-checkable facts the dataflow engine
+// derives from one KernelIr, plus the launch-shape key and proof record the
+// runtime uses to discharge them.
+//
+// KernelFacts is computed once per kernel (registration time, cached in the
+// KernelIrRegistry) and is SYMBOLIC: bounds obligations are kept as the raw
+// affine accesses, race freedom is proven for every launch shape (trip count
+// treated as unknown), and uniformity is a per-statement classification.
+// A LaunchProof is the facts discharged against one concrete ShapeClass
+// (global size, local size, offset, resolved extents) — O(accesses) work,
+// also cached per (kernel, shape-class).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcl::verify {
+
+/// Memory-access-pattern class of one array's reads or writes — the
+/// architecture-independent feature set the auto-tuner consumes
+/// (Chilukuri & Milthorpe; ROADMAP item 3).
+enum class Pattern {
+  None,        ///< no accesses of this kind
+  Broadcast,   ///< scale 0: every item touches one element
+  UnitStride,  ///< |scale| == 1: consecutive items touch consecutive elements
+  Strided,     ///< one common |scale| >= 2
+  Gather,      ///< mixed-stride reads
+  Scatter,     ///< mixed-stride writes
+};
+
+/// Reuse-distance class: does the access stream revisit cache lines?
+enum class Reuse {
+  None,      ///< each element and line touched once (large stride, one pass)
+  Spatial,   ///< neighboring items share a cache line (small stride)
+  Temporal,  ///< the same element is touched repeatedly
+  Both,
+};
+
+enum class Uniformity {
+  Uniform,        ///< same value/path for every workitem of a group
+  ItemDependent,  ///< depends on the global/local item id
+};
+
+[[nodiscard]] const char* to_string(Pattern p) noexcept;
+[[nodiscard]] const char* to_string(Reuse r) noexcept;
+
+/// One declared affine access, kept for launch-time bounds discharge.
+struct AccessFacts {
+  long long scale = 1;
+  long long offset = 0;
+  bool is_write = false;
+  int stmt = 0;   ///< statement index in the IR body
+  int epoch = 0;  ///< barrier epoch of that statement
+};
+
+/// Everything the analyses proved about one array of the kernel.
+struct ArrayFacts {
+  int array = 0;             ///< ArrayRef::array id
+  int arg_index = -1;        ///< KernelArgs slot (-1 unknown)
+  long long declared_extent = 0;  ///< 0 = launch-resolved from the buffer
+  std::size_t elem_bytes = 4;
+  bool local = false;
+  bool read_only_decl = false;  ///< ArrayInfo::read_only
+  bool written = false;
+  bool read = false;
+  Pattern read_pattern = Pattern::None;
+  Pattern write_pattern = Pattern::None;
+  long long stride = 0;  ///< dominant |scale| (0 broadcast, 1 unit, k strided)
+  Reuse reuse = Reuse::None;
+  /// No two distinct workitems can touch one element of this array without
+  /// barrier-epoch separation, for ANY launch size (trip treated unknown).
+  bool race_free = false;
+  std::vector<AccessFacts> accesses;
+};
+
+/// The full fact record for one kernel.
+struct KernelFacts {
+  std::string kernel;
+  std::vector<ArrayFacts> arrays;
+  /// Per statement: is its execution uniform across the workitems of a group
+  /// (no item-dependent guard)? Index-aligned with ir.body.stmts.
+  std::vector<Uniformity> stmt_uniform;
+  std::vector<int> dead_stores;         ///< V1: statement indices
+  std::vector<int> redundant_barriers;  ///< V2: statement indices
+  bool barrier_divergence_possible = false;  ///< any barrier not proven uniform
+  int fixpoint_iterations = 0;  ///< sweeps until the dataflow state stabilized
+
+  [[nodiscard]] const ArrayFacts* array_facts(int id) const noexcept {
+    for (const ArrayFacts& a : arrays) {
+      if (a.array == id) return &a;
+    }
+    return nullptr;
+  }
+};
+
+/// A family member: the concrete launch shape proofs are discharged against.
+/// `extents` and `writable` are index-aligned with KernelFacts::arrays and
+/// hold the LAUNCH-resolved values (declared extent, or buffer size /
+/// elem_bytes, or local_bytes / elem_bytes; extent <= 0 = unresolvable).
+struct ShapeClass {
+  long long global0 = 0;
+  long long local0 = 1;
+  long long offset0 = 0;
+  std::vector<long long> extents;
+  std::vector<bool> writable;
+
+  /// Stable cache key for the (kernel, shape-class) facts cache.
+  [[nodiscard]] std::string key() const;
+};
+
+/// The discharged proof for one launch: which arrays are safe to exempt from
+/// dynamic shadow replay (every access in-bounds, statically race-free, and
+/// never written unless the bound buffer is writable).
+struct LaunchProof {
+  std::vector<bool> array_proven;  ///< index-aligned with KernelFacts::arrays
+  std::size_t accesses_covered = 0;  ///< declared accesses the proof exempts
+
+  [[nodiscard]] bool all_proven() const noexcept {
+    for (const bool p : array_proven) {
+      if (!p) return false;
+    }
+    return !array_proven.empty();
+  }
+  [[nodiscard]] std::size_t proven_count() const noexcept {
+    std::size_t n = 0;
+    for (const bool p : array_proven) n += p ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace mcl::verify

@@ -1,0 +1,85 @@
+// mclverify value-range domain: closed integer intervals over __int128.
+//
+// Every subscript in the affine IR is scale*i + offset with i ranging over a
+// launch-shape family [first, first + count). The widest values a proof ever
+// has to represent are |scale| * n + |offset| with both factors near
+// LLONG_MAX, which overflows long long; 128-bit arithmetic makes the whole
+// domain total, so range proofs never need an overflow side-condition (the
+// same reason the Diophantine solver in san/static_analysis computes in
+// __int128 — see ISSUE 6 satellite a).
+#pragma once
+
+#include <string>
+
+namespace mcl::verify {
+
+using Wide = __int128;
+
+[[nodiscard]] inline Wide wide_abs(Wide v) noexcept { return v < 0 ? -v : v; }
+
+/// std::gcd is unusable here (__int128 is not std-integral in strict mode).
+[[nodiscard]] inline Wide wide_gcd(Wide a, Wide b) noexcept {
+  a = wide_abs(a);
+  b = wide_abs(b);
+  while (b != 0) {
+    const Wide t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Decimal rendering (std::to_string has no __int128 overload).
+[[nodiscard]] inline std::string wide_str(Wide v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  // Negate digit-by-digit so Wide's own minimum survives.
+  std::string digits;
+  while (v != 0) {
+    int d = static_cast<int>(v % 10);
+    if (d < 0) d = -d;
+    digits.insert(digits.begin(), static_cast<char>('0' + d));
+    v /= 10;
+  }
+  return neg ? "-" + digits : digits;
+}
+
+/// Closed interval [lo, hi]; empty when lo > hi.
+struct Interval {
+  Wide lo = 0;
+  Wide hi = -1;  // default-empty
+
+  [[nodiscard]] bool empty() const noexcept { return lo > hi; }
+
+  /// Range of scale*i + offset for i in [first, first + count) (count >= 1).
+  [[nodiscard]] static Interval affine(long long scale, long long offset,
+                                       Wide first, Wide count) noexcept {
+    const Wide at_first = Wide(scale) * first + Wide(offset);
+    const Wide at_last = Wide(scale) * (first + count - 1) + Wide(offset);
+    return scale >= 0 ? Interval{at_first, at_last}
+                      : Interval{at_last, at_first};
+  }
+
+  /// The in-bounds proof obligation: every value falls in [0, extent).
+  [[nodiscard]] bool within(Wide extent) const noexcept {
+    return empty() || (lo >= 0 && hi < extent);
+  }
+
+  [[nodiscard]] Interval join(const Interval& o) const noexcept {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {lo < o.lo ? lo : o.lo, hi > o.hi ? hi : o.hi};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (empty()) return "[]";
+    std::string out = "[";
+    out += wide_str(lo);
+    out += ", ";
+    out += wide_str(hi);
+    out += "]";
+    return out;
+  }
+};
+
+}  // namespace mcl::verify

@@ -1,0 +1,470 @@
+#include "verify/verify.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "verify/engine.hpp"
+#include "verify/interval.hpp"
+
+namespace mcl::verify {
+
+namespace {
+
+using veclegal::ArrayInfo;
+using veclegal::ArrayRef;
+using veclegal::KernelIr;
+using veclegal::KernelIrRegistry;
+using veclegal::Stmt;
+using veclegal::Subscript;
+
+/// Same brute-force budget as san::StaticOptions::exact_solve_limit.
+constexpr long long kExactLimit = 1 << 16;
+
+[[nodiscard]] Pattern classify(const std::vector<long long>& scales,
+                               bool is_write) {
+  if (scales.empty()) return Pattern::None;
+  long long mag = -1;
+  bool mixed = false;
+  for (const long long s : scales) {
+    const long long m = s < 0 ? -s : s;
+    if (mag < 0) {
+      mag = m;
+    } else if (m != mag) {
+      mixed = true;
+    }
+  }
+  if (mixed) return is_write ? Pattern::Scatter : Pattern::Gather;
+  if (mag == 0) return Pattern::Broadcast;
+  if (mag == 1) return Pattern::UnitStride;
+  return Pattern::Strided;
+}
+
+/// Line size the spatial-reuse classification assumes; matches
+/// cachesim::Machine::xeon_e5645().l1.line_bytes.
+constexpr long long kLineBytes = 64;
+
+[[nodiscard]] bool race_free_calc(const ArrayFacts& af, bool local) {
+  for (std::size_t x = 0; x < af.accesses.size(); ++x) {
+    for (std::size_t y = x; y < af.accesses.size(); ++y) {
+      const AccessFacts& a = af.accesses[x];
+      const AccessFacts& b = af.accesses[y];
+      if (!a.is_write && !b.is_write) continue;
+      // Barrier epochs order LOCAL (workgroup-scoped) accesses; a barrier
+      // does not synchronize a global array across groups.
+      if (local && a.epoch != b.epoch) continue;
+      // x == y is the access run by every item against itself: it self-
+      // collides exactly when scale == 0 (two items, one element), which is
+      // what may_collide returns for an equal pair.
+      if (may_collide(Subscript{a.scale, a.offset}, Subscript{b.scale, b.offset},
+                      /*n=*/0)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void find_dead_stores(const KernelIr& ir, KernelFacts& facts) {
+  const auto& stmts = ir.body.stmts;
+  for (std::size_t k = 0; k < stmts.size(); ++k) {
+    if (!stmts[k].array_write) continue;
+    const ArrayRef w = *stmts[k].array_write;
+    // A cross-item read anywhere may observe the store racily (no program
+    // order between items); never flag such a store.
+    bool cross_item_read = false;
+    for (const Stmt& s : stmts) {
+      for (const ArrayRef& r : s.array_reads) {
+        if (r.array == w.array &&
+            may_collide(r.subscript, w.subscript, /*n=*/0)) {
+          cross_item_read = true;
+        }
+      }
+    }
+    if (cross_item_read) continue;
+    for (std::size_t m = k + 1; m < stmts.size(); ++m) {
+      const Stmt& s = stmts[m];
+      bool consumed = false;
+      for (const ArrayRef& r : s.array_reads) {
+        if (r.array == w.array && r.subscript.scale == w.subscript.scale &&
+            r.subscript.offset == w.subscript.offset) {
+          consumed = true;  // the item re-reads its own element
+        }
+      }
+      if (consumed) break;
+      if (s.array_write && s.array_write->array == w.array &&
+          s.array_write->subscript.scale == w.subscript.scale &&
+          s.array_write->subscript.offset == w.subscript.offset) {
+        // A guarded overwrite may not execute; conservatively keeps k alive.
+        if (s.divergent || s.guard_temp) break;
+        facts.dead_stores.push_back(static_cast<int>(k));
+        break;
+      }
+    }
+  }
+}
+
+void find_redundant_barriers(const KernelIr& ir, KernelFacts& facts) {
+  const auto& stmts = ir.body.stmts;
+  for (std::size_t kb = 0; kb < stmts.size(); ++kb) {
+    if (!stmts[kb].barrier) continue;
+    // The pairs only THIS barrier separates are those with no other barrier
+    // between them: one access in the segment ending at kb, the other in the
+    // segment starting after it.
+    std::size_t seg_lo = 0;
+    for (std::size_t j = kb; j-- > 0;) {
+      if (stmts[j].barrier) {
+        seg_lo = j + 1;
+        break;
+      }
+    }
+    std::size_t seg_hi = stmts.size();
+    for (std::size_t j = kb + 1; j < stmts.size(); ++j) {
+      if (stmts[j].barrier) {
+        seg_hi = j;
+        break;
+      }
+    }
+    struct SegAccess {
+      int array;
+      Subscript sub;
+      bool is_write;
+    };
+    const auto collect = [&](std::size_t lo, std::size_t hi) {
+      std::vector<SegAccess> out;
+      for (std::size_t j = lo; j < hi; ++j) {
+        for (const ArrayRef& r : stmts[j].array_reads) {
+          out.push_back(SegAccess{r.array, r.subscript, false});
+        }
+        if (stmts[j].array_write) {
+          const ArrayRef& r = *stmts[j].array_write;
+          out.push_back(SegAccess{r.array, r.subscript, true});
+        }
+      }
+      return out;
+    };
+    const std::vector<SegAccess> before = collect(seg_lo, kb);
+    const std::vector<SegAccess> after = collect(kb + 1, seg_hi);
+    bool needed = false;
+    for (const SegAccess& a : before) {
+      for (const SegAccess& b : after) {
+        if (a.array != b.array) continue;
+        if (!a.is_write && !b.is_write) continue;
+        // Cross-item interaction is what a barrier orders; an item's own
+        // element is already ordered by program order.
+        if (may_collide(a.sub, b.sub, /*n=*/0)) needed = true;
+      }
+    }
+    if (!needed) facts.redundant_barriers.push_back(static_cast<int>(kb));
+  }
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::None: return "none";
+    case Pattern::Broadcast: return "broadcast";
+    case Pattern::UnitStride: return "unit-stride";
+    case Pattern::Strided: return "strided";
+    case Pattern::Gather: return "gather";
+    case Pattern::Scatter: return "scatter";
+  }
+  return "?";
+}
+
+const char* to_string(Reuse r) noexcept {
+  switch (r) {
+    case Reuse::None: return "none";
+    case Reuse::Spatial: return "spatial";
+    case Reuse::Temporal: return "temporal";
+    case Reuse::Both: return "both";
+  }
+  return "?";
+}
+
+std::string ShapeClass::key() const {
+  std::ostringstream k;
+  k << "g" << global0 << ";l" << local0 << ";o" << offset0 << ";e";
+  for (const long long e : extents) k << e << ",";
+  k << ";w";
+  for (const bool w : writable) k << (w ? '1' : '0');
+  return k.str();
+}
+
+bool may_collide(const Subscript& a, const Subscript& b, long long n) {
+  if (n == 1) return false;  // a single item has no distinct partner
+  const bool bounded = n > 0;
+  const Wide as = a.scale, ao = a.offset;
+  const Wide bs = b.scale, bo = b.offset;
+  if (as == 0 && bs == 0) return ao == bo;
+  if (as == 0 || bs == 0) {
+    // One element vs a stride: collide when the strided side reaches it.
+    const Wide fixed = as == 0 ? ao : bo;
+    const Wide scale = as == 0 ? bs : as;
+    const Wide base = as == 0 ? bo : ao;
+    const Wide num = fixed - base;
+    if (num % scale != 0) return false;
+    const Wide j = num / scale;
+    return j >= 0 && (!bounded || j < n);
+  }
+  if (as == bs) {
+    // as*i + ao == as*j + bo  =>  i - j == (bo - ao) / as, nonzero.
+    const Wide num = bo - ao;
+    if (num % as != 0) return false;
+    const Wide d = wide_abs(num / as);
+    if (d == 0) return false;
+    return !bounded || d < n;
+  }
+  if (bounded && n <= kExactLimit) {
+    for (long long i = 0; i < n; ++i) {
+      const Wide num = as * Wide(i) + ao - bo;
+      if (num % bs != 0) continue;
+      const Wide j = num / bs;
+      if (j >= 0 && j < n && j != i) return true;
+    }
+    return false;
+  }
+  // Unbounded (or too large to enumerate): the linear Diophantine equation
+  // as*i - bs*j = bo - ao has solutions iff gcd(as, bs) divides the gap, and
+  // with as != bs consecutive solutions shift i and j by different amounts,
+  // so a distinct-item solution exists whenever any does.
+  return (bo - ao) % wide_gcd(as, bs) == 0;
+}
+
+KernelFacts analyze(const std::string& kernel, const KernelIr& ir) {
+  KernelFacts facts;
+  facts.kernel = kernel;
+  const auto& stmts = ir.body.stmts;
+
+  std::vector<int> epoch(stmts.size(), 0);
+  {
+    int e = 0;
+    for (std::size_t k = 0; k < stmts.size(); ++k) {
+      if (stmts[k].barrier) ++e;
+      epoch[k] = e;
+    }
+  }
+
+  const UniformityResult uni = run_uniformity(ir);
+  facts.fixpoint_iterations = uni.iterations;
+  facts.stmt_uniform = uni.stmt_guard;
+  for (std::size_t k = 0; k < stmts.size(); ++k) {
+    if (stmts[k].barrier &&
+        uni.stmt_guard[k] == Uniformity::ItemDependent) {
+      facts.barrier_divergence_possible = true;
+    }
+  }
+
+  // One ArrayFacts per distinct array id: declared arrays first (so the
+  // ShapeClass extents stay aligned with ir.arrays), then any undeclared ids
+  // in first-reference order (never provable: no arg slot to resolve).
+  const auto slot = [&](int id) -> ArrayFacts& {
+    for (ArrayFacts& af : facts.arrays) {
+      if (af.array == id) return af;
+    }
+    facts.arrays.push_back(ArrayFacts{});
+    facts.arrays.back().array = id;
+    return facts.arrays.back();
+  };
+  for (const ArrayInfo& info : ir.arrays) {
+    ArrayFacts& af = slot(info.array);
+    af.arg_index = info.arg_index;
+    af.declared_extent = info.extent;
+    af.elem_bytes = info.elem_bytes;
+    af.local = info.local;
+    af.read_only_decl = info.read_only;
+  }
+  for (std::size_t k = 0; k < stmts.size(); ++k) {
+    const auto note = [&](const ArrayRef& r, bool is_write) {
+      ArrayFacts& af = slot(r.array);
+      AccessFacts acc;
+      acc.scale = r.subscript.scale;
+      acc.offset = r.subscript.offset;
+      acc.is_write = is_write;
+      acc.stmt = static_cast<int>(k);
+      acc.epoch = epoch[k];
+      af.accesses.push_back(acc);
+      (is_write ? af.written : af.read) = true;
+    };
+    for (const ArrayRef& r : stmts[k].array_reads) note(r, false);
+    if (stmts[k].array_write) note(*stmts[k].array_write, true);
+  }
+
+  for (ArrayFacts& af : facts.arrays) {
+    std::vector<long long> read_scales;
+    std::vector<long long> write_scales;
+    bool temporal = false;
+    bool spatial = false;
+    for (std::size_t x = 0; x < af.accesses.size(); ++x) {
+      const AccessFacts& acc = af.accesses[x];
+      (acc.is_write ? write_scales : read_scales).push_back(acc.scale);
+      const long long m = acc.scale < 0 ? -acc.scale : acc.scale;
+      if (m == 0) temporal = true;
+      if (m != 0 && m * static_cast<long long>(af.elem_bytes) < kLineBytes) {
+        spatial = true;
+      }
+      for (std::size_t y = x + 1; y < af.accesses.size(); ++y) {
+        if (af.accesses[y].scale == acc.scale &&
+            af.accesses[y].offset == acc.offset) {
+          temporal = true;  // same element revisited by the same item
+        }
+      }
+    }
+    af.read_pattern = classify(read_scales, false);
+    af.write_pattern = classify(write_scales, true);
+    long long stride = 0;  // common |scale|, or the tightest when mixed
+    for (const AccessFacts& acc : af.accesses) {
+      const long long m = acc.scale < 0 ? -acc.scale : acc.scale;
+      if (m == 0) continue;
+      if (stride == 0 || m < stride) stride = m;
+    }
+    af.stride = stride;
+    af.reuse = temporal && spatial ? Reuse::Both
+               : temporal          ? Reuse::Temporal
+               : spatial           ? Reuse::Spatial
+                                   : Reuse::None;
+    af.race_free = race_free_calc(af, af.local);
+  }
+
+  find_dead_stores(ir, facts);
+  find_redundant_barriers(ir, facts);
+  return facts;
+}
+
+std::shared_ptr<const KernelFacts> facts_for(const std::string& kernel) {
+  auto& reg = KernelIrRegistry::instance();
+  const KernelIr* ir = reg.find(kernel);
+  if (ir == nullptr) return nullptr;
+  return reg.memoize<KernelFacts>(kernel, "verify.facts",
+                                  [&] { return analyze(kernel, *ir); });
+}
+
+LaunchProof discharge(const KernelFacts& facts, const ShapeClass& shape) {
+  LaunchProof proof;
+  proof.array_proven.assign(facts.arrays.size(), false);
+  if (shape.global0 <= 0) return proof;
+  const bool lax = inject_unsound();
+  for (std::size_t idx = 0; idx < facts.arrays.size(); ++idx) {
+    const ArrayFacts& af = facts.arrays[idx];
+    if (af.accesses.empty()) {
+      proof.array_proven[idx] = true;  // nothing for replay to check either
+      continue;
+    }
+    if (!af.race_free) continue;
+    const long long extent =
+        idx < shape.extents.size() ? shape.extents[idx] : 0;
+    if (extent <= 0) continue;
+    if (af.written &&
+        (idx >= shape.writable.size() || !shape.writable[idx])) {
+      continue;  // W1 (store to read-only buffer) must stay dynamic
+    }
+    bool in_bounds = true;
+    for (const AccessFacts& acc : af.accesses) {
+      const Interval iv = Interval::affine(acc.scale, acc.offset,
+                                           shape.offset0, shape.global0);
+      const bool ok = lax ? (iv.lo >= 0 && iv.hi <= Wide(extent))
+                          : iv.within(extent);
+      if (!ok) {
+        in_bounds = false;
+        break;
+      }
+    }
+    if (in_bounds) {
+      proof.array_proven[idx] = true;
+      proof.accesses_covered += af.accesses.size();
+    }
+  }
+  return proof;
+}
+
+std::shared_ptr<const LaunchProof> discharge_cached(const std::string& kernel,
+                                                    const KernelFacts& facts,
+                                                    const ShapeClass& shape) {
+  std::string key = "verify.proof:" + shape.key();
+  if (inject_unsound()) key += ";inj";  // keep fault-injected proofs apart
+  return KernelIrRegistry::instance().memoize<LaunchProof>(
+      kernel, key, [&] { return discharge(facts, shape); });
+}
+
+std::vector<bool> uniform_guards(const KernelFacts& facts) {
+  std::vector<bool> out(facts.stmt_uniform.size(), false);
+  for (std::size_t k = 0; k < facts.stmt_uniform.size(); ++k) {
+    out[k] = facts.stmt_uniform[k] == Uniformity::Uniform;
+  }
+  return out;
+}
+
+bool runtime_enabled() {
+  const char* v = std::getenv("MCL_VERIFY");
+  return v == nullptr || std::string(v) != "off";
+}
+
+bool inject_unsound() {
+  const char* v = std::getenv("MCL_CHECK_INJECT");
+  return v != nullptr && std::string(v) == "verify";
+}
+
+std::string facts_json(const std::vector<const KernelFacts*>& kernels) {
+  std::ostringstream out;
+  out << "{\n  \"mclverify\": 1,\n  \"kernels\": [";
+  bool first_kernel = true;
+  for (const KernelFacts* kf : kernels) {
+    if (kf == nullptr) continue;
+    out << (first_kernel ? "\n" : ",\n");
+    first_kernel = false;
+    out << "    {\n      \"kernel\": \"" << json_escape(kf->kernel) << "\",\n";
+    out << "      \"fixpoint_iterations\": " << kf->fixpoint_iterations
+        << ",\n";
+    out << "      \"barrier_divergence_possible\": "
+        << (kf->barrier_divergence_possible ? "true" : "false") << ",\n";
+    const auto int_list = [&](const char* name, const std::vector<int>& v) {
+      out << "      \"" << name << "\": [";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        out << (i != 0 ? ", " : "") << v[i];
+      }
+      out << "],\n";
+    };
+    int_list("dead_stores", kf->dead_stores);
+    int_list("redundant_barriers", kf->redundant_barriers);
+    out << "      \"stmt_uniform\": [";
+    for (std::size_t i = 0; i < kf->stmt_uniform.size(); ++i) {
+      out << (i != 0 ? ", " : "")
+          << (kf->stmt_uniform[i] == Uniformity::Uniform ? "true" : "false");
+    }
+    out << "],\n      \"arrays\": [";
+    bool first_array = true;
+    for (const ArrayFacts& af : kf->arrays) {
+      if (!first_array) out << ",";
+      first_array = false;
+      out << "\n        {\"array\": " << af.array
+          << ", \"arg_index\": " << af.arg_index
+          << ", \"extent\": " << af.declared_extent
+          << ", \"elem_bytes\": " << af.elem_bytes
+          << ", \"local\": " << (af.local ? "true" : "false")
+          << ", \"read\": " << (af.read ? "true" : "false")
+          << ", \"written\": " << (af.written ? "true" : "false")
+          << ", \"read_pattern\": \"" << to_string(af.read_pattern) << "\""
+          << ", \"write_pattern\": \"" << to_string(af.write_pattern) << "\""
+          << ", \"stride\": " << af.stride
+          << ", \"reuse\": \"" << to_string(af.reuse) << "\""
+          << ", \"race_free\": " << (af.race_free ? "true" : "false")
+          << ", \"accesses\": " << af.accesses.size() << "}";
+    }
+    out << "\n      ]\n    }";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace mcl::verify

@@ -1,0 +1,79 @@
+// mclverify: abstract-interpretation static analysis over veclegal::KernelIr
+// with proof-carrying launches.
+//
+// Four composable analyses run over one fixpoint pass (see docs/verify.md):
+//   1. interval/value-range analysis — symbolic in-bounds proofs for a whole
+//      launch-shape family, discharged O(accesses) per concrete launch;
+//   2. uniformity/divergence analysis — classifies every statement's guard
+//      and value as uniform-per-group vs item-dependent (generalizes barrier
+//      rule P1; exported to veclegal's SPMD legality via uniform_guards());
+//   3. memory-access-pattern classification — unit-stride / strided-k /
+//      gather / scatter plus a reuse-distance class per array, emitted as
+//      KernelFacts for the auto-tuner and cross-checked against cachesim;
+//   4. dead-store (V1) and redundant-barrier (V2) detection, surfaced as
+//      Warning-severity lint rules by san::analyze_kernel.
+//
+// Facts are cached per kernel and discharged proofs per (kernel,
+// shape-class) in the KernelIrRegistry's analysis cache; re-registering a
+// kernel's IR invalidates both. The Checked executor consumes LaunchProof to
+// skip shadow-access replay for arrays proven safe; mclcheck's soundness
+// mode fuzzes that exemption against full dynamic replay.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "veclegal/kernel_ir.hpp"
+#include "verify/facts.hpp"
+
+namespace mcl::verify {
+
+/// Runs all analyses over one IR descriptor. Pure function of the IR;
+/// `kernel` only labels the record.
+[[nodiscard]] KernelFacts analyze(const std::string& kernel,
+                                  const veclegal::KernelIr& ir);
+
+/// Registry-backed cached form: nullptr when `kernel` registered no IR.
+/// The result is memoized in KernelIrRegistry's analysis cache and
+/// invalidated when the kernel re-registers.
+[[nodiscard]] std::shared_ptr<const KernelFacts> facts_for(
+    const std::string& kernel);
+
+/// Discharges the symbolic proofs against one concrete launch shape.
+[[nodiscard]] LaunchProof discharge(const KernelFacts& facts,
+                                    const ShapeClass& shape);
+
+/// Cached form, keyed (kernel, shape-class) in the registry cache.
+[[nodiscard]] std::shared_ptr<const LaunchProof> discharge_cached(
+    const std::string& kernel, const KernelFacts& facts,
+    const ShapeClass& shape);
+
+/// Conservative collision test in 128-bit arithmetic: can two affine
+/// accesses touch one element from two DISTINCT workitems i != j in [0, n)?
+/// n = 0 means unknown/any launch size (the shape-independent form the
+/// race-freedom facts use).
+[[nodiscard]] bool may_collide(const veclegal::Subscript& a,
+                               const veclegal::Subscript& b, long long n);
+
+/// Per-statement "guard is uniform" bits in the shape veclegal's
+/// AnalysisOptions::uniform_guard consumes.
+[[nodiscard]] std::vector<bool> uniform_guards(const KernelFacts& facts);
+
+/// Proof-carrying launches kill switch: false when MCL_VERIFY=off, which
+/// forces the Checked executor back to full shadow replay (the replay-skip
+/// benchmark and the soundness oracle use it).
+[[nodiscard]] bool runtime_enabled();
+
+/// Fault hook for mclcheck's soundness self-test: MCL_CHECK_INJECT=verify
+/// makes discharge() deliberately unsound (accepts accesses that reach one
+/// element PAST the extent), proving the soundness check can fail. Never set
+/// outside that acceptance test.
+[[nodiscard]] bool inject_unsound();
+
+/// Renders a KernelFacts document ({"mclverify": 1, "kernels": [...]}) that
+/// `plot_results.py --check` validates structurally.
+[[nodiscard]] std::string facts_json(
+    const std::vector<const KernelFacts*>& kernels);
+
+}  // namespace mcl::verify

@@ -16,6 +16,7 @@
 #include "check/reference.hpp"
 #include "check/repro.hpp"
 #include "check/shrink.hpp"
+#include "check/soundness.hpp"
 #include "core/rng.hpp"
 #include "testseed.hpp"
 
@@ -327,6 +328,41 @@ TEST(Injection, ChunkerBugCaughtMinimizedAndReplayed) {
   // With the injection removed the same case passes: the bug was in the
   // (injected) runtime path, not in the generated program.
   EXPECT_FALSE(run_case(*failing).has_value());
+}
+
+// --- soundness oracle ------------------------------------------------------------
+
+TEST(Soundness, FiftySeedsNoProvenArrayEverFlagged) {
+  SoundnessStats stats;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    run_soundness_case(generate_case(case_seed(mcl::test::seed(0x50FD), i)),
+                       stats);
+  }
+  EXPECT_TRUE(stats.sound())
+      << (stats.failures.empty() ? std::string() : stats.failures.front());
+  EXPECT_EQ(stats.cases, 50u);
+  // The sweep only means something if proofs actually discharged: the
+  // generator's guarded/barrier mix must yield proven arrays and boundary
+  // variants to stress.
+  EXPECT_GT(stats.proven_arrays, 0u);
+  EXPECT_GT(stats.accesses_covered, 0u);
+  EXPECT_GT(stats.boundary_checks, 0u);
+}
+
+TEST(Soundness, InjectedLaxDischargeIsDetected) {
+  // MCL_CHECK_INJECT=verify makes discharge() accept one element past the
+  // extent; the boundary variant (extent shrunk to the statically reached
+  // maximum) must then convict it — proving the oracle can fail.
+  InjectGuard inject("verify");
+  SoundnessStats stats;
+  for (std::uint64_t i = 0; i < 20 && stats.violations == 0; ++i) {
+    run_soundness_case(generate_case(case_seed(mcl::test::seed(0x50FD), i)),
+                       stats);
+  }
+  EXPECT_GT(stats.violations, 0u)
+      << "lax discharge survived " << stats.cases << " boundary variants";
+  EXPECT_FALSE(stats.sound());
+  EXPECT_FALSE(stats.failures.empty());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <climits>
 #include <vector>
 
 #include "apps/mbench.hpp"
@@ -188,6 +189,99 @@ TEST(SanStatic, ItemsCollideSolver) {
   // Huge space falls back to gcd solvability (conservative).
   EXPECT_TRUE(san::items_collide({2, 0}, {3, 1}, 1 << 30));
   EXPECT_FALSE(san::items_collide({2, 0}, {4, 1}, 1 << 30));
+}
+
+TEST(SanStatic, ItemsCollideEdgeCases) {
+  using san::items_collide;
+  // Negative strides mirror positive ones: -i+1023 meets j at i+j = 1023.
+  EXPECT_TRUE(items_collide({-1, 1023}, {1, 0}, 1024));
+  EXPECT_FALSE(items_collide({-2, 0}, {-2, 1}, 1024));  // parity again
+  EXPECT_TRUE(items_collide({-2, 0}, {2, -4}, 16));     // (i=0, j=2) -> 0
+  // n == 0 means unknown launch size: any stride-divisible distance collides,
+  // including pinned elements every item touches.
+  EXPECT_TRUE(items_collide({1, 0}, {1, 5}, 0));
+  EXPECT_TRUE(items_collide({0, 3}, {0, 3}, 0));
+  EXPECT_FALSE(items_collide({0, 3}, {0, 4}, 0));
+  // A single workitem has no distinct partner, pinned or not.
+  EXPECT_FALSE(items_collide({0, 3}, {0, 3}, 1));
+  EXPECT_FALSE(items_collide({1, 0}, {1, 0}, 1));
+}
+
+TEST(SanStatic, ItemsCollideExactVsGcdAgreeAtTheLimit) {
+  using san::items_collide;
+  // The same (a, b, n) queried one element under and exactly at the
+  // exact-solve threshold exercises the Diophantine loop and the gcd
+  // fallback on identical inputs; both paths must agree on these pairs.
+  const long long n = 512;
+  struct Pair {
+    veclegal::Subscript a, b;
+    bool collide;
+  };
+  const Pair pairs[] = {
+      {{2, 0}, {4, 2}, true},    // 2i == 4j+2 at (i=3, j=1)
+      {{2, 0}, {4, 1}, false},   // parity mismatch
+      {{3, 1}, {6, 4}, true},    // i = 2j+1
+      {{6, 0}, {10, 3}, false},  // gcd(6,10) = 2 does not divide 3
+  };
+  for (const Pair& p : pairs) {
+    EXPECT_EQ(items_collide(p.a, p.b, n, /*exact_solve_limit=*/n), p.collide);
+    EXPECT_EQ(items_collide(p.a, p.b, n, /*exact_solve_limit=*/n - 1),
+              p.collide);
+  }
+}
+
+TEST(SanStatic, ItemsCollideNoOverflowNearLlongMax) {
+  using san::items_collide;
+  // Opposite-sign offsets near the extremes: the offset difference exceeds
+  // long long; the __int128 solver must widen instead of wrapping to a
+  // small (colliding-looking) distance. Regression for the signed-overflow
+  // bug in the original long-long solver.
+  EXPECT_FALSE(
+      items_collide({1, LLONG_MAX - 512}, {1, LLONG_MIN + 512}, 1024));
+  // Same magnitudes, genuinely reachable distance: still detected.
+  EXPECT_TRUE(
+      items_collide({1, LLONG_MAX - 512}, {1, LLONG_MAX - 256}, 1024));
+  // LLONG_MIN scale: |scale| negation must not overflow either.
+  EXPECT_FALSE(items_collide({LLONG_MIN, 0}, {LLONG_MIN, 1}, 16));
+  EXPECT_TRUE(items_collide({LLONG_MIN, 0}, {LLONG_MIN, LLONG_MIN}, 16));
+}
+
+TEST(SanStatic, BoundsExactAtLlongMaxAdjacentExtents) {
+  // a[i + (LLONG_MAX - 1024)] over trip 1024 ends at LLONG_MAX - 1: legal
+  // for extent LLONG_MAX, but offset + trip overflows long long — the
+  // interval domain must evaluate it exactly (it runs in __int128).
+  auto huge = [](long long offset) {
+    return one_stmt_ir(store(ref(0, 1, offset), {}, "a[i+K] = 0"),
+                       {{.array = 0, .arg_index = 0, .extent = LLONG_MAX}},
+                       1024);
+  };
+  EXPECT_TRUE(san::analyze_kernel("huge-clean", huge(LLONG_MAX - 1024)).clean());
+  const san::Report oob = san::analyze_kernel("huge-oob", huge(LLONG_MAX - 10));
+  EXPECT_FALSE(oob.clean());
+  EXPECT_TRUE(oob.has_rule(Rule::B1OutOfBounds));
+}
+
+TEST(SanStatic, VerifyLintRulesSurfaceAsWarnings) {
+  // A dead store (a[i] overwritten unread) and a barrier separating no
+  // communication: both V-rules report at Warning severity, so the report
+  // stays clean() — lint never fails the mclsan --all gate.
+  KernelIr ir;
+  ir.body.trip_count = 64;
+  ir.body.stmts.push_back(store(ref(0), {}, "a[i] = 1"));
+  ir.body.stmts.push_back(store(ref(0), {}, "a[i] = 2"));
+  ir.body.stmts.push_back(barrier_stmt());
+  ir.body.stmts.push_back(store(ref(1), {}, "b[i] = 3"));
+  ir.arrays = {{.array = 0, .arg_index = 0, .extent = 64},
+               {.array = 1, .arg_index = 1, .extent = 64}};
+  const san::Report r = san::analyze_kernel("lint-demo", ir);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+  EXPECT_TRUE(r.has_rule(Rule::V1DeadStore)) << r.to_string();
+  EXPECT_TRUE(r.has_rule(Rule::V2RedundantBarrier)) << r.to_string();
+  for (const san::Diagnostic& d : r.diagnostics) {
+    if (d.rule == Rule::V1DeadStore || d.rule == Rule::V2RedundantBarrier) {
+      EXPECT_EQ(d.severity, san::Severity::Warning) << d.to_string();
+    }
+  }
 }
 
 TEST(SanStatic, Mbench2StaysSpmdLegalButLoopIllegal) {

@@ -14,6 +14,16 @@
 //   mclcheck --dump-case SEED
 //       Print the generated case and its lowered veclegal IR, then exit.
 //
+//   mclcheck --soundness [--cases N] [--seed S|clock] [--budget-seconds T]
+//       mclverify soundness oracle: run every generated case under the
+//       Checked executor with full replay forced and assert that no array
+//       the static launch proof covers is ever flagged dynamically. Each
+//       case is also rerun with one proven array's declared extent shrunk
+//       to the exact boundary (replay must flag it, discharge must refuse
+//       it). MCL_CHECK_INJECT=verify makes the discharge deliberately lax,
+//       which this mode MUST report as a violation (self-test of the
+//       oracle). Exit 0 sound, 1 violations, 2 usage/internal error.
+//
 // Exit codes: 0 all cases agree, 1 mismatch found, 2 usage/internal error.
 //
 // Tier-1 runs a fixed-seed 60-second-budget smoke of this tool
@@ -32,9 +42,11 @@
 #include "check/generator.hpp"
 #include "check/repro.hpp"
 #include "check/shrink.hpp"
+#include "check/soundness.hpp"
 #include "core/error.hpp"
 #include "core/time.hpp"
 #include "veclegal/kernel_ir.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -54,6 +66,7 @@ struct Options {
   std::uint64_t dump_seed = 0;
   bool run_gpusim = true;
   bool quiet = false;
+  bool soundness = false;
 };
 
 int usage() {
@@ -62,7 +75,9 @@ int usage() {
          "                [--budget-seconds T] [--repro-dir DIR]\n"
          "                [--no-gpusim] [--quiet]\n"
          "       mclcheck --replay FILE [--ulp U]\n"
-         "       mclcheck --dump-case SEED\n";
+         "       mclcheck --dump-case SEED\n"
+         "       mclcheck --soundness [--cases N] [--seed S|clock]\n"
+         "                [--budget-seconds T] [--quiet]\n";
   return 2;
 }
 
@@ -105,6 +120,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (v == nullptr) return false;
       opt.dump_case = true;
       opt.dump_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--soundness") {
+      opt.soundness = true;
     } else if (arg == "--no-gpusim") {
       opt.run_gpusim = false;
     } else if (arg == "--quiet") {
@@ -222,6 +239,67 @@ int fuzz(const Options& opt) {
   return 0;
 }
 
+int soundness(const Options& opt) {
+  const std::uint64_t run_seed =
+      opt.clock_seed ? static_cast<std::uint64_t>(std::time(nullptr))
+                     : opt.seed;
+  const bool injected = mcl::verify::inject_unsound();
+  if (!mcl::verify::runtime_enabled()) {
+    std::cerr << "mclcheck: --soundness is meaningless with MCL_VERIFY=off "
+                 "(no proofs to check)\n";
+    return 2;
+  }
+  if (!opt.quiet) {
+    std::cout << "mclcheck: soundness oracle, " << opt.cases
+              << " cases, seed " << run_seed
+              << (opt.clock_seed ? " (clock)" : "")
+              << (injected ? ", MCL_CHECK_INJECT=verify (expect violations)"
+                           : "")
+              << "\n";
+  }
+  const mcl::core::TimePoint t0 = mcl::core::now();
+  mcl::check::SoundnessStats stats;
+  for (std::uint64_t i = 0; i < opt.cases; ++i) {
+    if (opt.budget_seconds > 0.0 &&
+        mcl::core::elapsed_s(t0, mcl::core::now()) > opt.budget_seconds) {
+      if (!opt.quiet) {
+        std::cout << "mclcheck: budget reached after " << stats.cases
+                  << " cases\n";
+      }
+      break;
+    }
+    const Case c =
+        mcl::check::generate_case(mcl::check::case_seed(run_seed, i));
+    (void)mcl::check::run_soundness_case(c, stats);
+  }
+  if (!opt.quiet) {
+    std::cout << "mclcheck: " << stats.cases << " cases, " << stats.launches
+              << " launches, " << stats.proven_arrays << " proven arrays ("
+              << stats.fully_proven << " fully proven launches, "
+              << stats.accesses_covered << " accesses exempted), "
+              << stats.boundary_checks << " boundary variants, "
+              << stats.violations << " violations in "
+              << mcl::core::elapsed_s(t0, mcl::core::now()) << " s\n";
+  }
+  for (const std::string& f : stats.failures) {
+    std::cout << "mclcheck: SOUNDNESS VIOLATION: " << f << "\n";
+  }
+  // Under the fault hook, violations are the PASS condition: the lax
+  // discharge must be caught. Without it, any violation is a real unsound
+  // proof.
+  if (injected) {
+    if (stats.sound()) {
+      std::cout << "mclcheck: MCL_CHECK_INJECT=verify produced no violation "
+                   "-- the soundness check cannot fail, which is itself a "
+                   "failure\n";
+      return 1;
+    }
+    std::cout << "mclcheck: injected unsoundness detected as expected\n";
+    return 0;
+  }
+  return stats.sound() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,6 +313,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!opt.replay_file.empty()) return replay(opt);
+    if (opt.soundness) return soundness(opt);
     return fuzz(opt);
   } catch (const mcl::core::Error& e) {
     std::cerr << "mclcheck: " << e.what() << "\n";

@@ -21,6 +21,14 @@ the perf availability block must be present and typed, every kernel entry's
 counters must be non-negative, IPC must sit in sane bounds (0..16), and a
 profile claiming hardware=false must not fabricate cycle counts.
 
+--check also understands mclverify KernelFacts documents (the
+`mclsan --all --facts <path>` output, a single object with an "mclverify"
+version key): every kernel entry's analysis results must be well-typed —
+pattern/reuse classes drawn from the closed enum sets, per-array flags
+consistent with the access counts, and lint indices within the statement
+range. The facts file is the auto-tuner's input contract, so tier-1 pins its
+schema here.
+
 --check also understands mclcheck repro files (*.mclrepro, or any file whose
 first non-comment line is "mclcheck-repro v1"): the file must be structurally
 complete and carry "minimized 1" — committing raw unminimized fuzzer output
@@ -302,6 +310,137 @@ def check_profile(path):
     return errors
 
 
+def is_facts_file(path):
+    """An mclverify KernelFacts document is one pretty-printed JSON object
+    whose "mclverify" version marker sits on the first or second line (the
+    opening brace is on its own line). Must be sniffed before the trace
+    check, which would otherwise claim any pretty-printed object."""
+    try:
+        with open(path) as f:
+            seen = 0
+            for line in f:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if '"mclverify"' in stripped:
+                    return True
+                seen += 1
+                if seen >= 2:
+                    return False
+    except OSError:
+        pass
+    return False
+
+
+# Closed enum sets the facts schema draws from (src/verify/facts.hpp).
+FACTS_PATTERNS = ("none", "broadcast", "unit-stride", "strided", "gather", "scatter")
+FACTS_REUSE = ("none", "spatial", "temporal", "both")
+
+# Per-array fields every facts entry must carry, with their types.
+FACTS_ARRAY_BOOLS = ("local", "read", "written", "race_free")
+FACTS_ARRAY_INTS = ("array", "arg_index", "extent", "elem_bytes", "stride", "accesses")
+
+
+def check_facts(path):
+    """Validates an mclverify KernelFacts JSON; returns error strings.
+
+    Checks: parseable object, "mclverify" version 1, kernel entries with a
+    name, a non-negative fixpoint iteration count, boolean stmt_uniform
+    lists, lint indices (dead_stores / redundant_barriers) within the
+    statement range, and per-array records whose pattern/reuse classes come
+    from the closed enum sets and whose flags agree with the access counts
+    (an array with accesses must be read or written; pattern "none" exactly
+    when the matching direction is absent).
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: facts root is not a JSON object"]
+    if doc.get("mclverify") != 1:
+        errors.append(f"{path}: 'mclverify' version marker is not 1")
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list):
+        return errors + [f"{path}: missing 'kernels' list"]
+    n_arrays = 0
+    for i, k in enumerate(kernels):
+        where = f"{path}: kernels[{i}]"
+        if not isinstance(k, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        name = k.get("kernel")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing 'kernel' name")
+        else:
+            where = f"{path}: kernel {name!r}"
+        iters = k.get("fixpoint_iterations")
+        if not isinstance(iters, int) or iters < 0:
+            errors.append(f"{where}: 'fixpoint_iterations' must be a non-negative int")
+        if not isinstance(k.get("barrier_divergence_possible"), bool):
+            errors.append(f"{where}: 'barrier_divergence_possible' must be a boolean")
+        uniform = k.get("stmt_uniform")
+        if not isinstance(uniform, list) or not all(
+            isinstance(u, bool) for u in uniform
+        ):
+            errors.append(f"{where}: 'stmt_uniform' must be a list of booleans")
+            uniform = []
+        for field in ("dead_stores", "redundant_barriers"):
+            idxs = k.get(field)
+            if not isinstance(idxs, list) or not all(
+                isinstance(x, int) for x in idxs
+            ):
+                errors.append(f"{where}: '{field}' must be a list of ints")
+                continue
+            for x in idxs:
+                if x < 0 or x >= len(uniform):
+                    errors.append(
+                        f"{where}: '{field}' index {x} outside the statement "
+                        f"range [0, {len(uniform)})"
+                    )
+        arrays = k.get("arrays")
+        if not isinstance(arrays, list):
+            errors.append(f"{where}: missing 'arrays' list")
+            continue
+        for j, a in enumerate(arrays):
+            aw = f"{where}: arrays[{j}]"
+            if not isinstance(a, dict):
+                errors.append(f"{aw}: not a JSON object")
+                continue
+            n_arrays += 1
+            for field in FACTS_ARRAY_INTS:
+                if not isinstance(a.get(field), int):
+                    errors.append(f"{aw}: '{field}' must be an int")
+            for field in FACTS_ARRAY_BOOLS:
+                if not isinstance(a.get(field), bool):
+                    errors.append(f"{aw}: '{field}' must be a boolean")
+            for field in ("read_pattern", "write_pattern"):
+                if a.get(field) not in FACTS_PATTERNS:
+                    errors.append(
+                        f"{aw}: '{field}' {a.get(field)!r} not in {FACTS_PATTERNS}"
+                    )
+            if a.get("reuse") not in FACTS_REUSE:
+                errors.append(f"{aw}: 'reuse' {a.get('reuse')!r} not in {FACTS_REUSE}")
+            if isinstance(a.get("elem_bytes"), int) and a["elem_bytes"] <= 0:
+                errors.append(f"{aw}: 'elem_bytes' must be positive")
+            if isinstance(a.get("stride"), int) and a["stride"] < 0:
+                errors.append(f"{aw}: 'stride' must be the |scale| magnitude (>= 0)")
+            if isinstance(a.get("accesses"), int):
+                if a["accesses"] < 0:
+                    errors.append(f"{aw}: 'accesses' must be >= 0")
+                if a["accesses"] > 0 and not (a.get("read") or a.get("written")):
+                    errors.append(f"{aw}: accesses recorded but neither read nor written")
+            if a.get("read_pattern") == "none" and a.get("read") is True:
+                errors.append(f"{aw}: read=true but read_pattern 'none'")
+            if a.get("write_pattern") == "none" and a.get("written") is True:
+                errors.append(f"{aw}: written=true but write_pattern 'none'")
+    if not errors:
+        print(f"{path}: ok (facts, {len(kernels)} kernels, {n_arrays} arrays)")
+    return errors
+
+
 def check_trace(path):
     """Validates an mcltrace Chrome-trace JSON; returns error strings.
 
@@ -462,6 +601,8 @@ def main():
                 print(f"{args.jsonl}: ok (minimized mclcheck repro)")
         elif is_profile_file(args.jsonl):
             errors = check_profile(args.jsonl)
+        elif is_facts_file(args.jsonl):
+            errors = check_facts(args.jsonl)
         elif is_trace_file(args.jsonl):
             errors = check_trace(args.jsonl)
         else:

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the checks every change must pass before merging.
 #
-#   1. plain Release build + full ctest suite (plus explicit `-L trace` and
-#      `-L prof` passes for the mcltrace ring/exporter and mclprof
-#      registry/profiler suites), then a fixed-seed 60-second mclcheck
-#      differential smoke and a scan rejecting unminimized committed
-#      .mclrepro files;
+#   1. plain Release build + full ctest suite (plus explicit `-L trace`,
+#      `-L prof` and `-L verify` passes for the mcltrace ring/exporter,
+#      mclprof registry/profiler, and mclverify dataflow/soundness suites),
+#      then the mclsan --all static gate (fails on new diagnostics; the
+#      KernelFacts JSON it emits is schema-checked by plot_results.py),
+#      a fixed-seed 60-second mclcheck differential smoke and a scan
+#      rejecting unminimized committed .mclrepro files;
 #   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
 #   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue` +
 #      `trace` + `prof` labels — the thread-pool wakeup, event-graph
@@ -24,6 +26,14 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure
 ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L prof
+ctest --test-dir build --output-on-failure -L verify
+
+echo "== tier1: mclsan --all static gate + KernelFacts schema check =="
+# Exit 1 = a kernel outside the known-positive set gained an error-severity
+# diagnostic; the facts file is the auto-tuner's input, so its schema is
+# pinned by plot_results.py --check.
+./build/tools/mclsan --all --facts build/kernel_facts.json
+tools/plot_results.py --check build/kernel_facts.json
 
 echo "== tier1: mclcheck differential smoke (fixed seed, 60 s budget) =="
 # Fixed-seed so the gate is reproducible; the clock-seeded long run is the
