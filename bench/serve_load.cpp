@@ -1,0 +1,496 @@
+// Closed-loop load harness for mclserve (docs/serve.md).
+//
+// N client threads — one per tenant — drive a shared Server with mixed
+// profiles (batched small launches, bulk launches, write/launch/read
+// transfer chains, in-order streams, and a reject-policy burst tenant that
+// retries on admission failure). Each client keeps a bounded window of
+// requests outstanding (closed loop: a new request is only submitted once
+// an old one retired), so offered load tracks service rate instead of
+// overrunning the queues.
+//
+// Latency percentiles come from the always-on mclprof histograms the server
+// records into ("serve.latency_ns" and the per-tenant variants); the harness
+// enables metrics recording, runs the configured request count, and writes a
+// single-object JSON document (--json, default BENCH_serve.json) with the
+// throughput timeline and per-tenant accounting. tools/plot_results.py
+// --check validates the document (monotonic timeline, p50 <= p99 <= p999,
+// conservation of requests per tenant).
+//
+// The harness fails (exit 1) when any ticket is lost or hung: every
+// submitted request must retire as completed within the deadline, and the
+// server must end with zero in-flight commands.
+//
+//   build/bench/serve_load --requests 1000000 --tenants 8 --seed 42
+//   build/bench/serve_load --quick          # tier-1 smoke (50k requests)
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/time.hpp"
+#include "ocl/queue.hpp"
+#include "prof/metrics.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace mcl;
+
+struct Options {
+  std::size_t requests = 1'000'000;  ///< total across all tenants
+  std::size_t tenants = 8;
+  std::uint64_t seed = 42;
+  std::string json = "BENCH_serve.json";
+  bool quick = false;
+};
+
+/// xorshift64* — deterministic per-client jitter without <random> overhead.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+/// The tenant archetypes the load mix cycles through.
+enum class Profile { Small, Bulk, Chain, InOrder, Burst };
+
+const char* profile_name(Profile p) {
+  switch (p) {
+    case Profile::Small: return "small-batched";
+    case Profile::Bulk: return "bulk";
+    case Profile::Chain: return "transfer-chain";
+    case Profile::InOrder: return "in-order";
+    case Profile::Burst: return "burst-reject";
+  }
+  return "?";
+}
+
+serve::TenantConfig tenant_config(Profile profile, const std::string& name) {
+  serve::TenantConfig cfg;
+  cfg.name = name;
+  switch (profile) {
+    case Profile::Small:
+      // Many tiny contiguous launches: the batcher's target workload.
+      cfg.weight = 1.0;
+      cfg.max_queue_depth = 128;
+      cfg.batch_max_items = 4096;
+      break;
+    case Profile::Bulk:
+      cfg.weight = 4.0;
+      cfg.max_queue_depth = 32;
+      break;
+    case Profile::Chain:
+      cfg.weight = 2.0;
+      cfg.max_queue_depth = 96;
+      break;
+    case Profile::InOrder:
+      cfg.weight = 1.0;
+      cfg.max_queue_depth = 64;
+      cfg.in_order = true;
+      break;
+    case Profile::Burst:
+      cfg.weight = 1.0;
+      cfg.max_queue_depth = 16;
+      cfg.admission = serve::AdmissionPolicy::Reject;
+      break;
+  }
+  return cfg;
+}
+
+struct ClientResult {
+  std::size_t submitted = 0;
+  std::size_t retries = 0;  ///< reject-policy re-submissions
+  bool ok = true;
+  std::string error;
+};
+
+/// One closed-loop client. Keeps at most `window` tickets outstanding,
+/// waiting on the oldest before submitting a replacement.
+void run_client(serve::Session session, Profile profile, std::size_t requests,
+                std::uint64_t seed, std::atomic<std::size_t>& completed,
+                ClientResult& result) {
+  using namespace std::chrono_literals;
+  constexpr std::size_t kSmallItems = 64;
+  constexpr std::size_t kBulkItems = 4096;
+  constexpr std::size_t kChainBytes = 16 * 1024;
+
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kBulkItems * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kBulkItems * 4);
+  std::uint64_t rng = seed;
+
+  const std::size_t window = profile == Profile::Burst ? 8 : 32;
+
+  // Bulk and Burst kernels write the full output range, and chains reuse
+  // host staging — with `window` requests in flight those would be genuine
+  // data races on shared memory. Each window slot therefore owns its
+  // buffers: a slot's ticket is always drained before the slot is reused,
+  // and that completion happens-before the resubmission, so slot-private
+  // memory is race-free by construction. Small keeps the shared buffers
+  // (its per-request offsets are disjoint across the window, and identical
+  // arg bindings are what lets consecutive requests fuse); InOrder keeps
+  // them because its stream is serialized.
+  struct SlotMem {
+    ocl::Buffer in{ocl::MemFlags::ReadWrite, 4096 * 4};
+    ocl::Buffer out{ocl::MemFlags::ReadWrite, 4096 * 4};
+    std::vector<float> host = std::vector<float>(16 * 1024 / 4, 1.0f);
+  };
+  const bool slotted = profile == Profile::Bulk || profile == Profile::Burst ||
+                       profile == Profile::Chain;
+  std::vector<SlotMem> slots(slotted ? window : 0);
+
+  std::vector<serve::Ticket> live;
+  live.reserve(window);
+  std::size_t oldest = 0;
+
+  auto drain_oldest = [&]() -> bool {
+    serve::Ticket& t = live[oldest];
+    if (!t.wait_for(30s)) {
+      result.ok = false;
+      result.error = "hung ticket: no completion within 30s";
+      return false;
+    }
+    if (t.status() != core::Status::Success) {
+      result.ok = false;
+      result.error = std::string("ticket failed: ") +
+                     std::string(core::to_string(t.status()));
+      return false;
+    }
+    completed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  // The slot at `oldest` is always drained (by submit_one) before being
+  // overwritten here.
+  auto push = [&](serve::Ticket t) -> bool {
+    if (live.size() < window) {
+      live.push_back(std::move(t));
+    } else {
+      live[oldest] = std::move(t);
+      oldest = (oldest + 1) % window;
+    }
+    return true;
+  };
+
+  auto submit_one = [&](std::size_t i) -> bool {
+    // Closed loop: free a slot first when the window is full.
+    if (live.size() == window) {
+      if (!drain_oldest()) return false;
+    }
+    // The slot this request's ticket will occupy — just drained above (or
+    // never used), so its SlotMem is quiescent.
+    const std::size_t slot = live.size() == window ? oldest : live.size();
+    serve::LaunchSpec spec;
+    spec.kernel = "square";
+    spec.args = {serve::ArgSpec::buf(in), serve::ArgSpec::buf(out)};
+    switch (profile) {
+      case Profile::Small: {
+        // Contiguous offsets so consecutive requests fuse.
+        const std::size_t slot = i % (kBulkItems / kSmallItems);
+        spec.global = ocl::NDRange{kSmallItems};
+        if (slot != 0) spec.offset = ocl::NDRange{slot * kSmallItems};
+        return push(session.submit(std::move(spec)));
+      }
+      case Profile::Bulk:
+        spec.global = ocl::NDRange{kBulkItems};
+        spec.args = {serve::ArgSpec::buf(slots[slot].in),
+                     serve::ArgSpec::buf(slots[slot].out)};
+        return push(session.submit(std::move(spec)));
+      case Profile::InOrder:
+        spec.global = ocl::NDRange{kSmallItems};
+        return push(session.submit(std::move(spec)));
+      case Profile::Chain: {
+        // write -> launch -> read; only the tail ticket joins the window
+        // (its completion implies the whole chain retired).
+        SlotMem& m = slots[slot];
+        const std::size_t n = kChainBytes / 4;
+        serve::Ticket w =
+            session.submit_write(m.in, 0, kChainBytes, m.host.data());
+        spec.global = ocl::NDRange{n};
+        spec.args = {serve::ArgSpec::buf(m.in), serve::ArgSpec::buf(m.out)};
+        serve::Ticket l = session.submit(std::move(spec), {w});
+        serve::Ticket r =
+            session.submit_read(m.out, 0, kChainBytes, m.host.data(), {l});
+        return push(std::move(r));
+      }
+      case Profile::Burst: {
+        spec.global = ocl::NDRange{kSmallItems};
+        spec.args = {serve::ArgSpec::buf(slots[slot].in),
+                     serve::ArgSpec::buf(slots[slot].out)};
+        for (;;) {
+          auto maybe = session.try_submit(spec);
+          if (maybe) return push(std::move(*maybe));
+          ++result.retries;
+          // Brief jittered backoff before re-offering the request.
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(1 + next_rand(rng) % 50));
+        }
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (!submit_one(i)) return;
+    ++result.submitted;
+    if (profile == Profile::Chain) result.submitted += 2;
+  }
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    if (!drain_oldest()) return;
+    oldest = (oldest + 1) % live.size();
+  }
+  session.finish();
+}
+
+std::uint64_t find_histogram_percentile(const prof::Snapshot& snap,
+                                        const std::string& name, double p) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return h.data.percentile(p);
+  }
+  return 0;
+}
+
+struct TimelinePoint {
+  double t_s = 0.0;
+  std::size_t completed = 0;
+};
+
+void json_escape_append(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+int run(const Options& opt) {
+  ocl::CpuDevice device;
+  ocl::Context context(device);
+  prof::set_enabled(true);  // serve's latency histograms record only when on
+
+  serve::Server server(context);
+  const Profile kMix[] = {Profile::Small, Profile::Bulk, Profile::Chain,
+                          Profile::InOrder, Profile::Burst};
+  struct Client {
+    serve::Session session;
+    Profile profile = Profile::Small;
+    std::string name;
+    std::size_t requests = 0;
+    ClientResult result;
+  };
+  std::vector<Client> clients(opt.tenants);
+  // Chain tenants retire 3 tickets per loop iteration; divide their share so
+  // the configured total is the *ticket* count, the unit the stats report.
+  std::size_t assigned = 0;
+  for (std::size_t t = 0; t < opt.tenants; ++t) {
+    Client& c = clients[t];
+    c.profile = kMix[t % std::size(kMix)];
+    c.name = std::string(profile_name(c.profile)) + "-" + std::to_string(t);
+    std::size_t share = opt.requests / opt.tenants;
+    if (t + 1 == opt.tenants) share = opt.requests - assigned;
+    assigned += share;
+    c.requests = c.profile == Profile::Chain ? std::max<std::size_t>(1, share / 3)
+                                             : share;
+    c.session = server.create_session(tenant_config(c.profile, c.name));
+  }
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> done{false};
+  std::vector<TimelinePoint> timeline;
+  const core::TimePoint t0 = core::now();
+
+  // Sampler: throughput trajectory at ~50 ms resolution (monotonic clock).
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      timeline.push_back({core::elapsed_s(t0, core::now()),
+                          completed.load(std::memory_order_relaxed)});
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    timeline.push_back({core::elapsed_s(t0, core::now()),
+                        completed.load(std::memory_order_relaxed)});
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (std::size_t t = 0; t < clients.size(); ++t) {
+    Client& c = clients[t];
+    threads.emplace_back([&c, &completed, seed = opt.seed + t] {
+      run_client(c.session, c.profile, c.requests, seed | 1, completed,
+                 c.result);
+    });
+  }
+  for (auto& th : threads) th.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  const double duration_s = core::elapsed_s(t0, core::now());
+
+  bool ok = true;
+  for (const Client& c : clients) {
+    if (!c.result.ok) {
+      std::fprintf(stderr, "serve_load: tenant %s FAILED: %s\n",
+                   c.name.c_str(), c.result.error.c_str());
+      ok = false;
+    }
+  }
+
+  // Lost/hung detection: every admitted request must have retired, and the
+  // server must be idle.
+  const serve::ServerStats sstats = server.stats();
+  if (sstats.in_flight != 0) {
+    std::fprintf(stderr, "serve_load: %zu commands still in flight at exit\n",
+                 sstats.in_flight);
+    ok = false;
+  }
+  std::size_t total_submitted = 0, total_completed = 0;
+  for (const serve::SessionStats& ts : sstats.tenants) {
+    total_submitted += ts.submitted;
+    total_completed += ts.completed;
+    if (ts.outstanding != 0) {
+      std::fprintf(stderr, "serve_load: tenant %s has %zu lost requests\n",
+                   ts.name.c_str(), ts.outstanding);
+      ok = false;
+    }
+    if (ts.completed + ts.failed + ts.cancelled + ts.timed_out != ts.submitted) {
+      std::fprintf(stderr, "serve_load: tenant %s accounting leak\n",
+                   ts.name.c_str());
+      ok = false;
+    }
+  }
+
+  const prof::Snapshot snap = prof::snapshot();
+  const std::string all = "serve.latency_ns";
+
+  std::string json;
+  json.reserve(4096 + 64 * timeline.size());
+  char buf[256];
+  json += "{\n  \"mclserve\": 1,\n  \"bench\": \"serve_load\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"seed\": %llu,\n  \"tenants\": %zu,\n"
+                "  \"requests\": %zu,\n  \"completed\": %zu,\n"
+                "  \"duration_s\": %.6f,\n  \"throughput_rps\": %.1f,\n",
+                static_cast<unsigned long long>(opt.seed), opt.tenants,
+                total_submitted, total_completed, duration_s,
+                duration_s > 0 ? static_cast<double>(total_completed) / duration_s
+                               : 0.0);
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"latency_ns\": {\"p50\": %llu, \"p99\": %llu, "
+                "\"p999\": %llu},\n",
+                static_cast<unsigned long long>(
+                    find_histogram_percentile(snap, all, 50.0)),
+                static_cast<unsigned long long>(
+                    find_histogram_percentile(snap, all, 99.0)),
+                static_cast<unsigned long long>(
+                    find_histogram_percentile(snap, all, 99.9)));
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"server\": {\"forwarded_commands\": %llu, "
+                "\"fused_requests\": %llu},\n",
+                static_cast<unsigned long long>(sstats.forwarded_commands),
+                static_cast<unsigned long long>(sstats.fused_requests));
+  json += buf;
+
+  json += "  \"timeline\": [";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s\n    {\"t_s\": %.6f, \"completed\": %zu}",
+                  i ? "," : "", timeline[i].t_s, timeline[i].completed);
+    json += buf;
+  }
+  json += "\n  ],\n";
+
+  json += "  \"tenant_stats\": [";
+  for (std::size_t i = 0; i < sstats.tenants.size(); ++i) {
+    const serve::SessionStats& ts = sstats.tenants[i];
+    const std::string hist = all + "." + ts.name;
+    json += i ? ",\n    {" : "\n    {";
+    json += "\"name\": \"";
+    json_escape_append(json, ts.name);
+    json += "\", ";
+    std::snprintf(
+        buf, sizeof buf,
+        "\"submitted\": %zu, \"completed\": %zu, \"failed\": %zu, "
+        "\"rejected\": %zu, \"cancelled\": %zu, \"timed_out\": %zu, "
+        "\"batched\": %zu, \"forwarded\": %zu, ",
+        ts.submitted, ts.completed, ts.failed, ts.rejected, ts.cancelled,
+        ts.timed_out, ts.batched, ts.forwarded);
+    json += buf;
+    std::snprintf(buf, sizeof buf,
+                  "\"cache_hits\": %zu, \"cache_misses\": %zu, "
+                  "\"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu}",
+                  ts.cache_hits, ts.cache_misses,
+                  static_cast<unsigned long long>(
+                      find_histogram_percentile(snap, hist, 50.0)),
+                  static_cast<unsigned long long>(
+                      find_histogram_percentile(snap, hist, 99.0)),
+                  static_cast<unsigned long long>(
+                      find_histogram_percentile(snap, hist, 99.9)));
+    json += buf;
+  }
+  json += "\n  ]\n}\n";
+
+  std::ofstream f(opt.json);
+  if (!f) {
+    std::fprintf(stderr, "serve_load: cannot open %s\n", opt.json.c_str());
+    return 1;
+  }
+  f << json;
+  f.close();
+
+  std::printf(
+      "serve_load: %zu requests, %zu tenants, %.2f s, %.0f req/s, "
+      "p50=%llu ns p99=%llu ns (%s)\n",
+      total_submitted, opt.tenants, duration_s,
+      duration_s > 0 ? static_cast<double>(total_completed) / duration_s : 0.0,
+      static_cast<unsigned long long>(
+          find_histogram_percentile(snap, all, 50.0)),
+      static_cast<unsigned long long>(
+          find_histogram_percentile(snap, all, 99.0)),
+      ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve_load: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--requests") {
+      opt.requests = std::stoull(value());
+    } else if (arg == "--tenants") {
+      opt.tenants = std::stoull(value());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (arg == "--json") {
+      opt.json = value();
+    } else if (arg == "--quick") {
+      opt.quick = true;
+      opt.requests = 50'000;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: serve_load [--requests N] [--tenants N] [--seed S]\n"
+          "                  [--json PATH] [--quick]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "serve_load: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.tenants == 0 || opt.requests == 0) {
+    std::fprintf(stderr, "serve_load: --tenants and --requests must be > 0\n");
+    return 2;
+  }
+  return run(opt);
+}

@@ -19,6 +19,7 @@ std::string_view to_string(Status s) noexcept {
     case Status::DeviceNotFound: return "DeviceNotFound";
     case Status::BuildProgramFailure: return "BuildProgramFailure";
     case Status::SanitizerViolation: return "SanitizerViolation";
+    case Status::Cancelled: return "Cancelled";
     case Status::InternalError: return "InternalError";
   }
   return "UnknownStatus";

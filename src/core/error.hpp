@@ -29,6 +29,7 @@ enum class Status : std::int32_t {
   DeviceNotFound,
   BuildProgramFailure,
   SanitizerViolation,
+  Cancelled,  ///< request cancelled or timed out before running (mclserve)
   InternalError,
 };
 

@@ -58,6 +58,7 @@ mcl_int status_to_code(core::Status s) {
     case Status::MapFailure: return MCL_MAP_FAILURE;
     case Status::OutOfResources: return MCL_MEM_OBJECT_ALLOCATION_FAILURE;
     case Status::DeviceNotFound: return MCL_DEVICE_NOT_FOUND;
+    case Status::Cancelled: return MCL_INVALID_OPERATION;
     default: return MCL_INVALID_VALUE;
   }
 }
@@ -463,30 +464,9 @@ mcl_int mclSetKernelArg(mcl_kernel kernel, mcl_uint arg_index, size_t arg_size,
         return;
       }
     }
-    core::check(arg_size > 0 && arg_size <= ocl::KernelArgs::kMaxScalarBytes,
-                core::Status::InvalidKernelArgs, "scalar arg size unsupported");
-    // Copy the raw scalar bytes into the slot.
-    struct Raw {
-      unsigned char bytes[ocl::KernelArgs::kMaxScalarBytes];
-    } raw{};
-    std::memcpy(raw.bytes, arg_value, arg_size);
-    switch (arg_size) {
-      case 4: {
-        unsigned v;
-        std::memcpy(&v, arg_value, 4);
-        kernel->kernel->set_arg(arg_index, v);
-        break;
-      }
-      case 8: {
-        unsigned long long v;
-        std::memcpy(&v, arg_value, 8);
-        kernel->kernel->set_arg(arg_index, v);
-        break;
-      }
-      default:
-        kernel->kernel->set_arg(arg_index, raw);
-        break;
-    }
+    // Raw scalar: the slot stores exactly arg_size bytes, so odd sizes
+    // (3-byte structs, 12-byte float3) round-trip without padding.
+    kernel->kernel->set_arg_bytes(arg_index, arg_value, arg_size);
   });
 }
 

@@ -46,11 +46,23 @@ class KernelArgs {
   void set_scalar(std::size_t index, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
     static_assert(sizeof(T) <= kMaxScalarBytes, "scalar kernel arg too large");
+    set_scalar_bytes(index, &value, sizeof(T));
+  }
+
+  /// Raw-byte form of set_scalar for callers (the C API, mclserve's
+  /// descriptor replay) that carry the argument as (pointer, size) with no
+  /// static type: the exact arg_size is preserved in the slot.
+  void set_scalar_bytes(std::size_t index, const void* bytes,
+                        std::size_t size) {
+    core::check(bytes != nullptr, core::Status::InvalidKernelArgs,
+                "null scalar arg pointer");
+    core::check(size > 0 && size <= kMaxScalarBytes,
+                core::Status::InvalidKernelArgs, "scalar arg size unsupported");
     Slot& s = slot(index);
     s.kind = Kind::Scalar;
     s.buffer = nullptr;
-    std::memcpy(s.scalar.data(), &value, sizeof(T));
-    s.scalar_bytes = sizeof(T);
+    std::memcpy(s.scalar.data(), bytes, size);
+    s.scalar_bytes = size;
   }
 
   /// clSetKernelArg(kernel, i, bytes, nullptr): local memory request.
@@ -332,6 +344,9 @@ class Kernel {
   template <typename T>
   void set_arg(std::size_t index, const T& scalar) {
     args_.set_scalar(index, scalar);
+  }
+  void set_arg_bytes(std::size_t index, const void* bytes, std::size_t size) {
+    args_.set_scalar_bytes(index, bytes, size);
   }
   void set_arg_local(std::size_t index, std::size_t bytes) {
     args_.set_local(index, bytes);

@@ -32,6 +32,7 @@ const char* command_name(CommandType t) {
     case CommandType::UnmapBuffer: return "cmd.unmap";
     case CommandType::Marker: return "cmd.marker";
     case CommandType::Barrier: return "cmd.barrier";
+    case CommandType::User: return "cmd.user";
   }
   return "cmd.unknown";
 }
@@ -79,9 +80,11 @@ void CommandQueue::check_range(const Buffer& buffer, std::size_t offset,
 
 Event CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
                                          std::size_t bytes, const void* src) {
-  if (bytes == 0) return Event{CommandType::WriteBuffer, 0.0, {}};
+  // Validate before the zero-byte shortcut: an out-of-range offset or null
+  // pointer is an API error regardless of transfer size.
   check_range(buffer, offset, bytes);
   core::check(src != nullptr, core::Status::InvalidValue, "null source");
+  if (bytes == 0) return Event{CommandType::WriteBuffer, 0.0, {}};
   MCL_TRACE_SCOPE("cq.write", "bytes", bytes);
   note_transfer(bytes);
   Event ev{CommandType::WriteBuffer, 0.0, {}};
@@ -94,9 +97,9 @@ Event CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
 
 Event CommandQueue::enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
                                         std::size_t bytes, void* dst) {
-  if (bytes == 0) return Event{CommandType::ReadBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
   core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
+  if (bytes == 0) return Event{CommandType::ReadBuffer, 0.0, {}};
   MCL_TRACE_SCOPE("cq.read", "bytes", bytes);
   note_transfer(bytes);
   Event ev{CommandType::ReadBuffer, 0.0, {}};
@@ -112,9 +115,9 @@ Event CommandQueue::enqueue_copy_buffer(const Buffer& src, Buffer& dst,
                                         std::size_t src_offset,
                                         std::size_t dst_offset,
                                         std::size_t bytes) {
-  if (bytes == 0) return Event{CommandType::CopyBuffer, 0.0, {}};
   check_range(src, src_offset, bytes);
   check_range(dst, dst_offset, bytes);
+  if (bytes == 0) return Event{CommandType::CopyBuffer, 0.0, {}};
   const auto* s = static_cast<const std::byte*>(src.device_ptr()) + src_offset;
   auto* d = static_cast<std::byte*>(dst.device_ptr()) + dst_offset;
   core::check(s + bytes <= d || d + bytes <= s, core::Status::InvalidValue,
@@ -137,8 +140,8 @@ Event CommandQueue::enqueue_fill_buffer(Buffer& buffer, const void* pattern,
               "fill size must be a multiple of the pattern size");
   core::check(offset % pattern_bytes == 0, core::Status::InvalidValue,
               "fill offset must be a multiple of the pattern size");
-  if (bytes == 0) return Event{CommandType::FillBuffer, 0.0, {}};
   check_range(buffer, offset, bytes);
+  if (bytes == 0) return Event{CommandType::FillBuffer, 0.0, {}};
   MCL_TRACE_SCOPE("cq.fill", "bytes", bytes);
   note_transfer(bytes);
   Event ev{CommandType::FillBuffer, 0.0, {}};
@@ -318,6 +321,15 @@ void AsyncEvent::wait() const {
   if (error_) std::rethrow_exception(error_);
 }
 
+bool AsyncEvent::wait_for(std::chrono::nanoseconds timeout) const {
+  std::unique_lock lock(mutex_);
+  if (!cv_.wait_for(lock, timeout, [this] { return finished_locked(); })) {
+    return false;
+  }
+  if (error_) std::rethrow_exception(error_);
+  return true;
+}
+
 bool AsyncEvent::complete() const {
   std::lock_guard lock(mutex_);
   return finished_locked();
@@ -363,6 +375,77 @@ bool AsyncEvent::add_continuation(std::function<void(core::Status)> fn) {
   return true;
 }
 
+void AsyncEvent::on_complete(std::function<void(core::Status)> fn) {
+  core::check(fn != nullptr, core::Status::InvalidValue,
+              "null completion callback");
+  // Terminal already: run inline, never touching the queue (this is also the
+  // only safe path once the owning queue may be gone).
+  if (complete()) {
+    fn(status());
+    return;
+  }
+  // Count the callback toward the queue's drain *before* registering it, so
+  // finish() can never observe outstanding_ == 0 while a registered callback
+  // that might re-enqueue has yet to run.
+  CommandQueue* q = queue_;
+  if (q != nullptr) q->note_callback_registered();
+  // Shared wrapper: the continuation and the lost-race fallback below both
+  // need to be able to invoke it.
+  auto shared = std::make_shared<std::function<void(core::Status)>>(std::move(fn));
+  const bool registered = add_continuation([shared, q](core::Status s) {
+    (*shared)(s);
+    if (q != nullptr) q->note_callback_done();
+  });
+  if (!registered) {
+    // Completed between the complete() check and registration.
+    (*shared)(status());
+    if (q != nullptr) q->note_callback_done();
+  }
+}
+
+AsyncEventPtr AsyncEvent::create_user() {
+  auto ev = std::make_shared<AsyncEvent>();
+  ev->type_ = CommandType::User;
+  ev->user_ = true;
+  ev->prof_.queued_ns = now_ns();
+  return ev;
+}
+
+void AsyncEvent::set_user_status(core::Status status) {
+  std::vector<std::function<void(core::Status)>> continuations;
+  ProfilingInfo prof;
+  {
+    std::lock_guard lock(mutex_);
+    core::check(user_, core::Status::InvalidOperation,
+                "set_user_status on a non-user event");
+    core::check(!finished_locked(), core::Status::InvalidOperation,
+                "user event status already set");
+    const std::uint64_t ns = now_ns();
+    prof_.submitted_ns = ns;
+    prof_.started_ns = ns;
+    prof_.ended_ns = ns;
+    if (status == core::Status::Success) {
+      state_ = CommandState::Complete;
+      event_ = Event{type_, 0.0, {}};
+    } else {
+      state_ = CommandState::Error;
+      status_ = status;
+      error_ = std::make_exception_ptr(
+          core::Error(status, "user event completed with failure status"));
+    }
+    prof = prof_;
+    continuations = std::move(continuations_);
+    continuations_.clear();
+  }
+  cv_.notify_all();
+  if (trace::enabled()) {
+    trace::complete_span("cmd.user", prof.queued_ns,
+                         prof.ended_ns - prof.queued_ns, "ok",
+                         status == core::Status::Success ? 1 : 0);
+  }
+  for (const auto& continuation : continuations) continuation(status);
+}
+
 // --- event-graph executor -------------------------------------------------------
 
 threading::ThreadPool& CommandQueue::executor_pool() {
@@ -378,8 +461,26 @@ threading::ThreadPool& CommandQueue::executor_pool() {
 CommandQueue::~CommandQueue() { finish(); }
 
 void CommandQueue::finish() {
+  // Transitive drain: outstanding_ alone is not enough — an on_complete
+  // callback registered before the drain predicate ran may still be about to
+  // enqueue follow-up work (mclserve's batching does exactly this), so wait
+  // for pending callbacks too. Each callback is counted before registration
+  // and released only after it ran, so re-enqueued work raises outstanding_
+  // before its parent's callback count drops.
   std::unique_lock lock(mutex_);
-  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  drained_cv_.wait(
+      lock, [this] { return outstanding_ == 0 && callbacks_in_flight_ == 0; });
+}
+
+void CommandQueue::note_callback_registered() {
+  std::lock_guard lock(mutex_);
+  ++callbacks_in_flight_;
+}
+
+void CommandQueue::note_callback_done() {
+  std::lock_guard lock(mutex_);
+  --callbacks_in_flight_;
+  drained_cv_.notify_all();
 }
 
 AsyncEventPtr CommandQueue::submit_async(CommandType type,
@@ -389,6 +490,7 @@ AsyncEventPtr CommandQueue::submit_async(CommandType type,
                                          bool install_barrier) {
   auto ev = std::make_shared<AsyncEvent>();
   ev->type_ = type;
+  ev->queue_ = this;  // written before publication; read-only afterwards
   ev->work_ = std::move(command);
   ev->prof_.queued_ns = now_ns();
   MCL_PROF_COUNT("cq.async_commands", 1);
@@ -536,14 +638,14 @@ void CommandQueue::finalize(const AsyncEventPtr& ev, Event result,
     // wait/dispatch/run phases appear on the same timeline as workgroup
     // spans. tests/trace_test.cpp asserts the Running-phase span encloses
     // the kernel's workgroup spans.
-    if (prof.submitted_ns > prof.queued_ns) {
-      trace::complete_span("cmd.queued", prof.queued_ns,
-                           prof.submitted_ns - prof.queued_ns);
-    }
-    if (prof.started_ns > prof.submitted_ns) {
-      trace::complete_span("cmd.dispatch", prof.submitted_ns,
-                           prof.started_ns - prof.submitted_ns);
-    }
+    // Emit the queued/dispatch phases unconditionally, zero-duration
+    // included: dropping sub-tick phases made fast commands invisible in
+    // Perfetto and skewed the per-phase p50 tables. Timestamps are monotonic
+    // (same clock, stamped in order), so the subtractions cannot underflow.
+    trace::complete_span("cmd.queued", prof.queued_ns,
+                         prof.submitted_ns - prof.queued_ns);
+    trace::complete_span("cmd.dispatch", prof.submitted_ns,
+                         prof.started_ns - prof.submitted_ns);
     trace::complete_span(command_name(ev->type_), prof.started_ns,
                          prof.ended_ns - prof.started_ns, "ok",
                          final_status == core::Status::Success ? 1 : 0);
@@ -584,17 +686,19 @@ AsyncEventPtr CommandQueue::enqueue_ndrange_async(
 AsyncEventPtr CommandQueue::enqueue_write_buffer_async(
     Buffer& buffer, std::size_t offset, std::size_t bytes, const void* src,
     std::vector<AsyncEventPtr> wait_list) {
+  // Validate and snapshot at enqueue time: invalid ranges fail fast at the
+  // call site, and the command never touches the (possibly shorter-lived)
+  // Buffer object itself — only its storage, which must outlive the event.
+  // Validation runs before the zero-byte shortcut so a bad offset or null
+  // pointer fails the same way it does on the non-zero path.
+  check_range(buffer, offset, bytes);
+  core::check(src != nullptr, core::Status::InvalidValue, "null source");
   if (bytes == 0) {
     return submit_async(
         CommandType::WriteBuffer,
         [] { return Event{CommandType::WriteBuffer, 0.0, {}}; },
         std::move(wait_list));
   }
-  // Validate and snapshot at enqueue time: invalid ranges fail fast at the
-  // call site, and the command never touches the (possibly shorter-lived)
-  // Buffer object itself — only its storage, which must outlive the event.
-  check_range(buffer, offset, bytes);
-  core::check(src != nullptr, core::Status::InvalidValue, "null source");
   auto* dst = static_cast<std::byte*>(buffer.device_ptr()) + offset;
   return submit_async(
       CommandType::WriteBuffer,
@@ -614,14 +718,14 @@ AsyncEventPtr CommandQueue::enqueue_write_buffer_async(
 AsyncEventPtr CommandQueue::enqueue_read_buffer_async(
     const Buffer& buffer, std::size_t offset, std::size_t bytes, void* dst,
     std::vector<AsyncEventPtr> wait_list) {
+  check_range(buffer, offset, bytes);
+  core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
   if (bytes == 0) {
     return submit_async(
         CommandType::ReadBuffer,
         [] { return Event{CommandType::ReadBuffer, 0.0, {}}; },
         std::move(wait_list));
   }
-  check_range(buffer, offset, bytes);
-  core::check(dst != nullptr, core::Status::InvalidValue, "null destination");
   const auto* src = static_cast<const std::byte*>(buffer.device_ptr()) + offset;
   return submit_async(
       CommandType::ReadBuffer,
@@ -642,14 +746,14 @@ AsyncEventPtr CommandQueue::enqueue_copy_buffer_async(
     const Buffer& src, Buffer& dst, std::size_t src_offset,
     std::size_t dst_offset, std::size_t bytes,
     std::vector<AsyncEventPtr> wait_list) {
+  check_range(src, src_offset, bytes);
+  check_range(dst, dst_offset, bytes);
   if (bytes == 0) {
     return submit_async(
         CommandType::CopyBuffer,
         [] { return Event{CommandType::CopyBuffer, 0.0, {}}; },
         std::move(wait_list));
   }
-  check_range(src, src_offset, bytes);
-  check_range(dst, dst_offset, bytes);
   const auto* s = static_cast<const std::byte*>(src.device_ptr()) + src_offset;
   auto* d = static_cast<std::byte*>(dst.device_ptr()) + dst_offset;
   core::check(s + bytes <= d || d + bytes <= s, core::Status::InvalidValue,
@@ -678,13 +782,13 @@ AsyncEventPtr CommandQueue::enqueue_fill_buffer_async(
               "fill size must be a multiple of the pattern size");
   core::check(offset % pattern_bytes == 0, core::Status::InvalidValue,
               "fill offset must be a multiple of the pattern size");
+  check_range(buffer, offset, bytes);
   if (bytes == 0) {
     return submit_async(
         CommandType::FillBuffer,
         [] { return Event{CommandType::FillBuffer, 0.0, {}}; },
         std::move(wait_list));
   }
-  check_range(buffer, offset, bytes);
   auto* d = static_cast<std::byte*>(buffer.device_ptr()) + offset;
   std::vector<std::byte> pattern_copy(
       static_cast<const std::byte*>(pattern),

@@ -29,6 +29,7 @@
 // earlier is undefined (and is what the ASan tier exists to catch).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -59,6 +60,7 @@ enum class CommandType {
   UnmapBuffer,
   Marker,
   Barrier,
+  User,  ///< clCreateUserEvent analogue; completed by set_user_status()
 };
 
 /// OpenCL command execution status (CL_QUEUED/SUBMITTED/RUNNING/COMPLETE,
@@ -101,6 +103,7 @@ struct Event {
 /// the *_async entry points; doubles as the node of the queue's event graph.
 /// Copies share state (shared_ptr semantics via AsyncEventPtr).
 class AsyncEvent;
+class CommandQueue;
 using AsyncEventPtr = std::shared_ptr<AsyncEvent>;
 
 class AsyncEvent {
@@ -109,8 +112,34 @@ class AsyncEvent {
   /// (including a propagated dependency failure).
   void wait() const;
 
+  /// Timed wait() (the mclserve request-deadline path): returns false if the
+  /// command has not reached a terminal state within `timeout` — the command
+  /// keeps running; a timeout cancels nothing. On completion behaves exactly
+  /// like wait(): returns true, rethrowing any error first.
+  [[nodiscard]] bool wait_for(std::chrono::nanoseconds timeout) const;
+
   /// True once the command reached a terminal state (Complete or Error).
   [[nodiscard]] bool complete() const;
+
+  /// Registers `fn` to run exactly once with the final Status. If the event
+  /// is already terminal, fn runs inline in the calling thread; otherwise it
+  /// runs on the completing thread, before the command retires from its
+  /// queue — so follow-up work enqueued inside fn is always covered by that
+  /// queue's finish() (the transitive-drain contract; see finish()).
+  /// Must not race the owning queue's destruction (same lifetime rule as
+  /// enqueueing).
+  void on_complete(std::function<void(core::Status)> fn);
+
+  /// clCreateUserEvent analogue: an event in the Queued state that no queue
+  /// owns; it completes only when set_user_status() is called. Usable in any
+  /// wait list — mclserve gates and cancels pending requests with these.
+  [[nodiscard]] static AsyncEventPtr create_user();
+
+  /// clSetUserEventStatus analogue. Completes a create_user() event exactly
+  /// once: Success -> Complete; any other Status -> Error, which propagates
+  /// to wait-list dependents the same way a failed command does. Throws
+  /// InvalidOperation on non-user events or a second call.
+  void set_user_status(core::Status status);
 
   /// wait() + the completed Event record.
   [[nodiscard]] Event result() const;
@@ -148,6 +177,11 @@ class AsyncEvent {
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
   CommandType type_ = CommandType::Marker;
+  bool user_ = false;  ///< created by create_user(); completes via set_user_status
+  /// Owning queue (null for user events). Written once at creation, before
+  /// the event is published; used only by on_complete() for callback
+  /// accounting while the event is live (the queue outlives live events).
+  CommandQueue* queue_ = nullptr;
   CommandState state_ = CommandState::Queued;
   Event event_;
   std::exception_ptr error_;
@@ -312,10 +346,18 @@ class CommandQueue {
 
   /// clFinish: blocks until every asynchronous command enqueued on this
   /// queue has reached a terminal state. (Blocking commands complete before
-  /// returning, so only async work can be pending.)
+  /// returning, so only async work can be pending.) The drain is transitive
+  /// through on_complete() callbacks: a callback that enqueues follow-up
+  /// work on this queue cannot slip past a concurrent finish() — callback
+  /// execution is counted alongside outstanding commands, so finish()
+  /// returns only once no registered callback can still enqueue.
   void finish();
 
  private:
+  friend class AsyncEvent;  // on_complete callback accounting
+
+  void note_callback_registered();
+  void note_callback_done();
   void check_range(const Buffer& buffer, std::size_t offset,
                    std::size_t bytes) const;
 
@@ -342,6 +384,7 @@ class CommandQueue {
   std::mutex mutex_;
   std::condition_variable drained_cv_;
   std::size_t outstanding_ = 0;
+  std::size_t callbacks_in_flight_ = 0;  ///< on_complete callbacks not yet run
   AsyncEventPtr last_;     ///< in-order implicit dependency chain tail
   AsyncEventPtr barrier_;  ///< latest out-of-order barrier, if any
   std::vector<std::weak_ptr<AsyncEvent>> live_;  ///< for marker/barrier edges

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -466,12 +467,16 @@ TEST(QueueDagProperty, RandomTopologiesAlwaysDrain) {
           std::make_unique<CommandQueue>(ctx, QueueProperties::OutOfOrder));
     }
     const std::size_t n = 64;
-    Buffer in(MemFlags::ReadWrite, n * 4);
-    Buffer out(MemFlags::ReadWrite, n * 4);
-    std::vector<float> host(n, 1.0f);
-    Kernel k = ctx.create_kernel(Program::builtin(), "qa_double");
-    k.set_arg(0, in);
-    k.set_arg(1, out);
+    // Each command owns its buffers and host staging area: the wait edges
+    // are random, and two unordered commands touching shared memory would be
+    // a genuine data race in the command bodies — the property under test is
+    // that the graph drains, not that unordered access is safe (it isn't).
+    struct CmdMem {
+      Buffer in{MemFlags::ReadWrite, 64 * 4};
+      Buffer out{MemFlags::ReadWrite, 64 * 4};
+      std::vector<float> host = std::vector<float>(64, 1.0f);
+    };
+    std::vector<std::unique_ptr<CmdMem>> mem;
 
     std::vector<AsyncEventPtr> events;
     const std::size_t cmds = 8 + rng.next_below(17);
@@ -486,19 +491,25 @@ TEST(QueueDagProperty, RandomTopologiesAlwaysDrain) {
         }
       }
       CommandQueue& q = *queues[rng.next_below(nq)];
+      mem.push_back(std::make_unique<CmdMem>());
+      CmdMem& m = *mem.back();
       switch (rng.next_below(4)) {
         case 0:
-          events.push_back(
-              q.enqueue_write_buffer_async(in, 0, n * 4, host.data(), waits));
+          events.push_back(q.enqueue_write_buffer_async(m.in, 0, n * 4,
+                                                        m.host.data(), waits));
           break;
         case 1:
-          events.push_back(q.enqueue_read_buffer_async(out, 0, n * 4,
-                                                       host.data(), waits));
+          events.push_back(q.enqueue_read_buffer_async(m.out, 0, n * 4,
+                                                       m.host.data(), waits));
           break;
-        case 2:
+        case 2: {
+          Kernel k = ctx.create_kernel(Program::builtin(), "qa_double");
+          k.set_arg(0, m.in);
+          k.set_arg(1, m.out);
           events.push_back(
               q.enqueue_ndrange_async(k, NDRange{n}, NDRange{8}, waits));
           break;
+        }
         default:
           events.push_back(q.enqueue_marker_async(waits));
           break;
@@ -520,10 +531,17 @@ TEST(QueueDagProperty, FailedDependencyPropagatesThroughRandomDags) {
     CommandQueue q(ctx, QueueProperties::OutOfOrder);
     const std::size_t n = 10;
     Buffer b(MemFlags::ReadWrite, n * 4);
-    std::vector<float> host(n, 0.0f);
     Kernel k = ctx.create_kernel(Program::builtin(), "qa_double");
     k.set_arg(0, b);
     k.set_arg(1, b);
+
+    // As in RandomTopologiesAlwaysDrain: unordered commands must not share
+    // memory, so every write gets a private buffer + host source.
+    struct CmdMem {
+      Buffer buf{MemFlags::ReadWrite, 10 * 4};
+      std::vector<float> host = std::vector<float>(10, 0.0f);
+    };
+    std::vector<std::unique_ptr<CmdMem>> mem;
 
     std::vector<AsyncEventPtr> events;
     std::vector<bool> tainted;
@@ -544,8 +562,10 @@ TEST(QueueDagProperty, FailedDependencyPropagatesThroughRandomDags) {
       // Out-of-order queue: only the explicit wait list creates edges, so
       // `bad` exactly predicts whether the failure reaches this command.
       if (rng.next_below(2) == 0) {
+        mem.push_back(std::make_unique<CmdMem>());
+        CmdMem& m = *mem.back();
         events.push_back(
-            q.enqueue_write_buffer_async(b, 0, n * 4, host.data(), waits));
+            q.enqueue_write_buffer_async(m.buf, 0, n * 4, m.host.data(), waits));
       } else {
         events.push_back(q.enqueue_marker_async(waits));
       }
@@ -565,6 +585,185 @@ TEST(QueueDagProperty, FailedDependencyPropagatesThroughRandomDags) {
     }
     q.finish();
   }
+}
+
+// ----- zero-byte argument validation ---------------------------------------------
+
+TEST(QueueAsync, ZeroByteTransfersStillValidateRanges) {
+  CpuDevice dev(CpuDeviceConfig{.threads = 1});
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  Buffer a(MemFlags::ReadWrite, 64);
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<std::byte> host(64);
+  const std::uint32_t pattern = 0;
+
+  // An out-of-bounds offset is an API error regardless of transfer size; the
+  // zero-byte fast path used to wave it through.
+  EXPECT_THROW(q.enqueue_write_buffer_async(a, 128, 0, host.data()),
+               core::Error);
+  EXPECT_THROW(q.enqueue_read_buffer_async(a, 128, 0, host.data()),
+               core::Error);
+  EXPECT_THROW(q.enqueue_copy_buffer_async(a, b, 128, 0, 0), core::Error);
+  EXPECT_THROW(q.enqueue_copy_buffer_async(a, b, 0, 128, 0), core::Error);
+  EXPECT_THROW(q.enqueue_fill_buffer_async(a, &pattern, 4, 128, 0),
+               core::Error);
+  EXPECT_THROW(q.enqueue_write_buffer(a, 128, 0, host.data()), core::Error);
+  EXPECT_THROW(q.enqueue_read_buffer(a, 128, 0, host.data()), core::Error);
+  EXPECT_THROW(q.enqueue_copy_buffer(a, b, 128, 0, 0), core::Error);
+  EXPECT_THROW(q.enqueue_fill_buffer(a, &pattern, 4, 128, 0), core::Error);
+
+  // Null pointers fail the same way they do on the non-zero path.
+  EXPECT_THROW(q.enqueue_write_buffer_async(a, 0, 0, nullptr), core::Error);
+  EXPECT_THROW(q.enqueue_read_buffer_async(a, 0, 0, nullptr), core::Error);
+  EXPECT_THROW(q.enqueue_write_buffer(a, 0, 0, nullptr), core::Error);
+  EXPECT_THROW(q.enqueue_read_buffer(a, 0, 0, nullptr), core::Error);
+
+  // Valid zero-byte transfers remain successful no-ops.
+  q.enqueue_write_buffer_async(a, 64, 0, host.data())->wait();
+  q.enqueue_read_buffer_async(a, 64, 0, host.data())->wait();
+  q.enqueue_copy_buffer_async(a, b, 64, 64, 0)->wait();
+  q.enqueue_fill_buffer_async(a, &pattern, 4, 64, 0)->wait();
+  q.finish();
+}
+
+// ----- timed wait ----------------------------------------------------------------
+
+TEST(QueueAsync, WaitForTimesOutThenSucceeds) {
+  using namespace std::chrono_literals;
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr ev = gate.launch();
+  // Gate closed: the command cannot finish, so the timed wait must report
+  // timeout (and must not cancel anything).
+  EXPECT_FALSE(ev->wait_for(5ms));
+  EXPECT_FALSE(ev->complete());
+  guard.release();
+  EXPECT_TRUE(ev->wait_for(5s));
+  EXPECT_EQ(ev->state(), CommandState::Complete);
+}
+
+TEST(QueueAsync, WaitForRethrowsCommandError) {
+  using namespace std::chrono_literals;
+  CpuDevice dev(CpuDeviceConfig{.threads = 1});
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  Buffer b(MemFlags::ReadWrite, 40);
+  Kernel k = ctx.create_kernel(Program::builtin(), "qa_double");
+  k.set_arg(0, b);
+  k.set_arg(1, b);
+  // Indivisible local size: fails at execution, like the untimed wait tests.
+  const AsyncEventPtr ev = q.enqueue_ndrange_async(k, NDRange{10}, NDRange{3});
+  EXPECT_THROW((void)ev->wait_for(5s), core::Error);
+  EXPECT_EQ(ev->state(), CommandState::Error);
+}
+
+// ----- user events ---------------------------------------------------------------
+
+TEST(QueueAsync, UserEventGatesDependentsUntilSet) {
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<std::byte> host(64);
+
+  const AsyncEventPtr user = AsyncEvent::create_user();
+  EXPECT_FALSE(user->complete());
+  const AsyncEventPtr dep =
+      q.enqueue_write_buffer_async(b, 0, 64, host.data(), {user});
+  EXPECT_FALSE(dep->complete());
+
+  user->set_user_status(core::Status::Success);
+  dep->wait();
+  EXPECT_EQ(dep->state(), CommandState::Complete);
+  q.finish();
+}
+
+TEST(QueueAsync, UserEventFailurePropagatesItsStatus) {
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<std::byte> host(64);
+
+  const AsyncEventPtr user = AsyncEvent::create_user();
+  const AsyncEventPtr dep =
+      q.enqueue_write_buffer_async(b, 0, 64, host.data(), {user});
+  user->set_user_status(core::Status::Cancelled);
+  try {
+    dep->wait();
+    FAIL() << "expected propagated Cancelled";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.status(), core::Status::Cancelled);
+  }
+  EXPECT_EQ(dep->state(), CommandState::Error);
+  EXPECT_EQ(dep->status(), core::Status::Cancelled);
+  q.finish();
+}
+
+TEST(QueueAsync, UserEventMisuseThrows) {
+  const AsyncEventPtr user = AsyncEvent::create_user();
+  user->set_user_status(core::Status::Success);
+  EXPECT_THROW(user->set_user_status(core::Status::Success), core::Error);
+
+  CpuDevice dev(CpuDeviceConfig{.threads = 1});
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  const AsyncEventPtr marker = q.enqueue_marker_async();
+  marker->wait();
+  EXPECT_THROW(marker->set_user_status(core::Status::Success), core::Error);
+  q.finish();
+}
+
+// ----- transitive finish() -------------------------------------------------------
+
+TEST(QueueAsync, FinishDrainsContinuationReenqueuedWork) {
+  GateFixture gate;
+  GateGuard guard;
+  const AsyncEventPtr gate_ev = gate.launch();
+
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<std::byte> host(64);
+
+  // first is held by the gate; its completion callback enqueues second,
+  // whose callback enqueues third — the batching pattern mclserve uses.
+  // finish() must drain the whole chain, not just what was outstanding when
+  // the drain predicate was first evaluated.
+  std::atomic<bool> chain_done{false};
+  const AsyncEventPtr first =
+      q.enqueue_write_buffer_async(b, 0, 64, host.data(), {gate_ev});
+  first->on_complete([&](core::Status) {
+    const AsyncEventPtr second =
+        q.enqueue_write_buffer_async(b, 0, 64, host.data());
+    second->on_complete([&](core::Status) {
+      const AsyncEventPtr third = q.enqueue_marker_async();
+      third->on_complete([&](core::Status) {
+        chain_done.store(true, std::memory_order_release);
+      });
+    });
+  });
+
+  guard.release();
+  q.finish();
+  EXPECT_TRUE(chain_done.load(std::memory_order_acquire));
+}
+
+TEST(QueueAsync, OnCompleteRunsInlineOnTerminalEvent) {
+  CpuDevice dev(CpuDeviceConfig{.threads = 1});
+  Context ctx(dev);
+  CommandQueue q(ctx);
+  const AsyncEventPtr marker = q.enqueue_marker_async();
+  marker->wait();
+  bool ran = false;
+  marker->on_complete([&](core::Status s) {
+    ran = true;
+    EXPECT_EQ(s, core::Status::Success);
+  });
+  EXPECT_TRUE(ran);
+  q.finish();
 }
 
 }  // namespace

@@ -1,0 +1,443 @@
+// mclserve tests: admission control and backpressure, weighted-fair-queueing
+// starvation regression, batching/fusion, kernel-descriptor caching,
+// cancellation and pending-phase timeouts, and a multi-tenant dependency
+// stress run (the `serve` label is in the plain and TSan tiers).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "ocl/queue.hpp"
+#include "serve/serve.hpp"
+
+namespace mcl::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kN = 64;
+
+struct ServeFixture {
+  ocl::CpuDevice dev{ocl::CpuDeviceConfig{.threads = 2}};
+  ocl::Context ctx{dev};
+};
+
+LaunchSpec square_launch(ocl::Buffer& in, ocl::Buffer& out, std::size_t items,
+                         std::size_t offset_0 = 0) {
+  LaunchSpec spec;
+  spec.kernel = "square";
+  spec.args = {ArgSpec::buf(in), ArgSpec::buf(out)};
+  spec.global = ocl::NDRange{items};
+  if (offset_0 != 0) spec.offset = ocl::NDRange{offset_0};
+  return spec;
+}
+
+/// Manual-mode helper: spin until every forwarded command retired (the
+/// in-flight window is free again). Commands on the CPU device always
+/// terminate, so the loop is bounded by the test timeout.
+void drain_in_flight(Server& server) {
+  while (server.stats().in_flight != 0) std::this_thread::yield();
+}
+
+// ----- roundtrip -----------------------------------------------------------------
+
+TEST(Serve, RoundtripWriteLaunchRead) {
+  ServeFixture f;
+  Server server(f.ctx);
+  Session s = server.create_session({.name = "t0"});
+
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+  std::vector<float> host_in(kN), host_out(kN, 0.0f);
+  for (std::size_t i = 0; i < kN; ++i) host_in[i] = static_cast<float>(i);
+
+  Ticket w = s.submit_write(in, 0, kN * 4, host_in.data());
+  Ticket l = s.submit(square_launch(in, out, kN), {w});
+  Ticket r = s.submit_read(out, 0, kN * 4, host_out.data(), {l});
+  r.wait();
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(host_out[i], host_in[i] * host_in[i]) << i;
+  }
+  EXPECT_EQ(r.status(), core::Status::Success);
+  s.finish();
+  const SessionStats st = s.stats();
+  EXPECT_EQ(st.submitted, 3u);
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_EQ(st.outstanding, 0u);
+}
+
+TEST(Serve, UnknownKernelFailsAtSubmit) {
+  ServeFixture f;
+  Server server(f.ctx);
+  Session s = server.create_session({.name = "t0"});
+  LaunchSpec spec;
+  spec.kernel = "serve_no_such_kernel";
+  spec.global = ocl::NDRange{1};
+  try {
+    s.submit(std::move(spec));
+    FAIL() << "expected InvalidKernelName";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.status(), core::Status::InvalidKernelName);
+  }
+}
+
+TEST(Serve, KernelDescriptorCacheCountsHits) {
+  ServeFixture f;
+  Server server(f.ctx);
+  Session s = server.create_session({.name = "t0"});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+  s.submit(square_launch(in, out, kN)).wait();
+  s.submit(square_launch(in, out, kN)).wait();
+  s.finish();
+  const SessionStats st = s.stats();
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_hits, 1u);
+}
+
+// ----- admission control / backpressure ------------------------------------------
+
+TEST(Serve, RejectPolicyBouncesAtDepth) {
+  ServeFixture f;
+  // Manual mode: nothing dispatches, so admitted requests stay pending and
+  // the depth bound is what is being observed.
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session({.name = "t0",
+                                     .max_queue_depth = 2,
+                                     .admission = AdmissionPolicy::Reject});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+
+  Ticket a = s.submit(square_launch(in, out, kN));
+  Ticket b = s.submit(square_launch(in, out, kN));
+  try {
+    s.submit(square_launch(in, out, kN));
+    FAIL() << "expected OutOfResources";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.status(), core::Status::OutOfResources);
+  }
+  EXPECT_FALSE(s.try_submit(square_launch(in, out, kN)).has_value());
+
+  const SessionStats st = s.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.rejected, 2u);
+  EXPECT_EQ(st.outstanding, 2u);
+
+  // Free the stream so the destructor's cancel path is also exercised on a
+  // known state (both still pending).
+  EXPECT_TRUE(server.cancel(a));
+  EXPECT_TRUE(server.cancel(b));
+}
+
+TEST(Serve, BlockPolicyAppliesBackpressureThenResumes) {
+  ServeFixture f;
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session({.name = "t0", .max_queue_depth = 1});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+
+  Ticket a = s.submit(square_launch(in, out, kN));
+  std::atomic<bool> admitted{false};
+  std::thread blocked([&] {
+    Ticket b = s.submit(square_launch(in, out, kN));  // blocks: depth 1
+    admitted.store(true);
+    EXPECT_TRUE(b.valid());
+  });
+  std::this_thread::sleep_for(30ms);
+  // Still blocked: depth 1, nothing dispatched. outstanding never exceeds
+  // the configured bound — offered load does not grow server memory.
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(s.stats().outstanding, 1u);
+
+  EXPECT_TRUE(server.cancel(a));  // frees the slot; the waiter admits
+  blocked.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(s.stats().outstanding, 1u);
+  EXPECT_EQ(s.stats().submitted, 2u);
+}
+
+// ----- cancellation / timeout ----------------------------------------------------
+
+TEST(Serve, CancelPendingCompletesTicketCancelled) {
+  ServeFixture f;
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session({.name = "t0"});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+
+  Ticket a = s.submit(square_launch(in, out, kN));
+  EXPECT_TRUE(server.cancel(a));
+  EXPECT_TRUE(a.complete());
+  EXPECT_EQ(a.status(), core::Status::Cancelled);
+  try {
+    a.wait();
+    FAIL() << "expected Cancelled";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.status(), core::Status::Cancelled);
+  }
+  EXPECT_FALSE(server.cancel(a));  // already done
+  EXPECT_EQ(s.stats().cancelled, 1u);
+}
+
+TEST(Serve, CancellationPropagatesToDependents) {
+  ServeFixture f;
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session({.name = "t0"});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+
+  Ticket a = s.submit(square_launch(in, out, kN));
+  Ticket b = s.submit(square_launch(in, out, kN), {a});
+  EXPECT_TRUE(server.cancel(a));
+  // b's dependency is now terminal-with-failure, so the scheduler forwards
+  // it and the event graph's failed-dependency propagation fails it with
+  // the dep's Status — the same path a failed kernel takes.
+  while (!b.complete()) {
+    server.step();
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(b.status(), core::Status::Cancelled);
+  EXPECT_EQ(s.stats().failed, 1u);
+  EXPECT_EQ(s.stats().cancelled, 1u);
+}
+
+TEST(Serve, PendingPhaseTimeoutCancels) {
+  ServeFixture f;
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session(
+      {.name = "t0", .default_timeout_ns = 1'000'000});  // 1 ms
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+
+  Ticket a = s.submit(square_launch(in, out, kN));
+  std::this_thread::sleep_for(5ms);
+  server.step();  // deadline pass runs before dispatch
+  EXPECT_TRUE(a.complete());
+  EXPECT_EQ(a.status(), core::Status::Cancelled);
+  EXPECT_EQ(s.stats().timed_out, 1u);
+  EXPECT_EQ(s.stats().outstanding, 0u);
+}
+
+TEST(Serve, TicketWaitForTimesOutWhilePending) {
+  ServeFixture f;
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session({.name = "t0"});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+  Ticket a = s.submit(square_launch(in, out, kN));
+  EXPECT_FALSE(a.wait_for(2ms));  // never dispatched in manual mode
+  EXPECT_TRUE(server.cancel(a));
+}
+
+// ----- weighted fair queueing ----------------------------------------------------
+
+/// Starvation regression: with a heavy tenant holding a deep backlog, a
+/// light tenant of equal weight still gets every other dispatch slot — its
+/// K requests complete after at most K+1 heavy dispatches, not after the
+/// heavy backlog drains.
+TEST(Serve, WfqEqualWeightsPreventStarvation) {
+  ServeFixture f;
+  Server server(f.ctx, {.max_in_flight = 1, .manual_schedule = true});
+  Session heavy =
+      server.create_session({.name = "heavy", .max_queue_depth = 256});
+  Session light =
+      server.create_session({.name = "light", .max_queue_depth = 256});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+
+  constexpr std::size_t kHeavyBacklog = 64;
+  constexpr std::size_t kLightJobs = 8;
+  for (std::size_t i = 0; i < kHeavyBacklog; ++i) {
+    heavy.submit(square_launch(in, out, kN));
+  }
+  for (std::size_t i = 0; i < kLightJobs; ++i) {
+    light.submit(square_launch(in, out, kN));
+  }
+
+  while (light.stats().completed < kLightJobs) {
+    ASSERT_GT(server.step(), 0u) << "scheduler stalled";
+    drain_in_flight(server);
+  }
+  // Equal weights, equal cost: dispatches alternate, so the heavy tenant
+  // got at most one extra slot while the light tenant drained.
+  EXPECT_LE(heavy.stats().forwarded, kLightJobs + 1);
+  // No finish(): in manual mode nothing steps the remaining heavy backlog;
+  // ~Server cancels it.
+}
+
+TEST(Serve, WfqShareTracksWeights) {
+  ServeFixture f;
+  Server server(f.ctx, {.max_in_flight = 1, .manual_schedule = true});
+  Session w3 = server.create_session(
+      {.name = "w3", .weight = 3.0, .max_queue_depth = 256});
+  Session w1 = server.create_session(
+      {.name = "w1", .weight = 1.0, .max_queue_depth = 256});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+
+  for (std::size_t i = 0; i < 60; ++i) {
+    w3.submit(square_launch(in, out, kN));
+    w1.submit(square_launch(in, out, kN));
+  }
+  std::size_t dispatches = 0;
+  while (dispatches < 40) {
+    dispatches += server.step();
+    drain_in_flight(server);
+  }
+  // Expected split while both stay backlogged: 30 / 10. Allow slack for the
+  // tag tie-breaks at round boundaries.
+  EXPECT_GE(w3.stats().forwarded, 27u);
+  EXPECT_LE(w1.stats().forwarded, 13u);
+  // No finish(): the 80 still-pending requests are cancelled by ~Server.
+}
+
+// ----- batching ------------------------------------------------------------------
+
+TEST(Serve, BatchingFusesContiguousSmallLaunches) {
+  ServeFixture f;
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session(
+      {.name = "t0", .max_queue_depth = 64, .batch_max_items = 512});
+  constexpr std::size_t kTotal = 512;
+  constexpr std::size_t kChunk = 64;
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kTotal * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kTotal * 4);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    in.as<float>()[i] = static_cast<float>(i % 97);
+  }
+
+  std::vector<Ticket> tickets;
+  for (std::size_t off = 0; off < kTotal; off += kChunk) {
+    tickets.push_back(s.submit(square_launch(in, out, kChunk, off)));
+  }
+  server.step();
+  for (Ticket& t : tickets) t.wait();
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(out.as<float>()[i], in.as<float>()[i] * in.as<float>()[i]) << i;
+  }
+  const SessionStats st = s.stats();
+  EXPECT_EQ(st.forwarded, 1u);  // all eight launches fused into one command
+  EXPECT_EQ(st.batched, 8u);
+  EXPECT_EQ(st.completed, 8u);
+  EXPECT_EQ(server.stats().fused_requests, 7u);
+}
+
+TEST(Serve, BatchingStopsAtNonContiguousOffset) {
+  ServeFixture f;
+  Server server(f.ctx, {.manual_schedule = true});
+  Session s = server.create_session(
+      {.name = "t0", .max_queue_depth = 64, .batch_max_items = 512});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, 256 * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, 256 * 4);
+
+  Ticket a = s.submit(square_launch(in, out, kN, 0));
+  Ticket b = s.submit(square_launch(in, out, kN, 128));  // gap: not fusable
+  server.step();
+  drain_in_flight(server);
+  server.step();
+  a.wait();
+  b.wait();
+  EXPECT_EQ(s.stats().forwarded, 2u);
+  EXPECT_EQ(s.stats().batched, 0u);
+}
+
+// ----- in-order streams ----------------------------------------------------------
+
+TEST(Serve, InOrderTenantSerializesWithoutExplicitDeps) {
+  ServeFixture f;
+  Server server(f.ctx);
+  Session s = server.create_session({.name = "t0", .in_order = true});
+  ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+  ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+  std::vector<float> host_in(kN, 3.0f), host_out(kN, 0.0f);
+
+  // No dep tickets: the tenant's in-order stream is the ordering.
+  s.submit_write(in, 0, kN * 4, host_in.data());
+  s.submit(square_launch(in, out, kN));
+  Ticket r = s.submit_read(out, 0, kN * 4, host_out.data());
+  r.wait();
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(host_out[i], 9.0f) << i;
+  s.finish();
+}
+
+// ----- multi-tenant stress -------------------------------------------------------
+
+/// Eight tenants, each a client thread running dependent
+/// write -> square -> read chains through bounded Block-admission streams.
+/// Exercises admission blocking, WFQ under concurrency, the dep-wake path,
+/// and completion accounting; runs under TSan via the `serve` label.
+TEST(Serve, MultiTenantStressNoLostTickets) {
+  ServeFixture f;
+  Server server(f.ctx);
+  constexpr std::size_t kTenants = 8;
+  constexpr std::size_t kIters = 50;
+
+  std::vector<Session> sessions;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    sessions.push_back(server.create_session(
+        {.name = "tenant" + std::to_string(t),
+         .weight = static_cast<double>(1 + t % 3),
+         .max_queue_depth = 16}));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kTenants, 0);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    clients.emplace_back([&, t] {
+      Session s = sessions[t];
+      ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
+      ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
+      std::vector<float> host_in(kN), host_out(kN);
+      Ticket last;
+      for (std::size_t i = 0; i < kIters; ++i) {
+        for (std::size_t j = 0; j < kN; ++j) {
+          host_in[j] = static_cast<float>(t + i + j);
+        }
+        std::vector<Ticket> chain_dep;
+        if (last.valid()) chain_dep.push_back(last);
+        Ticket w = s.submit_write(in, 0, kN * 4, host_in.data(), chain_dep);
+        Ticket l = s.submit(square_launch(in, out, kN), {w});
+        last = s.submit_read(out, 0, kN * 4, host_out.data(), {l});
+      }
+      last.wait();
+      for (std::size_t j = 0; j < kN; ++j) {
+        const float x = static_cast<float>(t + (kIters - 1) + j);
+        if (host_out[j] != x * x) failures[t]++;
+      }
+      s.finish();
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.in_flight, 0u);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(failures[t], 0) << "tenant " << t;
+    const SessionStats& ts = st.tenants[t];
+    EXPECT_EQ(ts.submitted, kIters * 3);
+    EXPECT_EQ(ts.completed, kIters * 3);
+    EXPECT_EQ(ts.failed, 0u);
+    EXPECT_EQ(ts.outstanding, 0u);
+  }
+}
+
+// ----- config validation ---------------------------------------------------------
+
+TEST(Serve, RejectsInvalidTenantConfig) {
+  ServeFixture f;
+  Server server(f.ctx);
+  EXPECT_THROW((void)server.create_session({.name = ""}), core::Error);
+  EXPECT_THROW((void)server.create_session({.name = "t", .weight = 0.0}),
+               core::Error);
+  EXPECT_THROW(
+      (void)server.create_session({.name = "t", .max_queue_depth = 0}),
+      core::Error);
+  const Session a = server.create_session({.name = "dup"});
+  EXPECT_EQ(a.tenant_name(), "dup");
+  EXPECT_THROW((void)server.create_session({.name = "dup"}), core::Error);
+}
+
+}  // namespace
+}  // namespace mcl::serve

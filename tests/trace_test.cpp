@@ -246,5 +246,39 @@ TEST(TraceEpoch, KernelProfilingWindowEnclosesWorkgroupSpans) {
   EXPECT_GE(prof.ended_ns, prof.started_ns);
 }
 
+// Queued/dispatch phases of fast commands often round to zero nanoseconds;
+// finalize used to drop those spans entirely, so trace consumers could not
+// reconstruct a full per-command lifecycle. Every finalized command must now
+// emit exactly one cmd.queued and one cmd.dispatch span (zero-duration spans
+// included — Perfetto renders them as instants).
+TEST(TraceEpoch, EveryCommandEmitsAllLifecycleSpans) {
+  ocl::CpuDevice dev(ocl::CpuDeviceConfig{.threads = 2});
+  ocl::Context ctx(dev);
+  constexpr std::size_t kCommands = 64;
+
+  start(/*drain_interval_ms=*/10);
+  {
+    ocl::CommandQueue queue(ctx);
+    // Markers are the fastest command: both pre-run phases round to ~0 ns.
+    for (std::size_t i = 0; i < kCommands; ++i) {
+      (void)queue.enqueue_marker_async();
+    }
+    queue.finish();
+  }
+  stop();
+
+  std::size_t queued = 0, dispatch = 0, marker = 0;
+  for (const TaggedEvent& te : collect()) {
+    const std::string_view name = te.event.name;
+    if (name == "cmd.queued") ++queued;
+    if (name == "cmd.dispatch") ++dispatch;
+    if (name == "cmd.marker") ++marker;
+  }
+  EXPECT_EQ(marker, kCommands);
+  // Span count == command count: nothing dropped on zero-duration rounding.
+  EXPECT_EQ(queued, kCommands);
+  EXPECT_EQ(dispatch, kCommands);
+}
+
 }  // namespace
 }  // namespace mcl::trace

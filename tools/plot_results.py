@@ -34,6 +34,14 @@ first non-comment line is "mclcheck-repro v1"): the file must be structurally
 complete and carry "minimized 1" — committing raw unminimized fuzzer output
 is an error; shrink it with tools/mclcheck first.
 
+--check also understands mclserve load-harness documents (the
+bench/serve_load output, a single object with an "mclserve" version key,
+committed as BENCH_serve.json): the throughput timeline must carry
+monotonically non-decreasing timestamps and completion counts, latency
+percentiles must be ordered (p50 <= p99 <= p999, globally and per tenant),
+and every tenant's requests must be conserved (submitted == completed +
+failed + cancelled + timed_out, with nothing left outstanding).
+
 Results JSONL files may carry {"meta": {...}} provenance lines (written by
 the bench --csv/--json header block); they are validated for shape and
 skipped by the renderers.
@@ -306,6 +314,161 @@ def check_profile(path):
         print(
             f"{path}: ok (profile, {len(kernels)} kernels, "
             f"{n_hw} with hardware counters, perf usable={perf.get('usable')})"
+        )
+    return errors
+
+
+def is_serve_file(path):
+    """An mclserve load-harness document is one pretty-printed JSON object
+    whose "mclserve" version marker sits on the first or second line. Must
+    be sniffed before the trace check (same reason as facts files)."""
+    try:
+        with open(path) as f:
+            seen = 0
+            for line in f:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if '"mclserve"' in stripped:
+                    return True
+                seen += 1
+                if seen >= 2:
+                    return False
+    except OSError:
+        pass
+    return False
+
+
+# Per-tenant counter fields every tenant_stats entry must carry.
+SERVE_TENANT_COUNTERS = (
+    "submitted",
+    "completed",
+    "failed",
+    "rejected",
+    "cancelled",
+    "timed_out",
+    "batched",
+    "forwarded",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+def check_serve(path):
+    """Validates a bench/serve_load BENCH_serve.json; returns error strings.
+
+    Checks: parseable object, "mclserve" version 1, positive request and
+    tenant counts, a timeline with monotonically non-decreasing timestamps
+    and completion counts, ordered latency percentiles (p50 <= p99 <= p999)
+    at the top level and per tenant, and per-tenant request conservation
+    (submitted == completed + failed + cancelled + timed_out) — a leak here
+    means the server lost or hung a ticket.
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: serve bench root is not a JSON object"]
+    if doc.get("mclserve") != 1:
+        errors.append(f"{path}: 'mclserve' version marker is not 1")
+    for field in ("requests", "tenants", "completed"):
+        v = doc.get(field)
+        if not isinstance(v, int) or v < 0:
+            errors.append(f"{path}: '{field}' must be a non-negative int")
+    if isinstance(doc.get("tenants"), int) and doc["tenants"] < 1:
+        errors.append(f"{path}: 'tenants' must be >= 1")
+    duration = doc.get("duration_s")
+    if not isinstance(duration, (int, float)) or duration <= 0:
+        errors.append(f"{path}: 'duration_s' must be > 0")
+
+    def ordered(where, obj, keys):
+        values = []
+        for k in keys:
+            v = obj.get(k)
+            if not isinstance(v, int) or v < 0:
+                errors.append(f"{where}: '{k}' must be a non-negative int")
+                return
+            values.append(v)
+        if not (values[0] <= values[1] <= values[2]):
+            errors.append(
+                f"{where}: percentiles out of order "
+                f"({keys[0]}={values[0]}, {keys[1]}={values[1]}, "
+                f"{keys[2]}={values[2]})"
+            )
+
+    latency = doc.get("latency_ns")
+    if not isinstance(latency, dict):
+        errors.append(f"{path}: missing 'latency_ns' object")
+    else:
+        ordered(f"{path}: latency_ns", latency, ("p50", "p99", "p999"))
+
+    timeline = doc.get("timeline")
+    if not isinstance(timeline, list) or not timeline:
+        errors.append(f"{path}: missing or empty 'timeline' list")
+        timeline = []
+    last_t, last_done = None, None
+    for i, point in enumerate(timeline):
+        where = f"{path}: timeline[{i}]"
+        if not isinstance(point, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        t = point.get("t_s")
+        done = point.get("completed")
+        if not isinstance(t, (int, float)) or t < 0:
+            errors.append(f"{where}: 't_s' must be a non-negative number")
+            continue
+        if not isinstance(done, int) or done < 0:
+            errors.append(f"{where}: 'completed' must be a non-negative int")
+            continue
+        if last_t is not None and t < last_t:
+            errors.append(f"{where}: t_s {t} goes backwards (previous {last_t})")
+        if last_done is not None and done < last_done:
+            errors.append(
+                f"{where}: completed {done} went backwards (previous {last_done})"
+            )
+        last_t, last_done = t, done
+
+    tenants = doc.get("tenant_stats")
+    if not isinstance(tenants, list) or not tenants:
+        errors.append(f"{path}: missing or empty 'tenant_stats' list")
+        tenants = []
+    for i, ts in enumerate(tenants):
+        where = f"{path}: tenant_stats[{i}]"
+        if not isinstance(ts, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        name = ts.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing tenant 'name'")
+        else:
+            where = f"{path}: tenant {name!r}"
+        bad = False
+        for field in SERVE_TENANT_COUNTERS:
+            v = ts.get(field)
+            if not isinstance(v, int) or v < 0:
+                errors.append(f"{where}: '{field}' must be a non-negative int")
+                bad = True
+        if not bad:
+            retired = (
+                ts["completed"] + ts["failed"] + ts["cancelled"] + ts["timed_out"]
+            )
+            if retired != ts["submitted"]:
+                errors.append(
+                    f"{where}: request leak — submitted {ts['submitted']} but "
+                    f"only {retired} retired (lost or hung tickets)"
+                )
+        ordered(where, ts, ("p50_ns", "p99_ns", "p999_ns"))
+
+    if not isinstance(doc.get("server"), dict):
+        errors.append(f"{path}: missing 'server' stats object")
+    if not errors:
+        print(
+            f"{path}: ok (serve bench, {doc.get('requests')} requests, "
+            f"{doc.get('tenants')} tenants, "
+            f"{len(timeline)} timeline points)"
         )
     return errors
 
@@ -601,6 +764,8 @@ def main():
                 print(f"{args.jsonl}: ok (minimized mclcheck repro)")
         elif is_profile_file(args.jsonl):
             errors = check_profile(args.jsonl)
+        elif is_serve_file(args.jsonl):
+            errors = check_serve(args.jsonl)
         elif is_facts_file(args.jsonl):
             errors = check_facts(args.jsonl)
         elif is_trace_file(args.jsonl):

@@ -2,18 +2,22 @@
 # Tier-1 gate: the checks every change must pass before merging.
 #
 #   1. plain Release build + full ctest suite (plus explicit `-L trace`,
-#      `-L prof` and `-L verify` passes for the mcltrace ring/exporter,
-#      mclprof registry/profiler, and mclverify dataflow/soundness suites),
+#      `-L prof`, `-L verify` and `-L serve` passes for the mcltrace
+#      ring/exporter, mclprof registry/profiler, mclverify
+#      dataflow/soundness, and mclserve admission/fairness suites),
 #      then the mclsan --all static gate (fails on new diagnostics; the
 #      KernelFacts JSON it emits is schema-checked by plot_results.py),
 #      a fixed-seed 60-second mclcheck differential smoke and a scan
-#      rejecting unminimized committed .mclrepro files;
+#      rejecting unminimized committed .mclrepro files,
+#      and a fixed-seed serve_load closed-loop smoke whose BENCH_serve.json
+#      output is schema-checked by plot_results.py (lost/hung tickets fail
+#      the harness itself; a malformed trajectory fails the check);
 #   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
 #   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue` +
-#      `trace` + `prof` labels — the thread-pool wakeup, event-graph
-#      executor, trace-ring, and metrics-shard tests. Only those labels:
-#      TSan cannot track ucontext fiber stacks, so the fiber suites are
-#      excluded via the label selection.
+#      `trace` + `prof` + `serve` labels — the thread-pool wakeup,
+#      event-graph executor, trace-ring, metrics-shard, and multi-tenant
+#      serve tests. Only those labels: TSan cannot track ucontext fiber
+#      stacks, so the fiber suites are excluded via the label selection.
 #
 # Usage: tools/tier1.sh [jobs]    (jobs defaults to nproc)
 set -euo pipefail
@@ -27,6 +31,7 @@ ctest --test-dir build --output-on-failure
 ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L prof
 ctest --test-dir build --output-on-failure -L verify
+ctest --test-dir build --output-on-failure -L serve
 
 echo "== tier1: mclsan --all static gate + KernelFacts schema check =="
 # Exit 1 = a kernel outside the known-positive set gained an error-severity
@@ -47,14 +52,23 @@ find . -path ./build -prune -o -path ./build-asan -prune -o \
     tools/plot_results.py --check "$repro"
   done
 
+echo "== tier1: serve_load closed-loop smoke (fixed seed) =="
+# The harness exits nonzero on any lost or hung ticket; the emitted
+# trajectory document is then schema-checked (monotonic timeline, ordered
+# percentiles, per-tenant request conservation). The committed
+# BENCH_serve.json perf-trajectory file comes from the full 1M-request run.
+./build/bench/serve_load --quick --tenants 8 --seed 1 \
+  --json build/BENCH_serve_smoke.json
+tools/plot_results.py --check build/BENCH_serve_smoke.json
+
 echo "== tier1: ASan+UBSan build =="
 cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure
 
-echo "== tier1: TSan build (threading + queue + trace + prof labels) =="
+echo "== tier1: TSan build (threading + queue + trace + prof + serve labels) =="
 cmake -B build-tsan -S . -DMCL_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test
-ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof"
+cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test serve_test
+ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof|serve"
 
 echo "== tier1: all checks passed =="
