@@ -28,15 +28,21 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "check/case.hpp"
+#include "check/generator.hpp"
+#include "check/interp.hpp"
 #include "core/time.hpp"
 #include "ocl/queue.hpp"
 #include "prof/metrics.hpp"
 #include "serve/serve.hpp"
+#include "tune/tune.hpp"
+#include "veclegal/kernel_ir.hpp"
 
 namespace {
 
@@ -59,7 +65,7 @@ std::uint64_t next_rand(std::uint64_t& state) {
 }
 
 /// The tenant archetypes the load mix cycles through.
-enum class Profile { Small, Bulk, Chain, InOrder, Burst };
+enum class Profile { Small, Bulk, Chain, InOrder, Burst, Generated };
 
 const char* profile_name(Profile p) {
   switch (p) {
@@ -68,8 +74,40 @@ const char* profile_name(Profile p) {
     case Profile::Chain: return "transfer-chain";
     case Profile::InOrder: return "in-order";
     case Profile::Burst: return "burst-reject";
+    case Profile::Generated: return "generated";
   }
   return "?";
+}
+
+/// mclcheck-generated kernels for the Generated profile (ISSUE 8 satellite):
+/// serve traffic that exercises arbitrary generated programs — and the
+/// tuner's feature/candidate machinery — rather than only the five paper
+/// kernels. Built once on the main thread before any client spawns
+/// (Program::builtin().add and the IR registry are not safe to mutate
+/// concurrently); clients resolve them by name like any registered kernel.
+struct GeneratedKernels {
+  std::vector<check::Case> cases;  ///< stable storage; kernels read via Case*
+  std::vector<std::string> names;
+};
+GeneratedKernels g_generated;
+
+constexpr std::size_t kGeneratedKernels = 6;
+
+void register_generated_kernels(std::uint64_t run_seed) {
+  g_generated.cases.reserve(kGeneratedKernels);
+  for (std::size_t i = 0; i < kGeneratedKernels; ++i) {
+    g_generated.cases.push_back(
+        check::generate_case(check::case_seed(run_seed, i)));
+  }
+  for (const check::Case& c : g_generated.cases) {
+    ocl::KernelDef def = check::make_kernel_def(c, /*with_simd=*/false);
+    def.name = "gen." + std::to_string(c.seed);
+    g_generated.names.push_back(def.name);
+    // Register the lowered IR too so mclverify facts (and tuner features)
+    // exist for generated kernels exactly as for the paper kernels.
+    veclegal::KernelIrRegistry::instance().add(def.name, check::lower_to_ir(c));
+    ocl::Program::builtin().add(std::move(def));
+  }
 }
 
 serve::TenantConfig tenant_config(Profile profile, const std::string& name) {
@@ -99,6 +137,10 @@ serve::TenantConfig tenant_config(Profile profile, const std::string& name) {
       cfg.weight = 1.0;
       cfg.max_queue_depth = 16;
       cfg.admission = serve::AdmissionPolicy::Reject;
+      break;
+    case Profile::Generated:
+      cfg.weight = 1.0;
+      cfg.max_queue_depth = 64;
       break;
   }
   return cfg;
@@ -144,6 +186,28 @@ void run_client(serve::Session session, Profile profile, std::size_t requests,
   const bool slotted = profile == Profile::Bulk || profile == Profile::Burst ||
                        profile == Profile::Chain;
   std::vector<SlotMem> slots(slotted ? window : 0);
+
+  // Generated-profile storage: [slot][case][array]. Writable generated
+  // arrays are read-modify-written, so concurrent in-flight launches of one
+  // kernel must not share buffers — same slot-privacy argument as SlotMem.
+  // Local arrays get no buffer (they ride as ArgSpec::local requests).
+  std::vector<std::vector<std::vector<std::unique_ptr<ocl::Buffer>>>> gen;
+  if (profile == Profile::Generated) {
+    gen.resize(window);
+    for (auto& slot_cases : gen) {
+      slot_cases.resize(g_generated.cases.size());
+      for (std::size_t ci = 0; ci < g_generated.cases.size(); ++ci) {
+        const check::Case& c = g_generated.cases[ci];
+        for (const check::Array& a : c.arrays) {
+          slot_cases[ci].push_back(
+              a.local ? nullptr
+                      : std::make_unique<ocl::Buffer>(
+                            ocl::MemFlags::ReadWrite,
+                            static_cast<std::size_t>(a.extent) * 4));
+        }
+      }
+    }
+  }
 
   std::vector<serve::Ticket> live;
   live.reserve(window);
@@ -232,6 +296,29 @@ void run_client(serve::Session session, Profile profile, std::size_t requests,
               std::chrono::microseconds(1 + next_rand(rng) % 50));
         }
       }
+      case Profile::Generated: {
+        const std::size_t ci = next_rand(rng) % g_generated.cases.size();
+        const check::Case& c = g_generated.cases[ci];
+        spec.kernel = g_generated.names[ci];
+        spec.args.clear();
+        spec.args.push_back(serve::ArgSpec::scalar_of(&c));
+        for (std::size_t ai = 0; ai < c.arrays.size(); ++ai) {
+          const check::Array& a = c.arrays[ai];
+          if (a.local) {
+            spec.args.push_back(serve::ArgSpec::local(
+                static_cast<std::size_t>(a.extent) * 4));
+          } else {
+            spec.args.push_back(serve::ArgSpec::buf(*gen[slot][ci][ai]));
+          }
+        }
+        spec.global = ocl::NDRange{c.global};
+        // Barrier/local cases were proven against their generated local
+        // size; plain cases leave local to the runtime (and the tuner).
+        if (c.has_barrier() || c.has_local()) {
+          spec.local = ocl::NDRange{c.local};
+        }
+        return push(session.submit(std::move(spec)));
+      }
     }
     return false;
   };
@@ -272,10 +359,12 @@ int run(const Options& opt) {
   ocl::CpuDevice device;
   ocl::Context context(device);
   prof::set_enabled(true);  // serve's latency histograms record only when on
+  register_generated_kernels(opt.seed);
 
   serve::Server server(context);
-  const Profile kMix[] = {Profile::Small, Profile::Bulk, Profile::Chain,
-                          Profile::InOrder, Profile::Burst};
+  const Profile kMix[] = {Profile::Small,   Profile::Bulk,
+                          Profile::Chain,   Profile::InOrder,
+                          Profile::Burst,   Profile::Generated};
   struct Client {
     serve::Session session;
     Profile profile = Profile::Small;
@@ -478,10 +567,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--quick") {
       opt.quick = true;
       opt.requests = 50'000;
+    } else if (arg == "--tune") {
+      // Convenience override of MCL_TUNE for load runs under tuning.
+      const std::string m = value();
+      if (m == "off") {
+        mcl::tune::Tuner::instance().set_mode(mcl::tune::Mode::Off);
+      } else if (m == "seed") {
+        mcl::tune::Tuner::instance().set_mode(mcl::tune::Mode::Seed);
+      } else if (m == "online") {
+        mcl::tune::Tuner::instance().set_mode(mcl::tune::Mode::Online);
+      } else {
+        std::fprintf(stderr, "serve_load: --tune must be off|seed|online\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: serve_load [--requests N] [--tenants N] [--seed S]\n"
-          "                  [--json PATH] [--quick]\n");
+          "                  [--json PATH] [--quick] [--tune off|seed|online]\n");
       return 0;
     } else {
       std::fprintf(stderr, "serve_load: unknown flag %s\n", arg.c_str());

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "prof/metrics.hpp"
 #include "prof/profiler.hpp"
 #include "trace/trace.hpp"
+#include "tune/tune.hpp"
 
 namespace {
 
@@ -593,6 +595,68 @@ mcl_int mclMetricsSnapshot(char* buf, size_t buf_size, size_t* size_ret) {
     buf[n] = '\0';
   }
   return MCL_SUCCESS;
+}
+
+/* --- self-tuning -------------------------------------------------------------- */
+
+mcl_int mclSetTuning(mcl_int mode) {
+  mcl::tune::Mode m;
+  switch (mode) {
+    case MCL_TUNE_OFF: m = mcl::tune::Mode::Off; break;
+    case MCL_TUNE_SEED: m = mcl::tune::Mode::Seed; break;
+    case MCL_TUNE_ONLINE: m = mcl::tune::Mode::Online; break;
+    default: return MCL_INVALID_VALUE;
+  }
+  mcl::tune::Tuner::instance().set_mode(m);
+  return MCL_SUCCESS;
+}
+
+mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
+                          const size_t* global_size, mcl_tuned_config* config) {
+  if (kernel_name == nullptr || config == nullptr || global_size == nullptr ||
+      work_dim < 1 || work_dim > 3) {
+    return MCL_INVALID_VALUE;
+  }
+  if (!mcl::ocl::Program::builtin().contains(kernel_name)) {
+    return MCL_INVALID_KERNEL_NAME;
+  }
+  const mcl::ocl::KernelDef& def =
+      mcl::ocl::Program::builtin().lookup(kernel_name);
+  mcl::ocl::NDRange global;
+  global.dims = work_dim;
+  for (mcl_uint d = 0; d < 3; ++d) {
+    global.size[d] = d < work_dim ? global_size[d] : 1;
+  }
+  const std::size_t threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  return guarded([&] {
+    // The query models a caller-chosen launch with NULL local and no local
+    // args — the shape mclEnqueueNDRangeKernel(…, NULL) produces.
+    const std::optional<mcl::tune::TunedConfig> best =
+        mcl::tune::Tuner::instance().tuned_config(
+            def, global, mcl::ocl::NDRange{}, /*has_local_args=*/false,
+            threads);
+    core::check(best.has_value(), core::Status::InvalidOperation,
+                "no tunable configuration for this launch shape");
+    std::memset(config, 0, sizeof(*config));
+    config->work_dim = static_cast<mcl_uint>(best->local.dims);
+    for (std::size_t d = 0; d < 3; ++d) {
+      config->local_size[d] = best->local.size[d];
+    }
+    switch (best->executor) {
+      case mcl::ocl::ExecutorKind::Auto: config->executor = 0; break;
+      case mcl::ocl::ExecutorKind::Loop: config->executor = 1; break;
+      case mcl::ocl::ExecutorKind::Fiber: config->executor = 2; break;
+      case mcl::ocl::ExecutorKind::Simd: config->executor = 3; break;
+      case mcl::ocl::ExecutorKind::Checked: config->executor = 0; break;
+    }
+    config->chunk_divisor = static_cast<mcl_uint>(best->chunk_divisor);
+    config->work_stealing =
+        best->scheduler == mcl::threading::ScheduleStrategy::WorkStealing
+            ? MCL_TRUE
+            : MCL_FALSE;
+    config->prefer_map = best->prefer_map ? MCL_TRUE : MCL_FALSE;
+  });
 }
 
 }  // extern "C"

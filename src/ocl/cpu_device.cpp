@@ -15,6 +15,7 @@
 #include "threading/affinity.hpp"
 #include "threading/thread_pool.hpp"
 #include "trace/trace.hpp"
+#include "tune/tune.hpp"
 
 namespace mcl::ocl {
 
@@ -138,7 +139,33 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
     }
     return result;
   }
-  detail::GroupRunner runner(def, args, global, local, config_.executor,
+  // mcltune hook: only launches that leave every knob to the runtime are
+  // tunable (an explicit executor config or a dispatch-order override is the
+  // caller asserting policy, e.g. the ablation benches' fixed arms). Local
+  // size is overridden only when the caller passed NullRange and the kernel
+  // binds no local-memory args — their byte counts were sized for the
+  // caller's groups. One relaxed load when MCL_TUNE is off.
+  ExecutorKind exec_kind = config_.executor;
+  NDRange launch_local = local;
+  std::size_t chunk_divisor = 16;
+  threading::ScheduleStrategy scheduler = config_.scheduler;
+  std::optional<tune::Decision> tuned;
+  if (tune::enabled() && config_.executor == ExecutorKind::Auto &&
+      !config_.dispatch_order) {
+    tuned = tune::Tuner::instance().decide(def, global, local,
+                                           args.total_local_bytes() > 0,
+                                           impl_->pool.thread_count());
+    if (tuned) {
+      exec_kind = tuned->config.executor;
+      if (local.is_null() && !tuned->config.local.is_null()) {
+        launch_local = tuned->config.local;
+      }
+      chunk_divisor = tuned->config.chunk_divisor;
+      scheduler = tuned->config.scheduler;
+    }
+  }
+
+  detail::GroupRunner runner(def, args, global, launch_local, exec_kind,
                              config_.fiber_stack_bytes, offset);
   LaunchResult result;
   result.local_used = runner.local();
@@ -166,7 +193,7 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
   // shared-counter cost amortizes; per-group and per-item costs remain.
   const std::size_t threads = impl_->pool.thread_count();
   const std::size_t chunk = std::clamp<std::size_t>(
-      runner.total_groups() / (threads * 16), 1, 64);
+      runner.total_groups() / (threads * chunk_divisor), 1, 64);
   // Real dispatch extent; diverges from total_groups() only under the
   // MCL_CHECK_INJECT=chunker fault (drops the last group when there are
   // at least two) so mclcheck's catch-and-minimize path can be exercised.
@@ -179,8 +206,7 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
   if (!trace::enabled() && !prof::profiling()) {
     result.schedule = impl_->pool.parallel_run(
         dispatch_groups,
-        [&runner](std::size_t g) { runner.run_group(g); }, chunk,
-        config_.scheduler);
+        [&runner](std::size_t g) { runner.run_group(g); }, chunk, scheduler);
   } else {
     // Instrumented launch: a trace span per workgroup tagged (group id,
     // worker id, estimated bytes touched) under an enclosing per-kernel
@@ -207,9 +233,10 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
           prof::GroupScope hw(accp);
           runner.run_group(g);
         },
-        chunk, config_.scheduler);
+        chunk, scheduler);
   }
   result.seconds = core::elapsed_s(t0, core::now());
+  if (tuned) tune::Tuner::instance().report(*tuned, result.seconds);
   if (prof::profiling()) {
     result.profile = prof::commit_launch(
         def.name, acc,

@@ -260,6 +260,42 @@ mcl_int mclGetEventProfile(mcl_event event, mcl_kernel_profile* profile);
  * size query. */
 mcl_int mclMetricsSnapshot(char* buf, size_t buf_size, size_t* size_ret);
 
+/* --- self-tuning (mcltune extension) ---------------------------------------- */
+
+/* Tuning modes (mclSetTuning / the MCL_TUNE environment variable).
+ *   off:    launches run exactly as configured (zero-overhead default).
+ *   seed:   the cost model's top-ranked legal config is applied; no
+ *           exploration launches ever happen.
+ *   online: seed + bounded explore/exploit refinement from measured launch
+ *           times, with a regression guard (see docs/tune.md). */
+#define MCL_TUNE_OFF 0
+#define MCL_TUNE_SEED 1
+#define MCL_TUNE_ONLINE 2
+
+/* Sets the process-wide tuning mode, overriding MCL_TUNE. Takes effect for
+ * subsequent launches; already-learned tuning state is kept. */
+mcl_int mclSetTuning(mcl_int mode);
+
+/* The tuner's current recommendation for one launch shape. */
+typedef struct mcl_tuned_config {
+  /* Recommended local size; work_dim == 0 means "no override" (keep the
+   * caller's local size or the runtime default). */
+  size_t local_size[3];
+  mcl_uint work_dim;
+  mcl_int executor;       /* 0 auto, 1 loop, 2 fiber, 3 simd */
+  mcl_uint chunk_divisor; /* chunk = clamp(groups/(threads*divisor), 1, 64) */
+  mcl_int work_stealing;  /* MCL_TRUE: work-stealing dispatch order */
+  mcl_int prefer_map;     /* MCL_TRUE: map/unmap beats explicit copies */
+} mcl_tuned_config;
+
+/* Fills *config with the best known config for launching `kernel_name` at
+ * global_size (NULL local, i.e. runtime-chosen groups): the measured
+ * incumbent when the tuner has explored this shape, else the static cost
+ * model's seed ranking. Works in every tuning mode and never records
+ * state. Returns MCL_INVALID_KERNEL_NAME for unregistered kernels. */
+mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
+                          const size_t* global_size, mcl_tuned_config* config);
+
 #ifdef __cplusplus
 }
 #endif

@@ -9,6 +9,7 @@
 #include "ocl/kernel.hpp"
 #include "threading/affinity.hpp"
 #include "trace/trace.hpp"
+#include "tune/tune.hpp"
 
 namespace mcl::serve {
 
@@ -588,6 +589,12 @@ std::shared_ptr<Request> make_launch_request(TenantState& tenant,
       tenant.stats.cache_misses++;
       req->def = &ocl::Program::builtin().lookup(spec.kernel);
       tenant.kernel_cache.emplace(spec.kernel, req->def);
+      // First sighting of this kernel by this tenant: precompute its tuning
+      // feature vector off the launch path. The tuner is process-global, so
+      // every tenant's traffic trains (and benefits from) one shared entry
+      // per (kernel, shape, device) — tenants never re-explore a shape some
+      // other tenant already converged.
+      if (tune::enabled()) tune::Tuner::instance().prewarm(*req->def);
     }
   }
   req->launch = std::move(spec);

@@ -1,0 +1,164 @@
+// Feature extraction: KernelFacts + cachesim replay -> tune::Features.
+//
+// The vector follows the architecture-independent feature set of Chilukuri &
+// Milthorpe ("Characterizing Optimizations to Memory Access Patterns using
+// Architecture-Independent Program Features"): memory entropy over the
+// stride-class distribution, reuse distance class, arithmetic intensity,
+// unit-stride fraction — all computed from the DECLARED access stream
+// (veclegal IR via mclverify facts), never from hardware counters, so the
+// same vector ranks candidates on any device. One machine-DEPENDENT summary
+// rides along: a cachesim replay of the access stream over a model shape
+// yields the modal hit level (locality class), which the cost model uses to
+// size workgroups against the paper machine's cache ladder.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "cachesim/hierarchy.hpp"
+#include "tune/tune.hpp"
+#include "veclegal/kernel_ir.hpp"
+#include "verify/verify.hpp"
+
+namespace mcl::tune {
+namespace {
+
+/// Model launch for the cachesim replay: enough items to spill L1 on a
+/// multi-array unit-stride stream, few enough to keep registration cheap.
+constexpr std::size_t kReplayItems = 4096;
+constexpr std::size_t kReplayAccessCap = 32 * 1024;
+
+/// Replays the declared affine access stream of every array through a
+/// single-core cachesim machine and returns (modal hit level, avg cycles).
+/// Arrays are laid out at disjoint 16 MiB-aligned bases so cross-array
+/// conflicts model real separate allocations.
+void replay_locality(const verify::KernelFacts& facts, Features& out) {
+  cachesim::Machine machine{cachesim::MachineConfig::xeon_e5645(1)};
+  std::uint64_t hits_by_level[6] = {0, 0, 0, 0, 0, 0};
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_accesses = 0;
+  for (std::size_t item = 0; item < kReplayItems; ++item) {
+    for (const verify::ArrayFacts& a : facts.arrays) {
+      const std::uint64_t base = std::uint64_t(a.array + 1) << 24;
+      for (const verify::AccessFacts& acc : a.accesses) {
+        if (total_accesses >= kReplayAccessCap) break;
+        const long long idx =
+            acc.scale * static_cast<long long>(item) + acc.offset;
+        if (idx < 0) continue;
+        const std::uint64_t addr =
+            base + static_cast<std::uint64_t>(idx) * a.elem_bytes;
+        const cachesim::AccessResult r =
+            machine.access(0, addr, a.elem_bytes, acc.is_write);
+        if (r.hit_level >= 1 && r.hit_level <= 5) {
+          ++hits_by_level[r.hit_level];
+        }
+        total_cycles += r.cycles;
+        ++total_accesses;
+      }
+    }
+  }
+  if (total_accesses == 0) return;
+  int modal = 1;
+  for (int level = 1; level <= 5; ++level) {
+    if (hits_by_level[level] > hits_by_level[modal]) modal = level;
+  }
+  out.locality_class = modal == 5 ? 4 : modal;  // remote folds into memory
+  out.sim_cycles_per_access =
+      static_cast<double>(total_cycles) / static_cast<double>(total_accesses);
+}
+
+Features compute_features(const ocl::KernelDef& def) {
+  Features f;
+  f.barrier = def.needs_barrier;
+  f.has_simd_form = def.simd != nullptr;
+  f.has_workgroup_form = def.workgroup != nullptr;
+
+  const std::shared_ptr<const verify::KernelFacts> facts =
+      verify::facts_for(def.name);
+  if (!facts) return f;  // no IR registered: have_facts stays false
+  f.have_facts = true;
+
+  // Stride-class histogram over every declared access, weighted equally per
+  // access (the per-item weighting of the paper's dynamic traces collapses
+  // to this under an affine single-loop model: every access runs once/item).
+  std::map<long long, std::size_t> stride_hist;
+  std::size_t accesses = 0;
+  std::size_t unit = 0;
+  double bytes_per_item = 0.0;
+  for (const verify::ArrayFacts& a : facts->arrays) {
+    for (const verify::AccessFacts& acc : a.accesses) {
+      const long long cls = std::llabs(acc.scale);
+      ++stride_hist[cls];
+      ++accesses;
+      if (cls <= 1) ++unit;
+      bytes_per_item += static_cast<double>(a.elem_bytes);
+    }
+    if (a.local) f.local_mem = true;
+    if (a.read_pattern == verify::Pattern::Gather ||
+        a.write_pattern == verify::Pattern::Scatter) {
+      f.gather_scatter = true;
+    }
+    if (!a.race_free && (a.written || a.read)) f.race_free = false;
+    switch (a.reuse) {
+      case verify::Reuse::Both:
+        f.reuse_score = std::max(f.reuse_score, 1.0);
+        break;
+      case verify::Reuse::Spatial:
+      case verify::Reuse::Temporal:
+        f.reuse_score = std::max(f.reuse_score, 0.5);
+        break;
+      case verify::Reuse::None:
+        break;
+    }
+  }
+  if (accesses > 0) {
+    f.unit_stride_fraction =
+        static_cast<double>(unit) / static_cast<double>(accesses);
+    // Shannon entropy of the stride-class distribution, in bits.
+    double entropy = 0.0;
+    std::size_t dominant_count = 0;
+    for (const auto& [cls, count] : stride_hist) {
+      const double p =
+          static_cast<double>(count) / static_cast<double>(accesses);
+      entropy -= p * std::log2(p);
+      if (count > dominant_count) {
+        dominant_count = count;
+        f.dominant_stride = cls;
+      }
+    }
+    f.memory_entropy = entropy;
+  }
+
+  // Arithmetic intensity proxy: compute statements per byte moved per item.
+  // The IR has no flop counts, so every non-barrier statement counts as one
+  // "op"; the RATIO is what the cost model consumes, not absolute flops/B.
+  const veclegal::KernelIr* ir =
+      veclegal::KernelIrRegistry::instance().find(def.name);
+  if (ir != nullptr && bytes_per_item > 0.0) {
+    std::size_t ops = 0;
+    for (const veclegal::Stmt& s : ir->body.stmts) {
+      if (!s.barrier) ++ops;
+      if (s.barrier) f.barrier = true;
+      if (s.divergent || s.guard_temp.has_value()) f.divergent_guards = true;
+    }
+    f.arithmetic_intensity = static_cast<double>(ops) / bytes_per_item;
+  }
+  if (facts->barrier_divergence_possible) f.divergent_guards = true;
+
+  replay_locality(*facts, f);
+  return f;
+}
+
+}  // namespace
+
+Features features_for(const ocl::KernelDef& def) {
+  // Memoized in the IR registry's analysis cache: re-registering the kernel
+  // drops the entry with every other derived fact, for free.
+  const std::shared_ptr<const Features> cached =
+      veclegal::KernelIrRegistry::instance().memoize<Features>(
+          def.name, "tune.features", [&] { return compute_features(def); });
+  return *cached;
+}
+
+}  // namespace mcl::tune

@@ -25,14 +25,25 @@ KernelIrRegistry& KernelIrRegistry::instance() {
 }
 
 void KernelIrRegistry::add(std::string kernel_name, KernelIr ir) {
+  std::vector<std::function<void(const std::string&)>> hooks;
   {
     // Invalidate before publishing the new IR: any analysis result computed
     // from the old descriptor must not be served for the new one.
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.erase(kernel_name);
     ++generations_[kernel_name];
+    hooks = invalidation_hooks_;
   }
-  irs_[std::move(kernel_name)] = std::move(ir);
+  irs_[kernel_name] = std::move(ir);
+  // Hooks run outside the cache lock (they may re-enter the registry, e.g.
+  // to read the new generation) and after the new IR is visible.
+  for (const auto& hook : hooks) hook(kernel_name);
+}
+
+void KernelIrRegistry::add_invalidation_hook(
+    std::function<void(const std::string&)> hook) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  invalidation_hooks_.push_back(std::move(hook));
 }
 
 std::shared_ptr<const void> KernelIrRegistry::cached(

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -81,6 +82,14 @@ class KernelIrRegistry {
   /// Monotone counter, bumped each time the kernel's IR is (re)registered.
   [[nodiscard]] std::uint64_t generation(const std::string& kernel_name) const;
 
+  /// Registers a callback run (after the analysis cache is dropped and the
+  /// generation bumped, outside the cache lock) every time a kernel's IR is
+  /// (re)registered. Clients holding derived state OUTSIDE this registry's
+  /// cache — the mcltune Tuner's per-shape entries — use it to evict on
+  /// re-registration. Hooks are never removed; register process-lifetime
+  /// objects only.
+  void add_invalidation_hook(std::function<void(const std::string&)> hook);
+
   /// Lookup-or-compute convenience. `compute` runs outside the cache lock;
   /// concurrent first callers may compute twice, last write wins.
   template <typename T, typename Fn>
@@ -101,6 +110,7 @@ class KernelIrRegistry {
   std::map<std::string, std::map<std::string, std::shared_ptr<const void>>>
       cache_;
   std::map<std::string, std::uint64_t> generations_;
+  std::vector<std::function<void(const std::string&)>> invalidation_hooks_;
 };
 
 /// Builder helper mirroring veclegal::ref/store: declares one array's

@@ -390,14 +390,18 @@ TEST(Serve, MultiTenantStressNoLostTickets) {
       ocl::Buffer in(ocl::MemFlags::ReadWrite, kN * 4);
       ocl::Buffer out(ocl::MemFlags::ReadWrite, kN * 4);
       std::vector<float> host_in(kN), host_out(kN);
-      Ticket last;
+      Ticket last, prev_write;
       for (std::size_t i = 0; i < kIters; ++i) {
+        // The previous write's async memcpy may still be reading host_in;
+        // the chain deps below only order the device-side commands.
+        if (prev_write.valid()) prev_write.wait();
         for (std::size_t j = 0; j < kN; ++j) {
           host_in[j] = static_cast<float>(t + i + j);
         }
         std::vector<Ticket> chain_dep;
         if (last.valid()) chain_dep.push_back(last);
         Ticket w = s.submit_write(in, 0, kN * 4, host_in.data(), chain_dep);
+        prev_write = w;
         Ticket l = s.submit(square_launch(in, out, kN), {w});
         last = s.submit_read(out, 0, kN * 4, host_out.data(), {l});
       }

@@ -42,6 +42,15 @@ percentiles must be ordered (p50 <= p99 <= p999, globally and per tenant),
 and every tenant's requests must be conserved (submitted == completed +
 failed + cancelled + timed_out, with nothing left outstanding).
 
+--check also understands mcltune ablation documents (the
+bench/ablation_tuning output, a single object with an "mcltune" version
+key, committed as BENCH_tune.json): every workload must carry positive
+times for all four arms, the tuned arms must be no worse than the
+paper-default baseline within noise tolerance, and online tuning must
+converge within the launch budget — matching best-manual within noise —
+on at least three workloads. This pins the self-tuner's acceptance
+criteria in the tier-1 gate.
+
 Results JSONL files may carry {"meta": {...}} provenance lines (written by
 the bench --csv/--json header block); they are validated for shape and
 skipped by the renderers.
@@ -473,6 +482,149 @@ def check_serve(path):
     return errors
 
 
+def is_tune_file(path):
+    """An mcltune ablation document is one pretty-printed JSON object whose
+    "mcltune" version marker sits on the first or second line. Must be
+    sniffed before the trace check (same reason as serve/facts files)."""
+    try:
+        with open(path) as f:
+            seen = 0
+            for line in f:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if '"mcltune"' in stripped:
+                    return True
+                seen += 1
+                if seen >= 2:
+                    return False
+    except OSError:
+        pass
+    return False
+
+
+# Per-workload timing fields every ablation_tuning entry must carry.
+TUNE_ARM_FIELDS = (
+    "paper_default_ms",
+    "best_manual_ms",
+    "tuned_seed_ms",
+    "tuned_online_ms",
+)
+
+# Noise tolerance for "no worse than" assertions: quick-mode smoke runs use
+# very short measurement windows, so the band is wider there.
+TUNE_TOLERANCE_FULL = 1.25
+TUNE_TOLERANCE_QUICK = 1.6
+# The cost-model-only arm takes zero measurements; it may miss by more than
+# timer noise, but a 2x regression would mean the model is actively harmful.
+TUNE_SEED_TOLERANCE = 2.0
+# Online tuning must converge and match best-manual on at least this many
+# workloads (the ISSUE 8 acceptance criterion).
+TUNE_MIN_CONVERGED_WORKLOADS = 3
+
+
+def check_tune(path):
+    """Validates a bench/ablation_tuning BENCH_tune.json; returns errors.
+
+    Checks: parseable object, "mcltune" version 1, provenance meta (host,
+    thread count, seed, repeats), non-empty workloads each carrying positive
+    times for all four arms, tuned-online no worse than paper-default within
+    noise tolerance on EVERY workload (the self-tuner must never regress the
+    out-of-the-box configuration), the measurement-free seed arm within its
+    looser band, and >= 3 workloads where online tuning both converged
+    within the launch budget and matched the best manual configuration
+    within noise.
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: tune bench root is not a JSON object"]
+    if doc.get("mcltune") != 1:
+        errors.append(f"{path}: 'mcltune' version marker is not 1")
+
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errors.append(f"{path}: missing 'meta' provenance object")
+        meta = {}
+    else:
+        if not isinstance(meta.get("host"), str) or not meta.get("host"):
+            errors.append(f"{path}: meta.host must name the machine")
+        for field in ("logical_cpus", "threads", "repeats"):
+            v = meta.get(field)
+            if not isinstance(v, int) or v < 1:
+                errors.append(f"{path}: meta.{field} must be a positive int")
+        if not isinstance(meta.get("seed"), int):
+            errors.append(f"{path}: meta.seed must be an int")
+        if not isinstance(meta.get("quick"), bool):
+            errors.append(f"{path}: meta.quick must be a boolean")
+    quick = meta.get("quick") is True
+    tol = TUNE_TOLERANCE_QUICK if quick else TUNE_TOLERANCE_FULL
+    repeats = meta.get("repeats") if isinstance(meta.get("repeats"), int) else 50
+
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        errors.append(f"{path}: missing or empty 'workloads' list")
+        workloads = []
+    n_converged_and_matching = 0
+    for i, w in enumerate(workloads):
+        where = f"{path}: workloads[{i}]"
+        if not isinstance(w, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        name = w.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing workload 'name'")
+        else:
+            where = f"{path}: workload {name!r}"
+        bad = False
+        for field in TUNE_ARM_FIELDS:
+            v = w.get(field)
+            if not isinstance(v, (int, float)) or v <= 0:
+                errors.append(f"{where}: '{field}' must be a positive number")
+                bad = True
+        converged_at = w.get("converged_at")
+        if not isinstance(converged_at, int) or converged_at < 0:
+            errors.append(f"{where}: 'converged_at' must be a non-negative int")
+            bad = True
+        if bad:
+            continue
+        default = w["paper_default_ms"]
+        if w["tuned_online_ms"] > default * tol:
+            errors.append(
+                f"{where}: tuned-online {w['tuned_online_ms']:.4g} ms is worse "
+                f"than paper-default {default:.4g} ms beyond the {tol}x noise "
+                f"band — the self-tuner regressed the out-of-the-box config"
+            )
+        if w["tuned_seed_ms"] > default * TUNE_SEED_TOLERANCE:
+            errors.append(
+                f"{where}: tuned-seed {w['tuned_seed_ms']:.4g} ms is worse "
+                f"than paper-default {default:.4g} ms beyond the "
+                f"{TUNE_SEED_TOLERANCE}x band — the cost model is harmful"
+            )
+        if (
+            0 < converged_at <= repeats
+            and w["tuned_online_ms"] <= w["best_manual_ms"] * tol
+        ):
+            n_converged_and_matching += 1
+    if workloads and n_converged_and_matching < TUNE_MIN_CONVERGED_WORKLOADS:
+        errors.append(
+            f"{path}: only {n_converged_and_matching} workload(s) converged "
+            f"within {repeats} launches AND matched best-manual within the "
+            f"{tol}x band (need >= {TUNE_MIN_CONVERGED_WORKLOADS})"
+        )
+    if not errors:
+        print(
+            f"{path}: ok (tune bench, {len(workloads)} workloads, "
+            f"{n_converged_and_matching} converged+matching, "
+            f"tolerance {tol}x{' quick' if quick else ''})"
+        )
+    return errors
+
+
 def is_facts_file(path):
     """An mclverify KernelFacts document is one pretty-printed JSON object
     whose "mclverify" version marker sits on the first or second line (the
@@ -766,6 +918,8 @@ def main():
             errors = check_profile(args.jsonl)
         elif is_serve_file(args.jsonl):
             errors = check_serve(args.jsonl)
+        elif is_tune_file(args.jsonl):
+            errors = check_tune(args.jsonl)
         elif is_facts_file(args.jsonl):
             errors = check_facts(args.jsonl)
         elif is_trace_file(args.jsonl):

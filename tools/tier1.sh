@@ -2,22 +2,27 @@
 # Tier-1 gate: the checks every change must pass before merging.
 #
 #   1. plain Release build + full ctest suite (plus explicit `-L trace`,
-#      `-L prof`, `-L verify` and `-L serve` passes for the mcltrace
-#      ring/exporter, mclprof registry/profiler, mclverify
-#      dataflow/soundness, and mclserve admission/fairness suites),
+#      `-L prof`, `-L verify`, `-L serve` and `-L tune` passes for the
+#      mcltrace ring/exporter, mclprof registry/profiler, mclverify
+#      dataflow/soundness, mclserve admission/fairness, and mcltune
+#      policy/cache suites),
 #      then the mclsan --all static gate (fails on new diagnostics; the
 #      KernelFacts JSON it emits is schema-checked by plot_results.py),
 #      a fixed-seed 60-second mclcheck differential smoke and a scan
 #      rejecting unminimized committed .mclrepro files,
 #      and a fixed-seed serve_load closed-loop smoke whose BENCH_serve.json
 #      output is schema-checked by plot_results.py (lost/hung tickets fail
-#      the harness itself; a malformed trajectory fails the check);
+#      the harness itself; a malformed trajectory fails the check),
+#      plus a fixed-seed ablation_tuning smoke whose BENCH_tune.json output
+#      is schema-checked (tuned >= paper-default within noise, bounded
+#      online convergence);
 #   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
 #   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue` +
-#      `trace` + `prof` + `serve` labels — the thread-pool wakeup,
-#      event-graph executor, trace-ring, metrics-shard, and multi-tenant
-#      serve tests. Only those labels: TSan cannot track ucontext fiber
-#      stacks, so the fiber suites are excluded via the label selection.
+#      `trace` + `prof` + `serve` + `tune` labels — the thread-pool wakeup,
+#      event-graph executor, trace-ring, metrics-shard, multi-tenant serve,
+#      and tuner decide/report/cache tests. Only those labels: TSan cannot
+#      track ucontext fiber stacks, so the fiber suites are excluded via the
+#      label selection.
 #
 # Usage: tools/tier1.sh [jobs]    (jobs defaults to nproc)
 set -euo pipefail
@@ -32,6 +37,7 @@ ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L prof
 ctest --test-dir build --output-on-failure -L verify
 ctest --test-dir build --output-on-failure -L serve
+ctest --test-dir build --output-on-failure -L tune
 
 echo "== tier1: mclsan --all static gate + KernelFacts schema check =="
 # Exit 1 = a kernel outside the known-positive set gained an error-severity
@@ -61,14 +67,23 @@ echo "== tier1: serve_load closed-loop smoke (fixed seed) =="
   --json build/BENCH_serve_smoke.json
 tools/plot_results.py --check build/BENCH_serve_smoke.json
 
+echo "== tier1: mcltune ablation smoke (fixed seed) =="
+# Fixed-seed quick run of the tuning ablation: the emitted document is
+# schema-checked (tuned arms no worse than paper-default within noise,
+# online convergence within the launch budget). The committed
+# BENCH_tune.json perf-trajectory file comes from the default-size run.
+./build/bench/ablation_tuning --quick --seed 42 \
+  --json build/BENCH_tune_smoke.json
+tools/plot_results.py --check build/BENCH_tune_smoke.json
+
 echo "== tier1: ASan+UBSan build =="
 cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure
 
-echo "== tier1: TSan build (threading + queue + trace + prof + serve labels) =="
+echo "== tier1: TSan build (threading + queue + trace + prof + serve + tune labels) =="
 cmake -B build-tsan -S . -DMCL_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test serve_test
-ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof|serve"
+cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test serve_test tune_test
+ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof|serve|tune"
 
 echo "== tier1: all checks passed =="
