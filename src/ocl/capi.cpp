@@ -627,8 +627,12 @@ mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
   for (mcl_uint d = 0; d < 3; ++d) {
     global.size[d] = d < work_dim ? global_size[d] : 1;
   }
-  const std::size_t threads =
-      std::max(1u, std::thread::hardware_concurrency());
+  // Same thread count the launch path keys tuner entries with (the CPU
+  // device pool's size, which a configured pool makes differ from
+  // hardware_concurrency) — otherwise the query misses the learned
+  // incumbent and silently falls back to the static seed ranking.
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max(1, mcl::ocl::Platform::default_instance().cpu().compute_units()));
   return guarded([&] {
     // The query models a caller-chosen launch with NULL local and no local
     // args — the shape mclEnqueueNDRangeKernel(…, NULL) produces.

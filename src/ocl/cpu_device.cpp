@@ -157,7 +157,13 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
                                            impl_->pool.thread_count());
     if (tuned) {
       exec_kind = tuned->config.executor;
-      if (local.is_null() && !tuned->config.local.is_null()) {
+      // The tuner keys entries on has_local_args, so a local override can
+      // only come from a no-local-args entry; re-check here anyway — the
+      // caller's local byte counts are sized for its own group size, and a
+      // resized group indexing past them is memory corruption, not a tuning
+      // regression.
+      if (local.is_null() && args.total_local_bytes() == 0 &&
+          !tuned->config.local.is_null()) {
         launch_local = tuned->config.local;
       }
       chunk_divisor = tuned->config.chunk_divisor;

@@ -2,16 +2,23 @@
 //
 // Text format (one token stream per line, space-separated):
 //
-//   mcltune v1
+//   mcltune v2
 //   row <key-with-spaces-escaped> <generation> <dims> <l0> <l1> <l2>
 //       <exec> <chunk_div> <sched> <map> <best_ns>
 //   ...
 //   checksum <fnv1a64-hex-of-all-preceding-bytes>
 //
+// (v2: the entry key grew a |aB local-memory-args suffix; v1 files are
+// rejected whole so a pre-suffix key can never alias a new one.)
+//
 // Only CONVERGED entries are saved — a warm process loads rows as converged
 // single-candidate entries and therefore never explores (the tune.explore==0
-// acceptance criterion). Keys never contain spaces (kernel|gNxNxN|l...|tN),
-// so no escaping is actually needed; the loader still rejects malformed rows.
+// acceptance criterion). Keys never contain spaces
+// (kernel|gNxNxN|l...|tN|aB), so no escaping is actually needed; the loader
+// still rejects malformed rows. Generation is a weak guard (a per-process
+// registration counter), so warm rows are additionally legality-checked
+// against the live KernelDef on their first decide() — see
+// Tuner::find_or_create.
 //
 // Failure policy: a missing header, version mismatch, missing/incorrect
 // checksum trailer, or any truncation rejects the WHOLE file (cold start is
@@ -37,7 +44,7 @@
 namespace mcl::tune {
 namespace {
 
-constexpr const char* kHeader = "mcltune v1";
+constexpr const char* kHeader = "mcltune v2";
 
 std::uint64_t fnv1a64_bytes(const std::string& s) {
   std::uint64_t h = 1469598103934665603ull;

@@ -123,8 +123,12 @@ struct Features {
 struct Decision {
   TunedConfig config;
   bool explore = false;   ///< this launch is an exploration trial
-  std::string key;        ///< tuner entry key (kernel|shape|threads)
+  std::string key;        ///< tuner entry key (kernel|shape|threads|localargs)
   std::uint32_t candidate = 0;  ///< index into the entry's candidate list
+  /// IR generation of the entry at decide() time; report() drops the sample
+  /// when it no longer matches (the entry was evicted and recreated for a
+  /// re-registered kernel body between decide and report).
+  std::uint64_t generation = 0;
 };
 
 /// Monotone internal counters (metrics-registry independent, so tests can
@@ -220,13 +224,13 @@ class Tuner {
   /// (exhausted its trial budget or was loaded from a warm cache).
   [[nodiscard]] bool converged(const std::string& kernel,
                                const ocl::NDRange& global,
-                               const ocl::NDRange& local,
-                               std::size_t threads) const;
+                               const ocl::NDRange& local, std::size_t threads,
+                               bool has_local_args = false) const;
 
   [[nodiscard]] TunerStats stats() const;
   void reset_stats();
 
-  /// Persists every converged entry: "mcltune v1" header, one row per
+  /// Persists every converged entry: "mcltune v2" header, one row per
   /// entry carrying the kernel's IR generation, FNV-1a checksum trailer.
   /// Written to <path>.tmp.<pid> then renamed (concurrent-writer safe).
   [[nodiscard]] bool save_cache(const std::string& path) const;
@@ -254,6 +258,12 @@ class Tuner {
     std::uint32_t incumbent = 0;
     bool converged = false;
     bool from_cache = false;   ///< warm start: never explores
+    /// Warm entries carry configs written by a possibly different build;
+    /// the first decide() re-checks the incumbent against live executor
+    /// legality (candidate_executors + simd width) and drops the entry if
+    /// it no longer holds. Entries built in-process are legal by
+    /// construction.
+    bool validated = false;
     std::uint64_t launches = 0;
     std::uint64_t rng = 0x9E3779B97F4A7C15ull;  ///< per-entry epsilon stream
   };
@@ -261,7 +271,8 @@ class Tuner {
   [[nodiscard]] static std::string entry_key(const std::string& kernel,
                                              const ocl::NDRange& global,
                                              const ocl::NDRange& local,
-                                             std::size_t threads);
+                                             std::size_t threads,
+                                             bool has_local_args);
   Entry* find_or_create(const ocl::KernelDef& def, const ocl::NDRange& global,
                         const ocl::NDRange& local, bool has_local_args,
                         std::size_t threads, const std::string& key);

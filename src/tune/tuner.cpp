@@ -133,6 +133,30 @@ std::vector<ocl::ExecutorKind> candidate_executors(const ocl::KernelDef& def) {
   return out;
 }
 
+/// Legality of one concrete config for one launch — the same rules candidate
+/// enumeration applies, re-checkable after the fact. Used to vet warm-cache
+/// rows on their first decide(): the generation guard only proves the IR is
+/// unchanged, not that the row is legal for THIS build (executor legality is
+/// build-dependent — a cache written by a SIMD-enabled build loads into a
+/// scalar build — and the file may have been hand-edited).
+bool config_legal(const ocl::KernelDef& def, const TunedConfig& cfg,
+                  const ocl::NDRange& global, const ocl::NDRange& local,
+                  bool has_local_args) {
+  if (cfg.executor != ocl::ExecutorKind::Auto) {
+    const std::vector<ocl::ExecutorKind> execs = candidate_executors(def);
+    if (std::find(execs.begin(), execs.end(), cfg.executor) == execs.end()) {
+      return false;
+    }
+  }
+  if (!cfg.local.is_null()) {
+    if (!local.is_null() || has_local_args) return false;
+    const std::size_t cap =
+        def.needs_barrier ? kMaxBarrierItemsPerGroup : kMaxItemsPerGroup;
+    if (!divides(cfg.local, global) || cfg.local.total() > cap) return false;
+  }
+  return cfg.chunk_divisor != 0;
+}
+
 }  // namespace
 
 namespace detail {
@@ -336,7 +360,8 @@ void Tuner::set_mode(Mode m) noexcept {
 
 std::string Tuner::entry_key(const std::string& kernel,
                              const ocl::NDRange& global,
-                             const ocl::NDRange& local, std::size_t threads) {
+                             const ocl::NDRange& local, std::size_t threads,
+                             bool has_local_args) {
   std::ostringstream out;
   out << kernel << "|g" << global[0] << "x" << global[1] << "x" << global[2]
       << "|l";
@@ -345,7 +370,11 @@ std::string Tuner::entry_key(const std::string& kernel,
   } else {
     out << local[0] << "x" << local[1] << "x" << local[2];
   }
-  out << "|t" << threads;
+  // has_local_args is part of the key, not just candidate enumeration: a
+  // kernel launched both with and without local-memory args must get two
+  // entries, or the no-local-args entry's learned local-size override leaks
+  // into launches whose local byte counts were sized for different groups.
+  out << "|t" << threads << "|a" << (has_local_args ? 1 : 0);
   return out.str();
 }
 
@@ -355,7 +384,23 @@ Tuner::Entry* Tuner::find_or_create(const ocl::KernelDef& def,
                                     bool has_local_args, std::size_t threads,
                                     const std::string& key) {
   const auto it = entries_.find(key);
-  if (it != entries_.end()) return &it->second;
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    if (!entry.from_cache || entry.validated) return &entry;
+    // First hit on a warm row: the generation guard at load time only proves
+    // the IR is unchanged, not that the persisted config is legal for this
+    // build/kernel (a SIMD row in a scalar build, a Loop row for a barrier
+    // kernel in a hand-edited file). An illegal row would make GroupRunner
+    // throw InvalidLaunch on every launch — drop it as stale and fall
+    // through to a fresh entry instead.
+    if (config_legal(def, entry.candidates[entry.incumbent].config, global,
+                     local, has_local_args)) {
+      entry.validated = true;
+      return &entry;
+    }
+    entries_.erase(it);
+    ++stats_.cache_rows_rejected;
+  }
   if (entries_.size() >= kMaxEntries) return nullptr;
 
   // Feature extraction and candidate ranking run outside entries_ churn but
@@ -393,7 +438,8 @@ std::optional<Decision> Tuner::decide(const ocl::KernelDef& def,
                                       std::size_t threads) {
   const Mode m = mode();
   if (m == Mode::Off) return std::nullopt;
-  const std::string key = entry_key(def.name, global, local, threads);
+  const std::string key =
+      entry_key(def.name, global, local, threads, has_local_args);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   Entry* entry = find_or_create(def, global, local, has_local_args, threads, key);
@@ -404,6 +450,7 @@ std::optional<Decision> Tuner::decide(const ocl::KernelDef& def,
 
   Decision d;
   d.key = key;
+  d.generation = entry->generation;
 
   if (m == Mode::Online && !entry->converged) {
     // Round-robin exploration: the live candidate with the fewest trials.
@@ -458,6 +505,9 @@ void Tuner::report(const Decision& decision, double seconds) {
   const auto it = entries_.find(decision.key);
   if (it == entries_.end()) return;  // evicted between decide and report
   Entry& entry = it->second;
+  // Evicted AND recreated between decide and report (IR re-registration):
+  // the stale timing belongs to the old body's candidate list, not this one.
+  if (entry.generation != decision.generation) return;
   if (decision.candidate >= entry.candidates.size()) return;
   CandidateState& cs = entry.candidates[decision.candidate];
   if (cs.best_seconds == 0.0 || seconds < cs.best_seconds) {
@@ -503,7 +553,8 @@ std::optional<TunedConfig> Tuner::tuned_config(const ocl::KernelDef& def,
                                                const ocl::NDRange& local,
                                                bool has_local_args,
                                                std::size_t threads) {
-  const std::string key = entry_key(def.name, global, local, threads);
+  const std::string key =
+      entry_key(def.name, global, local, threads, has_local_args);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
@@ -554,8 +605,10 @@ std::size_t Tuner::entry_count(const std::string& kernel) const {
 }
 
 bool Tuner::converged(const std::string& kernel, const ocl::NDRange& global,
-                      const ocl::NDRange& local, std::size_t threads) const {
-  const std::string key = entry_key(kernel, global, local, threads);
+                      const ocl::NDRange& local, std::size_t threads,
+                      bool has_local_args) const {
+  const std::string key =
+      entry_key(kernel, global, local, threads, has_local_args);
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   return it != entries_.end() && it->second.converged;

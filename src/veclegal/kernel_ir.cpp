@@ -27,14 +27,18 @@ KernelIrRegistry& KernelIrRegistry::instance() {
 void KernelIrRegistry::add(std::string kernel_name, KernelIr ir) {
   std::vector<std::function<void(const std::string&)>> hooks;
   {
-    // Invalidate before publishing the new IR: any analysis result computed
-    // from the old descriptor must not be served for the new one.
+    // One critical section invalidates the analysis cache, bumps the
+    // generation, AND publishes the new IR: concurrent find()/names()
+    // readers (the tune launch path calls features_for -> find() while
+    // mclcheck-style clients re-register at runtime) must never observe the
+    // map mid-mutation, and no reader may see the new IR paired with a
+    // stale cached analysis.
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.erase(kernel_name);
     ++generations_[kernel_name];
+    irs_[kernel_name] = std::move(ir);
     hooks = invalidation_hooks_;
   }
-  irs_[kernel_name] = std::move(ir);
   // Hooks run outside the cache lock (they may re-enter the registry, e.g.
   // to read the new generation) and after the new IR is visible.
   for (const auto& hook : hooks) hook(kernel_name);
@@ -70,11 +74,17 @@ std::uint64_t KernelIrRegistry::generation(
 }
 
 const KernelIr* KernelIrRegistry::find(const std::string& kernel_name) const {
-  auto it = irs_.find(kernel_name);
+  // The returned pointer stays valid across concurrent add()s of OTHER
+  // kernels (map nodes are stable); re-registering the SAME kernel while a
+  // caller still reads its IR remains the caller's race to avoid, as it was
+  // before the map itself was locked.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = irs_.find(kernel_name);
   return it == irs_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> KernelIrRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   std::vector<std::string> out;
   out.reserve(irs_.size());
   for (const auto& [name, ir] : irs_) out.push_back(name);

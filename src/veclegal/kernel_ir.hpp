@@ -60,6 +60,9 @@ class KernelIrRegistry {
   [[nodiscard]] static KernelIrRegistry& instance();
 
   void add(std::string kernel_name, KernelIr ir);
+  /// Thread-safe lookup. The pointer stays valid across add()s of other
+  /// kernels (map nodes are stable); holding it across a re-registration of
+  /// the SAME kernel races with the in-place overwrite.
   [[nodiscard]] const KernelIr* find(const std::string& kernel_name) const;
   [[nodiscard]] std::vector<std::string> names() const;
 

@@ -6,6 +6,7 @@
 // (the `tune` label is in the plain and TSan tiers).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -265,6 +266,59 @@ TEST(TuneOnline, ReportAfterEvictionIsIgnored) {
   EXPECT_EQ(t.entry_count(def.name), 0u);
 }
 
+TEST(TuneOnline, StaleGenerationReportIsDropped) {
+  TunerGuard guard;
+  Tuner& t = Tuner::instance();
+  t.set_mode(Mode::Online);
+  const ocl::KernelDef& def =
+      ocl::Program::builtin().lookup(apps::kSquareKernel);
+  const ocl::NDRange global{4096};
+  auto d1 = t.decide(def, global, ocl::NDRange{}, false, 4);
+  ASSERT_TRUE(d1.has_value());
+  t.report(*d1, 0.001);
+  auto d2 = t.decide(def, global, ocl::NDRange{}, false, 4);
+  ASSERT_TRUE(d2.has_value());
+  ASSERT_NE(d1->candidate, d2->candidate);  // round-robin moved on
+
+  // Re-registration bumps the generation and evicts the entry; the next
+  // decide recreates it under the new generation.
+  auto& registry = veclegal::KernelIrRegistry::instance();
+  const veclegal::KernelIr* ir = registry.find(def.name);
+  ASSERT_NE(ir, nullptr);
+  registry.add(def.name, *ir);
+  auto d3 = t.decide(def, global, ocl::NDRange{}, false, 4);
+  ASSERT_TRUE(d3.has_value());
+
+  // d2 belongs to the evicted entry. Its (absurdly fast) timing must not be
+  // credited to the recreated candidate list, or a never-measured config
+  // becomes the unbeatable incumbent.
+  t.report(*d2, 1e-9);
+  auto cfg = t.tuned_config(def, global, ocl::NDRange{}, false, 4);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_NE(cfg->to_string(), d2->config.to_string());
+}
+
+TEST(TuneOnline, LocalMemArgLaunchesGetTheirOwnEntry) {
+  TunerGuard guard;
+  Tuner& t = Tuner::instance();
+  const ocl::KernelDef def = synthetic_def("tune.test.localargs");
+  const ocl::NDRange global{8192};
+  // Converge the no-local-args shape; its candidate list includes
+  // local-size overrides.
+  converge_entry(t, def, global, 4);
+  // The same kernel/shape launched WITH caller-sized local-memory args must
+  // hit a separate entry (has_local_args is part of the key) that never
+  // overrides the local size — the learned override's group size would
+  // invalidate the caller's local byte counts.
+  for (int i = 0; i < 30; ++i) {
+    auto d = t.decide(def, global, ocl::NDRange{}, /*has_local_args=*/true, 4);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->config.local.is_null());
+    t.report(*d, 0.001);
+  }
+  EXPECT_EQ(t.entry_count(def.name), 2u);
+}
+
 // ----- persistent cache ----------------------------------------------------
 
 TEST(TuneCache, RoundTripRestoresConvergedEntry) {
@@ -317,8 +371,9 @@ TEST(TuneCache, VersionMismatchRejectsWholeFile) {
   TunerGuard guard;
   Tuner& t = Tuner::instance();
   // A well-checksummed file with the wrong version header: the checksum
-  // passes, the version check must still reject it.
-  const std::string payload = "mcltune v2\n";
+  // passes, the version check must still reject it. v1 is the retired
+  // pre-|aB-key format, so this doubles as the old-file rejection test.
+  const std::string payload = "mcltune v1\n";
   std::ostringstream doc;
   doc << payload << "checksum " << std::hex << fnv1a64(payload) << "\n";
   const std::string path = temp_path("tune_version.cache");
@@ -407,6 +462,37 @@ TEST(TuneCache, StaleGenerationRowIsSkipped) {
   EXPECT_EQ(t.entry_count(def.name), 0u);
 }
 
+TEST(TuneCache, WarmRowIllegalForThisBuildIsDroppedAtDecide) {
+  TunerGuard guard;
+  Tuner& t = Tuner::instance();
+  // Hand-craft a structurally valid v2 cache whose row pins the Simd
+  // executor for a kernel with no simd form — what a cache written by a
+  // SIMD-enabled build (or a hand edit) looks like to this process. The
+  // generation guard cannot catch it (0 == 0 for never-registered IR);
+  // decide() must drop the row instead of serving a config GroupRunner
+  // would reject on every launch.
+  const std::string key = "tune.test.illegalwarm|g4096x1x1|lauto|t4|a0";
+  std::ostringstream payload;
+  payload << "mcltune v2\n"
+          << "row " << key << " 0 0 0 0 0 3 16 0 1 1000\n";
+  std::ostringstream doc;
+  doc << payload.str() << "checksum " << std::hex << fnv1a64(payload.str())
+      << "\n";
+  const std::string path = temp_path("tune_illegal.cache");
+  write_file(path, doc.str());
+
+  ASSERT_EQ(t.load_cache(path), 1u);  // structurally valid: it loads
+  t.set_mode(Mode::Online);
+  const ocl::KernelDef def = synthetic_def("tune.test.illegalwarm");
+  const std::uint64_t rejected_before = t.stats().cache_rows_rejected;
+  auto d = t.decide(def, ocl::NDRange{4096}, ocl::NDRange{}, false, 4);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->config.executor, ocl::ExecutorKind::Simd);
+  EXPECT_GT(t.stats().cache_rows_rejected, rejected_before);
+  // The rebuilt entry is cold: it explores like one.
+  EXPECT_FALSE(t.converged(def.name, ocl::NDRange{4096}, ocl::NDRange{}, 4));
+}
+
 // ----- IR re-registration eviction ----------------------------------------
 
 TEST(TuneEvict, ReRegistrationDropsTunedEntries) {
@@ -428,6 +514,41 @@ TEST(TuneEvict, ReRegistrationDropsTunedEntries) {
   EXPECT_EQ(t.entry_count(def.name), 0u);
   EXPECT_GT(t.stats().evictions, evictions_before);
   EXPECT_FALSE(t.converged(def.name, global, ocl::NDRange{}, 4));
+}
+
+// ----- registry concurrency (exercised under the TSan tier) ----------------
+
+TEST(TuneRegistry, ConcurrentReRegistrationAndLaunchPathReadsAreSafe) {
+  TunerGuard guard;
+  auto& registry = veclegal::KernelIrRegistry::instance();
+  const veclegal::KernelIr* square = registry.find(apps::kSquareKernel);
+  ASSERT_NE(square, nullptr);
+  const veclegal::KernelIr ir_copy = *square;
+
+  // A writer registers fresh kernel names (map inserts rebalance the tree)
+  // while readers walk it the way the tune launch path does (features_for
+  // -> find(), names(), generation()); the registry must synchronize the IR
+  // map itself, not just the analysis cache beside it.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      registry.add("tune.test.race." + std::to_string(i), ir_copy);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        (void)registry.find(apps::kSquareKernel);
+        (void)registry.names();
+        (void)registry.generation("tune.test.race.0");
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& th : readers) th.join();
+  EXPECT_NE(registry.find(apps::kSquareKernel), nullptr);
 }
 
 // ----- launch-path integration --------------------------------------------
