@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "apps/hostdata.hpp"
+#include "obs/obs.hpp"
 #include "ocl/platform.hpp"
 #include "ocl/queue.hpp"
 #include "simd/math.hpp"
@@ -162,6 +163,20 @@ void BM_TraceScopeDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceScopeDisabled);
+
+// mclobs shares the contract: with observability off, the launch-path gate
+// (obs::enabled()) is one relaxed atomic load and a not-taken branch. The
+// body mirrors the real instrumentation sites in queue.cpp/serve.cpp.
+void BM_ObsDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  std::uint64_t ctx = 0;
+  for (auto _ : state) {
+    if (obs::enabled()) ctx = obs::ensure_context();
+    benchmark::DoNotOptimize(ctx);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsDisabled);
 
 // Enabled cost per span: two clock reads + one SPSC ring push. start(0)
 // disables the drainer thread; the ring wraps and drops, which is fine —

@@ -22,6 +22,7 @@
 //
 //   build/bench/serve_load --requests 1000000 --tenants 8 --seed 42
 //   build/bench/serve_load --quick          # tier-1 smoke (50k requests)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -29,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -38,6 +40,7 @@
 #include "check/generator.hpp"
 #include "check/interp.hpp"
 #include "core/time.hpp"
+#include "obs/obs.hpp"
 #include "ocl/queue.hpp"
 #include "prof/metrics.hpp"
 #include "serve/serve.hpp"
@@ -54,6 +57,8 @@ struct Options {
   std::uint64_t seed = 42;
   std::string json = "BENCH_serve.json";
   bool quick = false;
+  bool obs = false;          ///< mclobs: exact critical-path accounting
+  std::string obs_dump;      ///< write a .mclobs snapshot here at exit
 };
 
 /// xorshift64* — deterministic per-client jitter without <random> overhead.
@@ -343,6 +348,85 @@ std::uint64_t find_histogram_percentile(const prof::Snapshot& snap,
   return 0;
 }
 
+/// Exact per-request critical-path records, teed off obs::set_complete_sink.
+/// The mclprof histograms are log-bucketed (2x resolution) — fine for
+/// dashboards, useless for asserting "segments sum to within 5% of the
+/// measured latency". The sink gives us the un-bucketed Record stream.
+struct ObsCollector {
+  std::mutex mu;
+  std::vector<obs::Record> records;
+
+  void add(const obs::Record& r) {
+    const std::lock_guard<std::mutex> lock(mu);
+    records.push_back(r);
+  }
+};
+
+/// Per-tenant critical-path summary over the exact records.
+struct PathSummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50_total_ns = 0;
+  std::uint64_t p99_total_ns = 0;
+  // Segment values of the nearest-rank p99 request (not per-segment p99s:
+  // those would not sum to any single request's latency).
+  obs::PathSegments p99_request;
+  double mean_admission_ns = 0.0;
+  double mean_dependency_ns = 0.0;
+  double mean_queue_ns = 0.0;
+  double mean_exec_ns = 0.0;
+  double mean_total_ns = 0.0;
+  double mean_coverage = 0.0;  ///< mean named_sum/total over all requests
+};
+
+obs::PathSegments segments_of(const obs::Record& r) {
+  obs::PathSegments s;
+  s.admission_ns = r.args[0];
+  s.dependency_ns = r.args[1];
+  s.queue_ns = r.args[2];
+  s.exec_ns = r.args[3];
+  s.total_ns = r.args[4];
+  s.is_kernel = r.args[5] != 0;
+  return s;
+}
+
+PathSummary summarize_paths(std::vector<const obs::Record*>& recs) {
+  PathSummary out;
+  out.count = recs.size();
+  if (recs.empty()) return out;
+  std::sort(recs.begin(), recs.end(),
+            [](const obs::Record* a, const obs::Record* b) {
+              return a->args[4] < b->args[4];
+            });
+  const auto rank = [&](double p) {
+    const std::size_t n = recs.size();
+    std::size_t r = static_cast<std::size_t>(p / 100.0 * static_cast<double>(n));
+    return r >= n ? n - 1 : r;
+  };
+  out.p50_total_ns = recs[rank(50.0)]->args[4];
+  out.p99_total_ns = recs[rank(99.0)]->args[4];
+  out.p99_request = segments_of(*recs[rank(99.0)]);
+  double cov = 0.0;
+  for (const obs::Record* r : recs) {
+    const obs::PathSegments s = segments_of(*r);
+    out.mean_admission_ns += static_cast<double>(s.admission_ns);
+    out.mean_dependency_ns += static_cast<double>(s.dependency_ns);
+    out.mean_queue_ns += static_cast<double>(s.queue_ns);
+    out.mean_exec_ns += static_cast<double>(s.exec_ns);
+    out.mean_total_ns += static_cast<double>(s.total_ns);
+    cov += s.total_ns > 0 ? static_cast<double>(s.named_sum()) /
+                                static_cast<double>(s.total_ns)
+                          : 1.0;
+  }
+  const double n = static_cast<double>(recs.size());
+  out.mean_admission_ns /= n;
+  out.mean_dependency_ns /= n;
+  out.mean_queue_ns /= n;
+  out.mean_exec_ns /= n;
+  out.mean_total_ns /= n;
+  out.mean_coverage = cov / n;
+  return out;
+}
+
 struct TimelinePoint {
   double t_s = 0.0;
   std::size_t completed = 0;
@@ -359,6 +443,12 @@ int run(const Options& opt) {
   ocl::CpuDevice device;
   ocl::Context context(device);
   prof::set_enabled(true);  // serve's latency histograms record only when on
+  ObsCollector collector;
+  if (opt.obs) {
+    obs::set_enabled(true);
+    obs::set_complete_sink(
+        [&collector](const obs::Record& r) { collector.add(r); });
+  }
   register_generated_kernels(opt.seed);
 
   serve::Server server(context);
@@ -417,6 +507,7 @@ int run(const Options& opt) {
   done.store(true, std::memory_order_release);
   sampler.join();
   const double duration_s = core::elapsed_s(t0, core::now());
+  if (opt.obs) obs::set_complete_sink(nullptr);
 
   bool ok = true;
   for (const Client& c : clients) {
@@ -456,8 +547,10 @@ int run(const Options& opt) {
 
   std::string json;
   json.reserve(4096 + 64 * timeline.size());
-  char buf[256];
+  char buf[512];
   json += "{\n  \"mclserve\": 1,\n  \"bench\": \"serve_load\",\n";
+  std::snprintf(buf, sizeof buf, "  \"obs\": %d,\n", opt.obs ? 1 : 0);
+  json += buf;
   std::snprintf(buf, sizeof buf,
                 "  \"seed\": %llu,\n  \"tenants\": %zu,\n"
                 "  \"requests\": %zu,\n  \"completed\": %zu,\n"
@@ -510,7 +603,7 @@ int run(const Options& opt) {
     json += buf;
     std::snprintf(buf, sizeof buf,
                   "\"cache_hits\": %zu, \"cache_misses\": %zu, "
-                  "\"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu}",
+                  "\"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu, ",
                   ts.cache_hits, ts.cache_misses,
                   static_cast<unsigned long long>(
                       find_histogram_percentile(snap, hist, 50.0)),
@@ -519,8 +612,101 @@ int run(const Options& opt) {
                   static_cast<unsigned long long>(
                       find_histogram_percentile(snap, hist, 99.9)));
     json += buf;
+    // Admission-wait (submit -> dispatch) and service (dispatch -> complete)
+    // recorded separately by the server, so queueing delay under load is
+    // visible apart from how long commands actually took.
+    const std::string adm = "serve.admission_ns." + ts.name;
+    const std::string svc = "serve.service_ns." + ts.name;
+    std::snprintf(
+        buf, sizeof buf,
+        "\"admission_p50_ns\": %llu, \"admission_p99_ns\": %llu, "
+        "\"service_p50_ns\": %llu, \"service_p99_ns\": %llu}",
+        static_cast<unsigned long long>(
+            find_histogram_percentile(snap, adm, 50.0)),
+        static_cast<unsigned long long>(
+            find_histogram_percentile(snap, adm, 99.0)),
+        static_cast<unsigned long long>(
+            find_histogram_percentile(snap, svc, 50.0)),
+        static_cast<unsigned long long>(
+            find_histogram_percentile(snap, svc, 99.0)));
+    json += buf;
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ]";
+
+  if (opt.obs) {
+    // Exact per-request critical paths, grouped by the tenant id packed into
+    // each record. Acceptance: the nearest-rank p99 request's named segments
+    // must cover >= 95% of its measured end-to-end latency, per tenant.
+    std::vector<std::vector<const obs::Record*>> by_tenant(
+        sstats.tenants.size() + 1);
+    {
+      const std::lock_guard<std::mutex> lock(collector.mu);
+      for (const obs::Record& r : collector.records) {
+        if (r.tenant < by_tenant.size()) by_tenant[r.tenant].push_back(&r);
+      }
+    }
+    json += ",\n  \"critical_path\": [";
+    bool first = true;
+    for (std::size_t i = 0; i < sstats.tenants.size(); ++i) {
+      auto& recs = by_tenant[i + 1];  // tenant ids are 1-based creation order
+      if (recs.empty()) continue;
+      const PathSummary ps = summarize_paths(recs);
+      const double cover =
+          ps.p99_request.total_ns > 0
+              ? static_cast<double>(ps.p99_request.named_sum()) /
+                    static_cast<double>(ps.p99_request.total_ns)
+              : 1.0;
+      if (cover < 0.95) {
+        std::fprintf(stderr,
+                     "serve_load: tenant %s p99 critical-path coverage %.1f%% "
+                     "(< 95%% of measured latency)\n",
+                     sstats.tenants[i].name.c_str(), cover * 100.0);
+        ok = false;
+      }
+      json += first ? "\n    {" : ",\n    {";
+      first = false;
+      json += "\"name\": \"";
+      json_escape_append(json, sstats.tenants[i].name);
+      json += "\", ";
+      std::snprintf(buf, sizeof buf,
+                    "\"count\": %llu, \"p50_total_ns\": %llu, "
+                    "\"p99_total_ns\": %llu, \"mean_coverage\": %.4f,\n     ",
+                    static_cast<unsigned long long>(ps.count),
+                    static_cast<unsigned long long>(ps.p50_total_ns),
+                    static_cast<unsigned long long>(ps.p99_total_ns),
+                    ps.mean_coverage);
+      json += buf;
+      std::snprintf(
+          buf, sizeof buf,
+          "\"p99_request\": {\"admission_ns\": %llu, \"dependency_ns\": %llu, "
+          "\"queue_ns\": %llu, \"exec_ns\": %llu, \"total_ns\": %llu},\n     ",
+          static_cast<unsigned long long>(ps.p99_request.admission_ns),
+          static_cast<unsigned long long>(ps.p99_request.dependency_ns),
+          static_cast<unsigned long long>(ps.p99_request.queue_ns),
+          static_cast<unsigned long long>(ps.p99_request.exec_ns),
+          static_cast<unsigned long long>(ps.p99_request.total_ns));
+      json += buf;
+      std::snprintf(
+          buf, sizeof buf,
+          "\"mean\": {\"admission_ns\": %.1f, \"dependency_ns\": %.1f, "
+          "\"queue_ns\": %.1f, \"exec_ns\": %.1f, \"total_ns\": %.1f}}",
+          ps.mean_admission_ns, ps.mean_dependency_ns, ps.mean_queue_ns,
+          ps.mean_exec_ns, ps.mean_total_ns);
+      json += buf;
+    }
+    json += "\n  ]";
+  }
+  json += "\n}\n";
+
+  if (!opt.obs_dump.empty()) {
+    const std::string written =
+        obs::dump_now(obs::Kind::Mark, 0, "serve_load --obs", opt.obs_dump);
+    if (written.empty()) {
+      std::fprintf(stderr, "serve_load: failed to write obs dump %s\n",
+                   opt.obs_dump.c_str());
+      ok = false;
+    }
+  }
 
   std::ofstream f(opt.json);
   if (!f) {
@@ -567,6 +753,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--quick") {
       opt.quick = true;
       opt.requests = 50'000;
+    } else if (arg == "--obs") {
+      opt.obs = true;
+    } else if (arg == "--obs-dump") {
+      opt.obs = true;
+      opt.obs_dump = value();
     } else if (arg == "--tune") {
       // Convenience override of MCL_TUNE for load runs under tuning.
       const std::string m = value();
@@ -583,7 +774,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: serve_load [--requests N] [--tenants N] [--seed S]\n"
-          "                  [--json PATH] [--quick] [--tune off|seed|online]\n");
+          "                  [--json PATH] [--quick] [--tune off|seed|online]\n"
+          "                  [--obs] [--obs-dump PATH]\n");
       return 0;
     } else {
       std::fprintf(stderr, "serve_load: unknown flag %s\n", arg.c_str());

@@ -1,0 +1,280 @@
+// Recursive-descent JSON parser for mclobs tooling.
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace mcl::obs::json {
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(offset());
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t offset() const {
+    return static_cast<std::size_t>(p - begin);
+  }
+  const char* begin = nullptr;
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (p == end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out.type = Type::String;
+        return parse_string(out.string);
+      }
+      case 't':
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+          out.type = Type::Bool;
+          out.boolean = true;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+          out.type = Type::Bool;
+          out.boolean = false;
+          p += 5;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+          out.type = Type::Null;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.type = Type::Object;
+    ++p;  // '{'
+    skip_ws();
+    if (p != end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (p == end || *p != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p == end || *p != ':') return fail("expected ':'");
+      ++p;
+      auto child = std::make_shared<Value>();
+      if (!parse_value(*child)) return false;
+      out.object[key] = std::move(child);
+      skip_ws();
+      if (p == end) return fail("unterminated object");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.type = Type::Array;
+    ++p;  // '['
+    skip_ws();
+    if (p != end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      auto child = std::make_shared<Value>();
+      if (!parse_value(*child)) return false;
+      out.array.push_back(std::move(child));
+      skip_ws();
+      if (p == end) return fail("unterminated array");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++p;  // opening quote
+    out.clear();
+    while (p != end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p == end) return fail("unterminated escape");
+      c = *p++;
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end - p < 4) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair handling; MiniCL output is
+          // ASCII plus escaped control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    if (p == end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_number(Value& out) {
+    const char* start = p;
+    if (p != end && *p == '-') ++p;
+    while (p != end && (std::isdigit(static_cast<unsigned char>(*p)) != 0))
+      ++p;
+    bool integral = true;
+    if (p != end && *p == '.') {
+      integral = false;
+      ++p;
+      while (p != end && std::isdigit(static_cast<unsigned char>(*p)) != 0)
+        ++p;
+    }
+    if (p != end && (*p == 'e' || *p == 'E')) {
+      integral = false;
+      ++p;
+      if (p != end && (*p == '+' || *p == '-')) ++p;
+      while (p != end && std::isdigit(static_cast<unsigned char>(*p)) != 0)
+        ++p;
+    }
+    if (p == start) return fail("expected value");
+    const std::string text(start, p);
+    out.type = Type::Number;
+    out.number = std::strtod(text.c_str(), nullptr);
+    if (integral && text[0] != '-') {
+      errno = 0;
+      const unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
+      if (errno == 0) {
+        out.u64 = v;
+        out.is_integer = true;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const Value* Value::get(const std::string& key) const {
+  if (type != Type::Object) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t Value::get_u64(const std::string& key, std::uint64_t def) const {
+  const Value* v = get(key);
+  if (v == nullptr || !v->is_number()) return def;
+  return v->is_integer ? v->u64 : static_cast<std::uint64_t>(v->number);
+}
+
+double Value::get_number(const std::string& key, double def) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_number()) ? v->number : def;
+}
+
+std::string Value::get_string(const std::string& key,
+                              const std::string& def) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_string()) ? v->string : def;
+}
+
+ValuePtr parse(const std::string& text, std::string* error) {
+  Parser parser;
+  parser.begin = text.data();
+  parser.p = text.data();
+  parser.end = text.data() + text.size();
+  auto root = std::make_shared<Value>();
+  if (!parser.parse_value(*root)) {
+    if (error != nullptr) *error = parser.error;
+    return nullptr;
+  }
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    if (error != nullptr) *error = "trailing garbage after document";
+    return nullptr;
+  }
+  return root;
+}
+
+ValuePtr parse_file(const std::string& path, std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return parse(buf.str(), error);
+}
+
+}  // namespace mcl::obs::json

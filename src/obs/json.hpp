@@ -1,0 +1,64 @@
+// Minimal JSON reader for mclobs tooling (mclstat, tests). Parses the
+// documents MiniCL itself writes (`.mclobs` dumps, BENCH_*.json) — strict
+// enough to reject malformed output, small enough to stay dependency-free.
+// Integer literals that fit a uint64 keep their exact value alongside the
+// double, so 64-bit context ids round-trip losslessly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcl::obs::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+class Value {
+ public:
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t u64 = 0;   ///< exact value when `is_integer`
+  bool is_integer = false;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;  // sorted; fine for tooling
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::Null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::Array; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::String;
+  }
+
+  /// Object member, or nullptr when absent / not an object.
+  [[nodiscard]] const Value* get(const std::string& key) const;
+  /// Member's exact uint64 (fallback: truncated double); `def` when absent.
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t def = 0) const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double def = 0.0) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& def = "") const;
+};
+
+/// Parses a complete document. Returns nullptr on any syntax error (and
+/// writes a short description into *error when given).
+[[nodiscard]] ValuePtr parse(const std::string& text,
+                             std::string* error = nullptr);
+
+/// Reads and parses a file; nullptr on IO or syntax error.
+[[nodiscard]] ValuePtr parse_file(const std::string& path,
+                                  std::string* error = nullptr);
+
+}  // namespace mcl::obs::json

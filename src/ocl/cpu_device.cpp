@@ -225,12 +225,17 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
     const std::uint64_t est_bytes =
         estimate_group_bytes(args, runner.total_groups());
     prof::LaunchAcc* const accp = prof::profiling() ? &acc : nullptr;
+    // Workgroups run on pool threads whose thread-local causal context is
+    // not the launcher's; carry it into the lambda so wg: spans stay
+    // attributable to the enclosing command (mclobs).
+    const std::uint64_t ctx = trace::current_context();
     trace::ScopedSpan launch_span(
         trace::enabled() ? trace::intern("launch:" + def.name) : nullptr,
         "groups,threads", runner.total_groups(), threads);
     result.schedule = impl_->pool.parallel_run(
         dispatch_groups,
-        [&runner, wg_name, est_bytes, accp](std::size_t g) {
+        [&runner, wg_name, est_bytes, accp, ctx](std::size_t g) {
+          trace::ContextScope cscope(ctx);
           trace::ScopedSpan span(wg_name, "group,worker,est_bytes", g,
                                  wg_name != nullptr
                                      ? trace::current_thread_id()
@@ -285,12 +290,16 @@ LaunchResult CpuDevice::launch_pinned(const KernelDef& def,
   prof::LaunchAcc* const accp = prof::profiling() ? &acc : nullptr;
 
   const core::TimePoint t0 = core::now();
+  // Pinned threads are fresh; install the launcher's causal context so
+  // their wg: spans attribute like pool-thread launches (mclobs).
+  const std::uint64_t ctx = trace::current_context();
   std::vector<std::thread> threads;
   threads.reserve(by_cpu.size());
   for (const auto& [cpu, groups] : by_cpu) {
     threads.emplace_back(
-        [cpu = cpu, &groups, &runner, wg_name, est_bytes, accp] {
+        [cpu = cpu, &groups, &runner, wg_name, est_bytes, accp, ctx] {
           threading::pin_current_thread(cpu);
+          trace::ContextScope cscope(ctx);
           for (std::size_t g : groups) {
             trace::ScopedSpan span(wg_name, "group,cpu,est_bytes", g,
                                    static_cast<std::uint64_t>(cpu), est_bytes);

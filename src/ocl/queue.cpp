@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/time.hpp"
+#include "obs/obs.hpp"
 #include "prof/metrics.hpp"
 #include "threading/affinity.hpp"
 #include "threading/thread_pool.hpp"
@@ -493,6 +494,10 @@ AsyncEventPtr CommandQueue::submit_async(CommandType type,
   ev->queue_ = this;  // written before publication; read-only afterwards
   ev->work_ = std::move(command);
   ev->prof_.queued_ns = now_ns();
+  // Causal attribution: inherit the enqueuing thread's context (mclserve
+  // sets one around forward()), minting a fresh anonymous id for direct
+  // enqueues. One relaxed load when observability is off.
+  if (obs::enabled()) ev->ctx_ = obs::ensure_context();
   MCL_PROF_COUNT("cq.async_commands", 1);
 
   // Edges: explicit wait-list dependencies propagate failure; implicit
@@ -589,6 +594,10 @@ void CommandQueue::launch_ready(const AsyncEventPtr& ev) {
 }
 
 void CommandQueue::run_command(const AsyncEventPtr& ev) {
+  // Pool workers run with the command's context installed so everything the
+  // command emits (cq.* spans, wg: workgroup spans, tune.decide instants)
+  // carries the same id as its cmd.* lifecycle spans.
+  trace::ContextScope cscope(ev->ctx_);
   std::function<Event()> work;
   {
     std::lock_guard lock(ev->mutex_);
@@ -632,7 +641,17 @@ void CommandQueue::finalize(const AsyncEventPtr& ev, Event result,
     ev->continuations_.clear();
   }
   ev->cv_.notify_all();
+  // Flight-recorder trigger: a command failing (own error or wait-list
+  // propagation) is an anomaly — except Cancelled, which mclserve already
+  // records at the source (timeout/cancel) and which fans out to every
+  // dependent during shutdown. No locks are held here, so an inline dump
+  // (whose sections take subsystem locks) is safe.
+  if (error && final_status != core::Status::Cancelled && obs::enabled()) {
+    obs::anomaly(obs::Kind::Error, ev->ctx_, command_name(ev->type_),
+                 final_status);
+  }
   if (trace::enabled()) {
+    trace::ContextScope cscope(ev->ctx_);
     // Re-emit the event-graph node's lifecycle as spans that reuse the
     // profiling timestamps exactly (shared steady_now_ns epoch), so the DAG
     // wait/dispatch/run phases appear on the same timeline as workgroup

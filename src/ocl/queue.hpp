@@ -164,6 +164,11 @@ class AsyncEvent {
   /// session was active at launch time.
   [[nodiscard]] prof::KernelProfile kernel_profile() const;
 
+  /// mclobs causal context id of this command (0 when observability was off
+  /// at enqueue). Written once in submit_async before the event is
+  /// published; safe to read without the event lock.
+  [[nodiscard]] std::uint64_t context() const noexcept { return ctx_; }
+
  private:
   friend class CommandQueue;
 
@@ -187,6 +192,7 @@ class AsyncEvent {
   std::exception_ptr error_;
   core::Status status_ = core::Status::Success;
   ProfilingInfo prof_;
+  std::uint64_t ctx_ = 0;  ///< mclobs context; written pre-publication
   // Event-graph node state (owned by the queue machinery).
   std::function<Event()> work_;
   std::size_t blocking_deps_ = 0;

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "trace/trace.hpp"
+
 namespace mcl::prof {
 
 namespace detail {
@@ -212,6 +214,14 @@ Snapshot snapshot() {
       }
     }
   }
+  // Always-on synthesized counter: surface the tracer's drop count in every
+  // snapshot so dropped timelines are visible in metrics exports, not just
+  // the atexit stderr line. Lives here (not in trace) because prof sits
+  // above trace in the library DAG.
+  Snapshot::CounterValue dropped;
+  dropped.name = "trace.dropped";
+  dropped.value = trace::dropped_events();
+  snap.counters.push_back(dropped);
   return snap;
 }
 

@@ -38,7 +38,7 @@ namespace mcl::prof {
 /// path.
 inline constexpr std::size_t kMaxCounters = 128;
 inline constexpr std::size_t kMaxGauges = 64;
-inline constexpr std::size_t kMaxHistograms = 32;
+inline constexpr std::size_t kMaxHistograms = 64;
 
 /// One bucket per possible bit_width of a uint64 value (0..64).
 inline constexpr std::size_t kHistogramBuckets = 65;

@@ -5,7 +5,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "core/time.hpp"
+#include "obs/obs.hpp"
 #include "ocl/kernel.hpp"
 #include "threading/affinity.hpp"
 #include "trace/trace.hpp"
@@ -36,16 +40,20 @@ struct Request {
   ocl::AsyncEventPtr done;        ///< user event completed by the server
   std::uint64_t cost = 1;         ///< WFQ cost units
   std::uint64_t submit_ns = 0;
+  std::uint64_t forward_ns = 0;   ///< stamped when dispatched to the queue
   std::uint64_t deadline_ns = 0;  ///< pending-phase deadline; 0 = none
+  std::uint64_t ctx = 0;          ///< mclobs context id (0 = obs off)
   TenantState* tenant = nullptr;
 
   // Guarded by the server mutex.
   RState rstate = RState::Pending;
   bool wake_registered = false;
+  bool held = false;  ///< MCL_OBS_INJECT=hang: never dispatch this request
 };
 
 struct TenantState {
   TenantConfig cfg;
+  std::uint32_t id = 0;  ///< 1-based creation index; packed into context ids
   std::unique_ptr<ocl::CommandQueue> queue;
 
   // Guarded by the server mutex.
@@ -56,6 +64,8 @@ struct TenantState {
 
   std::condition_variable space_cv;  ///< admission + Session::finish waiters
   prof::Histogram latency;
+  prof::Histogram admission;  ///< submit -> forward (serve-side wait)
+  prof::Histogram service;    ///< forward -> done (queue + execution)
 };
 
 }  // namespace detail
@@ -126,6 +136,11 @@ ocl::AsyncEventPtr Ticket::event() const {
   return req_->done;
 }
 
+std::uint64_t Ticket::context() const {
+  core::check(valid(), core::Status::InvalidOperation, "empty ticket");
+  return req_->ctx;
+}
+
 // --- Server ---------------------------------------------------------------------
 
 struct Server::ForwardItem {
@@ -146,6 +161,17 @@ Server::Server(ocl::Context& context, ServerConfig config)
           ? config_.max_in_flight
           : 2 * std::max(1, threading::logical_cpu_count());
   latency_all_ = prof::histogram("serve.latency_ns");
+  admission_all_ = prof::histogram("serve.admission_ns");
+  service_all_ = prof::histogram("serve.service_ns");
+  // Arm any MCL_OBS_INJECT fault once per server (flight-recorder tests).
+  const obs::Inject fault = obs::inject();
+  hang_pending_ = fault == obs::Inject::Hang;
+  error_pending_.store(fault == obs::Inject::Error, std::memory_order_relaxed);
+  // Per-tenant queue state rides along in every `.mclobs` anomaly dump.
+  // Unregistered at the very end of ~Server, so dumps during teardown still
+  // see live (mutex_-serialized) state.
+  obs_section_ = obs::register_section(
+      "serve", [this] { return obs_section_json(); });
   if (!config_.manual_schedule) {
     scheduler_ = std::thread([this] { scheduler_loop(); });
   }
@@ -182,6 +208,33 @@ Server::~Server() {
     req->done->set_user_status(core::Status::Cancelled);
   }
   for (auto& tenant : tenants_) tenant->queue->finish();
+  obs::unregister_section(obs_section_);
+}
+
+std::string Server::obs_section_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"in_flight\":" + std::to_string(in_flight_) +
+                    ",\"max_in_flight\":" + std::to_string(max_in_flight_) +
+                    ",\"tenants\":[";
+  bool first = true;
+  for (const auto& tenant : tenants_) {
+    if (!first) out += ',';
+    first = false;
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"id\":%u,\"pending\":%zu,\"outstanding\":%zu,"
+        "\"submitted\":%" PRIu64 ",\"completed\":%" PRIu64
+        ",\"failed\":%" PRIu64 ",\"cancelled\":%" PRIu64
+        ",\"timed_out\":%" PRIu64 "}",
+        tenant->cfg.name.c_str(), tenant->id, tenant->pending.size(),
+        static_cast<std::size_t>(tenant->stats.outstanding),
+        tenant->stats.submitted, tenant->stats.completed, tenant->stats.failed,
+        tenant->stats.cancelled, tenant->stats.timed_out);
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 Session Server::create_session(TenantConfig config) {
@@ -198,6 +251,8 @@ Session Server::create_session(TenantConfig config) {
                                  : ocl::QueueProperties::OutOfOrder);
   tenant->stats.name = config.name;
   tenant->latency = prof::histogram("serve.latency_ns." + config.name);
+  tenant->admission = prof::histogram("serve.admission_ns." + config.name);
+  tenant->service = prof::histogram("serve.service_ns." + config.name);
 
   Session session;
   session.server_ = this;
@@ -212,6 +267,7 @@ Session Server::create_session(TenantConfig config) {
     // New arrivals start at the current virtual time: no retroactive credit
     // for the period before the tenant existed.
     tenant->finish_tag = virtual_time_;
+    tenant->id = static_cast<std::uint32_t>(tenants_.size() + 1);
     tenants_.push_back(std::move(tenant));
     session.state_ = tenants_.back().get();
   }
@@ -243,6 +299,10 @@ std::shared_ptr<Request> Server::admit(TenantState& tenant,
     req->deadline_ns = now + tenant.cfg.default_timeout_ns;
   }
   req->tenant = &tenant;
+  // Causal identity is born here: tenant in the top bits, a process-wide
+  // sequence below. The Submit record itself is appended by the caller
+  // after the lock drops (obs dumps must never run under mutex_).
+  if (obs::enabled()) req->ctx = obs::mint_context(tenant.id);
   req->done = ocl::AsyncEvent::create_user();
   tenant.pending.push_back(req);
   tenant.stats.submitted++;
@@ -268,6 +328,12 @@ bool Server::cancel(const Ticket& ticket) {
     tenant.space_cv.notify_all();
     signal_ = true;
     sched_cv_.notify_one();
+  }
+  // Record before completing the user event: dependents fail inline below,
+  // and the dump (if one fires) should show the cancellation first.
+  if (obs::enabled()) {
+    obs::anomaly(obs::Kind::Cancel, req->ctx, "ticket cancelled",
+                 core::Status::Cancelled);
   }
   req->done->set_user_status(core::Status::Cancelled);
   return true;
@@ -329,6 +395,24 @@ void Server::run_pass_locked(PassResult& out) {
     for (auto& tenant : tenants_) {
       if (tenant->pending.empty()) continue;
       Request& head = *tenant->pending.front();
+      // MCL_OBS_INJECT=hang: park the first eligible head forever. Its
+      // pending-phase deadline (if any) still expires in phase 1, driving
+      // the timeout -> anomaly-dump path end to end.
+      if (head.held) continue;
+      if (hang_pending_) {
+        hang_pending_ = false;
+        head.held = true;
+        if (obs::enabled()) {
+          obs::Record r;
+          r.ts_ns = now_ns();
+          r.ctx = head.ctx;
+          r.tenant = tenant->id;
+          r.kind = obs::Kind::Inject;
+          r.detail = "hang: request parked by MCL_OBS_INJECT";
+          obs::record(r);
+        }
+        continue;
+      }
       const bool eligible =
           std::all_of(head.deps.begin(), head.deps.end(),
                       [](const ocl::AsyncEventPtr& d) { return d->complete(); });
@@ -396,6 +480,36 @@ void Server::forward(ForwardItem& item) {
   Request& head = *item.reqs.front();
   TenantState& tenant = *item.tenant;
 
+  // MCL_OBS_INJECT=error: fail the first forwarded item without touching
+  // the queue — exercises the error -> anomaly-dump path deterministically.
+  if (error_pending_.exchange(false, std::memory_order_relaxed)) {
+    if (obs::enabled()) {
+      obs::Record r;
+      r.ts_ns = now_ns();
+      r.ctx = head.ctx;
+      r.tenant = tenant.id;
+      r.kind = obs::Kind::Inject;
+      r.status = core::Status::InternalError;
+      r.detail = "error: request failed by MCL_OBS_INJECT";
+      obs::record(r);
+    }
+    finish_item(item, core::Status::InternalError);
+    return;
+  }
+
+  const std::uint64_t forward_ns = now_ns();
+  for (const auto& req : item.reqs) {
+    req->forward_ns = forward_ns;
+    if (obs::enabled()) {
+      obs::Record r;
+      r.ts_ns = forward_ns;
+      r.ctx = req->ctx;
+      r.tenant = tenant.id;
+      r.kind = obs::Kind::Forward;
+      obs::record(r);
+    }
+  }
+
   // Union of dependencies across the batch. All are terminal (eligibility),
   // so this only matters for failure propagation — a Cancelled dep must fail
   // the command, which the wait-list path already does.
@@ -404,6 +518,10 @@ void Server::forward(ForwardItem& item) {
     wait_list.insert(wait_list.end(), req->deps.begin(), req->deps.end());
   }
 
+  // Enqueue under the head's causal context so the command (and everything
+  // it emits downstream — cq.* spans, wg: spans, tune.decide) inherits the
+  // request's id instead of minting an anonymous one.
+  trace::ContextScope cscope(head.ctx);
   ocl::AsyncEventPtr event;
   try {
     switch (head.op) {
@@ -453,24 +571,81 @@ void Server::forward(ForwardItem& item) {
     return;
   }
 
+  // The completion event rides into the callback so finish_item can read
+  // its ProfilingInfo for the critical-path decomposition. The resulting
+  // shared_ptr cycle (event -> continuation -> event) is broken when
+  // finalize() moves the continuation list out and drops it after running.
   event->on_complete(
-      [this, item = std::move(item)](core::Status status) mutable {
-        finish_item(item, status);
+      [this, item = std::move(item), event](core::Status status) mutable {
+        finish_item(item, status, event.get());
       });
 }
 
-void Server::finish_item(const ForwardItem& item, core::Status status) {
+namespace {
+
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+void Server::finish_item(const ForwardItem& item, core::Status status,
+                         const ocl::AsyncEvent* event) {
   const std::uint64_t now = now_ns();
   const bool record = prof::enabled();
   const bool traced = trace::enabled();
+  const bool observed = obs::enabled();
+  ocl::ProfilingInfo pinfo;
+  bool have_prof = false;
+  if (observed && event != nullptr) {
+    // on_complete only fires in terminal states, so profiling is available.
+    pinfo = event->profiling_ns();
+    have_prof = true;
+  }
   for (const auto& req : item.reqs) {
+    // Exact critical-path decomposition, recorded before the ticket
+    // completes so the flight recorder shows Complete before dependents
+    // start. Segments and the serve.latency_ns sample share `now`, so the
+    // obs total equals the measured end-to-end latency by construction.
+    if (observed) {
+      obs::RequestTimes t;
+      t.submit_ns = req->submit_ns;
+      t.forward_ns = req->forward_ns != 0 ? req->forward_ns : now;
+      t.done_ns = now;
+      t.is_kernel = req->op == Request::Op::Launch;
+      if (have_prof) {
+        t.queued_ns = pinfo.queued_ns;
+        t.submitted_ns = pinfo.submitted_ns;
+        t.started_ns = pinfo.started_ns;
+        t.ended_ns = pinfo.ended_ns;
+      }
+      for (const ocl::AsyncEventPtr& dep : req->deps) {
+        if (dep->complete()) {
+          t.dep_ready_ns =
+              std::max(t.dep_ready_ns, dep->profiling_ns().ended_ns);
+        }
+      }
+      obs::note_request_complete(req->ctx, item.tenant->id, obs::decompose(t),
+                                 status);
+    }
     req->done->set_user_status(status);
     const std::uint64_t latency = now - req->submit_ns;
     if (record) {
       item.tenant->latency.record(latency);
       latency_all_.record(latency);
+      // Satellite split: where did the latency go — serve-side wait
+      // (submit -> forward) or queue+execution (forward -> done)?
+      const std::uint64_t admission_wait =
+          sat_sub(req->forward_ns != 0 ? req->forward_ns : now,
+                  req->submit_ns);
+      item.tenant->admission.record(admission_wait);
+      admission_all_.record(admission_wait);
+      const std::uint64_t service = sat_sub(latency, admission_wait);
+      item.tenant->service.record(service);
+      service_all_.record(service);
     }
     if (traced) {
+      trace::ContextScope cscope(req->ctx);
       trace::complete_span("serve.request", req->submit_ns, latency, "ok",
                            status == core::Status::Success ? 1 : 0);
     }
@@ -497,6 +672,12 @@ void Server::finish_item(const ForwardItem& item, core::Status status) {
 std::size_t Server::apply_pass(PassResult& pass) {
   std::size_t forwarded_reqs = 0;
   for (const auto& req : pass.expired) {
+    // Anomaly first: the dump should capture the request still unfinished,
+    // before dependents start failing inline below. No locks held here.
+    if (obs::enabled()) {
+      obs::anomaly(obs::Kind::Timeout, req->ctx, "request deadline expired",
+                   core::Status::Cancelled);
+    }
     req->done->set_user_status(core::Status::Cancelled);
   }
   for (ForwardItem& item : pass.forwards) {
@@ -557,12 +738,28 @@ void Server::scheduler_loop() {
 
 // --- Session --------------------------------------------------------------------
 
+namespace {
+
+// Flight-recorder Submit entry — after admit() released the server mutex.
+void record_submit(const std::shared_ptr<Request>& req) {
+  if (req == nullptr || !obs::enabled()) return;
+  obs::Record r;
+  r.ts_ns = req->submit_ns;
+  r.ctx = req->ctx;
+  r.tenant = req->tenant->id;
+  r.kind = obs::Kind::Submit;
+  obs::record(r);
+}
+
+}  // namespace
+
 Ticket Server::submit_impl(TenantState& tenant,
                            std::shared_ptr<Request> req) {
   bool rejected = false;
   auto admitted = admit(tenant, std::move(req), /*blocking=*/true, &rejected);
   core::check(!rejected, core::Status::OutOfResources,
               "tenant queue depth exceeded");
+  record_submit(admitted);
   Ticket ticket;
   ticket.req_ = std::move(admitted);
   return ticket;
@@ -648,6 +845,7 @@ std::optional<Ticket> Session::try_submit(LaunchSpec spec,
   auto admitted =
       server_->admit(*state_, std::move(req), /*blocking=*/false, &rejected);
   if (rejected) return std::nullopt;
+  record_submit(admitted);
   Ticket ticket;
   ticket.req_ = std::move(admitted);
   return ticket;

@@ -168,6 +168,10 @@ class Ticket {
   [[nodiscard]] core::Status status() const;
   /// The underlying completion event — usable in raw event-graph wait lists.
   [[nodiscard]] ocl::AsyncEventPtr event() const;
+  /// mclobs causal context id minted at admission (0 when observability was
+  /// off at submit). Every trace span and flight-recorder entry this request
+  /// produced carries the same id.
+  [[nodiscard]] std::uint64_t context() const;
 
  private:
   friend class Server;
@@ -245,10 +249,12 @@ class Server {
                      std::shared_ptr<detail::Request> req);
   void run_pass_locked(PassResult& out);
   std::size_t apply_pass(PassResult& pass);
-  void finish_item(const ForwardItem& item, core::Status status);
+  void finish_item(const ForwardItem& item, core::Status status,
+                   const ocl::AsyncEvent* event = nullptr);
   void forward(ForwardItem& item);
   void scheduler_loop();
   [[nodiscard]] std::uint64_t nearest_deadline_locked() const;
+  [[nodiscard]] std::string obs_section_json() const;
 
   ocl::Context* context_ = nullptr;
   ServerConfig config_;
@@ -263,8 +269,16 @@ class Server {
   std::uint64_t forwarded_commands_ = 0;
   std::uint64_t fused_requests_ = 0;
   std::vector<std::unique_ptr<detail::TenantState>> tenants_;
+  /// MCL_OBS_INJECT faults, armed once per server: hang parks the first
+  /// eligible head forever (its deadline expiry exercises the timeout →
+  /// flight-recorder-dump path); error fails the first forwarded item.
+  bool hang_pending_ = false;            // guarded by mutex_
+  std::atomic<bool> error_pending_{false};
+  int obs_section_ = 0;  ///< mclobs dump-section token
 
   prof::Histogram latency_all_;
+  prof::Histogram admission_all_;
+  prof::Histogram service_all_;
   std::thread scheduler_;
 };
 

@@ -18,6 +18,7 @@ namespace mcl::trace {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+thread_local std::uint64_t t_context = 0;
 }
 
 std::uint64_t clock_ns() noexcept { return core::steady_now_ns(); }
@@ -203,6 +204,7 @@ void emit(EventType type, const char* name, const char* arg_keys,
   ev.args[0] = a0;
   ev.args[1] = a1;
   ev.args[2] = a2;
+  ev.ctx = detail::t_context;
   ev.type = type;
   thread_ring().push(ev);
 }

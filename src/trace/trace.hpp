@@ -48,16 +48,20 @@ enum class EventType : std::uint8_t {
 /// One fixed-size trace record. `name` and `arg_keys` must point at storage
 /// that outlives the session: string literals or intern()ed strings.
 /// `arg_keys` is a comma-separated key list ("group,worker,est_bytes")
-/// naming the leading entries of `args` for the exporter.
+/// naming the leading entries of `args` for the exporter. `ctx` is the
+/// mclobs causal context id of the thread at emit time (0 = unattributed);
+/// the exporter surfaces it as an extra "ctx" arg so every span in the
+/// Perfetto timeline is attributable to a tenant/request.
 struct TraceEvent {
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;  ///< Complete spans only
   const char* name = nullptr;
   const char* arg_keys = nullptr;
   std::uint64_t args[3] = {0, 0, 0};
+  std::uint64_t ctx = 0;  ///< causal context id (mcl::obs), 0 = none
   EventType type = EventType::Instant;
 };
-static_assert(sizeof(TraceEvent) <= 64, "trace events must stay ring-sized");
+static_assert(sizeof(TraceEvent) <= 72, "trace events must stay ring-sized");
 
 /// A drained event plus the id of the thread that produced it.
 struct TaggedEvent {
@@ -67,6 +71,7 @@ struct TaggedEvent {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern thread_local std::uint64_t t_context;
 }
 
 /// True when a trace session is recording. The only cost paid at an
@@ -112,6 +117,39 @@ void flush();
 /// need it.
 [[nodiscard]] const char* intern(const char* name);
 [[nodiscard]] const char* intern(const std::string& name);
+
+/// Causal context id of the calling thread (0 = unattributed). Every event
+/// emitted while a context is set carries it, so downstream tooling
+/// (mclobs, Perfetto queries) can group spans by tenant/request. Contexts
+/// are minted by mcl::obs; trace only provides the thread-local plumbing
+/// so the lowest layer stays dependency-free.
+[[nodiscard]] inline std::uint64_t current_context() noexcept {
+  return detail::t_context;
+}
+inline void set_context(std::uint64_t ctx) noexcept { detail::t_context = ctx; }
+
+/// RAII: installs `ctx` as the calling thread's causal context for the
+/// enclosing scope and restores the previous value on exit. A zero ctx
+/// disarms the scope (the outer context, if any, stays visible), so
+/// call sites don't need to branch on attribution being available.
+class ContextScope {
+ public:
+  explicit ContextScope(std::uint64_t ctx) noexcept {
+    if (ctx == 0) return;
+    armed_ = true;
+    saved_ = detail::t_context;
+    detail::t_context = ctx;
+  }
+  ~ContextScope() {
+    if (armed_) detail::t_context = saved_;
+  }
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_ = 0;
+  bool armed_ = false;
+};
 
 /// Raw emitters. All are no-ops (after one relaxed load) when disabled.
 void span_begin(const char* name, const char* arg_keys = nullptr,

@@ -49,22 +49,35 @@ void append_us(std::string& out, std::uint64_t ns) {
   out += buf;
 }
 
-// Splits "group,worker,est_bytes" and pairs keys with args in order.
+// Splits "group,worker,est_bytes" and pairs keys with args in order; a
+// nonzero causal context id rides along as a trailing "ctx" arg so
+// Perfetto queries can group spans by tenant/request.
 void append_args(std::string& out, const TraceEvent& ev) {
-  if (ev.arg_keys == nullptr || *ev.arg_keys == '\0') return;
+  const bool have_keys = ev.arg_keys != nullptr && *ev.arg_keys != '\0';
+  if (!have_keys && ev.ctx == 0) return;
   out += ",\"args\":{";
-  const char* p = ev.arg_keys;
-  for (std::size_t i = 0; i < 3 && *p != '\0'; ++i) {
-    const char* end = p;
-    while (*end != '\0' && *end != ',') ++end;
-    if (i > 0) out += ',';
-    out += '"';
-    out.append(p, static_cast<std::size_t>(end - p));
-    out += "\":";
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.args[i]);
+  char buf[24];
+  bool first = true;
+  if (have_keys) {
+    const char* p = ev.arg_keys;
+    for (std::size_t i = 0; i < 3 && *p != '\0'; ++i) {
+      const char* end = p;
+      while (*end != '\0' && *end != ',') ++end;
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out.append(p, static_cast<std::size_t>(end - p));
+      out += "\":";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.args[i]);
+      out += buf;
+      p = (*end == ',') ? end + 1 : end;
+    }
+  }
+  if (ev.ctx != 0) {
+    if (!first) out += ',';
+    out += "\"ctx\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.ctx);
     out += buf;
-    p = (*end == ',') ? end + 1 : end;
   }
   out += '}';
 }

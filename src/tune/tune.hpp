@@ -276,7 +276,11 @@ class Tuner {
   Entry* find_or_create(const ocl::KernelDef& def, const ocl::NDRange& global,
                         const ocl::NDRange& local, bool has_local_args,
                         std::size_t threads, const std::string& key);
-  void maybe_quarantine(Entry& entry);
+  /// Returns the number of candidates newly quarantined by this call so
+  /// report() can raise the mclobs anomaly after mutex_ is released (the
+  /// tune dump section takes mutex_; dumping under it would deadlock).
+  std::size_t maybe_quarantine(Entry& entry);
+  [[nodiscard]] std::string obs_section_json() const;
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "prof/metrics.hpp"
 #include "simd/vec.hpp"
 #include "threading/thread_pool.hpp"
@@ -352,6 +353,10 @@ Tuner::Tuner() {
       if (!t.cache_path_.empty()) (void)t.save_cache(t.cache_path_);
     });
   }
+  // Flight-recorder dump section: incumbents + convergence at anomaly time.
+  // The singleton is leaked (see instance()), so this never unregisters.
+  (void)obs::register_section("tune",
+                              [this] { return obs_section_json(); });
 }
 
 void Tuner::set_mode(Mode m) noexcept {
@@ -501,41 +506,54 @@ std::optional<Decision> Tuner::decide(const ocl::KernelDef& def,
 
 void Tuner::report(const Decision& decision, double seconds) {
   if (seconds <= 0.0) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(decision.key);
-  if (it == entries_.end()) return;  // evicted between decide and report
-  Entry& entry = it->second;
-  // Evicted AND recreated between decide and report (IR re-registration):
-  // the stale timing belongs to the old body's candidate list, not this one.
-  if (entry.generation != decision.generation) return;
-  if (decision.candidate >= entry.candidates.size()) return;
-  CandidateState& cs = entry.candidates[decision.candidate];
-  if (cs.best_seconds == 0.0 || seconds < cs.best_seconds) {
-    cs.best_seconds = seconds;
-  }
-  if (decision.explore) ++cs.trials;
-
-  // Incumbent = argmin over measured candidates (seed ranking until then).
-  double best = 0.0;
-  for (std::uint32_t i = 0; i < entry.candidates.size(); ++i) {
-    const CandidateState& c = entry.candidates[i];
-    if (c.best_seconds <= 0.0) continue;
-    if (best == 0.0 || c.best_seconds < best) {
-      best = c.best_seconds;
-      entry.incumbent = i;
+  std::size_t newly_quarantined = 0;
+  const char* kernel_name = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(decision.key);
+    if (it == entries_.end()) return;  // evicted between decide and report
+    Entry& entry = it->second;
+    // Evicted AND recreated between decide and report (IR re-registration):
+    // the stale timing belongs to the old body's candidate list, not this
+    // one.
+    if (entry.generation != decision.generation) return;
+    if (decision.candidate >= entry.candidates.size()) return;
+    CandidateState& cs = entry.candidates[decision.candidate];
+    if (cs.best_seconds == 0.0 || seconds < cs.best_seconds) {
+      cs.best_seconds = seconds;
     }
+    if (decision.explore) ++cs.trials;
+
+    // Incumbent = argmin over measured candidates (seed ranking until then).
+    double best = 0.0;
+    for (std::uint32_t i = 0; i < entry.candidates.size(); ++i) {
+      const CandidateState& c = entry.candidates[i];
+      if (c.best_seconds <= 0.0) continue;
+      if (best == 0.0 || c.best_seconds < best) {
+        best = c.best_seconds;
+        entry.incumbent = i;
+      }
+    }
+    newly_quarantined = maybe_quarantine(entry);
+    if (newly_quarantined > 0) kernel_name = trace::intern(entry.kernel);
   }
-  maybe_quarantine(entry);
+  // Anomaly outside the lock: the tune dump section re-acquires mutex_.
+  // The reporting thread still carries the triggering request's context.
+  if (newly_quarantined > 0 && obs::enabled()) {
+    obs::anomaly(obs::Kind::Quarantine, trace::current_context(), kernel_name,
+                 core::Status::Success, newly_quarantined);
+  }
 }
 
-void Tuner::maybe_quarantine(Entry& entry) {
+std::size_t Tuner::maybe_quarantine(Entry& entry) {
   double best = 0.0;
   for (const CandidateState& c : entry.candidates) {
     if (c.best_seconds > 0.0 && (best == 0.0 || c.best_seconds < best)) {
       best = c.best_seconds;
     }
   }
-  if (best <= 0.0) return;
+  if (best <= 0.0) return 0;
+  std::size_t newly = 0;
   for (CandidateState& c : entry.candidates) {
     // Two trials of headroom before the guard fires: one bad sample can be
     // scheduler noise; best-of-two above the ratio is a real regression.
@@ -543,9 +561,11 @@ void Tuner::maybe_quarantine(Entry& entry) {
         c.best_seconds > best * kQuarantineRatio) {
       c.quarantined = true;
       ++stats_.quarantined;
+      ++newly;
       MCL_PROF_COUNT("tune.quarantined", 1);
     }
   }
+  return newly;
 }
 
 std::optional<TunedConfig> Tuner::tuned_config(const ocl::KernelDef& def,
@@ -612,6 +632,55 @@ bool Tuner::converged(const std::string& kernel, const ocl::NDRange& global,
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   return it != entries_.end() && it->second.converged;
+}
+
+std::string Tuner::obs_section_json() const {
+  // Called from obs dump assembly; must only take mutex_ (no obs calls).
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out.push_back('?');
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"decisions\":" << stats_.decisions
+      << ",\"explore\":" << stats_.explore
+      << ",\"exploit\":" << stats_.exploit
+      << ",\"quarantined\":" << stats_.quarantined
+      << ",\"converged\":" << stats_.converged
+      << ",\"cache_hits\":" << stats_.cache_hits << ",\"entries\":[";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (!first) out << ',';
+    first = false;
+    const CandidateState& inc = entry.candidates[entry.incumbent];
+    out << "{\"key\":\"" << escape(key) << "\",\"kernel\":\""
+        << escape(entry.kernel) << "\",\"incumbent\":" << entry.incumbent
+        << ",\"incumbent_local\":\"";
+    if (inc.config.local.is_null()) {
+      out << "auto";
+    } else {
+      out << inc.config.local[0] << "x" << inc.config.local[1] << "x"
+          << inc.config.local[2];
+    }
+    out << "\",\"best_seconds\":" << inc.best_seconds
+        << ",\"converged\":" << (entry.converged ? "true" : "false")
+        << ",\"from_cache\":" << (entry.from_cache ? "true" : "false")
+        << ",\"launches\":" << entry.launches
+        << ",\"candidates\":" << entry.candidates.size() << "}";
+  }
+  out << "]}";
+  return out.str();
 }
 
 TunerStats Tuner::stats() const {

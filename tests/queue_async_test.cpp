@@ -751,6 +751,69 @@ TEST(QueueAsync, FinishDrainsContinuationReenqueuedWork) {
   EXPECT_TRUE(chain_done.load(std::memory_order_acquire));
 }
 
+// Regression (mclobs PR): a timed-out waiter later observing completion must
+// not double-run or drop continuations. Several waiters time out while the
+// event is gated, callbacks are registered before the timeouts, between
+// timeout and completion, and after terminal state — each must run exactly
+// once, and finish() must return (callbacks_in_flight_ balanced) even though
+// timed waits gave up on the event first. Runs under the TSan tier via the
+// `queue` label.
+TEST(QueueAsync, TimedOutWaiterThenCompletionRunsCallbacksOnce) {
+  using namespace std::chrono_literals;
+  CpuDevice dev(CpuDeviceConfig{.threads = 2});
+  Context ctx(dev);
+  CommandQueue q(ctx, QueueProperties::OutOfOrder);
+  Buffer b(MemFlags::ReadWrite, 64);
+  std::vector<std::byte> host(64);
+
+  const AsyncEventPtr gate = AsyncEvent::create_user();
+  const AsyncEventPtr ev =
+      q.enqueue_write_buffer_async(b, 0, 64, host.data(), {gate});
+
+  std::atomic<int> calls{0};
+  ev->on_complete([&](core::Status s) {
+    EXPECT_EQ(s, core::Status::Success);
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Gate closed: every timed wait must report timeout without cancelling the
+  // command or firing its callbacks.
+  std::vector<std::thread> waiters;
+  std::atomic<int> timeouts{0};
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      if (!ev->wait_for(2ms)) timeouts.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(timeouts.load(), 4);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_FALSE(ev->complete());
+
+  // Register a second callback after the timeouts, then race completion
+  // against fresh timed waiters (TSan: callback registration vs finalize).
+  ev->on_complete(
+      [&](core::Status) { calls.fetch_add(1, std::memory_order_relaxed); });
+  std::thread releaser([&] { gate->set_user_status(core::Status::Success); });
+  std::vector<std::thread> racers;
+  for (int i = 0; i < 4; ++i) {
+    racers.emplace_back([&] { (void)ev->wait_for(5s); });
+  }
+  releaser.join();
+  for (auto& t : racers) t.join();
+  EXPECT_TRUE(ev->wait_for(5s));
+  EXPECT_EQ(ev->state(), CommandState::Complete);
+
+  // Terminal event: late registration runs inline, exactly once.
+  ev->on_complete(
+      [&](core::Status) { calls.fetch_add(1, std::memory_order_relaxed); });
+  // finish() waits for outstanding_ == 0 && callbacks_in_flight_ == 0; a
+  // leaked in-flight count would hang here (and the 30s ctest timeout would
+  // catch it).
+  q.finish();
+  EXPECT_EQ(calls.load(), 3);
+}
+
 TEST(QueueAsync, OnCompleteRunsInlineOnTerminalEvent) {
   CpuDevice dev(CpuDeviceConfig{.threads = 1});
   Context ctx(dev);

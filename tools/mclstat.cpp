@@ -1,0 +1,320 @@
+// mclstat — pretty-printer for mclobs artifacts (docs/observability.md).
+//
+// Reads either a `.mclobs` flight-recorder dump (written by obs::anomaly /
+// obs::dump_now) or a BENCH_serve.json load-harness report and renders the
+// triage view: what triggered the dump, per-tenant latency decomposed into
+// admission / dependency / queue / exec critical-path segments, queue depths
+// at dump time, tuner convergence, and the tail of recent context-annotated
+// events. Pointing it at a directory picks the newest `.mclobs` inside —
+// the usual postmortem flow after MCL_OBS=<dir> wrote one.
+//
+//   build/tools/mclstat crash-dumps/                 # newest dump in dir
+//   build/tools/mclstat build/serve_smoke.mclobs
+//   build/tools/mclstat BENCH_serve.json
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using mcl::obs::json::Value;
+using mcl::obs::json::ValuePtr;
+
+// --- formatting helpers ------------------------------------------------------
+
+std::string fmt_ns(std::uint64_t ns) {
+  char buf[64];
+  if (ns >= 1'000'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.3f s", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000ull) {
+    std::snprintf(buf, sizeof buf, "%.2f us", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 " ns", ns);
+  }
+  return buf;
+}
+
+std::string fmt_ctx(std::uint64_t ctx) {
+  if (ctx == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIx64, ctx);
+  return buf;
+}
+
+void rule(const char* title) {
+  std::printf("---- %s ", title);
+  for (std::size_t i = std::strlen(title); i < 66; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+// --- critical-path aggregation over dump events ------------------------------
+
+struct Segs {
+  std::uint64_t admission = 0, dependency = 0, queue = 0, exec = 0, total = 0;
+  [[nodiscard]] std::uint64_t named_sum() const {
+    return admission + dependency + queue + exec;
+  }
+};
+
+struct TenantAgg {
+  std::vector<Segs> completes;  // sorted by total before reporting
+};
+
+Segs segs_of_event(const Value& ev) {
+  Segs s;
+  const Value* args = ev.get("args");
+  if (args == nullptr || !args->is_array() || args->array.size() < 6) return s;
+  const auto u = [&](std::size_t i) { return args->array[i]->u64; };
+  s.admission = u(0);
+  s.dependency = u(1);
+  s.queue = u(2);
+  s.exec = u(3);
+  s.total = u(4);
+  return s;
+}
+
+void print_breakdown_row(const char* label, const Segs& s) {
+  const auto pct = [&](std::uint64_t part) {
+    return s.total > 0
+               ? 100.0 * static_cast<double>(part) / static_cast<double>(s.total)
+               : 0.0;
+  };
+  std::printf("    %-10s total %-12s adm %-12s (%4.1f%%) dep %-12s (%4.1f%%)\n"
+              "    %-10s                    que %-12s (%4.1f%%) exe %-12s (%4.1f%%)\n",
+              label, fmt_ns(s.total).c_str(), fmt_ns(s.admission).c_str(),
+              pct(s.admission), fmt_ns(s.dependency).c_str(), pct(s.dependency),
+              "", fmt_ns(s.queue).c_str(), pct(s.queue), fmt_ns(s.exec).c_str(),
+              pct(s.exec));
+}
+
+void print_tenant_paths(std::map<std::uint64_t, TenantAgg>& agg) {
+  if (agg.empty()) {
+    std::printf("  (no complete events in the recorder window)\n");
+    return;
+  }
+  for (auto& [tenant, ta] : agg) {
+    std::sort(ta.completes.begin(), ta.completes.end(),
+              [](const Segs& a, const Segs& b) { return a.total < b.total; });
+    const auto rank = [&](double p) {
+      const std::size_t n = ta.completes.size();
+      std::size_t r =
+          static_cast<std::size_t>(p / 100.0 * static_cast<double>(n));
+      return r >= n ? n - 1 : r;
+    };
+    std::printf("  tenant %" PRIu64 "  (%zu completed in window)\n", tenant,
+                ta.completes.size());
+    print_breakdown_row("p50", ta.completes[rank(50.0)]);
+    print_breakdown_row("p99", ta.completes[rank(99.0)]);
+  }
+}
+
+// --- .mclobs dump view -------------------------------------------------------
+
+void print_events_tail(const Value& events, std::size_t limit) {
+  const std::size_t n = events.array.size();
+  const std::size_t from = n > limit ? n - limit : 0;
+  if (from > 0) std::printf("  ... %zu earlier events elided ...\n", from);
+  for (std::size_t i = from; i < n; ++i) {
+    const Value& ev = *events.array[i];
+    const std::string status = ev.get_string("status", "Success");
+    std::printf("  %14" PRIu64 "  %-10s ctx=%-16s t%-3" PRIu64 " %s%s%s\n",
+                ev.get_u64("ts_ns"), ev.get_string("kind", "?").c_str(),
+                fmt_ctx(ev.get_u64("ctx")).c_str(), ev.get_u64("tenant"),
+                ev.get_string("detail", "").c_str(),
+                status != "Success" ? "  status=" : "",
+                status != "Success" ? status.c_str() : "");
+  }
+}
+
+int print_mclobs(const Value& doc) {
+  const Value* trig = doc.get("trigger");
+  rule("mclobs flight-recorder dump");
+  if (trig != nullptr) {
+    std::printf("  trigger: %s  ctx=%s  tenant=%" PRIu64 "  at %s\n",
+                trig->get_string("kind", "?").c_str(),
+                fmt_ctx(trig->get_u64("ctx")).c_str(), trig->get_u64("tenant"),
+                fmt_ns(trig->get_u64("ts_ns")).c_str());
+    const std::string detail = trig->get_string("detail");
+    if (!detail.empty()) std::printf("  detail : %s\n", detail.c_str());
+  }
+  const Value* events = doc.get("events");
+  const std::size_t in_window = events != nullptr ? events->array.size() : 0;
+  std::printf("  events : %zu in window, %" PRIu64 " recorded in total\n",
+              in_window, doc.get_u64("total_recorded"));
+
+  rule("critical paths (complete events in window)");
+  std::map<std::uint64_t, TenantAgg> agg;
+  if (events != nullptr && events->is_array()) {
+    for (const ValuePtr& evp : events->array) {
+      if (evp->get_string("kind") != "complete") continue;
+      agg[evp->get_u64("tenant")].completes.push_back(segs_of_event(*evp));
+    }
+  }
+  print_tenant_paths(agg);
+
+  const Value* sections = doc.get("sections");
+  const Value* serve = sections != nullptr ? sections->get("serve") : nullptr;
+  if (serve != nullptr) {
+    rule("serve queues at dump time");
+    std::printf("  in_flight %" PRIu64 " / max %" PRIu64 "\n",
+                serve->get_u64("in_flight"), serve->get_u64("max_in_flight"));
+    const Value* tenants = serve->get("tenants");
+    if (tenants != nullptr && tenants->is_array()) {
+      for (const ValuePtr& tp : tenants->array) {
+        std::printf("  %-24s id=%-3" PRIu64 " pending %-5" PRIu64
+                    " outstanding %-5" PRIu64 " done %" PRIu64 "/%" PRIu64
+                    "  to=%" PRIu64 " cx=%" PRIu64 "\n",
+                    tp->get_string("name", "?").c_str(), tp->get_u64("id"),
+                    tp->get_u64("pending"), tp->get_u64("outstanding"),
+                    tp->get_u64("completed"), tp->get_u64("submitted"),
+                    tp->get_u64("timed_out"), tp->get_u64("cancelled"));
+      }
+    }
+  }
+
+  const Value* tune = sections != nullptr ? sections->get("tune") : nullptr;
+  if (tune != nullptr) {
+    rule("tuner");
+    std::printf("  decisions %" PRIu64 "  explore %" PRIu64 "  exploit %" PRIu64
+                "  converged %" PRIu64 "  quarantined %" PRIu64 "\n",
+                tune->get_u64("decisions"), tune->get_u64("explore"),
+                tune->get_u64("exploit"), tune->get_u64("converged"),
+                tune->get_u64("quarantined"));
+    const Value* entries = tune->get("entries");
+    if (entries != nullptr && entries->is_array()) {
+      for (const ValuePtr& ep : entries->array) {
+        const Value* conv = ep->get("converged");
+        std::printf("  %-40s %s local=%-10s launches %" PRIu64 "\n",
+                    ep->get_string("kernel", "?").c_str(),
+                    conv != nullptr && conv->boolean ? "converged " : "exploring ",
+                    ep->get_string("incumbent_local", "?").c_str(),
+                    ep->get_u64("launches"));
+      }
+    }
+  }
+
+  const Value* related = doc.get("related_events");
+  if (related != nullptr && related->is_array() && !related->array.empty()) {
+    rule("events of the triggering context");
+    print_events_tail(*related, 32);
+  }
+  if (events != nullptr && events->is_array()) {
+    rule("recent events");
+    print_events_tail(*events, 16);
+  }
+  return 0;
+}
+
+// --- BENCH_serve.json view ---------------------------------------------------
+
+int print_serve(const Value& doc) {
+  rule("serve_load report");
+  std::printf("  seed %" PRIu64 "  tenants %" PRIu64 "  requests %" PRIu64
+              " (%" PRIu64 " completed)  %.2f s  %.0f req/s\n",
+              doc.get_u64("seed"), doc.get_u64("tenants"),
+              doc.get_u64("requests"), doc.get_u64("completed"),
+              doc.get_number("duration_s"), doc.get_number("throughput_rps"));
+  const Value* lat = doc.get("latency_ns");
+  if (lat != nullptr) {
+    std::printf("  latency p50 %s  p99 %s  p999 %s\n",
+                fmt_ns(lat->get_u64("p50")).c_str(),
+                fmt_ns(lat->get_u64("p99")).c_str(),
+                fmt_ns(lat->get_u64("p999")).c_str());
+  }
+
+  const Value* tenants = doc.get("tenant_stats");
+  if (tenants != nullptr && tenants->is_array()) {
+    rule("tenants (latency / admission-wait / service)");
+    for (const ValuePtr& tp : tenants->array) {
+      std::printf("  %-24s %8" PRIu64 " reqs  p50 %-10s p99 %-10s adm99 %-10s"
+                  " svc99 %s\n",
+                  tp->get_string("name", "?").c_str(), tp->get_u64("completed"),
+                  fmt_ns(tp->get_u64("p50_ns")).c_str(),
+                  fmt_ns(tp->get_u64("p99_ns")).c_str(),
+                  fmt_ns(tp->get_u64("admission_p99_ns")).c_str(),
+                  fmt_ns(tp->get_u64("service_p99_ns")).c_str());
+    }
+  }
+
+  const Value* paths = doc.get("critical_path");
+  if (paths != nullptr && paths->is_array()) {
+    rule("critical-path decomposition (exact records, p99 request)");
+    for (const ValuePtr& tp : paths->array) {
+      const Value* p99 = tp->get("p99_request");
+      std::printf("  %-24s %8" PRIu64 " reqs  coverage %.1f%%\n",
+                  tp->get_string("name", "?").c_str(), tp->get_u64("count"),
+                  tp->get_number("mean_coverage") * 100.0);
+      if (p99 != nullptr) {
+        Segs s;
+        s.admission = p99->get_u64("admission_ns");
+        s.dependency = p99->get_u64("dependency_ns");
+        s.queue = p99->get_u64("queue_ns");
+        s.exec = p99->get_u64("exec_ns");
+        s.total = p99->get_u64("total_ns");
+        print_breakdown_row("p99", s);
+      }
+    }
+  } else {
+    std::printf("\n  (no critical_path section: run serve_load --obs)\n");
+  }
+  return 0;
+}
+
+// --- input resolution --------------------------------------------------------
+
+/// A directory argument means "the newest .mclobs inside" (postmortem flow).
+std::string resolve_path(const std::string& arg) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(arg, ec)) return arg;
+  std::string best;
+  std::filesystem::file_time_type best_time{};
+  for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".mclobs") continue;
+    const auto t = entry.last_write_time(ec);
+    if (best.empty() || t > best_time) {
+      best = entry.path().string();
+      best_time = t;
+    }
+  }
+  if (best.empty()) {
+    std::fprintf(stderr, "mclstat: no .mclobs files in %s\n", arg.c_str());
+    std::exit(1);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    std::printf("usage: mclstat <dump.mclobs | BENCH_serve.json | dump-dir>\n");
+    return argc == 2 ? 0 : 2;
+  }
+  const std::string path = resolve_path(argv[1]);
+  std::string error;
+  const ValuePtr doc = mcl::obs::json::parse_file(path, &error);
+  if (doc == nullptr) {
+    std::fprintf(stderr, "mclstat: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("mclstat: %s\n", path.c_str());
+  if (doc->get("mclobs") != nullptr) return print_mclobs(*doc);
+  if (doc->get("mclserve") != nullptr) return print_serve(*doc);
+  std::fprintf(stderr,
+               "mclstat: %s is neither a .mclobs dump nor a serve report\n",
+               path.c_str());
+  return 1;
+}

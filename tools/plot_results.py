@@ -34,6 +34,13 @@ first non-comment line is "mclcheck-repro v1"): the file must be structurally
 complete and carry "minimized 1" — committing raw unminimized fuzzer output
 is an error; shrink it with tools/mclcheck first.
 
+--check also understands mclobs flight-recorder dumps (`.mclobs` files, a
+single object with an "mclobs" version key): the trigger must carry a known
+anomaly kind and an integer context id, every recorded event must be fully
+typed (ts/ctx/tenant/kind/status/args), related_events must match the
+trigger context, and serve_load --obs reports must carry a critical_path
+section whose p99 segments cover >= 95% of the measured latency.
+
 --check also understands mclserve load-harness documents (the
 bench/serve_load output, a single object with an "mclserve" version key,
 committed as BENCH_serve.json): the throughput timeline must carry
@@ -470,14 +477,210 @@ def check_serve(path):
                     f"only {retired} retired (lost or hung tickets)"
                 )
         ordered(where, ts, ("p50_ns", "p99_ns", "p999_ns"))
+        # Admission-wait vs service split (mclobs): recorded separately so
+        # queueing delay is visible apart from execution time.
+        for prefix in ("admission", "service"):
+            lo = ts.get(f"{prefix}_p50_ns")
+            hi = ts.get(f"{prefix}_p99_ns")
+            if not isinstance(lo, int) or lo < 0 or not isinstance(hi, int) or hi < 0:
+                errors.append(
+                    f"{where}: '{prefix}_p50_ns'/'{prefix}_p99_ns' must be "
+                    "non-negative ints"
+                )
+            elif lo > hi:
+                errors.append(
+                    f"{where}: {prefix} percentiles out of order ({lo} > {hi})"
+                )
 
     if not isinstance(doc.get("server"), dict):
         errors.append(f"{path}: missing 'server' stats object")
+
+    # serve_load --obs: exact per-request critical paths. The named segments
+    # of the p99 request must cover >= 95% of its measured latency — the
+    # decomposition acceptance check, re-verified on the committed artifact.
+    paths = doc.get("critical_path")
+    if doc.get("obs") == 1 and not isinstance(paths, list):
+        errors.append(f"{path}: obs run without a 'critical_path' list")
+    if isinstance(paths, list):
+        for i, cp in enumerate(paths):
+            where = f"{path}: critical_path[{i}]"
+            if not isinstance(cp, dict):
+                errors.append(f"{where}: not a JSON object")
+                continue
+            if isinstance(cp.get("name"), str):
+                where = f"{path}: critical_path {cp['name']!r}"
+            p99 = cp.get("p99_request")
+            if not isinstance(p99, dict):
+                errors.append(f"{where}: missing 'p99_request' object")
+                continue
+            segs = []
+            bad = False
+            for field in ("admission_ns", "dependency_ns", "queue_ns", "exec_ns",
+                          "total_ns"):
+                v = p99.get(field)
+                if not isinstance(v, int) or v < 0:
+                    errors.append(f"{where}: '{field}' must be a non-negative int")
+                    bad = True
+                segs.append(v if isinstance(v, int) else 0)
+            if bad:
+                continue
+            named, total = sum(segs[:4]), segs[4]
+            if named > total:
+                errors.append(
+                    f"{where}: segments sum to {named} > total {total}"
+                )
+            if total > 0 and named < 0.95 * total:
+                errors.append(
+                    f"{where}: p99 segments cover only "
+                    f"{100.0 * named / total:.1f}% of measured latency (< 95%)"
+                )
     if not errors:
         print(
             f"{path}: ok (serve bench, {doc.get('requests')} requests, "
             f"{doc.get('tenants')} tenants, "
             f"{len(timeline)} timeline points)"
+        )
+    return errors
+
+
+def is_obs_file(path):
+    """An mclobs flight-recorder dump is one JSON object whose "mclobs"
+    version marker sits on the first or second line (the writer emits it
+    first). Sniffed before the trace check like the other marker formats."""
+    try:
+        with open(path) as f:
+            seen = 0
+            for line in f:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if '"mclobs"' in stripped:
+                    return True
+                seen += 1
+                if seen >= 2:
+                    return False
+    except OSError:
+        pass
+    return False
+
+
+OBS_EVENT_KINDS = frozenset(
+    (
+        "submit",
+        "forward",
+        "complete",
+        "timeout",
+        "cancel",
+        "error",
+        "quarantine",
+        "drop_burst",
+        "inject",
+        "mark",
+    )
+)
+
+
+def check_obs(path):
+    """Validates a `.mclobs` flight-recorder dump; returns error strings.
+
+    Checks: parseable object, "mclobs" version 1, a typed trigger (known
+    kind, integer ctx/ts), a list of events each carrying ts_ns/ctx/tenant/
+    kind/status/args[6], related_events filtered to the trigger context, and
+    metrics/sections objects. Event timestamps are stamped before the
+    recorder lock, so cross-thread order may wobble slightly — only gross
+    (> 100 ms) inversions are flagged as corruption.
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: mclobs root is not a JSON object"]
+    if doc.get("mclobs") != 1:
+        errors.append(f"{path}: 'mclobs' version marker is not 1")
+
+    trigger = doc.get("trigger")
+    if not isinstance(trigger, dict):
+        errors.append(f"{path}: missing 'trigger' object")
+        trigger = {}
+    kind = trigger.get("kind")
+    if kind not in OBS_EVENT_KINDS:
+        errors.append(f"{path}: trigger kind {kind!r} is not a known kind")
+    trigger_ctx = trigger.get("ctx")
+    if not isinstance(trigger_ctx, int) or trigger_ctx < 0:
+        errors.append(f"{path}: trigger 'ctx' must be a non-negative int")
+        trigger_ctx = 0
+    if not isinstance(trigger.get("ts_ns"), int):
+        errors.append(f"{path}: trigger 'ts_ns' must be an int")
+
+    total = doc.get("total_recorded")
+    if not isinstance(total, int) or total < 0:
+        errors.append(f"{path}: 'total_recorded' must be a non-negative int")
+
+    def check_event(where, ev):
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not a JSON object")
+            return None
+        for field in ("ts_ns", "ctx", "tenant"):
+            v = ev.get(field)
+            if not isinstance(v, int) or v < 0:
+                errors.append(f"{where}: '{field}' must be a non-negative int")
+                return None
+        if ev.get("kind") not in OBS_EVENT_KINDS:
+            errors.append(f"{where}: unknown kind {ev.get('kind')!r}")
+        if not isinstance(ev.get("status"), str):
+            errors.append(f"{where}: 'status' must be a string")
+        args = ev.get("args")
+        if not isinstance(args, list) or len(args) != 6 or not all(
+            isinstance(a, int) and a >= 0 for a in args
+        ):
+            errors.append(f"{where}: 'args' must be 6 non-negative ints")
+        return ev
+
+    events = doc.get("events")
+    if not isinstance(events, list):
+        errors.append(f"{path}: missing 'events' list")
+        events = []
+    high_water = None
+    for i, ev in enumerate(events):
+        ev = check_event(f"{path}: events[{i}]", ev)
+        if ev is None:
+            continue
+        ts = ev["ts_ns"]
+        if high_water is not None and ts + 100_000_000 < high_water:
+            errors.append(
+                f"{path}: events[{i}]: ts_ns {ts} is >100ms before an "
+                f"earlier event ({high_water}) — ring corruption"
+            )
+        high_water = ts if high_water is None else max(high_water, ts)
+    if isinstance(total, int) and total < len(events):
+        errors.append(
+            f"{path}: total_recorded {total} < {len(events)} events in window"
+        )
+
+    related = doc.get("related_events")
+    if not isinstance(related, list):
+        errors.append(f"{path}: missing 'related_events' list")
+        related = []
+    for i, ev in enumerate(related):
+        ev = check_event(f"{path}: related_events[{i}]", ev)
+        if ev is not None and trigger_ctx and ev["ctx"] != trigger_ctx:
+            errors.append(
+                f"{path}: related_events[{i}]: ctx {ev['ctx']} does not match "
+                f"trigger ctx {trigger_ctx}"
+            )
+
+    if not isinstance(doc.get("metrics"), dict):
+        errors.append(f"{path}: missing 'metrics' object")
+    if not isinstance(doc.get("sections"), dict):
+        errors.append(f"{path}: missing 'sections' object")
+
+    if not errors:
+        print(
+            f"{path}: ok (mclobs dump, trigger {kind!r}, "
+            f"{len(events)} events in window, {total} recorded)"
         )
     return errors
 
@@ -918,6 +1121,8 @@ def main():
             errors = check_profile(args.jsonl)
         elif is_serve_file(args.jsonl):
             errors = check_serve(args.jsonl)
+        elif is_obs_file(args.jsonl):
+            errors = check_obs(args.jsonl)
         elif is_tune_file(args.jsonl):
             errors = check_tune(args.jsonl)
         elif is_facts_file(args.jsonl):

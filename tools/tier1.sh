@@ -2,10 +2,10 @@
 # Tier-1 gate: the checks every change must pass before merging.
 #
 #   1. plain Release build + full ctest suite (plus explicit `-L trace`,
-#      `-L prof`, `-L verify`, `-L serve` and `-L tune` passes for the
-#      mcltrace ring/exporter, mclprof registry/profiler, mclverify
-#      dataflow/soundness, mclserve admission/fairness, and mcltune
-#      policy/cache suites),
+#      `-L prof`, `-L verify`, `-L serve`, `-L tune` and `-L obs` passes for
+#      the mcltrace ring/exporter, mclprof registry/profiler, mclverify
+#      dataflow/soundness, mclserve admission/fairness, mcltune policy/cache,
+#      and mclobs context/flight-recorder suites),
 #      then the mclsan --all static gate (fails on new diagnostics; the
 #      KernelFacts JSON it emits is schema-checked by plot_results.py),
 #      a fixed-seed 60-second mclcheck differential smoke and a scan
@@ -13,6 +13,9 @@
 #      and a fixed-seed serve_load closed-loop smoke whose BENCH_serve.json
 #      output is schema-checked by plot_results.py (lost/hung tickets fail
 #      the harness itself; a malformed trajectory fails the check),
+#      plus a fixed-seed serve_load --obs smoke asserting the mclobs
+#      critical-path decomposition covers >= 95% of measured latency and
+#      that mclstat renders the report and the `.mclobs` snapshot,
 #      plus a fixed-seed ablation_tuning smoke whose BENCH_tune.json output
 #      is schema-checked (tuned >= paper-default within noise, bounded
 #      online convergence);
@@ -38,6 +41,7 @@ ctest --test-dir build --output-on-failure -L prof
 ctest --test-dir build --output-on-failure -L verify
 ctest --test-dir build --output-on-failure -L serve
 ctest --test-dir build --output-on-failure -L tune
+ctest --test-dir build --output-on-failure -L obs
 
 echo "== tier1: mclsan --all static gate + KernelFacts schema check =="
 # Exit 1 = a kernel outside the known-positive set gained an error-severity
@@ -67,6 +71,19 @@ echo "== tier1: serve_load closed-loop smoke (fixed seed) =="
   --json build/BENCH_serve_smoke.json
 tools/plot_results.py --check build/BENCH_serve_smoke.json
 
+echo "== tier1: mclobs critical-path smoke (fixed seed) =="
+# serve_load --obs records exact per-request critical paths and exits
+# nonzero unless every tenant's p99 decomposition covers >= 95% of the
+# measured end-to-end latency; the emitted report and `.mclobs` snapshot are
+# then schema-checked, and mclstat must render both (triage-tool smoke).
+./build/bench/serve_load --quick --tenants 8 --seed 1 --obs \
+  --json build/BENCH_serve_obs_smoke.json \
+  --obs-dump build/serve_smoke.mclobs
+tools/plot_results.py --check build/BENCH_serve_obs_smoke.json
+tools/plot_results.py --check build/serve_smoke.mclobs
+./build/tools/mclstat build/BENCH_serve_obs_smoke.json > /dev/null
+./build/tools/mclstat build/serve_smoke.mclobs > /dev/null
+
 echo "== tier1: mcltune ablation smoke (fixed seed) =="
 # Fixed-seed quick run of the tuning ablation: the emitted document is
 # schema-checked (tuned arms no worse than paper-default within noise,
@@ -81,9 +98,9 @@ cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure
 
-echo "== tier1: TSan build (threading + queue + trace + prof + serve + tune labels) =="
+echo "== tier1: TSan build (threading + queue + trace + prof + serve + tune + obs labels) =="
 cmake -B build-tsan -S . -DMCL_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test serve_test tune_test
-ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof|serve|tune"
+cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test serve_test tune_test obs_test
+ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof|serve|tune|obs"
 
 echo "== tier1: all checks passed =="
