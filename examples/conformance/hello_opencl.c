@@ -1,0 +1,177 @@
+/*
+ * hello_opencl.c — a classic OpenCL 1.1 "hello world" host program:
+ * discover the platform and a CPU device, build a program from source,
+ * square a vector through a buffer round-trip, and verify the result via
+ * both an element-wise reference check and a golden FNV-1a digest.
+ *
+ * This file is deliberately written the way third-party OpenCL samples are
+ * written: plain C99, includes only <CL/cl.h> and libc, no vendor or
+ * MiniCL-specific headers. It is the conformance proof that unmodified
+ * host programs compile and run against include/CL/cl.h.
+ *
+ * Output contract (checked by ctest): prints "conformance: PASSED" on
+ * success, "conformance: FAILED (...)" and exits nonzero otherwise.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include <CL/cl.h>
+
+#define N (1 << 16)
+#define GOLDEN_DIGEST 0x8d9f543eu
+
+static const char* kSource =
+    "__kernel void square(__global const float* in, __global float* out) {\n"
+    "  size_t i = get_global_id(0);\n"
+    "  out[i] = in[i] * in[i];\n"
+    "}\n";
+
+static unsigned fnv1a(const void* data, size_t n) {
+  const unsigned char* p = (const unsigned char*)data;
+  unsigned h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+static int fail(const char* what, cl_int err) {
+  printf("conformance: FAILED (%s, err=%d)\n", what, (int)err);
+  return 1;
+}
+
+int main(void) {
+  cl_int err;
+
+  /* --- discovery --- */
+  cl_platform_id platform;
+  cl_uint num_platforms;
+  err = clGetPlatformIDs(1, &platform, &num_platforms);
+  if (err != CL_SUCCESS || num_platforms == 0) {
+    return fail("clGetPlatformIDs", err);
+  }
+  char name[256];
+  err = clGetPlatformInfo(platform, CL_PLATFORM_NAME, sizeof(name), name,
+                          NULL);
+  if (err != CL_SUCCESS) return fail("clGetPlatformInfo", err);
+  printf("platform: %s\n", name);
+
+  cl_device_id device;
+  err = clGetDeviceIDs(platform, CL_DEVICE_TYPE_CPU, 1, &device, NULL);
+  if (err != CL_SUCCESS) return fail("clGetDeviceIDs", err);
+  err = clGetDeviceInfo(device, CL_DEVICE_NAME, sizeof(name), name, NULL);
+  if (err != CL_SUCCESS) return fail("clGetDeviceInfo", err);
+  cl_uint units = 0;
+  err = clGetDeviceInfo(device, CL_DEVICE_MAX_COMPUTE_UNITS, sizeof(units),
+                        &units, NULL);
+  if (err != CL_SUCCESS) return fail("clGetDeviceInfo(units)", err);
+  printf("device: %s (%u compute units)\n", name, (unsigned)units);
+
+  /* --- context + queue --- */
+  cl_context context =
+      clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+  if (err != CL_SUCCESS) return fail("clCreateContext", err);
+  cl_command_queue queue =
+      clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+  if (err != CL_SUCCESS) return fail("clCreateCommandQueue", err);
+
+  /* --- program + kernel --- */
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &kSource, NULL, &err);
+  if (err != CL_SUCCESS) return fail("clCreateProgramWithSource", err);
+  err = clBuildProgram(program, 1, &device, "", NULL, NULL);
+  if (err != CL_SUCCESS) {
+    char log[2048];
+    clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG, sizeof(log),
+                          log, NULL);
+    printf("build log: %s\n", log);
+    return fail("clBuildProgram", err);
+  }
+  cl_kernel kernel = clCreateKernel(program, "square", &err);
+  if (err != CL_SUCCESS) return fail("clCreateKernel", err);
+
+  /* --- buffers --- */
+  float* input = (float*)malloc(N * sizeof(float));
+  float* output = (float*)malloc(N * sizeof(float));
+  if (input == NULL || output == NULL) return fail("malloc", 0);
+  for (size_t i = 0; i < N; ++i) input[i] = (float)(i % 1000) * 0.5f;
+
+  cl_mem in_buf =
+      clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                     N * sizeof(float), input, &err);
+  if (err != CL_SUCCESS) return fail("clCreateBuffer(in)", err);
+  cl_mem out_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                  N * sizeof(float), NULL, &err);
+  if (err != CL_SUCCESS) return fail("clCreateBuffer(out)", err);
+
+  /* --- launch --- */
+  err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &in_buf);
+  if (err != CL_SUCCESS) return fail("clSetKernelArg(0)", err);
+  err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &out_buf);
+  if (err != CL_SUCCESS) return fail("clSetKernelArg(1)", err);
+
+  size_t global = N;
+  size_t local = 64;
+  cl_event kernel_event;
+  err = clEnqueueNDRangeKernel(queue, kernel, 1, NULL, &global, &local, 0,
+                               NULL, &kernel_event);
+  if (err != CL_SUCCESS) return fail("clEnqueueNDRangeKernel", err);
+
+  err = clEnqueueReadBuffer(queue, out_buf, CL_TRUE, 0, N * sizeof(float),
+                            output, 1, &kernel_event, NULL);
+  if (err != CL_SUCCESS) return fail("clEnqueueReadBuffer", err);
+  err = clFinish(queue);
+  if (err != CL_SUCCESS) return fail("clFinish", err);
+
+  /* --- profiling sanity: START <= END, both nonzero --- */
+  cl_ulong t_start = 0, t_end = 0;
+  err = clGetEventProfilingInfo(kernel_event, CL_PROFILING_COMMAND_START,
+                                sizeof(t_start), &t_start, NULL);
+  if (err != CL_SUCCESS) return fail("clGetEventProfilingInfo(start)", err);
+  err = clGetEventProfilingInfo(kernel_event, CL_PROFILING_COMMAND_END,
+                                sizeof(t_end), &t_end, NULL);
+  if (err != CL_SUCCESS) return fail("clGetEventProfilingInfo(end)", err);
+  if (t_end < t_start) return fail("profiling timestamps out of order", 0);
+  clReleaseEvent(kernel_event);
+
+  /* --- verify: element-wise against the host reference --- */
+  for (size_t i = 0; i < N; ++i) {
+    float want = input[i] * input[i];
+    if (output[i] != want) {
+      printf("mismatch at %zu: got %f want %f\n", i, output[i], want);
+      return fail("result verification", 0);
+    }
+  }
+
+  /* --- verify again through the zero-copy map path --- */
+  void* mapped = clEnqueueMapBuffer(queue, out_buf, CL_TRUE, CL_MAP_READ, 0,
+                                    N * sizeof(float), 0, NULL, NULL, &err);
+  if (err != CL_SUCCESS || mapped == NULL) {
+    return fail("clEnqueueMapBuffer", err);
+  }
+  unsigned digest = fnv1a(mapped, N * sizeof(float));
+  err = clEnqueueUnmapMemObject(queue, out_buf, mapped, 0, NULL, NULL);
+  if (err != CL_SUCCESS) return fail("clEnqueueUnmapMemObject", err);
+
+  printf("digest: 0x%08x\n", digest);
+  if (digest != GOLDEN_DIGEST) {
+    printf("conformance: FAILED (digest mismatch, want 0x%08x)\n",
+           GOLDEN_DIGEST);
+    return 1;
+  }
+
+  /* --- teardown (any order: handles are reference counted) --- */
+  clReleaseMemObject(in_buf);
+  clReleaseMemObject(out_buf);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+  free(input);
+  free(output);
+
+  printf("conformance: PASSED\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+/*
+ * parallel_min.c — an OpenCL 1.1 two-stage minimum reduction in the shape
+ * of the classic AMD "ParallelMin" sample: each workgroup computes a local
+ * minimum through a __local scratch tree, writes one partial per group, and
+ * the host folds the partials. Exercises local-memory kernel arguments
+ * (clSetKernelArg with a NULL value), non-blocking writes with event wait
+ * lists, clWaitForEvents, and event profiling.
+ *
+ * Plain C99 against <CL/cl.h> only — no vendor or MiniCL-specific headers.
+ *
+ * Output contract (checked by ctest): prints "conformance: PASSED" on
+ * success, "conformance: FAILED (...)" and exits nonzero otherwise.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#include <CL/cl.h>
+
+#define N (1 << 18)
+#define LOCAL 128
+#define GROUPS (N / LOCAL)
+
+static const char* kSource =
+    "__kernel void parallel_min(__global const uint* in,\n"
+    "                           __global uint* partials,\n"
+    "                           __local uint* scratch) {\n"
+    "  size_t lid = get_local_id(0);\n"
+    "  scratch[lid] = in[get_global_id(0)];\n"
+    "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+    "  for (size_t s = get_local_size(0) / 2; s > 0; s >>= 1) {\n"
+    "    if (lid < s && scratch[lid + s] < scratch[lid])\n"
+    "      scratch[lid] = scratch[lid + s];\n"
+    "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+    "  }\n"
+    "  if (lid == 0) partials[get_group_id(0)] = scratch[0];\n"
+    "}\n";
+
+static int fail(const char* what, cl_int err) {
+  printf("conformance: FAILED (%s, err=%d)\n", what, (int)err);
+  return 1;
+}
+
+/* Deterministic xorshift32 stream so the expected minimum is reproducible. */
+static unsigned next_value(unsigned* state) {
+  unsigned x = *state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  *state = x;
+  return x;
+}
+
+int main(void) {
+  cl_int err;
+
+  cl_platform_id platform;
+  err = clGetPlatformIDs(1, &platform, NULL);
+  if (err != CL_SUCCESS) return fail("clGetPlatformIDs", err);
+  cl_device_id device;
+  err = clGetDeviceIDs(platform, CL_DEVICE_TYPE_DEFAULT, 1, &device, NULL);
+  if (err != CL_SUCCESS) return fail("clGetDeviceIDs", err);
+
+  cl_context context = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+  if (err != CL_SUCCESS) return fail("clCreateContext", err);
+  cl_command_queue queue =
+      clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+  if (err != CL_SUCCESS) return fail("clCreateCommandQueue", err);
+
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &kSource, NULL, &err);
+  if (err != CL_SUCCESS) return fail("clCreateProgramWithSource", err);
+  err = clBuildProgram(program, 0, NULL, NULL, NULL, NULL);
+  if (err != CL_SUCCESS) {
+    size_t log_size = 0;
+    clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG, 0, NULL,
+                          &log_size);
+    char* log = (char*)malloc(log_size + 1);
+    if (log != NULL) {
+      clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG, log_size,
+                            log, NULL);
+      log[log_size] = '\0';
+      printf("build log: %s\n", log);
+      free(log);
+    }
+    return fail("clBuildProgram", err);
+  }
+  cl_kernel kernel = clCreateKernel(program, "parallel_min", &err);
+  if (err != CL_SUCCESS) return fail("clCreateKernel", err);
+
+  unsigned* input = (unsigned*)malloc(N * sizeof(unsigned));
+  unsigned* partials = (unsigned*)malloc(GROUPS * sizeof(unsigned));
+  if (input == NULL || partials == NULL) return fail("malloc", 0);
+  unsigned state = 0x12345678u;
+  unsigned expected = 0xffffffffu;
+  for (size_t i = 0; i < N; ++i) {
+    input[i] = next_value(&state);
+    if (input[i] < expected) expected = input[i];
+  }
+
+  cl_mem in_buf = clCreateBuffer(context, CL_MEM_READ_ONLY,
+                                 N * sizeof(unsigned), NULL, &err);
+  if (err != CL_SUCCESS) return fail("clCreateBuffer(in)", err);
+  cl_mem partials_buf = clCreateBuffer(context, CL_MEM_WRITE_ONLY,
+                                       GROUPS * sizeof(unsigned), NULL, &err);
+  if (err != CL_SUCCESS) return fail("clCreateBuffer(partials)", err);
+
+  /* Non-blocking upload chained into the launch through its wait list. */
+  cl_event write_event;
+  err = clEnqueueWriteBuffer(queue, in_buf, CL_FALSE, 0, N * sizeof(unsigned),
+                             input, 0, NULL, &write_event);
+  if (err != CL_SUCCESS) return fail("clEnqueueWriteBuffer", err);
+
+  err = clSetKernelArg(kernel, 0, sizeof(cl_mem), &in_buf);
+  if (err != CL_SUCCESS) return fail("clSetKernelArg(0)", err);
+  err = clSetKernelArg(kernel, 1, sizeof(cl_mem), &partials_buf);
+  if (err != CL_SUCCESS) return fail("clSetKernelArg(1)", err);
+  err = clSetKernelArg(kernel, 2, LOCAL * sizeof(unsigned), NULL);
+  if (err != CL_SUCCESS) return fail("clSetKernelArg(2,local)", err);
+
+  size_t global = N;
+  size_t local = LOCAL;
+  cl_event kernel_event;
+  err = clEnqueueNDRangeKernel(queue, kernel, 1, NULL, &global, &local, 1,
+                               &write_event, &kernel_event);
+  if (err != CL_SUCCESS) return fail("clEnqueueNDRangeKernel", err);
+  err = clWaitForEvents(1, &kernel_event);
+  if (err != CL_SUCCESS) return fail("clWaitForEvents", err);
+
+  err = clEnqueueReadBuffer(queue, partials_buf, CL_TRUE, 0,
+                            GROUPS * sizeof(unsigned), partials, 0, NULL,
+                            NULL);
+  if (err != CL_SUCCESS) return fail("clEnqueueReadBuffer", err);
+
+  /* Host-side fold of the per-group partial minima (stage two). */
+  unsigned result = 0xffffffffu;
+  for (size_t g = 0; g < GROUPS; ++g) {
+    if (partials[g] < result) result = partials[g];
+  }
+
+  cl_ulong t_queued = 0, t_end = 0;
+  err = clGetEventProfilingInfo(kernel_event, CL_PROFILING_COMMAND_QUEUED,
+                                sizeof(t_queued), &t_queued, NULL);
+  if (err != CL_SUCCESS) return fail("clGetEventProfilingInfo(queued)", err);
+  err = clGetEventProfilingInfo(kernel_event, CL_PROFILING_COMMAND_END,
+                                sizeof(t_end), &t_end, NULL);
+  if (err != CL_SUCCESS) return fail("clGetEventProfilingInfo(end)", err);
+  if (t_end < t_queued) return fail("profiling timestamps out of order", 0);
+
+  clReleaseEvent(write_event);
+  clReleaseEvent(kernel_event);
+
+  printf("min: device=0x%08x host=0x%08x\n", result, expected);
+  if (result != expected) return fail("minimum mismatch", 0);
+
+  clReleaseMemObject(in_buf);
+  clReleaseMemObject(partials_buf);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+  free(input);
+  free(partials);
+
+  printf("conformance: PASSED\n");
+  return 0;
+}

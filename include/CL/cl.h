@@ -1,0 +1,613 @@
+/* MiniCL binary-compatible OpenCL host header (CL_TARGET_OPENCL_VERSION 110
+ * semantics, plus the OpenCL 1.2 device-fission trio clCreateSubDevices /
+ * clRetainDevice / clReleaseDevice).
+ *
+ * Unmodified OpenCL 1.1 host programs compile against this header and link
+ * against the MiniCL runtime: the entry points are a thin C shim
+ * (src/ocl/cl_shim.cpp) over the same C++ runtime behind mcl.h. One
+ * deliberate deviation: MiniCL has no OpenCL C compiler — kernels are
+ * pre-registered native bodies — so clBuildProgram *binds* the __kernel
+ * names found in the source text against the registered kernel-descriptor
+ * table, and fails with CL_BUILD_PROGRAM_FAILURE (and a build log naming the
+ * unbindable kernels) when a source kernel has no registered implementation.
+ * See docs/cl_shim.md for the full surface matrix and porting walkthrough.
+ */
+#ifndef MCL_CL_H_
+#define MCL_CL_H_
+
+#include <CL/cl_platform.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#ifndef CL_TARGET_OPENCL_VERSION
+#define CL_TARGET_OPENCL_VERSION 110
+#endif
+
+/* --- object handles ------------------------------------------------------- */
+
+typedef struct _cl_platform_id* cl_platform_id;
+typedef struct _cl_device_id* cl_device_id;
+typedef struct _cl_context* cl_context;
+typedef struct _cl_command_queue* cl_command_queue;
+typedef struct _cl_mem* cl_mem;
+typedef struct _cl_program* cl_program;
+typedef struct _cl_kernel* cl_kernel;
+typedef struct _cl_event* cl_event;
+typedef struct _cl_sampler* cl_sampler;
+
+typedef cl_uint cl_bool;
+typedef cl_ulong cl_bitfield;
+typedef cl_bitfield cl_device_type;
+typedef cl_uint cl_platform_info;
+typedef cl_uint cl_device_info;
+typedef cl_bitfield cl_device_fp_config;
+typedef cl_uint cl_device_mem_cache_type;
+typedef cl_uint cl_device_local_mem_type;
+typedef cl_bitfield cl_device_exec_capabilities;
+typedef cl_bitfield cl_command_queue_properties;
+typedef intptr_t cl_device_partition_property;
+typedef intptr_t cl_context_properties;
+typedef cl_uint cl_context_info;
+typedef cl_uint cl_command_queue_info;
+typedef cl_uint cl_channel_order;
+typedef cl_uint cl_channel_type;
+typedef cl_bitfield cl_mem_flags;
+typedef cl_uint cl_mem_object_type;
+typedef cl_uint cl_mem_info;
+typedef cl_uint cl_image_info;
+typedef cl_uint cl_buffer_create_type;
+typedef cl_uint cl_addressing_mode;
+typedef cl_uint cl_filter_mode;
+typedef cl_uint cl_sampler_info;
+typedef cl_bitfield cl_map_flags;
+typedef cl_uint cl_program_info;
+typedef cl_uint cl_program_build_info;
+typedef cl_int cl_build_status;
+typedef cl_uint cl_kernel_info;
+typedef cl_uint cl_kernel_work_group_info;
+typedef cl_uint cl_event_info;
+typedef cl_uint cl_command_type;
+typedef cl_uint cl_profiling_info;
+
+typedef struct _cl_image_format {
+  cl_channel_order image_channel_order;
+  cl_channel_type image_channel_data_type;
+} cl_image_format;
+
+typedef struct _cl_buffer_region {
+  size_t origin;
+  size_t size;
+} cl_buffer_region;
+
+/* --- error codes ---------------------------------------------------------- */
+
+#define CL_SUCCESS 0
+#define CL_DEVICE_NOT_FOUND -1
+#define CL_DEVICE_NOT_AVAILABLE -2
+#define CL_COMPILER_NOT_AVAILABLE -3
+#define CL_MEM_OBJECT_ALLOCATION_FAILURE -4
+#define CL_OUT_OF_RESOURCES -5
+#define CL_OUT_OF_HOST_MEMORY -6
+#define CL_PROFILING_INFO_NOT_AVAILABLE -7
+#define CL_MEM_COPY_OVERLAP -8
+#define CL_IMAGE_FORMAT_MISMATCH -9
+#define CL_IMAGE_FORMAT_NOT_SUPPORTED -10
+#define CL_BUILD_PROGRAM_FAILURE -11
+#define CL_MAP_FAILURE -12
+#define CL_MISALIGNED_SUB_BUFFER_OFFSET -13
+#define CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST -14
+
+#define CL_INVALID_VALUE -30
+#define CL_INVALID_DEVICE_TYPE -31
+#define CL_INVALID_PLATFORM -32
+#define CL_INVALID_DEVICE -33
+#define CL_INVALID_CONTEXT -34
+#define CL_INVALID_QUEUE_PROPERTIES -35
+#define CL_INVALID_COMMAND_QUEUE -36
+#define CL_INVALID_HOST_PTR -37
+#define CL_INVALID_MEM_OBJECT -38
+#define CL_INVALID_IMAGE_FORMAT_DESCRIPTOR -39
+#define CL_INVALID_IMAGE_SIZE -40
+#define CL_INVALID_SAMPLER -41
+#define CL_INVALID_BINARY -42
+#define CL_INVALID_BUILD_OPTIONS -43
+#define CL_INVALID_PROGRAM -44
+#define CL_INVALID_PROGRAM_EXECUTABLE -45
+#define CL_INVALID_KERNEL_NAME -46
+#define CL_INVALID_KERNEL_DEFINITION -47
+#define CL_INVALID_KERNEL -48
+#define CL_INVALID_ARG_INDEX -49
+#define CL_INVALID_ARG_VALUE -50
+#define CL_INVALID_ARG_SIZE -51
+#define CL_INVALID_KERNEL_ARGS -52
+#define CL_INVALID_WORK_DIMENSION -53
+#define CL_INVALID_WORK_GROUP_SIZE -54
+#define CL_INVALID_WORK_ITEM_SIZE -55
+#define CL_INVALID_GLOBAL_OFFSET -56
+#define CL_INVALID_EVENT_WAIT_LIST -57
+#define CL_INVALID_EVENT -58
+#define CL_INVALID_OPERATION -59
+#define CL_INVALID_GL_OBJECT -60
+#define CL_INVALID_BUFFER_SIZE -61
+#define CL_INVALID_MIP_LEVEL -62
+#define CL_INVALID_GLOBAL_WORK_SIZE -63
+#define CL_INVALID_PROPERTY -64
+/* OpenCL 1.2 (device fission) */
+#define CL_INVALID_DEVICE_PARTITION_COUNT -68
+
+/* --- cl_bool -------------------------------------------------------------- */
+
+#define CL_FALSE 0
+#define CL_TRUE 1
+#define CL_BLOCKING CL_TRUE
+#define CL_NON_BLOCKING CL_FALSE
+
+/* --- cl_platform_info ----------------------------------------------------- */
+
+#define CL_PLATFORM_PROFILE 0x0900
+#define CL_PLATFORM_VERSION 0x0901
+#define CL_PLATFORM_NAME 0x0902
+#define CL_PLATFORM_VENDOR 0x0903
+#define CL_PLATFORM_EXTENSIONS 0x0904
+
+/* --- cl_device_type ------------------------------------------------------- */
+
+#define CL_DEVICE_TYPE_DEFAULT (1 << 0)
+#define CL_DEVICE_TYPE_CPU (1 << 1)
+#define CL_DEVICE_TYPE_GPU (1 << 2)
+#define CL_DEVICE_TYPE_ACCELERATOR (1 << 3)
+#define CL_DEVICE_TYPE_ALL 0xFFFFFFFF
+
+/* --- cl_device_info (host-relevant subset) -------------------------------- */
+
+#define CL_DEVICE_TYPE 0x1000
+#define CL_DEVICE_VENDOR_ID 0x1001
+#define CL_DEVICE_MAX_COMPUTE_UNITS 0x1002
+#define CL_DEVICE_MAX_WORK_ITEM_DIMENSIONS 0x1003
+#define CL_DEVICE_MAX_WORK_GROUP_SIZE 0x1004
+#define CL_DEVICE_MAX_WORK_ITEM_SIZES 0x1005
+#define CL_DEVICE_MAX_CLOCK_FREQUENCY 0x100C
+#define CL_DEVICE_ADDRESS_BITS 0x100D
+#define CL_DEVICE_MAX_MEM_ALLOC_SIZE 0x1010
+#define CL_DEVICE_GLOBAL_MEM_SIZE 0x101F
+#define CL_DEVICE_LOCAL_MEM_SIZE 0x1023
+#define CL_DEVICE_AVAILABLE 0x1027
+#define CL_DEVICE_COMPILER_AVAILABLE 0x1028
+#define CL_DEVICE_QUEUE_PROPERTIES 0x102A
+#define CL_DEVICE_NAME 0x102B
+#define CL_DEVICE_VENDOR 0x102C
+#define CL_DRIVER_VERSION 0x102D
+#define CL_DEVICE_PROFILE 0x102E
+#define CL_DEVICE_VERSION 0x102F
+#define CL_DEVICE_EXTENSIONS 0x1030
+#define CL_DEVICE_PLATFORM 0x1031
+#define CL_DEVICE_OPENCL_C_VERSION 0x103D
+/* OpenCL 1.2 device-fission queries */
+#define CL_DEVICE_PARENT_DEVICE 0x1042
+#define CL_DEVICE_PARTITION_MAX_SUB_DEVICES 0x1043
+#define CL_DEVICE_PARTITION_PROPERTIES 0x1044
+#define CL_DEVICE_PARTITION_TYPE 0x1046
+#define CL_DEVICE_REFERENCE_COUNT 0x1047
+
+/* --- cl_device_partition_property (OpenCL 1.2 device fission) ------------- */
+
+#define CL_DEVICE_PARTITION_EQUALLY 0x1086
+#define CL_DEVICE_PARTITION_BY_COUNTS 0x1087
+#define CL_DEVICE_PARTITION_BY_COUNTS_LIST_END 0x0
+#define CL_DEVICE_PARTITION_BY_AFFINITY_DOMAIN 0x1088
+
+/* --- cl_context_info / properties ----------------------------------------- */
+
+#define CL_CONTEXT_REFERENCE_COUNT 0x1080
+#define CL_CONTEXT_DEVICES 0x1081
+#define CL_CONTEXT_PROPERTIES 0x1082
+#define CL_CONTEXT_NUM_DEVICES 0x1083
+#define CL_CONTEXT_PLATFORM 0x1084
+
+/* --- cl_command_queue_properties / info ----------------------------------- */
+
+#define CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE (1 << 0)
+#define CL_QUEUE_PROFILING_ENABLE (1 << 1)
+
+#define CL_QUEUE_CONTEXT 0x1090
+#define CL_QUEUE_DEVICE 0x1091
+#define CL_QUEUE_REFERENCE_COUNT 0x1092
+#define CL_QUEUE_PROPERTIES 0x1093
+
+/* --- cl_mem_flags ---------------------------------------------------------- */
+
+#define CL_MEM_READ_WRITE (1 << 0)
+#define CL_MEM_WRITE_ONLY (1 << 1)
+#define CL_MEM_READ_ONLY (1 << 2)
+#define CL_MEM_USE_HOST_PTR (1 << 3)
+#define CL_MEM_ALLOC_HOST_PTR (1 << 4)
+#define CL_MEM_COPY_HOST_PTR (1 << 5)
+
+/* --- cl_mem_object_type / cl_mem_info -------------------------------------- */
+
+#define CL_MEM_OBJECT_BUFFER 0x10F0
+#define CL_MEM_OBJECT_IMAGE2D 0x10F1
+#define CL_MEM_OBJECT_IMAGE3D 0x10F2
+
+#define CL_MEM_TYPE 0x1100
+#define CL_MEM_FLAGS 0x1101
+#define CL_MEM_SIZE 0x1102
+#define CL_MEM_HOST_PTR 0x1103
+#define CL_MEM_MAP_COUNT 0x1104
+#define CL_MEM_REFERENCE_COUNT 0x1105
+#define CL_MEM_CONTEXT 0x1106
+#define CL_MEM_ASSOCIATED_MEMOBJECT 0x1107
+#define CL_MEM_OFFSET 0x1108
+
+#define CL_BUFFER_CREATE_TYPE_REGION 0x1220
+
+/* --- cl_map_flags ---------------------------------------------------------- */
+
+#define CL_MAP_READ (1 << 0)
+#define CL_MAP_WRITE (1 << 1)
+
+/* --- cl_program_info / build info ------------------------------------------ */
+
+#define CL_PROGRAM_REFERENCE_COUNT 0x1160
+#define CL_PROGRAM_CONTEXT 0x1161
+#define CL_PROGRAM_NUM_DEVICES 0x1162
+#define CL_PROGRAM_DEVICES 0x1163
+#define CL_PROGRAM_SOURCE 0x1164
+#define CL_PROGRAM_BINARY_SIZES 0x1165
+#define CL_PROGRAM_BINARIES 0x1166
+
+#define CL_PROGRAM_BUILD_STATUS 0x1181
+#define CL_PROGRAM_BUILD_OPTIONS 0x1182
+#define CL_PROGRAM_BUILD_LOG 0x1183
+
+#define CL_BUILD_SUCCESS 0
+#define CL_BUILD_NONE -1
+#define CL_BUILD_ERROR -2
+#define CL_BUILD_IN_PROGRESS -3
+
+/* --- cl_kernel_info / work-group info -------------------------------------- */
+
+#define CL_KERNEL_FUNCTION_NAME 0x1190
+#define CL_KERNEL_NUM_ARGS 0x1191
+#define CL_KERNEL_REFERENCE_COUNT 0x1192
+#define CL_KERNEL_CONTEXT 0x1193
+#define CL_KERNEL_PROGRAM 0x1194
+
+#define CL_KERNEL_WORK_GROUP_SIZE 0x11B0
+#define CL_KERNEL_COMPILE_WORK_GROUP_SIZE 0x11B1
+#define CL_KERNEL_LOCAL_MEM_SIZE 0x11B2
+#define CL_KERNEL_PREFERRED_WORK_GROUP_SIZE_MULTIPLE 0x11B3
+#define CL_KERNEL_PRIVATE_MEM_SIZE 0x11B4
+
+/* --- cl_event_info / execution status / command type ----------------------- */
+
+#define CL_EVENT_COMMAND_QUEUE 0x11D0
+#define CL_EVENT_COMMAND_TYPE 0x11D1
+#define CL_EVENT_REFERENCE_COUNT 0x11D2
+#define CL_EVENT_COMMAND_EXECUTION_STATUS 0x11D3
+#define CL_EVENT_CONTEXT 0x11D4
+
+#define CL_COMPLETE 0x0
+#define CL_RUNNING 0x1
+#define CL_SUBMITTED 0x2
+#define CL_QUEUED 0x3
+
+#define CL_COMMAND_NDRANGE_KERNEL 0x11F0
+#define CL_COMMAND_TASK 0x11F1
+#define CL_COMMAND_NATIVE_KERNEL 0x11F2
+#define CL_COMMAND_READ_BUFFER 0x11F3
+#define CL_COMMAND_WRITE_BUFFER 0x11F4
+#define CL_COMMAND_COPY_BUFFER 0x11F5
+#define CL_COMMAND_READ_IMAGE 0x11F6
+#define CL_COMMAND_WRITE_IMAGE 0x11F7
+#define CL_COMMAND_COPY_IMAGE 0x11F8
+#define CL_COMMAND_COPY_IMAGE_TO_BUFFER 0x11F9
+#define CL_COMMAND_COPY_BUFFER_TO_IMAGE 0x11FA
+#define CL_COMMAND_MAP_BUFFER 0x11FB
+#define CL_COMMAND_MAP_IMAGE 0x11FC
+#define CL_COMMAND_UNMAP_MEM_OBJECT 0x11FD
+#define CL_COMMAND_MARKER 0x11FE
+#define CL_COMMAND_READ_BUFFER_RECT 0x1201
+#define CL_COMMAND_WRITE_BUFFER_RECT 0x1202
+#define CL_COMMAND_COPY_BUFFER_RECT 0x1203
+#define CL_COMMAND_USER 0x1204
+#define CL_COMMAND_BARRIER 0x1206
+
+/* --- cl_profiling_info ------------------------------------------------------ */
+
+#define CL_PROFILING_COMMAND_QUEUED 0x1280
+#define CL_PROFILING_COMMAND_SUBMIT 0x1281
+#define CL_PROFILING_COMMAND_START 0x1282
+#define CL_PROFILING_COMMAND_END 0x1283
+
+/* --- platform / device discovery ------------------------------------------- */
+
+CL_API_ENTRY cl_int CL_API_CALL clGetPlatformIDs(
+    cl_uint num_entries, cl_platform_id* platforms,
+    cl_uint* num_platforms) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetPlatformInfo(
+    cl_platform_id platform, cl_platform_info param_name,
+    size_t param_value_size, void* param_value,
+    size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetDeviceIDs(
+    cl_platform_id platform, cl_device_type device_type, cl_uint num_entries,
+    cl_device_id* devices, cl_uint* num_devices) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetDeviceInfo(
+    cl_device_id device, cl_device_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+/* OpenCL 1.2 device fission, provided for CPU partitioning: the CPU device
+ * partitions its worker pool into disjoint shards (CL_DEVICE_PARTITION_
+ * EQUALLY / CL_DEVICE_PARTITION_BY_COUNTS); sub-devices are refcounted. */
+CL_API_ENTRY cl_int CL_API_CALL clCreateSubDevices(
+    cl_device_id in_device, const cl_device_partition_property* properties,
+    cl_uint num_devices, cl_device_id* out_devices,
+    cl_uint* num_devices_ret) CL_API_SUFFIX__VERSION_1_2;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clRetainDevice(cl_device_id device) CL_API_SUFFIX__VERSION_1_2;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clReleaseDevice(cl_device_id device) CL_API_SUFFIX__VERSION_1_2;
+
+/* --- contexts --------------------------------------------------------------- */
+
+CL_API_ENTRY cl_context CL_API_CALL clCreateContext(
+    const cl_context_properties* properties, cl_uint num_devices,
+    const cl_device_id* devices,
+    void(CL_CALLBACK* pfn_notify)(const char* errinfo, const void* private_info,
+                                  size_t cb, void* user_data),
+    void* user_data, cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_context CL_API_CALL clCreateContextFromType(
+    const cl_context_properties* properties, cl_device_type device_type,
+    void(CL_CALLBACK* pfn_notify)(const char* errinfo, const void* private_info,
+                                  size_t cb, void* user_data),
+    void* user_data, cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clRetainContext(cl_context context) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clReleaseContext(cl_context context) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetContextInfo(
+    cl_context context, cl_context_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+/* --- command queues --------------------------------------------------------- */
+
+CL_API_ENTRY cl_command_queue CL_API_CALL clCreateCommandQueue(
+    cl_context context, cl_device_id device,
+    cl_command_queue_properties properties,
+    cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clRetainCommandQueue(cl_command_queue command_queue) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clReleaseCommandQueue(
+    cl_command_queue command_queue) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetCommandQueueInfo(
+    cl_command_queue command_queue, cl_command_queue_info param_name,
+    size_t param_value_size, void* param_value,
+    size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+/* --- memory objects --------------------------------------------------------- */
+
+CL_API_ENTRY cl_mem CL_API_CALL clCreateBuffer(
+    cl_context context, cl_mem_flags flags, size_t size, void* host_ptr,
+    cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_mem CL_API_CALL clCreateSubBuffer(
+    cl_mem buffer, cl_mem_flags flags, cl_buffer_create_type buffer_create_type,
+    const void* buffer_create_info,
+    cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_1;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clRetainMemObject(cl_mem memobj) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clReleaseMemObject(cl_mem memobj) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetMemObjectInfo(
+    cl_mem memobj, cl_mem_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetSupportedImageFormats(
+    cl_context context, cl_mem_flags flags, cl_mem_object_type image_type,
+    cl_uint num_entries, cl_image_format* image_formats,
+    cl_uint* num_image_formats) CL_API_SUFFIX__VERSION_1_0;
+
+/* --- programs ---------------------------------------------------------------- */
+
+CL_API_ENTRY cl_program CL_API_CALL clCreateProgramWithSource(
+    cl_context context, cl_uint count, const char** strings,
+    const size_t* lengths, cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_program CL_API_CALL clCreateProgramWithBinary(
+    cl_context context, cl_uint num_devices, const cl_device_id* device_list,
+    const size_t* lengths, const unsigned char** binaries,
+    cl_int* binary_status, cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clRetainProgram(cl_program program) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clReleaseProgram(cl_program program) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clBuildProgram(
+    cl_program program, cl_uint num_devices, const cl_device_id* device_list,
+    const char* options,
+    void(CL_CALLBACK* pfn_notify)(cl_program program, void* user_data),
+    void* user_data) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clUnloadCompiler(void) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetProgramInfo(
+    cl_program program, cl_program_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetProgramBuildInfo(
+    cl_program program, cl_device_id device, cl_program_build_info param_name,
+    size_t param_value_size, void* param_value,
+    size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+/* --- kernels ----------------------------------------------------------------- */
+
+CL_API_ENTRY cl_kernel CL_API_CALL clCreateKernel(
+    cl_program program, const char* kernel_name,
+    cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clCreateKernelsInProgram(
+    cl_program program, cl_uint num_kernels, cl_kernel* kernels,
+    cl_uint* num_kernels_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clRetainKernel(cl_kernel kernel) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clReleaseKernel(cl_kernel kernel) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clSetKernelArg(
+    cl_kernel kernel, cl_uint arg_index, size_t arg_size,
+    const void* arg_value) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetKernelInfo(
+    cl_kernel kernel, cl_kernel_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetKernelWorkGroupInfo(
+    cl_kernel kernel, cl_device_id device,
+    cl_kernel_work_group_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+/* --- events ------------------------------------------------------------------ */
+
+CL_API_ENTRY cl_int CL_API_CALL clWaitForEvents(
+    cl_uint num_events, const cl_event* event_list) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetEventInfo(
+    cl_event event, cl_event_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_event CL_API_CALL clCreateUserEvent(
+    cl_context context, cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_1;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clRetainEvent(cl_event event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clReleaseEvent(cl_event event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clSetUserEventStatus(
+    cl_event event, cl_int execution_status) CL_API_SUFFIX__VERSION_1_1;
+
+CL_API_ENTRY cl_int CL_API_CALL clSetEventCallback(
+    cl_event event, cl_int command_exec_callback_type,
+    void(CL_CALLBACK* pfn_notify)(cl_event event, cl_int event_command_status,
+                                  void* user_data),
+    void* user_data) CL_API_SUFFIX__VERSION_1_1;
+
+CL_API_ENTRY cl_int CL_API_CALL clGetEventProfilingInfo(
+    cl_event event, cl_profiling_info param_name, size_t param_value_size,
+    void* param_value, size_t* param_value_size_ret) CL_API_SUFFIX__VERSION_1_0;
+
+/* --- flush / finish ---------------------------------------------------------- */
+
+CL_API_ENTRY cl_int CL_API_CALL
+clFlush(cl_command_queue command_queue) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clFinish(cl_command_queue command_queue) CL_API_SUFFIX__VERSION_1_0;
+
+/* --- enqueued commands -------------------------------------------------------- */
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueReadBuffer(
+    cl_command_queue command_queue, cl_mem buffer, cl_bool blocking_read,
+    size_t offset, size_t size, void* ptr, cl_uint num_events_in_wait_list,
+    const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueReadBufferRect(
+    cl_command_queue command_queue, cl_mem buffer, cl_bool blocking_read,
+    const size_t* buffer_origin, const size_t* host_origin,
+    const size_t* region, size_t buffer_row_pitch, size_t buffer_slice_pitch,
+    size_t host_row_pitch, size_t host_slice_pitch, void* ptr,
+    cl_uint num_events_in_wait_list, const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_1;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueWriteBuffer(
+    cl_command_queue command_queue, cl_mem buffer, cl_bool blocking_write,
+    size_t offset, size_t size, const void* ptr,
+    cl_uint num_events_in_wait_list, const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueWriteBufferRect(
+    cl_command_queue command_queue, cl_mem buffer, cl_bool blocking_write,
+    const size_t* buffer_origin, const size_t* host_origin,
+    const size_t* region, size_t buffer_row_pitch, size_t buffer_slice_pitch,
+    size_t host_row_pitch, size_t host_slice_pitch, const void* ptr,
+    cl_uint num_events_in_wait_list, const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_1;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueCopyBuffer(
+    cl_command_queue command_queue, cl_mem src_buffer, cl_mem dst_buffer,
+    size_t src_offset, size_t dst_offset, size_t size,
+    cl_uint num_events_in_wait_list, const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY void* CL_API_CALL clEnqueueMapBuffer(
+    cl_command_queue command_queue, cl_mem buffer, cl_bool blocking_map,
+    cl_map_flags map_flags, size_t offset, size_t size,
+    cl_uint num_events_in_wait_list, const cl_event* event_wait_list,
+    cl_event* event, cl_int* errcode_ret) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueUnmapMemObject(
+    cl_command_queue command_queue, cl_mem memobj, void* mapped_ptr,
+    cl_uint num_events_in_wait_list, const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueNDRangeKernel(
+    cl_command_queue command_queue, cl_kernel kernel, cl_uint work_dim,
+    const size_t* global_work_offset, const size_t* global_work_size,
+    const size_t* local_work_size, cl_uint num_events_in_wait_list,
+    const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueTask(
+    cl_command_queue command_queue, cl_kernel kernel,
+    cl_uint num_events_in_wait_list, const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueNativeKernel(
+    cl_command_queue command_queue, void(CL_CALLBACK* user_func)(void*),
+    void* args, size_t cb_args, cl_uint num_mem_objects, const cl_mem* mem_list,
+    const void** args_mem_loc, cl_uint num_events_in_wait_list,
+    const cl_event* event_wait_list,
+    cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueMarker(
+    cl_command_queue command_queue, cl_event* event) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL clEnqueueWaitForEvents(
+    cl_command_queue command_queue, cl_uint num_events,
+    const cl_event* event_list) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY cl_int CL_API_CALL
+clEnqueueBarrier(cl_command_queue command_queue) CL_API_SUFFIX__VERSION_1_0;
+
+CL_API_ENTRY void* CL_API_CALL clGetExtensionFunctionAddress(
+    const char* func_name) CL_API_SUFFIX__VERSION_1_0;
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* MCL_CL_H_ */

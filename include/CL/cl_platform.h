@@ -1,0 +1,70 @@
+/* MiniCL binary-compatible OpenCL platform header.
+ *
+ * Scalar type and calling-convention definitions for CL/cl.h, matching the
+ * Khronos OpenCL 1.1 layout so unmodified host programs compile against the
+ * MiniCL runtime. Only the host-side subset is provided (no vector types or
+ * device-side builtins: MiniCL has no OpenCL C compiler — kernels are
+ * pre-registered native bodies; see docs/cl_shim.md).
+ */
+#ifndef MCL_CL_PLATFORM_H_
+#define MCL_CL_PLATFORM_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Calling-convention / visibility macros: plain functions here. */
+#define CL_API_ENTRY
+#define CL_API_CALL
+#define CL_CALLBACK
+#define CL_API_SUFFIX__VERSION_1_0
+#define CL_API_SUFFIX__VERSION_1_1
+#define CL_API_SUFFIX__VERSION_1_2
+#define CL_EXT_SUFFIX__VERSION_1_1
+#define CL_EXT_PREFIX__VERSION_1_1_DEPRECATED
+#define CL_EXT_SUFFIX__VERSION_1_1_DEPRECATED
+#define CL_EXT_PREFIX__VERSION_1_2_DEPRECATED
+#define CL_EXT_SUFFIX__VERSION_1_2_DEPRECATED
+
+typedef int8_t cl_char;
+typedef uint8_t cl_uchar;
+typedef int16_t cl_short;
+typedef uint16_t cl_ushort;
+typedef int32_t cl_int;
+typedef uint32_t cl_uint;
+typedef int64_t cl_long;
+typedef uint64_t cl_ulong;
+typedef uint16_t cl_half;
+typedef float cl_float;
+typedef double cl_double;
+
+#define CL_CHAR_BIT 8
+#define CL_SCHAR_MAX 127
+#define CL_SCHAR_MIN (-127 - 1)
+#define CL_CHAR_MAX CL_SCHAR_MAX
+#define CL_CHAR_MIN CL_SCHAR_MIN
+#define CL_UCHAR_MAX 255
+#define CL_SHRT_MAX 32767
+#define CL_SHRT_MIN (-32767 - 1)
+#define CL_USHRT_MAX 65535
+#define CL_INT_MAX 2147483647
+#define CL_INT_MIN (-2147483647 - 1)
+#define CL_UINT_MAX 0xffffffffU
+#define CL_LONG_MAX ((cl_long)0x7FFFFFFFFFFFFFFFLL)
+#define CL_LONG_MIN ((cl_long)-0x7FFFFFFFFFFFFFFFLL - 1LL)
+#define CL_ULONG_MAX ((cl_ulong)0xFFFFFFFFFFFFFFFFULL)
+#define CL_FLT_MAX 3.402823466e+38f
+#define CL_FLT_MIN 1.175494351e-38f
+#define CL_FLT_EPSILON 1.192092896e-07f
+#define CL_DBL_MAX 1.7976931348623158e+308
+#define CL_DBL_MIN 2.225073858507201e-308
+#define CL_DBL_EPSILON 2.220446049250313e-16
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* MCL_CL_PLATFORM_H_ */

@@ -1,0 +1,7 @@
+/* MiniCL convenience umbrella header (mirrors Khronos CL/opencl.h). */
+#ifndef MCL_CL_OPENCL_H_
+#define MCL_CL_OPENCL_H_
+
+#include <CL/cl.h>
+
+#endif /* MCL_CL_OPENCL_H_ */

@@ -18,6 +18,14 @@ void histogram_reference(std::span<const unsigned> in,
   for (unsigned v : in) ++bins[v & 0xff];
 }
 
+unsigned parallel_min_reference(std::span<const unsigned> in) {
+  unsigned best = ~0u;
+  for (unsigned v : in) {
+    if (v < best) best = v;
+  }
+  return best;
+}
+
 void prefixsum_reference(std::span<const float> in, std::span<float> out) {
   float acc = 0.0f;
   for (std::size_t i = 0; i < in.size(); ++i) {
@@ -75,6 +83,41 @@ gpusim::KernelCost reduce_cost(const KernelArgs&, const NDRange&,
   return {.fp_insts = steps / l + 1,
           .mem_insts = 1,
           .other_insts = 2 * steps / l + 2};
+}
+
+// --- parallel_min -------------------------------------------------------------
+
+void parallel_min_workgroup(const KernelArgs& args, const WorkGroupCtx& wg) {
+  const unsigned* in = args.buffer<const unsigned>(0);
+  unsigned* partials = args.buffer<unsigned>(1);
+  unsigned* scratch = wg.local_mem<unsigned>(2);
+  const std::size_t l = wg.local_size(0);
+
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    scratch[it.local_id(0)] = in[it.global_id(0)];
+  });
+  // Fold the tail into the largest power of two, then a clean min tree.
+  std::size_t p = 1;
+  while (p * 2 <= l) p *= 2;
+  if (p < l) {
+    wg.for_each_item([&](const WorkItemCtx& it) {
+      const std::size_t lid = it.local_id(0);
+      if (lid + p < l && scratch[lid + p] < scratch[lid]) {
+        scratch[lid] = scratch[lid + p];
+      }
+    });
+  }
+  for (std::size_t stride = p / 2; stride > 0; stride /= 2) {
+    wg.for_each_item([&](const WorkItemCtx& it) {
+      const std::size_t lid = it.local_id(0);
+      if (lid < stride && scratch[lid + stride] < scratch[lid]) {
+        scratch[lid] = scratch[lid + stride];
+      }
+    });
+  }
+  wg.for_each_item([&](const WorkItemCtx& it) {
+    if (it.local_id(0) == 0) partials[it.group_id(0)] = scratch[0];
+  });
 }
 
 // --- histogram256 -------------------------------------------------------------
@@ -149,6 +192,10 @@ const KernelRegistrar reg_histogram{KernelDef{.name = kHistogramKernel,
 const KernelRegistrar reg_prefixsum{KernelDef{.name = kPrefixSumKernel,
                                               .workgroup = &prefixsum_workgroup,
                                               .gpu_cost = &prefixsum_cost}};
+const KernelRegistrar reg_parallel_min{
+    KernelDef{.name = kParallelMinKernel,
+              .workgroup = &parallel_min_workgroup,
+              .gpu_cost = &reduce_cost}};  // same tree shape as reduce
 
 }  // namespace
 }  // namespace mcl::apps

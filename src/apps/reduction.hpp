@@ -11,6 +11,10 @@
 //   "prefixsum":    0=in(float*), 1=out(float*), 2=local ping (n floats),
 //                   3=local pong (n floats). Single-workgroup inclusive
 //                   Hillis-Steele scan (global size == local size).
+//   "parallel_min": 0=in(uint*), 1=partials(uint*, one per workgroup),
+//                   2=local scratch (local_size uints). Tree minimum in
+//                   local memory (the classic AMD ParallelMin sample shape);
+//                   the host folds the per-group partial minima.
 #pragma once
 
 #include <cstddef>
@@ -21,9 +25,11 @@ namespace mcl::apps {
 inline constexpr const char* kReduceKernel = "reduce";
 inline constexpr const char* kHistogramKernel = "histogram256";
 inline constexpr const char* kPrefixSumKernel = "prefixsum";
+inline constexpr const char* kParallelMinKernel = "parallel_min";
 
 [[nodiscard]] double reduce_reference(std::span<const float> in);
 void histogram_reference(std::span<const unsigned> in, std::span<unsigned> bins);
 void prefixsum_reference(std::span<const float> in, std::span<float> out);
+[[nodiscard]] unsigned parallel_min_reference(std::span<const unsigned> in);
 
 }  // namespace mcl::apps

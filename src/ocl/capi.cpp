@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ocl/cl_status.hpp"
 #include "ocl/platform.hpp"
 #include "ocl/queue.hpp"
 #include "prof/metrics.hpp"
@@ -45,24 +46,9 @@ struct LiveHandles {
 };
 
 mcl_int status_to_code(core::Status s) {
-  using core::Status;
-  switch (s) {
-    case Status::Success: return MCL_SUCCESS;
-    case Status::InvalidValue: return MCL_INVALID_VALUE;
-    case Status::InvalidBufferSize: return MCL_INVALID_BUFFER_SIZE;
-    case Status::InvalidMemFlags: return MCL_INVALID_VALUE;
-    case Status::InvalidKernelArgs: return MCL_INVALID_KERNEL_ARGS;
-    case Status::InvalidWorkGroupSize: return MCL_INVALID_WORK_GROUP_SIZE;
-    case Status::InvalidGlobalWorkSize: return MCL_INVALID_GLOBAL_WORK_SIZE;
-    case Status::InvalidKernelName: return MCL_INVALID_KERNEL_NAME;
-    case Status::InvalidOperation: return MCL_INVALID_OPERATION;
-    case Status::InvalidLaunch: return MCL_INVALID_OPERATION;
-    case Status::MapFailure: return MCL_MAP_FAILURE;
-    case Status::OutOfResources: return MCL_MEM_OBJECT_ALLOCATION_FAILURE;
-    case Status::DeviceNotFound: return MCL_DEVICE_NOT_FOUND;
-    case Status::Cancelled: return MCL_INVALID_OPERATION;
-    default: return MCL_INVALID_VALUE;
-  }
+  // One shared Status -> CL-code table serves this API and the CL/cl.h shim
+  // (the MCL_* constants use the OpenCL numeric values); see cl_status.hpp.
+  return static_cast<mcl_int>(mcl::ocl::status_to_cl_code(s));
 }
 
 /// Runs fn, translating MiniCL exceptions into C error codes.
@@ -611,8 +597,11 @@ mcl_int mclSetTuning(mcl_int mode) {
   return MCL_SUCCESS;
 }
 
-mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
-                          const size_t* global_size, mcl_tuned_config* config) {
+namespace {
+
+mcl_int tuned_config_impl(const char* kernel_name, mcl_uint work_dim,
+                          const size_t* global_size, mcl_tuned_config* config,
+                          std::size_t threads) {
   if (kernel_name == nullptr || config == nullptr || global_size == nullptr ||
       work_dim < 1 || work_dim > 3) {
     return MCL_INVALID_VALUE;
@@ -627,12 +616,6 @@ mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
   for (mcl_uint d = 0; d < 3; ++d) {
     global.size[d] = d < work_dim ? global_size[d] : 1;
   }
-  // Same thread count the launch path keys tuner entries with (the CPU
-  // device pool's size, which a configured pool makes differ from
-  // hardware_concurrency) — otherwise the query misses the learned
-  // incumbent and silently falls back to the static seed ranking.
-  const std::size_t threads = static_cast<std::size_t>(
-      std::max(1, mcl::ocl::Platform::default_instance().cpu().compute_units()));
   return guarded([&] {
     // The query models a caller-chosen launch with NULL local and no local
     // args — the shape mclEnqueueNDRangeKernel(…, NULL) produces.
@@ -661,6 +644,34 @@ mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
             : MCL_FALSE;
     config->prefer_map = best->prefer_map ? MCL_TRUE : MCL_FALSE;
   });
+}
+
+}  // namespace
+
+mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
+                          const size_t* global_size, mcl_tuned_config* config) {
+  // Same thread count the launch path keys tuner entries with (the CPU
+  // device pool's size, which a configured pool makes differ from
+  // hardware_concurrency) — otherwise the query misses the learned
+  // incumbent and silently falls back to the static seed ranking.
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max(1, mcl::ocl::Platform::default_instance().cpu().compute_units()));
+  return tuned_config_impl(kernel_name, work_dim, global_size, config, threads);
+}
+
+mcl_int mclGetTunedConfigForDevice(mcl_device_id device,
+                                   const char* kernel_name, mcl_uint work_dim,
+                                   const size_t* global_size,
+                                   mcl_tuned_config* config) {
+  if (device == nullptr || device->device == nullptr) {
+    return MCL_INVALID_DEVICE;
+  }
+  // Launches on a partitioned (sub-)device key tuner entries on the SHARD
+  // width, not the parent pool size; the query must use the same key or a
+  // sub-device caller silently reads the wrong entry.
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max(1, device->device->compute_units()));
+  return tuned_config_impl(kernel_name, work_dim, global_size, config, threads);
 }
 
 }  // extern "C"

@@ -105,6 +105,77 @@ int CpuDevice::compute_units() const {
 LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
                                const NDRange& global, const NDRange& local,
                                const NDRange& offset) {
+  return launch_core(def, args, global, local, offset,
+                     {0, impl_->pool.thread_count()},
+                     impl_->pool.thread_count(), impl_->launch_mutex);
+}
+
+int CpuDevice::pool_worker_index() const noexcept {
+  return impl_->pool.worker_index_here();
+}
+
+std::vector<std::shared_ptr<CpuSubDevice>> CpuDevice::partition_equally(
+    std::size_t units) {
+  const std::size_t total = impl_->pool.thread_count();
+  core::check(units > 0 && units <= total, core::Status::InvalidValue,
+              "partition_equally: units must be in [1, compute_units]");
+  std::vector<std::shared_ptr<CpuSubDevice>> subs;
+  subs.reserve(total / units);
+  for (std::size_t begin = 0; begin + units <= total; begin += units) {
+    subs.push_back(std::make_shared<CpuSubDevice>(
+        *this, threading::WorkerSpan{begin, begin + units}, subs.size()));
+  }
+  return subs;
+}
+
+std::vector<std::shared_ptr<CpuSubDevice>> CpuDevice::partition_by_counts(
+    std::span<const std::size_t> counts) {
+  const std::size_t total = impl_->pool.thread_count();
+  core::check(!counts.empty(), core::Status::InvalidValue,
+              "partition_by_counts: counts must be non-empty");
+  std::size_t sum = 0;
+  for (std::size_t c : counts) {
+    core::check(c > 0, core::Status::InvalidValue,
+                "partition_by_counts: zero-width sub-device");
+    sum += c;
+  }
+  core::check(sum <= total, core::Status::InvalidValue,
+              "partition_by_counts: counts exceed compute_units");
+  std::vector<std::shared_ptr<CpuSubDevice>> subs;
+  subs.reserve(counts.size());
+  std::size_t begin = 0;
+  for (std::size_t c : counts) {
+    subs.push_back(std::make_shared<CpuSubDevice>(
+        *this, threading::WorkerSpan{begin, begin + c}, subs.size()));
+    begin += c;
+  }
+  return subs;
+}
+
+CpuSubDevice::CpuSubDevice(CpuDevice& parent, threading::WorkerSpan span,
+                           std::size_t index)
+    : parent_(&parent), span_(span), index_(index) {}
+
+std::string CpuSubDevice::name() const {
+  return parent_->name() + " [sub " + std::to_string(index_) + ": workers " +
+         std::to_string(span_.begin) + ".." + std::to_string(span_.end) + ")";
+}
+
+LaunchResult CpuSubDevice::launch(const KernelDef& def, const KernelArgs& args,
+                                  const NDRange& global, const NDRange& local,
+                                  const NDRange& offset) {
+  return parent_->launch_core(def, args, global, local, offset, span_,
+                              span_.size(), launch_mutex_);
+}
+
+LaunchResult CpuDevice::launch_core(const KernelDef& def,
+                                    const KernelArgs& args,
+                                    const NDRange& global, const NDRange& local,
+                                    const NDRange& offset,
+                                    threading::WorkerSpan span,
+                                    std::size_t threads,
+                                    std::mutex& launch_mutex) {
+  threads = std::max<std::size_t>(threads, 1);
   if (config_.executor == ExecutorKind::Checked) {
     // mclsan dynamic mode: serial, instrumented execution. Throws
     // SanitizerViolation (after the launch completes) on any finding.
@@ -113,7 +184,7 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
     LaunchResult result;
     result.local_used = checked.local();
     result.executor_used = ExecutorKind::Checked;
-    std::lock_guard launch_lock(impl_->launch_mutex);
+    std::lock_guard launch_lock(launch_mutex);
     trace::ScopedSpan span(
         trace::enabled() ? trace::intern("launch.checked:" + def.name)
                          : nullptr);
@@ -154,7 +225,7 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
       !config_.dispatch_order) {
     tuned = tune::Tuner::instance().decide(def, global, local,
                                            args.total_local_bytes() > 0,
-                                           impl_->pool.thread_count());
+                                           threads);
     if (tuned) {
       exec_kind = tuned->config.executor;
       // The tuner keys entries on has_local_args, so a local override can
@@ -182,7 +253,7 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
     // serially on this thread in the permuted order. Race-free kernels must
     // be insensitive to it; the pool (and its chunker) is bypassed so the
     // order is exact, not a scheduling hint.
-    std::lock_guard launch_lock(impl_->launch_mutex);
+    std::lock_guard launch_lock(launch_mutex);
     const std::size_t total = runner.total_groups();
     const core::TimePoint t0 = core::now();
     for (std::size_t k = 0; k < total; ++k) {
@@ -197,7 +268,8 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
 
   // Workgroups are claimed in chunks (as TBB-based runtimes do) so the
   // shared-counter cost amortizes; per-group and per-item costs remain.
-  const std::size_t threads = impl_->pool.thread_count();
+  // `threads` is the shard width: sub-device launches size their chunks for
+  // the shard, not the whole pool.
   const std::size_t chunk = std::clamp<std::size_t>(
       runner.total_groups() / (threads * chunk_divisor), 1, 64);
   // Real dispatch extent; diverges from total_groups() only under the
@@ -206,12 +278,12 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
   std::size_t dispatch_groups = runner.total_groups();
   if (dispatch_groups > 1 && inject_chunker_bug()) --dispatch_groups;
 
-  std::lock_guard launch_lock(impl_->launch_mutex);
+  std::lock_guard launch_lock(launch_mutex);
   prof::LaunchAcc acc;
   const core::TimePoint t0 = core::now();
   if (!trace::enabled() && !prof::profiling()) {
-    result.schedule = impl_->pool.parallel_run(
-        dispatch_groups,
+    result.schedule = impl_->pool.parallel_run_on(
+        span, dispatch_groups,
         [&runner](std::size_t g) { runner.run_group(g); }, chunk, scheduler);
   } else {
     // Instrumented launch: a trace span per workgroup tagged (group id,
@@ -232,8 +304,8 @@ LaunchResult CpuDevice::launch(const KernelDef& def, const KernelArgs& args,
     trace::ScopedSpan launch_span(
         trace::enabled() ? trace::intern("launch:" + def.name) : nullptr,
         "groups,threads", runner.total_groups(), threads);
-    result.schedule = impl_->pool.parallel_run(
-        dispatch_groups,
+    result.schedule = impl_->pool.parallel_run_on(
+        span, dispatch_groups,
         [&runner, wg_name, est_bytes, accp, ctx](std::size_t g) {
           trace::ContextScope cscope(ctx);
           trace::ScopedSpan span(wg_name, "group,worker,est_bytes", g,

@@ -7,10 +7,13 @@
 //    *simulated* time from the gpusim analytical model (GTX 580 analogue).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/time.hpp"
 #include "gpusim/gpusim.hpp"
@@ -89,6 +92,8 @@ struct CpuDeviceConfig {
       dispatch_order = nullptr;
 };
 
+class CpuSubDevice;
+
 class CpuDevice final : public Device {
  public:
   explicit CpuDevice(CpuDeviceConfig config = {});
@@ -111,10 +116,74 @@ class CpuDevice final : public Device {
                              const NDRange& global, const NDRange& local,
                              std::span<const int> group_to_cpu);
 
+  /// clCreateSubDevices(CL_DEVICE_PARTITION_EQUALLY) analogue: splits the
+  /// worker pool into floor(compute_units / units) sub-devices of `units`
+  /// workers each (trailing workers stay with the parent). Sub-devices own
+  /// disjoint WorkerSpans of the SAME pool — no threads are created — so
+  /// launches on sibling sub-devices run concurrently without sharing a
+  /// worker. Throws InvalidValue when units == 0 or units > compute_units.
+  /// The parent must outlive every returned sub-device.
+  [[nodiscard]] std::vector<std::shared_ptr<CpuSubDevice>> partition_equally(
+      std::size_t units);
+
+  /// clCreateSubDevices(CL_DEVICE_PARTITION_BY_COUNTS) analogue: one
+  /// sub-device per entry, counts[i] workers wide, assigned consecutive
+  /// disjoint spans. Throws InvalidValue when counts is empty, any count is
+  /// zero, or the sum exceeds compute_units.
+  [[nodiscard]] std::vector<std::shared_ptr<CpuSubDevice>> partition_by_counts(
+      std::span<const std::size_t> counts);
+
+  /// Index of the calling thread within this device's worker pool, or -1
+  /// when called from any other thread (sub-device shard tests use this to
+  /// prove a launch never left its span).
+  [[nodiscard]] int pool_worker_index() const noexcept;
+
  private:
+  friend class CpuSubDevice;
+
+  /// Shared launch body: runs the NDRange on the workers of `span` (plus the
+  /// calling thread), serialized by `launch_mutex` (the parent and each
+  /// sub-device carry their own — sibling shards must not serialize against
+  /// each other). `threads` is the shard width the tuner keys entries on and
+  /// the chunker divides by: the SUB-device size for sharded launches, never
+  /// the parent pool size.
+  LaunchResult launch_core(const KernelDef& def, const KernelArgs& args,
+                           const NDRange& global, const NDRange& local,
+                           const NDRange& offset, threading::WorkerSpan span,
+                           std::size_t threads, std::mutex& launch_mutex);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
   CpuDeviceConfig config_;
+};
+
+/// A fixed-width shard of a CpuDevice (clCreateSubDevices analogue). Shares
+/// the parent's pool, kernels and buffers; owns a disjoint WorkerSpan and its
+/// own launch serialization, so two sub-devices execute concurrently with
+/// disjoint worker sets. Tuner entries for launches here are keyed on the
+/// shard width, not the parent pool size.
+class CpuSubDevice final : public Device {
+ public:
+  CpuSubDevice(CpuDevice& parent, threading::WorkerSpan span,
+               std::size_t index);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DeviceType type() const override { return DeviceType::Cpu; }
+  [[nodiscard]] int compute_units() const override {
+    return static_cast<int>(span_.size());
+  }
+  [[nodiscard]] CpuDevice& parent() const noexcept { return *parent_; }
+  [[nodiscard]] threading::WorkerSpan span() const noexcept { return span_; }
+
+  LaunchResult launch(const KernelDef& def, const KernelArgs& args,
+                      const NDRange& global, const NDRange& local,
+                      const NDRange& offset = NDRange{}) override;
+
+ private:
+  CpuDevice* parent_;
+  threading::WorkerSpan span_;
+  std::size_t index_;
+  std::mutex launch_mutex_;
 };
 
 class SimGpuDevice final : public Device {

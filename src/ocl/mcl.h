@@ -296,6 +296,16 @@ typedef struct mcl_tuned_config {
 mcl_int mclGetTunedConfig(const char* kernel_name, mcl_uint work_dim,
                           const size_t* global_size, mcl_tuned_config* config);
 
+/* Like mclGetTunedConfig, but keys the lookup on `device`'s compute-unit
+ * count instead of the default CPU pool size. Required when the launch
+ * targets a partitioned sub-device: tuner entries are keyed on the shard
+ * width, so querying with the parent pool size reads the wrong entry.
+ * Returns MCL_INVALID_DEVICE for a null/invalid device handle. */
+mcl_int mclGetTunedConfigForDevice(mcl_device_id device,
+                                   const char* kernel_name, mcl_uint work_dim,
+                                   const size_t* global_size,
+                                   mcl_tuned_config* config);
+
 #ifdef __cplusplus
 }
 #endif

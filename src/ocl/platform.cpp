@@ -1,9 +1,31 @@
 #include "ocl/platform.hpp"
 
+#include <cstdlib>
+
 namespace mcl::ocl {
 
+namespace {
+
+/// Default CPU config, honoring MCL_CPU_THREADS (pool width override for the
+/// shared platform). Exists for sub-device tests on small CI hosts: a 1-core
+/// runner defaults to a 1-worker pool, which cannot be partitioned into two
+/// shards. Invalid or absent values fall back to one worker per logical CPU.
+CpuDeviceConfig default_cpu_config() {
+  CpuDeviceConfig config;
+  if (const char* env = std::getenv("MCL_CPU_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      config.threads = static_cast<std::size_t>(v);
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
 Platform& Platform::default_instance() {
-  static Platform platform;
+  static Platform platform{default_cpu_config()};
   return platform;
 }
 

@@ -34,7 +34,10 @@ class Platform {
     return &gpu_;
   }
 
-  /// Shared default platform (default CPU config, GTX 580 GPU model).
+  /// Shared default platform (default CPU config, GTX 580 GPU model). The
+  /// CPU pool width honors the MCL_CPU_THREADS environment variable (useful
+  /// on small hosts where the default 1-worker pool cannot be partitioned
+  /// into sub-devices).
   [[nodiscard]] static Platform& default_instance();
 
  private:

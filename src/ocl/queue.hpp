@@ -37,6 +37,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/time.hpp"
 #include "ocl/buffer.hpp"
 #include "ocl/device.hpp"
@@ -200,12 +201,36 @@ class AsyncEvent {
   std::vector<std::function<void(core::Status)>> continuations_;
 };
 
-/// clContext analogue: a device binding plus buffer factory.
+/// clContext analogue: a device-set binding plus buffer factory. One context
+/// may hold several devices (the CPU device, its sub-devices, the simulated
+/// GPU); queues bind to one device of the set each, so a single context can
+/// drive the same kernel on every device (clCreateContext with multiple
+/// cl_device_ids).
 class Context {
  public:
-  explicit Context(Device& device) : device_(&device) {}
+  explicit Context(Device& device) : devices_{&device} {}
+  explicit Context(std::vector<Device*> devices) : devices_(std::move(devices)) {
+    core::check(!devices_.empty(), core::Status::InvalidValue,
+                "Context requires at least one device");
+    for (Device* d : devices_) {
+      core::check(d != nullptr, core::Status::InvalidValue,
+                  "Context device list contains a null device");
+    }
+  }
 
-  [[nodiscard]] Device& device() const noexcept { return *device_; }
+  /// The context's first device (the default queues bind to when no device
+  /// is named; single-device contexts behave exactly as before).
+  [[nodiscard]] Device& device() const noexcept { return *devices_.front(); }
+
+  [[nodiscard]] const std::vector<Device*>& devices() const noexcept {
+    return devices_;
+  }
+  [[nodiscard]] bool has_device(const Device& device) const noexcept {
+    for (const Device* d : devices_) {
+      if (d == &device) return true;
+    }
+    return false;
+  }
 
   [[nodiscard]] Buffer create_buffer(MemFlags flags, std::size_t bytes,
                                      void* host_ptr = nullptr) const {
@@ -218,7 +243,7 @@ class Context {
   }
 
  private:
-  Device* device_;
+  std::vector<Device*> devices_;
 };
 
 class CommandQueue {
@@ -228,6 +253,18 @@ class CommandQueue {
       : context_(&context),
         device_(&context.device()),
         properties_(properties) {}
+
+  /// clCreateCommandQueue with an explicit device: `device` must be one of
+  /// the context's devices (throws DeviceNotFound — CL_INVALID_DEVICE —
+  /// otherwise). Queues on different devices of one context execute
+  /// concurrently; queues on sibling CPU sub-devices use disjoint worker
+  /// spans of the shared pool.
+  CommandQueue(Context& context, Device& device,
+               QueueProperties properties = QueueProperties::Default)
+      : context_(&context), device_(&device), properties_(properties) {
+    core::check(context.has_device(device), core::Status::DeviceNotFound,
+                "CommandQueue device is not part of the context");
+  }
   ~CommandQueue();
 
   CommandQueue(const CommandQueue&) = delete;

@@ -246,9 +246,17 @@ Session Server::create_session(TenantConfig config) {
               "tenant queue depth must be nonzero");
   auto tenant = std::make_unique<TenantState>();
   tenant->cfg = config;
-  tenant->queue = std::make_unique<ocl::CommandQueue>(
-      *context_, config.in_order ? ocl::QueueProperties::Default
-                                 : ocl::QueueProperties::OutOfOrder);
+  const ocl::QueueProperties props = config.in_order
+                                         ? ocl::QueueProperties::Default
+                                         : ocl::QueueProperties::OutOfOrder;
+  // Device-aware sessions: a tenant may pin its queue to one device of the
+  // context (e.g. a CPU sub-device shard). Validated by the CommandQueue
+  // ctor (DeviceNotFound when the device is not in the context).
+  tenant->queue = config.device != nullptr
+                      ? std::make_unique<ocl::CommandQueue>(*context_,
+                                                            *config.device,
+                                                            props)
+                      : std::make_unique<ocl::CommandQueue>(*context_, props);
   tenant->stats.name = config.name;
   tenant->latency = prof::histogram("serve.latency_ns." + config.name);
   tenant->admission = prof::histogram("serve.admission_ns." + config.name);

@@ -67,6 +67,10 @@ struct TenantConfig {
   bool in_order = false;              ///< serialize this tenant's commands
   std::uint64_t default_timeout_ns = 0;  ///< pending-phase deadline; 0 = none
   std::size_t batch_max_items = 0;    ///< fuse small 1D launches up to this many items; 0 = off
+  /// Device the tenant's queue binds to; must be one of the server context's
+  /// devices (a CPU sub-device isolates the tenant on its worker shard; the
+  /// simulated GPU offloads it entirely). nullptr = the context's default.
+  ocl::Device* device = nullptr;
 };
 
 struct ServerConfig {

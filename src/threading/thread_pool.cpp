@@ -43,14 +43,26 @@ class OccupancyScope {
   const bool armed_;
 };
 
+// Worker identity of the calling thread: which pool it belongs to (if any)
+// and its index there. A bare index is ambiguous — the device pool and the
+// queue executor pool both number workers from 0.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+thread_local int tl_worker_index = -1;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads, bool pin) {
   if (threads == 0) threads = static_cast<std::size_t>(logical_cpu_count());
+  worker_batch_ =
+      std::vector<std::atomic<std::shared_ptr<Batch>>>(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i, pin] { worker_loop(i, pin); });
   }
+}
+
+int ThreadPool::worker_index_here() const noexcept {
+  return tl_worker_pool == this ? tl_worker_index : -1;
 }
 
 ThreadPool::~ThreadPool() {
@@ -178,24 +190,33 @@ void ThreadPool::drain_batch(Batch& batch) {
 RunStats ThreadPool::parallel_run(std::size_t count,
                                   const std::function<void(std::size_t)>& fn,
                                   std::size_t chunk, ScheduleStrategy strategy) {
+  return parallel_run_on({0, workers_.size()}, count, fn, chunk, strategy);
+}
+
+RunStats ThreadPool::parallel_run_on(WorkerSpan span, std::size_t count,
+                                     const std::function<void(std::size_t)>& fn,
+                                     std::size_t chunk,
+                                     ScheduleStrategy strategy) {
   if (count == 0) return {};
   if (chunk == 0) chunk = 1;
-  MCL_TRACE_SCOPE("pool.batch", "count,chunk", count, chunk);
+  span.end = std::min(span.end, workers_.size());
+  span.begin = std::min(span.begin, span.end);
+  MCL_TRACE_SCOPE("pool.batch", "count,chunk,span", count, chunk, span.size());
   MCL_PROF_COUNT("pool.batches", 1);
   MCL_PROF_HIST("pool.batch_groups", count);
   auto batch = std::make_shared<Batch>();
-  batch->generation = batch_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
   batch->count = count;
   batch->chunk = chunk;
   batch->fn = &fn;
   batch->strategy = strategy;
-  batch->executed = std::vector<std::atomic<std::size_t>>(workers_.size() + 1);
+  batch->executed =
+      std::vector<std::atomic<std::size_t>>(span.size() + 1);
   if (strategy == ScheduleStrategy::WorkStealing) {
     // count must fit the packed 32-bit ranges.
     if (count >= (1ull << 32)) {
       batch->strategy = ScheduleStrategy::CentralCounter;
     } else {
-      const std::size_t nslots = workers_.size() + 1;  // workers + caller
+      const std::size_t nslots = span.size() + 1;  // span workers + caller
       batch->slots = std::vector<std::atomic<std::uint64_t>>(nslots);
       const std::size_t per = count / nslots;
       const std::size_t extra = count % nslots;
@@ -215,7 +236,9 @@ RunStats ThreadPool::parallel_run(std::size_t count,
   // and the caller silently does all the work alone (lost wakeup).
   {
     std::lock_guard lock(mutex_);
-    batch_.store(batch, std::memory_order_release);
+    for (std::size_t i = span.begin; i < span.end; ++i) {
+      worker_batch_[i].store(batch, std::memory_order_release);
+    }
   }
   cv_.notify_all();
   drain_batch(*batch);  // the calling thread participates
@@ -224,11 +247,15 @@ RunStats ThreadPool::parallel_run(std::size_t count,
   while (batch->done.load(std::memory_order_acquire) < count) {
     if (++spins > 64) std::this_thread::yield();
   }
-  // CAS rather than a plain store: only retire *our* batch, never a newer
-  // one another caller may have published since.
-  std::shared_ptr<Batch> expected = batch;
-  batch_.compare_exchange_strong(expected, nullptr,
-                                 std::memory_order_acq_rel);
+  // CAS rather than a plain store: only retire *our* batch from each slot,
+  // never a newer one another caller may have published since. A worker
+  // normally clears its own slot after draining; this sweep covers workers
+  // that never woke up before the batch completed.
+  for (std::size_t i = span.begin; i < span.end; ++i) {
+    std::shared_ptr<Batch> expected = batch;
+    worker_batch_[i].compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel);
+  }
 
   RunStats stats;
   std::size_t total = 0;
@@ -256,23 +283,29 @@ void ThreadPool::worker_loop(std::size_t worker_index, bool pin) {
   if (pin) {
     pin_current_thread(static_cast<int>(worker_index) % logical_cpu_count());
   }
-  std::uint64_t last_generation = 0;
+  tl_worker_pool = this;
+  tl_worker_index = static_cast<int>(worker_index);
   for (;;) {
-    // Help with an active batch. The shared_ptr copy keeps the batch alive
-    // even if the producer finishes and releases it while we drain.
-    if (std::shared_ptr<Batch> b = batch_.load(std::memory_order_acquire);
-        b != nullptr && b->generation != last_generation) {
-      last_generation = b->generation;
+    // Help with a batch published to our slot. The shared_ptr copy keeps the
+    // batch alive even if the producer finishes and releases it while we
+    // drain; a drain of an already-exhausted batch is a no-op (fn is only
+    // dereferenced after a successful index claim).
+    if (std::shared_ptr<Batch> b =
+            worker_batch_[worker_index].load(std::memory_order_acquire);
+        b != nullptr) {
       drain_batch(*b);
+      // Clear only *our* batch: the slot may already hold a newer one.
+      worker_batch_[worker_index].compare_exchange_strong(
+          b, nullptr, std::memory_order_acq_rel);
       continue;
     }
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this, last_generation] {
-        if (stop_ || !tasks_.empty()) return true;
-        std::shared_ptr<Batch> b = batch_.load(std::memory_order_acquire);
-        return b != nullptr && b->generation != last_generation;
+      cv_.wait(lock, [this, worker_index] {
+        return stop_ || !tasks_.empty() ||
+               worker_batch_[worker_index].load(std::memory_order_acquire) !=
+                   nullptr;
       });
       if (stop_ && tasks_.empty()) return;
       if (tasks_.empty()) continue;  // woken for a batch; handled above

@@ -43,6 +43,22 @@ struct RunStats {
   double imbalance = 1.0;
 };
 
+/// Half-open range [begin, end) of worker indices — the unit of pool
+/// sharding. A sub-device owns one span; spans of sibling sub-devices are
+/// disjoint, so their batches never share a worker (and WorkStealing never
+/// steals across shards: steal victims are slots of the same batch).
+struct WorkerSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return end - begin;
+  }
+  [[nodiscard]] constexpr bool contains(std::size_t i) const noexcept {
+    return i >= begin && i < end;
+  }
+};
+
 class ThreadPool {
  public:
   /// `threads` == 0 selects logical_cpu_count(). When `pin` is true worker i
@@ -68,6 +84,24 @@ class ThreadPool {
                         std::size_t chunk = 1,
                         ScheduleStrategy strategy = ScheduleStrategy::CentralCounter);
 
+  /// parallel_run restricted to the workers of `span` (plus the calling
+  /// thread, which always participates and guarantees completion even if
+  /// every spanned worker is busy elsewhere). Concurrent calls on disjoint
+  /// spans proceed in parallel with disjoint worker sets — the sub-device
+  /// sharding substrate. Concurrent calls on overlapping spans are safe but
+  /// contend: a worker helps one batch at a time, and each caller finishes
+  /// its own batch regardless.
+  RunStats parallel_run_on(WorkerSpan span, std::size_t count,
+                           const std::function<void(std::size_t)>& fn,
+                           std::size_t chunk = 1,
+                           ScheduleStrategy strategy = ScheduleStrategy::CentralCounter);
+
+  /// Index of the calling thread within THIS pool's workers, or -1 when the
+  /// caller is not one of this pool's workers (other pools' workers included:
+  /// identity is (pool, index), not the bare index). Shard tests use this to
+  /// prove a sub-device launch never left its worker span.
+  [[nodiscard]] int worker_index_here() const noexcept;
+
   /// Blocks until all previously submitted tasks have finished.
   void wait_idle();
 
@@ -75,16 +109,16 @@ class ThreadPool {
   struct Batch {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::uint64_t generation = 0;
     std::size_t count = 0;
     std::size_t chunk = 1;
     const std::function<void(std::size_t)>* fn = nullptr;
     // WorkStealing state: per-slot packed ranges (next:32 | end:32) and a
-    // participant-id dispenser.
+    // participant-id dispenser. Slots cover only the batch's span workers
+    // plus the caller, so steals stay inside the shard by construction.
     ScheduleStrategy strategy = ScheduleStrategy::CentralCounter;
     std::vector<std::atomic<std::uint64_t>> slots;
     std::atomic<std::size_t> participants{0};
-    // Per-participant executed-index tallies (sized workers + 1).
+    // Per-participant executed-index tallies (sized span workers + 1).
     std::vector<std::atomic<std::size_t>> executed;
     std::atomic<std::size_t> tally_ids{0};
   };
@@ -99,10 +133,12 @@ class ThreadPool {
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t in_flight_ = 0;
-  /// Active parallel_run batch. Written under mutex_ (publication must be
-  /// ordered against the workers' cv wait predicate) but read lock-free.
-  std::atomic<std::shared_ptr<Batch>> batch_{nullptr};
-  std::atomic<std::uint64_t> batch_gen_{0};
+  /// Per-worker active batch slot. Published under mutex_ (ordering against
+  /// the workers' cv wait predicate — a lock-free store can land between the
+  /// predicate check and the sleep, losing the wakeup) but read lock-free.
+  /// A worker drains only its own slot; disjoint spans therefore run
+  /// concurrently without sharing any scheduling state.
+  std::vector<std::atomic<std::shared_ptr<Batch>>> worker_batch_;
   bool stop_ = false;
 };
 

@@ -1,0 +1,155 @@
+// mclconform — emits the CL 1.1 shim conformance coverage report.
+//
+// Walks the cl_surface() table (src/ocl/cl_surface.cpp) — the single source
+// of truth tying include/CL/cl.h, the shim, the docs matrix and the test
+// suite together — and writes a `mcl-conformance-v1` JSON document listing
+// every entry point with its implementation status, covering tests, and the
+// one-line semantics note. tier1 runs
+//
+//   build/tools/mclconform --json build/conformance.json
+//   tools/plot_results.py --check build/conformance.json
+//
+// and the --check pass fails if any Implemented entry point has no covering
+// conformance or matrix test, or if a listed test is not a known ctest
+// target — so shim growth without test growth breaks the gate, not just a
+// review convention.
+//
+// With no --json flag the report prints to stdout as a human-readable table.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ocl/cl_surface.hpp"
+
+namespace {
+
+using mcl::ocl::cl_surface;
+using mcl::ocl::ClSurfaceEntry;
+using mcl::ocl::ClSurfaceStatus;
+
+std::vector<std::string> split_tests(const char* tests) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = tests; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Minimal JSON string escape; table strings are plain ASCII, but a stray
+// quote or backslash in a note must not produce a malformed document.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(*p); break;
+    }
+  }
+  return out;
+}
+
+int emit_json(std::FILE* f) {
+  const auto surface = cl_surface();
+  int implemented = 0, stubbed = 0, unsupported = 0, uncovered = 0;
+  for (const ClSurfaceEntry& e : surface) {
+    switch (e.status) {
+      case ClSurfaceStatus::Implemented:
+        ++implemented;
+        if (split_tests(e.tests).empty()) ++uncovered;
+        break;
+      case ClSurfaceStatus::Stubbed: ++stubbed; break;
+      case ClSurfaceStatus::Unsupported: ++unsupported; break;
+    }
+  }
+
+  std::fprintf(f, "{\n  \"mcl-conformance\": 1,\n");
+  std::fprintf(f, "  \"standard\": \"OpenCL 1.1\",\n");
+  std::fprintf(f,
+               "  \"summary\": {\"entry_points\": %zu, \"implemented\": %d, "
+               "\"stubbed\": %d, \"unsupported\": %d, \"uncovered\": %d},\n",
+               surface.size(), implemented, stubbed, unsupported, uncovered);
+  std::fprintf(f, "  \"entries\": [\n");
+  for (std::size_t i = 0; i < surface.size(); ++i) {
+    const ClSurfaceEntry& e = surface[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"status\": \"%s\", \"tests\": [",
+                 json_escape(e.name).c_str(), to_string(e.status));
+    const auto tests = split_tests(e.tests);
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      std::fprintf(f, "%s\"%s\"", t ? ", " : "",
+                   json_escape(tests[t].c_str()).c_str());
+    }
+    std::fprintf(f, "], \"note\": \"%s\"}%s\n", json_escape(e.note).c_str(),
+                 i + 1 < surface.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return uncovered == 0 ? 0 : 1;
+}
+
+int print_table() {
+  const auto surface = cl_surface();
+  int uncovered = 0;
+  std::printf("%-34s %-13s %s\n", "entry point", "status", "covering tests");
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const ClSurfaceEntry& e : surface) {
+    std::printf("%-34s %-13s %s\n", e.name, to_string(e.status),
+                e.tests[0] != '\0' ? e.tests : "-");
+    if (e.status == ClSurfaceStatus::Implemented && e.tests[0] == '\0') {
+      ++uncovered;
+    }
+  }
+  if (uncovered != 0) {
+    std::fprintf(stderr, "mclconform: %d Implemented entry point(s) uncovered\n",
+                 uncovered);
+  }
+  return uncovered == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: mclconform [--json <path>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "mclconform: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (json_path == nullptr) return print_table();
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "mclconform: cannot open '%s' for writing\n",
+                 json_path);
+    return 2;
+  }
+  const int rc = emit_json(f);
+  std::fclose(f);
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "mclconform: FAIL — an Implemented entry point has no "
+                 "covering test (see 'uncovered' in %s)\n",
+                 json_path);
+    return 1;
+  }
+  std::printf("mclconform: wrote %s\n", json_path);
+  return 0;
+}

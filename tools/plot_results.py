@@ -58,6 +58,15 @@ converge within the launch budget — matching best-manual within noise —
 on at least three workloads. This pins the self-tuner's acceptance
 criteria in the tier-1 gate.
 
+--check also understands mclconform conformance reports (the
+tools/mclconform --json output, a single object with an "mcl-conformance"
+version key): entries must be sorted by unique clXxx name with statuses from
+the closed implemented/stubbed/unsupported set, listed tests must be known
+ctest targets, the summary counts must match the entries — and every
+Implemented entry point must name at least one covering conformance or
+matrix test. This is the tier-1 coverage gate for the CL shim: growing
+include/CL/cl.h without growing the test surface fails the check.
+
 Results JSONL files may carry {"meta": {...}} provenance lines (written by
 the bench --csv/--json header block); they are validated for shape and
 skipped by the renderers.
@@ -685,6 +694,143 @@ def check_obs(path):
     return errors
 
 
+def is_conform_file(path):
+    """An mclconform coverage report is one pretty-printed JSON object whose
+    "mcl-conformance" version marker sits on the first or second line. Must
+    be sniffed before the trace check (same reason as serve/facts files)."""
+    try:
+        with open(path) as f:
+            seen = 0
+            for line in f:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if '"mcl-conformance"' in stripped:
+                    return True
+                seen += 1
+                if seen >= 2:
+                    return False
+    except OSError:
+        pass
+    return False
+
+
+# Statuses the conformance schema draws from (src/ocl/cl_surface.hpp).
+CONFORM_STATUSES = ("implemented", "stubbed", "unsupported")
+
+# The ctest targets allowed to appear as covering tests. Pinned here so a
+# typo'd (or renamed-without-updating-the-table) test name in
+# src/ocl/cl_surface.cpp fails tier1 instead of silently counting as
+# coverage for an entry point nothing actually exercises.
+CONFORM_KNOWN_TESTS = (
+    "cl_errors_test",
+    "cl_shim_test",
+    "subdevice_test",
+    "conformance_hello_opencl",
+    "conformance_parallel_min",
+)
+
+
+def check_conform(path):
+    """Validates a tools/mclconform conformance.json; returns errors.
+
+    Checks: parseable object, "mcl-conformance" version 1, a summary block
+    whose counts match the entries list, entries sorted by unique name with
+    statuses from the closed set, every listed test drawn from the known
+    ctest-target set — and the coverage gate itself: every Implemented entry
+    point must name at least one covering conformance or matrix test, and
+    Unsupported entries must not claim coverage.
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: conformance root is not a JSON object"]
+    if doc.get("mcl-conformance") != 1:
+        errors.append(f"{path}: 'mcl-conformance' version marker is not 1")
+
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return errors + [f"{path}: 'entries' must be a non-empty list"]
+
+    counts = {s: 0 for s in CONFORM_STATUSES}
+    uncovered = []
+    names = []
+    for i, e in enumerate(entries):
+        where = f"{path}: entry {i}"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        name = e.get("name")
+        if not isinstance(name, str) or not name.startswith("cl"):
+            errors.append(f"{where}: 'name' must be a clXxx entry-point name")
+            name = ""
+        names.append(name)
+        status = e.get("status")
+        if status not in CONFORM_STATUSES:
+            errors.append(f"{where} ({name}): unknown status {status!r}")
+            continue
+        counts[status] += 1
+        tests = e.get("tests")
+        if not isinstance(tests, list) or not all(
+            isinstance(t, str) for t in tests
+        ):
+            errors.append(f"{where} ({name}): 'tests' must be a string list")
+            continue
+        for t in tests:
+            if t not in CONFORM_KNOWN_TESTS:
+                errors.append(
+                    f"{where} ({name}): '{t}' is not a known ctest target"
+                )
+        if status == "implemented" and not tests:
+            uncovered.append(name)
+        if status == "unsupported" and tests:
+            errors.append(
+                f"{where} ({name}): Unsupported entries must not list tests"
+            )
+        if not isinstance(e.get("note"), str) or not e.get("note"):
+            errors.append(f"{where} ({name}): missing doc 'note'")
+
+    if names != sorted(names) or len(set(names)) != len(names):
+        errors.append(f"{path}: entries must be sorted by unique name")
+
+    for name in uncovered:
+        errors.append(
+            f"{path}: {name}: Implemented entry point has no covering "
+            f"conformance or matrix test (the tier1 coverage gate)"
+        )
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append(f"{path}: missing 'summary' object")
+    else:
+        want = {
+            "entry_points": len(entries),
+            "implemented": counts["implemented"],
+            "stubbed": counts["stubbed"],
+            "unsupported": counts["unsupported"],
+            "uncovered": len(uncovered),
+        }
+        for key, val in want.items():
+            if summary.get(key) != val:
+                errors.append(
+                    f"{path}: summary.{key} is {summary.get(key)!r}, "
+                    f"expected {val}"
+                )
+
+    if not errors:
+        print(
+            f"{path}: ok (CL conformance surface, "
+            f"{counts['implemented']} implemented / "
+            f"{counts['stubbed']} stubbed / "
+            f"{counts['unsupported']} unsupported, all covered)"
+        )
+    return errors
+
+
 def is_tune_file(path):
     """An mcltune ablation document is one pretty-printed JSON object whose
     "mcltune" version marker sits on the first or second line. Must be
@@ -1123,6 +1269,8 @@ def main():
             errors = check_serve(args.jsonl)
         elif is_obs_file(args.jsonl):
             errors = check_obs(args.jsonl)
+        elif is_conform_file(args.jsonl):
+            errors = check_conform(args.jsonl)
         elif is_tune_file(args.jsonl):
             errors = check_tune(args.jsonl)
         elif is_facts_file(args.jsonl):

@@ -2,10 +2,17 @@
 # Tier-1 gate: the checks every change must pass before merging.
 #
 #   1. plain Release build + full ctest suite (plus explicit `-L trace`,
-#      `-L prof`, `-L verify`, `-L serve`, `-L tune` and `-L obs` passes for
-#      the mcltrace ring/exporter, mclprof registry/profiler, mclverify
-#      dataflow/soundness, mclserve admission/fairness, mcltune policy/cache,
-#      and mclobs context/flight-recorder suites),
+#      `-L prof`, `-L verify`, `-L serve`, `-L tune`, `-L obs` and
+#      `-L conform` passes for the mcltrace ring/exporter, mclprof
+#      registry/profiler, mclverify dataflow/soundness, mclserve
+#      admission/fairness, mcltune policy/cache, mclobs
+#      context/flight-recorder, and CL-shim conformance suites — the
+#      `conform` label runs the two unmodified external-style C hosts from
+#      examples/conformance/ plus the error matrix and shim integration
+#      tests),
+#      then the mclconform coverage report (conformance.json from the
+#      cl_surface table) schema- and coverage-checked by plot_results.py
+#      (an Implemented CL entry point with no covering test fails tier1),
 #      then the mclsan --all static gate (fails on new diagnostics; the
 #      KernelFacts JSON it emits is schema-checked by plot_results.py),
 #      a fixed-seed 60-second mclcheck differential smoke and a scan
@@ -21,10 +28,12 @@
 #      online convergence);
 #   2. ASan+UBSan build (-DMCL_SANITIZE=address,undefined) + full ctest suite;
 #   3. TSan build (-DMCL_SANITIZE=thread) running the `threading` + `queue` +
-#      `trace` + `prof` + `serve` + `tune` labels — the thread-pool wakeup,
-#      event-graph executor, trace-ring, metrics-shard, multi-tenant serve,
-#      and tuner decide/report/cache tests. Only those labels: TSan cannot
-#      track ucontext fiber stacks, so the fiber suites are excluded via the
+#      `trace` + `prof` + `serve` + `tune` + `subdev` labels — the
+#      thread-pool wakeup, event-graph executor, trace-ring, metrics-shard,
+#      multi-tenant serve, tuner decide/report/cache, and sub-device
+#      sharding tests (concurrent shard launches from multiple host threads
+#      over disjoint worker spans). Only those labels: TSan cannot track
+#      ucontext fiber stacks, so the fiber suites are excluded via the
 #      label selection.
 #
 # Usage: tools/tier1.sh [jobs]    (jobs defaults to nproc)
@@ -42,6 +51,15 @@ ctest --test-dir build --output-on-failure -L verify
 ctest --test-dir build --output-on-failure -L serve
 ctest --test-dir build --output-on-failure -L tune
 ctest --test-dir build --output-on-failure -L obs
+ctest --test-dir build --output-on-failure -L conform
+
+echo "== tier1: mclconform CL-surface coverage gate =="
+# The report is generated from the cl_surface table compiled into the shim,
+# so it cannot drift from the code; the --check pass fails if an Implemented
+# entry point names no covering test (or names one that is not a real ctest
+# target).
+./build/tools/mclconform --json build/conformance.json
+tools/plot_results.py --check build/conformance.json
 
 echo "== tier1: mclsan --all static gate + KernelFacts schema check =="
 # Exit 1 = a kernel outside the known-positive set gained an error-severity
@@ -98,9 +116,9 @@ cmake -B build-asan -S . -DMCL_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure
 
-echo "== tier1: TSan build (threading + queue + trace + prof + serve + tune + obs labels) =="
+echo "== tier1: TSan build (threading + queue + trace + prof + serve + tune + obs + subdev labels) =="
 cmake -B build-tsan -S . -DMCL_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test serve_test tune_test obs_test
-ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof|serve|tune|obs"
+cmake --build build-tsan -j "$jobs" --target threading_test queue_async_test trace_test prof_test serve_test tune_test obs_test subdevice_test
+ctest --test-dir build-tsan --output-on-failure -L "threading|queue|trace|prof|serve|tune|obs|subdev"
 
 echo "== tier1: all checks passed =="
